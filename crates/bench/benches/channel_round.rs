@@ -1,0 +1,30 @@
+//! Criterion benchmark: one full covert-channel round (frame, simulate,
+//! decode, account) per mechanism and scenario — the unit of work every
+//! table/figure harness repeats thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mes_coding::BitSource;
+use mes_core::{ChannelConfig, CovertChannel, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::Scenario;
+
+fn channel_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_round");
+    for scenario in [Scenario::Local, Scenario::CrossVm] {
+        for mechanism in scenario.mechanisms() {
+            let id = format!("{}/{}", scenario.as_str(), mechanism.as_str());
+            group.bench_with_input(BenchmarkId::new("roundtrip_128_bits", id), &(), |b, ()| {
+                let profile = ScenarioProfile::for_scenario(scenario);
+                let config = ChannelConfig::paper_defaults(scenario, mechanism).unwrap();
+                let channel = CovertChannel::new(config, profile.clone()).unwrap();
+                let payload = BitSource::new(9).random_bits(128);
+                let mut backend = SimBackend::new(profile, 9);
+                b.iter(|| channel.transmit(&payload, &mut backend).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, channel_round);
+criterion_main!(benches);

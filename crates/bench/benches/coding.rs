@@ -1,0 +1,40 @@
+//! Criterion benchmark: encode/decode throughput of the coding layer
+//! (framing, thresholding, symbol mapping, ECC).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mes_coding::{BitSource, FrameCodec, Hamming74, SymbolAlphabet, ThresholdDecoder};
+use mes_types::{Micros, Nanos};
+
+fn coding_throughput(c: &mut Criterion) {
+    let bits = BitSource::new(7).random_bits(4096);
+    let codec = FrameCodec::with_default_preamble();
+    let wire = codec.encode(&bits);
+    let latencies: Vec<Nanos> = wire
+        .iter()
+        .map(|b| {
+            if b.is_one() {
+                Micros::new(80).to_nanos()
+            } else {
+                Micros::new(20).to_nanos()
+            }
+        })
+        .collect();
+    let decoder =
+        ThresholdDecoder::midpoint(Micros::new(20).to_nanos(), Micros::new(80).to_nanos());
+    let alphabet = SymbolAlphabet::paper_two_bit();
+
+    let mut group = c.benchmark_group("coding");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("frame_encode_4096", |b| b.iter(|| codec.encode(&bits)));
+    group.bench_function("threshold_decode_4096", |b| b.iter(|| decoder.decode_all(&latencies)));
+    group.bench_function("frame_decode_4096", |b| {
+        let received = decoder.decode_all(&latencies);
+        b.iter(|| codec.decode(&received).unwrap())
+    });
+    group.bench_function("symbol_encode_4096", |b| b.iter(|| alphabet.encode(&bits).unwrap()));
+    group.bench_function("hamming74_encode_4096", |b| b.iter(|| Hamming74::encode(&bits)));
+    group.finish();
+}
+
+criterion_group!(benches, coding_throughput);
+criterion_main!(benches);

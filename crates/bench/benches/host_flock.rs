@@ -1,0 +1,37 @@
+//! Criterion benchmark: the real `flock(2)` lock/unlock pair on this machine
+//! — the syscall cost underneath the paper's Linux channel — and a real
+//! condvar signal/wait handoff (the stand-in for `SetEvent` +
+//! `WaitForSingleObject`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mes_coding::BitSource;
+use mes_core::{protocol, ChannelBackend, ChannelConfig};
+use mes_host::{host_timing, HostCondvarBackend, HostFlockBackend};
+use mes_types::Mechanism;
+
+fn host_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_flock");
+    group.sample_size(10);
+
+    // One short real transmission over flock (8 bits at millisecond timing).
+    let config = ChannelConfig::new(Mechanism::Flock, host_timing(Mechanism::Flock)).unwrap();
+    let wire = BitSource::new(3).random_bits(8);
+    let flock_plan = protocol::flock::encode(&wire, &config);
+    group.bench_function("flock_8_bit_round", |b| {
+        let mut backend = HostFlockBackend::new().unwrap();
+        b.iter(|| backend.transmit(&flock_plan).unwrap());
+    });
+
+    // One short real transmission over the condvar event stand-in.
+    let config = ChannelConfig::new(Mechanism::Event, host_timing(Mechanism::Event)).unwrap();
+    let event_plan = protocol::event::encode(&wire, &config);
+    group.bench_function("condvar_8_bit_round", |b| {
+        let mut backend = HostCondvarBackend::new();
+        b.iter(|| backend.transmit(&event_plan).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, host_primitives);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark: raw throughput of the discrete-event engine.
+//!
+//! Measures how many simulated covert-channel bits per second of wall-clock
+//! time the engine sustains — the figure that bounds how large a sweep the
+//! harness binaries can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mes_coding::BitSource;
+use mes_core::{protocol, ChannelBackend, ChannelConfig, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{Mechanism, Scenario};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    let bits = 512usize;
+    group.throughput(Throughput::Elements(bits as u64));
+    for mechanism in [Mechanism::Event, Mechanism::Flock, Mechanism::Semaphore] {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+        let wire = BitSource::new(1).random_bits(bits);
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("transmit_512_bits", mechanism.as_str()),
+            &plan,
+            |b, plan| {
+                let mut backend = SimBackend::new(ScenarioProfile::local(), 42);
+                b.iter(|| backend.transmit(plan).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation experiments for the design choices the paper calls out.
+//!
+//! Three knobs, each run on the local flock channel with the paper Timeset:
+//!
+//! 1. **Fair vs. unfair lock hand-off** (Section V.B ①): MES-Attacks only
+//!    work when the contended resource is handed off in FIFO order; under
+//!    unfair hand-off the Spy's measurements collapse.
+//! 2. **Fine-grained inter-bit synchronization** (Section V.B ②): without it
+//!    the Trojan's and Spy's loops drift apart and errors accumulate.
+//! 3. **Closed vs. open shared resources** (Section IV.G ①): third-party
+//!    contention on an open resource raises the BER; the closed resources
+//!    used by MES-Attacks avoid it.
+//!
+//! Run with `cargo run --release -p mes-bench --bin ablations`.
+
+use mes_bench::table_bits;
+use mes_coding::BitSource;
+use mes_core::{ChannelConfig, CovertChannel, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_sim::noise::OpenResourceInterference;
+use mes_stats::Table;
+use mes_types::{Mechanism, Result, Scenario};
+
+fn measure(
+    profile: ScenarioProfile,
+    config: ChannelConfig,
+    bits: usize,
+    seed: u64,
+) -> Result<(f64, f64, bool)> {
+    let channel = CovertChannel::new(config, profile.clone())?;
+    let mut backend = SimBackend::new(profile, seed);
+    let payload = BitSource::new(seed).random_bits(bits);
+    let report = channel.transmit(&payload, &mut backend)?;
+    Ok((
+        report.wire_ber().ber_percent(),
+        report.throughput().kilobits_per_second(),
+        report.frame_valid(),
+    ))
+}
+
+fn main() -> Result<()> {
+    let bits = table_bits().min(10_000);
+    let mut table = Table::new(vec![
+        "Ablation".into(),
+        "Variant".into(),
+        "BER (%)".into(),
+        "TR (kb/s)".into(),
+        "Frame valid".into(),
+    ])
+    .with_title(format!("Design-choice ablations (flock, local scenario, {bits} bits)"));
+
+    let baseline_cfg = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock)?;
+
+    // 1. Inter-bit synchronization on/off.
+    let (ber, tr, ok) = measure(ScenarioProfile::local(), baseline_cfg.clone(), bits, 0xAB1)?;
+    table.add_row(vec![
+        "inter-bit sync".into(),
+        "enabled (paper)".into(),
+        format!("{ber:.3}"),
+        format!("{tr:.3}"),
+        ok.to_string(),
+    ]);
+    let (ber, tr, ok) = measure(
+        ScenarioProfile::local(),
+        baseline_cfg.clone().without_inter_bit_sync(),
+        bits.min(2_000),
+        0xAB2,
+    )?;
+    table.add_row(vec![
+        "inter-bit sync".into(),
+        "disabled (drift)".into(),
+        format!("{ber:.3}"),
+        format!("{tr:.3}"),
+        ok.to_string(),
+    ]);
+
+    // 2. Closed vs. open shared resource.
+    let (ber, tr, ok) = measure(ScenarioProfile::local(), baseline_cfg.clone(), bits, 0xAB3)?;
+    table.add_row(vec![
+        "shared resource".into(),
+        "closed (paper)".into(),
+        format!("{ber:.3}"),
+        format!("{tr:.3}"),
+        ok.to_string(),
+    ]);
+    let noisy_profile = ScenarioProfile::local().with_noise(
+        ScenarioProfile::local().noise().clone().with_open_interference(
+            OpenResourceInterference {
+                contention_probability: 0.05,
+                occupancy_mean_us: 120.0,
+            },
+        ),
+    );
+    let (ber, tr, ok) = measure(noisy_profile, baseline_cfg, bits, 0xAB4)?;
+    table.add_row(vec![
+        "shared resource".into(),
+        "open (3rd-party contention)".into(),
+        format!("{ber:.3}"),
+        format!("{tr:.3}"),
+        ok.to_string(),
+    ]);
+
+    print!("{}", table.render());
+    println!();
+    println!("Note: the fair vs. unfair hand-off ablation is demonstrated by the");
+    println!("`unfair_contention` example (cargo run -p mes-core --example unfair_contention),");
+    println!("which needs direct access to the simulator's fairness switch.");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Runs the complete evaluation in one shot: every table and figure of the
+//! paper, in order, with reduced payload sizes so the whole run stays within
+//! a few minutes. Use the individual binaries for full-size runs.
+//!
+//! Run with `cargo run --release -p mes-bench --bin all_experiments`.
+
+use std::process::Command;
+
+fn run(binary: &str) {
+    println!("==================================================================");
+    println!("== {binary}");
+    println!("==================================================================");
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--release", "-p", "mes-bench", "--bin", binary])
+        .env(
+            "MES_BENCH_BITS",
+            std::env::var("MES_BENCH_BITS").unwrap_or_else(|_| "5000".into()),
+        )
+        .status();
+    match status {
+        Ok(code) if code.success() => {}
+        Ok(code) => eprintln!("{binary} exited with {code}"),
+        Err(error) => eprintln!("failed to launch {binary}: {error}"),
+    }
+    println!();
+}
+
+fn main() {
+    for binary in [
+        "fig8_poc",
+        "fig9_event_sweep",
+        "fig10_flock_sweep",
+        "table4_local",
+        "table5_sandbox",
+        "table6_crossvm",
+        "fig11_multibit",
+        "table2_semaphore_provisioning",
+        "parallel_projection",
+        "ablations",
+    ] {
+        run(binary);
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 10** of the paper: BER and TR of the local flock
+//! channel as a function of `tt1`, with `tt0` fixed at 60 µs (the paper sets
+//! `tt0` to 60 µs because the Linux scheduler needs ≈ 58 µs to wake a
+//! sleeping process).
+//!
+//! The expected shape is the paper's "concave" BER curve: errors rise for
+//! small `tt1` (the Spy cannot separate the two latencies) and for large
+//! `tt1` (long holds attract system blocking), with a flat floor in between;
+//! TR falls monotonically with `tt1`. The paper recommends `tt1` = 160 µs:
+//! 7.182 kb/s at 0.615 % BER.
+//!
+//! Run with `cargo run --release -p mes-bench --bin fig10_flock_sweep`.
+
+use mes_bench::table_bits;
+use mes_core::{sweep, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{Mechanism, Result};
+
+fn main() -> Result<()> {
+    let bits = table_bits();
+    let profile = ScenarioProfile::local();
+    let mut backend = SimBackend::new(profile.clone(), 0xF10);
+    let tt1_values = [110u64, 140, 170, 200, 230, 260, 290, 320];
+    let sweep = sweep::contention_sweep(
+        Mechanism::Flock,
+        &profile,
+        &mut backend,
+        &tt1_values,
+        60,
+        bits,
+        0xF10,
+    )?;
+
+    println!("Fig. 10: flock channel, local scenario, tt0 = 60 us, {bits} bits per point");
+    println!();
+    println!("{:>8} {:>12} {:>12}", "tt1 (us)", "BER (%)", "TR (kb/s)");
+    for point in sweep.series()[0].points() {
+        println!("{:>8} {:>12.3} {:>12.3}", point.x, point.ber_percent, point.rate_kbps);
+    }
+    if let Some(best) = sweep.series()[0].best_under_ber(1.0) {
+        println!();
+        println!(
+            "Recommended operating point (BER < 1%): tt1 = {} us, {:.3} kb/s at {:.3}% BER",
+            best.x, best.rate_kbps, best.ber_percent
+        );
+        println!("Paper's choice: tt1 = 160 us, 7.182 kb/s at 0.615% BER");
+    }
+    println!();
+    println!("CSV:");
+    print!("{}", sweep.to_csv());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 9(a)** and **Fig. 9(b)** of the paper: the impact of
+//! the timing parameters on the local Event channel.
+//!
+//! `tw0` is swept from 15 µs to 75 µs for intervals
+//! `ti` ∈ {30, 50, 70, 90, 110, 130} µs; each point reports the BER (Fig. 9a)
+//! and transmission rate (Fig. 9b), and the binary finishes with the
+//! "recommended" operating point — the fastest point whose BER stays below
+//! 1 %, which the paper picks as `tw0` = 15 µs, `ti` ≈ 65–70 µs at
+//! 13.105 kb/s.
+//!
+//! Run with `cargo run --release -p mes-bench --bin fig9_event_sweep`.
+//! `MES_BENCH_BITS` controls the bits per point (default 20 000).
+
+use mes_bench::table_bits;
+use mes_core::{sweep, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{Mechanism, Result};
+
+fn main() -> Result<()> {
+    let bits = table_bits();
+    let profile = ScenarioProfile::local();
+    let mut backend = SimBackend::new(profile.clone(), 0xF19);
+    let tw0_values = [15u64, 25, 35, 45, 55, 65, 75];
+    let ti_values = [30u64, 50, 70, 90, 110, 130];
+    let sweep = sweep::cooperation_sweep(
+        Mechanism::Event,
+        &profile,
+        &mut backend,
+        &tw0_values,
+        &ti_values,
+        bits,
+        0xF19,
+    )?;
+
+    println!("Fig. 9(a)/(b): Event channel, local scenario, {bits} bits per point");
+    println!();
+    println!("{}", sweep.to_csv());
+
+    println!("Fig. 9(a) — BER (%) by tw0 (rows) and interval ti (columns):");
+    print!("{:>8}", "tw0\\ti");
+    for ti in ti_values {
+        print!("{ti:>10}");
+    }
+    println!();
+    for (row, tw0) in tw0_values.iter().enumerate() {
+        print!("{tw0:>8}");
+        for series in sweep.series() {
+            print!("{:>10.3}", series.points()[row].ber_percent);
+        }
+        println!();
+    }
+    println!();
+    println!("Fig. 9(b) — TR (kb/s) by tw0 (rows) and interval ti (columns):");
+    print!("{:>8}", "tw0\\ti");
+    for ti in ti_values {
+        print!("{ti:>10}");
+    }
+    println!();
+    for (row, tw0) in tw0_values.iter().enumerate() {
+        print!("{tw0:>8}");
+        for series in sweep.series() {
+            print!("{:>10.3}", series.points()[row].rate_kbps);
+        }
+        println!();
+    }
+
+    if let Some((label, best)) = sweep.best_under_ber(1.0) {
+        println!();
+        println!(
+            "Recommended operating point (BER < 1%): tw0 = {} us, {label}: {:.3} kb/s at {:.3}% BER",
+            best.x, best.rate_kbps, best.ber_percent
+        );
+        println!("Paper's choice: tw0 = 15 us, ti = 65-70 us, 13.105 kb/s at 0.554% BER");
+    }
+    Ok(())
+}

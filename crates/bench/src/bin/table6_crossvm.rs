@@ -1,0 +1,32 @@
+//! Regenerates **Table VI** of the paper: the two file-backed channels that
+//! still work across virtual machines (flock on KVM, FileLockEX on Hyper-V).
+//!
+//! It also demonstrates the availability result itself: every non-file
+//! mechanism is rejected in the cross-VM scenario.
+//!
+//! Run with `cargo run --release -p mes-bench --bin table6_crossvm`.
+
+use mes_bench::{measure_scenario, scenario_table, table_bits};
+use mes_core::ChannelConfig;
+use mes_types::{Mechanism, Scenario};
+
+fn main() -> mes_types::Result<()> {
+    let bits = table_bits();
+    let rows = measure_scenario(Scenario::CrossVm, bits, 0x7ab1e6)?;
+    let table = scenario_table(
+        &format!("Table VI: channel performance in the cross-VM scenario ({bits} bits/row)"),
+        &rows,
+    );
+    print!("{}", table.render());
+
+    println!();
+    println!("Mechanism availability across VMs (Section V.C.3):");
+    for mechanism in Mechanism::ALL {
+        let status = match ChannelConfig::paper_defaults(Scenario::CrossVm, mechanism) {
+            Ok(_) => "works (file-backed object shared between VMs)",
+            Err(_) => "does not work (kernel object is session-local)",
+        };
+        println!("  {mechanism:<11} {status}");
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! `mes-bench` — the experiment harness of the MES-Attacks reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md for the full index), printing the same rows or
+//! series the paper reports plus the paper's published value next to the
+//! measured one. The Criterion benchmarks in `benches/` measure the
+//! engineering-side costs: simulator event throughput, encode/decode
+//! throughput, per-mechanism simulated channel rates and, on Linux, real
+//! `flock(2)` latency.
+//!
+//! Shared helpers used by several binaries live in this library crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_stats::Table;
+use mes_types::{Mechanism, Result, Scenario};
+
+/// Number of payload bits used per table row unless overridden by
+/// `MES_BENCH_BITS`. The paper transmits long random streams; 20 000 bits
+/// keeps every harness binary under a minute while giving BER estimates with
+/// a resolution of 0.005 %.
+pub const DEFAULT_TABLE_BITS: usize = 20_000;
+
+/// Reads the payload size from the `MES_BENCH_BITS` environment variable,
+/// falling back to [`DEFAULT_TABLE_BITS`].
+pub fn table_bits() -> usize {
+    std::env::var("MES_BENCH_BITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TABLE_BITS)
+}
+
+/// One measured row of a scenario table (Tables IV–VI).
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Mechanism of the row.
+    pub mechanism: Mechanism,
+    /// Timeset string as the paper prints it.
+    pub timeset: String,
+    /// Measured BER in percent.
+    pub ber_percent: f64,
+    /// Measured TR in kb/s.
+    pub tr_kbps: f64,
+    /// BER the paper reports, if any.
+    pub paper_ber: Option<f64>,
+    /// TR the paper reports, if any.
+    pub paper_tr: Option<f64>,
+}
+
+/// Measures every mechanism the paper evaluates in `scenario` with the
+/// paper's recommended Timeset.
+///
+/// # Errors
+///
+/// Returns an error if a channel cannot be built or a simulation fails.
+pub fn measure_scenario(
+    scenario: Scenario,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<Vec<ScenarioRow>> {
+    let profile = ScenarioProfile::for_scenario(scenario);
+    let mut rows = Vec::new();
+    for mechanism in scenario.mechanisms() {
+        let config = ChannelConfig::paper_defaults(scenario, mechanism)?.with_seed(seed);
+        let timeset = config.timing.to_string();
+        let channel = CovertChannel::new(config, profile.clone())?;
+        let mut backend = SimBackend::new(profile.clone(), seed ^ mechanism as u64);
+        let payload = mes_coding::BitSource::new(seed.wrapping_mul(31) ^ mechanism as u64)
+            .random_bits(payload_bits);
+        let report = channel.transmit(&payload, &mut backend)?;
+        rows.push(ScenarioRow {
+            mechanism,
+            timeset,
+            ber_percent: report.wire_ber().ber_percent(),
+            tr_kbps: report.throughput().kilobits_per_second(),
+            paper_ber: mes_scenario::paper_ber_percent(scenario, mechanism),
+            paper_tr: mes_scenario::paper_tr_kbps(scenario, mechanism),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders scenario rows as the paper-style table with paper-vs-measured
+/// columns.
+pub fn scenario_table(title: &str, rows: &[ScenarioRow]) -> Table {
+    let mut table = Table::new(vec![
+        "Attack methods".into(),
+        "Timeset".into(),
+        "BER(%) measured".into(),
+        "BER(%) paper".into(),
+        "TR(kb/s) measured".into(),
+        "TR(kb/s) paper".into(),
+    ])
+    .with_title(title.to_string());
+    for row in rows {
+        table.add_row(vec![
+            row.mechanism.to_string(),
+            row.timeset.clone(),
+            format!("{:.3}", row.ber_percent),
+            row.paper_ber.map_or("-".into(), |v| format!("{v:.3}")),
+            format!("{:.3}", row.tr_kbps),
+            row.paper_tr.map_or("-".into(), |v| format!("{v:.3}")),
+        ]);
+    }
+    table
+}
+
+/// Runs one transmission with a given backend and returns (BER %, TR kb/s) —
+/// shared by the ablation harnesses.
+///
+/// # Errors
+///
+/// Returns an error if the channel cannot be built or the backend fails.
+pub fn measure_with_backend(
+    scenario: Scenario,
+    mechanism: Mechanism,
+    backend: &mut dyn ChannelBackend,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    let profile = ScenarioProfile::for_scenario(scenario);
+    let config = ChannelConfig::paper_defaults(scenario, mechanism)?.with_seed(seed);
+    let channel = CovertChannel::new(config, profile)?;
+    let payload = mes_coding::BitSource::new(seed).random_bits(payload_bits);
+    let report = channel.transmit(&payload, backend)?;
+    Ok((
+        report.wire_ber().ber_percent(),
+        report.throughput().kilobits_per_second(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_scenario_produces_all_rows() {
+        let rows = measure_scenario(Scenario::Local, 256, 3).unwrap();
+        assert_eq!(rows.len(), 6);
+        let vm_rows = measure_scenario(Scenario::CrossVm, 128, 3).unwrap();
+        assert_eq!(vm_rows.len(), 2);
+        for row in rows.iter().chain(vm_rows.iter()) {
+            assert!(row.tr_kbps > 0.5, "{}: {}", row.mechanism, row.tr_kbps);
+            assert!(row.paper_tr.is_some());
+        }
+    }
+
+    #[test]
+    fn scenario_table_renders_measured_and_paper_columns() {
+        let rows = measure_scenario(Scenario::CrossVm, 64, 1).unwrap();
+        let table = scenario_table("Table VI", &rows);
+        let text = table.render();
+        assert!(text.contains("Table VI"));
+        assert!(text.contains("flock"));
+        assert!(text.contains("FileLockEX"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn measure_with_backend_works_with_sim() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile, 2);
+        let (ber, tr) =
+            measure_with_backend(Scenario::Local, Mechanism::Event, &mut backend, 128, 2).unwrap();
+        assert!(ber < 5.0);
+        assert!(tr > 5.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cyclic redundancy checks for frame integrity.
+//!
+//! The paper's receivers validate rounds only through the synchronization
+//! sequence; appending a short CRC to each round is a natural extension that
+//! lets the Spy detect (rather than silently accept) corrupted payloads. Both
+//! a CRC-8 (polynomial 0x07) and a CRC-16/CCITT-FALSE are provided.
+
+use mes_types::{Bit, BitString};
+
+/// CRC-8 with polynomial `x^8 + x^2 + x + 1` (0x07), initial value 0.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::Crc8;
+///
+/// let crc = Crc8::checksum(b"123456789");
+/// assert_eq!(crc, 0xF4); // standard check value for CRC-8/SMBUS
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Crc8;
+
+impl Crc8 {
+    /// Computes the CRC-8 of a byte slice.
+    pub fn checksum(data: &[u8]) -> u8 {
+        let mut crc: u8 = 0;
+        for &byte in data {
+            crc ^= byte;
+            for _ in 0..8 {
+                if crc & 0x80 != 0 {
+                    crc = (crc << 1) ^ 0x07;
+                } else {
+                    crc <<= 1;
+                }
+            }
+        }
+        crc
+    }
+
+    /// Computes the CRC-8 over a bitstring (packed to bytes, trailing bits
+    /// zero-padded).
+    pub fn checksum_bits(bits: &BitString) -> u8 {
+        Self::checksum(&pad_to_bytes(bits))
+    }
+
+    /// Appends the 8 CRC bits to a payload.
+    pub fn append(bits: &BitString) -> BitString {
+        let crc = Self::checksum_bits(bits);
+        let mut out = bits.clone();
+        for shift in (0..8).rev() {
+            out.push(Bit::from((crc >> shift) & 1 == 1));
+        }
+        out
+    }
+
+    /// Verifies and strips a trailing CRC-8. Returns the payload if the
+    /// checksum matches.
+    pub fn verify_and_strip(bits: &BitString) -> Option<BitString> {
+        if bits.len() < 8 {
+            return None;
+        }
+        let payload = bits.slice(0, bits.len() - 8);
+        let crc_bits = bits.slice(bits.len() - 8, bits.len());
+        let mut crc = 0u8;
+        for bit in crc_bits.iter() {
+            crc = (crc << 1) | u8::from(bit);
+        }
+        if Self::checksum_bits(&payload) == crc {
+            Some(payload)
+        } else {
+            None
+        }
+    }
+}
+
+/// CRC-16/CCITT-FALSE (polynomial 0x1021, initial value 0xFFFF).
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::Crc16;
+///
+/// assert_eq!(Crc16::checksum(b"123456789"), 0x29B1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Crc16;
+
+impl Crc16 {
+    /// Computes the CRC-16/CCITT-FALSE of a byte slice.
+    pub fn checksum(data: &[u8]) -> u16 {
+        let mut crc: u16 = 0xFFFF;
+        for &byte in data {
+            crc ^= (byte as u16) << 8;
+            for _ in 0..8 {
+                if crc & 0x8000 != 0 {
+                    crc = (crc << 1) ^ 0x1021;
+                } else {
+                    crc <<= 1;
+                }
+            }
+        }
+        crc
+    }
+
+    /// Computes the CRC-16 over a bitstring (packed to bytes, zero-padded).
+    pub fn checksum_bits(bits: &BitString) -> u16 {
+        Self::checksum(&pad_to_bytes(bits))
+    }
+}
+
+fn pad_to_bytes(bits: &BitString) -> Vec<u8> {
+    let mut padded = bits.clone();
+    while padded.len() % 8 != 0 {
+        padded.push(Bit::Zero);
+    }
+    padded.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc8_known_vectors() {
+        assert_eq!(Crc8::checksum(b""), 0x00);
+        assert_eq!(Crc8::checksum(b"123456789"), 0xF4);
+        assert_eq!(Crc8::checksum(&[0x00]), 0x00);
+        assert_eq!(Crc8::checksum(&[0xFF]), 0xF3);
+    }
+
+    #[test]
+    fn crc16_known_vectors() {
+        assert_eq!(Crc16::checksum(b""), 0xFFFF);
+        assert_eq!(Crc16::checksum(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc8_append_verify_roundtrip() {
+        let payload = BitString::from_bytes(b"secret");
+        let protected = Crc8::append(&payload);
+        assert_eq!(protected.len(), payload.len() + 8);
+        assert_eq!(Crc8::verify_and_strip(&protected), Some(payload));
+    }
+
+    #[test]
+    fn crc8_detects_single_bit_flip() {
+        let payload = BitString::from_bytes(b"secret");
+        let protected = Crc8::append(&payload);
+        for position in 0..protected.len() {
+            let mut corrupted = BitString::new();
+            for (i, bit) in protected.iter().enumerate() {
+                corrupted.push(if i == position { bit.flipped() } else { bit });
+            }
+            assert_eq!(Crc8::verify_and_strip(&corrupted), None, "flip at {position} undetected");
+        }
+    }
+
+    #[test]
+    fn crc8_short_input_fails_verification() {
+        assert_eq!(Crc8::verify_and_strip(&BitString::from_str01("1010").unwrap()), None);
+    }
+
+    #[test]
+    fn bit_and_byte_checksums_agree_on_whole_bytes() {
+        let bytes = b"abcdef";
+        let bits = BitString::from_bytes(bytes);
+        assert_eq!(Crc8::checksum_bits(&bits), Crc8::checksum(bytes));
+        assert_eq!(Crc16::checksum_bits(&bits), Crc16::checksum(bytes));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crc8_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let payload = BitString::from_bytes(&data);
+            let protected = Crc8::append(&payload);
+            prop_assert_eq!(Crc8::verify_and_strip(&protected), Some(payload));
+        }
+    }
+}

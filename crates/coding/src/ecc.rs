@@ -1,0 +1,255 @@
+//! Forward error correction extensions.
+//!
+//! The paper keeps BER below 1 % by choosing conservative timing parameters;
+//! an alternative the channels naturally support is to spend some of the
+//! rate on redundancy instead. Two simple codes are provided: an n-fold
+//! repetition code with majority voting, and the classic Hamming(7,4) single
+//! error-correcting code.
+
+use mes_types::{Bit, BitString, MesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An n-fold repetition code decoded by majority vote.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::RepetitionCode;
+/// use mes_types::BitString;
+///
+/// let code = RepetitionCode::new(3)?;
+/// let payload = BitString::from_str01("101")?;
+/// let encoded = code.encode(&payload);
+/// assert_eq!(encoded.to_string(), "111000111");
+/// assert_eq!(code.decode(&encoded)?, payload);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepetitionCode {
+    repetitions: usize,
+}
+
+impl RepetitionCode {
+    /// Creates a repetition code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] unless the repetition count is an
+    /// odd number ≥ 3 (even counts cannot break ties).
+    pub fn new(repetitions: usize) -> Result<Self> {
+        if repetitions < 3 || repetitions % 2 == 0 {
+            return Err(MesError::InvalidConfig {
+                reason: format!("repetition count must be odd and at least 3, got {repetitions}"),
+            });
+        }
+        Ok(RepetitionCode { repetitions })
+    }
+
+    /// The repetition factor.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Code rate (information bits per transmitted bit).
+    pub fn rate(&self) -> f64 {
+        1.0 / self.repetitions as f64
+    }
+
+    /// Encodes by repeating each bit.
+    pub fn encode(&self, payload: &BitString) -> BitString {
+        let mut out = BitString::with_capacity(payload.len() * self.repetitions);
+        for bit in payload.iter() {
+            for _ in 0..self.repetitions {
+                out.push(bit);
+            }
+        }
+        out
+    }
+
+    /// Decodes by majority vote over each group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if the received length is not a
+    /// multiple of the repetition factor.
+    pub fn decode(&self, received: &BitString) -> Result<BitString> {
+        if received.len() % self.repetitions != 0 {
+            return Err(MesError::FrameRecovery {
+                reason: format!(
+                    "received {} bits, not a multiple of the repetition factor {}",
+                    received.len(),
+                    self.repetitions
+                ),
+            });
+        }
+        let mut out = BitString::with_capacity(received.len() / self.repetitions);
+        for group in received.as_slice().chunks(self.repetitions) {
+            let ones = group.iter().filter(|b| b.is_one()).count();
+            out.push(Bit::from(ones * 2 > self.repetitions));
+        }
+        Ok(out)
+    }
+}
+
+/// The Hamming(7,4) code: 4 data bits per 7-bit codeword, corrects any single
+/// bit error per codeword.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::Hamming74;
+/// use mes_types::BitString;
+///
+/// let payload = BitString::from_str01("10110100")?;
+/// let encoded = Hamming74::encode(&payload);
+/// assert_eq!(encoded.len(), 14);
+/// assert_eq!(Hamming74::decode(&encoded)?, payload);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Hamming74;
+
+impl Hamming74 {
+    /// Encodes a payload, zero-padding it to a multiple of 4 bits.
+    pub fn encode(payload: &BitString) -> BitString {
+        let mut padded = payload.clone();
+        while padded.len() % 4 != 0 {
+            padded.push(Bit::Zero);
+        }
+        let mut out = BitString::with_capacity(padded.len() / 4 * 7);
+        for chunk in padded.as_slice().chunks(4) {
+            let d: Vec<u8> = chunk.iter().map(|&b| u8::from(b)).collect();
+            // Codeword layout: p1 p2 d1 p3 d2 d3 d4 (positions 1..=7).
+            let p1 = d[0] ^ d[1] ^ d[3];
+            let p2 = d[0] ^ d[2] ^ d[3];
+            let p3 = d[1] ^ d[2] ^ d[3];
+            for value in [p1, p2, d[0], p3, d[1], d[2], d[3]] {
+                out.push(Bit::from(value == 1));
+            }
+        }
+        out
+    }
+
+    /// Decodes a received stream of 7-bit codewords, correcting up to one
+    /// flipped bit per codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if the received length is not a
+    /// multiple of 7.
+    pub fn decode(received: &BitString) -> Result<BitString> {
+        if received.len() % 7 != 0 {
+            return Err(MesError::FrameRecovery {
+                reason: format!("received {} bits, not a multiple of 7", received.len()),
+            });
+        }
+        let mut out = BitString::with_capacity(received.len() / 7 * 4);
+        for chunk in received.as_slice().chunks(7) {
+            let mut word: Vec<u8> = chunk.iter().map(|&b| u8::from(b)).collect();
+            // Syndrome over positions 1..=7.
+            let s1 = word[0] ^ word[2] ^ word[4] ^ word[6];
+            let s2 = word[1] ^ word[2] ^ word[5] ^ word[6];
+            let s3 = word[3] ^ word[4] ^ word[5] ^ word[6];
+            let syndrome = (s3 << 2 | s2 << 1 | s1) as usize;
+            if syndrome != 0 {
+                word[syndrome - 1] ^= 1;
+            }
+            for &value in [word[2], word[4], word[5], word[6]].iter() {
+                out.push(Bit::from(value == 1));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Code rate (information bits per transmitted bit).
+    pub fn rate() -> f64 {
+        4.0 / 7.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repetition_code_rejects_even_or_tiny_factors() {
+        assert!(RepetitionCode::new(0).is_err());
+        assert!(RepetitionCode::new(1).is_err());
+        assert!(RepetitionCode::new(2).is_err());
+        assert!(RepetitionCode::new(4).is_err());
+        let code = RepetitionCode::new(5).unwrap();
+        assert_eq!(code.repetitions(), 5);
+        assert!((code.rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetition_corrects_minority_errors() {
+        let code = RepetitionCode::new(3).unwrap();
+        let payload = BitString::from_str01("10").unwrap();
+        let encoded = code.encode(&payload);
+        // Flip one bit in each group.
+        let corrupted = BitString::from_str01("110001").unwrap();
+        assert_eq!(encoded.to_string(), "111000");
+        assert_eq!(code.decode(&corrupted).unwrap(), payload);
+    }
+
+    #[test]
+    fn repetition_rejects_misaligned_input() {
+        let code = RepetitionCode::new(3).unwrap();
+        assert!(code.decode(&BitString::from_str01("1010").unwrap()).is_err());
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error_per_codeword() {
+        let payload = BitString::from_str01("1011").unwrap();
+        let encoded = Hamming74::encode(&payload);
+        assert_eq!(encoded.len(), 7);
+        for position in 0..7 {
+            let mut corrupted = BitString::new();
+            for (i, bit) in encoded.iter().enumerate() {
+                corrupted.push(if i == position { bit.flipped() } else { bit });
+            }
+            assert_eq!(Hamming74::decode(&corrupted).unwrap(), payload, "error at {position}");
+        }
+    }
+
+    #[test]
+    fn hamming_pads_and_rejects_bad_lengths() {
+        let payload = BitString::from_str01("101").unwrap();
+        let encoded = Hamming74::encode(&payload);
+        assert_eq!(encoded.len(), 7);
+        let decoded = Hamming74::decode(&encoded).unwrap();
+        assert_eq!(decoded.slice(0, 3), payload);
+        assert_eq!(decoded.get(3), Some(Bit::Zero));
+        assert!(Hamming74::decode(&BitString::from_str01("101").unwrap()).is_err());
+        assert!(Hamming74::rate() > 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_repetition_roundtrip(bits in "[01]{1,64}", reps in prop::sample::select(vec![3usize, 5, 7])) {
+            let code = RepetitionCode::new(reps).unwrap();
+            let payload: BitString = bits.parse().unwrap();
+            prop_assert_eq!(code.decode(&code.encode(&payload)).unwrap(), payload);
+        }
+
+        #[test]
+        fn prop_hamming_roundtrip(bits in "[01]{4,64}") {
+            let payload: BitString = bits.parse().unwrap();
+            let decoded = Hamming74::decode(&Hamming74::encode(&payload)).unwrap();
+            prop_assert_eq!(decoded.slice(0, payload.len()), payload);
+        }
+
+        #[test]
+        fn prop_hamming_single_error_correction(bits in "[01]{4}", flip in 0usize..7) {
+            let payload: BitString = bits.parse().unwrap();
+            let encoded = Hamming74::encode(&payload);
+            let mut corrupted = BitString::new();
+            for (i, bit) in encoded.iter().enumerate() {
+                corrupted.push(if i == flip { bit.flipped() } else { bit });
+            }
+            prop_assert_eq!(Hamming74::decode(&corrupted).unwrap(), payload);
+        }
+    }
+}

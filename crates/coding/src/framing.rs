@@ -1,0 +1,343 @@
+//! Frame structure: synchronization sequence + payload.
+//!
+//! Section V.B of the paper: before the m-bit secret, the Trojan sends an
+//! n-bit pre-negotiated "synchronization sequence" (such as `10101010`). The
+//! Spy accepts the following m bits as secret data only when the first n
+//! received bits match the agreed sequence; otherwise it discards the round.
+
+use mes_types::{Bit, BitString, MesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A decoded frame: the preamble that validated it and the payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    preamble: BitString,
+    payload: BitString,
+}
+
+impl Frame {
+    /// The synchronization sequence the frame was validated against.
+    pub fn preamble(&self) -> &BitString {
+        &self.preamble
+    }
+
+    /// The recovered payload.
+    pub fn payload(&self) -> &BitString {
+        &self.payload
+    }
+
+    /// Consumes the frame and returns the payload.
+    pub fn into_payload(self) -> BitString {
+        self.payload
+    }
+}
+
+/// Encoder/decoder for the paper's preamble-prefixed frames.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::FrameCodec;
+/// use mes_types::BitString;
+///
+/// let codec = FrameCodec::with_default_preamble();
+/// let payload = BitString::from_bytes(b"k");
+/// let wire = codec.encode(&payload);
+/// assert_eq!(wire.len(), 8 + payload.len());
+/// assert_eq!(codec.decode(&wire)?.payload(), &payload);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCodec {
+    preamble: BitString,
+    /// Number of preamble bit mismatches tolerated before a frame is
+    /// rejected (0 reproduces the paper's exact-match rule).
+    tolerance: usize,
+}
+
+impl FrameCodec {
+    /// The paper's example synchronization sequence, `10101010`.
+    pub const DEFAULT_PREAMBLE: &'static str = "10101010";
+
+    /// Creates a codec with the paper's default 8-bit `10101010` preamble and
+    /// exact matching.
+    pub fn with_default_preamble() -> Self {
+        FrameCodec {
+            preamble: BitString::from_str01(Self::DEFAULT_PREAMBLE)
+                .expect("constant literal is valid"),
+            tolerance: 0,
+        }
+    }
+
+    /// Creates a codec with a custom preamble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] if the preamble is empty.
+    pub fn new(preamble: BitString) -> Result<Self> {
+        if preamble.is_empty() {
+            return Err(MesError::InvalidConfig { reason: "frame preamble must not be empty".into() });
+        }
+        Ok(FrameCodec { preamble, tolerance: 0 })
+    }
+
+    /// Allows up to `tolerance` preamble bit errors during validation
+    /// (builder style).
+    pub fn with_tolerance(mut self, tolerance: usize) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The configured preamble.
+    pub fn preamble(&self) -> &BitString {
+        &self.preamble
+    }
+
+    /// Length of the preamble in bits.
+    pub fn preamble_len(&self) -> usize {
+        self.preamble.len()
+    }
+
+    /// Prepends the preamble to a payload, producing the on-the-wire bits.
+    pub fn encode(&self, payload: &BitString) -> BitString {
+        let mut wire = BitString::with_capacity(self.preamble.len() + payload.len());
+        wire.extend_from(&self.preamble);
+        wire.extend_from(payload);
+        wire
+    }
+
+    /// Validates the preamble of a received round and extracts the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if the round is shorter than the
+    /// preamble or the preamble does not match within the configured
+    /// tolerance — the Spy then discards the round, as in the paper.
+    pub fn decode(&self, received: &BitString) -> Result<Frame> {
+        if received.len() < self.preamble.len() {
+            return Err(MesError::FrameRecovery {
+                reason: format!(
+                    "received {} bits, shorter than the {}-bit synchronization sequence",
+                    received.len(),
+                    self.preamble.len()
+                ),
+            });
+        }
+        let head = received.slice(0, self.preamble.len());
+        let mismatches = head.hamming_distance(&self.preamble);
+        if mismatches > self.tolerance {
+            return Err(MesError::FrameRecovery {
+                reason: format!(
+                    "synchronization sequence mismatch: {mismatches} bit(s) differ (tolerance {})",
+                    self.tolerance
+                ),
+            });
+        }
+        Ok(Frame {
+            preamble: head,
+            payload: received.slice(self.preamble.len(), received.len()),
+        })
+    }
+
+    /// Scans a long observation for the first preamble occurrence and returns
+    /// the frame starting there, together with the offset at which it was
+    /// found. This lets a Spy that started listening mid-round resynchronise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if no preamble occurrence exists.
+    pub fn scan(&self, received: &BitString) -> Result<(usize, Frame)> {
+        let n = self.preamble.len();
+        if received.len() < n {
+            return Err(MesError::FrameRecovery {
+                reason: "observation shorter than the synchronization sequence".into(),
+            });
+        }
+        for offset in 0..=(received.len() - n) {
+            let window = received.slice(offset, offset + n);
+            if window.hamming_distance(&self.preamble) <= self.tolerance {
+                let frame = Frame {
+                    preamble: window,
+                    payload: received.slice(offset + n, received.len()),
+                };
+                return Ok((offset, frame));
+            }
+        }
+        Err(MesError::FrameRecovery {
+            reason: "synchronization sequence not found in observation".into(),
+        })
+    }
+
+    /// Splits a payload into fixed-size rounds, each framed separately — the
+    /// paper's "agreed number of bits" per round.
+    pub fn encode_rounds(&self, payload: &BitString, bits_per_round: usize) -> Vec<BitString> {
+        if bits_per_round == 0 {
+            return vec![self.encode(payload)];
+        }
+        let mut rounds = Vec::new();
+        let mut index = 0;
+        while index < payload.len() {
+            let end = (index + bits_per_round).min(payload.len());
+            rounds.push(self.encode(&payload.slice(index, end)));
+            index = end;
+        }
+        if rounds.is_empty() {
+            rounds.push(self.encode(payload));
+        }
+        rounds
+    }
+
+    /// Decodes a sequence of received rounds, concatenating the payloads of
+    /// the rounds whose preamble validated and counting the discarded ones.
+    pub fn decode_rounds(&self, rounds: &[BitString]) -> (BitString, usize) {
+        let mut payload = BitString::new();
+        let mut discarded = 0;
+        for round in rounds {
+            match self.decode(round) {
+                Ok(frame) => payload.extend_from(frame.payload()),
+                Err(_) => discarded += 1,
+            }
+        }
+        (payload, discarded)
+    }
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        FrameCodec::with_default_preamble()
+    }
+}
+
+/// Convenience: builds the alternating preamble of a given length used by the
+/// paper (`1010…`).
+pub fn alternating_preamble(len: usize) -> BitString {
+    (0..len)
+        .map(|i| if i % 2 == 0 { Bit::One } else { Bit::Zero })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let codec = FrameCodec::with_default_preamble();
+        let payload = BitString::from_str01("1100110011").unwrap();
+        let wire = codec.encode(&payload);
+        let frame = codec.decode(&wire).unwrap();
+        assert_eq!(frame.payload(), &payload);
+        assert_eq!(frame.preamble().to_string(), "10101010");
+        assert_eq!(frame.clone().into_payload(), payload);
+    }
+
+    #[test]
+    fn corrupted_preamble_is_discarded() {
+        let codec = FrameCodec::with_default_preamble();
+        let payload = BitString::from_str01("1111").unwrap();
+        let mut wire = codec.encode(&payload);
+        // Flip the first preamble bit.
+        let mut flipped = BitString::new();
+        flipped.push(wire.get(0).unwrap().flipped());
+        for i in 1..wire.len() {
+            flipped.push(wire.get(i).unwrap());
+        }
+        wire = flipped;
+        assert!(codec.decode(&wire).is_err());
+        // …unless a tolerance is configured.
+        let lenient = FrameCodec::with_default_preamble().with_tolerance(1);
+        assert_eq!(lenient.decode(&wire).unwrap().payload(), &payload);
+    }
+
+    #[test]
+    fn short_rounds_are_rejected() {
+        let codec = FrameCodec::with_default_preamble();
+        let short = BitString::from_str01("101").unwrap();
+        assert!(codec.decode(&short).is_err());
+        assert!(codec.scan(&short).is_err());
+    }
+
+    #[test]
+    fn empty_preamble_is_invalid() {
+        assert!(FrameCodec::new(BitString::new()).is_err());
+        assert!(FrameCodec::new(BitString::from_str01("1").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn scan_finds_offset() {
+        let codec = FrameCodec::with_default_preamble();
+        let payload = BitString::from_str01("0110").unwrap();
+        let mut observation = BitString::from_str01("0011").unwrap();
+        observation.extend_from(&codec.encode(&payload));
+        let (offset, frame) = codec.scan(&observation).unwrap();
+        assert_eq!(offset, 4);
+        assert_eq!(frame.payload(), &payload);
+    }
+
+    #[test]
+    fn scan_without_preamble_fails() {
+        let codec = FrameCodec::new(BitString::from_str01("1111").unwrap()).unwrap();
+        let observation = BitString::from_str01("00000000").unwrap();
+        assert!(codec.scan(&observation).is_err());
+    }
+
+    #[test]
+    fn rounds_split_and_reassemble() {
+        let codec = FrameCodec::with_default_preamble();
+        let payload = BitString::from_str01("110010101111000011").unwrap();
+        let rounds = codec.encode_rounds(&payload, 8);
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].len(), 16);
+        assert_eq!(rounds[2].len(), 8 + 2);
+        let (recovered, discarded) = codec.decode_rounds(&rounds);
+        assert_eq!(recovered, payload);
+        assert_eq!(discarded, 0);
+    }
+
+    #[test]
+    fn rounds_with_zero_size_use_single_round() {
+        let codec = FrameCodec::with_default_preamble();
+        let payload = BitString::from_str01("1100").unwrap();
+        let rounds = codec.encode_rounds(&payload, 0);
+        assert_eq!(rounds.len(), 1);
+        let empty_rounds = codec.encode_rounds(&BitString::new(), 8);
+        assert_eq!(empty_rounds.len(), 1);
+    }
+
+    #[test]
+    fn bad_rounds_are_counted() {
+        let codec = FrameCodec::with_default_preamble();
+        let good = codec.encode(&BitString::from_str01("1010").unwrap());
+        let bad = BitString::from_str01("000000001010").unwrap();
+        let (payload, discarded) = codec.decode_rounds(&[good, bad]);
+        assert_eq!(payload.to_string(), "1010");
+        assert_eq!(discarded, 1);
+    }
+
+    #[test]
+    fn alternating_preamble_helper() {
+        assert_eq!(alternating_preamble(6).to_string(), "101010");
+        assert_eq!(alternating_preamble(0).len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_payload(payload in "[01]{0,128}") {
+            let codec = FrameCodec::with_default_preamble();
+            let payload: BitString = payload.parse().unwrap();
+            let frame = codec.decode(&codec.encode(&payload)).unwrap();
+            prop_assert_eq!(frame.payload(), &payload);
+        }
+
+        #[test]
+        fn prop_rounds_preserve_payload(payload in "[01]{1,200}", round in 1usize..32) {
+            let codec = FrameCodec::with_default_preamble();
+            let payload: BitString = payload.parse().unwrap();
+            let rounds = codec.encode_rounds(&payload, round);
+            let (recovered, discarded) = codec.decode_rounds(&rounds);
+            prop_assert_eq!(recovered, payload);
+            prop_assert_eq!(discarded, 0);
+        }
+    }
+}

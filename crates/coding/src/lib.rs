@@ -1,0 +1,50 @@
+//! `mes-coding` — the bit/symbol layer of the MES-Attacks reproduction.
+//!
+//! The paper's channels carry information purely in *how long* the Spy stays
+//! in a constraint state. Everything above that — framing with a
+//! synchronization sequence (Section V.B), deciding a threshold between `0`
+//! and `1` latencies, packing several bits into one symbol (Section VI), and
+//! the optional integrity/error-correction extensions — lives in this crate
+//! so it can be reused by both the simulated and the real-host backends.
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_coding::{Frame, FrameCodec, ThresholdDecoder};
+//! use mes_types::{BitString, Micros, Nanos};
+//!
+//! // The Trojan frames an 8-bit payload behind the paper's "10101010"
+//! // synchronization sequence.
+//! let codec = FrameCodec::with_default_preamble();
+//! let payload = BitString::from_str01("11001010")?;
+//! let on_the_wire = codec.encode(&payload);
+//!
+//! // The Spy sees latencies and thresholds them back into bits.
+//! let decoder = ThresholdDecoder::midpoint(Micros::new(20).to_nanos(),
+//!                                          Micros::new(80).to_nanos());
+//! let latencies: Vec<Nanos> = on_the_wire
+//!     .iter()
+//!     .map(|bit| if bit.is_one() { Micros::new(80).to_nanos() } else { Micros::new(20).to_nanos() })
+//!     .collect();
+//! let received = decoder.decode_all(&latencies);
+//! let frame: Frame = codec.decode(&received)?;
+//! assert_eq!(frame.payload(), &payload);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod ecc;
+pub mod framing;
+pub mod source;
+pub mod symbols;
+pub mod threshold;
+
+pub use crc::{Crc16, Crc8};
+pub use ecc::{Hamming74, RepetitionCode};
+pub use framing::{Frame, FrameCodec};
+pub use source::BitSource;
+pub use symbols::{SymbolAlphabet, SymbolDecoder};
+pub use threshold::{AdaptiveThreshold, ThresholdDecoder, TwoMeansClassifier};

@@ -1,0 +1,317 @@
+//! Multi-bit symbol encoding (Section VI of the paper).
+//!
+//! Instead of two wait times (one per bit value), the Trojan can agree on
+//! 2^k distinct wait times and transmit k bits per constraint release. The
+//! paper demonstrates 2-bit symbols with `SetEvent` delays of 15, 65, 115 and
+//! 165 µs, raising the Event channel from 13.105 kb/s to ≈ 15.095 kb/s, and
+//! observes that 3-bit symbols stop paying off because the largest wait times
+//! grow too long.
+
+use mes_types::{Bit, BitString, MesError, Micros, Nanos, Result};
+use serde::{Deserialize, Serialize};
+
+/// The mapping between k-bit symbols and the wait time that encodes them.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::SymbolAlphabet;
+/// use mes_types::{BitString, Micros};
+///
+/// // The paper's 2-bit alphabet: 15, 65, 115, 165 µs.
+/// let alphabet = SymbolAlphabet::evenly_spaced(2, Micros::new(15), Micros::new(50))?;
+/// assert_eq!(alphabet.symbol_count(), 4);
+/// assert_eq!(alphabet.duration_of(3), Micros::new(165));
+///
+/// let payload = BitString::from_str01("0111")?;
+/// let symbols = alphabet.encode(&payload)?;
+/// assert_eq!(symbols, vec![1, 3]);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolAlphabet {
+    bits_per_symbol: u8,
+    durations: Vec<Micros>,
+}
+
+impl SymbolAlphabet {
+    /// Creates an alphabet with explicitly listed durations (one per symbol,
+    /// in symbol-value order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] if the number of durations is not
+    /// `2^bits_per_symbol`, if `bits_per_symbol` is 0 or larger than 8, or if
+    /// the durations are not strictly increasing.
+    pub fn new(bits_per_symbol: u8, durations: Vec<Micros>) -> Result<Self> {
+        if bits_per_symbol == 0 || bits_per_symbol > 8 {
+            return Err(MesError::InvalidConfig {
+                reason: format!("bits_per_symbol must be in 1..=8, got {bits_per_symbol}"),
+            });
+        }
+        let expected = 1usize << bits_per_symbol;
+        if durations.len() != expected {
+            return Err(MesError::InvalidConfig {
+                reason: format!(
+                    "{bits_per_symbol}-bit symbols need {expected} durations, got {}",
+                    durations.len()
+                ),
+            });
+        }
+        if durations.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MesError::InvalidConfig {
+                reason: "symbol durations must be strictly increasing".into(),
+            });
+        }
+        Ok(SymbolAlphabet { bits_per_symbol, durations })
+    }
+
+    /// Creates an alphabet whose durations start at `base` and grow by `step`
+    /// per symbol — the construction the paper uses (15 µs + n·50 µs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] for a zero step or an unsupported
+    /// symbol width.
+    pub fn evenly_spaced(bits_per_symbol: u8, base: Micros, step: Micros) -> Result<Self> {
+        if step == Micros::ZERO {
+            return Err(MesError::InvalidConfig { reason: "symbol spacing must be positive".into() });
+        }
+        if bits_per_symbol == 0 || bits_per_symbol > 8 {
+            return Err(MesError::InvalidConfig {
+                reason: format!("bits_per_symbol must be in 1..=8, got {bits_per_symbol}"),
+            });
+        }
+        let count = 1usize << bits_per_symbol;
+        let durations = (0..count as u64).map(|i| base + step * i).collect();
+        SymbolAlphabet::new(bits_per_symbol, durations)
+    }
+
+    /// The paper's exact 2-bit alphabet (15, 65, 115, 165 µs).
+    pub fn paper_two_bit() -> Self {
+        SymbolAlphabet::evenly_spaced(2, Micros::new(15), Micros::new(50))
+            .expect("constants are valid")
+    }
+
+    /// Bits carried by each symbol.
+    pub fn bits_per_symbol(&self) -> u8 {
+        self.bits_per_symbol
+    }
+
+    /// Number of distinct symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// The wait duration that encodes symbol `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the alphabet.
+    pub fn duration_of(&self, value: usize) -> Micros {
+        self.durations[value]
+    }
+
+    /// All durations in symbol order.
+    pub fn durations(&self) -> &[Micros] {
+        &self.durations
+    }
+
+    /// The mean symbol duration, used for throughput estimates.
+    pub fn mean_duration(&self) -> Micros {
+        let total: u64 = self.durations.iter().map(|d| d.as_u64()).sum();
+        Micros::new(total / self.durations.len() as u64)
+    }
+
+    /// Encodes a bitstring into symbol values, most-significant bit first.
+    /// The payload is zero-padded to a whole number of symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] if the payload is empty.
+    pub fn encode(&self, payload: &BitString) -> Result<Vec<usize>> {
+        if payload.is_empty() {
+            return Err(MesError::InvalidConfig { reason: "cannot encode an empty payload".into() });
+        }
+        let k = self.bits_per_symbol as usize;
+        let mut symbols = Vec::with_capacity(payload.len().div_ceil(k));
+        let mut index = 0;
+        while index < payload.len() {
+            let mut value = 0usize;
+            for offset in 0..k {
+                value <<= 1;
+                if let Some(bit) = payload.get(index + offset) {
+                    if bit.is_one() {
+                        value |= 1;
+                    }
+                }
+            }
+            symbols.push(value);
+            index += k;
+        }
+        Ok(symbols)
+    }
+
+    /// Decodes symbol values back into bits (most-significant bit first).
+    pub fn decode_symbols(&self, symbols: &[usize]) -> BitString {
+        let k = self.bits_per_symbol as usize;
+        let mut bits = BitString::with_capacity(symbols.len() * k);
+        for &symbol in symbols {
+            for offset in (0..k).rev() {
+                bits.push(Bit::from((symbol >> offset) & 1 == 1));
+            }
+        }
+        bits
+    }
+}
+
+/// Maps observed latencies back to symbol values by nearest expected latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymbolDecoder {
+    alphabet: SymbolAlphabet,
+    /// Fixed per-symbol latency offset (protocol overhead) subtracted before
+    /// matching, in nanoseconds.
+    offset: Nanos,
+}
+
+impl SymbolDecoder {
+    /// Creates a decoder for an alphabet with a known protocol-overhead
+    /// offset (the latency observed on top of the programmed wait).
+    pub fn new(alphabet: SymbolAlphabet, offset: Nanos) -> Self {
+        SymbolDecoder { alphabet, offset }
+    }
+
+    /// The alphabet being decoded.
+    pub fn alphabet(&self) -> &SymbolAlphabet {
+        &self.alphabet
+    }
+
+    /// Decodes one latency to the nearest symbol value.
+    pub fn decode(&self, latency: Nanos) -> usize {
+        let corrected = latency.saturating_sub(self.offset).as_micros_f64();
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (value, duration) in self.alphabet.durations().iter().enumerate() {
+            let distance = (corrected - duration.as_f64()).abs();
+            if distance < best_distance {
+                best_distance = distance;
+                best = value;
+            }
+        }
+        best
+    }
+
+    /// Decodes a sequence of latencies into bits.
+    pub fn decode_all(&self, latencies: &[Nanos]) -> BitString {
+        let symbols: Vec<usize> = latencies.iter().map(|&l| self.decode(l)).collect();
+        self.alphabet.decode_symbols(&symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_alphabet_matches_section_six() {
+        let alphabet = SymbolAlphabet::paper_two_bit();
+        assert_eq!(alphabet.bits_per_symbol(), 2);
+        assert_eq!(
+            alphabet.durations(),
+            &[Micros::new(15), Micros::new(65), Micros::new(115), Micros::new(165)]
+        );
+        assert_eq!(alphabet.mean_duration(), Micros::new(90));
+    }
+
+    #[test]
+    fn invalid_alphabets_are_rejected() {
+        assert!(SymbolAlphabet::new(0, vec![]).is_err());
+        assert!(SymbolAlphabet::new(9, vec![]).is_err());
+        assert!(SymbolAlphabet::new(1, vec![Micros::new(10)]).is_err());
+        assert!(SymbolAlphabet::new(1, vec![Micros::new(10), Micros::new(10)]).is_err());
+        assert!(SymbolAlphabet::new(1, vec![Micros::new(20), Micros::new(10)]).is_err());
+        assert!(SymbolAlphabet::evenly_spaced(2, Micros::new(15), Micros::ZERO).is_err());
+        assert!(SymbolAlphabet::evenly_spaced(0, Micros::new(15), Micros::new(50)).is_err());
+    }
+
+    #[test]
+    fn encode_packs_msb_first() {
+        let alphabet = SymbolAlphabet::paper_two_bit();
+        let payload = BitString::from_str01("00011011").unwrap();
+        assert_eq!(alphabet.encode(&payload).unwrap(), vec![0, 1, 2, 3]);
+        assert!(alphabet.encode(&BitString::new()).is_err());
+    }
+
+    #[test]
+    fn encode_pads_trailing_bits_with_zero() {
+        let alphabet = SymbolAlphabet::paper_two_bit();
+        let payload = BitString::from_str01("111").unwrap();
+        // "11" -> 3, "1<pad 0>" -> 2
+        assert_eq!(alphabet.encode(&payload).unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn decode_symbols_roundtrip() {
+        let alphabet = SymbolAlphabet::paper_two_bit();
+        let payload = BitString::from_str01("01101100").unwrap();
+        let symbols = alphabet.encode(&payload).unwrap();
+        assert_eq!(alphabet.decode_symbols(&symbols), payload);
+    }
+
+    #[test]
+    fn symbol_decoder_picks_nearest_level() {
+        let decoder = SymbolDecoder::new(SymbolAlphabet::paper_two_bit(), Nanos::new(0));
+        assert_eq!(decoder.decode(Micros::new(17).to_nanos()), 0);
+        assert_eq!(decoder.decode(Micros::new(60).to_nanos()), 1);
+        assert_eq!(decoder.decode(Micros::new(118).to_nanos()), 2);
+        assert_eq!(decoder.decode(Micros::new(400).to_nanos()), 3);
+        assert_eq!(decoder.alphabet().symbol_count(), 4);
+    }
+
+    #[test]
+    fn symbol_decoder_subtracts_protocol_offset() {
+        let offset = Micros::new(30).to_nanos();
+        let decoder = SymbolDecoder::new(SymbolAlphabet::paper_two_bit(), offset);
+        // Observed latency = programmed 65us + 30us overhead.
+        assert_eq!(decoder.decode(Micros::new(95).to_nanos()), 1);
+    }
+
+    #[test]
+    fn decode_all_roundtrips_bits() {
+        let alphabet = SymbolAlphabet::paper_two_bit();
+        let decoder = SymbolDecoder::new(alphabet.clone(), Nanos::new(0));
+        let payload = BitString::from_str01("10110100").unwrap();
+        let latencies: Vec<Nanos> = alphabet
+            .encode(&payload)
+            .unwrap()
+            .into_iter()
+            .map(|s| alphabet.duration_of(s).to_nanos())
+            .collect();
+        assert_eq!(decoder.decode_all(&latencies), payload);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symbol_roundtrip(bits in "[01]{2,64}", k in 1u8..=4) {
+            let alphabet = SymbolAlphabet::evenly_spaced(k, Micros::new(15), Micros::new(50)).unwrap();
+            let payload: BitString = bits.parse().unwrap();
+            let symbols = alphabet.encode(&payload).unwrap();
+            let decoded = alphabet.decode_symbols(&symbols);
+            // Round-trip is exact up to zero padding.
+            prop_assert_eq!(decoded.slice(0, payload.len()), payload.clone());
+            for extra in payload.len()..decoded.len() {
+                prop_assert_eq!(decoded.get(extra), Some(mes_types::Bit::Zero));
+            }
+        }
+
+        #[test]
+        fn prop_nearest_level_is_exact_on_clean_latencies(k in 1u8..=3, symbol in 0usize..8) {
+            let alphabet = SymbolAlphabet::evenly_spaced(k, Micros::new(15), Micros::new(50)).unwrap();
+            prop_assume!(symbol < alphabet.symbol_count());
+            let decoder = SymbolDecoder::new(alphabet.clone(), Nanos::new(0));
+            let latency = alphabet.duration_of(symbol).to_nanos();
+            prop_assert_eq!(decoder.decode(latency), symbol);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Latency → bit decision rules.
+//!
+//! Protocol 1 and Protocol 2 of the paper both end with the same line: the
+//! Spy compares `end_time - start_time` against a threshold and emits `1` for
+//! a long latency, `0` for a short one. This module provides the fixed
+//! midpoint rule the paper uses, an adaptive variant that learns the
+//! threshold from the synchronization sequence, and a blind two-means
+//! classifier for when the Spy knows nothing about the timing parameters.
+
+use mes_types::{Bit, BitString, MesError, Nanos, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-threshold decoder: latency above the threshold decodes as `1`.
+///
+/// # Examples
+///
+/// ```
+/// use mes_coding::ThresholdDecoder;
+/// use mes_types::{Bit, Nanos};
+///
+/// let decoder = ThresholdDecoder::new(Nanos::new(50_000));
+/// assert_eq!(decoder.decode(Nanos::new(80_000)), Bit::One);
+/// assert_eq!(decoder.decode(Nanos::new(20_000)), Bit::Zero);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdDecoder {
+    threshold: Nanos,
+}
+
+impl ThresholdDecoder {
+    /// Creates a decoder with an explicit threshold.
+    pub fn new(threshold: Nanos) -> Self {
+        ThresholdDecoder { threshold }
+    }
+
+    /// Creates a decoder whose threshold is the midpoint of the expected `0`
+    /// and `1` latencies — the rule the paper's receivers use.
+    pub fn midpoint(expected_zero: Nanos, expected_one: Nanos) -> Self {
+        let low = expected_zero.min(expected_one);
+        let high = expected_zero.max(expected_one);
+        ThresholdDecoder { threshold: low + (high - low) / 2 }
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> Nanos {
+        self.threshold
+    }
+
+    /// Decodes one latency.
+    pub fn decode(&self, latency: Nanos) -> Bit {
+        if latency > self.threshold {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Decodes a slice of latencies in order.
+    pub fn decode_all(&self, latencies: &[Nanos]) -> BitString {
+        latencies.iter().map(|&l| self.decode(l)).collect()
+    }
+}
+
+/// Learns the decision threshold from the latencies of a known preamble.
+///
+/// The Spy knows the synchronization sequence in advance (Section V.B), so it
+/// can average the latencies observed for its `0`s and `1`s and place the
+/// threshold halfway between the two — robust to the absolute offset added by
+/// sandbox or VM boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveThreshold;
+
+impl AdaptiveThreshold {
+    /// Fits a [`ThresholdDecoder`] from preamble latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if the preamble does not contain
+    /// at least one `0` and one `1`, or if fewer latencies than preamble bits
+    /// were observed.
+    pub fn fit(preamble: &BitString, latencies: &[Nanos]) -> Result<ThresholdDecoder> {
+        if latencies.len() < preamble.len() {
+            return Err(MesError::FrameRecovery {
+                reason: format!(
+                    "observed {} latencies for a {}-bit synchronization sequence",
+                    latencies.len(),
+                    preamble.len()
+                ),
+            });
+        }
+        let mut zero_sum = 0u128;
+        let mut zero_count = 0u64;
+        let mut one_sum = 0u128;
+        let mut one_count = 0u64;
+        for (bit, latency) in preamble.iter().zip(latencies.iter()) {
+            match bit {
+                Bit::Zero => {
+                    zero_sum += latency.as_u64() as u128;
+                    zero_count += 1;
+                }
+                Bit::One => {
+                    one_sum += latency.as_u64() as u128;
+                    one_count += 1;
+                }
+            }
+        }
+        if zero_count == 0 || one_count == 0 {
+            return Err(MesError::FrameRecovery {
+                reason: "synchronization sequence must contain both bit values".into(),
+            });
+        }
+        let zero_mean = (zero_sum / zero_count as u128) as u64;
+        let one_mean = (one_sum / one_count as u128) as u64;
+        Ok(ThresholdDecoder::midpoint(
+            Nanos::new(zero_mean),
+            Nanos::new(one_mean),
+        ))
+    }
+}
+
+/// Blind 1-D two-means clustering of latencies into a low and a high cluster.
+///
+/// Useful when the Spy has no prior at all: it observes a window of
+/// latencies, clusters them, and derives the threshold from the cluster
+/// means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoMeansClassifier {
+    /// Mean of the low-latency cluster (decoded as `0`).
+    pub low_mean: Nanos,
+    /// Mean of the high-latency cluster (decoded as `1`).
+    pub high_mean: Nanos,
+    /// Number of Lloyd iterations performed before convergence.
+    pub iterations: usize,
+}
+
+impl TwoMeansClassifier {
+    /// Fits the classifier on a window of latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::FrameRecovery`] if fewer than two distinct
+    /// latencies are available.
+    pub fn fit(latencies: &[Nanos]) -> Result<Self> {
+        let min = latencies.iter().copied().min();
+        let max = latencies.iter().copied().max();
+        let (Some(mut low), Some(mut high)) = (min, max) else {
+            return Err(MesError::FrameRecovery { reason: "no latencies to cluster".into() });
+        };
+        if low == high {
+            return Err(MesError::FrameRecovery {
+                reason: "latencies are identical; two clusters cannot be separated".into(),
+            });
+        }
+        let mut iterations = 0;
+        for _ in 0..64 {
+            iterations += 1;
+            let midpoint = low + (high.saturating_sub(low)) / 2;
+            let mut low_sum = 0u128;
+            let mut low_count = 0u64;
+            let mut high_sum = 0u128;
+            let mut high_count = 0u64;
+            for &latency in latencies {
+                if latency > midpoint {
+                    high_sum += latency.as_u64() as u128;
+                    high_count += 1;
+                } else {
+                    low_sum += latency.as_u64() as u128;
+                    low_count += 1;
+                }
+            }
+            if low_count == 0 || high_count == 0 {
+                break;
+            }
+            let new_low = Nanos::new((low_sum / low_count as u128) as u64);
+            let new_high = Nanos::new((high_sum / high_count as u128) as u64);
+            if new_low == low && new_high == high {
+                break;
+            }
+            low = new_low;
+            high = new_high;
+        }
+        Ok(TwoMeansClassifier { low_mean: low, high_mean: high, iterations })
+    }
+
+    /// The decoder induced by the fitted clusters.
+    pub fn decoder(&self) -> ThresholdDecoder {
+        ThresholdDecoder::midpoint(self.low_mean, self.high_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+    use proptest::prelude::*;
+
+    fn us(v: u64) -> Nanos {
+        Micros::new(v).to_nanos()
+    }
+
+    #[test]
+    fn midpoint_threshold_is_halfway() {
+        let decoder = ThresholdDecoder::midpoint(us(20), us(80));
+        assert_eq!(decoder.threshold(), us(50));
+        // Order of arguments must not matter.
+        let swapped = ThresholdDecoder::midpoint(us(80), us(20));
+        assert_eq!(swapped.threshold(), us(50));
+    }
+
+    #[test]
+    fn decode_all_maps_each_latency() {
+        let decoder = ThresholdDecoder::midpoint(us(20), us(80));
+        let bits = decoder.decode_all(&[us(81), us(10), us(49), us(51)]);
+        assert_eq!(bits.to_string(), "1001");
+    }
+
+    #[test]
+    fn boundary_latency_decodes_as_zero() {
+        let decoder = ThresholdDecoder::new(us(50));
+        assert_eq!(decoder.decode(us(50)), Bit::Zero);
+        assert_eq!(decoder.decode(Nanos::new(50_001)), Bit::One);
+    }
+
+    #[test]
+    fn adaptive_threshold_learns_from_preamble() {
+        let preamble = BitString::from_str01("10101010").unwrap();
+        let latencies: Vec<Nanos> = preamble
+            .iter()
+            .map(|b| if b.is_one() { us(92) } else { us(31) })
+            .collect();
+        let decoder = AdaptiveThreshold::fit(&preamble, &latencies).unwrap();
+        assert!(decoder.threshold() > us(31));
+        assert!(decoder.threshold() < us(92));
+        assert_eq!(decoder.decode(us(90)), Bit::One);
+        assert_eq!(decoder.decode(us(35)), Bit::Zero);
+    }
+
+    #[test]
+    fn adaptive_threshold_requires_both_symbols_and_enough_samples() {
+        let ones = BitString::from_str01("1111").unwrap();
+        let latencies = vec![us(90); 4];
+        assert!(AdaptiveThreshold::fit(&ones, &latencies).is_err());
+        let preamble = BitString::from_str01("10").unwrap();
+        assert!(AdaptiveThreshold::fit(&preamble, &[us(90)]).is_err());
+    }
+
+    #[test]
+    fn two_means_separates_clusters() {
+        let latencies: Vec<Nanos> = (0..50)
+            .map(|i| if i % 2 == 0 { us(30 + i % 5) } else { us(100 + i % 7) })
+            .collect();
+        let classifier = TwoMeansClassifier::fit(&latencies).unwrap();
+        assert!(classifier.low_mean < us(40));
+        assert!(classifier.high_mean > us(95));
+        let decoder = classifier.decoder();
+        assert_eq!(decoder.decode(us(33)), Bit::Zero);
+        assert_eq!(decoder.decode(us(101)), Bit::One);
+        assert!(classifier.iterations >= 1);
+    }
+
+    #[test]
+    fn two_means_rejects_degenerate_input() {
+        assert!(TwoMeansClassifier::fit(&[]).is_err());
+        assert!(TwoMeansClassifier::fit(&[us(10), us(10)]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_threshold_decisions_are_monotone(
+            threshold_us in 1u64..10_000,
+            latency_us in 0u64..20_000,
+        ) {
+            let decoder = ThresholdDecoder::new(us(threshold_us));
+            let bit = decoder.decode(us(latency_us));
+            if latency_us > threshold_us {
+                prop_assert_eq!(bit, Bit::One);
+            } else {
+                prop_assert_eq!(bit, Bit::Zero);
+            }
+        }
+
+        #[test]
+        fn prop_adaptive_recovers_separable_clusters(
+            zero_us in 10u64..40,
+            gap_us in 30u64..200,
+        ) {
+            let preamble = BitString::from_str01("10101010").unwrap();
+            let one_us = zero_us + gap_us;
+            let latencies: Vec<Nanos> = preamble
+                .iter()
+                .map(|b| if b.is_one() { us(one_us) } else { us(zero_us) })
+                .collect();
+            let decoder = AdaptiveThreshold::fit(&preamble, &latencies).unwrap();
+            prop_assert_eq!(decoder.decode(us(one_us)), Bit::One);
+            prop_assert_eq!(decoder.decode(us(zero_us)), Bit::Zero);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Channel backends: where a [`TransmissionPlan`] actually runs.
+//!
+//! The [`ChannelBackend`] trait is the boundary between the channel logic
+//! (framing, encoding, decoding, metrics) and the machinery that executes
+//! lock and signal operations. [`SimBackend`] runs plans on the `mes-sim`
+//! simulated kernel; `mes-host` provides a backend that runs the `flock`
+//! channel on the real Linux kernel of the build machine.
+
+use crate::plan::{SlotAction, TransmissionPlan};
+use mes_scenario::ScenarioProfile;
+use mes_sim::{Engine, ObjectKind, Op, Program};
+use mes_types::{FdId, HandleId, Mechanism, Micros, Nanos, Result};
+
+/// What the Spy observed during one transmission round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Constraint latencies, one per transmitted slot, in slot order.
+    pub latencies: Vec<Nanos>,
+    /// Total elapsed time of the round (virtual time for the simulator,
+    /// wall-clock time for a host backend).
+    pub elapsed: Nanos,
+}
+
+impl Observation {
+    /// Number of observed slots.
+    pub fn len(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.latencies.is_empty()
+    }
+}
+
+/// Executes transmission plans against some incarnation of the OS MESMs.
+pub trait ChannelBackend {
+    /// Runs one transmission round and returns the Spy's observations.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error when the plan cannot be executed
+    /// (mechanism not available, simulated deadlock, host syscall failure).
+    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The simulated-kernel backend.
+///
+/// Every call to [`ChannelBackend::transmit`] builds a fresh simulated system
+/// (namespace, filesystem, processes) from the plan, so rounds are
+/// independent and fully reproducible from `(profile, seed, plan)`.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    profile: ScenarioProfile,
+    seed: u64,
+    runs: u64,
+    trace_capacity: Option<usize>,
+}
+
+impl SimBackend {
+    /// Creates a backend for a deployment profile with a base seed.
+    pub fn new(profile: ScenarioProfile, seed: u64) -> Self {
+        SimBackend { profile, seed, runs: 0, trace_capacity: None }
+    }
+
+    /// Enables engine tracing for subsequent rounds (used by the
+    /// proof-of-concept figure).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// The deployment profile the backend simulates.
+    pub fn profile(&self) -> &ScenarioProfile {
+        &self.profile
+    }
+
+    /// Number of rounds executed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Builds the Trojan and Spy programs for a plan. Exposed for tests and
+    /// for the proof-of-concept harness, which wants the raw programs.
+    pub fn build_programs(&self, plan: &TransmissionPlan) -> (Program, Program) {
+        let spy_session = self.profile.spy_session();
+        let trojan_session = self.profile.trojan_session();
+        let slot_work = plan.trojan_slot_work.to_nanos();
+        let h = HandleId::new(1);
+        let fd_spy = FdId::new(3);
+        let fd_trojan = FdId::new(4);
+        let object_name = format!("mes-{}", plan.mechanism.as_str());
+        let file_path = "/shared/mes-attacks-file".to_string();
+
+        let mut spy = Program::new("spy").in_session(spy_session);
+        let mut trojan = Program::new("trojan").in_session(trojan_session);
+
+        // --- setup ----------------------------------------------------------
+        match plan.mechanism {
+            Mechanism::Flock | Mechanism::FileLockEx => {
+                spy.push(Op::OpenFile { path: file_path.clone(), fd: fd_spy });
+                trojan.push(Op::OpenFile { path: file_path, fd: fd_trojan });
+            }
+            Mechanism::Mutex => {
+                spy.push(Op::CreateObject {
+                    name: object_name.clone(),
+                    kind: ObjectKind::Mutex,
+                    handle: h,
+                });
+                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
+                trojan.push(Op::OpenObject { name: object_name, handle: h });
+            }
+            Mechanism::Semaphore => {
+                // Deferred-release scheme (see `protocol::semaphore`): the
+                // pool starts empty and the Trojan produces one unit per bit,
+                // so the Spy's wait latency carries the bit value.
+                let slots = plan.actions.len() as u32;
+                spy.push(Op::CreateObject {
+                    name: object_name.clone(),
+                    kind: ObjectKind::semaphore(0, plan.provisioned_resources + slots + 1),
+                    handle: h,
+                });
+                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
+                trojan.push(Op::OpenObject { name: object_name, handle: h });
+            }
+            Mechanism::Event => {
+                spy.push(Op::CreateObject {
+                    name: object_name.clone(),
+                    kind: ObjectKind::event_auto_reset(),
+                    handle: h,
+                });
+                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
+                trojan.push(Op::OpenObject { name: object_name, handle: h });
+            }
+            Mechanism::Timer => {
+                spy.push(Op::CreateObject {
+                    name: object_name.clone(),
+                    kind: ObjectKind::Timer,
+                    handle: h,
+                });
+                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
+                trojan.push(Op::OpenObject { name: object_name, handle: h });
+            }
+        }
+
+        // --- per-slot body ---------------------------------------------------
+        let contention_like = matches!(
+            plan.mechanism,
+            Mechanism::Flock | Mechanism::FileLockEx | Mechanism::Mutex | Mechanism::Semaphore
+        );
+        for (index, action) in plan.actions.iter().enumerate() {
+            let slot = index as u32;
+            if contention_like && plan.inter_bit_sync {
+                trojan.push(Op::Barrier { id: slot });
+                spy.push(Op::Barrier { id: slot });
+            }
+
+            // Trojan side.
+            match (plan.mechanism, action) {
+                (Mechanism::Flock | Mechanism::FileLockEx, SlotAction::Occupy(hold)) => {
+                    trojan.push(Op::FlockExclusive { fd: fd_trojan });
+                    trojan.push(Op::SleepFor { duration: hold.to_nanos() });
+                    trojan.push(Op::FlockUnlock { fd: fd_trojan });
+                }
+                (Mechanism::Mutex, SlotAction::Occupy(hold)) => {
+                    trojan.push(Op::WaitForSingleObject { handle: h });
+                    trojan.push(Op::SleepFor { duration: hold.to_nanos() });
+                    trojan.push(Op::ReleaseMutex { handle: h });
+                }
+                (Mechanism::Semaphore, SlotAction::SignalAfter(delay)) => {
+                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
+                    trojan.push(Op::ReleaseSemaphore { handle: h, count: 1 });
+                }
+                (Mechanism::Event, SlotAction::SignalAfter(delay)) => {
+                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
+                    trojan.push(Op::SetEvent { handle: h });
+                }
+                (Mechanism::Timer, SlotAction::SignalAfter(delay)) => {
+                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
+                    trojan.push(Op::SetTimer { handle: h, due: Micros::new(1).to_nanos() });
+                }
+                // Idle slots (and defensively, occupy on signalling channels):
+                // the Trojan just sleeps away from the resource.
+                (_, action) => {
+                    trojan.push(Op::SleepFor { duration: action.duration().to_nanos() });
+                }
+            }
+            if slot_work > Nanos::ZERO {
+                trojan.push(Op::Compute { duration: slot_work });
+            }
+
+            // Spy side.
+            match plan.mechanism {
+                Mechanism::Flock | Mechanism::FileLockEx => {
+                    spy.push(Op::Compute { duration: plan.spy_offset.to_nanos() });
+                    spy.push(Op::TimestampStart { slot });
+                    spy.push(Op::FlockExclusive { fd: fd_spy });
+                    spy.push(Op::FlockUnlock { fd: fd_spy });
+                    spy.push(Op::TimestampEnd { slot });
+                }
+                Mechanism::Mutex => {
+                    spy.push(Op::Compute { duration: plan.spy_offset.to_nanos() });
+                    spy.push(Op::TimestampStart { slot });
+                    spy.push(Op::WaitForSingleObject { handle: h });
+                    spy.push(Op::ReleaseMutex { handle: h });
+                    spy.push(Op::TimestampEnd { slot });
+                }
+                Mechanism::Semaphore | Mechanism::Event | Mechanism::Timer => {
+                    spy.push(Op::TimestampStart { slot });
+                    spy.push(Op::WaitForSingleObject { handle: h });
+                    spy.push(Op::TimestampEnd { slot });
+                }
+            }
+            if contention_like && !plan.inter_bit_sync {
+                // Without fine-grained synchronization the Spy paces itself
+                // with SLEEP_PERIOD_2, as in Protocol 1 — and drifts.
+                spy.push(Op::SleepFor {
+                    duration: plan
+                        .actions
+                        .get(index)
+                        .map(|a| a.duration())
+                        .unwrap_or(Micros::ZERO)
+                        .saturating_sub(plan.spy_offset)
+                        .to_nanos(),
+                });
+            }
+        }
+
+        (trojan, spy)
+    }
+}
+
+impl ChannelBackend for SimBackend {
+    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
+        let (trojan, spy) = self.build_programs(plan);
+        let noise = self.profile.noise_for(plan.mechanism);
+        let seed = self
+            .seed
+            .wrapping_add(plan.seed)
+            .wrapping_add(self.runs.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.runs += 1;
+        let mut engine = Engine::new(noise, seed);
+        if let Some(capacity) = self.trace_capacity {
+            engine.enable_trace(capacity);
+        }
+        let spy_pid = engine.spawn(spy);
+        let _trojan_pid = engine.spawn(trojan);
+        let outcome = engine.run()?;
+        Ok(Observation {
+            latencies: outcome.durations(spy_pid),
+            elapsed: outcome.end_time(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "mes-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChannelConfig;
+    use crate::protocol;
+    use mes_types::{BitString, Micros, Scenario};
+
+    fn observe(mechanism: Mechanism, bits: &str) -> Observation {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+        let wire = BitString::from_str01(bits).unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let mut backend = SimBackend::new(profile, 99);
+        backend.transmit(&plan).unwrap()
+    }
+
+    #[test]
+    fn every_local_mechanism_produces_one_latency_per_bit() {
+        for mechanism in Scenario::Local.mechanisms() {
+            let obs = observe(mechanism, "10101100");
+            assert_eq!(obs.len(), 8, "{mechanism}");
+            assert!(!obs.is_empty());
+            assert!(obs.elapsed > Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn ones_take_longer_than_zeros_for_every_mechanism() {
+        for mechanism in Scenario::Local.mechanisms() {
+            let obs = observe(mechanism, "10");
+            assert!(
+                obs.latencies[0] > obs.latencies[1] + Micros::new(20).to_nanos(),
+                "{mechanism}: {:?}",
+                obs.latencies
+            );
+        }
+    }
+
+    #[test]
+    fn sim_backend_is_reproducible_for_equal_seeds() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let wire = BitString::from_str01("1010011").unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let mut a = SimBackend::new(profile.clone(), 7);
+        let mut b = SimBackend::new(profile, 7);
+        assert_eq!(a.transmit(&plan).unwrap(), b.transmit(&plan).unwrap());
+        assert_eq!(a.runs(), 1);
+        assert_eq!(a.name(), "mes-sim");
+    }
+
+    #[test]
+    fn consecutive_rounds_differ_but_stay_decodable() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap();
+        let wire = BitString::from_str01("110010").unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let mut backend = SimBackend::new(profile, 3);
+        let first = backend.transmit(&plan).unwrap();
+        let second = backend.transmit(&plan).unwrap();
+        assert_ne!(first.latencies, second.latencies, "noise must differ across rounds");
+        assert_eq!(backend.runs(), 2);
+    }
+
+    #[test]
+    fn cross_vm_file_lock_still_works_in_the_sim() {
+        let profile = ScenarioProfile::cross_vm();
+        let config = ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
+        let wire = BitString::from_str01("101").unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let mut backend = SimBackend::new(profile, 1);
+        let obs = backend.transmit(&plan).unwrap();
+        assert_eq!(obs.len(), 3);
+        assert!(obs.latencies[0] > obs.latencies[1]);
+    }
+
+    #[test]
+    fn build_programs_have_expected_shape() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let wire = BitString::from_str01("10").unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let backend = SimBackend::new(profile, 1).with_trace(16);
+        let (trojan, spy) = backend.build_programs(&plan);
+        assert!(trojan.len() >= 2 + 2 * wire.len());
+        assert!(spy.len() >= 1 + 3 * wire.len());
+        assert_eq!(backend.profile().scenario(), Scenario::Local);
+    }
+}

@@ -1,0 +1,186 @@
+//! Channel configuration.
+
+use mes_coding::framing::alternating_preamble;
+use mes_types::{BitString, ChannelTiming, Mechanism, MesError, Micros, Result, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one covert channel.
+///
+/// # Examples
+///
+/// ```
+/// use mes_core::ChannelConfig;
+/// use mes_types::{ChannelTiming, Mechanism, Micros, Scenario};
+///
+/// // The paper's recommended Event parameters for the local scenario.
+/// let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)?;
+/// assert_eq!(config.timing, ChannelTiming::cooperation(Micros::new(15), Micros::new(65)));
+///
+/// // Or a custom parameterisation.
+/// let custom = ChannelConfig::new(
+///     Mechanism::Flock,
+///     ChannelTiming::contention(Micros::new(200), Micros::new(60)),
+/// )?;
+/// assert!(custom.inter_bit_sync);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// The MESM the channel is built on.
+    pub mechanism: Mechanism,
+    /// Timing parameters (the paper's Timeset).
+    pub timing: ChannelTiming,
+    /// Whether contention channels perform fine-grained inter-bit
+    /// synchronization (Section V.B). Disabling it is the drift ablation.
+    pub inter_bit_sync: bool,
+    /// How long the Spy waits after the start of a contention bit period
+    /// before attempting to acquire the resource, so the Trojan reliably gets
+    /// there first when sending a `1`.
+    pub spy_offset: Micros,
+    /// Synchronization sequence prepended to every round (Section V.B).
+    pub preamble: BitString,
+    /// Number of preamble bit errors tolerated before a round is discarded.
+    pub preamble_tolerance: usize,
+    /// Base RNG seed for the backend.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// Creates a configuration with the paper's defaults for everything but
+    /// mechanism and timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidTiming`] if the timing parameters are
+    /// inconsistent (see [`ChannelTiming::validate`]).
+    pub fn new(mechanism: Mechanism, timing: ChannelTiming) -> Result<Self> {
+        timing.validate()?;
+        let family_matches = match timing {
+            ChannelTiming::Cooperation { .. } => mechanism.is_cooperation_based(),
+            ChannelTiming::Contention { .. } => mechanism.is_contention_based(),
+        };
+        if !family_matches {
+            return Err(MesError::InvalidConfig {
+                reason: format!(
+                    "{mechanism} is a {} mechanism but the timing parameters are for the other family",
+                    mechanism.family()
+                ),
+            });
+        }
+        Ok(ChannelConfig {
+            mechanism,
+            timing,
+            inter_bit_sync: true,
+            spy_offset: Micros::new(8),
+            preamble: alternating_preamble(8),
+            preamble_tolerance: 0,
+            seed: 0xC0FFEE,
+        })
+    }
+
+    /// The configuration the paper recommends for a scenario/mechanism pair
+    /// (Timeset rows of Tables IV–VI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::MechanismUnavailable`] for combinations the paper
+    /// does not evaluate (e.g. `Event` across VMs).
+    pub fn paper_defaults(scenario: Scenario, mechanism: Mechanism) -> Result<Self> {
+        let timing = mes_scenario::paper_timeset(scenario, mechanism)?;
+        ChannelConfig::new(mechanism, timing)
+    }
+
+    /// Overrides the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the synchronization preamble (builder style).
+    pub fn with_preamble(mut self, preamble: BitString) -> Self {
+        self.preamble = preamble;
+        self
+    }
+
+    /// Disables fine-grained inter-bit synchronization (ablation).
+    pub fn without_inter_bit_sync(mut self) -> Self {
+        self.inter_bit_sync = false;
+        self
+    }
+
+    /// Validates the configuration as a whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] for an empty preamble and
+    /// [`MesError::InvalidTiming`] for inconsistent timing.
+    pub fn validate(&self) -> Result<()> {
+        self.timing.validate()?;
+        if self.preamble.is_empty() {
+            return Err(MesError::InvalidConfig {
+                reason: "the synchronization preamble must not be empty".into(),
+            });
+        }
+        if self.preamble.count_ones() == 0 || self.preamble.count_zeros() == 0 {
+            return Err(MesError::InvalidConfig {
+                reason: "the synchronization preamble must contain both 0s and 1s so the \
+                         receiver can fit its threshold"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_exist_for_all_supported_pairs() {
+        for scenario in Scenario::ALL {
+            for mechanism in scenario.mechanisms() {
+                let config = ChannelConfig::paper_defaults(scenario, mechanism).unwrap();
+                assert!(config.validate().is_ok(), "{scenario} {mechanism}");
+                assert_eq!(config.mechanism, mechanism);
+            }
+        }
+        assert!(ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::Event).is_err());
+    }
+
+    #[test]
+    fn family_mismatch_is_rejected() {
+        let cooperation = ChannelTiming::cooperation(Micros::new(15), Micros::new(65));
+        assert!(ChannelConfig::new(Mechanism::Flock, cooperation).is_err());
+        let contention = ChannelTiming::contention(Micros::new(160), Micros::new(60));
+        assert!(ChannelConfig::new(Mechanism::Event, contention).is_err());
+    }
+
+    #[test]
+    fn invalid_timing_is_rejected() {
+        let bad = ChannelTiming::contention(Micros::new(50), Micros::new(60));
+        assert!(ChannelConfig::new(Mechanism::Flock, bad).is_err());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)
+            .unwrap()
+            .with_seed(99)
+            .without_inter_bit_sync()
+            .with_preamble(BitString::from_str01("1100").unwrap());
+        assert_eq!(config.seed, 99);
+        assert!(!config.inter_bit_sync);
+        assert_eq!(config.preamble.len(), 4);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_preambles_fail_validation() {
+        let mut config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        config.preamble = BitString::new();
+        assert!(config.validate().is_err());
+        config.preamble = BitString::from_str01("1111").unwrap();
+        assert!(config.validate().is_err());
+    }
+}

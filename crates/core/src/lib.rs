@@ -1,0 +1,61 @@
+//! `mes-core` — the MES-Attacks covert channels.
+//!
+//! This crate implements the primary contribution of *MES-Attacks:
+//! Software-Controlled Covert Channels based on Mutual Exclusion and
+//! Synchronization* (DAC 2023): a Trojan process encodes secret bits in the
+//! time it keeps a Spy process in a *constraint state* — blocked on a lock it
+//! holds, or waiting for a synchronization condition it controls — and the
+//! Spy decodes them by timestamping how long it stayed constrained.
+//!
+//! The crate is organised in layers:
+//!
+//! * [`protocol`] — one module per MESM (flock, FileLockEX, Mutex, Semaphore,
+//!   Event, WaitableTimer), each compiling bits into a [`plan::SlotAction`]
+//!   sequence (Protocol 1 / Protocol 2 of the paper);
+//! * [`backend`] — the [`backend::ChannelBackend`] abstraction plus
+//!   [`backend::SimBackend`], which runs a plan on the `mes-sim` simulated
+//!   kernel (a real-Linux backend lives in `mes-host`);
+//! * [`channel`] — the [`CovertChannel`] orchestrator: framing, transmission,
+//!   adaptive threshold recovery, BER/TR accounting;
+//! * [`multibit`] — multi-bit symbol transmission (Section VI);
+//! * [`sweep`] — the timing-parameter sweeps behind Fig. 9 and Fig. 10;
+//! * [`parallel`] — the multi-channel rate projections of Section V.C.1.
+//!
+//! # Examples
+//!
+//! Leak one byte over the Event channel in the local scenario:
+//!
+//! ```
+//! use mes_core::{ChannelConfig, CovertChannel, SimBackend};
+//! use mes_scenario::ScenarioProfile;
+//! use mes_types::{BitString, Mechanism, Scenario};
+//!
+//! let profile = ScenarioProfile::local();
+//! let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)?;
+//! let channel = CovertChannel::new(config, profile.clone())?;
+//! let mut backend = SimBackend::new(profile, 7);
+//!
+//! let secret = BitString::from_bytes(b"K");
+//! let report = channel.transmit(&secret, &mut backend)?;
+//! assert_eq!(report.received_payload(), &secret);
+//! assert!(report.throughput().kilobits_per_second() > 1.0);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod channel;
+pub mod config;
+pub mod multibit;
+pub mod parallel;
+pub mod plan;
+pub mod protocol;
+pub mod sweep;
+
+pub use backend::{ChannelBackend, Observation, SimBackend};
+pub use channel::{CovertChannel, TransmissionReport};
+pub use config::ChannelConfig;
+pub use multibit::{SymbolChannel, SymbolTransmissionReport};
+pub use plan::{SlotAction, TransmissionPlan};

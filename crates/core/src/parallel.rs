@@ -1,0 +1,92 @@
+//! Multi-channel rate projections (Section V.C.1 of the paper).
+//!
+//! A single Trojan/Spy pair is limited by the per-bit protocol time, but an
+//! attacker who controls many pairs can run them concurrently. The paper
+//! estimates the ceiling from the number of processes the system can run
+//! concurrently (6833 on their testbed) for kernel-object channels, and from
+//! the default file-descriptor limit (1024) for `flock`.
+
+use mes_types::Mechanism;
+use serde::{Deserialize, Serialize};
+
+/// The number of concurrent processes the paper measured on its testbed.
+pub const PAPER_CONCURRENT_PROCESSES: u64 = 6833;
+
+/// The default per-process file-descriptor limit the paper cites for the
+/// `flock` channel.
+pub const PAPER_FD_LIMIT: u64 = 1024;
+
+/// A projection of the aggregate rate achievable with many parallel channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelProjection {
+    /// The mechanism being projected.
+    pub mechanism: Mechanism,
+    /// Measured single-channel rate in kb/s.
+    pub single_channel_kbps: f64,
+    /// Number of channels assumed to run in parallel.
+    pub channels: u64,
+    /// Projected aggregate rate in kb/s.
+    pub aggregate_kbps: f64,
+}
+
+impl ParallelProjection {
+    /// Projects the aggregate rate of `channels` parallel instances.
+    pub fn new(mechanism: Mechanism, single_channel_kbps: f64, channels: u64) -> Self {
+        ParallelProjection {
+            mechanism,
+            single_channel_kbps,
+            channels,
+            aggregate_kbps: single_channel_kbps * channels as f64,
+        }
+    }
+
+    /// The projection with the paper's parallelism assumption for the
+    /// mechanism: the process limit for kernel-object channels, the fd limit
+    /// for file-lock channels.
+    pub fn paper_assumption(mechanism: Mechanism, single_channel_kbps: f64) -> Self {
+        let channels = if mechanism.is_file_backed() {
+            PAPER_FD_LIMIT
+        } else {
+            PAPER_CONCURRENT_PROCESSES
+        };
+        ParallelProjection::new(mechanism, single_channel_kbps, channels)
+    }
+
+    /// Aggregate rate in Mb/s.
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.aggregate_kbps / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_scales_linearly() {
+        let projection = ParallelProjection::new(Mechanism::Event, 13.105, 10);
+        assert!((projection.aggregate_kbps - 131.05).abs() < 1e-9);
+        assert!((projection.aggregate_mbps() - 0.13105).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_assumptions_reach_the_claimed_ceilings() {
+        // "ideally we can achieve transfer rates of tens of Mbps" for Event.
+        let event = ParallelProjection::paper_assumption(Mechanism::Event, 13.105);
+        assert_eq!(event.channels, PAPER_CONCURRENT_PROCESSES);
+        assert!(event.aggregate_mbps() > 10.0);
+
+        // "Ideally, we can achieve a TR of several Mbps" for flock.
+        let flock = ParallelProjection::paper_assumption(Mechanism::Flock, 7.182);
+        assert_eq!(flock.channels, PAPER_FD_LIMIT);
+        assert!(flock.aggregate_mbps() > 1.0 && flock.aggregate_mbps() < 10.0);
+    }
+
+    #[test]
+    fn file_backed_mechanisms_use_the_fd_limit() {
+        let filelock = ParallelProjection::paper_assumption(Mechanism::FileLockEx, 7.678);
+        assert_eq!(filelock.channels, PAPER_FD_LIMIT);
+        let mutex = ParallelProjection::paper_assumption(Mechanism::Mutex, 7.612);
+        assert_eq!(mutex.channels, PAPER_CONCURRENT_PROCESSES);
+    }
+}

@@ -1,0 +1,173 @@
+//! Transmission plans: the mechanism-independent description of what the
+//! Trojan does for each transmitted slot.
+//!
+//! Every MES-Attack boils down to a sequence of per-slot decisions by the
+//! Trojan: occupy the critical resource for a while, stay away from it, or
+//! satisfy the synchronization condition after a delay. A
+//! [`TransmissionPlan`] captures that sequence plus the coordination
+//! parameters, and a backend (simulated or real) turns it into actual lock
+//! and signal operations while the Spy measures its constraint times.
+
+use crate::config::ChannelConfig;
+use mes_types::{Mechanism, Micros};
+use serde::{Deserialize, Serialize};
+
+/// What the Trojan does during one transmitted slot (bit or symbol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotAction {
+    /// Contention channels, logical `1`: enter the critical section and hold
+    /// the resource for the given time; the Spy's acquisition blocks.
+    Occupy(Micros),
+    /// Contention channels, logical `0`: sleep away from the resource for the
+    /// given time; the Spy acquires immediately.
+    Idle(Micros),
+    /// Cooperation channels (and the semaphore's resource production): wait
+    /// for the given time, then satisfy the Spy's wait condition.
+    SignalAfter(Micros),
+}
+
+impl SlotAction {
+    /// The nominal duration the Trojan spends on this slot.
+    pub fn duration(&self) -> Micros {
+        match *self {
+            SlotAction::Occupy(d) | SlotAction::Idle(d) | SlotAction::SignalAfter(d) => d,
+        }
+    }
+
+    /// Whether the action releases the Spy by signalling (as opposed to the
+    /// Spy acquiring a contended resource).
+    pub fn is_signal(&self) -> bool {
+        matches!(self, SlotAction::SignalAfter(_))
+    }
+}
+
+/// A complete, mechanism-annotated plan for one transmission round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionPlan {
+    /// The MESM carrying the transmission.
+    pub mechanism: Mechanism,
+    /// Per-slot Trojan actions, in transmission order.
+    pub actions: Vec<SlotAction>,
+    /// The Spy's delay into each contention slot before it attempts to
+    /// acquire the resource.
+    pub spy_offset: Micros,
+    /// Whether a fine-grained inter-slot barrier keeps the two processes
+    /// aligned (contention channels only; cooperation channels are
+    /// self-synchronising).
+    pub inter_bit_sync: bool,
+    /// Extra per-slot busy time on the Trojan side representing the protocol
+    /// processing the paper's calibration attributes to each bit.
+    pub trojan_slot_work: Micros,
+    /// Semaphore channels: resources provisioned before the round starts
+    /// (Tables II/III of the paper). Zero for every other mechanism.
+    pub provisioned_resources: u32,
+    /// RNG seed for the backend run.
+    pub seed: u64,
+}
+
+impl TransmissionPlan {
+    /// Creates a plan from per-slot actions and a channel configuration.
+    pub fn new(actions: Vec<SlotAction>, config: &ChannelConfig) -> Self {
+        TransmissionPlan {
+            mechanism: config.mechanism,
+            actions,
+            spy_offset: config.spy_offset,
+            inter_bit_sync: config.inter_bit_sync,
+            trojan_slot_work: Micros::ZERO,
+            provisioned_resources: 0,
+            seed: config.seed,
+        }
+    }
+
+    /// Sets the per-slot protocol work (builder style).
+    pub fn with_slot_work(mut self, work: Micros) -> Self {
+        self.trojan_slot_work = work;
+        self
+    }
+
+    /// Sets the pre-provisioned semaphore resources (builder style).
+    pub fn with_provisioned_resources(mut self, resources: u32) -> Self {
+        self.provisioned_resources = resources;
+        self
+    }
+
+    /// Overrides the seed (used when repeating a plan across runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of slots in the plan.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Sum of the nominal slot durations — a lower bound on the transmission
+    /// time.
+    pub fn nominal_duration(&self) -> Micros {
+        self.actions.iter().map(SlotAction::duration).sum::<Micros>()
+            + self.trojan_slot_work * self.actions.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::{ChannelTiming, Scenario};
+
+    fn config() -> ChannelConfig {
+        ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap()
+    }
+
+    #[test]
+    fn slot_action_accessors() {
+        assert_eq!(SlotAction::Occupy(Micros::new(160)).duration(), Micros::new(160));
+        assert_eq!(SlotAction::Idle(Micros::new(60)).duration(), Micros::new(60));
+        assert!(SlotAction::SignalAfter(Micros::new(15)).is_signal());
+        assert!(!SlotAction::Occupy(Micros::new(1)).is_signal());
+    }
+
+    #[test]
+    fn plan_inherits_config_parameters() {
+        let cfg = config();
+        let plan = TransmissionPlan::new(vec![SlotAction::Idle(Micros::new(60))], &cfg);
+        assert_eq!(plan.mechanism, Mechanism::Flock);
+        assert_eq!(plan.spy_offset, cfg.spy_offset);
+        assert!(plan.inter_bit_sync);
+        assert_eq!(plan.seed, cfg.seed);
+        assert_eq!(plan.provisioned_resources, 0);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn nominal_duration_includes_slot_work() {
+        let cfg = config();
+        let plan = TransmissionPlan::new(
+            vec![SlotAction::Occupy(Micros::new(160)), SlotAction::Idle(Micros::new(60))],
+            &cfg,
+        )
+        .with_slot_work(Micros::new(20));
+        assert_eq!(plan.nominal_duration(), Micros::new(160 + 60 + 40));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Semaphore).unwrap();
+        let plan = TransmissionPlan::new(vec![], &cfg)
+            .with_provisioned_resources(5)
+            .with_seed(11)
+            .with_slot_work(Micros::new(3));
+        assert_eq!(plan.provisioned_resources, 5);
+        assert_eq!(plan.seed, 11);
+        assert_eq!(plan.trojan_slot_work, Micros::new(3));
+        assert!(plan.is_empty());
+        let timing = ChannelTiming::contention(Micros::new(230), Micros::new(100));
+        assert_eq!(cfg.timing, timing);
+    }
+}

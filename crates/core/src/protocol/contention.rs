@@ -1,0 +1,62 @@
+//! Shared builder for contention-based (mutual-exclusion) channels.
+//!
+//! Protocol 1 of the paper, independent of which lock carries it: to send a
+//! `1` the Trojan enters the critical section and occupies the resource for
+//! `tt1`; to send a `0` it sleeps `tt0` without touching the resource. The
+//! Spy attempts the same lock each bit period and measures how long the
+//! attempt blocks.
+
+use crate::config::ChannelConfig;
+use crate::plan::{SlotAction, TransmissionPlan};
+use mes_types::{BitString, ChannelTiming};
+
+/// Compiles bits into occupy/idle slot actions using the configured
+/// contention timing.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    let (tt1, tt0) = match config.timing {
+        ChannelTiming::Contention { tt1, tt0 } => (tt1, tt0),
+        // `ChannelConfig::new` rejects family mismatches; treat a cooperation
+        // timing defensively as its equivalent hold times.
+        ChannelTiming::Cooperation { tw0, ti } => (tw0 + ti, tw0),
+    };
+    let actions = wire
+        .iter()
+        .map(|bit| {
+            if bit.is_one() {
+                SlotAction::Occupy(tt1)
+            } else {
+                SlotAction::Idle(tt0)
+            }
+        })
+        .collect();
+    TransmissionPlan::new(actions, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn ones_occupy_and_zeros_idle() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap();
+        let wire = BitString::from_str01("101").unwrap();
+        let plan = encode(&wire, &config);
+        assert_eq!(
+            plan.actions,
+            vec![
+                SlotAction::Occupy(Micros::new(160)),
+                SlotAction::Idle(Micros::new(60)),
+                SlotAction::Occupy(Micros::new(160)),
+            ]
+        );
+        assert!(plan.inter_bit_sync);
+    }
+
+    #[test]
+    fn empty_wire_gives_empty_plan() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Mutex).unwrap();
+        let plan = encode(&BitString::new(), &config);
+        assert!(plan.is_empty());
+    }
+}

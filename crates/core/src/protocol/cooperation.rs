@@ -1,0 +1,62 @@
+//! Shared builder for cooperation-based (synchronization) channels.
+//!
+//! Protocol 2 of the paper: the Trojan *always* satisfies the Spy's
+//! synchronization condition, but waits `tw0` before doing so for a `0` and
+//! `tw0 + ti` for a `1`. The Spy's wait latency is the symbol. Because the
+//! Spy can only proceed once released, the two processes never drift and no
+//! fine-grained inter-bit synchronization is needed — this is the paper's
+//! novel *cooperation-based volatile covert channel*.
+
+use crate::config::ChannelConfig;
+use crate::plan::{SlotAction, TransmissionPlan};
+use mes_types::{BitString, ChannelTiming};
+
+/// Compiles bits into signal-after slot actions using the configured
+/// cooperation timing.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    let (tw0, ti) = match config.timing {
+        ChannelTiming::Cooperation { tw0, ti } => (tw0, ti),
+        // Defensive mapping for a mismatched family (rejected upstream).
+        ChannelTiming::Contention { tt1, tt0 } => (tt0, tt1 - tt0),
+    };
+    let actions = wire
+        .iter()
+        .map(|bit| {
+            if bit.is_one() {
+                SlotAction::SignalAfter(tw0 + ti)
+            } else {
+                SlotAction::SignalAfter(tw0)
+            }
+        })
+        .collect();
+    TransmissionPlan::new(actions, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn both_symbols_signal_with_different_delays() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let wire = BitString::from_str01("01").unwrap();
+        let plan = encode(&wire, &config);
+        assert_eq!(
+            plan.actions,
+            vec![
+                SlotAction::SignalAfter(Micros::new(15)),
+                SlotAction::SignalAfter(Micros::new(80)),
+            ]
+        );
+        assert!(plan.actions.iter().all(SlotAction::is_signal));
+    }
+
+    #[test]
+    fn timer_uses_its_own_interval() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Timer).unwrap();
+        let wire = BitString::from_str01("1").unwrap();
+        let plan = encode(&wire, &config);
+        assert_eq!(plan.actions, vec![SlotAction::SignalAfter(Micros::new(90))]);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Event channel (Protocol 2 of the paper, §IV.F) — the paper's
+//! highest-rate channel and its novel *cooperation-based* design.
+//!
+//! The Spy creates an auto-reset event object and parks on
+//! `WaitForSingleObject` with an infinite timeout. The Trojan opens the same
+//! named object, waits `RESTRICTION_PERIOD_1` or `RESTRICTION_PERIOD_2`
+//! depending on the bit, then calls `SetEvent`, releasing the Spy. Because
+//! the Spy can only proceed when released, the pair is self-synchronising:
+//! one bit error never corrupts the bits after it (bit independence), and no
+//! per-bit re-synchronization is needed.
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use crate::protocol::cooperation;
+use mes_types::BitString;
+
+/// The named-object name Trojan and Spy agree on.
+pub const OBJECT_NAME: &str = "Global/mes-attacks-event";
+
+/// Compiles on-the-wire bits into an Event transmission plan.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    cooperation::encode(wire, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SlotAction;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn event_signals_for_both_symbols() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let plan = encode(&BitString::from_str01("10").unwrap(), &config);
+        assert_eq!(plan.actions[0], SlotAction::SignalAfter(Micros::new(80)));
+        assert_eq!(plan.actions[1], SlotAction::SignalAfter(Micros::new(15)));
+    }
+
+    #[test]
+    fn event_is_unavailable_across_vms() {
+        assert!(ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::Event).is_err());
+    }
+}

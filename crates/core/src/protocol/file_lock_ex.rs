@@ -1,0 +1,38 @@
+//! The `FileLockEX` channel (§IV.G, Tables IV–VI of the paper).
+//!
+//! The Windows counterpart of the `flock` channel: `LockFileEx` with the
+//! exclusive flag on a read-only file shared between Trojan and Spy. Because
+//! the lock is attached to a real file visible from both sides of a Hyper-V
+//! boundary, this is the one Windows mechanism that still works across
+//! virtual machines (Table VI).
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use crate::protocol::contention;
+use mes_types::BitString;
+
+/// The shared file path Trojan and Spy agree on.
+pub const SHARED_FILE: &str = "C:/ProgramData/mes-attacks/file.txt";
+
+/// Compiles on-the-wire bits into a FileLockEX transmission plan.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    contention::encode(wire, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SlotAction;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn cross_vm_timeset_is_larger_than_local() {
+        let local = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::FileLockEx).unwrap();
+        let vm = ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
+        let wire = BitString::from_str01("1").unwrap();
+        let local_plan = encode(&wire, &local);
+        let vm_plan = encode(&wire, &vm);
+        assert_eq!(local_plan.actions[0], SlotAction::Occupy(Micros::new(150)));
+        assert_eq!(vm_plan.actions[0], SlotAction::Occupy(Micros::new(190)));
+    }
+}

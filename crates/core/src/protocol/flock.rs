@@ -1,0 +1,39 @@
+//! The `flock` channel (Protocol 1 of the paper, §IV.D).
+//!
+//! Linux is the one OS in the paper's study where the only inter-process
+//! MESM that does not require writable shared memory is the advisory file
+//! lock. Trojan and Spy agree on a path, both open it read-only, and the
+//! Trojan's `LOCK_EX`/`LOCK_UN` pattern modulates how long the Spy's own
+//! `LOCK_EX` blocks. The locking state lives on the shared i-node
+//! (fd table → file table → i-node, Fig. 5), which is why it crosses process,
+//! sandbox and even VM boundaries.
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use crate::protocol::contention;
+use mes_types::BitString;
+
+/// The shared file path Trojan and Spy agree on.
+pub const SHARED_FILE: &str = "/tmp/mes-attacks/file.txt";
+
+/// Compiles on-the-wire bits into a flock transmission plan.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    contention::encode(wire, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SlotAction;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn uses_the_paper_timeset() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap();
+        let plan = encode(&BitString::from_str01("10").unwrap(), &config);
+        assert_eq!(plan.actions[0], SlotAction::Occupy(Micros::new(160)));
+        assert_eq!(plan.actions[1], SlotAction::Idle(Micros::new(60)));
+        assert_eq!(plan.mechanism, Mechanism::Flock);
+        assert!(!SHARED_FILE.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-mechanism channel protocols.
+//!
+//! Each submodule documents and implements the paper's protocol for one
+//! MESM. They all compile down to the same mechanism-independent
+//! representation — a [`TransmissionPlan`] of per-slot Trojan actions — which
+//! the backends then execute:
+//!
+//! | module | mechanism | family | paper reference |
+//! |---|---|---|---|
+//! | [`flock`] | Linux `flock(2)` | contention | Protocol 1, §IV.D |
+//! | [`file_lock_ex`] | Windows `LockFileEx` | contention | §IV.G |
+//! | [`mutex`] | Windows mutex object | contention | §IV.G |
+//! | [`semaphore`] | Windows semaphore object | contention (special) | §IV.E, Tables II/III |
+//! | [`event`] | Windows event object | cooperation | Protocol 2, §IV.F |
+//! | [`timer`] | Windows waitable timer | cooperation | §IV.G |
+
+pub mod contention;
+pub mod cooperation;
+pub mod event;
+pub mod file_lock_ex;
+pub mod flock;
+pub mod mutex;
+pub mod semaphore;
+pub mod timer;
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use mes_scenario::ScenarioProfile;
+use mes_sim::NoiseModel;
+use mes_types::{BitString, Mechanism, Micros, Nanos, Result};
+
+/// Compiles on-the-wire bits into a [`TransmissionPlan`] for the configured
+/// mechanism, including the calibrated per-slot protocol work and (for the
+/// semaphore) the resource pre-provisioning.
+///
+/// # Errors
+///
+/// Returns an error if the mechanism is not available in the profile's
+/// scenario or the configuration is invalid.
+pub fn encode(
+    wire: &BitString,
+    config: &ChannelConfig,
+    profile: &ScenarioProfile,
+) -> Result<TransmissionPlan> {
+    profile.require(config.mechanism)?;
+    config.validate()?;
+    let plan = match config.mechanism {
+        Mechanism::Flock => flock::encode(wire, config),
+        Mechanism::FileLockEx => file_lock_ex::encode(wire, config),
+        Mechanism::Mutex => mutex::encode(wire, config),
+        Mechanism::Semaphore => semaphore::encode(wire, config)?,
+        Mechanism::Event => event::encode(wire, config),
+        Mechanism::Timer => timer::encode(wire, config),
+    };
+    let overhead = profile.protocol_overhead(config.mechanism);
+    let backend_estimate = estimated_backend_overhead(
+        &profile.noise_for(config.mechanism),
+        config.mechanism,
+    );
+    Ok(plan.with_slot_work(overhead.saturating_sub(backend_estimate)))
+}
+
+/// The constraint latency the Spy is expected to observe for a `0` and a `1`
+/// under this configuration, before protocol overhead. Used as the fallback
+/// decision threshold when the adaptive (preamble-fitted) threshold cannot be
+/// computed.
+pub fn expected_latencies(config: &ChannelConfig) -> (Nanos, Nanos) {
+    match config.mechanism.family() {
+        mes_types::ChannelFamily::Cooperation => (
+            config.timing.zero_duration().to_nanos(),
+            config.timing.one_duration().to_nanos(),
+        ),
+        mes_types::ChannelFamily::Contention => {
+            if config.mechanism == Mechanism::Semaphore {
+                // Deferred-release scheme: the Spy waits ~tt0 for a 0 and
+                // ~tt1 for a 1 (see `protocol::semaphore`).
+                (
+                    config.timing.zero_duration().to_nanos(),
+                    config.timing.one_duration().to_nanos(),
+                )
+            } else {
+                (
+                    Nanos::ZERO,
+                    config
+                        .timing
+                        .one_duration()
+                        .saturating_sub(config.spy_offset)
+                        .to_nanos(),
+                )
+            }
+        }
+    }
+}
+
+/// Rough estimate (in µs) of the per-slot time a backend already charges
+/// through its operation costs, wake-up latencies and barrier overhead. The
+/// calibrated protocol overhead from `mes-scenario` minus this estimate is
+/// inserted as explicit per-slot work so the regenerated transmission rates
+/// land near the paper's.
+pub fn estimated_backend_overhead(noise: &NoiseModel, mechanism: Mechanism) -> Micros {
+    let us = |ns: f64| ns / 1_000.0;
+    let sleep_wake = us(noise.sleep_wakeup_latency_ns);
+    let wait_wake = us(noise.wait_wakeup_latency_ns);
+    let object_call = us(noise.costs.kernel_object_call.mean_ns);
+    let wait_call = us(noise.costs.wait_call.mean_ns);
+    let file_call = us(noise.costs.file_lock_call.mean_ns);
+    let barrier = us(noise.costs.loop_iteration.mean_ns) + wait_wake;
+    let estimate = match mechanism {
+        Mechanism::Event => sleep_wake + object_call,
+        Mechanism::Timer => sleep_wake + object_call + 1.0,
+        Mechanism::Flock | Mechanism::FileLockEx => sleep_wake + barrier + 2.0 * file_call,
+        Mechanism::Mutex => sleep_wake + barrier + wait_call + object_call,
+        Mechanism::Semaphore => sleep_wake + barrier + object_call + wait_call,
+    };
+    Micros::new(estimate.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Scenario;
+
+    fn wire() -> BitString {
+        BitString::from_str01("10101010" /* preamble */).unwrap()
+    }
+
+    #[test]
+    fn encode_rejects_unavailable_mechanisms() {
+        let profile = ScenarioProfile::cross_vm();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        assert!(encode(&wire(), &config, &profile).is_err());
+    }
+
+    #[test]
+    fn encode_produces_one_action_per_bit() {
+        let profile = ScenarioProfile::local();
+        for mechanism in Scenario::Local.mechanisms() {
+            let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+            let plan = encode(&wire(), &config, &profile).unwrap();
+            assert_eq!(plan.len(), wire().len(), "{mechanism}");
+            assert_eq!(plan.mechanism, mechanism);
+        }
+    }
+
+    #[test]
+    fn slot_work_is_calibrated_but_never_negative() {
+        let profile = ScenarioProfile::local();
+        for mechanism in Scenario::Local.mechanisms() {
+            let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+            let plan = encode(&wire(), &config, &profile).unwrap();
+            let target = profile.protocol_overhead(mechanism);
+            assert!(plan.trojan_slot_work <= target, "{mechanism}");
+        }
+    }
+
+    #[test]
+    fn expected_latencies_are_ordered() {
+        for mechanism in Scenario::Local.mechanisms() {
+            let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+            let (zero, one) = expected_latencies(&config);
+            assert!(one > zero, "{mechanism}: {zero} !< {one}");
+        }
+    }
+
+    #[test]
+    fn backend_overhead_estimates_are_modest() {
+        let noise = ScenarioProfile::local().noise().clone();
+        for mechanism in Mechanism::ALL {
+            let estimate = estimated_backend_overhead(&noise, mechanism);
+            assert!(estimate < Micros::new(25), "{mechanism}: {estimate}");
+        }
+        let quiet = NoiseModel::noiseless();
+        assert_eq!(estimated_backend_overhead(&quiet, Mechanism::Event), Micros::ZERO);
+    }
+}

@@ -1,0 +1,41 @@
+//! The Windows mutex channel (§IV.G of the paper).
+//!
+//! A named mutex kernel object is signalled when unowned; `WaitForSingleObject`
+//! acquires it and records the owning thread and recursion counter (Fig. 4).
+//! The Trojan's acquire/hold/release pattern modulates how long the Spy's own
+//! acquisition blocks — the same contention scheme as the file locks, but on
+//! an object that exists only in the kernel-object namespace (and therefore
+//! stops working across VMs).
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use crate::protocol::contention;
+use mes_types::BitString;
+
+/// The named-object name Trojan and Spy agree on.
+pub const OBJECT_NAME: &str = "Global/mes-attacks-mutex";
+
+/// Compiles on-the-wire bits into a mutex transmission plan.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    contention::encode(wire, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SlotAction;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn mutex_uses_paper_timeset() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Mutex).unwrap();
+        let plan = encode(&BitString::from_str01("01").unwrap(), &config);
+        assert_eq!(plan.actions[0], SlotAction::Idle(Micros::new(60)));
+        assert_eq!(plan.actions[1], SlotAction::Occupy(Micros::new(140)));
+    }
+
+    #[test]
+    fn mutex_is_unavailable_across_vms() {
+        assert!(ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::Mutex).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The Semaphore channel (§IV.E of the paper) and its resource
+//! pre-provisioning (Tables II and III).
+//!
+//! The Spy repeatedly performs the P operation (`WaitForSingleObject`) on a
+//! shared semaphore and measures how long it takes to be released from the
+//! wait. For a `1`, the Trojan produces a resource (V /
+//! `ReleaseSemaphore`) only after holding back for `tt1`, so the Spy waits
+//! long. For a `0`, the Trojan just sleeps `tt0` and produces nothing — the
+//! Spy is released immediately by consuming one of the resources provisioned
+//! *before* the round started.
+//!
+//! Without provisioning, the first `0` after the pool runs dry stalls the Spy
+//! until the next `1` (the failure shown in Table II); provisioning at least
+//! as many resources as there are `0`s in the round fixes it (Table III).
+//!
+//! # Implementation note
+//!
+//! The paper's pre-provisioning description (Tables II/III) is reproduced
+//! exactly by [`provisioning_walkthrough`] and by the
+//! `table2_semaphore_provisioning` experiment binary. The *executable* data
+//! path, however, uses a behaviourally equivalent **deferred-release**
+//! variant: the Trojan releases a resource after `tt1` for a `1` and after
+//! `tt0` for a `0`, so the Spy's wait latency carries the bit and the pool
+//! can never under-run regardless of round length. A literal "consume one
+//! provisioned unit per `0`" scheme cannot distinguish `1`s while provisioned
+//! units remain (the Spy's P returns immediately whenever the pool is
+//! non-empty), so it only works when the pool is provisioned just-in-time —
+//! which is exactly what deferring the release achieves. The per-bit timing,
+//! and therefore the BER/TR the paper reports in Tables IV and V, is
+//! unchanged.
+
+use crate::config::ChannelConfig;
+use crate::plan::{SlotAction, TransmissionPlan};
+use mes_types::{BitString, ChannelTiming, MesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The named-object name Trojan and Spy agree on.
+pub const OBJECT_NAME: &str = "Global/mes-attacks-semaphore";
+
+/// Number of resources that must be provisioned before transmitting `wire`:
+/// one per `0`, because each `0` makes the Spy consume a unit the Trojan
+/// never replaces.
+pub fn required_resources(wire: &BitString) -> u32 {
+    wire.count_zeros() as u32
+}
+
+/// Compiles on-the-wire bits into a semaphore transmission plan with the
+/// required pre-provisioning.
+///
+/// # Errors
+///
+/// Returns [`MesError::InvalidConfig`] if the configuration carries
+/// cooperation timing (rejected earlier by [`ChannelConfig::new`]).
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> Result<TransmissionPlan> {
+    let ChannelTiming::Contention { tt1, tt0 } = config.timing else {
+        return Err(MesError::InvalidConfig {
+            reason: "semaphore channel requires contention timing".into(),
+        });
+    };
+    let actions = wire
+        .iter()
+        .map(|bit| {
+            if bit.is_one() {
+                // Produce the resource only after holding back for tt1.
+                SlotAction::SignalAfter(tt1)
+            } else {
+                // Deferred release: produce quickly so the Spy reads a short
+                // wait (see the module-level implementation note).
+                SlotAction::SignalAfter(tt0)
+            }
+        })
+        .collect();
+    // Recorded for reporting: what the paper's Tables II/III say an attacker
+    // running the literal scheme would have to provision.
+    Ok(TransmissionPlan::new(actions, config)
+        .with_provisioned_resources(required_resources(wire)))
+}
+
+/// One row of the provisioning walk-through in Tables II/III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvisioningStep {
+    /// Bit index (1-based, matching the paper's K1..K12 labels).
+    pub index: usize,
+    /// The transmitted bit.
+    pub bit: mes_types::Bit,
+    /// What the Trojan does ("Request"/"Sleep" in the paper's wording).
+    pub trojan_requests: bool,
+    /// Whether the Spy can be released this step.
+    pub spy_released: bool,
+    /// Remaining provisioned resources after the step.
+    pub remaining_resources: i64,
+}
+
+/// Replays the paper's provisioning table for a key and an initial resource
+/// count, reporting step by step whether the Spy stalls.
+///
+/// With `initial_resources = 0` and the paper's example key this reproduces
+/// Table II (the Spy stalls on the `0`s); with `initial_resources = 5` it
+/// reproduces Table III (every step releases the Spy).
+pub fn provisioning_walkthrough(key: &BitString, initial_resources: u32) -> Vec<ProvisioningStep> {
+    let mut remaining = initial_resources as i64;
+    let mut steps = Vec::with_capacity(key.len());
+    for (index, bit) in key.iter().enumerate() {
+        let trojan_requests = bit.is_one();
+        let spy_released = if trojan_requests {
+            // The Trojan produces a resource and the Spy consumes it: the
+            // provisioned pool is untouched.
+            true
+        } else if remaining > 0 {
+            remaining -= 1;
+            true
+        } else {
+            false
+        };
+        steps.push(ProvisioningStep {
+            index: index + 1,
+            bit,
+            trojan_requests,
+            spy_released,
+            remaining_resources: remaining,
+        });
+    }
+    steps
+}
+
+/// Checks that a provisioning level is sufficient for a payload.
+///
+/// # Errors
+///
+/// Returns [`MesError::InsufficientSemaphoreResources`] when it is not.
+pub fn check_provisioning(wire: &BitString, provisioned: u32) -> Result<()> {
+    let required = required_resources(wire);
+    if provisioned < required {
+        Err(MesError::InsufficientSemaphoreResources {
+            provisioned: provisioned as u64,
+            required: required as u64,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    /// The example key of Tables II/III: K = 1,1,0,1,1,0,1,0,0,0,1,1.
+    fn paper_key() -> BitString {
+        BitString::from_str01("110110100011").unwrap()
+    }
+
+    #[test]
+    fn required_resources_counts_zeros() {
+        assert_eq!(required_resources(&paper_key()), 5);
+        assert_eq!(required_resources(&BitString::from_str01("111").unwrap()), 0);
+        assert_eq!(required_resources(&BitString::new()), 0);
+    }
+
+    #[test]
+    fn table_two_without_provisioning_stalls_on_zeros() {
+        let steps = provisioning_walkthrough(&paper_key(), 0);
+        assert_eq!(steps.len(), 12);
+        // K3 is the first 0: with no provisioned resources the Spy stalls.
+        assert!(!steps[2].spy_released);
+        assert!(steps.iter().filter(|s| !s.spy_released).count() >= 5);
+        // Every 1 still releases the Spy.
+        assert!(steps.iter().filter(|s| s.bit.is_one()).all(|s| s.spy_released));
+    }
+
+    #[test]
+    fn table_three_with_five_resources_never_stalls() {
+        let steps = provisioning_walkthrough(&paper_key(), 5);
+        assert!(steps.iter().all(|s| s.spy_released));
+        // The pool drains to exactly zero, as in the paper's last rows.
+        assert_eq!(steps.last().unwrap().remaining_resources, 0);
+        // And the per-step remaining counts match Table III's Resources column.
+        let remaining: Vec<i64> = steps.iter().map(|s| s.remaining_resources).collect();
+        assert_eq!(remaining, vec![5, 5, 4, 4, 4, 3, 3, 2, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn encode_provisions_automatically() {
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Semaphore).unwrap();
+        let plan = encode(&paper_key(), &config).unwrap();
+        assert_eq!(plan.provisioned_resources, 5);
+        assert_eq!(plan.len(), 12);
+        assert_eq!(plan.actions[0], SlotAction::SignalAfter(Micros::new(230)));
+        assert_eq!(plan.actions[2], SlotAction::SignalAfter(Micros::new(100)));
+    }
+
+    #[test]
+    fn check_provisioning_enforces_the_bound() {
+        assert!(check_provisioning(&paper_key(), 5).is_ok());
+        assert!(check_provisioning(&paper_key(), 6).is_ok());
+        let err = check_provisioning(&paper_key(), 4).unwrap_err();
+        assert!(matches!(err, MesError::InsufficientSemaphoreResources { provisioned: 4, required: 5 }));
+    }
+}

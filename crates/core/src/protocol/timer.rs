@@ -1,0 +1,37 @@
+//! The WaitableTimer channel (§IV.G of the paper).
+//!
+//! Identical in structure to the Event channel, but the Trojan releases the
+//! Spy by arming a waitable timer with a (near-)immediate due time instead of
+//! calling `SetEvent`. The paper reports a slightly lower rate than Event
+//! because the timer path through the kernel is longer (Tables IV and V).
+
+use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
+use crate::protocol::cooperation;
+use mes_types::BitString;
+
+/// The named-object name Trojan and Spy agree on.
+pub const OBJECT_NAME: &str = "Global/mes-attacks-timer";
+
+/// Compiles on-the-wire bits into a WaitableTimer transmission plan.
+pub fn encode(wire: &BitString, config: &ChannelConfig) -> TransmissionPlan {
+    cooperation::encode(wire, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SlotAction;
+    use mes_types::{Mechanism, Micros, Scenario};
+
+    #[test]
+    fn timer_interval_is_wider_than_event() {
+        let event = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let timer = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Timer).unwrap();
+        let wire = BitString::from_str01("1").unwrap();
+        let event_plan = crate::protocol::event::encode(&wire, &event);
+        let timer_plan = encode(&wire, &timer);
+        assert_eq!(event_plan.actions[0], SlotAction::SignalAfter(Micros::new(80)));
+        assert_eq!(timer_plan.actions[0], SlotAction::SignalAfter(Micros::new(90)));
+    }
+}

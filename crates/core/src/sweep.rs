@@ -1,0 +1,173 @@
+//! Timing-parameter sweeps — the machinery behind Fig. 9 and Fig. 10 of the
+//! paper.
+
+use crate::backend::ChannelBackend;
+use crate::channel::CovertChannel;
+use crate::config::ChannelConfig;
+use mes_coding::BitSource;
+use mes_scenario::ScenarioProfile;
+use mes_stats::{LabeledSeries, SweepPoint, SweepSeries};
+use mes_types::{ChannelTiming, Mechanism, Micros, Result};
+
+/// Measures one (timing, payload size) point: BER in percent and TR in kb/s.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or the backend fails.
+pub fn measure_point(
+    mechanism: Mechanism,
+    timing: ChannelTiming,
+    profile: &ScenarioProfile,
+    backend: &mut dyn ChannelBackend,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<SweepPoint> {
+    let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
+    let channel = CovertChannel::new(config, profile.clone())?;
+    let payload = BitSource::new(seed).random_bits(payload_bits);
+    let report = channel.transmit(&payload, backend)?;
+    Ok(SweepPoint {
+        x: 0.0,
+        ber_percent: report.wire_ber().ber_percent(),
+        rate_kbps: report.throughput().kilobits_per_second(),
+    })
+}
+
+/// Sweeps the Event/Timer channel over `tw0` for several `ti` values —
+/// Fig. 9(a) (BER) and Fig. 9(b) (TR) of the paper.
+///
+/// # Errors
+///
+/// Returns an error if any individual point fails.
+pub fn cooperation_sweep(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    backend: &mut dyn ChannelBackend,
+    tw0_values: &[u64],
+    ti_values: &[u64],
+    payload_bits: usize,
+    seed: u64,
+) -> Result<SweepSeries> {
+    let mut sweep = SweepSeries::new("tw0 (us)");
+    for &ti in ti_values {
+        let mut series = LabeledSeries::new(format!("Interval={ti}"));
+        for &tw0 in tw0_values {
+            let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
+            let mut point = measure_point(
+                mechanism,
+                timing,
+                profile,
+                backend,
+                payload_bits,
+                seed ^ (tw0 << 16) ^ ti,
+            )?;
+            point.x = tw0 as f64;
+            series.push(point);
+        }
+        sweep.push(series);
+    }
+    Ok(sweep)
+}
+
+/// Sweeps a contention channel over `tt1` at fixed `tt0` — Fig. 10 of the
+/// paper (flock, `tt0` = 60 µs).
+///
+/// # Errors
+///
+/// Returns an error if any individual point fails.
+pub fn contention_sweep(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    backend: &mut dyn ChannelBackend,
+    tt1_values: &[u64],
+    tt0: u64,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<SweepSeries> {
+    let mut sweep = SweepSeries::new("tt1 (us)");
+    let mut series = LabeledSeries::new(mechanism.to_string());
+    for &tt1 in tt1_values {
+        let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(tt0));
+        let mut point =
+            measure_point(mechanism, timing, profile, backend, payload_bits, seed ^ (tt1 << 8))?;
+        point.x = tt1 as f64;
+        series.push(point);
+    }
+    sweep.push(series);
+    Ok(sweep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimBackend;
+    use mes_types::Scenario;
+
+    #[test]
+    fn cooperation_sweep_produces_a_series_per_interval() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 9);
+        let sweep = cooperation_sweep(
+            Mechanism::Event,
+            &profile,
+            &mut backend,
+            &[15, 35],
+            &[50, 70],
+            128,
+            9,
+        )
+        .unwrap();
+        assert_eq!(sweep.series().len(), 2);
+        assert_eq!(sweep.series()[0].points().len(), 2);
+        assert_eq!(sweep.series()[0].points()[0].x, 15.0);
+        // Larger tw0 at the same ti transmits slower.
+        for series in sweep.series() {
+            let points = series.points();
+            assert!(points[0].rate_kbps > points[1].rate_kbps);
+        }
+    }
+
+    #[test]
+    fn contention_sweep_rates_fall_with_tt1() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 4);
+        let sweep = contention_sweep(
+            Mechanism::Flock,
+            &profile,
+            &mut backend,
+            &[140, 200, 260],
+            60,
+            128,
+            4,
+        )
+        .unwrap();
+        let points = sweep.series()[0].points();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].rate_kbps > points[2].rate_kbps);
+        assert!(points.iter().all(|p| p.rate_kbps > 1.0));
+    }
+
+    #[test]
+    fn measure_point_rejects_bad_timing() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 4);
+        let bad = ChannelTiming::contention(Micros::new(50), Micros::new(60));
+        assert!(measure_point(Mechanism::Flock, bad, &profile, &mut backend, 16, 1).is_err());
+    }
+
+    #[test]
+    fn sweeps_respect_scenario_availability() {
+        let profile = ScenarioProfile::for_scenario(Scenario::CrossVm);
+        let mut backend = SimBackend::new(profile.clone(), 4);
+        let result = cooperation_sweep(
+            Mechanism::Event,
+            &profile,
+            &mut backend,
+            &[15],
+            &[70],
+            16,
+            1,
+        );
+        assert!(result.is_err());
+    }
+}

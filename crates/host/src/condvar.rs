@@ -1,0 +1,206 @@
+//! A cooperation-channel backend built on a mutex + condition variable, and
+//! the slot barrier shared by the host backends.
+//!
+//! Windows event objects are not available on this machine, so the
+//! cooperation channels (Event, WaitableTimer) are demonstrated on the
+//! closest Linux equivalent: the Spy waits on a condition variable with the
+//! paper's infinite timeout, and the Trojan signals it after the bit-encoding
+//! delay. The "who controls when the waiter is released" structure — the only
+//! property the channel relies on — is identical.
+
+use mes_core::{ChannelBackend, Observation, SlotAction, TransmissionPlan};
+use mes_types::{Mechanism, MesError, Nanos, Result};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A reusable two-party rendezvous used to align the Trojan and Spy threads
+/// at every slot boundary (the host equivalent of the simulator's barrier
+/// op).
+#[derive(Debug)]
+pub struct SlotBarrier {
+    parties: usize,
+    state: Mutex<(usize, u64)>,
+    condvar: Condvar,
+}
+
+impl SlotBarrier {
+    /// Creates a barrier for `parties` threads.
+    pub fn new(parties: usize) -> Self {
+        SlotBarrier { parties, state: Mutex::new((0, 0)), condvar: Condvar::new() }
+    }
+
+    /// Blocks until all parties have called `wait` for the current round.
+    pub fn wait(&self) {
+        let mut state = self.state.lock();
+        let generation = state.1;
+        state.0 += 1;
+        if state.0 == self.parties {
+            state.0 = 0;
+            state.1 += 1;
+            self.condvar.notify_all();
+        } else {
+            while state.1 == generation {
+                self.condvar.wait(&mut state);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    signaled: bool,
+}
+
+/// The condition-variable stand-in for the Windows Event object.
+#[derive(Debug, Default)]
+struct HostEvent {
+    state: Mutex<EventState>,
+    condvar: Condvar,
+}
+
+impl HostEvent {
+    /// `SetEvent`: wake the waiter.
+    fn set(&self) {
+        let mut state = self.state.lock();
+        state.signaled = true;
+        self.condvar.notify_one();
+    }
+
+    /// `WaitForSingleObject` with auto-reset semantics.
+    fn wait(&self) {
+        let mut state = self.state.lock();
+        while !state.signaled {
+            self.condvar.wait(&mut state);
+        }
+        state.signaled = false;
+    }
+}
+
+/// A [`ChannelBackend`] that runs cooperation plans on a condition variable.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mes_core::{ChannelConfig, CovertChannel};
+/// use mes_host::{host_timing, HostCondvarBackend};
+/// use mes_scenario::ScenarioProfile;
+/// use mes_types::{BitString, Mechanism};
+///
+/// let config = ChannelConfig::new(Mechanism::Event, host_timing(Mechanism::Event))?;
+/// let channel = CovertChannel::new(config, ScenarioProfile::local())?;
+/// let mut backend = HostCondvarBackend::new();
+/// let report = channel.transmit(&BitString::from_bytes(b"S"), &mut backend)?;
+/// assert_eq!(report.received_payload().to_bytes(), b"S");
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct HostCondvarBackend;
+
+impl HostCondvarBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        HostCondvarBackend
+    }
+}
+
+impl ChannelBackend for HostCondvarBackend {
+    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
+        if !plan.mechanism.is_cooperation_based() && plan.mechanism != Mechanism::Semaphore {
+            return Err(MesError::MechanismUnsupportedOnOs {
+                mechanism: plan.mechanism,
+                os: mes_types::OsKind::Linux,
+            });
+        }
+        let event = Arc::new(HostEvent::default());
+        let actions: Arc<Vec<SlotAction>> = Arc::new(plan.actions.clone());
+        let slots = actions.len();
+
+        let start = Instant::now();
+        let trojan_event = Arc::clone(&event);
+        let trojan_actions = Arc::clone(&actions);
+        let trojan = std::thread::spawn(move || {
+            for action in trojan_actions.iter() {
+                std::thread::sleep(Duration::from_micros(action.duration().as_u64()));
+                trojan_event.set();
+            }
+        });
+
+        let spy_event = Arc::clone(&event);
+        let spy = std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                let begin = Instant::now();
+                spy_event.wait();
+                latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
+            }
+            latencies
+        });
+
+        trojan.join().map_err(|_| MesError::Host {
+            operation: "trojan thread panicked".into(),
+            errno: None,
+        })?;
+        let latencies = spy.join().map_err(|_| MesError::Host {
+            operation: "spy thread panicked".into(),
+            errno: None,
+        })?;
+        Ok(Observation {
+            latencies,
+            elapsed: Nanos::new(start.elapsed().as_nanos() as u64),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "host-condvar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_core::{ChannelConfig, CovertChannel};
+    use mes_scenario::ScenarioProfile;
+    use mes_types::{BitString, ChannelTiming, Micros};
+
+    #[test]
+    fn slot_barrier_aligns_two_threads() {
+        let barrier = Arc::new(SlotBarrier::new(2));
+        let other = Arc::clone(&barrier);
+        let handle = std::thread::spawn(move || {
+            for _ in 0..100 {
+                other.wait();
+            }
+        });
+        for _ in 0..100 {
+            barrier.wait();
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_event_channel_moves_a_byte() {
+        let timing = ChannelTiming::cooperation(Micros::from_millis(3), Micros::from_millis(10));
+        let config = ChannelConfig::new(Mechanism::Event, timing).unwrap();
+        let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+        let mut backend = HostCondvarBackend::new();
+        let secret = BitString::from_bytes(b"Q");
+        let report = channel.transmit(&secret, &mut backend).unwrap();
+        assert_eq!(
+            report.received_payload(),
+            &secret,
+            "latencies: {:?}",
+            report.latencies()
+        );
+        assert_eq!(backend.name(), "host-condvar");
+    }
+
+    #[test]
+    fn contention_mechanisms_are_rejected() {
+        let timing = ChannelTiming::contention(Micros::from_millis(6), Micros::from_millis(2));
+        let config = ChannelConfig::new(Mechanism::Flock, timing).unwrap();
+        let plan = mes_core::protocol::flock::encode(&BitString::from_str01("1").unwrap(), &config);
+        let mut backend = HostCondvarBackend::new();
+        assert!(backend.transmit(&plan).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The real `flock(2)` channel.
+//!
+//! Two threads open the same temporary file with independent descriptors.
+//! The Trojan thread executes the transmission plan — `LOCK_EX`, hold, and
+//! `LOCK_UN` for an occupy slot; plain sleep for an idle slot — while the Spy
+//! thread measures how long its own `LOCK_EX` attempt takes each slot. This
+//! is Protocol 1 of the paper running on the kernel of the build machine.
+
+use crate::condvar::SlotBarrier;
+use mes_core::{ChannelBackend, Observation, SlotAction, TransmissionPlan};
+use mes_types::{Mechanism, MesError, Nanos, Result};
+use std::fs::{File, OpenOptions};
+use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn flock(file: &File, operation: libc::c_int) -> Result<()> {
+    // SAFETY: `file` owns a valid open descriptor for the lifetime of the
+    // call; `flock` does not retain the descriptor.
+    let rc = unsafe { libc::flock(file.as_raw_fd(), operation) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(MesError::Host {
+            operation: "flock".into(),
+            errno: Some(std::io::Error::last_os_error().raw_os_error().unwrap_or(0)),
+        })
+    }
+}
+
+fn lock_exclusive(file: &File) -> Result<()> {
+    flock(file, libc::LOCK_EX)
+}
+
+fn unlock(file: &File) -> Result<()> {
+    flock(file, libc::LOCK_UN)
+}
+
+fn micros(duration: mes_types::Micros) -> Duration {
+    Duration::from_micros(duration.as_u64())
+}
+
+/// A [`ChannelBackend`] that runs contention plans on real `flock(2)` locks.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mes_core::{ChannelConfig, CovertChannel};
+/// use mes_host::{host_timing, HostFlockBackend};
+/// use mes_scenario::ScenarioProfile;
+/// use mes_types::{BitString, Mechanism};
+///
+/// let config = ChannelConfig::new(Mechanism::Flock, host_timing(Mechanism::Flock))?;
+/// let channel = CovertChannel::new(config, ScenarioProfile::local())?;
+/// let mut backend = HostFlockBackend::new()?;
+/// let report = channel.transmit(&BitString::from_bytes(b"K"), &mut backend)?;
+/// assert_eq!(report.received_payload().to_bytes(), b"K");
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug)]
+pub struct HostFlockBackend {
+    path: PathBuf,
+}
+
+impl HostFlockBackend {
+    /// Creates the backend, allocating the shared lock file under the
+    /// system temporary directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Host`] if the file cannot be created.
+    pub fn new() -> Result<Self> {
+        let path = std::env::temp_dir().join(format!(
+            "mes-attacks-flock-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::write(&path, b"mes-attacks shared file").map_err(|error| MesError::Host {
+            operation: format!("create {}: {error}", path.display()),
+            errno: error.raw_os_error(),
+        })?;
+        Ok(HostFlockBackend { path })
+    }
+
+    /// The path of the shared lock file.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn open(&self) -> Result<File> {
+        OpenOptions::new()
+            .read(true)
+            .open(&self.path)
+            .map_err(|error| MesError::Host {
+                operation: format!("open {}", self.path.display()),
+                errno: error.raw_os_error(),
+            })
+    }
+}
+
+impl Drop for HostFlockBackend {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl ChannelBackend for HostFlockBackend {
+    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
+        if !matches!(plan.mechanism, Mechanism::Flock | Mechanism::FileLockEx) {
+            return Err(MesError::MechanismUnsupportedOnOs {
+                mechanism: plan.mechanism,
+                os: mes_types::OsKind::Linux,
+            });
+        }
+        let trojan_file = self.open()?;
+        let spy_file = self.open()?;
+        let actions: Arc<Vec<SlotAction>> = Arc::new(plan.actions.clone());
+        let barrier = Arc::new(SlotBarrier::new(2));
+        // The paper's microsecond-scale spy offset is too tight for a
+        // time-shared host: give the Trojan thread a comfortable head start
+        // after each slot barrier so it reliably acquires the lock first when
+        // sending a `1`.
+        let spy_offset = micros(plan.spy_offset).max(Duration::from_millis(1));
+        let slots = actions.len();
+
+        let start = Instant::now();
+        let trojan_actions = Arc::clone(&actions);
+        let trojan_barrier = Arc::clone(&barrier);
+        let trojan = std::thread::spawn(move || -> Result<()> {
+            for action in trojan_actions.iter() {
+                trojan_barrier.wait();
+                match action {
+                    SlotAction::Occupy(hold) => {
+                        lock_exclusive(&trojan_file)?;
+                        std::thread::sleep(micros(*hold));
+                        unlock(&trojan_file)?;
+                    }
+                    SlotAction::Idle(pause) | SlotAction::SignalAfter(pause) => {
+                        std::thread::sleep(micros(*pause));
+                    }
+                }
+            }
+            Ok(())
+        });
+
+        let spy_barrier = Arc::clone(&barrier);
+        let spy = std::thread::spawn(move || -> Result<Vec<Nanos>> {
+            let mut latencies = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                spy_barrier.wait();
+                std::thread::sleep(spy_offset);
+                let begin = Instant::now();
+                lock_exclusive(&spy_file)?;
+                unlock(&spy_file)?;
+                latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
+            }
+            Ok(latencies)
+        });
+
+        let trojan_result = trojan.join().map_err(|_| MesError::Host {
+            operation: "trojan thread panicked".into(),
+            errno: None,
+        })?;
+        let spy_result = spy.join().map_err(|_| MesError::Host {
+            operation: "spy thread panicked".into(),
+            errno: None,
+        })?;
+        trojan_result?;
+        let latencies = spy_result?;
+        Ok(Observation {
+            latencies,
+            elapsed: Nanos::new(start.elapsed().as_nanos() as u64),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "host-flock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_core::{ChannelConfig, CovertChannel};
+    use mes_scenario::ScenarioProfile;
+    use mes_types::{BitString, ChannelTiming, Micros};
+
+    fn fast_timing() -> ChannelTiming {
+        // Wide margins so the test survives a loaded machine (the whole
+        // workspace test suite runs concurrently with this one).
+        ChannelTiming::contention(Micros::from_millis(18), Micros::from_millis(6))
+    }
+
+    #[test]
+    fn real_flock_channel_moves_a_byte() {
+        let config = ChannelConfig::new(Mechanism::Flock, fast_timing()).unwrap();
+        let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+        let mut backend = HostFlockBackend::new().unwrap();
+        let secret = BitString::from_bytes(b"Z");
+        let report = channel.transmit(&secret, &mut backend).unwrap();
+        assert_eq!(
+            report.received_payload(),
+            &secret,
+            "latencies: {:?}",
+            report.latencies()
+        );
+        assert!(report.frame_valid());
+        assert_eq!(backend.name(), "host-flock");
+    }
+
+    #[test]
+    fn rejects_non_file_mechanisms() {
+        let mut backend = HostFlockBackend::new().unwrap();
+        let config =
+            ChannelConfig::new(Mechanism::Event, host_event_timing()).unwrap();
+        let plan = mes_core::protocol::event::encode(
+            &BitString::from_str01("10").unwrap(),
+            &config,
+        );
+        assert!(backend.transmit(&plan).is_err());
+    }
+
+    fn host_event_timing() -> ChannelTiming {
+        ChannelTiming::cooperation(Micros::from_millis(1), Micros::from_millis(2))
+    }
+
+    #[test]
+    fn lock_file_is_cleaned_up() {
+        let path;
+        {
+            let backend = HostFlockBackend::new().unwrap();
+            path = backend.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+}

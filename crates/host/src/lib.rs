@@ -1,0 +1,40 @@
+//! `mes-host` — running MES-Attacks channels on the real operating system of
+//! the build machine.
+//!
+//! The simulator in `mes-sim` reproduces the paper's evaluation
+//! deterministically; this crate exercises the *actual* kernel primitives the
+//! paper's Linux channel is built on, so the local scenario can be
+//! demonstrated end-to-end on real syscalls:
+//!
+//! * [`HostFlockBackend`] — the `flock(2)` channel between two threads of the
+//!   current process, each holding its own descriptor for a shared temporary
+//!   file (the descriptors point at the same i-node, exactly the situation of
+//!   Fig. 5 in the paper);
+//! * [`HostCondvarBackend`] — a stand-in for the Windows Event/WaitableTimer
+//!   channels using a mutex + condition variable pair, preserving the
+//!   "Trojan controls when the Spy's wait ends" structure of Protocol 2.
+//!
+//! Both implement [`mes_core::ChannelBackend`], so the full `CovertChannel`
+//! pipeline (framing, adaptive threshold, BER/TR accounting) runs unchanged
+//! on top of them.
+//!
+//! # Substitutions
+//!
+//! The paper runs Trojan and Spy as separate *processes* (and, for the other
+//! scenarios, in sandboxes and VMs). Spawning and synchronising child
+//! processes from a test suite is fragile, so this crate uses threads with
+//! separate file descriptors; `flock` locks are per-open-file rather than
+//! per-thread, so the contention behaviour over the shared i-node is the same
+//! as between processes. The timing parameters are scaled up (hundreds of
+//! microseconds to milliseconds) because a time-shared CI machine cannot hold
+//! the paper's 15 µs scheduling precision.
+
+#![warn(missing_docs)]
+
+pub mod condvar;
+pub mod flock;
+pub mod timing;
+
+pub use condvar::HostCondvarBackend;
+pub use flock::HostFlockBackend;
+pub use timing::host_timing;

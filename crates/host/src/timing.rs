@@ -1,0 +1,42 @@
+//! Timing parameters suitable for real-host runs.
+//!
+//! The paper's microsecond-level Timeset assumes a dedicated machine; on a
+//! shared build host the scheduler quantum and timer slack are far coarser,
+//! so the host backends run the same protocols with millisecond-scale
+//! parameters. The *shape* of the channel (two separable latency levels, one
+//! per bit value) is unchanged.
+
+use mes_types::{ChannelFamily, ChannelTiming, Mechanism, Micros};
+
+/// Returns conservative host-scale timing for a mechanism: 4 ms / 12 ms for
+/// contention channels and 2 ms / +6 ms for cooperation channels.
+pub fn host_timing(mechanism: Mechanism) -> ChannelTiming {
+    match mechanism.family() {
+        ChannelFamily::Contention => {
+            ChannelTiming::contention(Micros::from_millis(12), Micros::from_millis(4))
+        }
+        ChannelFamily::Cooperation => {
+            ChannelTiming::cooperation(Micros::from_millis(2), Micros::from_millis(6))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_timing_is_valid_for_every_mechanism() {
+        for mechanism in Mechanism::ALL {
+            let timing = host_timing(mechanism);
+            assert!(timing.validate().is_ok(), "{mechanism}");
+            assert!(timing.margin() >= Micros::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn families_get_matching_timing() {
+        assert!(matches!(host_timing(Mechanism::Flock), ChannelTiming::Contention { .. }));
+        assert!(matches!(host_timing(Mechanism::Event), ChannelTiming::Cooperation { .. }));
+    }
+}

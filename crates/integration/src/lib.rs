@@ -1,0 +1,5 @@
+//! Anchor crate for the repository-level integration tests in `tests/`.
+//!
+//! The crate itself exposes nothing; it exists so the cross-crate integration
+//! suite can live at the repository root (see `[[test]]` entries in
+//! `Cargo.toml`) while each library crate keeps its own unit tests.

@@ -1,0 +1,235 @@
+//! Calibration constants fitted from the paper's own evaluation tables.
+//!
+//! The paper ran on an Intel i5-7400 (Ubuntu 16.04 / Windows 10); this
+//! reproduction runs on a simulator. To keep the regenerated tables
+//! comparable we fit one constant per (scenario, mechanism): the per-bit
+//! *protocol overhead* — the time a bit costs on top of its programmed
+//! constraint duration (receiver loop, syscall entry/exit, timestamping,
+//! inter-bit synchronization). The fit comes straight from the published
+//! numbers: `overhead = 1/TR − mean(symbol durations)`.
+//!
+//! The paper's Timeset / BER / TR values themselves are also recorded here so
+//! the harness can print a paper-vs-measured comparison for every row
+//! (EXPERIMENTS.md).
+
+use mes_types::{ChannelTiming, Mechanism, MesError, Micros, Result, Scenario};
+
+/// The paper's recommended timing parameters ("Timeset" rows of Tables IV–VI).
+///
+/// # Errors
+///
+/// Returns [`MesError::MechanismUnavailable`] for combinations the paper does
+/// not evaluate (non-file mechanisms across VMs).
+pub fn paper_timeset(scenario: Scenario, mechanism: Mechanism) -> Result<ChannelTiming> {
+    use Mechanism::*;
+    let us = Micros::new;
+    let timing = match scenario {
+        Scenario::Local => match mechanism {
+            Flock => ChannelTiming::contention(us(160), us(60)),
+            FileLockEx => ChannelTiming::contention(us(150), us(50)),
+            Mutex => ChannelTiming::contention(us(140), us(60)),
+            Semaphore => ChannelTiming::contention(us(230), us(100)),
+            Event => ChannelTiming::cooperation(us(15), us(65)),
+            Timer => ChannelTiming::cooperation(us(15), us(75)),
+        },
+        Scenario::CrossSandbox => match mechanism {
+            Flock => ChannelTiming::contention(us(170), us(60)),
+            FileLockEx => ChannelTiming::contention(us(170), us(60)),
+            Mutex => ChannelTiming::contention(us(150), us(60)),
+            Semaphore => ChannelTiming::contention(us(240), us(100)),
+            Event => ChannelTiming::cooperation(us(15), us(70)),
+            Timer => ChannelTiming::cooperation(us(15), us(85)),
+        },
+        Scenario::CrossVm => match mechanism {
+            Flock => ChannelTiming::contention(us(200), us(70)),
+            FileLockEx => ChannelTiming::contention(us(190), us(70)),
+            other => {
+                return Err(MesError::MechanismUnavailable {
+                    mechanism: other,
+                    scenario: Scenario::CrossVm,
+                })
+            }
+        },
+    };
+    Ok(timing)
+}
+
+/// Per-bit protocol overhead fitted from the paper's TR numbers, in
+/// microseconds (see the module docs for the derivation). For combinations
+/// the paper does not report, a conservative default is returned so ablation
+/// experiments can still run.
+pub fn protocol_overhead(scenario: Scenario, mechanism: Mechanism) -> Micros {
+    use Mechanism::*;
+    let tenths = match scenario {
+        Scenario::Local => match mechanism {
+            Flock => 292,
+            FileLockEx => 302,
+            Mutex => 314,
+            Semaphore => 573,
+            Event => 288,
+            Timer => 331,
+        },
+        Scenario::CrossSandbox => match mechanism {
+            Flock => 290,
+            FileLockEx => 243,
+            Mutex => 357,
+            Semaphore => 605,
+            Event => 308,
+            Timer => 381,
+        },
+        Scenario::CrossVm => match mechanism {
+            Flock => 347,
+            FileLockEx => 226,
+            // Not evaluated by the paper; assume the sandbox overhead plus
+            // the extra VM path.
+            Mutex => 420,
+            Semaphore => 680,
+            Event => 380,
+            Timer => 450,
+        },
+    };
+    // Stored in tenths of a microsecond to keep the table readable.
+    Micros::new(tenths / 10)
+}
+
+/// The BER the paper reports for a (scenario, mechanism) pair, in percent.
+pub fn paper_ber_percent(scenario: Scenario, mechanism: Mechanism) -> Option<f64> {
+    use Mechanism::*;
+    let value = match scenario {
+        Scenario::Local => match mechanism {
+            Flock => 0.615,
+            FileLockEx => 0.758,
+            Mutex => 0.759,
+            Semaphore => 0.741,
+            Event => 0.554,
+            Timer => 0.600,
+        },
+        Scenario::CrossSandbox => match mechanism {
+            Flock => 0.642,
+            FileLockEx => 0.700,
+            Mutex => 0.701,
+            Semaphore => 0.731,
+            Event => 0.583,
+            Timer => 0.610,
+        },
+        Scenario::CrossVm => match mechanism {
+            Flock => 0.832,
+            FileLockEx => 0.713,
+            _ => return None,
+        },
+    };
+    Some(value)
+}
+
+/// The transmission rate the paper reports for a (scenario, mechanism) pair,
+/// in kb/s.
+pub fn paper_tr_kbps(scenario: Scenario, mechanism: Mechanism) -> Option<f64> {
+    use Mechanism::*;
+    let value = match scenario {
+        Scenario::Local => match mechanism {
+            Flock => 7.182,
+            FileLockEx => 7.678,
+            Mutex => 7.612,
+            Semaphore => 4.498,
+            Event => 13.105,
+            Timer => 11.683,
+        },
+        Scenario::CrossSandbox => match mechanism {
+            Flock => 6.946,
+            FileLockEx => 7.181,
+            Mutex => 7.109,
+            Semaphore => 4.338,
+            Event => 12.383,
+            Timer => 10.458,
+        },
+        Scenario::CrossVm => match mechanism {
+            Flock => 5.893,
+            FileLockEx => 6.552,
+            _ => return None,
+        },
+    };
+    Some(value)
+}
+
+/// The paper's headline aggregate rates per scenario (abstract / conclusion):
+/// 13.105 kb/s local, 12.383 kb/s cross-sandbox, 6.552 kb/s cross-VM.
+pub fn paper_headline_tr_kbps(scenario: Scenario) -> f64 {
+    match scenario {
+        Scenario::Local => 13.105,
+        Scenario::CrossSandbox => 12.383,
+        Scenario::CrossVm => 6.552,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timesets_match_the_paper_tables() {
+        let flock = paper_timeset(Scenario::Local, Mechanism::Flock).unwrap();
+        assert_eq!(flock, ChannelTiming::contention(Micros::new(160), Micros::new(60)));
+        let event = paper_timeset(Scenario::CrossSandbox, Mechanism::Event).unwrap();
+        assert_eq!(event, ChannelTiming::cooperation(Micros::new(15), Micros::new(70)));
+        let vm = paper_timeset(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
+        assert_eq!(vm, ChannelTiming::contention(Micros::new(190), Micros::new(70)));
+        assert!(paper_timeset(Scenario::CrossVm, Mechanism::Event).is_err());
+    }
+
+    #[test]
+    fn every_supported_combination_has_a_timeset_and_references() {
+        for scenario in Scenario::ALL {
+            for mechanism in scenario.mechanisms() {
+                assert!(paper_timeset(scenario, mechanism).is_ok(), "{scenario} {mechanism}");
+                assert!(paper_ber_percent(scenario, mechanism).is_some());
+                assert!(paper_tr_kbps(scenario, mechanism).is_some());
+                assert!(protocol_overhead(scenario, mechanism) > Micros::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_cross_vm_combinations_have_no_reference_numbers() {
+        assert!(paper_ber_percent(Scenario::CrossVm, Mechanism::Event).is_none());
+        assert!(paper_tr_kbps(Scenario::CrossVm, Mechanism::Mutex).is_none());
+    }
+
+    #[test]
+    fn fitted_overheads_reproduce_the_paper_rates() {
+        // overhead was fitted as 1/TR - mean symbol time; check the round trip
+        // stays within 1.5 us for every published row.
+        for scenario in Scenario::ALL {
+            for mechanism in scenario.mechanisms() {
+                let timing = paper_timeset(scenario, mechanism).unwrap();
+                let overhead = protocol_overhead(scenario, mechanism);
+                let mean_bit_us =
+                    timing.mean_symbol_duration().as_f64() + overhead.as_f64();
+                let predicted_tr = 1_000.0 / mean_bit_us; // kb/s
+                let paper_tr = paper_tr_kbps(scenario, mechanism).unwrap();
+                let error = (predicted_tr - paper_tr).abs();
+                assert!(
+                    error < 0.35,
+                    "{scenario}/{mechanism}: predicted {predicted_tr:.3} vs paper {paper_tr:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_rates_match_the_abstract() {
+        assert_eq!(paper_headline_tr_kbps(Scenario::Local), 13.105);
+        assert_eq!(paper_headline_tr_kbps(Scenario::CrossSandbox), 12.383);
+        assert_eq!(paper_headline_tr_kbps(Scenario::CrossVm), 6.552);
+    }
+
+    #[test]
+    fn semaphore_overhead_reflects_its_extra_instructions() {
+        // Section V.C.1: semaphore needs 6 lock-path instructions vs 3.
+        for scenario in [Scenario::Local, Scenario::CrossSandbox] {
+            assert!(
+                protocol_overhead(scenario, Mechanism::Semaphore)
+                    > protocol_overhead(scenario, Mechanism::Flock)
+            );
+        }
+    }
+}

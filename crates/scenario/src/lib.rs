@@ -1,0 +1,235 @@
+//! `mes-scenario` — deployment profiles for the three scenarios the paper
+//! evaluates: local, cross-sandbox and cross-VM.
+//!
+//! A [`ScenarioProfile`] bundles everything that changes when the Trojan and
+//! Spy move apart:
+//!
+//! * the [`NoiseModel`] of the path between them (sandboxes lengthen every
+//!   syscall, VMs add virtualization-exit latency and jitter);
+//! * the *session* each process runs in, which is what makes ordinary kernel
+//!   objects invisible across VMs (Section V.C.3 of the paper);
+//! * which mechanisms are usable at all;
+//! * the calibration constants fitted from the paper's own tables
+//!   ([`calibration`]), so the regenerated tables land near the published
+//!   numbers on any machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_scenario::ScenarioProfile;
+//! use mes_types::{Mechanism, Scenario};
+//!
+//! let local = ScenarioProfile::local();
+//! assert!(local.supports(Mechanism::Event));
+//!
+//! let cross_vm = ScenarioProfile::cross_vm();
+//! assert!(!cross_vm.supports(Mechanism::Event));
+//! assert!(cross_vm.supports(Mechanism::FileLockEx));
+//! assert_ne!(cross_vm.trojan_session(), cross_vm.spy_session());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+
+use mes_sim::{NoiseModel, SessionId};
+use mes_types::{ChannelTiming, Mechanism, MesError, Micros, Result, Scenario};
+use serde::{Deserialize, Serialize};
+
+pub use calibration::{paper_ber_percent, paper_timeset, paper_tr_kbps, protocol_overhead};
+
+/// Everything the channel layer needs to know about where the Trojan and the
+/// Spy run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioProfile {
+    scenario: Scenario,
+    noise: NoiseModel,
+    trojan_session: SessionId,
+    spy_session: SessionId,
+    /// Extra one-way latency added to every cross-boundary wake-up, on top
+    /// of the local wait-wakeup latency (µs). Models the longer paths the
+    /// paper attributes to sandbox escapes and inter-VM transitions.
+    boundary_latency: Micros,
+}
+
+impl ScenarioProfile {
+    /// The local scenario: both processes on the same machine and session.
+    pub fn local() -> Self {
+        ScenarioProfile {
+            scenario: Scenario::Local,
+            noise: NoiseModel::calibrated_local(),
+            trojan_session: SessionId::HOST,
+            spy_session: SessionId::HOST,
+            boundary_latency: Micros::ZERO,
+        }
+    }
+
+    /// The cross-sandbox scenario: the Trojan runs inside Firejail/Sandboxie.
+    /// The sandbox shares the kernel object namespace with the host but
+    /// lengthens and jitters every syscall.
+    pub fn cross_sandbox() -> Self {
+        ScenarioProfile {
+            scenario: Scenario::CrossSandbox,
+            noise: NoiseModel::calibrated_local().scaled(1.4, 1.1),
+            trojan_session: SessionId::HOST,
+            spy_session: SessionId::HOST,
+            boundary_latency: Micros::new(3),
+        }
+    }
+
+    /// The cross-VM scenario: Trojan and Spy run in two different virtual
+    /// machines. Only file-backed mechanisms still refer to a shared
+    /// resource; everything else is namespaced per session.
+    pub fn cross_vm() -> Self {
+        ScenarioProfile {
+            scenario: Scenario::CrossVm,
+            noise: NoiseModel::calibrated_local().scaled(1.9, 1.2),
+            trojan_session: SessionId::new(1),
+            spy_session: SessionId::new(2),
+            boundary_latency: Micros::new(8),
+        }
+    }
+
+    /// Builds the profile for a scenario.
+    pub fn for_scenario(scenario: Scenario) -> Self {
+        match scenario {
+            Scenario::Local => ScenarioProfile::local(),
+            Scenario::CrossSandbox => ScenarioProfile::cross_sandbox(),
+            Scenario::CrossVm => ScenarioProfile::cross_vm(),
+        }
+    }
+
+    /// The scenario this profile describes.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The session the Trojan process runs in.
+    pub fn trojan_session(&self) -> SessionId {
+        self.trojan_session
+    }
+
+    /// The session the Spy process runs in.
+    pub fn spy_session(&self) -> SessionId {
+        self.spy_session
+    }
+
+    /// Extra one-way latency across the isolation boundary.
+    pub fn boundary_latency(&self) -> Micros {
+        self.boundary_latency
+    }
+
+    /// Whether `mechanism` can carry data in this scenario.
+    pub fn supports(&self, mechanism: Mechanism) -> bool {
+        self.scenario.supports(mechanism)
+    }
+
+    /// Validates that `mechanism` works here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::MechanismUnavailable`] when it does not (e.g.
+    /// `Event` across VMs).
+    pub fn require(&self, mechanism: Mechanism) -> Result<()> {
+        if self.supports(mechanism) {
+            Ok(())
+        } else {
+            Err(MesError::MechanismUnavailable { mechanism, scenario: self.scenario })
+        }
+    }
+
+    /// The noise model a channel built on `mechanism` experiences in this
+    /// scenario. The Linux-only `flock` channel additionally gets the ≈58 µs
+    /// scheduler sleep floor the paper measured.
+    pub fn noise_for(&self, mechanism: Mechanism) -> NoiseModel {
+        let mut noise = self.noise.clone();
+        if mechanism == Mechanism::Flock {
+            noise = noise.with_min_sleep(Micros::new(58).to_nanos());
+        }
+        noise
+    }
+
+    /// Replaces the noise model (mainly for ablation experiments).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The base noise model of the scenario (before per-mechanism tweaks).
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The paper's recommended timing parameters for `mechanism` in this
+    /// scenario (the "Timeset" rows of Tables IV–VI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::MechanismUnavailable`] when the paper does not
+    /// evaluate the combination (non-file mechanisms across VMs).
+    pub fn paper_timeset(&self, mechanism: Mechanism) -> Result<ChannelTiming> {
+        calibration::paper_timeset(self.scenario, mechanism)
+    }
+
+    /// The fitted per-bit protocol overhead for `mechanism` in this scenario.
+    pub fn protocol_overhead(&self, mechanism: Mechanism) -> Micros {
+        calibration::protocol_overhead(self.scenario, mechanism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_profile_shares_a_session() {
+        let local = ScenarioProfile::local();
+        assert_eq!(local.trojan_session(), local.spy_session());
+        assert_eq!(local.scenario(), Scenario::Local);
+        assert_eq!(local.boundary_latency(), Micros::ZERO);
+        assert!(local.require(Mechanism::Semaphore).is_ok());
+    }
+
+    #[test]
+    fn cross_vm_profile_separates_sessions_and_mechanisms() {
+        let vm = ScenarioProfile::cross_vm();
+        assert_ne!(vm.trojan_session(), vm.spy_session());
+        assert!(vm.require(Mechanism::Event).is_err());
+        assert!(vm.require(Mechanism::Flock).is_ok());
+        assert!(vm.paper_timeset(Mechanism::Mutex).is_err());
+        assert!(vm.paper_timeset(Mechanism::FileLockEx).is_ok());
+    }
+
+    #[test]
+    fn sandbox_profile_is_noisier_than_local() {
+        let local = ScenarioProfile::local();
+        let sandbox = ScenarioProfile::cross_sandbox();
+        assert!(
+            sandbox.noise().costs.wait_call.mean_ns > local.noise().costs.wait_call.mean_ns
+        );
+        assert!(sandbox.boundary_latency() > Micros::ZERO);
+    }
+
+    #[test]
+    fn for_scenario_dispatches() {
+        for scenario in Scenario::ALL {
+            assert_eq!(ScenarioProfile::for_scenario(scenario).scenario(), scenario);
+        }
+    }
+
+    #[test]
+    fn flock_noise_gets_the_linux_sleep_floor() {
+        let local = ScenarioProfile::local();
+        let flock_noise = local.noise_for(Mechanism::Flock);
+        let event_noise = local.noise_for(Mechanism::Event);
+        assert!(flock_noise.min_sleep_ns >= 58_000.0);
+        assert_eq!(event_noise.min_sleep_ns, 0.0);
+    }
+
+    #[test]
+    fn with_noise_overrides_model() {
+        let quiet = ScenarioProfile::local().with_noise(NoiseModel::noiseless());
+        assert_eq!(quiet.noise(), &NoiseModel::noiseless());
+    }
+}

@@ -1,0 +1,884 @@
+//! The discrete-event engine that executes op programs against the simulated
+//! kernel.
+//!
+//! Every spawned process runs on its own virtual core: it advances its own
+//! local clock through process-local ops (sleeps, busy work, timestamps) and
+//! synchronises with the rest of the system whenever it touches shared state
+//! (kernel objects, file locks, barriers). The engine serialises shared-state
+//! operations in global time order, which is what makes lock hand-off, event
+//! signalling and blocking behave like the real kernel the paper exploits.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::fs::{Fairness, FileSystem, LockRequestOutcome};
+use crate::kernel::namespace::{Namespace, Visibility};
+use crate::kernel::object::KernelObject;
+use crate::noise::NoiseModel;
+use crate::ops::Op;
+use crate::process::{BlockReason, Measurement, ProcessState, Program, RunState};
+use crate::rng::SimRng;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use mes_types::{MesError, Nanos, ObjectId, ProcessId, Result};
+
+/// What a queued event does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    /// A process becomes runnable.
+    ProcessReady(ProcessId),
+    /// An armed waitable timer reaches its due time.
+    TimerFire(ObjectId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueuedEvent {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<ProcessId>,
+}
+
+/// The result of a finished simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    measurements: HashMap<ProcessId, Vec<Measurement>>,
+    names: HashMap<ProcessId, String>,
+    end_time: Nanos,
+    trace: Trace,
+    executed_ops: u64,
+}
+
+impl SimOutcome {
+    /// The measurement windows recorded by `process`, in program order.
+    pub fn measurements(&self, process: ProcessId) -> &[Measurement] {
+        self.measurements
+            .get(&process)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The measured durations recorded by `process`, ordered by slot.
+    pub fn durations(&self, process: ProcessId) -> Vec<Nanos> {
+        let mut windows: Vec<Measurement> = self.measurements(process).to_vec();
+        windows.sort_by_key(|m| m.slot);
+        windows.iter().map(Measurement::elapsed).collect()
+    }
+
+    /// The virtual time at which the last process terminated.
+    pub fn end_time(&self) -> Nanos {
+        self.end_time
+    }
+
+    /// The (optional) execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The name a process was spawned with.
+    pub fn process_name(&self, process: ProcessId) -> Option<&str> {
+        self.names.get(&process).map(String::as_str)
+    }
+
+    /// Total number of ops executed across all processes.
+    pub fn executed_ops(&self) -> u64 {
+        self.executed_ops
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// A Trojan holds a file lock for 300 µs; the Spy measures how long its own
+/// lock attempt is blocked.
+///
+/// ```
+/// use mes_sim::{Engine, NoiseModel, Op, Program};
+/// use mes_types::{FdId, Micros};
+///
+/// let trojan = Program::new("trojan")
+///     .op(Op::OpenFile { path: "/shared".into(), fd: FdId::new(1) })
+///     .op(Op::FlockExclusive { fd: FdId::new(1) })
+///     .op(Op::SleepFor { duration: Micros::new(300).to_nanos() })
+///     .op(Op::FlockUnlock { fd: FdId::new(1) });
+///
+/// let spy = Program::new("spy")
+///     .op(Op::OpenFile { path: "/shared".into(), fd: FdId::new(0) })
+///     .op(Op::Compute { duration: Micros::new(10).to_nanos() })
+///     .op(Op::TimestampStart { slot: 0 })
+///     .op(Op::FlockExclusive { fd: FdId::new(0) })
+///     .op(Op::FlockUnlock { fd: FdId::new(0) })
+///     .op(Op::TimestampEnd { slot: 0 });
+///
+/// let mut engine = Engine::new(NoiseModel::noiseless(), 1);
+/// engine.spawn(trojan);
+/// let spy_pid = engine.spawn(spy);
+/// let outcome = engine.run()?;
+/// assert!(outcome.durations(spy_pid)[0] >= Micros::new(280).to_nanos());
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    noise: NoiseModel,
+    rng: SimRng,
+    processes: Vec<ProcessState>,
+    objects: Vec<KernelObject>,
+    namespace: Namespace,
+    fs: FileSystem,
+    barriers: HashMap<u32, BarrierState>,
+    barrier_parties: Option<usize>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    trace: Trace,
+    wake_granted: HashSet<ProcessId>,
+    executed_ops: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given noise model and RNG seed.
+    pub fn new(noise: NoiseModel, seed: u64) -> Self {
+        Engine {
+            noise,
+            rng: SimRng::seed_from(seed),
+            processes: Vec::new(),
+            objects: Vec::new(),
+            namespace: Namespace::new(),
+            fs: FileSystem::new(),
+            barriers: HashMap::new(),
+            barrier_parties: None,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            trace: Trace::disabled(),
+            wake_granted: HashSet::new(),
+            executed_ops: 0,
+        }
+    }
+
+    /// Switches the file-lock hand-off discipline (fair FIFO by default).
+    pub fn set_fairness(&mut self, fairness: Fairness) {
+        self.fs = FileSystem::with_fairness(fairness);
+    }
+
+    /// Overrides the number of processes that must reach a barrier before it
+    /// opens. By default every process whose program contains a barrier op
+    /// participates.
+    pub fn set_barrier_parties(&mut self, parties: usize) {
+        self.barrier_parties = Some(parties);
+    }
+
+    /// Enables execution tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
+    /// Read access to the simulated filesystem (mainly for tests).
+    pub fn filesystem(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Spawns a process executing `program`; it becomes runnable at time 0.
+    pub fn spawn(&mut self, program: Program) -> ProcessId {
+        let pid = ProcessId::new(self.processes.len() as u64 + 1);
+        self.processes.push(ProcessState::new(pid, program));
+        self.push_event(Nanos::ZERO, EventKind::ProcessReady(pid));
+        pid
+    }
+
+    fn push_event(&mut self, time: Nanos, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, kind }));
+    }
+
+    fn proc_index(&self, pid: ProcessId) -> usize {
+        pid.as_usize() - 1
+    }
+
+    fn record_trace(&mut self, time: Nanos, process: ProcessId, kind: TraceKind) {
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent { time, process, kind });
+        }
+    }
+
+    fn wake(&mut self, pid: ProcessId, at: Nanos, granted: bool) {
+        let index = self.proc_index(pid);
+        self.processes[index].run_state = RunState::Runnable;
+        if granted {
+            self.wake_granted.insert(pid);
+        }
+        self.record_trace(at, pid, TraceKind::Woken);
+        self.push_event(at, EventKind::ProcessReady(pid));
+    }
+
+    fn default_barrier_parties(&self) -> usize {
+        self.processes
+            .iter()
+            .filter(|p| p.program.ops().iter().any(|op| matches!(op, Op::Barrier { .. })))
+            .count()
+            .max(1)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if a program performs an invalid
+    /// operation (unknown handle, unlock without holding, opening an object
+    /// that is not visible from its session, …) or if the system deadlocks
+    /// with blocked processes and no pending events.
+    pub fn run(&mut self) -> Result<SimOutcome> {
+        if self.barrier_parties.is_none() {
+            self.barrier_parties = Some(self.default_barrier_parties());
+        }
+        while let Some(Reverse(event)) = self.queue.pop() {
+            match event.kind {
+                EventKind::TimerFire(object) => self.handle_timer_fire(object, event.time)?,
+                EventKind::ProcessReady(pid) => {
+                    let index = self.proc_index(pid);
+                    if self.processes[index].is_terminated() {
+                        continue;
+                    }
+                    self.processes[index].local_time =
+                        self.processes[index].local_time.max(event.time);
+                    self.run_process(pid)?;
+                }
+            }
+        }
+        // Every event has drained; any process still blocked means deadlock.
+        if let Some(stuck) = self.processes.iter().find(|p| !p.is_terminated()) {
+            return Err(MesError::Simulation {
+                reason: format!(
+                    "deadlock: process {} ({}) never terminated (pc={}, state={:?})",
+                    stuck.id,
+                    stuck.program.name(),
+                    stuck.pc,
+                    stuck.run_state
+                ),
+            });
+        }
+        let end_time = self
+            .processes
+            .iter()
+            .map(|p| p.local_time)
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        Ok(SimOutcome {
+            measurements: self
+                .processes
+                .iter()
+                .map(|p| (p.id, p.measurements.clone()))
+                .collect(),
+            names: self
+                .processes
+                .iter()
+                .map(|p| (p.id, p.program.name().as_str().to_string()))
+                .collect(),
+            end_time,
+            trace: std::mem::take(&mut self.trace),
+            executed_ops: self.executed_ops,
+        })
+    }
+
+    fn handle_timer_fire(&mut self, object: ObjectId, now: Nanos) -> Result<()> {
+        let obj = self
+            .objects
+            .get_mut(object.as_usize())
+            .ok_or_else(|| MesError::Simulation {
+                reason: format!("timer fire for unknown object {object}"),
+            })?;
+        if obj.fire_timer_if_due(now) {
+            // Synchronization-timer semantics: hand the signal to the head
+            // waiter (consuming it), exactly like an auto-reset event.
+            if let Some(pid) = obj.dequeue_waiter() {
+                obj.acquire(pid);
+                let latency = self.noise.sample_wait_wakeup(&mut self.rng);
+                self.wake(pid, now + latency, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes ops of `pid` until it blocks, must yield for global ordering,
+    /// or terminates.
+    fn run_process(&mut self, pid: ProcessId) -> Result<()> {
+        loop {
+            let index = self.proc_index(pid);
+            let Some(op) = self.processes[index].current_op().cloned() else {
+                self.processes[index].run_state = RunState::Terminated;
+                let t = self.processes[index].local_time;
+                self.record_trace(t, pid, TraceKind::Terminated);
+                return Ok(());
+            };
+
+            // Shared-state ops must respect global time order: if another
+            // event is pending earlier than our local clock, yield.
+            if op.is_shared() {
+                let local_time = self.processes[index].local_time;
+                if let Some(Reverse(next)) = self.queue.peek() {
+                    if next.time < local_time {
+                        self.push_event(local_time, EventKind::ProcessReady(pid));
+                        return Ok(());
+                    }
+                }
+            }
+
+            // Charge the op's base cost.
+            if let Some(class) = op.cost_class() {
+                let cost = self.noise.sample_cost(class, &mut self.rng);
+                self.processes[index].local_time += cost;
+            }
+            self.executed_ops += 1;
+            {
+                let t = self.processes[index].local_time;
+                let pc = self.processes[index].pc;
+                self.record_trace(
+                    t,
+                    pid,
+                    TraceKind::OpExecuted { op_index: pc, description: format!("{op:?}") },
+                );
+            }
+
+            let proceed = self.execute_op(pid, &op)?;
+            if !proceed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes a single op. Returns `false` if the process blocked (the
+    /// caller must stop running it).
+    fn execute_op(&mut self, pid: ProcessId, op: &Op) -> Result<bool> {
+        let index = self.proc_index(pid);
+        match op {
+            Op::SleepFor { duration } => {
+                let actual = self.noise.sample_sleep(*duration, &mut self.rng);
+                self.processes[index].local_time += actual;
+                self.processes[index].pc += 1;
+            }
+            Op::Compute { duration } => {
+                let disturbance = self.noise.sample_disturbance(*duration, &mut self.rng);
+                self.processes[index].local_time += *duration + disturbance;
+                self.processes[index].pc += 1;
+            }
+            Op::TimestampStart { slot } => {
+                let now = self.processes[index].local_time;
+                self.processes[index].open_windows.insert(*slot, now);
+                self.processes[index].pc += 1;
+            }
+            Op::TimestampEnd { slot } => {
+                let now = self.processes[index].local_time;
+                let start = self.processes[index]
+                    .open_windows
+                    .remove(slot)
+                    .ok_or_else(|| MesError::Simulation {
+                        reason: format!("TimestampEnd for slot {slot} without a matching start"),
+                    })?;
+                self.processes[index]
+                    .measurements
+                    .push(Measurement { slot: *slot, start, end: now });
+                self.processes[index].pc += 1;
+            }
+            Op::CreateObject { name, kind, handle } => {
+                let object_id = ObjectId::new(self.objects.len() as u64);
+                self.objects.push(KernelObject::new(name.clone(), *kind));
+                let session = self.processes[index].program.session();
+                self.namespace
+                    .register(name.clone(), object_id, session, Visibility::Session)?;
+                self.processes[index].handle_table.bind(*handle, object_id)?;
+                self.processes[index].pc += 1;
+            }
+            Op::OpenObject { name, handle } => {
+                let session = self.processes[index].program.session();
+                let object_id = self.namespace.lookup(name, session)?;
+                self.objects[object_id.as_usize()].add_reference();
+                self.processes[index].handle_table.bind(*handle, object_id)?;
+                self.processes[index].pc += 1;
+            }
+            Op::SetEvent { handle } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                self.objects[object_id.as_usize()].set_event()?;
+                self.wake_object_waiters(object_id, pid)?;
+                let idx = self.proc_index(pid);
+                self.processes[idx].pc += 1;
+            }
+            Op::ResetEvent { handle } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                self.objects[object_id.as_usize()].reset_event()?;
+                self.processes[index].pc += 1;
+            }
+            Op::ReleaseMutex { handle } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                self.objects[object_id.as_usize()].release_mutex(pid)?;
+                self.wake_object_waiters(object_id, pid)?;
+                let idx = self.proc_index(pid);
+                self.processes[idx].pc += 1;
+            }
+            Op::ReleaseSemaphore { handle, count } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                self.objects[object_id.as_usize()].release_semaphore(*count)?;
+                self.wake_object_waiters(object_id, pid)?;
+                let idx = self.proc_index(pid);
+                self.processes[idx].pc += 1;
+            }
+            Op::SetTimer { handle, due } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                let now = self.processes[index].local_time;
+                let due_at = now + *due;
+                self.objects[object_id.as_usize()].arm_timer(due_at)?;
+                self.push_event(due_at, EventKind::TimerFire(object_id));
+                self.processes[index].pc += 1;
+            }
+            Op::WaitForSingleObject { handle } => {
+                let object_id = self.processes[index].handle_table.resolve(*handle)?;
+                if self.wake_granted.remove(&pid) {
+                    self.processes[index].pc += 1;
+                } else {
+                    let interference = self.noise.sample_open_interference(&mut self.rng);
+                    self.processes[index].local_time += interference;
+                    let signaled = self.objects[object_id.as_usize()].is_signaled_for(pid);
+                    if signaled {
+                        self.objects[object_id.as_usize()].acquire(pid);
+                        self.processes[index].pc += 1;
+                    } else {
+                        self.objects[object_id.as_usize()].enqueue_waiter(pid);
+                        self.processes[index].run_state =
+                            RunState::Blocked(BlockReason::Object(object_id));
+                        let t = self.processes[index].local_time;
+                        self.record_trace(
+                            t,
+                            pid,
+                            TraceKind::Blocked { reason: format!("wait on {object_id}") },
+                        );
+                        return Ok(false);
+                    }
+                }
+            }
+            Op::OpenFile { path, fd } => {
+                let file = self.fs.open(path, pid);
+                self.processes[index].fd_table.insert(*fd, file);
+                self.processes[index].pc += 1;
+            }
+            Op::FlockExclusive { fd } => {
+                let file = *self.processes[index].fd_table.get(fd).ok_or_else(|| {
+                    MesError::Simulation { reason: format!("descriptor {fd} is not open") }
+                })?;
+                if self.wake_granted.remove(&pid) {
+                    self.processes[index].pc += 1;
+                } else {
+                    let interference = self.noise.sample_open_interference(&mut self.rng);
+                    self.processes[index].local_time += interference;
+                    match self.fs.lock_exclusive(file, pid)? {
+                        LockRequestOutcome::Granted | LockRequestOutcome::AlreadyHeld => {
+                            self.processes[index].pc += 1;
+                        }
+                        LockRequestOutcome::Blocked => {
+                            let inode = self.fs.inode_of(file)?;
+                            self.processes[index].run_state =
+                                RunState::Blocked(BlockReason::FileLock(inode));
+                            let t = self.processes[index].local_time;
+                            self.record_trace(
+                                t,
+                                pid,
+                                TraceKind::Blocked { reason: format!("flock on {inode}") },
+                            );
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Op::FlockUnlock { fd } => {
+                let file = *self.processes[index].fd_table.get(fd).ok_or_else(|| {
+                    MesError::Simulation { reason: format!("descriptor {fd} is not open") }
+                })?;
+                let woken = self.fs.unlock(file, pid)?;
+                let granted = self.fs.fairness() == Fairness::Fair;
+                let now = self.processes[index].local_time;
+                for waiter in woken {
+                    let latency = self.noise.sample_wait_wakeup(&mut self.rng);
+                    self.wake(waiter, now + latency, granted);
+                }
+                let idx = self.proc_index(pid);
+                self.processes[idx].pc += 1;
+            }
+            Op::Barrier { id } => {
+                if self.wake_granted.remove(&pid) {
+                    self.processes[index].pc += 1;
+                } else {
+                    let parties = self.barrier_parties.unwrap_or(1);
+                    let entry = self.barriers.entry(*id).or_default();
+                    entry.arrived.push(pid);
+                    if entry.arrived.len() >= parties {
+                        let arrived = std::mem::take(&mut entry.arrived);
+                        let now = self.processes[index].local_time;
+                        for other in arrived {
+                            if other != pid {
+                                let latency = self.noise.sample_wait_wakeup(&mut self.rng);
+                                self.wake(other, now + latency, true);
+                            }
+                        }
+                        self.processes[index].pc += 1;
+                    } else {
+                        self.processes[index].run_state =
+                            RunState::Blocked(BlockReason::Barrier(*id));
+                        let t = self.processes[index].local_time;
+                        self.record_trace(
+                            t,
+                            pid,
+                            TraceKind::Blocked { reason: format!("barrier {id}") },
+                        );
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// After an object was signalled/released, hand it to parked waiters in
+    /// FIFO order for as long as it stays signalled.
+    fn wake_object_waiters(&mut self, object_id: ObjectId, waker: ProcessId) -> Result<()> {
+        let now = self.processes[self.proc_index(waker)].local_time;
+        loop {
+            let obj = &mut self.objects[object_id.as_usize()];
+            if obj.waiter_count() == 0 {
+                break;
+            }
+            let Some(waiter) = obj.dequeue_waiter() else { break };
+            if obj.is_signaled_for(waiter) {
+                obj.acquire(waiter);
+                let latency = self.noise.sample_wait_wakeup(&mut self.rng);
+                self.wake(waiter, now + latency, true);
+            } else {
+                // Not signalled for this waiter (e.g. semaphore exhausted):
+                // put it back at the head and stop.
+                // Re-enqueueing at the back would break FIFO order, so use a
+                // temporary queue rebuild.
+                let mut rest = vec![waiter];
+                while let Some(other) = obj.dequeue_waiter() {
+                    rest.push(other);
+                }
+                for p in rest {
+                    obj.enqueue_waiter(p);
+                }
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::namespace::SessionId;
+    use crate::kernel::object::ObjectKind;
+    use mes_types::{FdId, HandleId, Micros};
+
+    fn noiseless_engine() -> Engine {
+        Engine::new(NoiseModel::noiseless(), 42)
+    }
+
+    #[test]
+    fn event_wait_measures_trojan_delay() {
+        let spy = Program::new("spy")
+            .op(Op::CreateObject {
+                name: "evt".into(),
+                kind: ObjectKind::event_auto_reset(),
+                handle: HandleId::new(1),
+            })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let trojan = Program::new("trojan")
+            .op(Op::Compute { duration: Nanos::new(100) })
+            .op(Op::OpenObject { name: "evt".into(), handle: HandleId::new(8) })
+            .op(Op::SleepFor { duration: Micros::new(80).to_nanos() })
+            .op(Op::SetEvent { handle: HandleId::new(8) });
+
+        let mut engine = noiseless_engine();
+        let spy_pid = engine.spawn(spy);
+        engine.spawn(trojan);
+        let outcome = engine.run().unwrap();
+        let waits = outcome.durations(spy_pid);
+        assert_eq!(waits.len(), 1);
+        assert!(waits[0] >= Micros::new(80).to_nanos());
+        assert!(waits[0] < Micros::new(82).to_nanos());
+    }
+
+    #[test]
+    fn signaled_event_does_not_block() {
+        let spy = Program::new("spy")
+            .op(Op::CreateObject {
+                name: "evt".into(),
+                kind: ObjectKind::Event { manual_reset: false, initially_signaled: true },
+                handle: HandleId::new(1),
+            })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        let spy_pid = engine.spawn(spy);
+        let outcome = engine.run().unwrap();
+        assert_eq!(outcome.durations(spy_pid)[0], Nanos::ZERO);
+    }
+
+    #[test]
+    fn flock_contention_blocks_until_unlock() {
+        let trojan = Program::new("trojan")
+            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(1) })
+            .op(Op::FlockExclusive { fd: FdId::new(1) })
+            .op(Op::SleepFor { duration: Micros::new(160).to_nanos() })
+            .op(Op::FlockUnlock { fd: FdId::new(1) });
+        let spy = Program::new("spy")
+            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
+            .op(Op::Compute { duration: Micros::new(5).to_nanos() })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::FlockExclusive { fd: FdId::new(0) })
+            .op(Op::FlockUnlock { fd: FdId::new(0) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        engine.spawn(trojan);
+        let spy_pid = engine.spawn(spy);
+        let outcome = engine.run().unwrap();
+        let blocked = outcome.durations(spy_pid)[0];
+        assert!(blocked >= Micros::new(150).to_nanos(), "blocked {blocked}");
+        assert!(blocked <= Micros::new(165).to_nanos(), "blocked {blocked}");
+    }
+
+    #[test]
+    fn uncontended_flock_is_fast() {
+        let spy = Program::new("spy")
+            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::FlockExclusive { fd: FdId::new(0) })
+            .op(Op::FlockUnlock { fd: FdId::new(0) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        let spy_pid = engine.spawn(spy);
+        let outcome = engine.run().unwrap();
+        assert_eq!(outcome.durations(spy_pid)[0], Nanos::ZERO);
+    }
+
+    #[test]
+    fn semaphore_wait_blocks_until_release() {
+        let spy = Program::new("spy")
+            .op(Op::CreateObject {
+                name: "sem".into(),
+                kind: ObjectKind::semaphore(0, 8),
+                handle: HandleId::new(1),
+            })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let trojan = Program::new("trojan")
+            .op(Op::Compute { duration: Nanos::new(10) })
+            .op(Op::OpenObject { name: "sem".into(), handle: HandleId::new(2) })
+            .op(Op::SleepFor { duration: Micros::new(230).to_nanos() })
+            .op(Op::ReleaseSemaphore { handle: HandleId::new(2), count: 1 });
+        let mut engine = noiseless_engine();
+        let spy_pid = engine.spawn(spy);
+        engine.spawn(trojan);
+        let outcome = engine.run().unwrap();
+        assert!(outcome.durations(spy_pid)[0] >= Micros::new(230).to_nanos());
+    }
+
+    #[test]
+    fn timer_wakes_waiter_at_due_time() {
+        let spy = Program::new("spy")
+            .op(Op::CreateObject {
+                name: "tmr".into(),
+                kind: ObjectKind::Timer,
+                handle: HandleId::new(1),
+            })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let trojan = Program::new("trojan")
+            .op(Op::Compute { duration: Nanos::new(10) })
+            .op(Op::OpenObject { name: "tmr".into(), handle: HandleId::new(3) })
+            .op(Op::SleepFor { duration: Micros::new(40).to_nanos() })
+            .op(Op::SetTimer { handle: HandleId::new(3), due: Micros::new(5).to_nanos() });
+        let mut engine = noiseless_engine();
+        let spy_pid = engine.spawn(spy);
+        engine.spawn(trojan);
+        let outcome = engine.run().unwrap();
+        let wait = outcome.durations(spy_pid)[0];
+        assert!(wait >= Micros::new(45).to_nanos(), "wait {wait}");
+        assert!(wait <= Micros::new(47).to_nanos(), "wait {wait}");
+    }
+
+    #[test]
+    fn mutex_contention_hand_off() {
+        let trojan = Program::new("trojan")
+            .op(Op::CreateObject {
+                name: "mtx".into(),
+                kind: ObjectKind::Mutex,
+                handle: HandleId::new(1),
+            })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::SleepFor { duration: Micros::new(140).to_nanos() })
+            .op(Op::ReleaseMutex { handle: HandleId::new(1) });
+        let spy = Program::new("spy")
+            .op(Op::Compute { duration: Micros::new(2).to_nanos() })
+            .op(Op::OpenObject { name: "mtx".into(), handle: HandleId::new(4) })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(4) })
+            .op(Op::ReleaseMutex { handle: HandleId::new(4) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        engine.spawn(trojan);
+        let spy_pid = engine.spawn(spy);
+        let outcome = engine.run().unwrap();
+        let wait = outcome.durations(spy_pid)[0];
+        assert!(wait >= Micros::new(130).to_nanos(), "wait {wait}");
+    }
+
+    #[test]
+    fn barrier_synchronises_two_processes() {
+        let a = Program::new("a")
+            .op(Op::SleepFor { duration: Micros::new(100).to_nanos() })
+            .op(Op::Barrier { id: 1 })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::TimestampEnd { slot: 0 });
+        let b = Program::new("b")
+            .op(Op::Barrier { id: 1 })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        let a_pid = engine.spawn(a);
+        let b_pid = engine.spawn(b);
+        let outcome = engine.run().unwrap();
+        // Both reach their timestamps only after the barrier, i.e. at >= 100us.
+        let a_start = outcome.measurements(a_pid)[0].start;
+        let b_start = outcome.measurements(b_pid)[0].start;
+        assert!(a_start >= Micros::new(100).to_nanos());
+        assert!(b_start >= Micros::new(100).to_nanos());
+    }
+
+    #[test]
+    fn cross_session_open_fails() {
+        let creator = Program::new("creator")
+            .in_session(SessionId::new(1))
+            .op(Op::CreateObject {
+                name: "evt".into(),
+                kind: ObjectKind::event_auto_reset(),
+                handle: HandleId::new(1),
+            });
+        let opener = Program::new("opener")
+            .in_session(SessionId::new(2))
+            .op(Op::Compute { duration: Micros::new(1).to_nanos() })
+            .op(Op::OpenObject { name: "evt".into(), handle: HandleId::new(1) });
+        let mut engine = noiseless_engine();
+        engine.spawn(creator);
+        engine.spawn(opener);
+        assert!(engine.run().is_err());
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let waiter = Program::new("waiter")
+            .op(Op::CreateObject {
+                name: "evt".into(),
+                kind: ObjectKind::event_auto_reset(),
+                handle: HandleId::new(1),
+            })
+            .op(Op::WaitForSingleObject { handle: HandleId::new(1) });
+        let mut engine = noiseless_engine();
+        engine.spawn(waiter);
+        let err = engine.run().unwrap_err();
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn unknown_handle_is_an_error() {
+        let bad = Program::new("bad").op(Op::SetEvent { handle: HandleId::new(9) });
+        let mut engine = noiseless_engine();
+        engine.spawn(bad);
+        assert!(engine.run().is_err());
+    }
+
+    #[test]
+    fn mismatched_timestamp_end_is_an_error() {
+        let bad = Program::new("bad").op(Op::TimestampEnd { slot: 3 });
+        let mut engine = noiseless_engine();
+        engine.spawn(bad);
+        assert!(engine.run().is_err());
+    }
+
+    #[test]
+    fn trace_records_ops_when_enabled() {
+        let p = Program::new("p")
+            .op(Op::Compute { duration: Nanos::new(5) })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        engine.enable_trace(64);
+        let pid = engine.spawn(p);
+        let outcome = engine.run().unwrap();
+        assert!(!outcome.trace().events().is_empty());
+        assert!(outcome.trace().for_process(pid).len() >= 3);
+        assert_eq!(outcome.process_name(pid), Some("p"));
+        assert!(outcome.executed_ops() >= 3);
+    }
+
+    #[test]
+    fn durations_are_ordered_by_slot() {
+        let p = Program::new("p")
+            .op(Op::TimestampStart { slot: 1 })
+            .op(Op::Compute { duration: Nanos::new(500) })
+            .op(Op::TimestampEnd { slot: 1 })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::Compute { duration: Nanos::new(100) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        let pid = engine.spawn(p);
+        let outcome = engine.run().unwrap();
+        let durations = outcome.durations(pid);
+        assert_eq!(durations, vec![Nanos::new(100), Nanos::new(500)]);
+    }
+
+    #[test]
+    fn unfair_mode_lets_holder_reacquire() {
+        use crate::fs::Fairness;
+        // Trojan: lock, sleep, unlock, immediately lock again, hold long.
+        let trojan = Program::new("trojan")
+            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(1) })
+            .op(Op::FlockExclusive { fd: FdId::new(1) })
+            .op(Op::SleepFor { duration: Micros::new(50).to_nanos() })
+            .op(Op::FlockUnlock { fd: FdId::new(1) })
+            .op(Op::FlockExclusive { fd: FdId::new(1) })
+            .op(Op::SleepFor { duration: Micros::new(200).to_nanos() })
+            .op(Op::FlockUnlock { fd: FdId::new(1) });
+        let spy = Program::new("spy")
+            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
+            .op(Op::Compute { duration: Micros::new(5).to_nanos() })
+            .op(Op::TimestampStart { slot: 0 })
+            .op(Op::FlockExclusive { fd: FdId::new(0) })
+            .op(Op::FlockUnlock { fd: FdId::new(0) })
+            .op(Op::TimestampEnd { slot: 0 });
+        let mut engine = noiseless_engine();
+        engine.set_fairness(Fairness::Unfair);
+        engine.spawn(trojan);
+        let spy_pid = engine.spawn(spy);
+        let outcome = engine.run().unwrap();
+        // Under unfair hand-off the trojan re-acquires before the spy wakes,
+        // so the spy is blocked across both holds (~250us), not just the first.
+        let blocked = outcome.durations(spy_pid)[0];
+        assert!(blocked >= Micros::new(240).to_nanos(), "blocked {blocked}");
+    }
+}

@@ -1,0 +1,352 @@
+//! The simulated filesystem layer behind the `flock` / `LockFileEx` channels.
+//!
+//! Fig. 5 of the paper explains why `flock` crosses process boundaries: each
+//! process has its own file-descriptor table, every `open` creates an
+//! independent file-table entry, but all of them point at the *same* i-node,
+//! and the lock list lives on the i-node. This module models exactly those
+//! three tables plus a FIFO (fair) wait queue per i-node, with an optional
+//! "unfair" mode reproducing the failure the paper describes when the
+//! current holder can immediately re-acquire the lock.
+
+use mes_types::{FileId, InodeId, MesError, ProcessId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of an exclusive-lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockRequestOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// Another process holds the lock; the caller was parked on the i-node's
+    /// wait queue.
+    Blocked,
+    /// The caller already holds the lock (re-entrant `flock` is a no-op).
+    AlreadyHeld,
+}
+
+/// Lock hand-off discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fairness {
+    /// FIFO hand-off: the longest-waiting process gets the lock next. The
+    /// paper notes MES-Attacks only work in this regime.
+    Fair,
+    /// Free-for-all: on unlock the resource is simply marked free and every
+    /// waiter races for it; the releasing process may immediately re-acquire.
+    Unfair,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Inode {
+    path: String,
+    /// Exclusive-lock holder, if any.
+    holder: Option<ProcessId>,
+    /// Processes blocked waiting for the lock, in arrival order.
+    waiters: VecDeque<ProcessId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct OpenFile {
+    inode: InodeId,
+    opened_by: ProcessId,
+}
+
+/// The system-level file table and i-node table (Fig. 5 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::{FileSystem, LockRequestOutcome};
+/// use mes_types::ProcessId;
+///
+/// let mut fs = FileSystem::new();
+/// let trojan_file = fs.open("/tmp/file.txt", ProcessId::new(1));
+/// let spy_file = fs.open("/tmp/file.txt", ProcessId::new(2));
+///
+/// // Two independent file-table entries…
+/// assert_ne!(trojan_file, spy_file);
+/// // …pointing at the same i-node, which is what makes flock a channel.
+/// assert_eq!(fs.inode_of(trojan_file)?, fs.inode_of(spy_file)?);
+///
+/// assert_eq!(fs.lock_exclusive(trojan_file, ProcessId::new(1))?, LockRequestOutcome::Granted);
+/// assert_eq!(fs.lock_exclusive(spy_file, ProcessId::new(2))?, LockRequestOutcome::Blocked);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSystem {
+    inodes: Vec<Inode>,
+    paths: HashMap<String, InodeId>,
+    files: Vec<OpenFile>,
+    fairness: Fairness,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        FileSystem::new()
+    }
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem with fair lock hand-off.
+    pub fn new() -> Self {
+        FileSystem {
+            inodes: Vec::new(),
+            paths: HashMap::new(),
+            files: Vec::new(),
+            fairness: Fairness::Fair,
+        }
+    }
+
+    /// Creates a filesystem with the given hand-off discipline.
+    pub fn with_fairness(fairness: Fairness) -> Self {
+        FileSystem { fairness, ..FileSystem::new() }
+    }
+
+    /// The configured hand-off discipline.
+    pub fn fairness(&self) -> Fairness {
+        self.fairness
+    }
+
+    /// Opens `path` for `process`, creating the i-node on first open, and
+    /// returns a fresh file-table entry.
+    pub fn open(&mut self, path: &str, process: ProcessId) -> FileId {
+        let inode = match self.paths.get(path) {
+            Some(&inode) => inode,
+            None => {
+                let inode = InodeId::new(self.inodes.len() as u64);
+                self.inodes.push(Inode {
+                    path: path.to_string(),
+                    holder: None,
+                    waiters: VecDeque::new(),
+                });
+                self.paths.insert(path.to_string(), inode);
+                inode
+            }
+        };
+        let file = FileId::new(self.files.len() as u64);
+        self.files.push(OpenFile { inode, opened_by: process });
+        file
+    }
+
+    /// The i-node a file-table entry points at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] for an unknown file id.
+    pub fn inode_of(&self, file: FileId) -> Result<InodeId> {
+        self.files
+            .get(file.as_usize())
+            .map(|f| f.inode)
+            .ok_or_else(|| MesError::Simulation {
+                reason: format!("unknown file table entry {file}"),
+            })
+    }
+
+    /// Requests the exclusive lock on the i-node behind `file` for `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] for an unknown file id.
+    pub fn lock_exclusive(&mut self, file: FileId, process: ProcessId) -> Result<LockRequestOutcome> {
+        let inode_id = self.inode_of(file)?;
+        let inode = &mut self.inodes[inode_id.as_usize()];
+        match inode.holder {
+            None => {
+                inode.holder = Some(process);
+                Ok(LockRequestOutcome::Granted)
+            }
+            Some(holder) if holder == process => Ok(LockRequestOutcome::AlreadyHeld),
+            Some(_) => {
+                inode.waiters.push_back(process);
+                Ok(LockRequestOutcome::Blocked)
+            }
+        }
+    }
+
+    /// Releases the lock held by `process` on the i-node behind `file`.
+    ///
+    /// Under [`Fairness::Fair`] the head waiter (if any) becomes the new
+    /// holder and is returned so the engine can wake it. Under
+    /// [`Fairness::Unfair`] the lock is simply freed and *all* waiters are
+    /// returned; they will race when rescheduled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if `process` does not hold the lock.
+    pub fn unlock(&mut self, file: FileId, process: ProcessId) -> Result<Vec<ProcessId>> {
+        let inode_id = self.inode_of(file)?;
+        let inode = &mut self.inodes[inode_id.as_usize()];
+        if inode.holder != Some(process) {
+            return Err(MesError::Simulation {
+                reason: format!("process {process} unlocked {inode_id} it does not hold"),
+            });
+        }
+        match self.fairness {
+            Fairness::Fair => {
+                let next = inode.waiters.pop_front();
+                inode.holder = next;
+                Ok(next.into_iter().collect())
+            }
+            Fairness::Unfair => {
+                inode.holder = None;
+                Ok(inode.waiters.drain(..).collect())
+            }
+        }
+    }
+
+    /// Retries a lock acquisition for a process that was woken in unfair
+    /// mode. Returns `true` if the lock was obtained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] for an unknown file id.
+    pub fn try_reacquire(&mut self, file: FileId, process: ProcessId) -> Result<bool> {
+        let inode_id = self.inode_of(file)?;
+        let inode = &mut self.inodes[inode_id.as_usize()];
+        if inode.holder.is_none() {
+            inode.holder = Some(process);
+            Ok(true)
+        } else if inode.holder == Some(process) {
+            Ok(true)
+        } else {
+            inode.waiters.push_back(process);
+            Ok(false)
+        }
+    }
+
+    /// The current holder of the lock on `path`, if the path exists and is
+    /// locked.
+    pub fn holder_of(&self, path: &str) -> Option<ProcessId> {
+        self.paths
+            .get(path)
+            .and_then(|inode| self.inodes[inode.as_usize()].holder)
+    }
+
+    /// Number of processes waiting on the lock of `path`.
+    pub fn waiter_count(&self, path: &str) -> usize {
+        self.paths
+            .get(path)
+            .map(|inode| self.inodes[inode.as_usize()].waiters.len())
+            .unwrap_or(0)
+    }
+
+    /// The path behind an i-node (mainly for traces and error messages).
+    pub fn path_of(&self, inode: InodeId) -> Option<&str> {
+        self.inodes.get(inode.as_usize()).map(|i| i.path.as_str())
+    }
+
+    /// Number of i-nodes in the filesystem.
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Number of open file-table entries.
+    pub fn open_file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The process that opened a file-table entry.
+    pub fn opener_of(&self, file: FileId) -> Option<ProcessId> {
+        self.files.get(file.as_usize()).map(|f| f.opened_by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TROJAN: ProcessId = ProcessId::new(1);
+    const SPY: ProcessId = ProcessId::new(2);
+    const OTHER: ProcessId = ProcessId::new(3);
+
+    #[test]
+    fn same_path_shares_an_inode_but_not_a_file_entry() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/shared", TROJAN);
+        let b = fs.open("/shared", SPY);
+        let c = fs.open("/other", SPY);
+        assert_ne!(a, b);
+        assert_eq!(fs.inode_of(a).unwrap(), fs.inode_of(b).unwrap());
+        assert_ne!(fs.inode_of(a).unwrap(), fs.inode_of(c).unwrap());
+        assert_eq!(fs.inode_count(), 2);
+        assert_eq!(fs.open_file_count(), 3);
+        assert_eq!(fs.opener_of(a), Some(TROJAN));
+        assert_eq!(fs.path_of(fs.inode_of(c).unwrap()), Some("/other"));
+    }
+
+    #[test]
+    fn exclusive_lock_blocks_second_process() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/f", TROJAN);
+        let b = fs.open("/f", SPY);
+        assert_eq!(fs.lock_exclusive(a, TROJAN).unwrap(), LockRequestOutcome::Granted);
+        assert_eq!(fs.lock_exclusive(b, SPY).unwrap(), LockRequestOutcome::Blocked);
+        assert_eq!(fs.holder_of("/f"), Some(TROJAN));
+        assert_eq!(fs.waiter_count("/f"), 1);
+    }
+
+    #[test]
+    fn fair_unlock_hands_off_to_head_waiter() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/f", TROJAN);
+        let b = fs.open("/f", SPY);
+        let c = fs.open("/f", OTHER);
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        fs.lock_exclusive(b, SPY).unwrap();
+        fs.lock_exclusive(c, OTHER).unwrap();
+        let woken = fs.unlock(a, TROJAN).unwrap();
+        assert_eq!(woken, vec![SPY]);
+        assert_eq!(fs.holder_of("/f"), Some(SPY));
+        let woken = fs.unlock(b, SPY).unwrap();
+        assert_eq!(woken, vec![OTHER]);
+        assert_eq!(fs.holder_of("/f"), Some(OTHER));
+        assert_eq!(fs.unlock(c, OTHER).unwrap(), vec![]);
+        assert_eq!(fs.holder_of("/f"), None);
+    }
+
+    #[test]
+    fn unfair_unlock_frees_the_lock_and_wakes_everyone() {
+        let mut fs = FileSystem::with_fairness(Fairness::Unfair);
+        assert_eq!(fs.fairness(), Fairness::Unfair);
+        let a = fs.open("/f", TROJAN);
+        let b = fs.open("/f", SPY);
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        fs.lock_exclusive(b, SPY).unwrap();
+        let woken = fs.unlock(a, TROJAN).unwrap();
+        assert_eq!(woken, vec![SPY]);
+        assert_eq!(fs.holder_of("/f"), None);
+        // The trojan can immediately steal the lock back before the spy runs,
+        // which is the unfair failure mode the paper warns about.
+        assert!(fs.try_reacquire(a, TROJAN).unwrap());
+        assert!(!fs.try_reacquire(b, SPY).unwrap());
+        assert_eq!(fs.holder_of("/f"), Some(TROJAN));
+    }
+
+    #[test]
+    fn reentrant_lock_is_already_held() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/f", TROJAN);
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        assert_eq!(fs.lock_exclusive(a, TROJAN).unwrap(), LockRequestOutcome::AlreadyHeld);
+    }
+
+    #[test]
+    fn unlock_without_holding_errors() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/f", TROJAN);
+        assert!(fs.unlock(a, TROJAN).is_err());
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        let b = fs.open("/f", SPY);
+        assert!(fs.unlock(b, SPY).is_err());
+    }
+
+    #[test]
+    fn unknown_file_ids_error() {
+        let mut fs = FileSystem::new();
+        assert!(fs.inode_of(FileId::new(9)).is_err());
+        assert!(fs.lock_exclusive(FileId::new(9), TROJAN).is_err());
+        assert!(fs.unlock(FileId::new(9), TROJAN).is_err());
+        assert!(fs.try_reacquire(FileId::new(9), TROJAN).is_err());
+        assert_eq!(fs.holder_of("/missing"), None);
+        assert_eq!(fs.waiter_count("/missing"), 0);
+    }
+}

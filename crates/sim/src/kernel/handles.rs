@@ -1,0 +1,124 @@
+//! Per-process handle tables (the `_HANDLE_TABLE` of Fig. 4).
+//!
+//! Handles with the same numeric value in two different processes generally
+//! point at *different* kernel objects, and the same object is reached
+//! through *different* handle values — the table below is what provides that
+//! indirection in the simulator.
+
+use mes_types::{HandleId, MesError, ObjectId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A process's handle table: local [`HandleId`] → system [`ObjectId`].
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::kernel::handles::HandleTable;
+/// use mes_types::{HandleId, ObjectId};
+///
+/// let mut table = HandleTable::new();
+/// table.bind(HandleId::new(4), ObjectId::new(17))?;
+/// assert_eq!(table.resolve(HandleId::new(4))?, ObjectId::new(17));
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandleTable {
+    entries: HashMap<HandleId, ObjectId>,
+}
+
+impl HandleTable {
+    /// Creates an empty handle table.
+    pub fn new() -> Self {
+        HandleTable::default()
+    }
+
+    /// Binds a local handle to a system object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the handle value is already bound;
+    /// programs must pick distinct local handles.
+    pub fn bind(&mut self, handle: HandleId, object: ObjectId) -> Result<()> {
+        if self.entries.contains_key(&handle) {
+            return Err(MesError::Simulation {
+                reason: format!("handle {handle} is already bound"),
+            });
+        }
+        self.entries.insert(handle, object);
+        Ok(())
+    }
+
+    /// Resolves a local handle to the system object it points at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] for an unbound handle — the simulated
+    /// equivalent of passing a garbage `HANDLE` to the kernel.
+    pub fn resolve(&self, handle: HandleId) -> Result<ObjectId> {
+        self.entries.get(&handle).copied().ok_or_else(|| MesError::Simulation {
+            reason: format!("handle {handle} is not bound in this process"),
+        })
+    }
+
+    /// Removes a binding (`CloseHandle`), returning the object it pointed at.
+    pub fn unbind(&mut self, handle: HandleId) -> Option<ObjectId> {
+        self.entries.remove(&handle)
+    }
+
+    /// Number of live handles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_resolve() {
+        let mut table = HandleTable::new();
+        assert!(table.is_empty());
+        table.bind(HandleId::new(8), ObjectId::new(2)).unwrap();
+        assert_eq!(table.resolve(HandleId::new(8)).unwrap(), ObjectId::new(2));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn double_bind_is_rejected() {
+        let mut table = HandleTable::new();
+        table.bind(HandleId::new(8), ObjectId::new(2)).unwrap();
+        assert!(table.bind(HandleId::new(8), ObjectId::new(3)).is_err());
+    }
+
+    #[test]
+    fn resolving_unknown_handle_fails() {
+        let table = HandleTable::new();
+        assert!(table.resolve(HandleId::new(1)).is_err());
+    }
+
+    #[test]
+    fn unbind_removes_entry() {
+        let mut table = HandleTable::new();
+        table.bind(HandleId::new(4), ObjectId::new(9)).unwrap();
+        assert_eq!(table.unbind(HandleId::new(4)), Some(ObjectId::new(9)));
+        assert_eq!(table.unbind(HandleId::new(4)), None);
+        assert!(table.resolve(HandleId::new(4)).is_err());
+    }
+
+    #[test]
+    fn same_handle_value_in_two_tables_points_at_different_objects() {
+        // The property Fig. 4 of the paper illustrates.
+        let mut a = HandleTable::new();
+        let mut b = HandleTable::new();
+        a.bind(HandleId::new(4), ObjectId::new(1)).unwrap();
+        b.bind(HandleId::new(4), ObjectId::new(2)).unwrap();
+        assert_ne!(a.resolve(HandleId::new(4)).unwrap(), b.resolve(HandleId::new(4)).unwrap());
+    }
+}

@@ -1,0 +1,11 @@
+//! The simulated kernel: system-level objects, per-process handle tables and
+//! the named-object namespace.
+//!
+//! This module mirrors Fig. 4 of the paper: processes never touch kernel
+//! objects directly; they hold handles in a per-process handle table that
+//! point at system-level object structures, and two processes communicate by
+//! opening the *same* named object.
+
+pub mod handles;
+pub mod namespace;
+pub mod object;

@@ -1,0 +1,197 @@
+//! The named-object namespace and its session-level visibility rules.
+//!
+//! Locally and across a sandbox the Trojan and Spy can open the same named
+//! kernel object. Across virtual machines the paper finds that only
+//! *file-backed* objects are shared — ordinary named objects exist per
+//! session and never refer to a common resource (Section V.C.3). The
+//! [`Namespace`] models that: every object is created in a session, and
+//! lookups from another session only succeed for objects registered as
+//! globally visible.
+
+use mes_types::{MesError, ObjectId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies an isolation domain (a VM or the host). Processes in different
+/// sessions can only share globally visible (file-backed) objects.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SessionId(u32);
+
+impl SessionId {
+    /// The host/default session.
+    pub const HOST: SessionId = SessionId(0);
+
+    /// Creates a session identifier.
+    pub const fn new(id: u32) -> Self {
+        SessionId(id)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session{}", self.0)
+    }
+}
+
+/// Visibility of a named object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Visible only to processes in the creating session (ordinary kernel
+    /// objects: Event, Mutex, Semaphore, Timer).
+    Session,
+    /// Visible from every session (objects that correspond to a real shared
+    /// resource, i.e. files on a host-shared filesystem).
+    Global,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    object: ObjectId,
+    session: SessionId,
+    visibility: Visibility,
+}
+
+/// The kernel's name → object directory with session-aware lookup.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::kernel::namespace::{Namespace, SessionId, Visibility};
+/// use mes_types::ObjectId;
+///
+/// let mut ns = Namespace::new();
+/// ns.register("evt", ObjectId::new(1), SessionId::new(1), Visibility::Session)?;
+///
+/// // Same session: visible.
+/// assert!(ns.lookup("evt", SessionId::new(1)).is_ok());
+/// // Another VM: invisible — the paper's cross-VM finding.
+/// assert!(ns.lookup("evt", SessionId::new(2)).is_err());
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Namespace {
+    entries: HashMap<String, Entry>,
+}
+
+impl Namespace {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        Namespace::default()
+    }
+
+    /// Registers a named object created by a process in `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the name is already taken.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        object: ObjectId,
+        session: SessionId,
+        visibility: Visibility,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.entries.contains_key(&name) {
+            return Err(MesError::Simulation {
+                reason: format!("object name {name:?} already exists"),
+            });
+        }
+        self.entries.insert(name, Entry { object, session, visibility });
+        Ok(())
+    }
+
+    /// Looks a name up from the point of view of a process in `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the name does not exist or is not
+    /// visible from `session`.
+    pub fn lookup(&self, name: &str, session: SessionId) -> Result<ObjectId> {
+        match self.entries.get(name) {
+            None => Err(MesError::Simulation {
+                reason: format!("object name {name:?} does not exist"),
+            }),
+            Some(entry) => match entry.visibility {
+                Visibility::Global => Ok(entry.object),
+                Visibility::Session if entry.session == session => Ok(entry.object),
+                Visibility::Session => Err(MesError::Simulation {
+                    reason: format!(
+                        "object {name:?} exists in {} but is not visible from {session}",
+                        entry.session
+                    ),
+                }),
+            },
+        }
+    }
+
+    /// Whether a name is registered at all (regardless of visibility).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_objects_are_invisible_across_sessions() {
+        let mut ns = Namespace::new();
+        ns.register("evt", ObjectId::new(1), SessionId::new(1), Visibility::Session).unwrap();
+        assert!(ns.lookup("evt", SessionId::new(1)).is_ok());
+        assert!(ns.lookup("evt", SessionId::new(2)).is_err());
+        assert!(ns.lookup("evt", SessionId::HOST).is_err());
+    }
+
+    #[test]
+    fn global_objects_are_visible_everywhere() {
+        let mut ns = Namespace::new();
+        ns.register("shared-file", ObjectId::new(2), SessionId::new(1), Visibility::Global)
+            .unwrap();
+        assert_eq!(ns.lookup("shared-file", SessionId::new(7)).unwrap(), ObjectId::new(2));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut ns = Namespace::new();
+        ns.register("x", ObjectId::new(1), SessionId::HOST, Visibility::Session).unwrap();
+        assert!(ns
+            .register("x", ObjectId::new(2), SessionId::HOST, Visibility::Session)
+            .is_err());
+        assert!(ns.contains("x"));
+        assert_eq!(ns.len(), 1);
+        assert!(!ns.is_empty());
+    }
+
+    #[test]
+    fn missing_names_error() {
+        let ns = Namespace::new();
+        assert!(ns.lookup("nope", SessionId::HOST).is_err());
+        assert!(!ns.contains("nope"));
+    }
+
+    #[test]
+    fn session_display() {
+        assert_eq!(SessionId::new(3).to_string(), "session3");
+        assert_eq!(SessionId::HOST.as_u32(), 0);
+    }
+}

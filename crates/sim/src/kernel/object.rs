@@ -1,0 +1,422 @@
+//! System-level kernel objects: Event, Mutex, Semaphore and WaitableTimer.
+//!
+//! The paper's Windows channels are built on exactly these four object kinds
+//! plus `WaitForSingleObject`. The state carried here matches the data
+//! members the paper calls out in Fig. 4: the signal flag and reset mode of
+//! an Event, the owning thread and recursion counter of a Mutex, and the
+//! count of a Semaphore.
+
+use mes_types::{MesError, Nanos, ProcessId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The kind (and initial state) of a kernel object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Event object: `signaled` flips with `SetEvent`/`ResetEvent`;
+    /// `manual_reset == false` means the event auto-resets after releasing
+    /// one waiter (the mode Protocol 2 uses).
+    Event {
+        /// Whether the event must be reset manually.
+        manual_reset: bool,
+        /// Whether the event starts signalled.
+        initially_signaled: bool,
+    },
+    /// Mutex object: unowned mutexes are signalled; acquiring sets the owner.
+    Mutex,
+    /// Semaphore object with an initial and maximum count.
+    Semaphore {
+        /// Initial count (available resources).
+        initial: u32,
+        /// Maximum count.
+        max: u32,
+    },
+    /// Waitable timer: signalled once its due time elapses.
+    Timer,
+}
+
+impl ObjectKind {
+    /// Convenience constructor for the auto-reset, initially unsignalled
+    /// event used by the paper's Event channel.
+    pub fn event_auto_reset() -> Self {
+        ObjectKind::Event { manual_reset: false, initially_signaled: false }
+    }
+
+    /// Convenience constructor for a semaphore.
+    pub fn semaphore(initial: u32, max: u32) -> Self {
+        ObjectKind::Semaphore { initial, max }
+    }
+}
+
+/// Dynamic state of a kernel object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ObjectState {
+    Event { manual_reset: bool, signaled: bool },
+    Mutex { owner: Option<ProcessId>, recursion: u32 },
+    Semaphore { count: u32, max: u32 },
+    Timer { signaled: bool, due: Option<Nanos> },
+}
+
+/// A system-level kernel object plus its FIFO wait queue.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::{KernelObject, ObjectKind};
+/// use mes_types::ProcessId;
+///
+/// let mut event = KernelObject::new("evt", ObjectKind::event_auto_reset());
+/// assert!(!event.is_signaled_for(ProcessId::new(1)));
+/// event.set_event()?;
+/// assert!(event.is_signaled_for(ProcessId::new(1)));
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelObject {
+    name: String,
+    state: ObjectState,
+    waiters: VecDeque<ProcessId>,
+    usage_count: u32,
+}
+
+impl KernelObject {
+    /// Creates an object of the given kind.
+    pub fn new(name: impl Into<String>, kind: ObjectKind) -> Self {
+        let state = match kind {
+            ObjectKind::Event { manual_reset, initially_signaled } => {
+                ObjectState::Event { manual_reset, signaled: initially_signaled }
+            }
+            ObjectKind::Mutex => ObjectState::Mutex { owner: None, recursion: 0 },
+            ObjectKind::Semaphore { initial, max } => {
+                ObjectState::Semaphore { count: initial.min(max), max }
+            }
+            ObjectKind::Timer => ObjectState::Timer { signaled: false, due: None },
+        };
+        KernelObject {
+            name: name.into(),
+            state,
+            waiters: VecDeque::new(),
+            usage_count: 1,
+        }
+    }
+
+    /// The object's system-wide name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of handles referring to this object.
+    pub fn usage_count(&self) -> u32 {
+        self.usage_count
+    }
+
+    /// Registers one more handle (an `Open*` call).
+    pub fn add_reference(&mut self) {
+        self.usage_count += 1;
+    }
+
+    /// Whether a wait by `process` would be satisfied right now.
+    pub fn is_signaled_for(&self, process: ProcessId) -> bool {
+        match &self.state {
+            ObjectState::Event { signaled, .. } => *signaled,
+            ObjectState::Mutex { owner, .. } => owner.is_none() || *owner == Some(process),
+            ObjectState::Semaphore { count, .. } => *count > 0,
+            ObjectState::Timer { signaled, .. } => *signaled,
+        }
+    }
+
+    /// Consumes the signalled state on a successful wait by `process`
+    /// (auto-reset events unsignal, mutexes record their owner, semaphores
+    /// decrement).
+    pub fn acquire(&mut self, process: ProcessId) {
+        match &mut self.state {
+            ObjectState::Event { manual_reset, signaled } => {
+                if !*manual_reset {
+                    *signaled = false;
+                }
+            }
+            ObjectState::Mutex { owner, recursion } => {
+                if *owner == Some(process) {
+                    *recursion += 1;
+                } else {
+                    *owner = Some(process);
+                    *recursion = 1;
+                }
+            }
+            ObjectState::Semaphore { count, .. } => {
+                *count = count.saturating_sub(1);
+            }
+            // Synchronization (auto-reset) timer semantics: a successful wait
+            // consumes the signal until the timer is re-armed.
+            ObjectState::Timer { signaled, .. } => {
+                *signaled = false;
+            }
+        }
+    }
+
+    /// `SetEvent`: moves an event to the signalled state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the object is not an event.
+    pub fn set_event(&mut self) -> Result<()> {
+        match &mut self.state {
+            ObjectState::Event { signaled, .. } => {
+                *signaled = true;
+                Ok(())
+            }
+            _ => Err(MesError::Simulation {
+                reason: format!("SetEvent on non-event object {}", self.name),
+            }),
+        }
+    }
+
+    /// `ResetEvent`: moves an event to the non-signalled state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the object is not an event.
+    pub fn reset_event(&mut self) -> Result<()> {
+        match &mut self.state {
+            ObjectState::Event { signaled, .. } => {
+                *signaled = false;
+                Ok(())
+            }
+            _ => Err(MesError::Simulation {
+                reason: format!("ResetEvent on non-event object {}", self.name),
+            }),
+        }
+    }
+
+    /// `ReleaseMutex`: releases ownership (or decrements recursion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the object is not a mutex or the
+    /// caller does not own it.
+    pub fn release_mutex(&mut self, process: ProcessId) -> Result<()> {
+        match &mut self.state {
+            ObjectState::Mutex { owner, recursion } => {
+                if *owner != Some(process) {
+                    return Err(MesError::Simulation {
+                        reason: format!(
+                            "process {process} released mutex {} it does not own",
+                            self.name
+                        ),
+                    });
+                }
+                *recursion -= 1;
+                if *recursion == 0 {
+                    *owner = None;
+                }
+                Ok(())
+            }
+            _ => Err(MesError::Simulation {
+                reason: format!("ReleaseMutex on non-mutex object {}", self.name),
+            }),
+        }
+    }
+
+    /// `ReleaseSemaphore`: adds `count` units, saturating at the maximum.
+    ///
+    /// Returns the number of units actually added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the object is not a semaphore.
+    pub fn release_semaphore(&mut self, count: u32) -> Result<u32> {
+        match &mut self.state {
+            ObjectState::Semaphore { count: current, max } => {
+                let room = *max - *current;
+                let added = count.min(room);
+                *current += added;
+                Ok(added)
+            }
+            _ => Err(MesError::Simulation {
+                reason: format!("ReleaseSemaphore on non-semaphore object {}", self.name),
+            }),
+        }
+    }
+
+    /// Current semaphore count, if the object is a semaphore.
+    pub fn semaphore_count(&self) -> Option<u32> {
+        match &self.state {
+            ObjectState::Semaphore { count, .. } => Some(*count),
+            _ => None,
+        }
+    }
+
+    /// Arms a waitable timer to fire at absolute virtual time `due_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if the object is not a timer.
+    pub fn arm_timer(&mut self, due_at: Nanos) -> Result<()> {
+        match &mut self.state {
+            ObjectState::Timer { signaled, due } => {
+                *signaled = false;
+                *due = Some(due_at);
+                Ok(())
+            }
+            _ => Err(MesError::Simulation {
+                reason: format!("SetWaitableTimer on non-timer object {}", self.name),
+            }),
+        }
+    }
+
+    /// Marks an armed timer whose due time has arrived as signalled.
+    /// Returns `true` if the timer just fired.
+    pub fn fire_timer_if_due(&mut self, now: Nanos) -> bool {
+        match &mut self.state {
+            ObjectState::Timer { signaled, due } => {
+                if let Some(due_at) = *due {
+                    if now >= due_at && !*signaled {
+                        *signaled = true;
+                        *due = None;
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// The pending due time of an armed timer.
+    pub fn timer_due(&self) -> Option<Nanos> {
+        match &self.state {
+            ObjectState::Timer { due, .. } => *due,
+            _ => None,
+        }
+    }
+
+    /// Parks a process on the object's FIFO wait queue.
+    pub fn enqueue_waiter(&mut self, process: ProcessId) {
+        self.waiters.push_back(process);
+    }
+
+    /// Pops the process at the head of the wait queue.
+    pub fn dequeue_waiter(&mut self) -> Option<ProcessId> {
+        self.waiters.pop_front()
+    }
+
+    /// Number of parked waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: ProcessId = ProcessId::new(1);
+    const P2: ProcessId = ProcessId::new(2);
+
+    #[test]
+    fn auto_reset_event_unsignals_on_acquire() {
+        let mut event = KernelObject::new("e", ObjectKind::event_auto_reset());
+        assert!(!event.is_signaled_for(P1));
+        event.set_event().unwrap();
+        assert!(event.is_signaled_for(P1));
+        event.acquire(P1);
+        assert!(!event.is_signaled_for(P1));
+    }
+
+    #[test]
+    fn manual_reset_event_stays_signalled() {
+        let mut event = KernelObject::new(
+            "e",
+            ObjectKind::Event { manual_reset: true, initially_signaled: false },
+        );
+        event.set_event().unwrap();
+        event.acquire(P1);
+        assert!(event.is_signaled_for(P2));
+        event.reset_event().unwrap();
+        assert!(!event.is_signaled_for(P2));
+    }
+
+    #[test]
+    fn mutex_tracks_owner_and_recursion() {
+        let mut mutex = KernelObject::new("m", ObjectKind::Mutex);
+        assert!(mutex.is_signaled_for(P1));
+        mutex.acquire(P1);
+        assert!(!mutex.is_signaled_for(P2));
+        assert!(mutex.is_signaled_for(P1), "owner can recursively acquire");
+        mutex.acquire(P1);
+        mutex.release_mutex(P1).unwrap();
+        assert!(!mutex.is_signaled_for(P2), "still held once");
+        mutex.release_mutex(P1).unwrap();
+        assert!(mutex.is_signaled_for(P2));
+    }
+
+    #[test]
+    fn mutex_release_by_non_owner_fails() {
+        let mut mutex = KernelObject::new("m", ObjectKind::Mutex);
+        mutex.acquire(P1);
+        assert!(mutex.release_mutex(P2).is_err());
+    }
+
+    #[test]
+    fn semaphore_count_saturates_at_max() {
+        let mut sem = KernelObject::new("s", ObjectKind::semaphore(2, 3));
+        assert_eq!(sem.semaphore_count(), Some(2));
+        sem.acquire(P1);
+        assert_eq!(sem.semaphore_count(), Some(1));
+        assert_eq!(sem.release_semaphore(5).unwrap(), 2);
+        assert_eq!(sem.semaphore_count(), Some(3));
+        assert!(!sem.is_signaled_for(P1) == false);
+    }
+
+    #[test]
+    fn semaphore_zero_blocks_waiters() {
+        let mut sem = KernelObject::new("s", ObjectKind::semaphore(0, 4));
+        assert!(!sem.is_signaled_for(P1));
+        sem.release_semaphore(1).unwrap();
+        assert!(sem.is_signaled_for(P1));
+    }
+
+    #[test]
+    fn timer_fires_only_after_due() {
+        let mut timer = KernelObject::new("t", ObjectKind::Timer);
+        timer.arm_timer(Nanos::new(1_000)).unwrap();
+        assert!(!timer.fire_timer_if_due(Nanos::new(500)));
+        assert!(!timer.is_signaled_for(P1));
+        assert!(timer.fire_timer_if_due(Nanos::new(1_000)));
+        assert!(timer.is_signaled_for(P1));
+        assert!(!timer.fire_timer_if_due(Nanos::new(2_000)), "fires once");
+    }
+
+    #[test]
+    fn wrong_kind_operations_error() {
+        let mut mutex = KernelObject::new("m", ObjectKind::Mutex);
+        assert!(mutex.set_event().is_err());
+        assert!(mutex.reset_event().is_err());
+        assert!(mutex.release_semaphore(1).is_err());
+        assert!(mutex.arm_timer(Nanos::ZERO).is_err());
+        let mut event = KernelObject::new("e", ObjectKind::event_auto_reset());
+        assert!(event.release_mutex(P1).is_err());
+        assert_eq!(event.semaphore_count(), None);
+        assert_eq!(event.timer_due(), None);
+    }
+
+    #[test]
+    fn wait_queue_is_fifo() {
+        let mut event = KernelObject::new("e", ObjectKind::event_auto_reset());
+        event.enqueue_waiter(P1);
+        event.enqueue_waiter(P2);
+        assert_eq!(event.waiter_count(), 2);
+        assert_eq!(event.dequeue_waiter(), Some(P1));
+        assert_eq!(event.dequeue_waiter(), Some(P2));
+        assert_eq!(event.dequeue_waiter(), None);
+    }
+
+    #[test]
+    fn usage_count_tracks_references() {
+        let mut event = KernelObject::new("e", ObjectKind::event_auto_reset());
+        assert_eq!(event.usage_count(), 1);
+        event.add_reference();
+        assert_eq!(event.usage_count(), 2);
+        assert_eq!(event.name(), "e");
+    }
+}

@@ -1,0 +1,461 @@
+//! The noise model: every source of timing variation the paper's channels
+//! have to survive.
+//!
+//! Section V.B and V.C of the paper attribute the channels' bit errors to a
+//! handful of OS-level effects: the ~58 µs it takes the Linux scheduler to
+//! wake a sleeping process, jitter on every syscall, occasional "system
+//! blocks" (preemptions, interrupt handling) whose likelihood grows with how
+//! long a process sleeps or holds a resource, and — for *open* shared
+//! resources — interference from unrelated processes. [`NoiseModel`] captures
+//! each of these as an explicit, documented parameter so experiments can be
+//! run noiseless, paper-calibrated or deliberately hostile.
+
+use crate::rng::SimRng;
+use mes_types::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Categories of simulated operations that consume CPU time.
+///
+/// The scenario profiles assign each class a mean cost and a jitter; the
+/// engine samples a cost every time it executes an op of that class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostClass {
+    /// Fast kernel-object call: `SetEvent`, `ResetEvent`, `ReleaseMutex`,
+    /// `ReleaseSemaphore`, `SetWaitableTimer`, `CreateEvent`, `OpenEvent`.
+    KernelObjectCall,
+    /// Wait-path entry: `WaitForSingleObject` / semaphore P before blocking.
+    WaitCall,
+    /// File-lock syscall: `flock` / `LockFileEx` lock and unlock.
+    FileLockCall,
+    /// Opening a file / creating a descriptor.
+    FileOpen,
+    /// Reading the clock and storing a timestamp.
+    Timestamp,
+    /// A loop iteration of "irrelevant instructions" between bits
+    /// (Section V.B of the paper).
+    LoopIteration,
+}
+
+impl CostClass {
+    /// All cost classes, useful for exhaustive configuration.
+    pub const ALL: [CostClass; 6] = [
+        CostClass::KernelObjectCall,
+        CostClass::WaitCall,
+        CostClass::FileLockCall,
+        CostClass::FileOpen,
+        CostClass::Timestamp,
+        CostClass::LoopIteration,
+    ];
+}
+
+/// Mean/σ pair (in nanoseconds) describing the cost of one [`CostClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSpec {
+    /// Mean cost in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation in nanoseconds.
+    pub std_dev_ns: f64,
+}
+
+impl CostSpec {
+    /// A fixed, jitter-free cost.
+    pub const fn fixed(mean_ns: f64) -> Self {
+        CostSpec { mean_ns, std_dev_ns: 0.0 }
+    }
+
+    /// A jittery cost.
+    pub const fn new(mean_ns: f64, std_dev_ns: f64) -> Self {
+        CostSpec { mean_ns, std_dev_ns }
+    }
+}
+
+/// Random "system block" model: rare, long scheduling disturbances whose
+/// probability grows with the length of the disturbed interval.
+///
+/// The paper observes exactly this effect: the longer the Trojan sleeps or
+/// holds a lock, the more often the system blocks it, which eventually turns
+/// into bit errors (Fig. 9(a) for `ti` = 30 µs and Fig. 10 for large `tt1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Preemption {
+    /// Probability per microsecond of interval that a *short* disturbance
+    /// (interrupt, timer tick) lands in it.
+    pub short_rate_per_us: f64,
+    /// Mean duration of a short disturbance in microseconds (exponential).
+    pub short_mean_us: f64,
+    /// Probability per microsecond of interval that a *long* disturbance
+    /// (involuntary preemption, page fault burst) lands in it.
+    pub long_rate_per_us: f64,
+    /// Minimum duration of a long disturbance in microseconds (uniform).
+    pub long_min_us: f64,
+    /// Maximum duration of a long disturbance in microseconds (uniform).
+    pub long_max_us: f64,
+}
+
+impl Preemption {
+    /// No disturbances at all.
+    pub const fn none() -> Self {
+        Preemption {
+            short_rate_per_us: 0.0,
+            short_mean_us: 0.0,
+            long_rate_per_us: 0.0,
+            long_min_us: 0.0,
+            long_max_us: 0.0,
+        }
+    }
+
+    /// Samples the extra delay injected into an interval of length
+    /// `interval`, in microseconds.
+    pub fn sample_extra_us(&self, interval: Nanos, rng: &mut SimRng) -> f64 {
+        let us = interval.as_micros_f64();
+        let mut extra = 0.0;
+        if self.short_rate_per_us > 0.0 && rng.bernoulli((self.short_rate_per_us * us).min(1.0)) {
+            extra += rng.exponential(self.short_mean_us);
+        }
+        if self.long_rate_per_us > 0.0 && rng.bernoulli((self.long_rate_per_us * us).min(1.0)) {
+            extra += rng.uniform(self.long_min_us, self.long_max_us);
+        }
+        extra
+    }
+}
+
+/// Interference from unrelated processes competing for the same *open*
+/// shared resource.
+///
+/// MES-Attacks deliberately use *closed* resources (objects/files agreed on
+/// by the Trojan and Spy alone), which is why their BER stays below 1 %.
+/// Enabling this knob reproduces the degradation the paper ascribes to
+/// open-resource channels (Section IV.G, advantage ①).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenResourceInterference {
+    /// Probability that a given bit period is disturbed by a third process.
+    pub contention_probability: f64,
+    /// Mean extra occupancy in microseconds when a disturbance happens.
+    pub occupancy_mean_us: f64,
+}
+
+/// All timing-noise parameters of a simulated deployment.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::NoiseModel;
+///
+/// let quiet = NoiseModel::noiseless();
+/// assert_eq!(quiet.sleep_wakeup_latency_ns, 0.0);
+///
+/// let paper = NoiseModel::calibrated_local();
+/// assert!(paper.sleep_wakeup_latency_ns > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Minimum effective sleep duration in nanoseconds: the scheduler cannot
+    /// wake a sleeper sooner than this. The paper measures ≈ 58 µs on Linux
+    /// (Section V.C.1), which is why the flock channel uses `tt0` = 60 µs;
+    /// Windows timers resolve finer, so the Windows profiles use 0.
+    pub min_sleep_ns: f64,
+    /// Latency added when a sleeping process is woken by the scheduler, in
+    /// nanoseconds (on top of the requested duration).
+    pub sleep_wakeup_latency_ns: f64,
+    /// Jitter (σ) on the sleep wakeup latency, in nanoseconds.
+    pub sleep_wakeup_jitter_ns: f64,
+    /// Latency between a resource being released/signalled and the blocked
+    /// waiter resuming execution, in nanoseconds.
+    pub wait_wakeup_latency_ns: f64,
+    /// Jitter (σ) on the wait wakeup latency, in nanoseconds.
+    pub wait_wakeup_jitter_ns: f64,
+    /// Per-class operation costs.
+    pub costs: CostTable,
+    /// Random long disturbances.
+    pub preemption: Preemption,
+    /// Optional open-resource interference (ablation knob, off by default).
+    pub open_interference: Option<OpenResourceInterference>,
+}
+
+/// Operation costs per [`CostClass`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostTable {
+    /// Cost of fast kernel-object calls.
+    pub kernel_object_call: CostSpec,
+    /// Cost of entering a wait.
+    pub wait_call: CostSpec,
+    /// Cost of file-lock syscalls.
+    pub file_lock_call: CostSpec,
+    /// Cost of opening a file.
+    pub file_open: CostSpec,
+    /// Cost of taking a timestamp.
+    pub timestamp: CostSpec,
+    /// Cost of one loop iteration of irrelevant instructions.
+    pub loop_iteration: CostSpec,
+}
+
+impl CostTable {
+    /// A table where every operation is free (for unit tests).
+    pub const fn zero() -> Self {
+        CostTable {
+            kernel_object_call: CostSpec::fixed(0.0),
+            wait_call: CostSpec::fixed(0.0),
+            file_lock_call: CostSpec::fixed(0.0),
+            file_open: CostSpec::fixed(0.0),
+            timestamp: CostSpec::fixed(0.0),
+            loop_iteration: CostSpec::fixed(0.0),
+        }
+    }
+
+    /// Returns the spec for a class.
+    pub fn spec(&self, class: CostClass) -> CostSpec {
+        match class {
+            CostClass::KernelObjectCall => self.kernel_object_call,
+            CostClass::WaitCall => self.wait_call,
+            CostClass::FileLockCall => self.file_lock_call,
+            CostClass::FileOpen => self.file_open,
+            CostClass::Timestamp => self.timestamp,
+            CostClass::LoopIteration => self.loop_iteration,
+        }
+    }
+
+    /// Sets the spec for a class (builder style).
+    pub fn with_spec(mut self, class: CostClass, spec: CostSpec) -> Self {
+        match class {
+            CostClass::KernelObjectCall => self.kernel_object_call = spec,
+            CostClass::WaitCall => self.wait_call = spec,
+            CostClass::FileLockCall => self.file_lock_call = spec,
+            CostClass::FileOpen => self.file_open = spec,
+            CostClass::Timestamp => self.timestamp = spec,
+            CostClass::LoopIteration => self.loop_iteration = spec,
+        }
+        self
+    }
+}
+
+impl NoiseModel {
+    /// A completely deterministic, zero-overhead model. Useful for unit
+    /// tests of protocol logic, where only the programmed delays matter.
+    pub const fn noiseless() -> Self {
+        NoiseModel {
+            min_sleep_ns: 0.0,
+            sleep_wakeup_latency_ns: 0.0,
+            sleep_wakeup_jitter_ns: 0.0,
+            wait_wakeup_latency_ns: 0.0,
+            wait_wakeup_jitter_ns: 0.0,
+            costs: CostTable::zero(),
+            preemption: Preemption::none(),
+            open_interference: None,
+        }
+    }
+
+    /// A model calibrated to the paper's *local* testbed (Intel i5-7400,
+    /// Ubuntu 16.04 / Windows 10). The per-mechanism protocol overhead that
+    /// completes the calibration lives in `mes-scenario`.
+    pub fn calibrated_local() -> Self {
+        NoiseModel {
+            min_sleep_ns: 0.0,
+            sleep_wakeup_latency_ns: 3_000.0,
+            sleep_wakeup_jitter_ns: 1_200.0,
+            wait_wakeup_latency_ns: 2_500.0,
+            wait_wakeup_jitter_ns: 1_000.0,
+            costs: CostTable {
+                kernel_object_call: CostSpec::new(1_800.0, 350.0),
+                wait_call: CostSpec::new(2_000.0, 400.0),
+                file_lock_call: CostSpec::new(2_600.0, 500.0),
+                file_open: CostSpec::new(4_000.0, 800.0),
+                timestamp: CostSpec::new(300.0, 60.0),
+                loop_iteration: CostSpec::new(900.0, 200.0),
+            },
+            preemption: Preemption {
+                short_rate_per_us: 0.000_8,
+                short_mean_us: 4.0,
+                long_rate_per_us: 0.000_25,
+                long_min_us: 20.0,
+                long_max_us: 190.0,
+            },
+            open_interference: None,
+        }
+    }
+
+    /// Scales every latency, cost and disturbance rate by a factor — used by
+    /// the sandbox and cross-VM profiles, whose syscall paths are longer and
+    /// noisier.
+    pub fn scaled(&self, latency_factor: f64, noise_factor: f64) -> NoiseModel {
+        let scale_spec = |s: CostSpec| CostSpec {
+            mean_ns: s.mean_ns * latency_factor,
+            std_dev_ns: s.std_dev_ns * noise_factor,
+        };
+        NoiseModel {
+            min_sleep_ns: self.min_sleep_ns,
+            sleep_wakeup_latency_ns: self.sleep_wakeup_latency_ns * latency_factor,
+            sleep_wakeup_jitter_ns: self.sleep_wakeup_jitter_ns * noise_factor,
+            wait_wakeup_latency_ns: self.wait_wakeup_latency_ns * latency_factor,
+            wait_wakeup_jitter_ns: self.wait_wakeup_jitter_ns * noise_factor,
+            costs: CostTable {
+                kernel_object_call: scale_spec(self.costs.kernel_object_call),
+                wait_call: scale_spec(self.costs.wait_call),
+                file_lock_call: scale_spec(self.costs.file_lock_call),
+                file_open: scale_spec(self.costs.file_open),
+                timestamp: scale_spec(self.costs.timestamp),
+                loop_iteration: scale_spec(self.costs.loop_iteration),
+            },
+            preemption: Preemption {
+                short_rate_per_us: self.preemption.short_rate_per_us * noise_factor,
+                short_mean_us: self.preemption.short_mean_us,
+                long_rate_per_us: self.preemption.long_rate_per_us * noise_factor,
+                long_min_us: self.preemption.long_min_us,
+                long_max_us: self.preemption.long_max_us * noise_factor.max(1.0),
+            },
+            open_interference: self.open_interference,
+        }
+    }
+
+    /// Enables open-resource interference (ablation knob).
+    pub fn with_open_interference(mut self, interference: OpenResourceInterference) -> Self {
+        self.open_interference = Some(interference);
+        self
+    }
+
+    /// Sets the minimum effective sleep duration (builder style). Used by the
+    /// Linux profiles to model the ≈ 58 µs scheduler wakeup floor the paper
+    /// reports.
+    pub fn with_min_sleep(mut self, min_sleep: Nanos) -> Self {
+        self.min_sleep_ns = min_sleep.as_u64() as f64;
+        self
+    }
+
+    /// Samples the cost of one operation of the given class, in nanoseconds.
+    pub fn sample_cost(&self, class: CostClass, rng: &mut SimRng) -> Nanos {
+        let spec = self.costs.spec(class);
+        Nanos::from_micros_f64(rng.normal_non_negative(spec.mean_ns, spec.std_dev_ns) / 1_000.0)
+    }
+
+    /// Samples the total duration of a sleep of nominal length `nominal`,
+    /// including wakeup latency, jitter and disturbances.
+    pub fn sample_sleep(&self, nominal: Nanos, rng: &mut SimRng) -> Nanos {
+        let floored = nominal.max(Nanos::from_micros_f64(self.min_sleep_ns / 1_000.0));
+        let wake =
+            rng.normal_non_negative(self.sleep_wakeup_latency_ns, self.sleep_wakeup_jitter_ns);
+        let extra_us = self.preemption.sample_extra_us(floored, rng);
+        floored + Nanos::from_micros_f64(wake / 1_000.0) + Nanos::from_micros_f64(extra_us)
+    }
+
+    /// Samples the latency between a wake-up signal and the waiter actually
+    /// resuming.
+    pub fn sample_wait_wakeup(&self, rng: &mut SimRng) -> Nanos {
+        let wake =
+            rng.normal_non_negative(self.wait_wakeup_latency_ns, self.wait_wakeup_jitter_ns);
+        Nanos::from_micros_f64(wake / 1_000.0)
+    }
+
+    /// Samples disturbance delay for a non-sleep interval (e.g. a lock hold).
+    pub fn sample_disturbance(&self, interval: Nanos, rng: &mut SimRng) -> Nanos {
+        Nanos::from_micros_f64(self.preemption.sample_extra_us(interval, rng))
+    }
+
+    /// Samples extra blocking caused by third-party contention on an open
+    /// resource, if the ablation knob is enabled.
+    pub fn sample_open_interference(&self, rng: &mut SimRng) -> Nanos {
+        match self.open_interference {
+            None => Nanos::ZERO,
+            Some(model) => {
+                if rng.bernoulli(model.contention_probability) {
+                    Nanos::from_micros_f64(rng.exponential(model.occupancy_mean_us))
+                } else {
+                    Nanos::ZERO
+                }
+            }
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::calibrated_local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    #[test]
+    fn noiseless_model_adds_nothing() {
+        let model = NoiseModel::noiseless();
+        let mut rng = SimRng::seed_from(1);
+        let nominal = Micros::new(100).to_nanos();
+        assert_eq!(model.sample_sleep(nominal, &mut rng), nominal);
+        assert_eq!(model.sample_wait_wakeup(&mut rng), Nanos::ZERO);
+        assert_eq!(model.sample_cost(CostClass::WaitCall, &mut rng), Nanos::ZERO);
+        assert_eq!(model.sample_disturbance(nominal, &mut rng), Nanos::ZERO);
+        assert_eq!(model.sample_open_interference(&mut rng), Nanos::ZERO);
+    }
+
+    #[test]
+    fn calibrated_sleep_is_longer_than_nominal() {
+        let model = NoiseModel::calibrated_local();
+        let mut rng = SimRng::seed_from(2);
+        let nominal = Micros::new(60).to_nanos();
+        let mean: f64 = (0..2_000)
+            .map(|_| model.sample_sleep(nominal, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 2_000.0;
+        assert!(mean > 60.0, "mean sleep {mean}us should exceed nominal");
+        assert!(mean < 80.0, "mean sleep {mean}us unreasonably large");
+    }
+
+    #[test]
+    fn preemption_rate_grows_with_interval() {
+        let model = NoiseModel::calibrated_local();
+        let mut rng = SimRng::seed_from(3);
+        let count_extra = |nominal_us: u64, rng: &mut SimRng| {
+            (0..4_000)
+                .filter(|_| {
+                    model
+                        .preemption
+                        .sample_extra_us(Micros::new(nominal_us).to_nanos(), rng)
+                        > 0.0
+                })
+                .count()
+        };
+        let short = count_extra(20, &mut rng);
+        let long = count_extra(300, &mut rng);
+        assert!(long > short, "long intervals must be disturbed more often ({short} vs {long})");
+    }
+
+    #[test]
+    fn scaling_increases_costs() {
+        let base = NoiseModel::calibrated_local();
+        let scaled = base.scaled(2.0, 1.5);
+        assert!(scaled.costs.wait_call.mean_ns > base.costs.wait_call.mean_ns);
+        assert!(scaled.sleep_wakeup_latency_ns > base.sleep_wakeup_latency_ns);
+        assert!(scaled.preemption.short_rate_per_us > base.preemption.short_rate_per_us);
+    }
+
+    #[test]
+    fn open_interference_sometimes_fires() {
+        let model = NoiseModel::noiseless().with_open_interference(OpenResourceInterference {
+            contention_probability: 0.5,
+            occupancy_mean_us: 10.0,
+        });
+        let mut rng = SimRng::seed_from(4);
+        let hits = (0..1_000)
+            .filter(|_| model.sample_open_interference(&mut rng) > Nanos::ZERO)
+            .count();
+        assert!(hits > 300 && hits < 700, "hits {hits}");
+    }
+
+    #[test]
+    fn min_sleep_floors_short_sleeps() {
+        let model = NoiseModel::noiseless().with_min_sleep(Micros::new(58).to_nanos());
+        let mut rng = SimRng::seed_from(9);
+        let short = model.sample_sleep(Micros::new(15).to_nanos(), &mut rng);
+        let long = model.sample_sleep(Micros::new(160).to_nanos(), &mut rng);
+        assert_eq!(short, Micros::new(58).to_nanos());
+        assert_eq!(long, Micros::new(160).to_nanos());
+    }
+
+    #[test]
+    fn cost_table_accessors_roundtrip() {
+        let table = CostTable::zero().with_spec(CostClass::Timestamp, CostSpec::new(5.0, 1.0));
+        assert_eq!(table.spec(CostClass::Timestamp), CostSpec::new(5.0, 1.0));
+        assert_eq!(table.spec(CostClass::FileOpen), CostSpec::fixed(0.0));
+        assert_eq!(CostClass::ALL.len(), 6);
+    }
+}

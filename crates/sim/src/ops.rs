@@ -1,0 +1,231 @@
+//! The simulator's instruction set: the operations a simulated Trojan or Spy
+//! program can execute.
+//!
+//! Channel protocols (`mes-core`) compile each transmission into a flat list
+//! of these ops — the simulated analogue of the C snippets in Protocol 1 and
+//! Protocol 2 of the paper.
+
+use crate::kernel::object::ObjectKind;
+use crate::noise::CostClass;
+use mes_types::{FdId, HandleId, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// One operation executed by a simulated process.
+///
+/// Handles ([`HandleId`]) and descriptors ([`FdId`]) are process-local names
+/// chosen by the program builder; the engine resolves them through the
+/// process's handle table / fd table, mirroring Fig. 4 and Fig. 5 of the
+/// paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    // ----- kernel objects (Windows side of the paper) ------------------
+    /// Create a named kernel object in the process's session and bind it to
+    /// a local handle (`CreateEvent`, `CreateMutex`, `CreateSemaphore`,
+    /// `CreateWaitableTimer`).
+    CreateObject {
+        /// System-wide object name agreed on by Trojan and Spy.
+        name: String,
+        /// Kind and initial state of the object.
+        kind: ObjectKind,
+        /// Local handle to bind in this process's handle table.
+        handle: HandleId,
+    },
+    /// Open an existing named object and bind it to a local handle
+    /// (`OpenEvent` and friends).
+    OpenObject {
+        /// System-wide object name.
+        name: String,
+        /// Local handle to bind.
+        handle: HandleId,
+    },
+    /// Set an event object to the signalled state (`SetEvent`).
+    SetEvent {
+        /// Local handle of the event.
+        handle: HandleId,
+    },
+    /// Reset an event object to the non-signalled state (`ResetEvent`).
+    ResetEvent {
+        /// Local handle of the event.
+        handle: HandleId,
+    },
+    /// Block until the object is signalled (`WaitForSingleObject` with an
+    /// infinite timeout, or semaphore P).
+    WaitForSingleObject {
+        /// Local handle of the object.
+        handle: HandleId,
+    },
+    /// Release a mutex owned by this process (`ReleaseMutex`).
+    ReleaseMutex {
+        /// Local handle of the mutex.
+        handle: HandleId,
+    },
+    /// Release `count` units of a semaphore (`ReleaseSemaphore` / V).
+    ReleaseSemaphore {
+        /// Local handle of the semaphore.
+        handle: HandleId,
+        /// Number of units to release.
+        count: u32,
+    },
+    /// Arm a waitable timer to signal after `due` (`SetWaitableTimer`).
+    SetTimer {
+        /// Local handle of the timer.
+        handle: HandleId,
+        /// Relative due time.
+        due: Nanos,
+    },
+
+    // ----- file locks (Linux side of the paper) -------------------------
+    /// Open a file by path and bind it to a local descriptor.
+    OpenFile {
+        /// Path in the simulated filesystem.
+        path: String,
+        /// Local descriptor to bind.
+        fd: FdId,
+    },
+    /// Acquire an exclusive advisory lock (`flock(fd, LOCK_EX)` /
+    /// `LockFileEx`), blocking while another process holds it.
+    FlockExclusive {
+        /// Local descriptor of the shared file.
+        fd: FdId,
+    },
+    /// Release the advisory lock (`flock(fd, LOCK_UN)` / `UnlockFileEx`).
+    FlockUnlock {
+        /// Local descriptor of the shared file.
+        fd: FdId,
+    },
+
+    // ----- process-local operations -------------------------------------
+    /// Sleep for the given nominal duration (the engine adds wakeup latency
+    /// and scheduler noise).
+    SleepFor {
+        /// Nominal sleep duration.
+        duration: Nanos,
+    },
+    /// Busy-work for the given duration ("irrelevant instructions" in the
+    /// paper's terminology).
+    Compute {
+        /// Nominal busy-work duration.
+        duration: Nanos,
+    },
+    /// Record the start of measurement window `slot` (the Spy's
+    /// `start_time`).
+    TimestampStart {
+        /// Measurement slot, usually the bit index.
+        slot: u32,
+    },
+    /// Record the end of measurement window `slot` (the Spy's `end_time`).
+    TimestampEnd {
+        /// Measurement slot, usually the bit index.
+        slot: u32,
+    },
+
+    // ----- coordination ---------------------------------------------------
+    /// Fine-grained inter-bit synchronization barrier (Section V.B of the
+    /// paper): blocks until every participating process has reached the same
+    /// barrier id for the current round.
+    Barrier {
+        /// Barrier identity; processes sharing an id rendezvous together.
+        id: u32,
+    },
+}
+
+impl Op {
+    /// The cost class charged for executing this op, if any.
+    ///
+    /// Process-local waits (`SleepFor`, `Compute`) carry their own explicit
+    /// durations and therefore have no class.
+    pub fn cost_class(&self) -> Option<CostClass> {
+        match self {
+            Op::CreateObject { .. }
+            | Op::OpenObject { .. }
+            | Op::SetEvent { .. }
+            | Op::ResetEvent { .. }
+            | Op::ReleaseMutex { .. }
+            | Op::ReleaseSemaphore { .. }
+            | Op::SetTimer { .. } => Some(CostClass::KernelObjectCall),
+            Op::WaitForSingleObject { .. } => Some(CostClass::WaitCall),
+            Op::FlockExclusive { .. } | Op::FlockUnlock { .. } => Some(CostClass::FileLockCall),
+            Op::OpenFile { .. } => Some(CostClass::FileOpen),
+            Op::TimestampStart { .. } | Op::TimestampEnd { .. } => Some(CostClass::Timestamp),
+            Op::Barrier { .. } => Some(CostClass::LoopIteration),
+            Op::SleepFor { .. } | Op::Compute { .. } => None,
+        }
+    }
+
+    /// Whether the op can block the process on shared state.
+    pub fn can_block(&self) -> bool {
+        matches!(
+            self,
+            Op::WaitForSingleObject { .. } | Op::FlockExclusive { .. } | Op::Barrier { .. }
+        )
+    }
+
+    /// Whether the op touches state shared between processes (and therefore
+    /// must be executed in global time order).
+    pub fn is_shared(&self) -> bool {
+        !matches!(
+            self,
+            Op::SleepFor { .. }
+                | Op::Compute { .. }
+                | Op::TimestampStart { .. }
+                | Op::TimestampEnd { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    #[test]
+    fn blocking_ops_are_shared() {
+        let ops = [
+            Op::WaitForSingleObject { handle: HandleId::new(1) },
+            Op::FlockExclusive { fd: FdId::new(0) },
+            Op::Barrier { id: 1 },
+        ];
+        for op in ops {
+            assert!(op.can_block());
+            assert!(op.is_shared());
+        }
+    }
+
+    #[test]
+    fn local_ops_have_no_cost_class() {
+        assert_eq!(Op::SleepFor { duration: Micros::new(1).to_nanos() }.cost_class(), None);
+        assert_eq!(Op::Compute { duration: Nanos::new(10) }.cost_class(), None);
+        assert!(!Op::SleepFor { duration: Nanos::ZERO }.is_shared());
+    }
+
+    #[test]
+    fn cost_classes_match_op_kind() {
+        assert_eq!(
+            Op::SetEvent { handle: HandleId::new(1) }.cost_class(),
+            Some(CostClass::KernelObjectCall)
+        );
+        assert_eq!(
+            Op::WaitForSingleObject { handle: HandleId::new(1) }.cost_class(),
+            Some(CostClass::WaitCall)
+        );
+        assert_eq!(
+            Op::FlockExclusive { fd: FdId::new(3) }.cost_class(),
+            Some(CostClass::FileLockCall)
+        );
+        assert_eq!(
+            Op::OpenFile { path: "f".into(), fd: FdId::new(3) }.cost_class(),
+            Some(CostClass::FileOpen)
+        );
+        assert_eq!(
+            Op::TimestampStart { slot: 0 }.cost_class(),
+            Some(CostClass::Timestamp)
+        );
+    }
+
+    #[test]
+    fn timestamps_are_local_but_set_event_is_shared() {
+        assert!(!Op::TimestampEnd { slot: 2 }.is_shared());
+        assert!(Op::SetEvent { handle: HandleId::new(4) }.is_shared());
+        assert!(!Op::SetEvent { handle: HandleId::new(4) }.can_block());
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulated processes, their programs and the measurements they record.
+
+use crate::kernel::namespace::SessionId;
+use crate::ops::Op;
+use mes_types::{Nanos, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Human-readable name of a simulated process (e.g. `"trojan"`, `"spy"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessName(String);
+
+impl ProcessName {
+    /// Creates a process name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessName(name.into())
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ProcessName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProcessName {
+    fn from(s: &str) -> Self {
+        ProcessName::new(s)
+    }
+}
+
+/// A program to be executed by one simulated process: a name, the session it
+/// runs in (VM / sandbox modelling) and a flat list of ops.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::{Op, Program, SessionId};
+/// use mes_types::Micros;
+///
+/// let program = Program::new("trojan")
+///     .in_session(SessionId::new(1))
+///     .op(Op::SleepFor { duration: Micros::new(10).to_nanos() })
+///     .op(Op::Compute { duration: Micros::new(1).to_nanos() });
+/// assert_eq!(program.ops().len(), 2);
+/// assert_eq!(program.session(), SessionId::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: ProcessName,
+    session: SessionId,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program running in the default session 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: ProcessName::new(name),
+            session: SessionId::default(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Places the process in a session (VM or sandbox boundary modelling).
+    pub fn in_session(mut self, session: SessionId) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Appends one op (builder style).
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends many ops (builder style).
+    pub fn ops_extend<I: IntoIterator<Item = Op>>(mut self, ops: I) -> Self {
+        self.ops.extend(ops);
+        self
+    }
+
+    /// Appends one op in place.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The process name.
+    pub fn name(&self) -> &ProcessName {
+        &self.name
+    }
+
+    /// The session the process runs in.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The ops of the program.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One closed measurement window recorded by `TimestampStart`/`TimestampEnd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The slot (usually the bit index) the window belongs to.
+    pub slot: u32,
+    /// Virtual time at `TimestampStart`.
+    pub start: Nanos,
+    /// Virtual time at `TimestampEnd`.
+    pub end: Nanos,
+}
+
+impl Measurement {
+    /// The measured duration.
+    pub fn elapsed(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Execution state of a simulated process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum RunState {
+    /// Ready or running; the scheduler will execute its next op.
+    Runnable,
+    /// Blocked on shared state (lock, object wait, barrier).
+    Blocked(BlockReason),
+    /// Finished executing its program.
+    Terminated,
+}
+
+/// Why a process is blocked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum BlockReason {
+    /// Waiting for a kernel object to become signalled.
+    Object(mes_types::ObjectId),
+    /// Waiting for an advisory file lock.
+    FileLock(mes_types::InodeId),
+    /// Waiting at an inter-bit synchronization barrier.
+    Barrier(u32),
+}
+
+/// Internal per-process bookkeeping used by the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct ProcessState {
+    pub(crate) id: ProcessId,
+    pub(crate) program: Program,
+    pub(crate) pc: usize,
+    pub(crate) local_time: Nanos,
+    pub(crate) run_state: RunState,
+    pub(crate) handle_table: crate::kernel::handles::HandleTable,
+    pub(crate) fd_table: HashMap<mes_types::FdId, mes_types::FileId>,
+    pub(crate) open_windows: HashMap<u32, Nanos>,
+    pub(crate) measurements: Vec<Measurement>,
+}
+
+impl ProcessState {
+    pub(crate) fn new(id: ProcessId, program: Program) -> Self {
+        ProcessState {
+            id,
+            program,
+            pc: 0,
+            local_time: Nanos::ZERO,
+            run_state: RunState::Runnable,
+            handle_table: crate::kernel::handles::HandleTable::new(),
+            fd_table: HashMap::new(),
+            open_windows: HashMap::new(),
+            measurements: Vec::new(),
+        }
+    }
+
+    pub(crate) fn current_op(&self) -> Option<&Op> {
+        self.program.ops().get(self.pc)
+    }
+
+    pub(crate) fn is_terminated(&self) -> bool {
+        matches!(self.run_state, RunState::Terminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    #[test]
+    fn program_builder_accumulates_ops() {
+        let program = Program::new("spy")
+            .op(Op::TimestampStart { slot: 0 })
+            .ops_extend([
+                Op::SleepFor { duration: Micros::new(5).to_nanos() },
+                Op::TimestampEnd { slot: 0 },
+            ]);
+        assert_eq!(program.len(), 3);
+        assert!(!program.is_empty());
+        assert_eq!(program.name().as_str(), "spy");
+    }
+
+    #[test]
+    fn measurement_elapsed_saturates() {
+        let m = Measurement { slot: 1, start: Nanos::new(100), end: Nanos::new(40) };
+        assert_eq!(m.elapsed(), Nanos::ZERO);
+        let ok = Measurement { slot: 1, start: Nanos::new(40), end: Nanos::new(100) };
+        assert_eq!(ok.elapsed(), Nanos::new(60));
+    }
+
+    #[test]
+    fn process_state_starts_runnable_at_time_zero() {
+        let state = ProcessState::new(ProcessId::new(1), Program::new("p"));
+        assert_eq!(state.local_time, Nanos::ZERO);
+        assert!(matches!(state.run_state, RunState::Runnable));
+        assert!(state.current_op().is_none());
+        assert!(!state.is_terminated());
+    }
+
+    #[test]
+    fn process_name_display() {
+        assert_eq!(ProcessName::from("trojan").to_string(), "trojan");
+    }
+}

@@ -1,0 +1,228 @@
+//! Seeded random number generation and the distribution samplers used by the
+//! noise model.
+//!
+//! Distribution sampling (normal, log-normal, exponential, Bernoulli) is
+//! implemented here on top of [`rand`] so the workspace does not need
+//! `rand_distr`; the simulator only needs a handful of samplers and keeping
+//! them local makes the noise model easy to audit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The simulator's deterministic random number generator.
+///
+/// Every run of the engine is seeded, so experiments are reproducible
+/// bit-for-bit: the same seed, programs and noise model always produce the
+/// same timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    cached_gaussian: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            cached_gaussian: None,
+        }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform_01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "uniform range must be ordered");
+        if low == high {
+            low
+        } else {
+            low + self.uniform_01() * (high - low)
+        }
+    }
+
+    /// Uniform integer sample in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_01() < p
+        }
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(cached) = self.cached_gaussian.take() {
+            return cached;
+        }
+        // Box–Muller needs u1 strictly positive.
+        let mut u1 = self.uniform_01();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.uniform_01();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.cached_gaussian = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if std_dev <= 0.0 {
+            mean
+        } else {
+            mean + std_dev * self.standard_normal()
+        }
+    }
+
+    /// Normal sample truncated below at zero — used for operation costs,
+    /// which can never be negative.
+    pub fn normal_non_negative(&mut self, mean: f64, std_dev: f64) -> f64 {
+        self.normal(mean, std_dev).max(0.0)
+    }
+
+    /// Exponential sample with the given mean (returns 0 for non-positive
+    /// means).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let mut u = self.uniform_01();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        -mean * u.ln()
+    }
+
+    /// Log-normal sample parameterised by the mean and standard deviation of
+    /// the underlying normal distribution.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn below_handles_zero() {
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..100 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::seed_from(7);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.normal(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn normal_zero_std_dev_is_deterministic() {
+        let mut rng = SimRng::seed_from(99);
+        assert_eq!(rng.normal(5.0, 0.0), 5.0);
+        assert_eq!(rng.normal_non_negative(-3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(8.0)).sum::<f64>() / n as f64;
+        assert!((mean - 8.0).abs() < 0.3, "sample mean {mean}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+        assert_eq!(rng.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_probability_is_close() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.25)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.25).abs() < 0.01, "estimated p {p}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution traces: an optional, bounded record of what the engine did.
+//!
+//! Traces are what the proof-of-concept figure (Fig. 8 of the paper) is made
+//! of, and they are invaluable when debugging a protocol that deadlocks or
+//! drifts. Tracing is off by default because sweeps execute tens of millions
+//! of ops.
+
+use mes_types::{Nanos, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// What happened at a traced instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The process started executing an op (rendered with its index).
+    OpExecuted {
+        /// Index of the op within the process's program.
+        op_index: usize,
+        /// Compact description of the op.
+        description: String,
+    },
+    /// The process blocked on shared state.
+    Blocked {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The process was woken.
+    Woken,
+    /// The process finished its program.
+    Terminated,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: Nanos,
+    /// Process the event belongs to.
+    pub process: ProcessId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded in-memory trace.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::{Trace, TraceEvent, TraceKind};
+/// use mes_types::{Nanos, ProcessId};
+///
+/// let mut trace = Trace::bounded(2);
+/// for i in 0..5 {
+///     trace.record(TraceEvent {
+///         time: Nanos::new(i),
+///         process: ProcessId::new(1),
+///         kind: TraceKind::Woken,
+///     });
+/// }
+/// assert_eq!(trace.events().len(), 2); // only the most recent survive
+/// assert_eq!(trace.dropped(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), capacity: 0, dropped: 0, enabled: false }
+    }
+
+    /// A trace that keeps at most the last `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0, enabled: true }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (dropping the oldest if the buffer is full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            if self.capacity == 0 {
+                self.dropped += 1;
+                return;
+            }
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events belonging to one process.
+    pub fn for_process(&self, process: ProcessId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.process == process).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t: u64, pid: u64) -> TraceEvent {
+        TraceEvent {
+            time: Nanos::new(t),
+            process: ProcessId::new(pid),
+            kind: TraceKind::Woken,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::disabled();
+        trace.record(event(1, 1));
+        assert!(trace.events().is_empty());
+        assert!(!trace.is_enabled());
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_latest() {
+        let mut trace = Trace::bounded(3);
+        for t in 0..10 {
+            trace.record(event(t, 1));
+        }
+        assert_eq!(trace.events().len(), 3);
+        assert_eq!(trace.events()[0].time, Nanos::new(7));
+        assert_eq!(trace.dropped(), 7);
+    }
+
+    #[test]
+    fn per_process_filtering() {
+        let mut trace = Trace::bounded(10);
+        trace.record(event(1, 1));
+        trace.record(event(2, 2));
+        trace.record(event(3, 1));
+        assert_eq!(trace.for_process(ProcessId::new(1)).len(), 2);
+        assert_eq!(trace.for_process(ProcessId::new(2)).len(), 1);
+        assert_eq!(trace.for_process(ProcessId::new(3)).len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_enabled_trace_only_counts() {
+        let mut trace = Trace::bounded(0);
+        trace.record(event(1, 1));
+        trace.record(event(2, 1));
+        assert!(trace.events().is_empty());
+        assert_eq!(trace.dropped(), 2);
+    }
+}

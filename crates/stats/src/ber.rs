@@ -1,0 +1,192 @@
+//! Bit error rate accounting.
+
+use mes_types::{Bit, BitString};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit error rate measurement, including the confusion counts needed to
+//  tell "1 received as 0" apart from "0 received as 1".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BerReport {
+    bits_compared: u64,
+    errors: u64,
+    ones_as_zeros: u64,
+    zeros_as_ones: u64,
+    length_mismatch: u64,
+}
+
+impl BerReport {
+    /// Compares a sent and received bitstring position by position. If the
+    /// lengths differ, the missing/extra positions count as errors.
+    pub fn compare(sent: &BitString, received: &BitString) -> Self {
+        let mut report = BerReport {
+            bits_compared: sent.len().max(received.len()) as u64,
+            ..BerReport::default()
+        };
+        for (s, r) in sent.iter().zip(received.iter()) {
+            if s != r {
+                report.errors += 1;
+                match s {
+                    Bit::One => report.ones_as_zeros += 1,
+                    Bit::Zero => report.zeros_as_ones += 1,
+                }
+            }
+        }
+        let mismatch = (sent.len() as i64 - received.len() as i64).unsigned_abs();
+        report.length_mismatch = mismatch;
+        report.errors += mismatch;
+        report
+    }
+
+    /// Merges two reports (e.g. across repeated runs).
+    pub fn merged(self, other: BerReport) -> BerReport {
+        BerReport {
+            bits_compared: self.bits_compared + other.bits_compared,
+            errors: self.errors + other.errors,
+            ones_as_zeros: self.ones_as_zeros + other.ones_as_zeros,
+            zeros_as_ones: self.zeros_as_ones + other.zeros_as_ones,
+            length_mismatch: self.length_mismatch + other.length_mismatch,
+        }
+    }
+
+    /// Number of compared bit positions.
+    pub fn bits_compared(&self) -> u64 {
+        self.bits_compared
+    }
+
+    /// Number of erroneous positions.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Errors where a transmitted `1` was received as `0`.
+    pub fn ones_as_zeros(&self) -> u64 {
+        self.ones_as_zeros
+    }
+
+    /// Errors where a transmitted `0` was received as `1`.
+    pub fn zeros_as_ones(&self) -> u64 {
+        self.zeros_as_ones
+    }
+
+    /// Positions lost to a length mismatch between sent and received.
+    pub fn length_mismatch(&self) -> u64 {
+        self.length_mismatch
+    }
+
+    /// BER as a fraction in `[0, 1]` (0 when nothing was compared).
+    pub fn ber(&self) -> f64 {
+        if self.bits_compared == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits_compared as f64
+        }
+    }
+
+    /// BER as a percentage, the unit the paper reports.
+    pub fn ber_percent(&self) -> f64 {
+        self.ber() * 100.0
+    }
+
+    /// Whether the channel meets the paper's "< 1 % BER" quality bar.
+    pub fn meets_paper_quality_bar(&self) -> bool {
+        self.ber_percent() < 1.0
+    }
+}
+
+impl fmt::Display for BerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} errors / {} bits ({:.3}%)",
+            self.errors,
+            self.bits_compared,
+            self.ber_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_have_zero_ber() {
+        let bits = BitString::from_str01("1100101011").unwrap();
+        let report = BerReport::compare(&bits, &bits);
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.ber(), 0.0);
+        assert!(report.meets_paper_quality_bar());
+        assert_eq!(report.bits_compared(), 10);
+    }
+
+    #[test]
+    fn confusion_counts_are_split_by_direction() {
+        let sent = BitString::from_str01("1100").unwrap();
+        let received = BitString::from_str01("0101").unwrap();
+        let report = BerReport::compare(&sent, &received);
+        assert_eq!(report.errors(), 2);
+        assert_eq!(report.ones_as_zeros(), 1);
+        assert_eq!(report.zeros_as_ones(), 1);
+        assert_eq!(report.length_mismatch(), 0);
+        assert!((report.ber_percent() - 50.0).abs() < 1e-12);
+        assert!(!report.meets_paper_quality_bar());
+    }
+
+    #[test]
+    fn length_mismatch_counts_as_errors() {
+        let sent = BitString::from_str01("101010").unwrap();
+        let received = BitString::from_str01("1010").unwrap();
+        let report = BerReport::compare(&sent, &received);
+        assert_eq!(report.errors(), 2);
+        assert_eq!(report.length_mismatch(), 2);
+        assert_eq!(report.bits_compared(), 6);
+    }
+
+    #[test]
+    fn empty_comparison_is_zero() {
+        let report = BerReport::compare(&BitString::new(), &BitString::new());
+        assert_eq!(report.ber(), 0.0);
+        assert_eq!(report.bits_compared(), 0);
+    }
+
+    #[test]
+    fn merged_accumulates() {
+        let a = BerReport::compare(
+            &BitString::from_str01("1111").unwrap(),
+            &BitString::from_str01("1110").unwrap(),
+        );
+        let b = BerReport::compare(
+            &BitString::from_str01("0000").unwrap(),
+            &BitString::from_str01("0001").unwrap(),
+        );
+        let merged = a.merged(b);
+        assert_eq!(merged.errors(), 2);
+        assert_eq!(merged.bits_compared(), 8);
+        assert_eq!(merged.ones_as_zeros(), 1);
+        assert_eq!(merged.zeros_as_ones(), 1);
+        assert!((merged.ber_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let report = BerReport::compare(
+            &BitString::from_str01("10").unwrap(),
+            &BitString::from_str01("11").unwrap(),
+        );
+        let text = report.to_string();
+        assert!(text.contains("1 errors / 2 bits"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ber_matches_hamming_distance(a in "[01]{0,64}", b in "[01]{0,64}") {
+            let a: BitString = a.parse().unwrap();
+            let b: BitString = b.parse().unwrap();
+            let report = BerReport::compare(&a, &b);
+            prop_assert_eq!(report.errors(), a.hamming_distance(&b) as u64);
+            prop_assert!(report.ber() >= 0.0 && report.ber() <= 1.0);
+        }
+    }
+}

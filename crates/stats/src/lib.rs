@@ -1,0 +1,40 @@
+//! `mes-stats` — metrics and report rendering for covert-channel
+//! experiments.
+//!
+//! The paper reports every channel with two numbers — bit error rate (BER)
+//! and transmission rate (TR) — and presents them either as tables
+//! (Tables IV–VI) or as parameter sweeps (Fig. 9 and Fig. 10). This crate
+//! owns those computations plus the summary statistics, sweep containers and
+//! ASCII/CSV rendering used by the experiment harness in `mes-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_stats::{BerReport, ThroughputReport};
+//! use mes_types::{BitString, Nanos};
+//!
+//! let sent = BitString::from_str01("10110010")?;
+//! let received = BitString::from_str01("10110110")?;
+//! let ber = BerReport::compare(&sent, &received);
+//! assert_eq!(ber.errors(), 1);
+//! assert!((ber.ber_percent() - 12.5).abs() < 1e-9);
+//!
+//! let tr = ThroughputReport::new(8, Nanos::from_micros_f64(8.0 * 76.3));
+//! assert!(tr.kilobits_per_second() > 13.0);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod series;
+pub mod summary;
+pub mod table;
+pub mod throughput;
+
+pub use ber::BerReport;
+pub use series::{LabeledSeries, SweepPoint, SweepSeries};
+pub use summary::Summary;
+pub use table::Table;
+pub use throughput::ThroughputReport;

@@ -1,0 +1,170 @@
+//! Containers for parameter sweeps (the data behind Fig. 9, Fig. 10 and
+//! Fig. 11 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One point of a sweep: the swept parameter value and the metrics measured
+/// at it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter (e.g. `tw0` or `tt1` in microseconds).
+    pub x: f64,
+    /// Bit error rate in percent at this point.
+    pub ber_percent: f64,
+    /// Transmission rate in kb/s at this point.
+    pub rate_kbps: f64,
+}
+
+/// A named series of sweep points (one curve of a figure, e.g. "Interval=70").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSeries {
+    label: String,
+    points: Vec<SweepPoint>,
+}
+
+impl LabeledSeries {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        LabeledSeries { label: label.into(), points: Vec::new() }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: SweepPoint) {
+        self.points.push(point);
+    }
+
+    /// The collected points.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The point with the highest transmission rate among those meeting the
+    /// BER bound, if any — how the paper picks its recommended parameters.
+    pub fn best_under_ber(&self, max_ber_percent: f64) -> Option<SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.ber_percent <= max_ber_percent)
+            .max_by(|a, b| a.rate_kbps.partial_cmp(&b.rate_kbps).expect("rates are finite"))
+            .copied()
+    }
+}
+
+/// A full sweep: several labelled series over the same x-axis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeries {
+    x_label: String,
+    series: Vec<LabeledSeries>,
+}
+
+impl SweepSeries {
+    /// Creates an empty sweep with an x-axis label.
+    pub fn new(x_label: impl Into<String>) -> Self {
+        SweepSeries { x_label: x_label.into(), series: Vec::new() }
+    }
+
+    /// The x-axis label.
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: LabeledSeries) {
+        self.series.push(series);
+    }
+
+    /// The collected series.
+    pub fn series(&self) -> &[LabeledSeries] {
+        &self.series
+    }
+
+    /// Renders the sweep as CSV with columns
+    /// `series,x,ber_percent,rate_kbps`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,ber_percent,rate_kbps\n");
+        for series in &self.series {
+            for point in series.points() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.6},{:.6}",
+                    series.label(),
+                    point.x,
+                    point.ber_percent,
+                    point.rate_kbps
+                );
+            }
+        }
+        out
+    }
+
+    /// The overall best point under a BER bound across every series, with the
+    /// label of the series it came from.
+    pub fn best_under_ber(&self, max_ber_percent: f64) -> Option<(String, SweepPoint)> {
+        self.series
+            .iter()
+            .filter_map(|s| s.best_under_ber(max_ber_percent).map(|p| (s.label().to_string(), p)))
+            .max_by(|a, b| a.1.rate_kbps.partial_cmp(&b.1.rate_kbps).expect("rates are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f64, ber: f64, rate: f64) -> SweepPoint {
+        SweepPoint { x, ber_percent: ber, rate_kbps: rate }
+    }
+
+    #[test]
+    fn best_under_ber_picks_fastest_compliant_point() {
+        let mut series = LabeledSeries::new("Interval=70");
+        series.push(point(15.0, 0.6, 13.1));
+        series.push(point(25.0, 0.5, 11.0));
+        series.push(point(10.0, 2.1, 15.0));
+        let best = series.best_under_ber(1.0).unwrap();
+        assert_eq!(best.x, 15.0);
+        assert!(series.best_under_ber(0.1).is_none());
+        assert_eq!(series.label(), "Interval=70");
+        assert_eq!(series.points().len(), 3);
+    }
+
+    #[test]
+    fn sweep_best_spans_series() {
+        let mut sweep = SweepSeries::new("tw0 (us)");
+        let mut slow = LabeledSeries::new("Interval=130");
+        slow.push(point(15.0, 0.4, 9.0));
+        let mut fast = LabeledSeries::new("Interval=70");
+        fast.push(point(15.0, 0.6, 13.1));
+        sweep.push(slow);
+        sweep.push(fast);
+        let (label, best) = sweep.best_under_ber(1.0).unwrap();
+        assert_eq!(label, "Interval=70");
+        assert!((best.rate_kbps - 13.1).abs() < 1e-12);
+        assert_eq!(sweep.x_label(), "tw0 (us)");
+        assert_eq!(sweep.series().len(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_best() {
+        let sweep = SweepSeries::new("x");
+        assert!(sweep.best_under_ber(1.0).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut sweep = SweepSeries::new("tt1 (us)");
+        let mut series = LabeledSeries::new("flock");
+        series.push(point(160.0, 0.615, 7.182));
+        sweep.push(series);
+        let csv = sweep.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,ber_percent,rate_kbps");
+        assert!(lines[1].starts_with("flock,160,0.615"));
+        assert_eq!(lines.len(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Summary statistics over latency samples.
+
+use mes_types::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Mean, spread and order statistics of a sample of values.
+///
+/// # Examples
+///
+/// ```
+/// use mes_stats::Summary;
+///
+/// let summary = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(summary.mean(), 3.0);
+/// assert_eq!(summary.min(), 1.0);
+/// assert_eq!(summary.percentile(50.0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from raw values. An empty slice produces an
+    /// all-zero summary.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                sorted: Vec::new(),
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency values are finite"));
+        Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        }
+    }
+
+    /// Builds a summary from nanosecond durations, expressed in microseconds.
+    pub fn from_nanos_as_micros(values: &[Nanos]) -> Self {
+        let micros: Vec<f64> = values.iter().map(|v| v.as_micros_f64()).collect();
+        Summary::from_values(&micros)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Linear-interpolated percentile (`p` in `[0, 100]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let low = rank.floor() as usize;
+        let high = rank.ceil() as usize;
+        let fraction = rank - low as f64;
+        self.sorted[low] + (self.sorted[high] - self.sorted[low]) * fraction
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean.
+    pub fn confidence_interval_95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_statistics() {
+        let summary = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(summary.count(), 8);
+        assert_eq!(summary.mean(), 5.0);
+        assert!((summary.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(summary.min(), 2.0);
+        assert_eq!(summary.max(), 9.0);
+        assert!((summary.median() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let summary = Summary::from_values(&[]);
+        assert_eq!(summary.count(), 0);
+        assert_eq!(summary.mean(), 0.0);
+        assert_eq!(summary.percentile(90.0), 0.0);
+        assert_eq!(summary.confidence_interval_95(), 0.0);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let summary = Summary::from_values(&[42.0]);
+        assert_eq!(summary.percentile(0.0), 42.0);
+        assert_eq!(summary.percentile(100.0), 42.0);
+        assert_eq!(summary.confidence_interval_95(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_out_of_range_panics() {
+        Summary::from_values(&[1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn from_nanos_converts_to_micros() {
+        let summary = Summary::from_nanos_as_micros(&[
+            Micros::new(10).to_nanos(),
+            Micros::new(20).to_nanos(),
+        ]);
+        assert_eq!(summary.mean(), 15.0);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let few = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        let values: Vec<f64> = (0..400).map(|i| (i % 4) as f64 + 1.0).collect();
+        let many = Summary::from_values(&values);
+        assert!(many.confidence_interval_95() < few.confidence_interval_95());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let summary = Summary::from_values(&values);
+            let p25 = summary.percentile(25.0);
+            let p50 = summary.percentile(50.0);
+            let p75 = summary.percentile(75.0);
+            prop_assert!(p25 <= p50 && p50 <= p75);
+            prop_assert!(summary.min() <= p25 && p75 <= summary.max());
+            prop_assert!(summary.mean() >= summary.min() && summary.mean() <= summary.max());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The binaries in `mes-bench` print the same rows the paper's tables
+//! report; this small renderer keeps their output aligned and also exports
+//! CSV for further processing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use mes_stats::Table;
+///
+/// let mut table = Table::new(vec!["Attack methods".into(), "BER(%)".into(), "TR(kb/s)".into()]);
+/// table.add_row(vec!["Event".into(), "0.554".into(), "13.105".into()]);
+/// let text = table.render();
+/// assert!(text.contains("Event"));
+/// assert!(text.contains("13.105"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new(), title: None }
+    }
+
+    /// Sets a title printed above the table (builder style).
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn add_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The header cells.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "{title}");
+        }
+        let render_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<width$} |");
+            }
+            line
+        };
+        let header_line = render_row(&self.headers, &widths);
+        let separator: String = header_line
+            .chars()
+            .map(|c| if c == '|' { '+' } else { '-' })
+            .collect();
+        let _ = writeln!(out, "{separator}");
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{separator}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        let _ = writeln!(out, "{separator}");
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut table = Table::new(vec!["Mechanism".into(), "BER(%)".into(), "TR(kb/s)".into()])
+            .with_title("Table IV: local scenario");
+        table.add_row(vec!["flock".into(), "0.615".into(), "7.182".into()]);
+        table.add_row(vec!["Event".into(), "0.554".into(), "13.105".into()]);
+        table
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample_table().render();
+        assert!(text.contains("Table IV"));
+        assert!(text.contains("| flock"));
+        assert!(text.contains("| Event"));
+        // All body lines share the same width.
+        let widths: Vec<usize> = text
+            .lines()
+            .filter(|l| l.starts_with('|') || l.starts_with('+'))
+            .map(str::len)
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut table = Table::new(vec!["a".into(), "b".into()]);
+        table.add_row(vec!["1".into()]);
+        table.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(table.row_count(), 2);
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,");
+        assert_eq!(csv.lines().nth(2).unwrap(), "1,2");
+        assert_eq!(table.headers().len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut table = Table::new(vec!["name".into(), "value".into()]);
+        table.add_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let table = Table::new(vec!["x".into()]);
+        let text = table.render();
+        assert!(text.contains("| x |"));
+        assert_eq!(table.row_count(), 0);
+    }
+}

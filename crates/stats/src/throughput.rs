@@ -1,0 +1,125 @@
+//! Transmission-rate accounting.
+
+use mes_types::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transmission-rate measurement: payload bits moved over elapsed virtual
+/// (or wall-clock) time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    payload_bits: u64,
+    elapsed: Nanos,
+}
+
+impl ThroughputReport {
+    /// Creates a report for `payload_bits` transmitted in `elapsed`.
+    pub fn new(payload_bits: u64, elapsed: Nanos) -> Self {
+        ThroughputReport { payload_bits, elapsed }
+    }
+
+    /// Number of payload bits transmitted.
+    pub fn payload_bits(&self) -> u64 {
+        self.payload_bits
+    }
+
+    /// Elapsed time for the whole transmission.
+    pub fn elapsed(&self) -> Nanos {
+        self.elapsed
+    }
+
+    /// Bits per second (0 if no time elapsed).
+    pub fn bits_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / secs
+        }
+    }
+
+    /// Kilobits per second, the unit used throughout the paper
+    /// (1 kb/s = 1000 bit/s).
+    pub fn kilobits_per_second(&self) -> f64 {
+        self.bits_per_second() / 1_000.0
+    }
+
+    /// Average time spent per transmitted bit.
+    pub fn mean_bit_time(&self) -> Nanos {
+        if self.payload_bits == 0 {
+            Nanos::ZERO
+        } else {
+            self.elapsed / self.payload_bits
+        }
+    }
+
+    /// Projects the aggregate rate of `channels` independent Trojan/Spy pairs
+    /// running in parallel — the paper's Section V.C.1 estimate (6833
+    /// concurrent processes, or 1024 file descriptors for `flock`).
+    pub fn parallel_projection(&self, channels: u64) -> f64 {
+        self.kilobits_per_second() * channels as f64
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bits in {} ({:.3} kb/s)",
+            self.payload_bits,
+            self.elapsed,
+            self.kilobits_per_second()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    #[test]
+    fn paper_event_rate_is_reproduced() {
+        // 13.105 kb/s means ~76.3us per bit.
+        let report = ThroughputReport::new(10_000, Nanos::from_micros_f64(10_000.0 * 76.3));
+        assert!((report.kilobits_per_second() - 13.106).abs() < 0.01);
+        assert_eq!(report.payload_bits(), 10_000);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_rate() {
+        let report = ThroughputReport::new(100, Nanos::ZERO);
+        assert_eq!(report.bits_per_second(), 0.0);
+        assert_eq!(report.mean_bit_time(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn zero_bits_gives_zero_mean_bit_time() {
+        let report = ThroughputReport::new(0, Micros::new(100).to_nanos());
+        assert_eq!(report.mean_bit_time(), Nanos::ZERO);
+        assert_eq!(report.bits_per_second(), 0.0);
+    }
+
+    #[test]
+    fn mean_bit_time_divides_evenly() {
+        let report = ThroughputReport::new(4, Micros::new(400).to_nanos());
+        assert_eq!(report.mean_bit_time(), Micros::new(100).to_nanos());
+        assert_eq!(report.elapsed(), Micros::new(400).to_nanos());
+    }
+
+    #[test]
+    fn parallel_projection_scales_linearly() {
+        let report = ThroughputReport::new(1_000, Nanos::from_micros_f64(1_000.0 * 76.3));
+        let single = report.kilobits_per_second();
+        let projected = report.parallel_projection(6833);
+        assert!((projected - single * 6833.0).abs() < 1e-6);
+        // "tens of Mbps" per the paper.
+        assert!(projected > 10_000.0);
+    }
+
+    #[test]
+    fn display_mentions_rate() {
+        let report = ThroughputReport::new(8, Micros::new(800).to_nanos());
+        assert!(report.to_string().contains("kb/s"));
+    }
+}

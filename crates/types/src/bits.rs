@@ -1,0 +1,389 @@
+//! Bits and bitstrings exchanged over the covert channels.
+
+use crate::error::MesError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+/// A single transmitted bit.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::Bit;
+///
+/// assert_eq!(Bit::from(true), Bit::One);
+/// assert_eq!(Bit::One.flipped(), Bit::Zero);
+/// assert_eq!(u8::from(Bit::One), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bit {
+    /// Logical `0` — short constraint time on the wire.
+    Zero,
+    /// Logical `1` — long constraint time on the wire.
+    One,
+}
+
+impl Bit {
+    /// Returns the opposite bit.
+    pub fn flipped(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// Returns `true` for [`Bit::One`].
+    pub fn is_one(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// Returns `true` for [`Bit::Zero`].
+    pub fn is_zero(self) -> bool {
+        matches!(self, Bit::Zero)
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> Self {
+        b.is_one()
+    }
+}
+
+impl From<Bit> for u8 {
+    fn from(b: Bit) -> Self {
+        match b {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", u8::from(*self))
+    }
+}
+
+/// An ordered sequence of [`Bit`]s: the payloads, preambles and recovered
+/// keys moved across a covert channel.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{Bit, BitString};
+///
+/// let key = BitString::from_bytes(b"K");
+/// assert_eq!(key.len(), 8);
+/// assert_eq!(key.to_bytes(), b"K");
+///
+/// let sync: BitString = "10101010".parse()?;
+/// assert_eq!(sync.count_ones(), 4);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitString {
+    bits: Vec<Bit>,
+}
+
+impl BitString {
+    /// Creates an empty bitstring.
+    pub fn new() -> Self {
+        BitString::default()
+    }
+
+    /// Creates a bitstring with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitString {
+            bits: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::ParseBits`] if any character is not `0` or `1`.
+    pub fn from_str01(s: &str) -> Result<Self, MesError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => bits.push(Bit::Zero),
+                '1' => bits.push(Bit::One),
+                other => {
+                    return Err(MesError::ParseBits {
+                        position: i,
+                        character: other,
+                    })
+                }
+            }
+        }
+        Ok(BitString { bits })
+    }
+
+    /// Builds a bitstring from bytes, most-significant bit first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &byte in bytes {
+            for shift in (0..8).rev() {
+                bits.push(Bit::from((byte >> shift) & 1 == 1));
+            }
+        }
+        BitString { bits }
+    }
+
+    /// Packs the bits back into bytes, most-significant bit first.
+    ///
+    /// Trailing bits that do not fill a whole byte are dropped, mirroring the
+    /// behaviour of a receiver that only forwards complete bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.bits
+            .chunks_exact(8)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .fold(0u8, |acc, &bit| (acc << 1) | u8::from(bit))
+            })
+            .collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the bitstring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns the bit at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<Bit> {
+        self.bits.get(index).copied()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: Bit) {
+        self.bits.push(bit);
+    }
+
+    /// Appends every bit of `other`.
+    pub fn extend_from(&mut self, other: &BitString) {
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// Returns the bits as a slice.
+    pub fn as_slice(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Bit>> {
+        self.bits.iter().copied()
+    }
+
+    /// Number of `1` bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_one()).count()
+    }
+
+    /// Number of `0` bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+
+    /// Returns a sub-range as a new bitstring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> BitString {
+        BitString {
+            bits: self.bits[start..end].to_vec(),
+        }
+    }
+
+    /// Hamming distance to `other`, counting positions beyond the shorter
+    /// string as errors. This is the definition used for BER accounting when
+    /// a receiver drops or duplicates bits.
+    pub fn hamming_distance(&self, other: &BitString) -> usize {
+        let common = self.len().min(other.len());
+        let differing = self
+            .bits
+            .iter()
+            .zip(other.bits.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        differing + (self.len().max(other.len()) - common)
+    }
+
+    /// Renders the bits as a `'0'`/`'1'` string.
+    pub fn to_string01(&self) -> String {
+        self.bits.iter().map(|b| char::from(b'0' + u8::from(*b))).collect()
+    }
+}
+
+impl Index<usize> for BitString {
+    type Output = Bit;
+    fn index(&self, index: usize) -> &Bit {
+        &self.bits[index]
+    }
+}
+
+impl FromIterator<Bit> for BitString {
+    fn from_iter<I: IntoIterator<Item = Bit>>(iter: I) -> Self {
+        BitString {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Bit> for BitString {
+    fn extend<I: IntoIterator<Item = Bit>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl IntoIterator for BitString {
+    type Item = Bit;
+    type IntoIter = std::vec::IntoIter<Bit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.bits.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BitString {
+    type Item = Bit;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Bit>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Vec<Bit>> for BitString {
+    fn from(bits: Vec<Bit>) -> Self {
+        BitString { bits }
+    }
+}
+
+impl FromStr for BitString {
+    type Err = MesError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BitString::from_str01(s)
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string01())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "110100100011001010";
+        let bits = BitString::from_str01(s).unwrap();
+        assert_eq!(bits.to_string(), s);
+        assert_eq!(bits.len(), s.len());
+    }
+
+    #[test]
+    fn parse_rejects_invalid_characters() {
+        let err = BitString::from_str01("10x1").unwrap_err();
+        match err {
+            MesError::ParseBits { position, character } => {
+                assert_eq!(position, 2);
+                assert_eq!(character, 'x');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let data = b"secret key";
+        let bits = BitString::from_bytes(data);
+        assert_eq!(bits.len(), data.len() * 8);
+        assert_eq!(bits.to_bytes(), data);
+    }
+
+    #[test]
+    fn hamming_distance_counts_length_mismatch() {
+        let a = BitString::from_str01("1010").unwrap();
+        let b = BitString::from_str01("1001").unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        let c = BitString::from_str01("10").unwrap();
+        assert_eq!(a.hamming_distance(&c), 2);
+        assert_eq!(c.hamming_distance(&a), 2);
+    }
+
+    #[test]
+    fn counting_and_slicing() {
+        let bits = BitString::from_str01("1101001").unwrap();
+        assert_eq!(bits.count_ones(), 4);
+        assert_eq!(bits.count_zeros(), 3);
+        assert_eq!(bits.slice(1, 4).to_string(), "101");
+        assert_eq!(bits[0], Bit::One);
+        assert_eq!(bits.get(99), None);
+    }
+
+    #[test]
+    fn bit_conversions() {
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert!(bool::from(Bit::One));
+        assert_eq!(Bit::Zero.flipped(), Bit::One);
+        assert!(Bit::Zero.is_zero());
+        assert!(Bit::One.is_one());
+        assert_eq!(Bit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut bits: BitString = [Bit::One, Bit::Zero].into_iter().collect();
+        bits.extend([Bit::One]);
+        bits.push(Bit::Zero);
+        let other = BitString::from_str01("11").unwrap();
+        bits.extend_from(&other);
+        assert_eq!(bits.to_string(), "101011");
+        let collected: Vec<Bit> = (&bits).into_iter().collect();
+        assert_eq!(collected.len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let bits = BitString::from_bytes(&data);
+            prop_assert_eq!(bits.to_bytes(), data);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in "[01]{0,256}") {
+            let bits: BitString = s.parse().unwrap();
+            prop_assert_eq!(bits.to_string(), s);
+        }
+
+        #[test]
+        fn prop_hamming_distance_symmetric(a in "[01]{0,64}", b in "[01]{0,64}") {
+            let a: BitString = a.parse().unwrap();
+            let b: BitString = b.parse().unwrap();
+            prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+            prop_assert_eq!(a.hamming_distance(&a), 0);
+        }
+    }
+}

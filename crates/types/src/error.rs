@@ -1,0 +1,163 @@
+//! The workspace-wide error type.
+
+use crate::mechanism::{Mechanism, OsKind};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, MesError>;
+
+/// Errors produced anywhere in the MES-Attacks workspace.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{Mechanism, MesError, Scenario};
+///
+/// let err = MesError::MechanismUnavailable {
+///     mechanism: Mechanism::Event,
+///     scenario: Scenario::CrossVm,
+/// };
+/// assert!(err.to_string().contains("not available"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MesError {
+    /// A bitstring literal contained a character other than `0`/`1`.
+    ParseBits {
+        /// Index of the offending character.
+        position: usize,
+        /// The offending character.
+        character: char,
+    },
+    /// A channel mechanism is not usable in the requested scenario
+    /// (e.g. `Event` across VMs, or any Windows kernel object on Linux).
+    MechanismUnavailable {
+        /// The requested mechanism.
+        mechanism: Mechanism,
+        /// The scenario that rejects it.
+        scenario: Scenario,
+    },
+    /// A mechanism was requested on an operating system that does not expose it.
+    MechanismUnsupportedOnOs {
+        /// The requested mechanism.
+        mechanism: Mechanism,
+        /// The operating system in question.
+        os: OsKind,
+    },
+    /// A timing parameter was outside its valid range.
+    InvalidTiming {
+        /// Name of the parameter (`tw0`, `ti`, `tt1`, `tt0`, ...).
+        parameter: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// A configuration value was inconsistent (bad symbol width, empty
+    /// preamble, zero payload, ...).
+    InvalidConfig {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// The simulator was asked to do something impossible (unknown handle,
+    /// double unlock, wait on a missing object, ...).
+    Simulation {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The receiver could not recover a frame (preamble never matched,
+    /// truncated payload, CRC failure, ...).
+    FrameRecovery {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A host-backend (real OS) operation failed.
+    Host {
+        /// Operation that failed (`flock`, `sem_open`, ...).
+        operation: String,
+        /// OS error code, when one is available.
+        errno: Option<i32>,
+    },
+    /// Semaphore channel was asked to run without enough pre-provisioned
+    /// resources (Table II of the paper: the Spy would stall).
+    InsufficientSemaphoreResources {
+        /// Resources that were provisioned.
+        provisioned: u64,
+        /// Resources required (number of `0` bits in the payload).
+        required: u64,
+    },
+}
+
+impl fmt::Display for MesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MesError::ParseBits { position, character } => write!(
+                f,
+                "invalid bit character {character:?} at position {position}"
+            ),
+            MesError::MechanismUnavailable { mechanism, scenario } => write!(
+                f,
+                "mechanism {mechanism} is not available in the {scenario} scenario"
+            ),
+            MesError::MechanismUnsupportedOnOs { mechanism, os } => {
+                write!(f, "mechanism {mechanism} is not exposed by {os}")
+            }
+            MesError::InvalidTiming { parameter, reason } => {
+                write!(f, "invalid timing parameter {parameter}: {reason}")
+            }
+            MesError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MesError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            MesError::FrameRecovery { reason } => write!(f, "frame recovery failed: {reason}"),
+            MesError::Host { operation, errno } => match errno {
+                Some(code) => write!(f, "host operation {operation} failed with errno {code}"),
+                None => write!(f, "host operation {operation} failed"),
+            },
+            MesError::InsufficientSemaphoreResources { provisioned, required } => write!(
+                f,
+                "semaphore channel provisioned {provisioned} resources but the payload requires {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<MesError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<MesError> = vec![
+            MesError::ParseBits { position: 3, character: 'z' },
+            MesError::MechanismUnavailable {
+                mechanism: Mechanism::Mutex,
+                scenario: Scenario::CrossVm,
+            },
+            MesError::MechanismUnsupportedOnOs {
+                mechanism: Mechanism::Event,
+                os: OsKind::Linux,
+            },
+            MesError::InvalidTiming { parameter: "tw0", reason: "must be positive".into() },
+            MesError::InvalidConfig { reason: "empty preamble".into() },
+            MesError::Simulation { reason: "unknown handle".into() },
+            MesError::FrameRecovery { reason: "preamble not found".into() },
+            MesError::Host { operation: "flock".into(), errno: Some(11) },
+            MesError::Host { operation: "sem_open".into(), errno: None },
+            MesError::InsufficientSemaphoreResources { provisioned: 0, required: 5 },
+        ];
+        for case in cases {
+            let msg = case.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

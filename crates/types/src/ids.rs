@@ -1,0 +1,113 @@
+//! Identifier newtypes used by the OS simulator.
+//!
+//! The paper's channels hinge on the indirection between process-level and
+//! system-level data structures (Fig. 4 and Fig. 5): handle tables map
+//! per-process handles to system-wide kernel objects, and file descriptor
+//! tables map per-process descriptors to system-wide file-table entries and
+//! i-nodes. Giving each level its own identifier type keeps those layers
+//! from being confused in the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize` for table lookups.
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a simulated process.
+    ProcessId,
+    "pid"
+);
+id_newtype!(
+    /// Identifies a system-level kernel object (Event, Mutex, Semaphore, Timer).
+    ObjectId,
+    "obj"
+);
+id_newtype!(
+    /// Identifies a process-level handle pointing at a kernel object
+    /// (an entry in the process's handle table, Fig. 4 of the paper).
+    HandleId,
+    "h"
+);
+id_newtype!(
+    /// Identifies a process-level file descriptor (Fig. 5 of the paper).
+    FdId,
+    "fd"
+);
+id_newtype!(
+    /// Identifies a system-level open-file-table entry (Fig. 5 of the paper).
+    FileId,
+    "file"
+);
+id_newtype!(
+    /// Identifies a system-level i-node carrying the lock list used by `flock`.
+    InodeId,
+    "ino"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(ProcessId::new(3).to_string(), "pid3");
+        assert_eq!(ObjectId::new(1).to_string(), "obj1");
+        assert_eq!(HandleId::new(8).to_string(), "h8");
+        assert_eq!(FdId::new(0).to_string(), "fd0");
+        assert_eq!(FileId::new(4).to_string(), "file4");
+        assert_eq!(InodeId::new(7).to_string(), "ino7");
+    }
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let id = HandleId::from(42u64);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id.as_usize(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ProcessId> = [2u64, 1, 3].into_iter().map(ProcessId::new).collect();
+        let ordered: Vec<u64> = set.into_iter().map(|p| p.as_u64()).collect();
+        assert_eq!(ordered, vec![1, 2, 3]);
+    }
+}

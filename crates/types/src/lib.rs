@@ -1,0 +1,38 @@
+//! Shared vocabulary for the MES-Attacks reproduction.
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//! bits and bitstrings, the six mutual-exclusion/synchronization mechanisms
+//! (MESMs) the paper attacks, deployment scenarios, microsecond time
+//! newtypes, identifiers used by the OS simulator and a common error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_types::{Bit, BitString, Mechanism, Scenario};
+//!
+//! let bits = BitString::from_str01("10110")?;
+//! assert_eq!(bits.len(), 5);
+//! assert_eq!(bits.get(0), Some(Bit::One));
+//! assert!(Mechanism::Flock.is_contention_based());
+//! assert!(Scenario::CrossVm.is_isolated());
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod error;
+mod ids;
+mod mechanism;
+mod params;
+mod scenario;
+mod time;
+
+pub use bits::{Bit, BitString};
+pub use error::{MesError, Result};
+pub use ids::{FdId, FileId, HandleId, InodeId, ObjectId, ProcessId};
+pub use mechanism::{ChannelFamily, Mechanism, OsKind};
+pub use params::ChannelTiming;
+pub use scenario::Scenario;
+pub use time::{Micros, Nanos};

@@ -1,0 +1,241 @@
+//! The mutual-exclusion and synchronization mechanisms (MESMs) attacked by
+//! the paper, and the operating systems that expose them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::MesError;
+
+/// The covert-channel family a mechanism belongs to (Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ChannelFamily {
+    /// Mutual exclusion: Trojan and Spy *compete* for a critical resource and
+    /// the Spy measures how long it stays blocked on the lock.
+    Contention,
+    /// Synchronization: Trojan and Spy *cooperate*; the Spy measures how long
+    /// it waits before the Trojan satisfies the synchronization condition.
+    Cooperation,
+}
+
+impl fmt::Display for ChannelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelFamily::Contention => write!(f, "contention"),
+            ChannelFamily::Cooperation => write!(f, "cooperation"),
+        }
+    }
+}
+
+/// Operating systems considered by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OsKind {
+    /// Windows 10: kernel objects (Event, Mutex, Semaphore, WaitableTimer)
+    /// plus `LockFileEx` file locks.
+    Windows,
+    /// Ubuntu 16.04 / Linux 4.15: only `flock` is usable between processes
+    /// without writable shared memory.
+    Linux,
+}
+
+impl fmt::Display for OsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsKind::Windows => write!(f, "Windows"),
+            OsKind::Linux => write!(f, "Linux"),
+        }
+    }
+}
+
+/// The six MESMs the paper builds channels on.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{ChannelFamily, Mechanism, OsKind};
+///
+/// assert_eq!(Mechanism::Event.family(), ChannelFamily::Cooperation);
+/// assert_eq!(Mechanism::Flock.native_os(), OsKind::Linux);
+/// assert!(Mechanism::Semaphore.is_contention_based());
+/// assert_eq!("flock".parse::<Mechanism>()?, Mechanism::Flock);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Linux advisory file lock (`flock(2)`), contention-based.
+    Flock,
+    /// Windows `LockFileEx` exclusive file lock, contention-based.
+    FileLockEx,
+    /// Windows mutex kernel object, contention-based.
+    Mutex,
+    /// Windows semaphore kernel object, contention-based with resource
+    /// pre-provisioning (Tables II/III of the paper).
+    Semaphore,
+    /// Windows event kernel object, cooperation-based (Protocol 2).
+    Event,
+    /// Windows waitable timer kernel object, cooperation-based.
+    Timer,
+}
+
+impl Mechanism {
+    /// Every mechanism, in the column order of Tables IV and V of the paper.
+    pub const ALL: [Mechanism; 6] = [
+        Mechanism::Flock,
+        Mechanism::FileLockEx,
+        Mechanism::Mutex,
+        Mechanism::Semaphore,
+        Mechanism::Event,
+        Mechanism::Timer,
+    ];
+
+    /// The channel family (contention vs. cooperation) of this mechanism.
+    pub fn family(self) -> ChannelFamily {
+        match self {
+            Mechanism::Flock
+            | Mechanism::FileLockEx
+            | Mechanism::Mutex
+            | Mechanism::Semaphore => ChannelFamily::Contention,
+            Mechanism::Event | Mechanism::Timer => ChannelFamily::Cooperation,
+        }
+    }
+
+    /// Whether the channel is contention-based (mutual exclusion).
+    pub fn is_contention_based(self) -> bool {
+        self.family() == ChannelFamily::Contention
+    }
+
+    /// Whether the channel is cooperation-based (synchronization).
+    pub fn is_cooperation_based(self) -> bool {
+        self.family() == ChannelFamily::Cooperation
+    }
+
+    /// The operating system that natively exposes the mechanism between
+    /// processes without requiring writable shared memory (Section IV of the
+    /// paper): `flock` on Linux, kernel objects and `LockFileEx` on Windows.
+    pub fn native_os(self) -> OsKind {
+        match self {
+            Mechanism::Flock => OsKind::Linux,
+            _ => OsKind::Windows,
+        }
+    }
+
+    /// Whether the mechanism relies on a file shared through the filesystem
+    /// (these are the only ones that keep working across VM boundaries,
+    /// Section V.C.3 of the paper).
+    pub fn is_file_backed(self) -> bool {
+        matches!(self, Mechanism::Flock | Mechanism::FileLockEx)
+    }
+
+    /// Number of lock-path "instructions" per transmitted bit as counted by
+    /// the paper (Section V.C.1): semaphore needs P-P-S-sleep-V-V (6), the
+    /// other contention locks need lock-sleep-unlock (3), cooperation
+    /// channels need sleep-set (2).
+    pub fn instructions_per_bit(self) -> u32 {
+        match self {
+            Mechanism::Semaphore => 6,
+            Mechanism::Flock | Mechanism::FileLockEx | Mechanism::Mutex => 3,
+            Mechanism::Event | Mechanism::Timer => 2,
+        }
+    }
+
+    /// A short lowercase identifier suitable for CSV columns and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mechanism::Flock => "flock",
+            Mechanism::FileLockEx => "filelockex",
+            Mechanism::Mutex => "mutex",
+            Mechanism::Semaphore => "semaphore",
+            Mechanism::Event => "event",
+            Mechanism::Timer => "timer",
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mechanism::Flock => write!(f, "flock"),
+            Mechanism::FileLockEx => write!(f, "FileLockEX"),
+            Mechanism::Mutex => write!(f, "Mutex"),
+            Mechanism::Semaphore => write!(f, "Semaphore"),
+            Mechanism::Event => write!(f, "Event"),
+            Mechanism::Timer => write!(f, "Timer"),
+        }
+    }
+}
+
+impl FromStr for Mechanism {
+    type Err = MesError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "flock" => Ok(Mechanism::Flock),
+            "filelockex" | "file_lock_ex" | "lockfileex" => Ok(Mechanism::FileLockEx),
+            "mutex" => Ok(Mechanism::Mutex),
+            "semaphore" | "sem" => Ok(Mechanism::Semaphore),
+            "event" => Ok(Mechanism::Event),
+            "timer" | "waitabletimer" => Ok(Mechanism::Timer),
+            other => Err(MesError::InvalidConfig {
+                reason: format!("unknown mechanism {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_match_table_one() {
+        assert!(Mechanism::Flock.is_contention_based());
+        assert!(Mechanism::FileLockEx.is_contention_based());
+        assert!(Mechanism::Mutex.is_contention_based());
+        assert!(Mechanism::Semaphore.is_contention_based());
+        assert!(Mechanism::Event.is_cooperation_based());
+        assert!(Mechanism::Timer.is_cooperation_based());
+    }
+
+    #[test]
+    fn only_file_locks_are_file_backed() {
+        let file_backed: Vec<Mechanism> = Mechanism::ALL
+            .into_iter()
+            .filter(|m| m.is_file_backed())
+            .collect();
+        assert_eq!(file_backed, vec![Mechanism::Flock, Mechanism::FileLockEx]);
+    }
+
+    #[test]
+    fn instruction_counts_follow_paper() {
+        assert_eq!(Mechanism::Semaphore.instructions_per_bit(), 6);
+        assert_eq!(Mechanism::Flock.instructions_per_bit(), 3);
+        assert_eq!(Mechanism::Event.instructions_per_bit(), 2);
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("Event".parse::<Mechanism>().unwrap(), Mechanism::Event);
+        assert_eq!("LockFileEx".parse::<Mechanism>().unwrap(), Mechanism::FileLockEx);
+        assert_eq!("sem".parse::<Mechanism>().unwrap(), Mechanism::Semaphore);
+        assert!("spinlock".parse::<Mechanism>().is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(Mechanism::FileLockEx.to_string(), "FileLockEX");
+        assert_eq!(Mechanism::Flock.to_string(), "flock");
+        assert_eq!(ChannelFamily::Cooperation.to_string(), "cooperation");
+        assert_eq!(OsKind::Windows.to_string(), "Windows");
+    }
+
+    #[test]
+    fn native_os_assignment() {
+        for mechanism in Mechanism::ALL {
+            if mechanism == Mechanism::Flock {
+                assert_eq!(mechanism.native_os(), OsKind::Linux);
+            } else {
+                assert_eq!(mechanism.native_os(), OsKind::Windows);
+            }
+        }
+    }
+}

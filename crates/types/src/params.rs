@@ -1,0 +1,178 @@
+//! Channel timing parameters (`tw0`, `ti`, `tt1`, `tt0`).
+//!
+//! The paper controls every channel with two microsecond-level parameters:
+//!
+//! * cooperation channels (Event, Timer): `tw0`, the wait before signalling a
+//!   `0`, and `ti`, the extra interval added when signalling a `1`;
+//! * contention channels (flock, FileLockEX, Mutex, Semaphore): `tt1`, how
+//!   long the Trojan occupies the resource for a `1`, and `tt0`, how long it
+//!   sleeps for a `0`.
+
+use crate::error::MesError;
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Timing parameters of a channel, matching the "Timeset" rows of
+/// Tables IV–VI in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{ChannelTiming, Micros};
+///
+/// let event = ChannelTiming::cooperation(Micros::new(15), Micros::new(65));
+/// assert_eq!(event.zero_duration(), Micros::new(15));
+/// assert_eq!(event.one_duration(), Micros::new(80));
+///
+/// let flock = ChannelTiming::contention(Micros::new(160), Micros::new(60));
+/// assert_eq!(flock.one_duration(), Micros::new(160));
+/// assert_eq!(flock.mean_symbol_duration(), Micros::new(110));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelTiming {
+    /// Synchronization-based channels (Protocol 2): the Trojan always
+    /// signals, but waits `tw0` for a `0` and `tw0 + ti` for a `1`.
+    Cooperation {
+        /// Wait before signalling a `0`.
+        tw0: Micros,
+        /// Additional interval distinguishing a `1` from a `0`.
+        ti: Micros,
+    },
+    /// Mutual-exclusion-based channels (Protocol 1): the Trojan occupies the
+    /// resource for `tt1` to send a `1` and sleeps `tt0` to send a `0`.
+    Contention {
+        /// Resource occupancy time encoding a `1`.
+        tt1: Micros,
+        /// Sleep time encoding a `0`.
+        tt0: Micros,
+    },
+}
+
+impl ChannelTiming {
+    /// Creates cooperation-channel timing.
+    pub const fn cooperation(tw0: Micros, ti: Micros) -> Self {
+        ChannelTiming::Cooperation { tw0, ti }
+    }
+
+    /// Creates contention-channel timing.
+    pub const fn contention(tt1: Micros, tt0: Micros) -> Self {
+        ChannelTiming::Contention { tt1, tt0 }
+    }
+
+    /// The nominal constraint duration encoding a `0`.
+    pub fn zero_duration(&self) -> Micros {
+        match *self {
+            ChannelTiming::Cooperation { tw0, .. } => tw0,
+            ChannelTiming::Contention { tt0, .. } => tt0,
+        }
+    }
+
+    /// The nominal constraint duration encoding a `1`.
+    pub fn one_duration(&self) -> Micros {
+        match *self {
+            ChannelTiming::Cooperation { tw0, ti } => tw0 + ti,
+            ChannelTiming::Contention { tt1, .. } => tt1,
+        }
+    }
+
+    /// The timing margin separating the two symbols (half of it is the
+    /// decision distance from the midpoint threshold).
+    pub fn margin(&self) -> Micros {
+        self.one_duration() - self.zero_duration()
+    }
+
+    /// Mean of the two symbol durations, assuming equiprobable bits.
+    pub fn mean_symbol_duration(&self) -> Micros {
+        (self.zero_duration() + self.one_duration()) / 2
+    }
+
+    /// Validates the parameters: both symbols need a positive duration and a
+    /// positive margin, otherwise the Spy cannot tell them apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidTiming`] describing the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), MesError> {
+        match *self {
+            ChannelTiming::Cooperation { tw0, ti } => {
+                if tw0 == Micros::ZERO {
+                    return Err(MesError::InvalidTiming {
+                        parameter: "tw0",
+                        reason: "wait time for '0' must be positive".into(),
+                    });
+                }
+                if ti == Micros::ZERO {
+                    return Err(MesError::InvalidTiming {
+                        parameter: "ti",
+                        reason: "interval between '0' and '1' must be positive".into(),
+                    });
+                }
+            }
+            ChannelTiming::Contention { tt1, tt0 } => {
+                if tt0 == Micros::ZERO {
+                    return Err(MesError::InvalidTiming {
+                        parameter: "tt0",
+                        reason: "sleep time for '0' must be positive".into(),
+                    });
+                }
+                if tt1 <= tt0 {
+                    return Err(MesError::InvalidTiming {
+                        parameter: "tt1",
+                        reason: format!(
+                            "occupancy time for '1' ({tt1}) must exceed the sleep time for '0' ({tt0})"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChannelTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChannelTiming::Cooperation { tw0, ti } => write!(f, "tw0={tw0}, ti={ti}"),
+            ChannelTiming::Contention { tt1, tt0 } => write!(f, "tt1={tt1}, tt0={tt0}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_and_margin() {
+        let event = ChannelTiming::cooperation(Micros::new(15), Micros::new(65));
+        assert_eq!(event.margin(), Micros::new(65));
+        assert_eq!(event.mean_symbol_duration(), Micros::new(47));
+        let flock = ChannelTiming::contention(Micros::new(160), Micros::new(60));
+        assert_eq!(flock.margin(), Micros::new(100));
+        assert_eq!(flock.zero_duration(), Micros::new(60));
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::new(65)).validate().is_ok());
+        assert!(ChannelTiming::cooperation(Micros::ZERO, Micros::new(65)).validate().is_err());
+        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::ZERO).validate().is_err());
+        assert!(ChannelTiming::contention(Micros::new(160), Micros::new(60)).validate().is_ok());
+        assert!(ChannelTiming::contention(Micros::new(50), Micros::new(60)).validate().is_err());
+        assert!(ChannelTiming::contention(Micros::new(60), Micros::ZERO).validate().is_err());
+    }
+
+    #[test]
+    fn display_formats_parameters() {
+        assert_eq!(
+            ChannelTiming::cooperation(Micros::new(15), Micros::new(65)).to_string(),
+            "tw0=15us, ti=65us"
+        );
+        assert_eq!(
+            ChannelTiming::contention(Micros::new(160), Micros::new(60)).to_string(),
+            "tt1=160us, tt0=60us"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Deployment scenarios evaluated by the paper (Section V).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::MesError;
+use crate::mechanism::Mechanism;
+
+/// Where the Trojan and the Spy run relative to each other.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{Mechanism, Scenario};
+///
+/// assert!(Scenario::Local.supports(Mechanism::Event));
+/// assert!(!Scenario::CrossVm.supports(Mechanism::Event));
+/// assert!(Scenario::CrossVm.supports(Mechanism::FileLockEx));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Trojan and Spy are ordinary processes on the same machine.
+    Local,
+    /// The Trojan runs inside a sandbox (Firejail on Linux, Sandboxie on
+    /// Windows) and leaks data to a Spy outside it.
+    CrossSandbox,
+    /// Trojan and Spy run in two different virtual machines on the same
+    /// host (Hyper-V on Windows, KVM on Linux). Only file-backed mechanisms
+    /// survive this isolation (Section V.C.3).
+    CrossVm,
+}
+
+impl Scenario {
+    /// Every scenario, in the order the paper evaluates them.
+    pub const ALL: [Scenario; 3] = [Scenario::Local, Scenario::CrossSandbox, Scenario::CrossVm];
+
+    /// Whether an isolation boundary (sandbox or VM) separates the processes.
+    pub fn is_isolated(self) -> bool {
+        !matches!(self, Scenario::Local)
+    }
+
+    /// Whether `mechanism` can carry data in this scenario.
+    ///
+    /// Across VMs only the file-backed locks work, because the other kernel
+    /// objects are namespaced per session and never refer to a shared
+    /// resource (Section V.C.3 of the paper).
+    pub fn supports(self, mechanism: Mechanism) -> bool {
+        match self {
+            Scenario::Local | Scenario::CrossSandbox => true,
+            Scenario::CrossVm => mechanism.is_file_backed(),
+        }
+    }
+
+    /// The mechanisms evaluated by the paper in this scenario, in table order.
+    pub fn mechanisms(self) -> Vec<Mechanism> {
+        Mechanism::ALL
+            .into_iter()
+            .filter(|m| self.supports(*m))
+            .collect()
+    }
+
+    /// A short lowercase identifier suitable for CSV columns and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scenario::Local => "local",
+            Scenario::CrossSandbox => "cross-sandbox",
+            Scenario::CrossVm => "cross-vm",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = MesError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "local" => Ok(Scenario::Local),
+            "cross-sandbox" | "sandbox" => Ok(Scenario::CrossSandbox),
+            "cross-vm" | "crossvm" | "vm" => Ok(Scenario::CrossVm),
+            other => Err(MesError::InvalidConfig {
+                reason: format!("unknown scenario {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_vm_only_supports_file_locks() {
+        assert_eq!(
+            Scenario::CrossVm.mechanisms(),
+            vec![Mechanism::Flock, Mechanism::FileLockEx]
+        );
+    }
+
+    #[test]
+    fn local_and_sandbox_support_all_mechanisms() {
+        assert_eq!(Scenario::Local.mechanisms().len(), 6);
+        assert_eq!(Scenario::CrossSandbox.mechanisms().len(), 6);
+    }
+
+    #[test]
+    fn isolation_flag() {
+        assert!(!Scenario::Local.is_isolated());
+        assert!(Scenario::CrossSandbox.is_isolated());
+        assert!(Scenario::CrossVm.is_isolated());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("local".parse::<Scenario>().unwrap(), Scenario::Local);
+        assert_eq!("sandbox".parse::<Scenario>().unwrap(), Scenario::CrossSandbox);
+        assert_eq!("cross_vm".parse::<Scenario>().unwrap(), Scenario::CrossVm);
+        assert!("cloud".parse::<Scenario>().is_err());
+        assert_eq!(Scenario::CrossSandbox.to_string(), "cross-sandbox");
+    }
+}

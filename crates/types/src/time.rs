@@ -1,0 +1,335 @@
+//! Microsecond/nanosecond time newtypes used throughout the workspace.
+//!
+//! The paper reports every timing parameter in microseconds (`tw0`, `ti`,
+//! `tt1`, `tt0`), while the simulator advances a nanosecond-resolution
+//! virtual clock. Keeping the two units as distinct newtypes prevents the
+//! classic unit mix-up (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant expressed in whole nanoseconds.
+///
+/// `Nanos` is the unit of the simulator's virtual clock. It is a plain
+/// wrapper around `u64`, so arithmetic is cheap and `Copy`.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{Micros, Nanos};
+///
+/// let t = Nanos::from_micros(Micros::new(15));
+/// assert_eq!(t.as_u64(), 15_000);
+/// assert_eq!(t + Nanos::new(500), Nanos::new(15_500));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero duration / simulation start instant.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a value from a raw nanosecond count.
+    pub const fn new(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a value from a microsecond count.
+    pub const fn from_micros(us: Micros) -> Self {
+        Nanos(us.as_u64() * 1_000)
+    }
+
+    /// Creates a value from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a value from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the value as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Creates a value from fractional microseconds, rounding to the nearest
+    /// nanosecond and clamping negative inputs to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            Nanos::ZERO
+        } else {
+            Nanos((us * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Saturating subtraction; never underflows.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction returning `None` on underflow.
+    pub fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_sub(rhs.0).map(Nanos)
+    }
+
+    /// Returns the larger of the two values.
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of the two values.
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<Micros> for Nanos {
+    fn from(us: Micros) -> Self {
+        Nanos::from_micros(us)
+    }
+}
+
+/// A duration expressed in whole microseconds, the unit the paper uses for
+/// all channel timing parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::Micros;
+///
+/// let tw0 = Micros::new(15);
+/// let ti = Micros::new(65);
+/// assert_eq!((tw0 + ti).as_u64(), 80);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// The zero duration.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Creates a value from a raw microsecond count.
+    pub const fn new(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Creates a value from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Creates a value from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as `f64` microseconds.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Converts to nanoseconds.
+    pub const fn to_nanos(self) -> Nanos {
+        Nanos::from_micros(self)
+    }
+
+    /// Saturating subtraction; never underflows.
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: u64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        iter.fold(Micros::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_roundtrip_micros() {
+        let us = Micros::new(137);
+        assert_eq!(Nanos::from(us).as_u64(), 137_000);
+        assert_eq!(us.to_nanos().as_micros_f64(), 137.0);
+    }
+
+    #[test]
+    fn nanos_arithmetic() {
+        let a = Nanos::new(1_000);
+        let b = Nanos::new(250);
+        assert_eq!((a + b).as_u64(), 1_250);
+        assert_eq!((a - b).as_u64(), 750);
+        assert_eq!((a * 3).as_u64(), 3_000);
+        assert_eq!((a / 4).as_u64(), 250);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Nanos::new(750)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn nanos_from_micros_f64_rounds_and_clamps() {
+        assert_eq!(Nanos::from_micros_f64(1.5).as_u64(), 1_500);
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(0.0004).as_u64(), 0);
+    }
+
+    #[test]
+    fn nanos_display_scales_units() {
+        assert_eq!(Nanos::new(12).to_string(), "12ns");
+        assert_eq!(Nanos::new(1_500).to_string(), "1.500us");
+        assert_eq!(Nanos::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn micros_display_and_sum() {
+        assert_eq!(Micros::new(42).to_string(), "42us");
+        let total: Micros = [Micros::new(1), Micros::new(2), Micros::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Micros::new(6));
+    }
+
+    #[test]
+    fn micros_constructors() {
+        assert_eq!(Micros::from_millis(3).as_u64(), 3_000);
+        assert_eq!(Micros::from_secs(2).as_u64(), 2_000_000);
+        assert_eq!(Micros::new(7).saturating_sub(Micros::new(9)), Micros::ZERO);
+    }
+
+    #[test]
+    fn nanos_min_max_sum() {
+        let a = Nanos::new(5);
+        let b = Nanos::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let total: Nanos = [a, b].into_iter().sum();
+        assert_eq!(total, Nanos::new(14));
+    }
+}

@@ -1,0 +1,74 @@
+//! Why MES-Attacks need *fair* lock hand-off (Section V.B ① of the paper).
+//!
+//! Under FIFO (fair) hand-off, the blocked Spy is next in line when the
+//! Trojan unlocks, so its blocked time tracks the Trojan's hold time. Under
+//! unfair hand-off the releasing process can immediately re-acquire the
+//! resource, the Spy's measurements collapse, and the transmission breaks —
+//! exactly the failure mode the paper warns about.
+//!
+//! This example drives the simulator directly (it needs the fairness switch,
+//! which the channel API deliberately does not expose).
+//!
+//! Run with `cargo run --release -p mes-core --example unfair_contention`.
+
+use mes_core::{protocol, ChannelConfig, CovertChannel, SimBackend};
+use mes_coding::BitSource;
+use mes_scenario::ScenarioProfile;
+use mes_sim::fs::Fairness;
+use mes_sim::{Engine, NoiseModel};
+use mes_stats::BerReport;
+use mes_types::{Mechanism, Scenario};
+
+fn run_with_fairness(fairness: Fairness) -> mes_types::Result<(f64, bool)> {
+    let profile = ScenarioProfile::local();
+    let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock)?;
+    let channel = CovertChannel::new(config.clone(), profile.clone())?;
+    let payload = BitSource::new(77).random_bits(512);
+
+    // Build the plan and programs exactly like SimBackend, but flip the
+    // fairness switch on the engine before running.
+    let wire = {
+        let codec = mes_coding::FrameCodec::new(config.preamble.clone())?;
+        codec.encode(&payload)
+    };
+    let plan = protocol::encode(&wire, &config, &profile)?;
+    let backend = SimBackend::new(profile.clone(), 77);
+    let (trojan, spy) = backend.build_programs(&plan);
+
+    let mut engine = Engine::new(profile.noise_for(Mechanism::Flock), 77);
+    engine.set_fairness(fairness);
+    let spy_pid = engine.spawn(spy);
+    engine.spawn(trojan);
+    let outcome = engine.run()?;
+    let observation = mes_core::Observation {
+        latencies: outcome.durations(spy_pid),
+        elapsed: outcome.end_time(),
+    };
+    let report = channel.recover(&payload, &wire, &observation);
+    Ok((report.wire_ber().ber_percent(), report.frame_valid()))
+}
+
+fn main() -> mes_types::Result<()> {
+    // Sanity: the plain channel through the public API.
+    let profile = ScenarioProfile::local();
+    let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock)?;
+    let channel = CovertChannel::new(config, profile.clone())?;
+    let mut backend = SimBackend::new(profile, 1);
+    let payload = BitSource::new(1).random_bits(512);
+    let baseline = channel.transmit(&payload, &mut backend)?;
+    let baseline_ber = BerReport::compare(baseline.sent_wire(), baseline.received_wire());
+    println!("public API baseline (fair):   BER = {:.3}%", baseline_ber.ber_percent());
+
+    let (fair_ber, fair_valid) = run_with_fairness(Fairness::Fair)?;
+    let (unfair_ber, unfair_valid) = run_with_fairness(Fairness::Unfair)?;
+    println!("fair FIFO hand-off:           BER = {fair_ber:.3}%, frame valid = {fair_valid}");
+    println!("unfair hand-off:              BER = {unfair_ber:.3}%, frame valid = {unfair_valid}");
+    println!();
+    if unfair_ber > fair_ber * 10.0 {
+        println!("=> the channel only works in the fair regime, as the paper states.");
+    } else {
+        println!("=> unexpected: unfair hand-off did not destroy the channel on this run.");
+    }
+    let _ = NoiseModel::noiseless(); // keep the import list honest in docs
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Integration and property tests across the coding and stats crates:
+//! framing + thresholding + error accounting must agree end to end.
+
+use mes_coding::{AdaptiveThreshold, BitSource, Crc8, FrameCodec, Hamming74, ThresholdDecoder};
+use mes_stats::BerReport;
+use mes_types::{Bit, BitString, Micros, Nanos};
+use proptest::prelude::*;
+
+fn latencies_for(wire: &BitString, zero_us: u64, one_us: u64) -> Vec<Nanos> {
+    wire.iter()
+        .map(|b| {
+            if b.is_one() {
+                Micros::new(one_us).to_nanos()
+            } else {
+                Micros::new(zero_us).to_nanos()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn clean_latencies_recover_the_frame_exactly() {
+    let codec = FrameCodec::with_default_preamble();
+    let payload = BitSource::new(4).random_bits(256);
+    let wire = codec.encode(&payload);
+    let latencies = latencies_for(&wire, 20, 90);
+    let decoder = AdaptiveThreshold::fit(codec.preamble(), &latencies[..8]).unwrap();
+    let received = decoder.decode_all(&latencies);
+    let frame = codec.decode(&received).unwrap();
+    assert_eq!(frame.payload(), &payload);
+    assert_eq!(BerReport::compare(&wire, &received).errors(), 0);
+}
+
+#[test]
+fn crc_and_hamming_compose_with_framing() {
+    let codec = FrameCodec::with_default_preamble();
+    let payload = BitSource::new(9).random_bits(64);
+    let protected = Hamming74::encode(&Crc8::append(&payload));
+    let wire = codec.encode(&protected);
+
+    // Flip one payload bit on the wire: Hamming corrects it, CRC validates.
+    let mut corrupted = BitString::new();
+    for (i, bit) in wire.iter().enumerate() {
+        corrupted.push(if i == 20 { bit.flipped() } else { bit });
+    }
+    let frame = codec.decode(&corrupted).unwrap();
+    let repaired = Hamming74::decode(frame.payload()).unwrap();
+    let recovered = Crc8::verify_and_strip(&repaired.slice(0, payload.len() + 8)).unwrap();
+    assert_eq!(recovered, payload);
+}
+
+#[test]
+fn ber_report_matches_manual_count_on_noisy_decode() {
+    let codec = FrameCodec::with_default_preamble();
+    let payload = BitSource::new(2).random_bits(128);
+    let wire = codec.encode(&payload);
+    let mut latencies = latencies_for(&wire, 20, 90);
+    // Corrupt five zero-bit latencies so they read as ones.
+    let mut flipped = 0;
+    for (i, bit) in wire.iter().enumerate() {
+        if bit == Bit::Zero && flipped < 5 {
+            latencies[i] = Micros::new(95).to_nanos();
+            flipped += 1;
+        }
+    }
+    let decoder = ThresholdDecoder::midpoint(Micros::new(20).to_nanos(), Micros::new(90).to_nanos());
+    let received = decoder.decode_all(&latencies);
+    let report = BerReport::compare(&wire, &received);
+    assert_eq!(report.errors(), 5);
+    assert_eq!(report.zeros_as_ones(), 5);
+    assert_eq!(report.ones_as_zeros(), 0);
+}
+
+proptest! {
+    #[test]
+    fn prop_any_payload_survives_clean_transmission(payload in "[01]{1,300}") {
+        let payload: BitString = payload.parse().unwrap();
+        let codec = FrameCodec::with_default_preamble();
+        let wire = codec.encode(&payload);
+        let latencies = latencies_for(&wire, 15, 80);
+        let decoder = AdaptiveThreshold::fit(codec.preamble(), &latencies[..8]).unwrap();
+        let received = decoder.decode_all(&latencies);
+        let frame = codec.decode(&received).unwrap();
+        prop_assert_eq!(frame.payload(), &payload);
+    }
+
+    #[test]
+    fn prop_uniform_latency_shift_never_causes_errors(
+        payload in "[01]{8,64}",
+        shift_us in 0u64..500,
+    ) {
+        // The adaptive threshold learns from the preamble, so a constant
+        // offset (e.g. sandbox syscall overhead) must not introduce errors.
+        let payload: BitString = payload.parse().unwrap();
+        let codec = FrameCodec::with_default_preamble();
+        let wire = codec.encode(&payload);
+        let latencies: Vec<Nanos> = latencies_for(&wire, 15, 80)
+            .into_iter()
+            .map(|l| l + Micros::new(shift_us).to_nanos())
+            .collect();
+        let decoder = AdaptiveThreshold::fit(codec.preamble(), &latencies[..8]).unwrap();
+        let received = decoder.decode_all(&latencies);
+        prop_assert_eq!(BerReport::compare(&wire, &received).errors(), 0);
+    }
+}

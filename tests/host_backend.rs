@@ -1,0 +1,58 @@
+//! Integration tests for the real-OS backends: the full channel pipeline on
+//! actual `flock(2)` locks and on the condvar Event stand-in.
+//!
+//! Timing is millisecond-scale so the tests tolerate a loaded machine; each
+//! test moves only a couple of bytes to stay fast.
+
+use mes_core::{ChannelConfig, CovertChannel};
+use mes_host::{HostCondvarBackend, HostFlockBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros};
+
+fn generous_contention_timing() -> ChannelTiming {
+    ChannelTiming::contention(Micros::from_millis(18), Micros::from_millis(6))
+}
+
+fn generous_cooperation_timing() -> ChannelTiming {
+    ChannelTiming::cooperation(Micros::from_millis(3), Micros::from_millis(12))
+}
+
+#[test]
+fn real_flock_channel_leaks_two_bytes() {
+    let config = ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let mut backend = HostFlockBackend::new().unwrap();
+    let secret = BitString::from_bytes(b"ok");
+    let report = channel.transmit(&secret, &mut backend).unwrap();
+    assert!(report.frame_valid(), "latencies: {:?}", report.latencies());
+    assert_eq!(report.received_payload().to_bytes(), b"ok");
+}
+
+#[test]
+fn real_condvar_channel_leaks_two_bytes() {
+    let config = ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let mut backend = HostCondvarBackend::new();
+    let secret = BitString::from_bytes(b"go");
+    let report = channel.transmit(&secret, &mut backend).unwrap();
+    assert!(report.frame_valid(), "latencies: {:?}", report.latencies());
+    assert_eq!(report.received_payload().to_bytes(), b"go");
+}
+
+#[test]
+fn host_backends_reject_foreign_mechanism_plans() {
+    use mes_core::{protocol, ChannelBackend};
+    let event_config =
+        ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
+    let event_plan =
+        protocol::event::encode(&BitString::from_str01("10").unwrap(), &event_config);
+    let mut flock_backend = HostFlockBackend::new().unwrap();
+    assert!(flock_backend.transmit(&event_plan).is_err());
+
+    let flock_config =
+        ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
+    let flock_plan =
+        protocol::flock::encode(&BitString::from_str01("10").unwrap(), &flock_config);
+    let mut condvar_backend = HostCondvarBackend::new();
+    assert!(condvar_backend.transmit(&flock_plan).is_err());
+}

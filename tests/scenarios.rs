@@ -1,0 +1,95 @@
+//! Integration tests for the scenario layer: availability rules, session
+//! isolation and the performance ordering across deployment scenarios.
+
+use mes_coding::BitSource;
+use mes_core::{ChannelConfig, CovertChannel, SimBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{Mechanism, Scenario};
+
+#[test]
+fn cross_vm_only_exposes_file_backed_mechanisms() {
+    for mechanism in Mechanism::ALL {
+        let result = ChannelConfig::paper_defaults(Scenario::CrossVm, mechanism);
+        if mechanism.is_file_backed() {
+            assert!(result.is_ok(), "{mechanism} should work across VMs");
+        } else {
+            assert!(result.is_err(), "{mechanism} should be rejected across VMs");
+        }
+    }
+}
+
+#[test]
+fn channel_construction_enforces_the_availability_matrix() {
+    // Even with a hand-built config, the channel refuses unsupported
+    // combinations.
+    let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+    let profile = ScenarioProfile::cross_vm();
+    assert!(CovertChannel::new(config, profile).is_err());
+}
+
+#[test]
+fn session_isolation_is_enforced_by_the_simulated_kernel_too() {
+    // Bypass the channel-level guard and drive the backend directly with a
+    // kernel-object plan in the cross-VM profile: the simulated namespace
+    // itself must reject the cross-session open.
+    use mes_core::{protocol, ChannelBackend};
+    let local_config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+    let local_profile = ScenarioProfile::local();
+    let wire = BitSource::new(1).random_bits(16);
+    let plan = protocol::encode(&wire, &local_config, &local_profile).unwrap();
+    let mut cross_vm_backend = SimBackend::new(ScenarioProfile::cross_vm(), 1);
+    assert!(cross_vm_backend.transmit(&plan).is_err());
+}
+
+#[test]
+fn rates_degrade_from_local_to_sandbox_to_cross_vm() {
+    let payload = BitSource::new(0x5CE).random_bits(4_000);
+    let mut rates = Vec::new();
+    for scenario in Scenario::ALL {
+        let profile = ScenarioProfile::for_scenario(scenario);
+        let config = ChannelConfig::paper_defaults(scenario, Mechanism::FileLockEx).unwrap();
+        let channel = CovertChannel::new(config, profile.clone()).unwrap();
+        let mut backend = SimBackend::new(profile, 0x5CE);
+        let report = channel.transmit(&payload, &mut backend).unwrap();
+        rates.push((scenario, report.throughput().kilobits_per_second()));
+    }
+    assert!(rates[0].1 > rates[1].1, "local should beat sandbox: {rates:?}");
+    assert!(rates[1].1 > rates[2].1, "sandbox should beat cross-VM: {rates:?}");
+}
+
+#[test]
+fn headline_rates_match_the_abstract_within_ten_percent() {
+    // Local and cross-sandbox headline = Event channel, cross-VM = FileLockEX.
+    let cases = [
+        (Scenario::Local, Mechanism::Event),
+        (Scenario::CrossSandbox, Mechanism::Event),
+        (Scenario::CrossVm, Mechanism::FileLockEx),
+    ];
+    let payload = BitSource::new(0xAB).random_bits(6_000);
+    for (scenario, mechanism) in cases {
+        let profile = ScenarioProfile::for_scenario(scenario);
+        let config = ChannelConfig::paper_defaults(scenario, mechanism).unwrap();
+        let channel = CovertChannel::new(config, profile.clone()).unwrap();
+        let mut backend = SimBackend::new(profile, 0xAB);
+        let report = channel.transmit(&payload, &mut backend).unwrap();
+        let measured = report.throughput().kilobits_per_second();
+        let headline = mes_scenario::calibration::paper_headline_tr_kbps(scenario);
+        let relative = (measured - headline).abs() / headline;
+        assert!(
+            relative < 0.10,
+            "{scenario}: measured {measured:.3} kb/s vs headline {headline:.3} kb/s"
+        );
+    }
+}
+
+#[test]
+fn every_paper_row_has_consistent_reference_data() {
+    for scenario in Scenario::ALL {
+        for mechanism in scenario.mechanisms() {
+            let timing = mes_scenario::paper_timeset(scenario, mechanism).unwrap();
+            assert!(timing.validate().is_ok());
+            assert!(mes_scenario::paper_ber_percent(scenario, mechanism).unwrap() < 1.0);
+            assert!(mes_scenario::paper_tr_kbps(scenario, mechanism).unwrap() > 4.0);
+        }
+    }
+}
