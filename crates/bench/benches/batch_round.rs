@@ -1,0 +1,79 @@
+//! Criterion benchmark: a 64-round sweep executed three ways — one fresh
+//! backend per round (the old per-round cost), one backend batching all
+//! rounds over a reused engine, and the multi-threaded `RoundExecutor`.
+//! All three produce bit-identical observations; the interesting number is
+//! the wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mes_coding::BitSource;
+use mes_core::exec::RoundExecutor;
+use mes_core::{
+    round_seed, ChannelBackend, ChannelConfig, CovertChannel, SimBackend, TransmissionPlan,
+};
+use mes_scenario::ScenarioProfile;
+use mes_types::{Mechanism, Scenario};
+
+const ROUNDS: usize = 64;
+const BITS: usize = 128;
+const SEED: u64 = 0xBEEF;
+
+fn sweep_plans(profile: &ScenarioProfile) -> Vec<TransmissionPlan> {
+    let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+    let channel = CovertChannel::new(config, profile.clone()).unwrap();
+    (0..ROUNDS)
+        .map(|round| {
+            let payload = BitSource::new(round as u64).random_bits(BITS);
+            channel.plan_for(&payload).unwrap().1
+        })
+        .collect()
+}
+
+fn batch_round(c: &mut Criterion) {
+    let profile = ScenarioProfile::local();
+    let plans = sweep_plans(&profile);
+
+    let mut group = c.benchmark_group("batch_round");
+    group.throughput(Throughput::Elements(ROUNDS as u64));
+    group.sample_size(10);
+
+    group.bench_function("sequential_fresh_backend_per_round", |b| {
+        b.iter(|| {
+            plans
+                .iter()
+                .enumerate()
+                .map(|(index, plan)| {
+                    SimBackend::new(profile.clone(), round_seed(SEED, index as u64))
+                        .transmit(plan)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    group.bench_function("batched_reused_engine", |b| {
+        b.iter(|| {
+            SimBackend::new(profile.clone(), SEED)
+                .transmit_batch(&plans)
+                .unwrap()
+        })
+    });
+
+    for workers in [2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_executor", workers),
+            &workers,
+            |b, &workers| {
+                let executor = RoundExecutor::new(workers);
+                b.iter(|| {
+                    executor
+                        .execute(&plans, || SimBackend::new(profile.clone(), SEED))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_round);
+criterion_main!(benches);

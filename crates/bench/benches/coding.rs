@@ -26,13 +26,19 @@ fn coding_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("coding");
     group.throughput(Throughput::Elements(4096));
     group.bench_function("frame_encode_4096", |b| b.iter(|| codec.encode(&bits)));
-    group.bench_function("threshold_decode_4096", |b| b.iter(|| decoder.decode_all(&latencies)));
+    group.bench_function("threshold_decode_4096", |b| {
+        b.iter(|| decoder.decode_all(&latencies))
+    });
     group.bench_function("frame_decode_4096", |b| {
         let received = decoder.decode_all(&latencies);
         b.iter(|| codec.decode(&received).unwrap())
     });
-    group.bench_function("symbol_encode_4096", |b| b.iter(|| alphabet.encode(&bits).unwrap()));
-    group.bench_function("hamming74_encode_4096", |b| b.iter(|| Hamming74::encode(&bits)));
+    group.bench_function("symbol_encode_4096", |b| {
+        b.iter(|| alphabet.encode(&bits).unwrap())
+    });
+    group.bench_function("hamming74_encode_4096", |b| {
+        b.iter(|| Hamming74::encode(&bits))
+    });
     group.finish();
 }
 

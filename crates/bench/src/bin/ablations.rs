@@ -15,27 +15,47 @@
 
 use mes_bench::table_bits;
 use mes_coding::BitSource;
-use mes_core::{ChannelConfig, CovertChannel, SimBackend};
+use mes_core::{
+    ChannelBackend, ChannelConfig, CovertChannel, PreparedRound, SimBackend, TransmissionPlan,
+};
 use mes_scenario::ScenarioProfile;
 use mes_sim::noise::OpenResourceInterference;
 use mes_stats::Table;
 use mes_types::{Mechanism, Result, Scenario};
 
-fn measure(
-    profile: ScenarioProfile,
+/// Compiles one ablation variant; variants sharing a profile are executed
+/// as one batch on a single backend.
+fn prepare(
+    profile: &ScenarioProfile,
     config: ChannelConfig,
     bits: usize,
     seed: u64,
-) -> Result<(f64, f64, bool)> {
+) -> Result<(PreparedRound, TransmissionPlan)> {
     let channel = CovertChannel::new(config, profile.clone())?;
-    let mut backend = SimBackend::new(profile, seed);
     let payload = BitSource::new(seed).random_bits(bits);
-    let report = channel.transmit(&payload, &mut backend)?;
-    Ok((
-        report.wire_ber().ber_percent(),
-        report.throughput().kilobits_per_second(),
-        report.frame_valid(),
-    ))
+    PreparedRound::new(channel, payload)
+}
+
+fn measure_batch(
+    profile: &ScenarioProfile,
+    rounds: &[PreparedRound],
+    plans: &[TransmissionPlan],
+    seed: u64,
+) -> Result<Vec<(f64, f64, bool)>> {
+    let mut backend = SimBackend::new(profile.clone(), seed);
+    let observations = backend.transmit_batch(plans)?;
+    Ok(rounds
+        .iter()
+        .zip(&observations)
+        .map(|(round, observation)| {
+            let report = round.recover(observation);
+            (
+                report.wire_ber().ber_percent(),
+                report.throughput().kilobits_per_second(),
+                report.frame_valid(),
+            )
+        })
+        .collect())
 }
 
 fn main() -> Result<()> {
@@ -47,51 +67,54 @@ fn main() -> Result<()> {
         "TR (kb/s)".into(),
         "Frame valid".into(),
     ])
-    .with_title(format!("Design-choice ablations (flock, local scenario, {bits} bits)"));
+    .with_title(format!(
+        "Design-choice ablations (flock, local scenario, {bits} bits)"
+    ));
 
     let baseline_cfg = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock)?;
+    let local = ScenarioProfile::local();
 
-    // 1. Inter-bit synchronization on/off.
-    let (ber, tr, ok) = measure(ScenarioProfile::local(), baseline_cfg.clone(), bits, 0xAB1)?;
-    table.add_row(vec![
-        "inter-bit sync".into(),
-        "enabled (paper)".into(),
-        format!("{ber:.3}"),
-        format!("{tr:.3}"),
-        ok.to_string(),
-    ]);
-    let (ber, tr, ok) = measure(
-        ScenarioProfile::local(),
-        baseline_cfg.clone().without_inter_bit_sync(),
-        bits.min(2_000),
-        0xAB2,
-    )?;
-    table.add_row(vec![
-        "inter-bit sync".into(),
-        "disabled (drift)".into(),
-        format!("{ber:.3}"),
-        format!("{tr:.3}"),
-        ok.to_string(),
-    ]);
+    // Variants 1-3 share the local profile, so they run as one batch on one
+    // backend; the open-resource variant needs its own (noisier) profile.
+    let labels = [
+        ("inter-bit sync", "enabled (paper)"),
+        ("inter-bit sync", "disabled (drift)"),
+        ("shared resource", "closed (paper)"),
+    ];
+    let (rounds, plans): (Vec<_>, Vec<_>) = vec![
+        prepare(&local, baseline_cfg.clone(), bits, 0xAB1)?,
+        prepare(
+            &local,
+            baseline_cfg.clone().without_inter_bit_sync(),
+            bits.min(2_000),
+            0xAB2,
+        )?,
+        prepare(&local, baseline_cfg.clone(), bits, 0xAB3)?,
+    ]
+    .into_iter()
+    .unzip();
+    let results = measure_batch(&local, &rounds, &plans, 0xAB0)?;
+    for ((ablation, variant), (ber, tr, ok)) in labels.iter().zip(&results) {
+        table.add_row(vec![
+            (*ablation).into(),
+            (*variant).into(),
+            format!("{ber:.3}"),
+            format!("{tr:.3}"),
+            ok.to_string(),
+        ]);
+    }
 
-    // 2. Closed vs. open shared resource.
-    let (ber, tr, ok) = measure(ScenarioProfile::local(), baseline_cfg.clone(), bits, 0xAB3)?;
-    table.add_row(vec![
-        "shared resource".into(),
-        "closed (paper)".into(),
-        format!("{ber:.3}"),
-        format!("{tr:.3}"),
-        ok.to_string(),
-    ]);
     let noisy_profile = ScenarioProfile::local().with_noise(
-        ScenarioProfile::local().noise().clone().with_open_interference(
-            OpenResourceInterference {
+        ScenarioProfile::local()
+            .noise()
+            .clone()
+            .with_open_interference(OpenResourceInterference {
                 contention_probability: 0.05,
                 occupancy_mean_us: 120.0,
-            },
-        ),
+            }),
     );
-    let (ber, tr, ok) = measure(noisy_profile, baseline_cfg, bits, 0xAB4)?;
+    let (open_round, open_plan) = prepare(&noisy_profile, baseline_cfg, bits, 0xAB4)?;
+    let (ber, tr, ok) = measure_batch(&noisy_profile, &[open_round], &[open_plan], 0xAB4)?[0];
     table.add_row(vec![
         "shared resource".into(),
         "open (3rd-party contention)".into(),
@@ -103,7 +126,9 @@ fn main() -> Result<()> {
     print!("{}", table.render());
     println!();
     println!("Note: the fair vs. unfair hand-off ablation is demonstrated by the");
-    println!("`unfair_contention` example (cargo run -p mes-core --example unfair_contention),");
+    println!(
+        "`unfair_contention` example (cargo run -p mes-integration --example unfair_contention),"
+    );
     println!("which needs direct access to the simulator's fairness switch.");
     Ok(())
 }

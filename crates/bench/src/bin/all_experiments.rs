@@ -11,7 +11,15 @@ fn run(binary: &str) {
     println!("== {binary}");
     println!("==================================================================");
     let status = Command::new(env!("CARGO"))
-        .args(["run", "--quiet", "--release", "-p", "mes-bench", "--bin", binary])
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "mes-bench",
+            "--bin",
+            binary,
+        ])
         .env(
             "MES_BENCH_BITS",
             std::env::var("MES_BENCH_BITS").unwrap_or_else(|_| "5000".into()),

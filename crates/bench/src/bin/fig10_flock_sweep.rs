@@ -12,30 +12,37 @@
 //! Run with `cargo run --release -p mes-bench --bin fig10_flock_sweep`.
 
 use mes_bench::table_bits;
-use mes_core::{sweep, SimBackend};
+use mes_core::{sweep, RoundExecutor};
 use mes_scenario::ScenarioProfile;
 use mes_types::{Mechanism, Result};
 
 fn main() -> Result<()> {
     let bits = table_bits();
     let profile = ScenarioProfile::local();
-    let mut backend = SimBackend::new(profile.clone(), 0xF10);
+    let executor = RoundExecutor::available_parallelism();
     let tt1_values = [110u64, 140, 170, 200, 230, 260, 290, 320];
-    let sweep = sweep::contention_sweep(
+    let sweep = sweep::contention_sweep_parallel(
         Mechanism::Flock,
         &profile,
-        &mut backend,
+        &executor,
         &tt1_values,
         60,
         bits,
         0xF10,
     )?;
 
-    println!("Fig. 10: flock channel, local scenario, tt0 = 60 us, {bits} bits per point");
+    println!(
+        "Fig. 10: flock channel, local scenario, tt0 = 60 us, {bits} bits per point \
+         ({} worker threads)",
+        executor.workers()
+    );
     println!();
     println!("{:>8} {:>12} {:>12}", "tt1 (us)", "BER (%)", "TR (kb/s)");
     for point in sweep.series()[0].points() {
-        println!("{:>8} {:>12.3} {:>12.3}", point.x, point.ber_percent, point.rate_kbps);
+        println!(
+            "{:>8} {:>12.3} {:>12.3}",
+            point.x, point.ber_percent, point.rate_kbps
+        );
     }
     if let Some(best) = sweep.series()[0].best_under_ber(1.0) {
         println!();

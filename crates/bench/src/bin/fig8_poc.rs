@@ -11,10 +11,10 @@
 //!
 //! Run with `cargo run --release -p mes-bench --bin fig8_poc`.
 
-use mes_core::{ChannelBackend, ChannelConfig, SimBackend};
-use mes_core::protocol;
-use mes_scenario::ScenarioProfile;
 use mes_coding::BitSource;
+use mes_core::protocol;
+use mes_core::{ChannelBackend, ChannelConfig, SimBackend};
+use mes_scenario::ScenarioProfile;
 use mes_types::{ChannelTiming, Mechanism, Micros, Result};
 
 fn run_poc(mechanism: Mechanism, timing: ChannelTiming, label: &str) -> Result<()> {
@@ -27,7 +27,11 @@ fn run_poc(mechanism: Mechanism, timing: ChannelTiming, label: &str) -> Result<(
 
     println!("{label}");
     println!("  bit index | sent | spy detection time (s)");
-    for (index, (bit, latency)) in sequence.iter().zip(observation.latencies.iter()).enumerate() {
+    for (index, (bit, latency)) in sequence
+        .iter()
+        .zip(observation.latencies.iter())
+        .enumerate()
+    {
         println!("  {index:>9} |   {bit}  | {:.3}", latency.as_secs_f64());
     }
     println!();

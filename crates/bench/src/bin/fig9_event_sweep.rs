@@ -12,27 +12,31 @@
 //! `MES_BENCH_BITS` controls the bits per point (default 20 000).
 
 use mes_bench::table_bits;
-use mes_core::{sweep, SimBackend};
+use mes_core::{sweep, RoundExecutor};
 use mes_scenario::ScenarioProfile;
 use mes_types::{Mechanism, Result};
 
 fn main() -> Result<()> {
     let bits = table_bits();
     let profile = ScenarioProfile::local();
-    let mut backend = SimBackend::new(profile.clone(), 0xF19);
+    let executor = RoundExecutor::available_parallelism();
     let tw0_values = [15u64, 25, 35, 45, 55, 65, 75];
     let ti_values = [30u64, 50, 70, 90, 110, 130];
-    let sweep = sweep::cooperation_sweep(
+    let sweep = sweep::cooperation_sweep_parallel(
         Mechanism::Event,
         &profile,
-        &mut backend,
+        &executor,
         &tw0_values,
         &ti_values,
         bits,
         0xF19,
     )?;
 
-    println!("Fig. 9(a)/(b): Event channel, local scenario, {bits} bits per point");
+    println!(
+        "Fig. 9(a)/(b): Event channel, local scenario, {bits} bits per point \
+         ({} worker threads)",
+        executor.workers()
+    );
     println!();
     println!("{}", sweep.to_csv());
 

@@ -24,8 +24,16 @@ fn render(key: &BitString, initial: u32, title: &str) {
     for step in &steps {
         table.add_row(vec![
             format!("K{}={}", step.index, step.bit),
-            if step.trojan_requests { "Request".into() } else { "Sleep".into() },
-            if step.spy_released { "Release".into() } else { "Unable to release".into() },
+            if step.trojan_requests {
+                "Request".into()
+            } else {
+                "Sleep".into()
+            },
+            if step.spy_released {
+                "Release".into()
+            } else {
+                "Unable to release".into()
+            },
             step.remaining_resources.to_string(),
         ]);
     }
@@ -38,9 +46,20 @@ fn render(key: &BitString, initial: u32, title: &str) {
 fn main() -> Result<()> {
     let key = BitString::from_str01("110110100011")?;
     println!("Example key K = {key} ({} zeros)", key.count_zeros());
-    println!("Required provisioning: {} resources", required_resources(&key));
+    println!(
+        "Required provisioning: {} resources",
+        required_resources(&key)
+    );
     println!();
-    render(&key, 0, "Table II: unprocessed implementation (initial resources = 0)");
-    render(&key, 5, "Table III: improved implementation (initial resources = 5)");
+    render(
+        &key,
+        0,
+        "Table II: unprocessed implementation (initial resources = 0)",
+    );
+    render(
+        &key,
+        5,
+        "Table III: improved implementation (initial resources = 5)",
+    );
     Ok(())
 }

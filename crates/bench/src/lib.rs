@@ -13,7 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend};
+use mes_core::{
+    ChannelBackend, ChannelConfig, CovertChannel, PreparedRound, RoundExecutor, SimBackend,
+};
 use mes_scenario::ScenarioProfile;
 use mes_stats::Table;
 use mes_types::{Mechanism, Result, Scenario};
@@ -51,7 +53,8 @@ pub struct ScenarioRow {
 }
 
 /// Measures every mechanism the paper evaluates in `scenario` with the
-/// paper's recommended Timeset.
+/// paper's recommended Timeset, batching all rows through a
+/// machine-sized [`RoundExecutor`].
 ///
 /// # Errors
 ///
@@ -61,26 +64,60 @@ pub fn measure_scenario(
     payload_bits: usize,
     seed: u64,
 ) -> Result<Vec<ScenarioRow>> {
+    measure_scenario_with_executor(
+        scenario,
+        payload_bits,
+        seed,
+        &RoundExecutor::available_parallelism(),
+    )
+}
+
+/// [`measure_scenario`] over a caller-chosen executor: the whole scenario
+/// table — one transmission round per mechanism row — is compiled up front
+/// and executed as one batch, so the rows fan out across the executor's
+/// workers. Results are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns an error if a channel cannot be built or a simulation fails.
+pub fn measure_scenario_with_executor(
+    scenario: Scenario,
+    payload_bits: usize,
+    seed: u64,
+    executor: &RoundExecutor,
+) -> Result<Vec<ScenarioRow>> {
     let profile = ScenarioProfile::for_scenario(scenario);
-    let mut rows = Vec::new();
-    for mechanism in scenario.mechanisms() {
-        let config = ChannelConfig::paper_defaults(scenario, mechanism)?.with_seed(seed);
-        let timeset = config.timing.to_string();
+    let grid = mes_scenario::paper_timeset_grid(scenario);
+
+    let mut rounds = Vec::with_capacity(grid.len());
+    let mut plans = Vec::with_capacity(grid.len());
+    for &(mechanism, timing) in &grid {
+        let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
         let channel = CovertChannel::new(config, profile.clone())?;
-        let mut backend = SimBackend::new(profile.clone(), seed ^ mechanism as u64);
         let payload = mes_coding::BitSource::new(seed.wrapping_mul(31) ^ mechanism as u64)
             .random_bits(payload_bits);
-        let report = channel.transmit(&payload, &mut backend)?;
-        rows.push(ScenarioRow {
-            mechanism,
-            timeset,
-            ber_percent: report.wire_ber().ber_percent(),
-            tr_kbps: report.throughput().kilobits_per_second(),
-            paper_ber: mes_scenario::paper_ber_percent(scenario, mechanism),
-            paper_tr: mes_scenario::paper_tr_kbps(scenario, mechanism),
-        });
+        let (round, plan) = PreparedRound::new(channel, payload)?;
+        rounds.push(round);
+        plans.push(plan);
     }
-    Ok(rows)
+
+    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
+
+    Ok(grid
+        .iter()
+        .enumerate()
+        .map(|(row, &(mechanism, timing))| {
+            let report = rounds[row].recover(&observations[row]);
+            ScenarioRow {
+                mechanism,
+                timeset: timing.to_string(),
+                ber_percent: report.wire_ber().ber_percent(),
+                tr_kbps: report.throughput().kilobits_per_second(),
+                paper_ber: mes_scenario::paper_ber_percent(scenario, mechanism),
+                paper_tr: mes_scenario::paper_tr_kbps(scenario, mechanism),
+            }
+        })
+        .collect())
 }
 
 /// Renders scenario rows as the paper-style table with paper-vs-measured
@@ -145,6 +182,22 @@ mod tests {
         for row in rows.iter().chain(vm_rows.iter()) {
             assert!(row.tr_kbps > 0.5, "{}: {}", row.mechanism, row.tr_kbps);
             assert!(row.paper_tr.is_some());
+        }
+    }
+
+    #[test]
+    fn measure_scenario_is_worker_count_invariant() {
+        let sequential =
+            measure_scenario_with_executor(Scenario::Local, 128, 3, &RoundExecutor::sequential())
+                .unwrap();
+        let parallel =
+            measure_scenario_with_executor(Scenario::Local, 128, 3, &RoundExecutor::new(4))
+                .unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.mechanism, b.mechanism);
+            assert_eq!(a.ber_percent, b.ber_percent, "{}", a.mechanism);
+            assert_eq!(a.tr_kbps, b.tr_kbps, "{}", a.mechanism);
         }
     }
 

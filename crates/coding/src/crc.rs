@@ -110,7 +110,7 @@ impl Crc16 {
 
 fn pad_to_bytes(bits: &BitString) -> Vec<u8> {
     let mut padded = bits.clone();
-    while padded.len() % 8 != 0 {
+    while !padded.len().is_multiple_of(8) {
         padded.push(Bit::Zero);
     }
     padded.to_bytes()
@@ -152,13 +152,20 @@ mod tests {
             for (i, bit) in protected.iter().enumerate() {
                 corrupted.push(if i == position { bit.flipped() } else { bit });
             }
-            assert_eq!(Crc8::verify_and_strip(&corrupted), None, "flip at {position} undetected");
+            assert_eq!(
+                Crc8::verify_and_strip(&corrupted),
+                None,
+                "flip at {position} undetected"
+            );
         }
     }
 
     #[test]
     fn crc8_short_input_fails_verification() {
-        assert_eq!(Crc8::verify_and_strip(&BitString::from_str01("1010").unwrap()), None);
+        assert_eq!(
+            Crc8::verify_and_strip(&BitString::from_str01("1010").unwrap()),
+            None
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl RepetitionCode {
     /// Returns [`MesError::InvalidConfig`] unless the repetition count is an
     /// odd number ≥ 3 (even counts cannot break ties).
     pub fn new(repetitions: usize) -> Result<Self> {
-        if repetitions < 3 || repetitions % 2 == 0 {
+        if repetitions < 3 || repetitions.is_multiple_of(2) {
             return Err(MesError::InvalidConfig {
                 reason: format!("repetition count must be odd and at least 3, got {repetitions}"),
             });
@@ -73,7 +73,7 @@ impl RepetitionCode {
     /// Returns [`MesError::FrameRecovery`] if the received length is not a
     /// multiple of the repetition factor.
     pub fn decode(&self, received: &BitString) -> Result<BitString> {
-        if received.len() % self.repetitions != 0 {
+        if !received.len().is_multiple_of(self.repetitions) {
             return Err(MesError::FrameRecovery {
                 reason: format!(
                     "received {} bits, not a multiple of the repetition factor {}",
@@ -113,7 +113,7 @@ impl Hamming74 {
     /// Encodes a payload, zero-padding it to a multiple of 4 bits.
     pub fn encode(payload: &BitString) -> BitString {
         let mut padded = payload.clone();
-        while padded.len() % 4 != 0 {
+        while !padded.len().is_multiple_of(4) {
             padded.push(Bit::Zero);
         }
         let mut out = BitString::with_capacity(padded.len() / 4 * 7);
@@ -138,7 +138,7 @@ impl Hamming74 {
     /// Returns [`MesError::FrameRecovery`] if the received length is not a
     /// multiple of 7.
     pub fn decode(received: &BitString) -> Result<BitString> {
-        if received.len() % 7 != 0 {
+        if !received.len().is_multiple_of(7) {
             return Err(MesError::FrameRecovery {
                 reason: format!("received {} bits, not a multiple of 7", received.len()),
             });
@@ -197,7 +197,9 @@ mod tests {
     #[test]
     fn repetition_rejects_misaligned_input() {
         let code = RepetitionCode::new(3).unwrap();
-        assert!(code.decode(&BitString::from_str01("1010").unwrap()).is_err());
+        assert!(code
+            .decode(&BitString::from_str01("1010").unwrap())
+            .is_err());
     }
 
     #[test]
@@ -210,7 +212,11 @@ mod tests {
             for (i, bit) in encoded.iter().enumerate() {
                 corrupted.push(if i == position { bit.flipped() } else { bit });
             }
-            assert_eq!(Hamming74::decode(&corrupted).unwrap(), payload, "error at {position}");
+            assert_eq!(
+                Hamming74::decode(&corrupted).unwrap(),
+                payload,
+                "error at {position}"
+            );
         }
     }
 

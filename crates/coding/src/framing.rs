@@ -76,9 +76,14 @@ impl FrameCodec {
     /// Returns [`MesError::InvalidConfig`] if the preamble is empty.
     pub fn new(preamble: BitString) -> Result<Self> {
         if preamble.is_empty() {
-            return Err(MesError::InvalidConfig { reason: "frame preamble must not be empty".into() });
+            return Err(MesError::InvalidConfig {
+                reason: "frame preamble must not be empty".into(),
+            });
         }
-        Ok(FrameCodec { preamble, tolerance: 0 })
+        Ok(FrameCodec {
+            preamble,
+            tolerance: 0,
+        })
     }
 
     /// Allows up to `tolerance` preamble bit errors during validation

@@ -29,12 +29,16 @@ pub struct BitSource {
 impl BitSource {
     /// Creates a source from a seed.
     pub fn new(seed: u64) -> Self {
-        BitSource { rng: StdRng::seed_from_u64(seed) }
+        BitSource {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws `count` independent uniform bits.
     pub fn random_bits(&mut self, count: usize) -> BitString {
-        (0..count).map(|_| Bit::from(self.rng.gen::<bool>())).collect()
+        (0..count)
+            .map(|_| Bit::from(self.rng.gen::<bool>()))
+            .collect()
     }
 
     /// Draws `count` bits where `1` appears with probability `p_one`.
@@ -55,8 +59,7 @@ impl BitSource {
 
     /// The proof-of-concept sequence transmitted in Fig. 8 of the paper.
     pub fn figure8_sequence() -> BitString {
-        BitString::from_str01("11010010001100101001")
-            .expect("constant literal is valid")
+        BitString::from_str01("11010010001100101001").expect("constant literal is valid")
     }
 }
 

@@ -63,7 +63,10 @@ impl SymbolAlphabet {
                 reason: "symbol durations must be strictly increasing".into(),
             });
         }
-        Ok(SymbolAlphabet { bits_per_symbol, durations })
+        Ok(SymbolAlphabet {
+            bits_per_symbol,
+            durations,
+        })
     }
 
     /// Creates an alphabet whose durations start at `base` and grow by `step`
@@ -75,7 +78,9 @@ impl SymbolAlphabet {
     /// symbol width.
     pub fn evenly_spaced(bits_per_symbol: u8, base: Micros, step: Micros) -> Result<Self> {
         if step == Micros::ZERO {
-            return Err(MesError::InvalidConfig { reason: "symbol spacing must be positive".into() });
+            return Err(MesError::InvalidConfig {
+                reason: "symbol spacing must be positive".into(),
+            });
         }
         if bits_per_symbol == 0 || bits_per_symbol > 8 {
             return Err(MesError::InvalidConfig {
@@ -131,7 +136,9 @@ impl SymbolAlphabet {
     /// Returns [`MesError::InvalidConfig`] if the payload is empty.
     pub fn encode(&self, payload: &BitString) -> Result<Vec<usize>> {
         if payload.is_empty() {
-            return Err(MesError::InvalidConfig { reason: "cannot encode an empty payload".into() });
+            return Err(MesError::InvalidConfig {
+                reason: "cannot encode an empty payload".into(),
+            });
         }
         let k = self.bits_per_symbol as usize;
         let mut symbols = Vec::with_capacity(payload.len().div_ceil(k));
@@ -219,7 +226,12 @@ mod tests {
         assert_eq!(alphabet.bits_per_symbol(), 2);
         assert_eq!(
             alphabet.durations(),
-            &[Micros::new(15), Micros::new(65), Micros::new(115), Micros::new(165)]
+            &[
+                Micros::new(15),
+                Micros::new(65),
+                Micros::new(115),
+                Micros::new(165)
+            ]
         );
         assert_eq!(alphabet.mean_duration(), Micros::new(90));
     }

@@ -38,7 +38,9 @@ impl ThresholdDecoder {
     pub fn midpoint(expected_zero: Nanos, expected_one: Nanos) -> Self {
         let low = expected_zero.min(expected_one);
         let high = expected_zero.max(expected_one);
-        ThresholdDecoder { threshold: low + (high - low) / 2 }
+        ThresholdDecoder {
+            threshold: low + (high - low) / 2,
+        }
     }
 
     /// The decision threshold.
@@ -144,7 +146,9 @@ impl TwoMeansClassifier {
         let min = latencies.iter().copied().min();
         let max = latencies.iter().copied().max();
         let (Some(mut low), Some(mut high)) = (min, max) else {
-            return Err(MesError::FrameRecovery { reason: "no latencies to cluster".into() });
+            return Err(MesError::FrameRecovery {
+                reason: "no latencies to cluster".into(),
+            });
         };
         if low == high {
             return Err(MesError::FrameRecovery {
@@ -179,7 +183,11 @@ impl TwoMeansClassifier {
             low = new_low;
             high = new_high;
         }
-        Ok(TwoMeansClassifier { low_mean: low, high_mean: high, iterations })
+        Ok(TwoMeansClassifier {
+            low_mean: low,
+            high_mean: high,
+            iterations,
+        })
     }
 
     /// The decoder induced by the fitted clusters.
@@ -247,7 +255,13 @@ mod tests {
     #[test]
     fn two_means_separates_clusters() {
         let latencies: Vec<Nanos> = (0..50)
-            .map(|i| if i % 2 == 0 { us(30 + i % 5) } else { us(100 + i % 7) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    us(30 + i % 5)
+                } else {
+                    us(100 + i % 7)
+                }
+            })
             .collect();
         let classifier = TwoMeansClassifier::fit(&latencies).unwrap();
         assert!(classifier.low_mean < us(40));

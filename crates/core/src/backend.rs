@@ -33,6 +33,21 @@ impl Observation {
     }
 }
 
+/// Derives the seed for one transmission round from a base seed and the
+/// round's index (SplitMix64 finaliser over the mixed pair).
+///
+/// Every batched/parallel execution path seeds round `i` with
+/// `round_seed(base, i)`, so a round's result depends only on
+/// `(profile, base_seed, round_index, plan)` — never on which worker thread
+/// ran it or how many rounds ran before it. That is what makes parallel
+/// execution bit-identical to sequential execution.
+pub fn round_seed(base_seed: u64, round_index: u64) -> u64 {
+    let mut z = base_seed ^ round_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Executes transmission plans against some incarnation of the OS MESMs.
 pub trait ChannelBackend {
     /// Runs one transmission round and returns the Spy's observations.
@@ -43,27 +58,85 @@ pub trait ChannelBackend {
     /// (mechanism not available, simulated deadlock, host syscall failure).
     fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation>;
 
+    /// Runs one round addressed by its index in a batch.
+    ///
+    /// Backends with internal randomness should derive the round's state
+    /// from [`round_seed`]`(base, round_index)` so that a round's result is
+    /// independent of execution order — the contract
+    /// [`crate::exec::RoundExecutor`] relies on to parallelise batches
+    /// deterministically. The default implementation ignores the index and
+    /// simply calls [`ChannelBackend::transmit`] (correct for backends whose
+    /// rounds are naturally independent, e.g. real-kernel backends).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChannelBackend::transmit`].
+    fn transmit_round(&mut self, plan: &TransmissionPlan, round_index: u64) -> Result<Observation> {
+        let _ = round_index;
+        self.transmit(plan)
+    }
+
+    /// Runs a batch of rounds and returns one observation per plan, in plan
+    /// order.
+    ///
+    /// The default implementation loops over [`ChannelBackend::transmit`].
+    /// Backends are encouraged to override it with round-indexed seeding
+    /// (see [`ChannelBackend::transmit_round`]) and to reuse expensive
+    /// per-round state across the batch, as [`SimBackend`] does with its
+    /// simulation engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered, in plan order.
+    fn transmit_batch(&mut self, plans: &[TransmissionPlan]) -> Result<Vec<Observation>> {
+        plans.iter().map(|plan| self.transmit(plan)).collect()
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
 }
 
 /// The simulated-kernel backend.
 ///
-/// Every call to [`ChannelBackend::transmit`] builds a fresh simulated system
-/// (namespace, filesystem, processes) from the plan, so rounds are
-/// independent and fully reproducible from `(profile, seed, plan)`.
-#[derive(Debug, Clone)]
+/// Every round runs on a simulated system (namespace, filesystem, processes)
+/// built from the plan alone, so rounds are independent and fully
+/// reproducible from `(profile, seed, plan)`. The engine behind the rounds
+/// is allocated once and [`Engine::reset`] between rounds, so hot sweeps do
+/// not pay full reconstruction cost per round; a reset engine is observably
+/// identical to a fresh one, keeping reproducibility intact.
+#[derive(Debug)]
 pub struct SimBackend {
     profile: ScenarioProfile,
     seed: u64,
     runs: u64,
     trace_capacity: Option<usize>,
+    /// Reused across rounds; `None` until the first round (and in clones, so
+    /// cloning a backend is cheap and never shares simulation state).
+    engine: Option<Engine>,
+}
+
+impl Clone for SimBackend {
+    fn clone(&self) -> Self {
+        SimBackend {
+            profile: self.profile.clone(),
+            seed: self.seed,
+            runs: self.runs,
+            trace_capacity: self.trace_capacity,
+            engine: None,
+        }
+    }
 }
 
 impl SimBackend {
     /// Creates a backend for a deployment profile with a base seed.
     pub fn new(profile: ScenarioProfile, seed: u64) -> Self {
-        SimBackend { profile, seed, runs: 0, trace_capacity: None }
+        SimBackend {
+            profile,
+            seed,
+            runs: 0,
+            trace_capacity: None,
+            engine: None,
+        }
     }
 
     /// Enables engine tracing for subsequent rounds (used by the
@@ -101,8 +174,14 @@ impl SimBackend {
         // --- setup ----------------------------------------------------------
         match plan.mechanism {
             Mechanism::Flock | Mechanism::FileLockEx => {
-                spy.push(Op::OpenFile { path: file_path.clone(), fd: fd_spy });
-                trojan.push(Op::OpenFile { path: file_path, fd: fd_trojan });
+                spy.push(Op::OpenFile {
+                    path: file_path.clone(),
+                    fd: fd_spy,
+                });
+                trojan.push(Op::OpenFile {
+                    path: file_path,
+                    fd: fd_trojan,
+                });
             }
             Mechanism::Mutex => {
                 spy.push(Op::CreateObject {
@@ -110,8 +189,13 @@ impl SimBackend {
                     kind: ObjectKind::Mutex,
                     handle: h,
                 });
-                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
-                trojan.push(Op::OpenObject { name: object_name, handle: h });
+                trojan.push(Op::Compute {
+                    duration: Micros::new(10).to_nanos(),
+                });
+                trojan.push(Op::OpenObject {
+                    name: object_name,
+                    handle: h,
+                });
             }
             Mechanism::Semaphore => {
                 // Deferred-release scheme (see `protocol::semaphore`): the
@@ -123,8 +207,13 @@ impl SimBackend {
                     kind: ObjectKind::semaphore(0, plan.provisioned_resources + slots + 1),
                     handle: h,
                 });
-                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
-                trojan.push(Op::OpenObject { name: object_name, handle: h });
+                trojan.push(Op::Compute {
+                    duration: Micros::new(10).to_nanos(),
+                });
+                trojan.push(Op::OpenObject {
+                    name: object_name,
+                    handle: h,
+                });
             }
             Mechanism::Event => {
                 spy.push(Op::CreateObject {
@@ -132,8 +221,13 @@ impl SimBackend {
                     kind: ObjectKind::event_auto_reset(),
                     handle: h,
                 });
-                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
-                trojan.push(Op::OpenObject { name: object_name, handle: h });
+                trojan.push(Op::Compute {
+                    duration: Micros::new(10).to_nanos(),
+                });
+                trojan.push(Op::OpenObject {
+                    name: object_name,
+                    handle: h,
+                });
             }
             Mechanism::Timer => {
                 spy.push(Op::CreateObject {
@@ -141,8 +235,13 @@ impl SimBackend {
                     kind: ObjectKind::Timer,
                     handle: h,
                 });
-                trojan.push(Op::Compute { duration: Micros::new(10).to_nanos() });
-                trojan.push(Op::OpenObject { name: object_name, handle: h });
+                trojan.push(Op::Compute {
+                    duration: Micros::new(10).to_nanos(),
+                });
+                trojan.push(Op::OpenObject {
+                    name: object_name,
+                    handle: h,
+                });
             }
         }
 
@@ -162,47 +261,71 @@ impl SimBackend {
             match (plan.mechanism, action) {
                 (Mechanism::Flock | Mechanism::FileLockEx, SlotAction::Occupy(hold)) => {
                     trojan.push(Op::FlockExclusive { fd: fd_trojan });
-                    trojan.push(Op::SleepFor { duration: hold.to_nanos() });
+                    trojan.push(Op::SleepFor {
+                        duration: hold.to_nanos(),
+                    });
                     trojan.push(Op::FlockUnlock { fd: fd_trojan });
                 }
                 (Mechanism::Mutex, SlotAction::Occupy(hold)) => {
                     trojan.push(Op::WaitForSingleObject { handle: h });
-                    trojan.push(Op::SleepFor { duration: hold.to_nanos() });
+                    trojan.push(Op::SleepFor {
+                        duration: hold.to_nanos(),
+                    });
                     trojan.push(Op::ReleaseMutex { handle: h });
                 }
                 (Mechanism::Semaphore, SlotAction::SignalAfter(delay)) => {
-                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
-                    trojan.push(Op::ReleaseSemaphore { handle: h, count: 1 });
+                    trojan.push(Op::SleepFor {
+                        duration: delay.to_nanos(),
+                    });
+                    trojan.push(Op::ReleaseSemaphore {
+                        handle: h,
+                        count: 1,
+                    });
                 }
                 (Mechanism::Event, SlotAction::SignalAfter(delay)) => {
-                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
+                    trojan.push(Op::SleepFor {
+                        duration: delay.to_nanos(),
+                    });
                     trojan.push(Op::SetEvent { handle: h });
                 }
                 (Mechanism::Timer, SlotAction::SignalAfter(delay)) => {
-                    trojan.push(Op::SleepFor { duration: delay.to_nanos() });
-                    trojan.push(Op::SetTimer { handle: h, due: Micros::new(1).to_nanos() });
+                    trojan.push(Op::SleepFor {
+                        duration: delay.to_nanos(),
+                    });
+                    trojan.push(Op::SetTimer {
+                        handle: h,
+                        due: Micros::new(1).to_nanos(),
+                    });
                 }
                 // Idle slots (and defensively, occupy on signalling channels):
                 // the Trojan just sleeps away from the resource.
                 (_, action) => {
-                    trojan.push(Op::SleepFor { duration: action.duration().to_nanos() });
+                    trojan.push(Op::SleepFor {
+                        duration: action.duration().to_nanos(),
+                    });
                 }
             }
             if slot_work > Nanos::ZERO {
-                trojan.push(Op::Compute { duration: slot_work });
+                trojan.push(Op::Compute {
+                    duration: slot_work,
+                });
             }
 
             // Spy side.
             match plan.mechanism {
                 Mechanism::Flock | Mechanism::FileLockEx => {
-                    spy.push(Op::Compute { duration: plan.spy_offset.to_nanos() });
+                    spy.push(Op::Compute {
+                        duration: plan.spy_offset.to_nanos(),
+                    });
                     spy.push(Op::TimestampStart { slot });
                     spy.push(Op::FlockExclusive { fd: fd_spy });
                     spy.push(Op::FlockUnlock { fd: fd_spy });
                     spy.push(Op::TimestampEnd { slot });
                 }
                 Mechanism::Mutex => {
-                    spy.push(Op::Compute { duration: plan.spy_offset.to_nanos() });
+                    spy.push(Op::Compute {
+                        duration: plan.spy_offset.to_nanos(),
+                    });
                     spy.push(Op::TimestampStart { slot });
                     spy.push(Op::WaitForSingleObject { handle: h });
                     spy.push(Op::ReleaseMutex { handle: h });
@@ -233,26 +356,65 @@ impl SimBackend {
     }
 }
 
-impl ChannelBackend for SimBackend {
-    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
+impl SimBackend {
+    /// Runs one round on the reused engine with a fully determined seed.
+    fn run_with_seed(&mut self, plan: &TransmissionPlan, seed: u64) -> Result<Observation> {
         let (trojan, spy) = self.build_programs(plan);
         let noise = self.profile.noise_for(plan.mechanism);
-        let seed = self
-            .seed
-            .wrapping_add(plan.seed)
-            .wrapping_add(self.runs.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        self.runs += 1;
-        let mut engine = Engine::new(noise, seed);
+        let mut engine = match self.engine.take() {
+            Some(mut engine) => {
+                engine.reset(noise, seed);
+                engine
+            }
+            None => Engine::new(noise, seed),
+        };
         if let Some(capacity) = self.trace_capacity {
             engine.enable_trace(capacity);
         }
         let spy_pid = engine.spawn(spy);
         let _trojan_pid = engine.spawn(trojan);
-        let outcome = engine.run()?;
+        let outcome = engine.run();
+        self.engine = Some(engine);
+        let outcome = outcome?;
         Ok(Observation {
             latencies: outcome.durations(spy_pid),
             elapsed: outcome.end_time(),
         })
+    }
+}
+
+impl ChannelBackend for SimBackend {
+    fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
+        let seed = self
+            .seed
+            .wrapping_add(plan.seed)
+            .wrapping_add(self.runs.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.runs += 1;
+        self.run_with_seed(plan, seed)
+    }
+
+    fn transmit_round(&mut self, plan: &TransmissionPlan, round_index: u64) -> Result<Observation> {
+        self.runs += 1;
+        self.run_with_seed(
+            plan,
+            round_seed(self.seed, round_index).wrapping_add(plan.seed),
+        )
+    }
+
+    fn transmit_batch(&mut self, plans: &[TransmissionPlan]) -> Result<Vec<Observation>> {
+        // Round-indexed seeding: round `i` of a fresh backend's first batch
+        // is bit-identical to
+        // `SimBackend::new(profile, round_seed(seed, i)).transmit(&plans[i])`
+        // and to what any parallel executor worker computes for the same
+        // index. Consecutive batches on one backend continue from the rounds
+        // already run, so repeating a batch samples fresh noise instead of
+        // silently replaying the previous batch's seeds.
+        let base = self.runs;
+        plans
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| self.transmit_round(plan, base + index as u64))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -312,6 +474,28 @@ mod tests {
     }
 
     #[test]
+    fn consecutive_batches_advance_the_round_base() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let wire = BitString::from_str01("10100110").unwrap();
+        let plan = protocol::encode(&wire, &config, &profile).unwrap();
+        let plans = vec![plan; 3];
+
+        let mut backend = SimBackend::new(profile.clone(), 5);
+        let first = backend.transmit_batch(&plans).unwrap();
+        let second = backend.transmit_batch(&plans).unwrap();
+        assert_ne!(first, second, "repeating a batch must sample fresh noise");
+        assert_eq!(backend.runs(), 6);
+
+        // The first batch on a fresh backend stays equal to round-seeded
+        // fresh backends (the determinism contract).
+        for (index, observation) in first.iter().enumerate() {
+            let mut fresh = SimBackend::new(profile.clone(), round_seed(5, index as u64));
+            assert_eq!(&fresh.transmit(&plans[index]).unwrap(), observation);
+        }
+    }
+
+    #[test]
     fn consecutive_rounds_differ_but_stay_decodable() {
         let profile = ScenarioProfile::local();
         let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap();
@@ -320,14 +504,18 @@ mod tests {
         let mut backend = SimBackend::new(profile, 3);
         let first = backend.transmit(&plan).unwrap();
         let second = backend.transmit(&plan).unwrap();
-        assert_ne!(first.latencies, second.latencies, "noise must differ across rounds");
+        assert_ne!(
+            first.latencies, second.latencies,
+            "noise must differ across rounds"
+        );
         assert_eq!(backend.runs(), 2);
     }
 
     #[test]
     fn cross_vm_file_lock_still_works_in_the_sim() {
         let profile = ScenarioProfile::cross_vm();
-        let config = ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
+        let config =
+            ChannelConfig::paper_defaults(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
         let wire = BitString::from_str01("101").unwrap();
         let plan = protocol::encode(&wire, &config, &profile).unwrap();
         let mut backend = SimBackend::new(profile, 1);
@@ -345,7 +533,7 @@ mod tests {
         let backend = SimBackend::new(profile, 1).with_trace(16);
         let (trojan, spy) = backend.build_programs(&plan);
         assert!(trojan.len() >= 2 + 2 * wire.len());
-        assert!(spy.len() >= 1 + 3 * wire.len());
+        assert!(spy.len() > 3 * wire.len());
         assert_eq!(backend.profile().scenario(), Scenario::Local);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::backend::{ChannelBackend, Observation};
 use crate::config::ChannelConfig;
+use crate::plan::TransmissionPlan;
 use crate::protocol;
 use mes_coding::{AdaptiveThreshold, FrameCodec, ThresholdDecoder};
 use mes_scenario::ScenarioProfile;
@@ -107,7 +108,11 @@ impl CovertChannel {
         config.validate()?;
         let codec =
             FrameCodec::new(config.preamble.clone())?.with_tolerance(config.preamble_tolerance);
-        Ok(CovertChannel { config, profile, codec })
+        Ok(CovertChannel {
+            config,
+            profile,
+            codec,
+        })
     }
 
     /// The channel configuration.
@@ -134,10 +139,78 @@ impl CovertChannel {
         payload: &BitString,
         backend: &mut dyn ChannelBackend,
     ) -> Result<TransmissionReport> {
-        let wire = self.codec.encode(payload);
-        let plan = protocol::encode(&wire, &self.config, &self.profile)?;
+        let (wire, plan) = self.plan_for(payload)?;
         let observation = backend.transmit(&plan)?;
         Ok(self.recover(payload, &wire, &observation))
+    }
+
+    /// Compiles a payload into its on-the-wire bits and transmission plan
+    /// without executing it — the unit of work batched execution operates on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plan cannot be built for this configuration.
+    pub fn plan_for(&self, payload: &BitString) -> Result<(BitString, TransmissionPlan)> {
+        let wire = self.codec.encode(payload);
+        let plan = protocol::encode(&wire, &self.config, &self.profile)?;
+        Ok((wire, plan))
+    }
+
+    /// Compiles a batch of payloads into their wires and plans.
+    pub(crate) fn compile_batch(
+        &self,
+        payloads: &[BitString],
+    ) -> Result<(Vec<BitString>, Vec<TransmissionPlan>)> {
+        let mut wires = Vec::with_capacity(payloads.len());
+        let mut plans = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let (wire, plan) = self.plan_for(payload)?;
+            wires.push(wire);
+            plans.push(plan);
+        }
+        Ok((wires, plans))
+    }
+
+    /// Recovers one report per round from a batch's observations.
+    pub(crate) fn recover_batch(
+        &self,
+        payloads: &[BitString],
+        wires: &[BitString],
+        observations: &[Observation],
+    ) -> Vec<TransmissionReport> {
+        payloads
+            .iter()
+            .zip(wires.iter())
+            .zip(observations.iter())
+            .map(|((payload, wire), observation)| self.recover(payload, wire, observation))
+            .collect()
+    }
+
+    /// Transmits one round per payload as a single batch and recovers every
+    /// round, in payload order.
+    ///
+    /// All plans are compiled up front and handed to
+    /// [`ChannelBackend::transmit_batch`], so backends can reuse per-round
+    /// state (the simulated backend keeps one engine alive across the whole
+    /// batch) and batches can be replayed deterministically. For
+    /// multi-threaded execution see
+    /// [`RoundExecutor::transmit_payloads`](crate::exec::RoundExecutor::transmit_payloads);
+    /// its reports are bit-identical to this method's when this backend is a
+    /// [`crate::SimBackend`] constructed with the executor's `base_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any plan cannot be built or the backend fails;
+    /// invalid frames are reported per-round, not as errors (see
+    /// [`CovertChannel::transmit`]).
+    pub fn transmit_many(
+        &self,
+        payloads: &[BitString],
+        backend: &mut dyn ChannelBackend,
+    ) -> Result<Vec<TransmissionReport>> {
+        let (wires, plans) = self.compile_batch(payloads)?;
+        let observations = backend.transmit_batch(&plans)?;
+        Ok(self.recover_batch(payloads, &wires, &observations))
     }
 
     /// Decodes a raw observation against the wire bits that were sent.
@@ -255,6 +328,32 @@ mod tests {
         let report = channel.transmit(&secret, &mut backend).unwrap();
         assert_eq!(report.received_payload().to_bytes(), b"MESA");
         assert_eq!(report.sent_wire().len(), 8 + 32);
+    }
+
+    #[test]
+    fn transmit_many_matches_round_indexed_single_rounds() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let channel = CovertChannel::new(config, profile.clone()).unwrap();
+        let payloads: Vec<BitString> = (0..4)
+            .map(|i| BitSource::new(50 + i).random_bits(48))
+            .collect();
+
+        let mut backend = SimBackend::new(profile.clone(), 21);
+        let batch = channel.transmit_many(&payloads, &mut backend).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(backend.runs(), 4);
+
+        // Each batched round equals the same round on a fresh backend seeded
+        // for that index.
+        for (index, (payload, report)) in payloads.iter().zip(&batch).enumerate() {
+            let mut fresh = SimBackend::new(
+                profile.clone(),
+                crate::backend::round_seed(21, index as u64),
+            );
+            let single = channel.transmit(payload, &mut fresh).unwrap();
+            assert_eq!(&single, report, "round {index}");
+        }
     }
 
     #[test]

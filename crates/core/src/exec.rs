@@ -1,0 +1,338 @@
+//! Batched, deterministic, multi-threaded round execution.
+//!
+//! Every headline result of the paper (Figs. 8–11, Tables II–VI) is an
+//! aggregate over hundreds of independent Trojan/Spy rounds, and the Section
+//! V.C.1 projection assumes thousands of concurrent channels. The
+//! [`RoundExecutor`] turns a batch of [`TransmissionPlan`]s into one
+//! [`Observation`] per plan by fanning the rounds out over scoped worker
+//! threads, while keeping the result *bit-identical* to sequential
+//! execution: round `i` is seeded by
+//! [`round_seed`]`(base, i)` (see [`ChannelBackend::transmit_round`]), so
+//! its outcome depends only on the plan and the index — never on scheduling.
+//!
+//! # Examples
+//!
+//! Run 8 rounds of the local Event channel across worker threads and check
+//! they match the sequential batch:
+//!
+//! ```
+//! use mes_core::exec::RoundExecutor;
+//! use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend};
+//! use mes_scenario::ScenarioProfile;
+//! use mes_types::{BitString, Mechanism, Scenario};
+//!
+//! let profile = ScenarioProfile::local();
+//! let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)?;
+//! let channel = CovertChannel::new(config, profile.clone())?;
+//! let payload = BitString::from_bytes(b"K");
+//! let (_, plan) = channel.plan_for(&payload)?;
+//! let plans = vec![plan; 8];
+//!
+//! let parallel = RoundExecutor::new(4)
+//!     .execute(&plans, || SimBackend::new(profile.clone(), 7))?;
+//! let sequential = SimBackend::new(profile.clone(), 7).transmit_batch(&plans)?;
+//! assert_eq!(parallel, sequential);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+use crate::backend::{ChannelBackend, Observation, SimBackend};
+use crate::channel::{CovertChannel, TransmissionReport};
+use crate::plan::TransmissionPlan;
+use mes_types::{BitString, MesError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use crate::backend::round_seed;
+
+/// Fans batches of transmission rounds out over worker threads.
+///
+/// Workers pull round indices from a shared cursor, so load balances even
+/// when plans have very different durations; each worker owns one backend
+/// created by the caller's factory and reuses it (and its simulation engine)
+/// for every round it executes. Results are returned in plan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundExecutor {
+    workers: usize,
+}
+
+impl RoundExecutor {
+    /// Creates an executor with a fixed worker count (at least 1).
+    pub fn new(workers: usize) -> Self {
+        RoundExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An executor that runs rounds one after another on the calling thread.
+    pub fn sequential() -> Self {
+        RoundExecutor::new(1)
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn available_parallelism() -> Self {
+        RoundExecutor::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The number of worker threads the executor uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes one round per plan and returns the observations in plan
+    /// order.
+    ///
+    /// `make_backend` is called once per worker (once total for a sequential
+    /// executor); every worker must observe the same factory output, i.e.
+    /// backends that differ only in unobservable state. Rounds are executed
+    /// via [`ChannelBackend::transmit_round`] with their plan index, which is
+    /// what makes the result independent of the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in plan order. Workers stop claiming new
+    /// rounds as soon as any round fails, so a failing batch aborts promptly
+    /// instead of simulating the rest of the grid; rounds already claimed
+    /// may still complete.
+    pub fn execute<B, F>(
+        &self,
+        plans: &[TransmissionPlan],
+        make_backend: F,
+    ) -> Result<Vec<Observation>>
+    where
+        B: ChannelBackend,
+        F: Fn() -> B + Sync,
+    {
+        let workers = self.workers.min(plans.len().max(1));
+        if workers <= 1 {
+            let mut backend = make_backend();
+            return plans
+                .iter()
+                .enumerate()
+                .map(|(index, plan)| backend.transmit_round(plan, index as u64))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let slots: Mutex<Vec<Option<Result<Observation>>>> =
+            Mutex::new((0..plans.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut backend = make_backend();
+                    while !failed.load(Ordering::Relaxed) {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(plan) = plans.get(index) else { break };
+                        let outcome = backend.transmit_round(plan, index as u64);
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        slots.lock().expect("result mutex poisoned")[index] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        // Indices are claimed in order and every claimed round completes, so
+        // unfilled slots only appear after an earlier round's failure; the
+        // first error in plan order is therefore always a real one.
+        slots
+            .into_inner()
+            .expect("result mutex poisoned")
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(MesError::Simulation {
+                        reason: format!("round {index} skipped after an earlier round failed"),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Transmits one payload per round through `channel` on simulated
+    /// backends seeded from `base_seed`, recovering each round's report.
+    ///
+    /// This is the parallel counterpart of
+    /// [`CovertChannel::transmit_many`]: plans are compiled up front, the
+    /// rounds fan out across the executor's workers (each with its own
+    /// [`SimBackend`] reusing one engine), and the reports come back in
+    /// payload order — bit-identical for any worker count, and to
+    /// `transmit_many` on a `SimBackend::new(profile, base_seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any plan cannot be built or any round fails.
+    pub fn transmit_payloads(
+        &self,
+        channel: &CovertChannel,
+        payloads: &[BitString],
+        base_seed: u64,
+    ) -> Result<Vec<TransmissionReport>> {
+        let (wires, plans) = channel.compile_batch(payloads)?;
+        let profile = channel.profile().clone();
+        let observations = self.execute(&plans, || SimBackend::new(profile.clone(), base_seed))?;
+        Ok(channel.recover_batch(payloads, &wires, &observations))
+    }
+}
+
+impl Default for RoundExecutor {
+    fn default() -> Self {
+        RoundExecutor::available_parallelism()
+    }
+}
+
+/// One compiled round awaiting execution: the channel that will decode it
+/// plus the payload and wire bits it carries.
+///
+/// Harnesses that batch rounds across *different* channels (one per table
+/// row, sweep point or ablation variant) keep a `Vec<PreparedRound>` next to
+/// the `Vec<TransmissionPlan>` returned by [`PreparedRound::new`], hand the
+/// plans to [`ChannelBackend::transmit_batch`] or
+/// [`RoundExecutor::execute`], and decode each observation with
+/// [`PreparedRound::recover`]. For many rounds on a *single* channel use
+/// [`CovertChannel::transmit_many`] or
+/// [`RoundExecutor::transmit_payloads`] instead.
+#[derive(Debug, Clone)]
+pub struct PreparedRound {
+    channel: CovertChannel,
+    payload: BitString,
+    wire: BitString,
+}
+
+impl PreparedRound {
+    /// Compiles `payload` for `channel`, returning the round and its plan.
+    /// The plan is returned separately so callers can collect plans into a
+    /// contiguous batch without cloning them again at execution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plan cannot be built for the channel's
+    /// configuration.
+    pub fn new(channel: CovertChannel, payload: BitString) -> Result<(Self, TransmissionPlan)> {
+        let (wire, plan) = channel.plan_for(&payload)?;
+        Ok((
+            PreparedRound {
+                channel,
+                payload,
+                wire,
+            },
+            plan,
+        ))
+    }
+
+    /// The channel this round belongs to.
+    pub fn channel(&self) -> &CovertChannel {
+        &self.channel
+    }
+
+    /// The payload the round carries.
+    pub fn payload(&self) -> &BitString {
+        &self.payload
+    }
+
+    /// Decodes the round's observation into a full report.
+    pub fn recover(&self, observation: &Observation) -> TransmissionReport {
+        self.channel.recover(&self.payload, &self.wire, observation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChannelConfig;
+    use mes_coding::BitSource;
+    use mes_scenario::ScenarioProfile;
+    use mes_types::{Mechanism, Scenario};
+
+    fn plans_for(
+        mechanism: Mechanism,
+        rounds: usize,
+        bits: usize,
+    ) -> (CovertChannel, Vec<TransmissionPlan>) {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+        let channel = CovertChannel::new(config, profile).unwrap();
+        let plans = (0..rounds)
+            .map(|i| {
+                let payload = BitSource::new(i as u64).random_bits(bits);
+                channel.plan_for(&payload).unwrap().1
+            })
+            .collect();
+        (channel, plans)
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_bit_for_bit() {
+        let (_, plans) = plans_for(Mechanism::Event, 12, 32);
+        let profile = ScenarioProfile::local();
+        let sequential = RoundExecutor::sequential()
+            .execute(&plans, || SimBackend::new(profile.clone(), 99))
+            .unwrap();
+        let parallel = RoundExecutor::new(4)
+            .execute(&plans, || SimBackend::new(profile.clone(), 99))
+            .unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 12);
+    }
+
+    #[test]
+    fn executor_matches_backend_batch() {
+        let (_, plans) = plans_for(Mechanism::Flock, 6, 16);
+        let profile = ScenarioProfile::local();
+        let batched = SimBackend::new(profile.clone(), 5)
+            .transmit_batch(&plans)
+            .unwrap();
+        let executed = RoundExecutor::new(3)
+            .execute(&plans, || SimBackend::new(profile.clone(), 5))
+            .unwrap();
+        assert_eq!(batched, executed);
+    }
+
+    #[test]
+    fn transmit_payloads_recovers_reports_in_order() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let channel = CovertChannel::new(config, profile).unwrap();
+        let payloads: Vec<_> = (0..5)
+            .map(|i| BitSource::new(100 + i).random_bits(64))
+            .collect();
+        let reports = RoundExecutor::new(2)
+            .transmit_payloads(&channel, &payloads, 11)
+            .unwrap();
+        assert_eq!(reports.len(), 5);
+        for (payload, report) in payloads.iter().zip(&reports) {
+            assert_eq!(report.sent_payload(), payload);
+            assert!(report.frame_valid());
+            assert!(report.wire_ber().ber_percent() < 5.0);
+        }
+        let again = RoundExecutor::sequential()
+            .transmit_payloads(&channel, &payloads, 11)
+            .unwrap();
+        assert_eq!(reports, again);
+    }
+
+    #[test]
+    fn executor_surfaces_round_errors() {
+        // An Event plan compiled for the local profile deadlocks when run
+        // against the cross-VM profile, whose sessions cannot see each
+        // other's kernel-object namespace.
+        let (_, plans) = plans_for(Mechanism::Event, 3, 8);
+        let vm = ScenarioProfile::cross_vm();
+        let result = RoundExecutor::new(2).execute(&plans, || SimBackend::new(vm.clone(), 1));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn constructors_clamp_workers() {
+        assert_eq!(RoundExecutor::new(0).workers(), 1);
+        assert_eq!(RoundExecutor::sequential().workers(), 1);
+        assert!(RoundExecutor::available_parallelism().workers() >= 1);
+        assert!(RoundExecutor::default().workers() >= 1);
+    }
+}

@@ -17,6 +17,8 @@
 //!   kernel (a real-Linux backend lives in `mes-host`);
 //! * [`channel`] — the [`CovertChannel`] orchestrator: framing, transmission,
 //!   adaptive threshold recovery, BER/TR accounting;
+//! * [`exec`] — the [`RoundExecutor`]: batched, deterministic, multi-threaded
+//!   execution of independent transmission rounds;
 //! * [`multibit`] — multi-bit symbol transmission (Section VI);
 //! * [`sweep`] — the timing-parameter sweeps behind Fig. 9 and Fig. 10;
 //! * [`parallel`] — the multi-channel rate projections of Section V.C.1.
@@ -48,14 +50,16 @@
 pub mod backend;
 pub mod channel;
 pub mod config;
+pub mod exec;
 pub mod multibit;
 pub mod parallel;
 pub mod plan;
 pub mod protocol;
 pub mod sweep;
 
-pub use backend::{ChannelBackend, Observation, SimBackend};
+pub use backend::{round_seed, ChannelBackend, Observation, SimBackend};
 pub use channel::{CovertChannel, TransmissionReport};
 pub use config::ChannelConfig;
+pub use exec::{PreparedRound, RoundExecutor};
 pub use multibit::{SymbolChannel, SymbolTransmissionReport};
 pub use plan::{SlotAction, TransmissionPlan};

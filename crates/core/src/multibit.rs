@@ -61,10 +61,9 @@ impl SymbolTransmissionReport {
 
     /// Bit error rate over the transmitted bits.
     pub fn ber(&self) -> BerReport {
-        let received = self.received_bits.slice(
-            0,
-            self.sent_bits.len().min(self.received_bits.len()),
-        );
+        let received = self
+            .received_bits
+            .slice(0, self.sent_bits.len().min(self.received_bits.len()));
         BerReport::compare(&self.sent_bits, &received)
     }
 
@@ -127,7 +126,13 @@ impl SymbolChannel {
                 ),
             });
         }
-        Ok(SymbolChannel { alphabet, mechanism, profile, seed, calibration_sweeps: 1 })
+        Ok(SymbolChannel {
+            alphabet,
+            mechanism,
+            profile,
+            seed,
+            calibration_sweeps: 1,
+        })
     }
 
     /// The paper's Section VI setup: 2-bit symbols on the local Event channel.
@@ -136,7 +141,12 @@ impl SymbolChannel {
     ///
     /// Propagates [`SymbolChannel::new`] errors (none for this combination).
     pub fn paper_section_six(profile: ScenarioProfile, seed: u64) -> Result<Self> {
-        SymbolChannel::new(SymbolAlphabet::paper_two_bit(), Mechanism::Event, profile, seed)
+        SymbolChannel::new(
+            SymbolAlphabet::paper_two_bit(),
+            Mechanism::Event,
+            profile,
+            seed,
+        )
     }
 
     /// The alphabet in use.
@@ -192,6 +202,51 @@ impl SymbolChannel {
     ) -> Result<SymbolTransmissionReport> {
         let (sent_symbols, plan) = self.plan(payload)?;
         let observation = backend.transmit(&plan)?;
+        self.recover(payload, &sent_symbols, &observation)
+    }
+
+    /// Transmits one round per payload as a single batch (see
+    /// [`ChannelBackend::transmit_batch`]) and decodes every round, in
+    /// payload order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any plan cannot be built, the backend fails, or a
+    /// round observed fewer latencies than it has symbols.
+    pub fn transmit_many(
+        &self,
+        payloads: &[BitString],
+        backend: &mut dyn ChannelBackend,
+    ) -> Result<Vec<SymbolTransmissionReport>> {
+        let mut sent = Vec::with_capacity(payloads.len());
+        let mut plans = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let (symbols, plan) = self.plan(payload)?;
+            sent.push(symbols);
+            plans.push(plan);
+        }
+        let observations = backend.transmit_batch(&plans)?;
+        payloads
+            .iter()
+            .zip(sent.iter())
+            .zip(observations.iter())
+            .map(|((payload, symbols), observation)| self.recover(payload, symbols, observation))
+            .collect()
+    }
+
+    /// Decodes one round's observation against the symbols that were sent.
+    /// Exposed separately so batched executions can reuse observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mes_types::MesError::FrameRecovery`] if the observation has
+    /// fewer latencies than calibration + payload symbols.
+    pub fn recover(
+        &self,
+        payload: &BitString,
+        sent_symbols: &[usize],
+        observation: &crate::backend::Observation,
+    ) -> Result<SymbolTransmissionReport> {
         let calibration_count = self.calibration_sweeps * self.alphabet.symbol_count();
         if observation.latencies.len() < calibration_count + sent_symbols.len() {
             return Err(mes_types::MesError::FrameRecovery {
@@ -218,14 +273,16 @@ impl SymbolChannel {
         let decoder = SymbolDecoder::new(self.alphabet.clone(), Nanos::new(offset));
 
         let payload_latencies = &observation.latencies[calibration_count..];
-        let received_symbols: Vec<usize> =
-            payload_latencies.iter().map(|&l| decoder.decode(l)).collect();
+        let received_symbols: Vec<usize> = payload_latencies
+            .iter()
+            .map(|&l| decoder.decode(l))
+            .collect();
         let received_bits = self.alphabet.decode_symbols(&received_symbols);
 
         Ok(SymbolTransmissionReport {
             sent_bits: payload.clone(),
             received_bits,
-            sent_symbols,
+            sent_symbols: sent_symbols.to_vec(),
             received_symbols,
             latencies: payload_latencies.to_vec(),
             elapsed: observation.elapsed,
@@ -250,7 +307,11 @@ mod tests {
         let report = channel.transmit(&payload, &mut backend).unwrap();
         // Symbol decisions have two boundaries instead of one, so the error
         // rate sits a few times above the binary channel's ~0.5%.
-        assert!(report.ber().ber_percent() < 6.0, "BER {}", report.ber().ber_percent());
+        assert!(
+            report.ber().ber_percent() < 6.0,
+            "BER {}",
+            report.ber().ber_percent()
+        );
         assert!(report.symbol_error_rate() < 0.08);
         assert_eq!(report.bits_per_symbol(), 2);
         assert_eq!(report.sent_symbols().len(), 100);

@@ -110,7 +110,10 @@ impl TransmissionPlan {
     /// Sum of the nominal slot durations — a lower bound on the transmission
     /// time.
     pub fn nominal_duration(&self) -> Micros {
-        self.actions.iter().map(SlotAction::duration).sum::<Micros>()
+        self.actions
+            .iter()
+            .map(SlotAction::duration)
+            .sum::<Micros>()
             + self.trojan_slot_work * self.actions.len() as u64
     }
 }
@@ -126,8 +129,14 @@ mod tests {
 
     #[test]
     fn slot_action_accessors() {
-        assert_eq!(SlotAction::Occupy(Micros::new(160)).duration(), Micros::new(160));
-        assert_eq!(SlotAction::Idle(Micros::new(60)).duration(), Micros::new(60));
+        assert_eq!(
+            SlotAction::Occupy(Micros::new(160)).duration(),
+            Micros::new(160)
+        );
+        assert_eq!(
+            SlotAction::Idle(Micros::new(60)).duration(),
+            Micros::new(60)
+        );
         assert!(SlotAction::SignalAfter(Micros::new(15)).is_signal());
         assert!(!SlotAction::Occupy(Micros::new(1)).is_signal());
     }
@@ -149,7 +158,10 @@ mod tests {
     fn nominal_duration_includes_slot_work() {
         let cfg = config();
         let plan = TransmissionPlan::new(
-            vec![SlotAction::Occupy(Micros::new(160)), SlotAction::Idle(Micros::new(60))],
+            vec![
+                SlotAction::Occupy(Micros::new(160)),
+                SlotAction::Idle(Micros::new(60)),
+            ],
             &cfg,
         )
         .with_slot_work(Micros::new(20));

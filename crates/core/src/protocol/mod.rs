@@ -53,10 +53,8 @@ pub fn encode(
         Mechanism::Timer => timer::encode(wire, config),
     };
     let overhead = profile.protocol_overhead(config.mechanism);
-    let backend_estimate = estimated_backend_overhead(
-        &profile.noise_for(config.mechanism),
-        config.mechanism,
-    );
+    let backend_estimate =
+        estimated_backend_overhead(&profile.noise_for(config.mechanism), config.mechanism);
     Ok(plan.with_slot_work(overhead.saturating_sub(backend_estimate)))
 }
 
@@ -170,6 +168,9 @@ mod tests {
             assert!(estimate < Micros::new(25), "{mechanism}: {estimate}");
         }
         let quiet = NoiseModel::noiseless();
-        assert_eq!(estimated_backend_overhead(&quiet, Mechanism::Event), Micros::ZERO);
+        assert_eq!(
+            estimated_backend_overhead(&quiet, Mechanism::Event),
+            Micros::ZERO
+        );
     }
 }

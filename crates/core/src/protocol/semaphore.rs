@@ -72,8 +72,7 @@ pub fn encode(wire: &BitString, config: &ChannelConfig) -> Result<TransmissionPl
         .collect();
     // Recorded for reporting: what the paper's Tables II/III say an attacker
     // running the literal scheme would have to provision.
-    Ok(TransmissionPlan::new(actions, config)
-        .with_provisioned_resources(required_resources(wire)))
+    Ok(TransmissionPlan::new(actions, config).with_provisioned_resources(required_resources(wire)))
 }
 
 /// One row of the provisioning walk-through in Tables II/III of the paper.
@@ -153,7 +152,10 @@ mod tests {
     #[test]
     fn required_resources_counts_zeros() {
         assert_eq!(required_resources(&paper_key()), 5);
-        assert_eq!(required_resources(&BitString::from_str01("111").unwrap()), 0);
+        assert_eq!(
+            required_resources(&BitString::from_str01("111").unwrap()),
+            0
+        );
         assert_eq!(required_resources(&BitString::new()), 0);
     }
 
@@ -165,7 +167,10 @@ mod tests {
         assert!(!steps[2].spy_released);
         assert!(steps.iter().filter(|s| !s.spy_released).count() >= 5);
         // Every 1 still releases the Spy.
-        assert!(steps.iter().filter(|s| s.bit.is_one()).all(|s| s.spy_released));
+        assert!(steps
+            .iter()
+            .filter(|s| s.bit.is_one())
+            .all(|s| s.spy_released));
     }
 
     #[test]
@@ -194,6 +199,12 @@ mod tests {
         assert!(check_provisioning(&paper_key(), 5).is_ok());
         assert!(check_provisioning(&paper_key(), 6).is_ok());
         let err = check_provisioning(&paper_key(), 4).unwrap_err();
-        assert!(matches!(err, MesError::InsufficientSemaphoreResources { provisioned: 4, required: 5 }));
+        assert!(matches!(
+            err,
+            MesError::InsufficientSemaphoreResources {
+                provisioned: 4,
+                required: 5
+            }
+        ));
     }
 }

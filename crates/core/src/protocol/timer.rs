@@ -31,7 +31,13 @@ mod tests {
         let wire = BitString::from_str01("1").unwrap();
         let event_plan = crate::protocol::event::encode(&wire, &event);
         let timer_plan = encode(&wire, &timer);
-        assert_eq!(event_plan.actions[0], SlotAction::SignalAfter(Micros::new(80)));
-        assert_eq!(timer_plan.actions[0], SlotAction::SignalAfter(Micros::new(90)));
+        assert_eq!(
+            event_plan.actions[0],
+            SlotAction::SignalAfter(Micros::new(80))
+        );
+        assert_eq!(
+            timer_plan.actions[0],
+            SlotAction::SignalAfter(Micros::new(90))
+        );
     }
 }

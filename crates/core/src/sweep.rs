@@ -1,15 +1,81 @@
 //! Timing-parameter sweeps — the machinery behind Fig. 9 and Fig. 10 of the
 //! paper.
+//!
+//! A sweep is a grid of (timing, payload) points, each measured with one
+//! transmission round. All grid points are compiled to
+//! [`TransmissionPlan`](crate::plan::TransmissionPlan)s up front and executed
+//! as one batch — through [`ChannelBackend::transmit_batch`] when the caller
+//! supplies a backend, or fanned out over worker threads when the caller
+//! supplies a [`RoundExecutor`]. Both paths produce bit-identical series
+//! because every round is seeded from its grid index (see
+//! [`crate::backend::round_seed`]).
 
-use crate::backend::ChannelBackend;
+use crate::backend::{ChannelBackend, Observation, SimBackend};
 use crate::channel::CovertChannel;
 use crate::config::ChannelConfig;
+use crate::exec::{PreparedRound, RoundExecutor};
+use crate::plan::TransmissionPlan;
 use mes_coding::BitSource;
 use mes_scenario::ScenarioProfile;
 use mes_stats::{LabeledSeries, SweepPoint, SweepSeries};
 use mes_types::{ChannelTiming, Mechanism, Micros, Result};
 
-/// Measures one (timing, payload size) point: BER in percent and TR in kb/s.
+/// One compiled grid point, ready for batched execution; its plan lives in
+/// the grid's parallel plan vector so batches borrow instead of cloning.
+struct GridPoint {
+    series: usize,
+    x: f64,
+    round: PreparedRound,
+}
+
+impl GridPoint {
+    fn prepare(
+        mechanism: Mechanism,
+        timing: ChannelTiming,
+        x: f64,
+        series: usize,
+        profile: &ScenarioProfile,
+        payload_bits: usize,
+        seed: u64,
+    ) -> Result<(GridPoint, TransmissionPlan)> {
+        let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
+        let channel = CovertChannel::new(config, profile.clone())?;
+        let payload = BitSource::new(seed).random_bits(payload_bits);
+        let (round, plan) = PreparedRound::new(channel, payload)?;
+        Ok((GridPoint { series, x, round }, plan))
+    }
+
+    fn measure(&self, observation: &Observation) -> SweepPoint {
+        let report = self.round.recover(observation);
+        SweepPoint {
+            x: self.x,
+            ber_percent: report.wire_ber().ber_percent(),
+            rate_kbps: report.throughput().kilobits_per_second(),
+        }
+    }
+}
+
+/// Executes a compiled grid and folds the measurements back into series.
+fn measure_grid(
+    points: &[GridPoint],
+    series_labels: Vec<String>,
+    x_label: &str,
+    observations: &[Observation],
+) -> SweepSeries {
+    let mut sweep = SweepSeries::new(x_label);
+    let mut series: Vec<LabeledSeries> =
+        series_labels.into_iter().map(LabeledSeries::new).collect();
+    for (point, observation) in points.iter().zip(observations) {
+        series[point.series].push(point.measure(observation));
+    }
+    for labeled in series {
+        sweep.push(labeled);
+    }
+    sweep
+}
+
+/// Measures one (timing, payload size) point at x-coordinate `x`: BER in
+/// percent and TR in kb/s.
 ///
 /// # Errors
 ///
@@ -17,24 +83,80 @@ use mes_types::{ChannelTiming, Mechanism, Micros, Result};
 pub fn measure_point(
     mechanism: Mechanism,
     timing: ChannelTiming,
+    x: f64,
     profile: &ScenarioProfile,
     backend: &mut dyn ChannelBackend,
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepPoint> {
-    let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
-    let channel = CovertChannel::new(config, profile.clone())?;
-    let payload = BitSource::new(seed).random_bits(payload_bits);
-    let report = channel.transmit(&payload, backend)?;
-    Ok(SweepPoint {
-        x: 0.0,
-        ber_percent: report.wire_ber().ber_percent(),
-        rate_kbps: report.throughput().kilobits_per_second(),
-    })
+    let (point, plan) = GridPoint::prepare(mechanism, timing, x, 0, profile, payload_bits, seed)?;
+    let observation = backend.transmit(&plan)?;
+    Ok(point.measure(&observation))
+}
+
+/// The Fig. 9 grid: one series per `ti`, one point per `tw0`.
+fn cooperation_grid(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    tw0_values: &[u64],
+    ti_values: &[u64],
+    payload_bits: usize,
+    seed: u64,
+) -> Result<(Vec<GridPoint>, Vec<TransmissionPlan>, Vec<String>)> {
+    let mut points = Vec::with_capacity(tw0_values.len() * ti_values.len());
+    let mut plans = Vec::with_capacity(tw0_values.len() * ti_values.len());
+    let mut labels = Vec::with_capacity(ti_values.len());
+    for (series, &ti) in ti_values.iter().enumerate() {
+        labels.push(format!("Interval={ti}"));
+        for &tw0 in tw0_values {
+            let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
+            let (point, plan) = GridPoint::prepare(
+                mechanism,
+                timing,
+                tw0 as f64,
+                series,
+                profile,
+                payload_bits,
+                seed ^ (tw0 << 16) ^ ti,
+            )?;
+            points.push(point);
+            plans.push(plan);
+        }
+    }
+    Ok((points, plans, labels))
+}
+
+/// The Fig. 10 grid: a single series over `tt1` at fixed `tt0`.
+fn contention_grid(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    tt1_values: &[u64],
+    tt0: u64,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<(Vec<GridPoint>, Vec<TransmissionPlan>, Vec<String>)> {
+    let mut points = Vec::with_capacity(tt1_values.len());
+    let mut plans = Vec::with_capacity(tt1_values.len());
+    for &tt1 in tt1_values {
+        let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(tt0));
+        let (point, plan) = GridPoint::prepare(
+            mechanism,
+            timing,
+            tt1 as f64,
+            0,
+            profile,
+            payload_bits,
+            seed ^ (tt1 << 8),
+        )?;
+        points.push(point);
+        plans.push(plan);
+    }
+    Ok((points, plans, vec![mechanism.to_string()]))
 }
 
 /// Sweeps the Event/Timer channel over `tw0` for several `ti` values —
-/// Fig. 9(a) (BER) and Fig. 9(b) (TR) of the paper.
+/// Fig. 9(a) (BER) and Fig. 9(b) (TR) of the paper. The whole grid runs as
+/// one batch through the backend.
 ///
 /// # Errors
 ///
@@ -48,29 +170,50 @@ pub fn cooperation_sweep(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let mut sweep = SweepSeries::new("tw0 (us)");
-    for &ti in ti_values {
-        let mut series = LabeledSeries::new(format!("Interval={ti}"));
-        for &tw0 in tw0_values {
-            let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
-            let mut point = measure_point(
-                mechanism,
-                timing,
-                profile,
-                backend,
-                payload_bits,
-                seed ^ (tw0 << 16) ^ ti,
-            )?;
-            point.x = tw0 as f64;
-            series.push(point);
-        }
-        sweep.push(series);
-    }
-    Ok(sweep)
+    let (points, plans, labels) = cooperation_grid(
+        mechanism,
+        profile,
+        tw0_values,
+        ti_values,
+        payload_bits,
+        seed,
+    )?;
+    let observations = backend.transmit_batch(&plans)?;
+    Ok(measure_grid(&points, labels, "tw0 (us)", &observations))
+}
+
+/// [`cooperation_sweep`] with the grid fanned out over a [`RoundExecutor`]'s
+/// worker threads (simulated backends seeded from `seed`). The result is
+/// bit-identical for any worker count, and matches the sequential sweep when
+/// its backend is a `SimBackend::new(profile, seed)`.
+///
+/// # Errors
+///
+/// Returns an error if any individual point fails.
+pub fn cooperation_sweep_parallel(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    executor: &RoundExecutor,
+    tw0_values: &[u64],
+    ti_values: &[u64],
+    payload_bits: usize,
+    seed: u64,
+) -> Result<SweepSeries> {
+    let (points, plans, labels) = cooperation_grid(
+        mechanism,
+        profile,
+        tw0_values,
+        ti_values,
+        payload_bits,
+        seed,
+    )?;
+    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
+    Ok(measure_grid(&points, labels, "tw0 (us)", &observations))
 }
 
 /// Sweeps a contention channel over `tt1` at fixed `tt0` — Fig. 10 of the
-/// paper (flock, `tt0` = 60 µs).
+/// paper (flock, `tt0` = 60 µs). The whole grid runs as one batch through
+/// the backend.
 ///
 /// # Errors
 ///
@@ -84,17 +227,33 @@ pub fn contention_sweep(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let mut sweep = SweepSeries::new("tt1 (us)");
-    let mut series = LabeledSeries::new(mechanism.to_string());
-    for &tt1 in tt1_values {
-        let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(tt0));
-        let mut point =
-            measure_point(mechanism, timing, profile, backend, payload_bits, seed ^ (tt1 << 8))?;
-        point.x = tt1 as f64;
-        series.push(point);
-    }
-    sweep.push(series);
-    Ok(sweep)
+    let (points, plans, labels) =
+        contention_grid(mechanism, profile, tt1_values, tt0, payload_bits, seed)?;
+    let observations = backend.transmit_batch(&plans)?;
+    Ok(measure_grid(&points, labels, "tt1 (us)", &observations))
+}
+
+/// [`contention_sweep`] fanned out over a [`RoundExecutor`] (simulated
+/// backends seeded from `seed`). The result is bit-identical for any worker
+/// count, and matches the sequential sweep when its backend is a
+/// `SimBackend::new(profile, seed)`.
+///
+/// # Errors
+///
+/// Returns an error if any individual point fails.
+pub fn contention_sweep_parallel(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    executor: &RoundExecutor,
+    tt1_values: &[u64],
+    tt0: u64,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<SweepSeries> {
+    let (points, plans, labels) =
+        contention_grid(mechanism, profile, tt1_values, tt0, payload_bits, seed)?;
+    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
+    Ok(measure_grid(&points, labels, "tt1 (us)", &observations))
 }
 
 #[cfg(test)]
@@ -143,8 +302,79 @@ mod tests {
         .unwrap();
         let points = sweep.series()[0].points();
         assert_eq!(points.len(), 3);
+        assert_eq!(points[0].x, 140.0);
+        assert_eq!(points[2].x, 260.0);
         assert!(points[0].rate_kbps > points[2].rate_kbps);
         assert!(points.iter().all(|p| p.rate_kbps > 1.0));
+    }
+
+    #[test]
+    fn parallel_sweeps_match_sequential_sweeps() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 13);
+        let sequential = cooperation_sweep(
+            Mechanism::Event,
+            &profile,
+            &mut backend,
+            &[15, 35],
+            &[50, 70],
+            64,
+            13,
+        )
+        .unwrap();
+        let parallel = cooperation_sweep_parallel(
+            Mechanism::Event,
+            &profile,
+            &RoundExecutor::new(4),
+            &[15, 35],
+            &[50, 70],
+            64,
+            13,
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel);
+
+        let mut backend = SimBackend::new(profile.clone(), 8);
+        let sequential = contention_sweep(
+            Mechanism::Flock,
+            &profile,
+            &mut backend,
+            &[140, 200],
+            60,
+            64,
+            8,
+        )
+        .unwrap();
+        let parallel = contention_sweep_parallel(
+            Mechanism::Flock,
+            &profile,
+            &RoundExecutor::new(3),
+            &[140, 200],
+            60,
+            64,
+            8,
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn measure_point_reports_its_x_coordinate() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 4);
+        let timing = ChannelTiming::contention(Micros::new(160), Micros::new(60));
+        let point = measure_point(
+            Mechanism::Flock,
+            timing,
+            160.0,
+            &profile,
+            &mut backend,
+            32,
+            1,
+        )
+        .unwrap();
+        assert_eq!(point.x, 160.0);
+        assert!(point.rate_kbps > 0.0);
     }
 
     #[test]
@@ -152,7 +382,7 @@ mod tests {
         let profile = ScenarioProfile::local();
         let mut backend = SimBackend::new(profile.clone(), 4);
         let bad = ChannelTiming::contention(Micros::new(50), Micros::new(60));
-        assert!(measure_point(Mechanism::Flock, bad, &profile, &mut backend, 16, 1).is_err());
+        assert!(measure_point(Mechanism::Flock, bad, 50.0, &profile, &mut backend, 16, 1).is_err());
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct SlotBarrier {
 impl SlotBarrier {
     /// Creates a barrier for `parties` threads.
     pub fn new(parties: usize) -> Self {
-        SlotBarrier { parties, state: Mutex::new((0, 0)), condvar: Condvar::new() }
+        SlotBarrier {
+            parties,
+            state: Mutex::new((0, 0)),
+            condvar: Condvar::new(),
+        }
     }
 
     /// Blocks until all parties have called `wait` for the current round.

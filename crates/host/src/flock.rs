@@ -215,12 +215,9 @@ mod tests {
     #[test]
     fn rejects_non_file_mechanisms() {
         let mut backend = HostFlockBackend::new().unwrap();
-        let config =
-            ChannelConfig::new(Mechanism::Event, host_event_timing()).unwrap();
-        let plan = mes_core::protocol::event::encode(
-            &BitString::from_str01("10").unwrap(),
-            &config,
-        );
+        let config = ChannelConfig::new(Mechanism::Event, host_event_timing()).unwrap();
+        let plan =
+            mes_core::protocol::event::encode(&BitString::from_str01("10").unwrap(), &config);
         assert!(backend.transmit(&plan).is_err());
     }
 

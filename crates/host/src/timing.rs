@@ -36,7 +36,13 @@ mod tests {
 
     #[test]
     fn families_get_matching_timing() {
-        assert!(matches!(host_timing(Mechanism::Flock), ChannelTiming::Contention { .. }));
-        assert!(matches!(host_timing(Mechanism::Event), ChannelTiming::Cooperation { .. }));
+        assert!(matches!(
+            host_timing(Mechanism::Flock),
+            ChannelTiming::Contention { .. }
+        ));
+        assert!(matches!(
+            host_timing(Mechanism::Event),
+            ChannelTiming::Cooperation { .. }
+        ));
     }
 }

@@ -54,6 +54,23 @@ pub fn paper_timeset(scenario: Scenario, mechanism: Mechanism) -> Result<Channel
     Ok(timing)
 }
 
+/// The full evaluation grid of a scenario: every mechanism the paper
+/// measures there, paired with its recommended Timeset, in the paper's table
+/// order. This is the unit the batched execution pipeline consumes — a table
+/// run compiles one plan per grid row and executes them as a single batch
+/// instead of looping mechanism by mechanism.
+pub fn paper_timeset_grid(scenario: Scenario) -> Vec<(Mechanism, ChannelTiming)> {
+    scenario
+        .mechanisms()
+        .into_iter()
+        .map(|mechanism| {
+            let timing = paper_timeset(scenario, mechanism)
+                .expect("scenario.mechanisms() only lists evaluated combinations");
+            (mechanism, timing)
+        })
+        .collect()
+}
+
 /// Per-bit protocol overhead fitted from the paper's TR numbers, in
 /// microseconds (see the module docs for the derivation). For combinations
 /// the paper does not report, a conservative default is returned so ablation
@@ -168,11 +185,20 @@ mod tests {
     #[test]
     fn timesets_match_the_paper_tables() {
         let flock = paper_timeset(Scenario::Local, Mechanism::Flock).unwrap();
-        assert_eq!(flock, ChannelTiming::contention(Micros::new(160), Micros::new(60)));
+        assert_eq!(
+            flock,
+            ChannelTiming::contention(Micros::new(160), Micros::new(60))
+        );
         let event = paper_timeset(Scenario::CrossSandbox, Mechanism::Event).unwrap();
-        assert_eq!(event, ChannelTiming::cooperation(Micros::new(15), Micros::new(70)));
+        assert_eq!(
+            event,
+            ChannelTiming::cooperation(Micros::new(15), Micros::new(70))
+        );
         let vm = paper_timeset(Scenario::CrossVm, Mechanism::FileLockEx).unwrap();
-        assert_eq!(vm, ChannelTiming::contention(Micros::new(190), Micros::new(70)));
+        assert_eq!(
+            vm,
+            ChannelTiming::contention(Micros::new(190), Micros::new(70))
+        );
         assert!(paper_timeset(Scenario::CrossVm, Mechanism::Event).is_err());
     }
 
@@ -180,12 +206,27 @@ mod tests {
     fn every_supported_combination_has_a_timeset_and_references() {
         for scenario in Scenario::ALL {
             for mechanism in scenario.mechanisms() {
-                assert!(paper_timeset(scenario, mechanism).is_ok(), "{scenario} {mechanism}");
+                assert!(
+                    paper_timeset(scenario, mechanism).is_ok(),
+                    "{scenario} {mechanism}"
+                );
                 assert!(paper_ber_percent(scenario, mechanism).is_some());
                 assert!(paper_tr_kbps(scenario, mechanism).is_some());
                 assert!(protocol_overhead(scenario, mechanism) > Micros::ZERO);
             }
         }
+    }
+
+    #[test]
+    fn timeset_grid_covers_each_scenario_in_table_order() {
+        for scenario in Scenario::ALL {
+            let grid = paper_timeset_grid(scenario);
+            assert_eq!(grid.len(), scenario.mechanisms().len());
+            for (mechanism, timing) in grid {
+                assert_eq!(timing, paper_timeset(scenario, mechanism).unwrap());
+            }
+        }
+        assert_eq!(paper_timeset_grid(Scenario::CrossVm).len(), 2);
     }
 
     #[test]
@@ -202,8 +243,7 @@ mod tests {
             for mechanism in scenario.mechanisms() {
                 let timing = paper_timeset(scenario, mechanism).unwrap();
                 let overhead = protocol_overhead(scenario, mechanism);
-                let mean_bit_us =
-                    timing.mean_symbol_duration().as_f64() + overhead.as_f64();
+                let mean_bit_us = timing.mean_symbol_duration().as_f64() + overhead.as_f64();
                 let predicted_tr = 1_000.0 / mean_bit_us; // kb/s
                 let paper_tr = paper_tr_kbps(scenario, mechanism).unwrap();
                 let error = (predicted_tr - paper_tr).abs();

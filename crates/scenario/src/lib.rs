@@ -37,7 +37,9 @@ use mes_sim::{NoiseModel, SessionId};
 use mes_types::{ChannelTiming, Mechanism, MesError, Micros, Result, Scenario};
 use serde::{Deserialize, Serialize};
 
-pub use calibration::{paper_ber_percent, paper_timeset, paper_tr_kbps, protocol_overhead};
+pub use calibration::{
+    paper_ber_percent, paper_timeset, paper_timeset_grid, paper_tr_kbps, protocol_overhead,
+};
 
 /// Everything the channel layer needs to know about where the Trojan and the
 /// Spy run.
@@ -135,7 +137,10 @@ impl ScenarioProfile {
         if self.supports(mechanism) {
             Ok(())
         } else {
-            Err(MesError::MechanismUnavailable { mechanism, scenario: self.scenario })
+            Err(MesError::MechanismUnavailable {
+                mechanism,
+                scenario: self.scenario,
+            })
         }
     }
 
@@ -205,9 +210,7 @@ mod tests {
     fn sandbox_profile_is_noisier_than_local() {
         let local = ScenarioProfile::local();
         let sandbox = ScenarioProfile::cross_sandbox();
-        assert!(
-            sandbox.noise().costs.wait_call.mean_ns > local.noise().costs.wait_call.mean_ns
-        );
+        assert!(sandbox.noise().costs.wait_call.mean_ns > local.noise().costs.wait_call.mean_ns);
         assert!(sandbox.boundary_latency() > Micros::ZERO);
     }
 

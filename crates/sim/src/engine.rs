@@ -170,6 +170,32 @@ impl Engine {
         }
     }
 
+    /// Clears all simulation state and re-seeds the engine, reusing the
+    /// existing allocations (process table, object table, event queue, …).
+    ///
+    /// A reset engine is observably identical to `Engine::new(noise, seed)`:
+    /// process and object ids restart from the same values, the filesystem
+    /// and namespace are empty, and the RNG stream is reproduced from the
+    /// seed alone. Hot sweep loops rely on this to run thousands of rounds
+    /// without paying full reconstruction cost per round. The file-lock
+    /// hand-off discipline set via [`Engine::set_fairness`] is preserved;
+    /// tracing is disabled (re-enable it per round if needed).
+    pub fn reset(&mut self, noise: NoiseModel, seed: u64) {
+        self.noise = noise;
+        self.rng = SimRng::seed_from(seed);
+        self.processes.clear();
+        self.objects.clear();
+        self.namespace.clear();
+        self.fs.reset();
+        self.barriers.clear();
+        self.barrier_parties = None;
+        self.queue.clear();
+        self.seq = 0;
+        self.trace = Trace::disabled();
+        self.wake_granted.clear();
+        self.executed_ops = 0;
+    }
+
     /// Switches the file-lock hand-off discipline (fair FIFO by default).
     pub fn set_fairness(&mut self, fairness: Fairness) {
         self.fs = FileSystem::with_fairness(fairness);
@@ -202,7 +228,11 @@ impl Engine {
 
     fn push_event(&mut self, time: Nanos, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, kind }));
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn proc_index(&self, pid: ProcessId) -> usize {
@@ -211,7 +241,11 @@ impl Engine {
 
     fn record_trace(&mut self, time: Nanos, process: ProcessId, kind: TraceKind) {
         if self.trace.is_enabled() {
-            self.trace.record(TraceEvent { time, process, kind });
+            self.trace.record(TraceEvent {
+                time,
+                process,
+                kind,
+            });
         }
     }
 
@@ -228,7 +262,12 @@ impl Engine {
     fn default_barrier_parties(&self) -> usize {
         self.processes
             .iter()
-            .filter(|p| p.program.ops().iter().any(|op| matches!(op, Op::Barrier { .. })))
+            .filter(|p| {
+                p.program
+                    .ops()
+                    .iter()
+                    .any(|op| matches!(op, Op::Barrier { .. }))
+            })
             .count()
             .max(1)
     }
@@ -349,7 +388,10 @@ impl Engine {
                 self.record_trace(
                     t,
                     pid,
-                    TraceKind::OpExecuted { op_index: pc, description: format!("{op:?}") },
+                    TraceKind::OpExecuted {
+                        op_index: pc,
+                        description: format!("{op:?}"),
+                    },
                 );
             }
 
@@ -388,9 +430,11 @@ impl Engine {
                     .ok_or_else(|| MesError::Simulation {
                         reason: format!("TimestampEnd for slot {slot} without a matching start"),
                     })?;
-                self.processes[index]
-                    .measurements
-                    .push(Measurement { slot: *slot, start, end: now });
+                self.processes[index].measurements.push(Measurement {
+                    slot: *slot,
+                    start,
+                    end: now,
+                });
                 self.processes[index].pc += 1;
             }
             Op::CreateObject { name, kind, handle } => {
@@ -399,14 +443,18 @@ impl Engine {
                 let session = self.processes[index].program.session();
                 self.namespace
                     .register(name.clone(), object_id, session, Visibility::Session)?;
-                self.processes[index].handle_table.bind(*handle, object_id)?;
+                self.processes[index]
+                    .handle_table
+                    .bind(*handle, object_id)?;
                 self.processes[index].pc += 1;
             }
             Op::OpenObject { name, handle } => {
                 let session = self.processes[index].program.session();
                 let object_id = self.namespace.lookup(name, session)?;
                 self.objects[object_id.as_usize()].add_reference();
-                self.processes[index].handle_table.bind(*handle, object_id)?;
+                self.processes[index]
+                    .handle_table
+                    .bind(*handle, object_id)?;
                 self.processes[index].pc += 1;
             }
             Op::SetEvent { handle } => {
@@ -462,7 +510,9 @@ impl Engine {
                         self.record_trace(
                             t,
                             pid,
-                            TraceKind::Blocked { reason: format!("wait on {object_id}") },
+                            TraceKind::Blocked {
+                                reason: format!("wait on {object_id}"),
+                            },
                         );
                         return Ok(false);
                     }
@@ -475,7 +525,9 @@ impl Engine {
             }
             Op::FlockExclusive { fd } => {
                 let file = *self.processes[index].fd_table.get(fd).ok_or_else(|| {
-                    MesError::Simulation { reason: format!("descriptor {fd} is not open") }
+                    MesError::Simulation {
+                        reason: format!("descriptor {fd} is not open"),
+                    }
                 })?;
                 if self.wake_granted.remove(&pid) {
                     self.processes[index].pc += 1;
@@ -494,7 +546,9 @@ impl Engine {
                             self.record_trace(
                                 t,
                                 pid,
-                                TraceKind::Blocked { reason: format!("flock on {inode}") },
+                                TraceKind::Blocked {
+                                    reason: format!("flock on {inode}"),
+                                },
                             );
                             return Ok(false);
                         }
@@ -503,7 +557,9 @@ impl Engine {
             }
             Op::FlockUnlock { fd } => {
                 let file = *self.processes[index].fd_table.get(fd).ok_or_else(|| {
-                    MesError::Simulation { reason: format!("descriptor {fd} is not open") }
+                    MesError::Simulation {
+                        reason: format!("descriptor {fd} is not open"),
+                    }
                 })?;
                 let woken = self.fs.unlock(file, pid)?;
                 let granted = self.fs.fairness() == Fairness::Fair;
@@ -539,7 +595,9 @@ impl Engine {
                         self.record_trace(
                             t,
                             pid,
-                            TraceKind::Blocked { reason: format!("barrier {id}") },
+                            TraceKind::Blocked {
+                                reason: format!("barrier {id}"),
+                            },
                         );
                         return Ok(false);
                     }
@@ -558,7 +616,9 @@ impl Engine {
             if obj.waiter_count() == 0 {
                 break;
             }
-            let Some(waiter) = obj.dequeue_waiter() else { break };
+            let Some(waiter) = obj.dequeue_waiter() else {
+                break;
+            };
             if obj.is_signaled_for(waiter) {
                 obj.acquire(waiter);
                 let latency = self.noise.sample_wait_wakeup(&mut self.rng);
@@ -602,13 +662,24 @@ mod tests {
                 handle: HandleId::new(1),
             })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let trojan = Program::new("trojan")
-            .op(Op::Compute { duration: Nanos::new(100) })
-            .op(Op::OpenObject { name: "evt".into(), handle: HandleId::new(8) })
-            .op(Op::SleepFor { duration: Micros::new(80).to_nanos() })
-            .op(Op::SetEvent { handle: HandleId::new(8) });
+            .op(Op::Compute {
+                duration: Nanos::new(100),
+            })
+            .op(Op::OpenObject {
+                name: "evt".into(),
+                handle: HandleId::new(8),
+            })
+            .op(Op::SleepFor {
+                duration: Micros::new(80).to_nanos(),
+            })
+            .op(Op::SetEvent {
+                handle: HandleId::new(8),
+            });
 
         let mut engine = noiseless_engine();
         let spy_pid = engine.spawn(spy);
@@ -625,11 +696,16 @@ mod tests {
         let spy = Program::new("spy")
             .op(Op::CreateObject {
                 name: "evt".into(),
-                kind: ObjectKind::Event { manual_reset: false, initially_signaled: true },
+                kind: ObjectKind::Event {
+                    manual_reset: false,
+                    initially_signaled: true,
+                },
                 handle: HandleId::new(1),
             })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let mut engine = noiseless_engine();
         let spy_pid = engine.spawn(spy);
@@ -640,13 +716,23 @@ mod tests {
     #[test]
     fn flock_contention_blocks_until_unlock() {
         let trojan = Program::new("trojan")
-            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(1) })
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(1),
+            })
             .op(Op::FlockExclusive { fd: FdId::new(1) })
-            .op(Op::SleepFor { duration: Micros::new(160).to_nanos() })
+            .op(Op::SleepFor {
+                duration: Micros::new(160).to_nanos(),
+            })
             .op(Op::FlockUnlock { fd: FdId::new(1) });
         let spy = Program::new("spy")
-            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
-            .op(Op::Compute { duration: Micros::new(5).to_nanos() })
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(0),
+            })
+            .op(Op::Compute {
+                duration: Micros::new(5).to_nanos(),
+            })
             .op(Op::TimestampStart { slot: 0 })
             .op(Op::FlockExclusive { fd: FdId::new(0) })
             .op(Op::FlockUnlock { fd: FdId::new(0) })
@@ -663,7 +749,10 @@ mod tests {
     #[test]
     fn uncontended_flock_is_fast() {
         let spy = Program::new("spy")
-            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(0),
+            })
             .op(Op::TimestampStart { slot: 0 })
             .op(Op::FlockExclusive { fd: FdId::new(0) })
             .op(Op::FlockUnlock { fd: FdId::new(0) })
@@ -683,13 +772,25 @@ mod tests {
                 handle: HandleId::new(1),
             })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let trojan = Program::new("trojan")
-            .op(Op::Compute { duration: Nanos::new(10) })
-            .op(Op::OpenObject { name: "sem".into(), handle: HandleId::new(2) })
-            .op(Op::SleepFor { duration: Micros::new(230).to_nanos() })
-            .op(Op::ReleaseSemaphore { handle: HandleId::new(2), count: 1 });
+            .op(Op::Compute {
+                duration: Nanos::new(10),
+            })
+            .op(Op::OpenObject {
+                name: "sem".into(),
+                handle: HandleId::new(2),
+            })
+            .op(Op::SleepFor {
+                duration: Micros::new(230).to_nanos(),
+            })
+            .op(Op::ReleaseSemaphore {
+                handle: HandleId::new(2),
+                count: 1,
+            });
         let mut engine = noiseless_engine();
         let spy_pid = engine.spawn(spy);
         engine.spawn(trojan);
@@ -706,13 +807,25 @@ mod tests {
                 handle: HandleId::new(1),
             })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let trojan = Program::new("trojan")
-            .op(Op::Compute { duration: Nanos::new(10) })
-            .op(Op::OpenObject { name: "tmr".into(), handle: HandleId::new(3) })
-            .op(Op::SleepFor { duration: Micros::new(40).to_nanos() })
-            .op(Op::SetTimer { handle: HandleId::new(3), due: Micros::new(5).to_nanos() });
+            .op(Op::Compute {
+                duration: Nanos::new(10),
+            })
+            .op(Op::OpenObject {
+                name: "tmr".into(),
+                handle: HandleId::new(3),
+            })
+            .op(Op::SleepFor {
+                duration: Micros::new(40).to_nanos(),
+            })
+            .op(Op::SetTimer {
+                handle: HandleId::new(3),
+                due: Micros::new(5).to_nanos(),
+            });
         let mut engine = noiseless_engine();
         let spy_pid = engine.spawn(spy);
         engine.spawn(trojan);
@@ -730,15 +843,30 @@ mod tests {
                 kind: ObjectKind::Mutex,
                 handle: HandleId::new(1),
             })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) })
-            .op(Op::SleepFor { duration: Micros::new(140).to_nanos() })
-            .op(Op::ReleaseMutex { handle: HandleId::new(1) });
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            })
+            .op(Op::SleepFor {
+                duration: Micros::new(140).to_nanos(),
+            })
+            .op(Op::ReleaseMutex {
+                handle: HandleId::new(1),
+            });
         let spy = Program::new("spy")
-            .op(Op::Compute { duration: Micros::new(2).to_nanos() })
-            .op(Op::OpenObject { name: "mtx".into(), handle: HandleId::new(4) })
+            .op(Op::Compute {
+                duration: Micros::new(2).to_nanos(),
+            })
+            .op(Op::OpenObject {
+                name: "mtx".into(),
+                handle: HandleId::new(4),
+            })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(4) })
-            .op(Op::ReleaseMutex { handle: HandleId::new(4) })
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(4),
+            })
+            .op(Op::ReleaseMutex {
+                handle: HandleId::new(4),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let mut engine = noiseless_engine();
         engine.spawn(trojan);
@@ -751,7 +879,9 @@ mod tests {
     #[test]
     fn barrier_synchronises_two_processes() {
         let a = Program::new("a")
-            .op(Op::SleepFor { duration: Micros::new(100).to_nanos() })
+            .op(Op::SleepFor {
+                duration: Micros::new(100).to_nanos(),
+            })
             .op(Op::Barrier { id: 1 })
             .op(Op::TimestampStart { slot: 0 })
             .op(Op::TimestampEnd { slot: 0 });
@@ -781,8 +911,13 @@ mod tests {
             });
         let opener = Program::new("opener")
             .in_session(SessionId::new(2))
-            .op(Op::Compute { duration: Micros::new(1).to_nanos() })
-            .op(Op::OpenObject { name: "evt".into(), handle: HandleId::new(1) });
+            .op(Op::Compute {
+                duration: Micros::new(1).to_nanos(),
+            })
+            .op(Op::OpenObject {
+                name: "evt".into(),
+                handle: HandleId::new(1),
+            });
         let mut engine = noiseless_engine();
         engine.spawn(creator);
         engine.spawn(opener);
@@ -797,7 +932,9 @@ mod tests {
                 kind: ObjectKind::event_auto_reset(),
                 handle: HandleId::new(1),
             })
-            .op(Op::WaitForSingleObject { handle: HandleId::new(1) });
+            .op(Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            });
         let mut engine = noiseless_engine();
         engine.spawn(waiter);
         let err = engine.run().unwrap_err();
@@ -806,7 +943,9 @@ mod tests {
 
     #[test]
     fn unknown_handle_is_an_error() {
-        let bad = Program::new("bad").op(Op::SetEvent { handle: HandleId::new(9) });
+        let bad = Program::new("bad").op(Op::SetEvent {
+            handle: HandleId::new(9),
+        });
         let mut engine = noiseless_engine();
         engine.spawn(bad);
         assert!(engine.run().is_err());
@@ -823,7 +962,9 @@ mod tests {
     #[test]
     fn trace_records_ops_when_enabled() {
         let p = Program::new("p")
-            .op(Op::Compute { duration: Nanos::new(5) })
+            .op(Op::Compute {
+                duration: Nanos::new(5),
+            })
             .op(Op::TimestampStart { slot: 0 })
             .op(Op::TimestampEnd { slot: 0 });
         let mut engine = noiseless_engine();
@@ -840,10 +981,14 @@ mod tests {
     fn durations_are_ordered_by_slot() {
         let p = Program::new("p")
             .op(Op::TimestampStart { slot: 1 })
-            .op(Op::Compute { duration: Nanos::new(500) })
+            .op(Op::Compute {
+                duration: Nanos::new(500),
+            })
             .op(Op::TimestampEnd { slot: 1 })
             .op(Op::TimestampStart { slot: 0 })
-            .op(Op::Compute { duration: Nanos::new(100) })
+            .op(Op::Compute {
+                duration: Nanos::new(100),
+            })
             .op(Op::TimestampEnd { slot: 0 });
         let mut engine = noiseless_engine();
         let pid = engine.spawn(p);
@@ -853,20 +998,81 @@ mod tests {
     }
 
     #[test]
+    fn reset_engine_is_identical_to_fresh_engine() {
+        fn flock_round(engine: &mut Engine) -> Vec<Nanos> {
+            let trojan = Program::new("trojan")
+                .op(Op::OpenFile {
+                    path: "/f".into(),
+                    fd: FdId::new(1),
+                })
+                .op(Op::FlockExclusive { fd: FdId::new(1) })
+                .op(Op::SleepFor {
+                    duration: Micros::new(120).to_nanos(),
+                })
+                .op(Op::FlockUnlock { fd: FdId::new(1) });
+            let spy = Program::new("spy")
+                .op(Op::OpenFile {
+                    path: "/f".into(),
+                    fd: FdId::new(0),
+                })
+                .op(Op::CreateObject {
+                    name: "evt".into(),
+                    kind: ObjectKind::event_auto_reset(),
+                    handle: HandleId::new(1),
+                })
+                .op(Op::Compute {
+                    duration: Micros::new(5).to_nanos(),
+                })
+                .op(Op::TimestampStart { slot: 0 })
+                .op(Op::FlockExclusive { fd: FdId::new(0) })
+                .op(Op::FlockUnlock { fd: FdId::new(0) })
+                .op(Op::TimestampEnd { slot: 0 });
+            engine.spawn(trojan);
+            let spy_pid = engine.spawn(spy);
+            engine.run().unwrap().durations(spy_pid)
+        }
+
+        // A noisy model so the RNG stream matters.
+        let noise = NoiseModel::default();
+        let mut fresh = Engine::new(noise.clone(), 77);
+        let expected = flock_round(&mut fresh);
+
+        let mut reused = Engine::new(noise.clone(), 1234);
+        flock_round(&mut reused); // dirty every table
+        reused.reset(noise, 77);
+        assert_eq!(flock_round(&mut reused), expected);
+        // 4 trojan ops + 7 spy ops, with the spy's blocked FlockExclusive
+        // charged again when it re-executes after wake-up.
+        assert_eq!(reused.executed_ops, 12);
+    }
+
+    #[test]
     fn unfair_mode_lets_holder_reacquire() {
         use crate::fs::Fairness;
         // Trojan: lock, sleep, unlock, immediately lock again, hold long.
         let trojan = Program::new("trojan")
-            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(1) })
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(1),
+            })
             .op(Op::FlockExclusive { fd: FdId::new(1) })
-            .op(Op::SleepFor { duration: Micros::new(50).to_nanos() })
+            .op(Op::SleepFor {
+                duration: Micros::new(50).to_nanos(),
+            })
             .op(Op::FlockUnlock { fd: FdId::new(1) })
             .op(Op::FlockExclusive { fd: FdId::new(1) })
-            .op(Op::SleepFor { duration: Micros::new(200).to_nanos() })
+            .op(Op::SleepFor {
+                duration: Micros::new(200).to_nanos(),
+            })
             .op(Op::FlockUnlock { fd: FdId::new(1) });
         let spy = Program::new("spy")
-            .op(Op::OpenFile { path: "/f".into(), fd: FdId::new(0) })
-            .op(Op::Compute { duration: Micros::new(5).to_nanos() })
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(0),
+            })
+            .op(Op::Compute {
+                duration: Micros::new(5).to_nanos(),
+            })
             .op(Op::TimestampStart { slot: 0 })
             .op(Op::FlockExclusive { fd: FdId::new(0) })
             .op(Op::FlockUnlock { fd: FdId::new(0) })

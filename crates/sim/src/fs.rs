@@ -98,12 +98,24 @@ impl FileSystem {
 
     /// Creates a filesystem with the given hand-off discipline.
     pub fn with_fairness(fairness: Fairness) -> Self {
-        FileSystem { fairness, ..FileSystem::new() }
+        FileSystem {
+            fairness,
+            ..FileSystem::new()
+        }
     }
 
     /// The configured hand-off discipline.
     pub fn fairness(&self) -> Fairness {
         self.fairness
+    }
+
+    /// Empties every table (i-nodes, paths, open files) while keeping the
+    /// allocations and the hand-off discipline — id numbering restarts from
+    /// zero, exactly as in a freshly constructed filesystem (engine reuse).
+    pub fn reset(&mut self) {
+        self.inodes.clear();
+        self.paths.clear();
+        self.files.clear();
     }
 
     /// Opens `path` for `process`, creating the i-node on first open, and
@@ -123,7 +135,10 @@ impl FileSystem {
             }
         };
         let file = FileId::new(self.files.len() as u64);
-        self.files.push(OpenFile { inode, opened_by: process });
+        self.files.push(OpenFile {
+            inode,
+            opened_by: process,
+        });
         file
     }
 
@@ -146,7 +161,11 @@ impl FileSystem {
     /// # Errors
     ///
     /// Returns [`MesError::Simulation`] for an unknown file id.
-    pub fn lock_exclusive(&mut self, file: FileId, process: ProcessId) -> Result<LockRequestOutcome> {
+    pub fn lock_exclusive(
+        &mut self,
+        file: FileId,
+        process: ProcessId,
+    ) -> Result<LockRequestOutcome> {
         let inode_id = self.inode_of(file)?;
         let inode = &mut self.inodes[inode_id.as_usize()];
         match inode.holder {
@@ -278,8 +297,14 @@ mod tests {
         let mut fs = FileSystem::new();
         let a = fs.open("/f", TROJAN);
         let b = fs.open("/f", SPY);
-        assert_eq!(fs.lock_exclusive(a, TROJAN).unwrap(), LockRequestOutcome::Granted);
-        assert_eq!(fs.lock_exclusive(b, SPY).unwrap(), LockRequestOutcome::Blocked);
+        assert_eq!(
+            fs.lock_exclusive(a, TROJAN).unwrap(),
+            LockRequestOutcome::Granted
+        );
+        assert_eq!(
+            fs.lock_exclusive(b, SPY).unwrap(),
+            LockRequestOutcome::Blocked
+        );
         assert_eq!(fs.holder_of("/f"), Some(TROJAN));
         assert_eq!(fs.waiter_count("/f"), 1);
     }
@@ -326,7 +351,10 @@ mod tests {
         let mut fs = FileSystem::new();
         let a = fs.open("/f", TROJAN);
         fs.lock_exclusive(a, TROJAN).unwrap();
-        assert_eq!(fs.lock_exclusive(a, TROJAN).unwrap(), LockRequestOutcome::AlreadyHeld);
+        assert_eq!(
+            fs.lock_exclusive(a, TROJAN).unwrap(),
+            LockRequestOutcome::AlreadyHeld
+        );
     }
 
     #[test]

@@ -56,9 +56,12 @@ impl HandleTable {
     /// Returns [`MesError::Simulation`] for an unbound handle — the simulated
     /// equivalent of passing a garbage `HANDLE` to the kernel.
     pub fn resolve(&self, handle: HandleId) -> Result<ObjectId> {
-        self.entries.get(&handle).copied().ok_or_else(|| MesError::Simulation {
-            reason: format!("handle {handle} is not bound in this process"),
-        })
+        self.entries
+            .get(&handle)
+            .copied()
+            .ok_or_else(|| MesError::Simulation {
+                reason: format!("handle {handle} is not bound in this process"),
+            })
     }
 
     /// Removes a binding (`CloseHandle`), returning the object it pointed at.
@@ -119,6 +122,9 @@ mod tests {
         let mut b = HandleTable::new();
         a.bind(HandleId::new(4), ObjectId::new(1)).unwrap();
         b.bind(HandleId::new(4), ObjectId::new(2)).unwrap();
-        assert_ne!(a.resolve(HandleId::new(4)).unwrap(), b.resolve(HandleId::new(4)).unwrap());
+        assert_ne!(
+            a.resolve(HandleId::new(4)).unwrap(),
+            b.resolve(HandleId::new(4)).unwrap()
+        );
     }
 }

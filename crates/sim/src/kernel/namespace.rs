@@ -87,6 +87,11 @@ impl Namespace {
         Namespace::default()
     }
 
+    /// Removes every entry, retaining the allocation (engine reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Registers a named object created by a process in `session`.
     ///
     /// # Errors
@@ -105,7 +110,14 @@ impl Namespace {
                 reason: format!("object name {name:?} already exists"),
             });
         }
-        self.entries.insert(name, Entry { object, session, visibility });
+        self.entries.insert(
+            name,
+            Entry {
+                object,
+                session,
+                visibility,
+            },
+        );
         Ok(())
     }
 
@@ -156,7 +168,13 @@ mod tests {
     #[test]
     fn session_objects_are_invisible_across_sessions() {
         let mut ns = Namespace::new();
-        ns.register("evt", ObjectId::new(1), SessionId::new(1), Visibility::Session).unwrap();
+        ns.register(
+            "evt",
+            ObjectId::new(1),
+            SessionId::new(1),
+            Visibility::Session,
+        )
+        .unwrap();
         assert!(ns.lookup("evt", SessionId::new(1)).is_ok());
         assert!(ns.lookup("evt", SessionId::new(2)).is_err());
         assert!(ns.lookup("evt", SessionId::HOST).is_err());
@@ -165,15 +183,24 @@ mod tests {
     #[test]
     fn global_objects_are_visible_everywhere() {
         let mut ns = Namespace::new();
-        ns.register("shared-file", ObjectId::new(2), SessionId::new(1), Visibility::Global)
-            .unwrap();
-        assert_eq!(ns.lookup("shared-file", SessionId::new(7)).unwrap(), ObjectId::new(2));
+        ns.register(
+            "shared-file",
+            ObjectId::new(2),
+            SessionId::new(1),
+            Visibility::Global,
+        )
+        .unwrap();
+        assert_eq!(
+            ns.lookup("shared-file", SessionId::new(7)).unwrap(),
+            ObjectId::new(2)
+        );
     }
 
     #[test]
     fn duplicate_names_are_rejected() {
         let mut ns = Namespace::new();
-        ns.register("x", ObjectId::new(1), SessionId::HOST, Visibility::Session).unwrap();
+        ns.register("x", ObjectId::new(1), SessionId::HOST, Visibility::Session)
+            .unwrap();
         assert!(ns
             .register("x", ObjectId::new(2), SessionId::HOST, Visibility::Session)
             .is_err());

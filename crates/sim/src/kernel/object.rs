@@ -39,7 +39,10 @@ impl ObjectKind {
     /// Convenience constructor for the auto-reset, initially unsignalled
     /// event used by the paper's Event channel.
     pub fn event_auto_reset() -> Self {
-        ObjectKind::Event { manual_reset: false, initially_signaled: false }
+        ObjectKind::Event {
+            manual_reset: false,
+            initially_signaled: false,
+        }
     }
 
     /// Convenience constructor for a semaphore.
@@ -51,10 +54,22 @@ impl ObjectKind {
 /// Dynamic state of a kernel object.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum ObjectState {
-    Event { manual_reset: bool, signaled: bool },
-    Mutex { owner: Option<ProcessId>, recursion: u32 },
-    Semaphore { count: u32, max: u32 },
-    Timer { signaled: bool, due: Option<Nanos> },
+    Event {
+        manual_reset: bool,
+        signaled: bool,
+    },
+    Mutex {
+        owner: Option<ProcessId>,
+        recursion: u32,
+    },
+    Semaphore {
+        count: u32,
+        max: u32,
+    },
+    Timer {
+        signaled: bool,
+        due: Option<Nanos>,
+    },
 }
 
 /// A system-level kernel object plus its FIFO wait queue.
@@ -83,14 +98,25 @@ impl KernelObject {
     /// Creates an object of the given kind.
     pub fn new(name: impl Into<String>, kind: ObjectKind) -> Self {
         let state = match kind {
-            ObjectKind::Event { manual_reset, initially_signaled } => {
-                ObjectState::Event { manual_reset, signaled: initially_signaled }
-            }
-            ObjectKind::Mutex => ObjectState::Mutex { owner: None, recursion: 0 },
-            ObjectKind::Semaphore { initial, max } => {
-                ObjectState::Semaphore { count: initial.min(max), max }
-            }
-            ObjectKind::Timer => ObjectState::Timer { signaled: false, due: None },
+            ObjectKind::Event {
+                manual_reset,
+                initially_signaled,
+            } => ObjectState::Event {
+                manual_reset,
+                signaled: initially_signaled,
+            },
+            ObjectKind::Mutex => ObjectState::Mutex {
+                owner: None,
+                recursion: 0,
+            },
+            ObjectKind::Semaphore { initial, max } => ObjectState::Semaphore {
+                count: initial.min(max),
+                max,
+            },
+            ObjectKind::Timer => ObjectState::Timer {
+                signaled: false,
+                due: None,
+            },
         };
         KernelObject {
             name: name.into(),
@@ -130,7 +156,10 @@ impl KernelObject {
     /// decrement).
     pub fn acquire(&mut self, process: ProcessId) {
         match &mut self.state {
-            ObjectState::Event { manual_reset, signaled } => {
+            ObjectState::Event {
+                manual_reset,
+                signaled,
+            } => {
                 if !*manual_reset {
                     *signaled = false;
                 }
@@ -226,7 +255,10 @@ impl KernelObject {
     /// Returns [`MesError::Simulation`] if the object is not a semaphore.
     pub fn release_semaphore(&mut self, count: u32) -> Result<u32> {
         match &mut self.state {
-            ObjectState::Semaphore { count: current, max } => {
+            ObjectState::Semaphore {
+                count: current,
+                max,
+            } => {
                 let room = *max - *current;
                 let added = count.min(room);
                 *current += added;
@@ -327,7 +359,10 @@ mod tests {
     fn manual_reset_event_stays_signalled() {
         let mut event = KernelObject::new(
             "e",
-            ObjectKind::Event { manual_reset: true, initially_signaled: false },
+            ObjectKind::Event {
+                manual_reset: true,
+                initially_signaled: false,
+            },
         );
         event.set_event().unwrap();
         event.acquire(P1);
@@ -365,7 +400,7 @@ mod tests {
         assert_eq!(sem.semaphore_count(), Some(1));
         assert_eq!(sem.release_semaphore(5).unwrap(), 2);
         assert_eq!(sem.semaphore_count(), Some(3));
-        assert!(!sem.is_signaled_for(P1) == false);
+        assert!(sem.is_signaled_for(P1));
     }
 
     #[test]

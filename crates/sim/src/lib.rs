@@ -65,8 +65,8 @@ pub mod trace;
 
 pub use engine::{Engine, SimOutcome};
 pub use fs::{FileSystem, LockRequestOutcome};
-pub use kernel::object::{KernelObject, ObjectKind};
 pub use kernel::namespace::SessionId;
+pub use kernel::object::{KernelObject, ObjectKind};
 pub use noise::{CostClass, NoiseModel, Preemption};
 pub use ops::Op;
 pub use process::{Measurement, ProcessName, Program};

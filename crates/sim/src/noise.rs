@@ -60,12 +60,18 @@ pub struct CostSpec {
 impl CostSpec {
     /// A fixed, jitter-free cost.
     pub const fn fixed(mean_ns: f64) -> Self {
-        CostSpec { mean_ns, std_dev_ns: 0.0 }
+        CostSpec {
+            mean_ns,
+            std_dev_ns: 0.0,
+        }
     }
 
     /// A jittery cost.
     pub const fn new(mean_ns: f64, std_dev_ns: f64) -> Self {
-        CostSpec { mean_ns, std_dev_ns }
+        CostSpec {
+            mean_ns,
+            std_dev_ns,
+        }
     }
 }
 
@@ -338,8 +344,7 @@ impl NoiseModel {
     /// Samples the latency between a wake-up signal and the waiter actually
     /// resuming.
     pub fn sample_wait_wakeup(&self, rng: &mut SimRng) -> Nanos {
-        let wake =
-            rng.normal_non_negative(self.wait_wakeup_latency_ns, self.wait_wakeup_jitter_ns);
+        let wake = rng.normal_non_negative(self.wait_wakeup_latency_ns, self.wait_wakeup_jitter_ns);
         Nanos::from_micros_f64(wake / 1_000.0)
     }
 
@@ -382,7 +387,10 @@ mod tests {
         let nominal = Micros::new(100).to_nanos();
         assert_eq!(model.sample_sleep(nominal, &mut rng), nominal);
         assert_eq!(model.sample_wait_wakeup(&mut rng), Nanos::ZERO);
-        assert_eq!(model.sample_cost(CostClass::WaitCall, &mut rng), Nanos::ZERO);
+        assert_eq!(
+            model.sample_cost(CostClass::WaitCall, &mut rng),
+            Nanos::ZERO
+        );
         assert_eq!(model.sample_disturbance(nominal, &mut rng), Nanos::ZERO);
         assert_eq!(model.sample_open_interference(&mut rng), Nanos::ZERO);
     }
@@ -416,7 +424,10 @@ mod tests {
         };
         let short = count_extra(20, &mut rng);
         let long = count_extra(300, &mut rng);
-        assert!(long > short, "long intervals must be disturbed more often ({short} vs {long})");
+        assert!(
+            long > short,
+            "long intervals must be disturbed more often ({short} vs {long})"
+        );
     }
 
     #[test]

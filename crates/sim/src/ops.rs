@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn blocking_ops_are_shared() {
         let ops = [
-            Op::WaitForSingleObject { handle: HandleId::new(1) },
+            Op::WaitForSingleObject {
+                handle: HandleId::new(1),
+            },
             Op::FlockExclusive { fd: FdId::new(0) },
             Op::Barrier { id: 1 },
         ];
@@ -193,19 +195,40 @@ mod tests {
 
     #[test]
     fn local_ops_have_no_cost_class() {
-        assert_eq!(Op::SleepFor { duration: Micros::new(1).to_nanos() }.cost_class(), None);
-        assert_eq!(Op::Compute { duration: Nanos::new(10) }.cost_class(), None);
-        assert!(!Op::SleepFor { duration: Nanos::ZERO }.is_shared());
+        assert_eq!(
+            Op::SleepFor {
+                duration: Micros::new(1).to_nanos()
+            }
+            .cost_class(),
+            None
+        );
+        assert_eq!(
+            Op::Compute {
+                duration: Nanos::new(10)
+            }
+            .cost_class(),
+            None
+        );
+        assert!(!Op::SleepFor {
+            duration: Nanos::ZERO
+        }
+        .is_shared());
     }
 
     #[test]
     fn cost_classes_match_op_kind() {
         assert_eq!(
-            Op::SetEvent { handle: HandleId::new(1) }.cost_class(),
+            Op::SetEvent {
+                handle: HandleId::new(1)
+            }
+            .cost_class(),
             Some(CostClass::KernelObjectCall)
         );
         assert_eq!(
-            Op::WaitForSingleObject { handle: HandleId::new(1) }.cost_class(),
+            Op::WaitForSingleObject {
+                handle: HandleId::new(1)
+            }
+            .cost_class(),
             Some(CostClass::WaitCall)
         );
         assert_eq!(
@@ -213,7 +236,11 @@ mod tests {
             Some(CostClass::FileLockCall)
         );
         assert_eq!(
-            Op::OpenFile { path: "f".into(), fd: FdId::new(3) }.cost_class(),
+            Op::OpenFile {
+                path: "f".into(),
+                fd: FdId::new(3)
+            }
+            .cost_class(),
             Some(CostClass::FileOpen)
         );
         assert_eq!(
@@ -225,7 +252,13 @@ mod tests {
     #[test]
     fn timestamps_are_local_but_set_event_is_shared() {
         assert!(!Op::TimestampEnd { slot: 2 }.is_shared());
-        assert!(Op::SetEvent { handle: HandleId::new(4) }.is_shared());
-        assert!(!Op::SetEvent { handle: HandleId::new(4) }.can_block());
+        assert!(Op::SetEvent {
+            handle: HandleId::new(4)
+        }
+        .is_shared());
+        assert!(!Op::SetEvent {
+            handle: HandleId::new(4)
+        }
+        .can_block());
     }
 }

@@ -205,7 +205,9 @@ mod tests {
         let program = Program::new("spy")
             .op(Op::TimestampStart { slot: 0 })
             .ops_extend([
-                Op::SleepFor { duration: Micros::new(5).to_nanos() },
+                Op::SleepFor {
+                    duration: Micros::new(5).to_nanos(),
+                },
                 Op::TimestampEnd { slot: 0 },
             ]);
         assert_eq!(program.len(), 3);
@@ -215,9 +217,17 @@ mod tests {
 
     #[test]
     fn measurement_elapsed_saturates() {
-        let m = Measurement { slot: 1, start: Nanos::new(100), end: Nanos::new(40) };
+        let m = Measurement {
+            slot: 1,
+            start: Nanos::new(100),
+            end: Nanos::new(40),
+        };
         assert_eq!(m.elapsed(), Nanos::ZERO);
-        let ok = Measurement { slot: 1, start: Nanos::new(40), end: Nanos::new(100) };
+        let ok = Measurement {
+            slot: 1,
+            start: Nanos::new(40),
+            end: Nanos::new(100),
+        };
         assert_eq!(ok.elapsed(), Nanos::new(60));
     }
 

@@ -70,12 +70,22 @@ pub struct Trace {
 impl Trace {
     /// A disabled trace that records nothing.
     pub fn disabled() -> Self {
-        Trace { events: Vec::new(), capacity: 0, dropped: 0, enabled: false }
+        Trace {
+            events: Vec::new(),
+            capacity: 0,
+            dropped: 0,
+            enabled: false,
+        }
     }
 
     /// A trace that keeps at most the last `capacity` events.
     pub fn bounded(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0, enabled: true }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
     }
 
     /// Whether recording is enabled.
@@ -111,7 +121,10 @@ impl Trace {
 
     /// Events belonging to one process.
     pub fn for_process(&self, process: ProcessId) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.process == process).collect()
+        self.events
+            .iter()
+            .filter(|e| e.process == process)
+            .collect()
     }
 }
 

@@ -26,7 +26,10 @@ pub struct LabeledSeries {
 impl LabeledSeries {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        LabeledSeries { label: label.into(), points: Vec::new() }
+        LabeledSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series label.
@@ -50,7 +53,11 @@ impl LabeledSeries {
         self.points
             .iter()
             .filter(|p| p.ber_percent <= max_ber_percent)
-            .max_by(|a, b| a.rate_kbps.partial_cmp(&b.rate_kbps).expect("rates are finite"))
+            .max_by(|a, b| {
+                a.rate_kbps
+                    .partial_cmp(&b.rate_kbps)
+                    .expect("rates are finite")
+            })
             .copied()
     }
 }
@@ -65,7 +72,10 @@ pub struct SweepSeries {
 impl SweepSeries {
     /// Creates an empty sweep with an x-axis label.
     pub fn new(x_label: impl Into<String>) -> Self {
-        SweepSeries { x_label: x_label.into(), series: Vec::new() }
+        SweepSeries {
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
     }
 
     /// The x-axis label.
@@ -107,8 +117,15 @@ impl SweepSeries {
     pub fn best_under_ber(&self, max_ber_percent: f64) -> Option<(String, SweepPoint)> {
         self.series
             .iter()
-            .filter_map(|s| s.best_under_ber(max_ber_percent).map(|p| (s.label().to_string(), p)))
-            .max_by(|a, b| a.1.rate_kbps.partial_cmp(&b.1.rate_kbps).expect("rates are finite"))
+            .filter_map(|s| {
+                s.best_under_ber(max_ber_percent)
+                    .map(|p| (s.label().to_string(), p))
+            })
+            .max_by(|a, b| {
+                a.1.rate_kbps
+                    .partial_cmp(&b.1.rate_kbps)
+                    .expect("rates are finite")
+            })
     }
 }
 
@@ -117,7 +134,11 @@ mod tests {
     use super::*;
 
     fn point(x: f64, ber: f64, rate: f64) -> SweepPoint {
-        SweepPoint { x, ber_percent: ber, rate_kbps: rate }
+        SweepPoint {
+            x,
+            ber_percent: ber,
+            rate_kbps: rate,
+        }
     }
 
     #[test]

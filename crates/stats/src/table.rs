@@ -30,7 +30,11 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title printed above the table (builder style).
@@ -105,7 +109,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -15,7 +15,10 @@ pub struct ThroughputReport {
 impl ThroughputReport {
     /// Creates a report for `payload_bits` transmitted in `elapsed`.
     pub fn new(payload_bits: u64, elapsed: Nanos) -> Self {
-        ThroughputReport { payload_bits, elapsed }
+        ThroughputReport {
+            payload_bits,
+            elapsed,
+        }
     }
 
     /// Number of payload bits transmitted.

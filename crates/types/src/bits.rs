@@ -230,7 +230,10 @@ impl BitString {
 
     /// Renders the bits as a `'0'`/`'1'` string.
     pub fn to_string01(&self) -> String {
-        self.bits.iter().map(|b| char::from(b'0' + u8::from(*b))).collect()
+        self.bits
+            .iter()
+            .map(|b| char::from(b'0' + u8::from(*b)))
+            .collect()
     }
 }
 
@@ -307,7 +310,10 @@ mod tests {
     fn parse_rejects_invalid_characters() {
         let err = BitString::from_str01("10x1").unwrap_err();
         match err {
-            MesError::ParseBits { position, character } => {
+            MesError::ParseBits {
+                position,
+                character,
+            } => {
                 assert_eq!(position, 2);
                 assert_eq!(character, 'x');
             }

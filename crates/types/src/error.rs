@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<MesError> = vec![
-            MesError::ParseBits { position: 3, character: 'z' },
+            MesError::ParseBits {
+                position: 3,
+                character: 'z',
+            },
             MesError::MechanismUnavailable {
                 mechanism: Mechanism::Mutex,
                 scenario: Scenario::CrossVm,
@@ -145,13 +148,31 @@ mod tests {
                 mechanism: Mechanism::Event,
                 os: OsKind::Linux,
             },
-            MesError::InvalidTiming { parameter: "tw0", reason: "must be positive".into() },
-            MesError::InvalidConfig { reason: "empty preamble".into() },
-            MesError::Simulation { reason: "unknown handle".into() },
-            MesError::FrameRecovery { reason: "preamble not found".into() },
-            MesError::Host { operation: "flock".into(), errno: Some(11) },
-            MesError::Host { operation: "sem_open".into(), errno: None },
-            MesError::InsufficientSemaphoreResources { provisioned: 0, required: 5 },
+            MesError::InvalidTiming {
+                parameter: "tw0",
+                reason: "must be positive".into(),
+            },
+            MesError::InvalidConfig {
+                reason: "empty preamble".into(),
+            },
+            MesError::Simulation {
+                reason: "unknown handle".into(),
+            },
+            MesError::FrameRecovery {
+                reason: "preamble not found".into(),
+            },
+            MesError::Host {
+                operation: "flock".into(),
+                errno: Some(11),
+            },
+            MesError::Host {
+                operation: "sem_open".into(),
+                errno: None,
+            },
+            MesError::InsufficientSemaphoreResources {
+                provisioned: 0,
+                required: 5,
+            },
         ];
         for case in cases {
             let msg = case.to_string();

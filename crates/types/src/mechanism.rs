@@ -91,10 +91,9 @@ impl Mechanism {
     /// The channel family (contention vs. cooperation) of this mechanism.
     pub fn family(self) -> ChannelFamily {
         match self {
-            Mechanism::Flock
-            | Mechanism::FileLockEx
-            | Mechanism::Mutex
-            | Mechanism::Semaphore => ChannelFamily::Contention,
+            Mechanism::Flock | Mechanism::FileLockEx | Mechanism::Mutex | Mechanism::Semaphore => {
+                ChannelFamily::Contention
+            }
             Mechanism::Event | Mechanism::Timer => ChannelFamily::Cooperation,
         }
     }
@@ -215,7 +214,10 @@ mod tests {
     #[test]
     fn parse_accepts_aliases() {
         assert_eq!("Event".parse::<Mechanism>().unwrap(), Mechanism::Event);
-        assert_eq!("LockFileEx".parse::<Mechanism>().unwrap(), Mechanism::FileLockEx);
+        assert_eq!(
+            "LockFileEx".parse::<Mechanism>().unwrap(),
+            Mechanism::FileLockEx
+        );
         assert_eq!("sem".parse::<Mechanism>().unwrap(), Mechanism::Semaphore);
         assert!("spinlock".parse::<Mechanism>().is_err());
     }

@@ -156,12 +156,24 @@ mod tests {
 
     #[test]
     fn validation_rules() {
-        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::new(65)).validate().is_ok());
-        assert!(ChannelTiming::cooperation(Micros::ZERO, Micros::new(65)).validate().is_err());
-        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::ZERO).validate().is_err());
-        assert!(ChannelTiming::contention(Micros::new(160), Micros::new(60)).validate().is_ok());
-        assert!(ChannelTiming::contention(Micros::new(50), Micros::new(60)).validate().is_err());
-        assert!(ChannelTiming::contention(Micros::new(60), Micros::ZERO).validate().is_err());
+        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::new(65))
+            .validate()
+            .is_ok());
+        assert!(ChannelTiming::cooperation(Micros::ZERO, Micros::new(65))
+            .validate()
+            .is_err());
+        assert!(ChannelTiming::cooperation(Micros::new(15), Micros::ZERO)
+            .validate()
+            .is_err());
+        assert!(ChannelTiming::contention(Micros::new(160), Micros::new(60))
+            .validate()
+            .is_ok());
+        assert!(ChannelTiming::contention(Micros::new(50), Micros::new(60))
+            .validate()
+            .is_err());
+        assert!(ChannelTiming::contention(Micros::new(60), Micros::ZERO)
+            .validate()
+            .is_err());
     }
 
     #[test]

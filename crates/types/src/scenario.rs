@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn parse_and_display() {
         assert_eq!("local".parse::<Scenario>().unwrap(), Scenario::Local);
-        assert_eq!("sandbox".parse::<Scenario>().unwrap(), Scenario::CrossSandbox);
+        assert_eq!(
+            "sandbox".parse::<Scenario>().unwrap(),
+            Scenario::CrossSandbox
+        );
         assert_eq!("cross_vm".parse::<Scenario>().unwrap(), Scenario::CrossVm);
         assert!("cloud".parse::<Scenario>().is_err());
         assert_eq!(Scenario::CrossSandbox.to_string(), "cross-sandbox");

@@ -6,7 +6,7 @@
 //! shows both halves: every non-file mechanism is rejected up front, and the
 //! FileLockEX channel still moves a message at Table VI rates.
 //!
-//! Run with `cargo run --release -p mes-core --example cross_vm_filelock`.
+//! Run with `cargo run --release -p mes-integration --example cross_vm_filelock`.
 
 use mes_coding::BitSource;
 use mes_core::{ChannelConfig, CovertChannel, SimBackend};
@@ -27,7 +27,11 @@ fn main() -> mes_types::Result<()> {
     println!();
 
     let config = ChannelConfig::paper_defaults(scenario, Mechanism::FileLockEx)?;
-    println!("Transmitting 4096 random bits over {} ({}):", Mechanism::FileLockEx, config.timing);
+    println!(
+        "Transmitting 4096 random bits over {} ({}):",
+        Mechanism::FileLockEx,
+        config.timing
+    );
     let channel = CovertChannel::new(config, profile.clone())?;
     let mut backend = SimBackend::new(profile, 0xC0DE);
     let payload = BitSource::new(0xC0DE).random_bits(4096);

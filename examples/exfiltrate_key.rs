@@ -2,7 +2,7 @@
 //! CRC-protected frame — the workload the paper's introduction motivates
 //! (a Trojan holding a cryptographic key but no overt channel).
 //!
-//! Run with `cargo run --release -p mes-core --example exfiltrate_key`.
+//! Run with `cargo run --release -p mes-integration --example exfiltrate_key`.
 
 use mes_coding::{BitSource, Crc8};
 use mes_core::{ChannelConfig, CovertChannel, SimBackend};
@@ -40,7 +40,10 @@ fn main() -> mes_types::Result<()> {
     match Crc8::verify_and_strip(report.received_payload()) {
         Some(recovered) => {
             println!("Spy recovered the key      : {recovered}");
-            println!("integrity check            : CRC-8 OK, keys match = {}", recovered == key);
+            println!(
+                "integrity check            : CRC-8 OK, keys match = {}",
+                recovered == key
+            );
         }
         None => {
             println!("integrity check            : CRC-8 FAILED — the Spy discards this round");

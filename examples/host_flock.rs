@@ -5,7 +5,7 @@
 //! its own lock attempts. Timing is scaled to milliseconds so the demo works
 //! on a loaded machine; the protocol is exactly Protocol 1 of the paper.
 //!
-//! Run with `cargo run --release -p mes-host --example host_flock`.
+//! Run with `cargo run --release -p mes-integration --example host_flock`.
 
 use mes_core::{ChannelConfig, CovertChannel};
 use mes_host::{host_timing, HostCondvarBackend, HostFlockBackend};

@@ -1,7 +1,7 @@
 //! Multi-bit symbol encoding (Section VI): squeeze more rate out of the
 //! Event channel by agreeing on four wait times instead of two.
 //!
-//! Run with `cargo run --release -p mes-core --example multi_symbol`.
+//! Run with `cargo run --release -p mes-integration --example multi_symbol`.
 
 use mes_coding::{BitSource, SymbolAlphabet};
 use mes_core::{SimBackend, SymbolChannel};
@@ -13,11 +13,15 @@ fn main() -> mes_types::Result<()> {
     let payload = BitSource::new(0x515).random_bits(4_000);
 
     println!("Transmitting 4000 bits over the local Event channel with 1-, 2- and 3-bit symbols:");
-    println!("{:>12} {:>14} {:>10} {:>12}", "bits/symbol", "levels (us)", "BER (%)", "TR (kb/s)");
+    println!(
+        "{:>12} {:>14} {:>10} {:>12}",
+        "bits/symbol", "levels (us)", "BER (%)", "TR (kb/s)"
+    );
     for k in 1u8..=3 {
         let alphabet = SymbolAlphabet::evenly_spaced(k, Micros::new(15), Micros::new(50))?;
         let levels: Vec<u64> = alphabet.durations().iter().map(|d| d.as_u64()).collect();
-        let channel = SymbolChannel::new(alphabet, Mechanism::Event, profile.clone(), 90 + k as u64)?;
+        let channel =
+            SymbolChannel::new(alphabet, Mechanism::Event, profile.clone(), 90 + k as u64)?;
         let mut backend = SimBackend::new(profile.clone(), 90 + k as u64);
         let report = channel.transmit(&payload, &mut backend)?;
         println!(

@@ -4,7 +4,7 @@
 //! at the paper's recommended timing (tw0 = 15 µs, ti = 65 µs); the Spy
 //! recovers it from its wait latencies.
 //!
-//! Run with `cargo run --release -p mes-core --example quickstart`.
+//! Run with `cargo run --release -p mes-integration --example quickstart`.
 
 use mes_core::{ChannelConfig, CovertChannel, SimBackend};
 use mes_scenario::ScenarioProfile;
@@ -17,7 +17,12 @@ fn main() -> mes_types::Result<()> {
     // 1. Configure the channel: mechanism + the paper's Timeset.
     let profile = ScenarioProfile::local();
     let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)?;
-    println!("Channel: {} ({}), timing {}", config.mechanism, config.mechanism.family(), config.timing);
+    println!(
+        "Channel: {} ({}), timing {}",
+        config.mechanism,
+        config.mechanism.family(),
+        config.timing
+    );
 
     // 2. Build the channel and a backend (here: the deterministic simulator).
     let channel = CovertChannel::new(config, profile.clone())?;

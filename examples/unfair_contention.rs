@@ -9,10 +9,10 @@
 //! This example drives the simulator directly (it needs the fairness switch,
 //! which the channel API deliberately does not expose).
 //!
-//! Run with `cargo run --release -p mes-core --example unfair_contention`.
+//! Run with `cargo run --release -p mes-integration --example unfair_contention`.
 
-use mes_core::{protocol, ChannelConfig, CovertChannel, SimBackend};
 use mes_coding::BitSource;
+use mes_core::{protocol, ChannelConfig, CovertChannel, SimBackend};
 use mes_scenario::ScenarioProfile;
 use mes_sim::fs::Fairness;
 use mes_sim::{Engine, NoiseModel};
@@ -57,7 +57,10 @@ fn main() -> mes_types::Result<()> {
     let payload = BitSource::new(1).random_bits(512);
     let baseline = channel.transmit(&payload, &mut backend)?;
     let baseline_ber = BerReport::compare(baseline.sent_wire(), baseline.received_wire());
-    println!("public API baseline (fair):   BER = {:.3}%", baseline_ber.ber_percent());
+    println!(
+        "public API baseline (fair):   BER = {:.3}%",
+        baseline_ber.ber_percent()
+    );
 
     let (fair_ber, fair_valid) = run_with_fairness(Fairness::Fair)?;
     let (unfair_ber, unfair_valid) = run_with_fairness(Fairness::Unfair)?;

@@ -1,0 +1,258 @@
+//! In-tree stand-in for `criterion` so the workspace's benchmarks build and
+//! run offline.
+//!
+//! The harness keeps Criterion's call surface (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, throughput
+//! annotations) but implements a deliberately small measurement loop: a
+//! warm-up pass, then timed batches until either the sample target or a
+//! wall-clock budget is reached. It reports mean time per iteration and,
+//! when a throughput is set, elements per second. No statistics, plots or
+//! saved baselines — swap the workspace `criterion` entry for the real crate
+//! when registry access is available.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many abstract elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (mirrors Criterion's
+/// `IntoBenchmarkId` so `&str` and [`BenchmarkId`] both work).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also forces lazy init inside the
+        // routine out of the measurement).
+        black_box(routine());
+
+        let budget = Duration::from_millis(300);
+        let target = self.sample_size.max(10) as u64;
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iterations < target || (elapsed < budget && iterations < target * 100) {
+            let begin = Instant::now();
+            black_box(routine());
+            elapsed += begin.elapsed();
+            iterations += 1;
+            if started.elapsed() > budget && iterations >= target {
+                break;
+            }
+            if started.elapsed() > budget * 4 {
+                break;
+            }
+        }
+        self.iterations = iterations.max(1);
+        self.mean = elapsed / self.iterations as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{group}/{id}: {} per iter ({} iters)",
+        format_duration(bencher.mean),
+        bencher.iterations
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let secs = bencher.mean.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!(", {:.0} {unit}/s", count as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the per-benchmark iteration target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: 50,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report("criterion", id, &bencher, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`, filters); this minimal harness always runs everything.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! In-tree stand-in for the `libc` crate so the workspace builds offline.
+//!
+//! Only the symbols the `mes-host` backend uses are declared: the
+//! `flock(2)` syscall wrapper and its operation constants. The declarations
+//! bind against the system C library that `std` already links.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+
+/// Shared lock.
+pub const LOCK_SH: c_int = 1;
+/// Exclusive lock.
+pub const LOCK_EX: c_int = 2;
+/// Non-blocking request (OR-ed with `LOCK_SH`/`LOCK_EX`).
+pub const LOCK_NB: c_int = 4;
+/// Unlock.
+pub const LOCK_UN: c_int = 8;
+
+extern "C" {
+    /// Applies or removes an advisory lock on an open file descriptor.
+    pub fn flock(fd: c_int, operation: c_int) -> c_int;
+}

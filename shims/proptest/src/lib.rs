@@ -1,0 +1,293 @@
+//! In-tree stand-in for `proptest` so the property tests run offline.
+//!
+//! Supports exactly the strategy forms the repository's tests use:
+//!
+//! * string regexes of the shape `"[01]{m,n}"` — a random 0/1 string with a
+//!   length drawn uniformly from `[m, n]`;
+//! * integer ranges such as `0u64..500`.
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]` that
+//! runs a fixed number of deterministically seeded cases (no shrinking). A
+//! failing case panics with the values interpolated by `prop_assert_eq!` /
+//! `prop_assert!`, which is enough to reproduce it under the fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each property runs.
+pub const CASES: u32 = 64;
+
+/// The per-test random state threaded through strategies.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic case generator handed to [`crate::strategy::Strategy`].
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with the shim's fixed seed.
+        pub fn new(seed: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(0x9E37_79B9_7F4A_7C15)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use super::*;
+
+    /// Something that can produce random values for a property.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            let (min, max) = parse_binary_pattern(self).unwrap_or_else(|| {
+                panic!(
+                    "the proptest shim only supports string strategies of the \
+                     form \"[01]{{m,n}}\", got {self:?}"
+                )
+            });
+            let len = min + runner.rng.gen_range(0..(max - min + 1));
+            (0..len)
+                .map(|_| if runner.rng.gen::<bool>() { '1' } else { '0' })
+                .collect()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, runner: &mut TestRunner) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + runner.rng.gen_range(0..span) as $t
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, runner: &mut TestRunner) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let span = (end - start) as u64 + 1;
+                        start + runner.rng.gen_range(0..span) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + runner.rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    /// `any::<T>()`: the standard distribution over a primitive type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Creates an [`Any`] strategy.
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Strategy for Any<u8> {
+        type Value = u8;
+
+        fn sample(&self, runner: &mut TestRunner) -> u8 {
+            runner.rng.gen_range(0u64..256) as u8
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.rng.gen()
+        }
+    }
+
+    /// Strategy produced by [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) length: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.length.clone().sample(runner);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+
+    /// Strategy produced by [`crate::sample::select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        pub(crate) choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            assert!(!self.choices.is_empty(), "select needs at least one choice");
+            self.choices[runner.rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+
+    /// Parses `[01]{m,n}` (or `[01]{n}`) into inclusive length bounds.
+    fn parse_binary_pattern(pattern: &str) -> Option<(u64, u64)> {
+        let rest = pattern.strip_prefix("[01]{")?.strip_suffix('}')?;
+        match rest.split_once(',') {
+            Some((min, max)) => Some((min.trim().parse().ok()?, max.trim().parse().ok()?)),
+            None => {
+                let n = rest.trim().parse().ok()?;
+                Some((n, n))
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `length` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, length: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::strategy::Select;
+
+    /// Picks uniformly from a fixed list of choices.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        Select { choices }
+    }
+}
+
+/// The `prop::` alias module the prelude exposes.
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+/// The subset of `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests; each expands to a `#[test]` running
+/// [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                for _case in 0..$crate::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut runner);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// `assert_eq!` under a property (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn binary_pattern_strategy_respects_bounds() {
+        let mut runner = TestRunner::default();
+        for _ in 0..200 {
+            let s = "[01]{2,5}".sample(&mut runner);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut runner = TestRunner::default();
+        for _ in 0..200 {
+            let v = (3u64..9).sample(&mut runner);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_compiles_and_runs(value in 0u64..10, bits in "[01]{1,4}") {
+            prop_assert!(value < 10);
+            prop_assert_eq!(bits.is_empty(), false);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! In-tree stand-in for `serde` so the workspace builds offline.
+//!
+//! The repository's types carry `#[derive(Serialize, Deserialize)]` so that a
+//! future wire/persistence layer can serialise them, but no code in the
+//! workspace serialises anything yet. This shim provides the two names as
+//! (a) no-op derive macros and (b) blanket-implemented marker traits, which
+//! is exactly enough for every current use. Swap the `serde` entry in the
+//! workspace `Cargo.toml` for the real crate when the build environment has
+//! registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

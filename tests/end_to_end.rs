@@ -19,7 +19,9 @@ fn transmit(
         .with_seed(seed);
     let channel = CovertChannel::new(config, profile.clone()).expect("valid channel");
     let mut backend = SimBackend::new(profile, seed);
-    channel.transmit(payload, &mut backend).expect("transmission succeeds")
+    channel
+        .transmit(payload, &mut backend)
+        .expect("transmission succeeds")
 }
 
 #[test]
@@ -75,8 +77,14 @@ fn cooperation_channels_beat_contention_channels_as_in_the_paper() {
     let semaphore = transmit(Mechanism::Semaphore, Scenario::Local, &payload, 1)
         .throughput()
         .kilobits_per_second();
-    assert!(event > flock, "Event ({event:.2}) should beat flock ({flock:.2})");
-    assert!(flock > semaphore, "flock ({flock:.2}) should beat Semaphore ({semaphore:.2})");
+    assert!(
+        event > flock,
+        "Event ({event:.2}) should beat flock ({flock:.2})"
+    );
+    assert!(
+        flock > semaphore,
+        "flock ({flock:.2}) should beat Semaphore ({semaphore:.2})"
+    );
 }
 
 #[test]

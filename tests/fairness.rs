@@ -20,7 +20,9 @@ fn ber_with(fairness: Fairness, inter_bit_sync: bool, bits: usize, seed: u64) ->
     }
     let channel = CovertChannel::new(config.clone(), profile.clone()).unwrap();
     let payload = BitSource::new(seed).random_bits(bits);
-    let wire = FrameCodec::new(config.preamble.clone()).unwrap().encode(&payload);
+    let wire = FrameCodec::new(config.preamble.clone())
+        .unwrap()
+        .encode(&payload);
     let plan = protocol::encode(&wire, &config, &profile).unwrap();
     let (trojan, spy) = SimBackend::new(profile.clone(), seed).build_programs(&plan);
 
@@ -42,7 +44,10 @@ fn ber_with(fairness: Fairness, inter_bit_sync: bool, bits: usize, seed: u64) ->
 #[test]
 fn fair_hand_off_keeps_the_channel_usable() {
     let ber = ber_with(Fairness::Fair, true, 512, 0xFA1);
-    assert!(ber < 1.5, "fair hand-off BER {ber:.3}% should be below 1.5%");
+    assert!(
+        ber < 1.5,
+        "fair hand-off BER {ber:.3}% should be below 1.5%"
+    );
 }
 
 #[test]
@@ -51,7 +56,10 @@ fn paper_protocol_tolerates_unfair_hand_off_thanks_to_inter_bit_sync() {
     // process can re-acquire the lock out of turn, so even an unfair kernel
     // hand-off leaves the channel usable.
     let ber = ber_with(Fairness::Unfair, true, 512, 0xFA3);
-    assert!(ber < 5.0, "synchronized channel should survive unfair hand-off, BER {ber:.3}%");
+    assert!(
+        ber < 5.0,
+        "synchronized channel should survive unfair hand-off, BER {ber:.3}%"
+    );
 }
 
 #[test]

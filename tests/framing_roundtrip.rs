@@ -63,7 +63,8 @@ fn ber_report_matches_manual_count_on_noisy_decode() {
             flipped += 1;
         }
     }
-    let decoder = ThresholdDecoder::midpoint(Micros::new(20).to_nanos(), Micros::new(90).to_nanos());
+    let decoder =
+        ThresholdDecoder::midpoint(Micros::new(20).to_nanos(), Micros::new(90).to_nanos());
     let received = decoder.decode_all(&latencies);
     let report = BerReport::compare(&wire, &received);
     assert_eq!(report.errors(), 5);

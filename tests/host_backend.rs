@@ -42,17 +42,13 @@ fn real_condvar_channel_leaks_two_bytes() {
 #[test]
 fn host_backends_reject_foreign_mechanism_plans() {
     use mes_core::{protocol, ChannelBackend};
-    let event_config =
-        ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
-    let event_plan =
-        protocol::event::encode(&BitString::from_str01("10").unwrap(), &event_config);
+    let event_config = ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
+    let event_plan = protocol::event::encode(&BitString::from_str01("10").unwrap(), &event_config);
     let mut flock_backend = HostFlockBackend::new().unwrap();
     assert!(flock_backend.transmit(&event_plan).is_err());
 
-    let flock_config =
-        ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
-    let flock_plan =
-        protocol::flock::encode(&BitString::from_str01("10").unwrap(), &flock_config);
+    let flock_config = ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
+    let flock_plan = protocol::flock::encode(&BitString::from_str01("10").unwrap(), &flock_config);
     let mut condvar_backend = HostCondvarBackend::new();
     assert!(condvar_backend.transmit(&flock_plan).is_err());
 }

@@ -53,8 +53,14 @@ fn rates_degrade_from_local_to_sandbox_to_cross_vm() {
         let report = channel.transmit(&payload, &mut backend).unwrap();
         rates.push((scenario, report.throughput().kilobits_per_second()));
     }
-    assert!(rates[0].1 > rates[1].1, "local should beat sandbox: {rates:?}");
-    assert!(rates[1].1 > rates[2].1, "sandbox should beat cross-VM: {rates:?}");
+    assert!(
+        rates[0].1 > rates[1].1,
+        "local should beat sandbox: {rates:?}"
+    );
+    assert!(
+        rates[1].1 > rates[2].1,
+        "sandbox should beat cross-VM: {rates:?}"
+    );
 }
 
 #[test]
