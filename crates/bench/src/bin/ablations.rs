@@ -11,124 +11,21 @@
 //!    contention on an open resource raises the BER; the closed resources
 //!    used by MES-Attacks avoid it.
 //!
+//! The variants are two `Custom` [`mes_core::ExperimentSpec`]s (the clean
+//! profile and the open-interference profile) submitted to one
+//! [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin ablations`.
 
-use mes_bench::table_bits;
-use mes_coding::BitSource;
-use mes_core::{
-    ChannelBackend, ChannelConfig, CovertChannel, PreparedRound, SimBackend, TransmissionPlan,
-};
-use mes_scenario::ScenarioProfile;
-use mes_sim::noise::OpenResourceInterference;
-use mes_stats::Table;
-use mes_types::{Mechanism, Result, Scenario};
-
-/// Compiles one ablation variant; variants sharing a profile are executed
-/// as one batch on a single backend.
-fn prepare(
-    profile: &ScenarioProfile,
-    config: ChannelConfig,
-    bits: usize,
-    seed: u64,
-) -> Result<(PreparedRound, TransmissionPlan)> {
-    let channel = CovertChannel::new(config, profile.clone())?;
-    let payload = BitSource::new(seed).random_bits(bits);
-    PreparedRound::new(channel, payload)
-}
-
-fn measure_batch(
-    profile: &ScenarioProfile,
-    rounds: &[PreparedRound],
-    plans: &[TransmissionPlan],
-    seed: u64,
-) -> Result<Vec<(f64, f64, bool)>> {
-    let mut backend = SimBackend::new(profile.clone(), seed);
-    let observations = backend.transmit_batch(plans)?;
-    Ok(rounds
-        .iter()
-        .zip(&observations)
-        .map(|(round, observation)| {
-            let report = round.recover(observation);
-            (
-                report.wire_ber().ber_percent(),
-                report.throughput().kilobits_per_second(),
-                report.frame_valid(),
-            )
-        })
-        .collect())
-}
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
+use mes_types::Result;
 
 fn main() -> Result<()> {
-    let bits = table_bits().min(10_000);
-    let mut table = Table::new(vec![
-        "Ablation".into(),
-        "Variant".into(),
-        "BER (%)".into(),
-        "TR (kb/s)".into(),
-        "Frame valid".into(),
-    ])
-    .with_title(format!(
-        "Design-choice ablations (flock, local scenario, {bits} bits)"
-    ));
-
-    let baseline_cfg = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock)?;
-    let local = ScenarioProfile::local();
-
-    // Variants 1-3 share the local profile, so they run as one batch on one
-    // backend; the open-resource variant needs its own (noisier) profile.
-    let labels = [
-        ("inter-bit sync", "enabled (paper)"),
-        ("inter-bit sync", "disabled (drift)"),
-        ("shared resource", "closed (paper)"),
-    ];
-    let (rounds, plans): (Vec<_>, Vec<_>) = vec![
-        prepare(&local, baseline_cfg.clone(), bits, 0xAB1)?,
-        prepare(
-            &local,
-            baseline_cfg.clone().without_inter_bit_sync(),
-            bits.min(2_000),
-            0xAB2,
-        )?,
-        prepare(&local, baseline_cfg.clone(), bits, 0xAB3)?,
-    ]
-    .into_iter()
-    .unzip();
-    let results = measure_batch(&local, &rounds, &plans, 0xAB0)?;
-    for ((ablation, variant), (ber, tr, ok)) in labels.iter().zip(&results) {
-        table.add_row(vec![
-            (*ablation).into(),
-            (*variant).into(),
-            format!("{ber:.3}"),
-            format!("{tr:.3}"),
-            ok.to_string(),
-        ]);
-    }
-
-    let noisy_profile = ScenarioProfile::local().with_noise(
-        ScenarioProfile::local()
-            .noise()
-            .clone()
-            .with_open_interference(OpenResourceInterference {
-                contention_probability: 0.05,
-                occupancy_mean_us: 120.0,
-            }),
-    );
-    let (open_round, open_plan) = prepare(&noisy_profile, baseline_cfg, bits, 0xAB4)?;
-    let (ber, tr, ok) = measure_batch(&noisy_profile, &[open_round], &[open_plan], 0xAB4)?[0];
-    table.add_row(vec![
-        "shared resource".into(),
-        "open (3rd-party contention)".into(),
-        format!("{ber:.3}"),
-        format!("{tr:.3}"),
-        ok.to_string(),
-    ]);
-
-    print!("{}", table.render());
-    println!();
-    println!("Note: the fair vs. unfair hand-off ablation is demonstrated by the");
-    println!(
-        "`unfair_contention` example (cargo run -p mes-integration --example unfair_contention),"
-    );
-    println!("which needs direct access to the simulator's fairness switch.");
+    let bits = table_bits();
+    let mut service = SweepService::with_default_pool();
+    let closed = service.submit(&experiments::ablation_closed_spec(bits)?)?;
+    let open = service.submit(&experiments::ablation_open_spec(bits)?)?;
+    print!("{}", experiments::render_ablations(&closed, &open, bits));
     Ok(())
 }

@@ -2,50 +2,36 @@
 //! paper, in order, with reduced payload sizes so the whole run stays within
 //! a few minutes. Use the individual binaries for full-size runs.
 //!
+//! Unlike its original incarnation — which spawned every harness binary as a
+//! child `cargo run` — the evaluation now executes in-process on **one
+//! shared [`mes_core::SweepService`]**: every section builds its
+//! [`mes_core::ExperimentSpec`] and submits it, so grids that overlap
+//! (Table IV and the parallel projection share the local scenario table) are
+//! simulated once and served from the observation cache afterwards.
+//!
 //! Run with `cargo run --release -p mes-bench --bin all_experiments`.
 
-use std::process::Command;
+use mes_bench::experiments;
+use mes_core::SweepService;
+use mes_types::Result;
 
-fn run(binary: &str) {
-    println!("==================================================================");
-    println!("== {binary}");
-    println!("==================================================================");
-    let status = Command::new(env!("CARGO"))
-        .args([
-            "run",
-            "--quiet",
-            "--release",
-            "-p",
-            "mes-bench",
-            "--bin",
-            binary,
-        ])
-        .env(
-            "MES_BENCH_BITS",
-            std::env::var("MES_BENCH_BITS").unwrap_or_else(|_| "5000".into()),
-        )
-        .status();
-    match status {
-        Ok(code) if code.success() => {}
-        Ok(code) => eprintln!("{binary} exited with {code}"),
-        Err(error) => eprintln!("failed to launch {binary}: {error}"),
+fn main() -> Result<()> {
+    let bits = std::env::var("MES_BENCH_BITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let mut service = SweepService::with_default_pool();
+    for section in experiments::run_all(&mut service, bits)? {
+        println!("==================================================================");
+        println!("== {}", section.title);
+        println!("==================================================================");
+        println!("{}", section.body);
     }
-    println!();
-}
-
-fn main() {
-    for binary in [
-        "fig8_poc",
-        "fig9_event_sweep",
-        "fig10_flock_sweep",
-        "table4_local",
-        "table5_sandbox",
-        "table6_crossvm",
-        "fig11_multibit",
-        "table2_semaphore_provisioning",
-        "parallel_projection",
-        "ablations",
-    ] {
-        run(binary);
-    }
+    println!(
+        "service totals: {} rounds executed, {} cache hits, {} observations cached",
+        service.rounds_executed(),
+        service.cache_hits(),
+        service.cached_observations()
+    );
+    Ok(())
 }

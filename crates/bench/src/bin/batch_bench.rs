@@ -1,28 +1,34 @@
 //! Measures the batched/parallel execution pipeline on a 64-round sweep and
 //! writes a machine-readable summary to `BENCH_batch.json`.
 //!
-//! Three execution strategies over the same 64 plans (local Event channel,
-//! 128 payload bits per round):
+//! The 64-round grid is one `Custom` [`ExperimentSpec`] (local Event
+//! channel, 128 payload bits per round); the compiled plans feed four
+//! execution strategies:
 //!
 //! * `sequential_fresh_ms` — one fresh `SimBackend` per round: the cost
-//!   model before this pipeline existed;
+//!   model before the batching pipeline existed;
 //! * `batched_ms` — one backend, `transmit_batch`, engine reused across
 //!   rounds;
-//! * `parallel_ms` — the `RoundExecutor` with one worker per available core.
+//! * `parallel_ms` — the `RoundExecutor` with one worker per available core;
+//! * `service_cold_ms` / `service_warm_ms` — a [`SweepService`] submission
+//!   with an empty cache, then the identical resubmission (which must
+//!   execute zero rounds).
 //!
-//! All three are verified to produce bit-identical observations before any
-//! number is reported; a parallel speedup is expected on machines with ≥ 2
-//! cores (on a single core the executor degrades to the sequential path).
+//! All strategies are verified to produce bit-identical observations before
+//! any number is reported. If a committed `BENCH_batch.json` exists, the
+//! measured wall clocks are compared against it and the binary **exits
+//! nonzero when any shared metric regressed by more than 25 %** (set
+//! `MES_BENCH_SKIP_REGRESSION=1` to bypass, e.g. on a machine class the
+//! baseline was not recorded on).
 //!
 //! Run with `cargo run --release -p mes-bench --bin batch_bench`.
 
-use mes_coding::BitSource;
+use mes_bench::wallclock_regressions;
+use mes_coding::PayloadSpec;
 use mes_core::exec::RoundExecutor;
-use mes_core::{
-    round_seed, ChannelBackend, ChannelConfig, CovertChannel, Observation, SimBackend,
-    TransmissionPlan,
-};
-use mes_scenario::ScenarioProfile;
+use mes_core::experiment::{CompiledExperiment, PointSpec};
+use mes_core::{round_seed, ChannelBackend, ExperimentSpec, Observation, SimBackend, SweepService};
+use mes_stats::Json;
 use mes_types::{Mechanism, Result, Scenario};
 use std::time::Instant;
 
@@ -30,6 +36,7 @@ const ROUNDS: usize = 64;
 const BITS: usize = 128;
 const SEED: u64 = 0xBEEF;
 const REPEATS: usize = 5;
+const REGRESSION_TOLERANCE: f64 = 0.25;
 
 fn best_of<T>(mut run: impl FnMut() -> T) -> (f64, T) {
     let mut best_ms = f64::INFINITY;
@@ -43,16 +50,28 @@ fn best_of<T>(mut run: impl FnMut() -> T) -> (f64, T) {
     (best_ms, last.expect("at least one repeat"))
 }
 
-fn main() -> Result<()> {
-    let profile = ScenarioProfile::local();
-    let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event)?;
-    let channel = CovertChannel::new(config, profile.clone())?;
-    let plans: Vec<TransmissionPlan> = (0..ROUNDS)
+fn spec() -> Result<ExperimentSpec> {
+    let timing = mes_scenario::paper_timeset(Scenario::Local, Mechanism::Event)?;
+    let points = (0..ROUNDS)
         .map(|round| {
-            let payload = BitSource::new(round as u64).random_bits(BITS);
-            Ok(channel.plan_for(&payload)?.1)
+            PointSpec::new(
+                "Event",
+                round as f64,
+                Mechanism::Event,
+                timing,
+                PayloadSpec::Random { bits: BITS },
+                round as u64,
+            )
         })
-        .collect::<Result<_>>()?;
+        .collect();
+    Ok(ExperimentSpec::custom("batch-bench", Scenario::Local, points, SEED).with_x_label("round"))
+}
+
+fn main() -> Result<()> {
+    let spec = spec()?;
+    let compiled = CompiledExperiment::compile(&spec)?;
+    let profile = compiled.profile().clone();
+    let plans = compiled.plans();
 
     let executor = RoundExecutor::available_parallelism();
     let workers = executor.workers();
@@ -70,20 +89,34 @@ fn main() -> Result<()> {
     });
     let (batched_ms, batched) = best_of(|| {
         SimBackend::new(profile.clone(), SEED)
-            .transmit_batch(&plans)
+            .transmit_batch(plans)
             .expect("batch runs")
     });
     let (parallel_ms, parallel) = best_of(|| {
         executor
-            .execute(&plans, || SimBackend::new(profile.clone(), SEED))
+            .execute(plans, || SimBackend::new(profile.clone(), SEED))
             .expect("parallel batch runs")
     });
 
+    let started = Instant::now();
+    let mut service = SweepService::new(executor);
+    let cold = service.submit(&spec).expect("cold submission runs");
+    let service_cold_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let started = Instant::now();
+    let warm = service.submit(&spec).expect("warm submission runs");
+    let service_warm_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(warm.rounds_executed, 0, "warm submission must be all cache");
+    assert_eq!(cold.series, warm.series);
+
+    // Determinism gate: every strategy (and the service fold) agrees.
     let deterministic = fresh == batched && batched == parallel;
     assert!(
         deterministic,
         "execution strategies disagreed — determinism bug"
     );
+    let parallel_refs: Vec<&Observation> = parallel.iter().collect();
+    let folded = compiled.fold(&parallel_refs, &[], &mut mes_core::experiment::NullSink)?;
+    assert_eq!(folded.series, cold.series, "service fold disagreed");
 
     let speedup_parallel = sequential_fresh_ms / parallel_ms;
     let speedup_batched = sequential_fresh_ms / batched_ms;
@@ -94,14 +127,56 @@ fn main() -> Result<()> {
         "  batched    (one engine, reused):      {batched_ms:>8.2} ms  ({speedup_batched:.2}x)"
     );
     println!("  parallel   ({workers} workers):            {parallel_ms:>8.2} ms  ({speedup_parallel:.2}x)");
+    println!("  service    (cold cache):              {service_cold_ms:>8.2} ms");
+    println!("  service    (warm cache):              {service_warm_ms:>8.2} ms");
     if workers < 2 {
         println!("  note: single core available; parallel speedup requires >= 2 cores");
+    }
+
+    // Gate BEFORE overwriting: a failing run must leave the committed
+    // baseline intact, otherwise re-running would compare regressed numbers
+    // against themselves and pass.
+    let baseline = std::fs::read_to_string("BENCH_batch.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    if std::env::var("MES_BENCH_SKIP_REGRESSION").is_ok() {
+        println!("  regression check skipped (MES_BENCH_SKIP_REGRESSION set)");
+    } else if let Some(baseline) = &baseline {
+        let regressions = wallclock_regressions(
+            baseline,
+            &[
+                ("sequential_fresh_ms", sequential_fresh_ms),
+                ("batched_ms", batched_ms),
+                ("parallel_ms", parallel_ms),
+                ("service_cold_ms", service_cold_ms),
+            ],
+            REGRESSION_TOLERANCE,
+        );
+        if regressions.is_empty() {
+            println!(
+                "  regression check passed (tolerance {:.0}%)",
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for (metric, baseline_ms, measured_ms) in &regressions {
+                eprintln!(
+                    "  REGRESSION: {metric} {measured_ms:.2} ms vs committed {baseline_ms:.2} ms \
+                     (> {:.0}% slower)",
+                    REGRESSION_TOLERANCE * 100.0
+                );
+            }
+            eprintln!("  BENCH_batch.json left untouched");
+            std::process::exit(2);
+        }
+    } else {
+        println!("  no committed BENCH_batch.json baseline; regression check skipped");
     }
 
     let json = format!(
         "{{\n  \"rounds\": {ROUNDS},\n  \"payload_bits\": {BITS},\n  \"workers\": {workers},\n  \
          \"sequential_fresh_ms\": {sequential_fresh_ms:.3},\n  \"batched_ms\": {batched_ms:.3},\n  \
-         \"parallel_ms\": {parallel_ms:.3},\n  \"speedup_batched\": {speedup_batched:.3},\n  \
+         \"parallel_ms\": {parallel_ms:.3},\n  \"service_cold_ms\": {service_cold_ms:.3},\n  \
+         \"service_warm_ms\": {service_warm_ms:.3},\n  \"speedup_batched\": {speedup_batched:.3},\n  \
          \"speedup_parallel\": {speedup_parallel:.3},\n  \"deterministic\": {deterministic}\n}}\n"
     );
     std::fs::write("BENCH_batch.json", &json).map_err(|error| mes_types::MesError::Host {

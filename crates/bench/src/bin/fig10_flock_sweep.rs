@@ -9,51 +9,18 @@
 //! TR falls monotonically with `tt1`. The paper recommends `tt1` = 160 µs:
 //! 7.182 kb/s at 0.615 % BER.
 //!
+//! The grid is built as an [`mes_core::ExperimentSpec`] and submitted to a
+//! [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin fig10_flock_sweep`.
 
-use mes_bench::table_bits;
-use mes_core::{sweep, RoundExecutor};
-use mes_scenario::ScenarioProfile;
-use mes_types::{Mechanism, Result};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
+use mes_types::Result;
 
 fn main() -> Result<()> {
     let bits = table_bits();
-    let profile = ScenarioProfile::local();
-    let executor = RoundExecutor::available_parallelism();
-    let tt1_values = [110u64, 140, 170, 200, 230, 260, 290, 320];
-    let sweep = sweep::contention_sweep_parallel(
-        Mechanism::Flock,
-        &profile,
-        &executor,
-        &tt1_values,
-        60,
-        bits,
-        0xF10,
-    )?;
-
-    println!(
-        "Fig. 10: flock channel, local scenario, tt0 = 60 us, {bits} bits per point \
-         ({} worker threads)",
-        executor.workers()
-    );
-    println!();
-    println!("{:>8} {:>12} {:>12}", "tt1 (us)", "BER (%)", "TR (kb/s)");
-    for point in sweep.series()[0].points() {
-        println!(
-            "{:>8} {:>12.3} {:>12.3}",
-            point.x, point.ber_percent, point.rate_kbps
-        );
-    }
-    if let Some(best) = sweep.series()[0].best_under_ber(1.0) {
-        println!();
-        println!(
-            "Recommended operating point (BER < 1%): tt1 = {} us, {:.3} kb/s at {:.3}% BER",
-            best.x, best.rate_kbps, best.ber_percent
-        );
-        println!("Paper's choice: tt1 = 160 us, 7.182 kb/s at 0.615% BER");
-    }
-    println!();
-    println!("CSV:");
-    print!("{}", sweep.to_csv());
+    let result = SweepService::with_default_pool().submit(&experiments::fig10_spec(bits))?;
+    print!("{}", experiments::render_fig10(&result, bits));
     Ok(())
 }

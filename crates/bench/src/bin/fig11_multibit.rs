@@ -3,102 +3,30 @@
 //!
 //! * Fig. 11: the latencies of 200 transmitted 2-bit symbols, showing the
 //!   four distinct levels (15 / 65 / 115 / 165 µs plus protocol overhead);
-//! * Section VI: transmission rate for 1-, 2- and 3-bit symbols. The paper
-//!   measures ≈ 13.105 kb/s for 1 bit, ≈ 15.095 kb/s for 2 bits, and no
-//!   further gain for 3 bits because the long symbols dominate.
+//! * Section VI: transmission rate for 1-, 2- and 3-bit symbols, built as a
+//!   `SymbolWidths` [`mes_core::ExperimentSpec`] and submitted to a
+//!   [`mes_core::SweepService`]. The paper measures ≈ 13.105 kb/s for 1 bit,
+//!   ≈ 15.095 kb/s for 2 bits, and no further gain for 3 bits because the
+//!   long symbols dominate.
 //!
 //! Run with `cargo run --release -p mes-bench --bin fig11_multibit`.
 
-use mes_bench::table_bits;
-use mes_coding::{BitSource, SymbolAlphabet};
-use mes_core::{ChannelBackend, SimBackend, SymbolChannel};
-use mes_scenario::ScenarioProfile;
-use mes_types::{Mechanism, Micros, Result};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
+use mes_types::Result;
 
 fn main() -> Result<()> {
-    let profile = ScenarioProfile::local();
-
-    // ----- Fig. 11: 200 two-bit symbols, observed latencies ----------------
-    let channel = SymbolChannel::paper_section_six(profile.clone(), 0xF11)?;
-    let mut backend = SimBackend::new(profile.clone(), 0xF11);
-    let payload = BitSource::new(11).random_bits(400); // 200 symbols
-    let report = channel.transmit(&payload, &mut backend)?;
-    println!("Fig. 11: 2-bit symbol transmission (15/65/115/165 us), 200 symbols");
-    println!("  symbol index | sent | decoded | latency (us)");
-    for (i, ((sent, received), latency)) in report
-        .sent_symbols()
-        .iter()
-        .zip(report.received_symbols().iter())
-        .zip(report.latencies().iter())
-        .enumerate()
-        .take(32)
-    {
-        println!(
-            "  {i:>12} | {sent:>4} | {received:>7} | {:>10.1}",
-            latency.as_micros_f64()
-        );
-    }
-    println!("  ... ({} symbols total)", report.sent_symbols().len());
-    println!(
-        "  symbol error rate: {:.3}%, BER: {:.3}%",
-        report.symbol_error_rate() * 100.0,
-        report.ber().ber_percent()
-    );
+    print!("{}", experiments::fig11_latency_demo()?);
     println!();
 
-    // ----- Section VI: rate vs. bits per symbol ----------------------------
-    // All three symbol widths are compiled up front and executed as one
-    // batch on a single backend: plans are self-contained, so the widths
-    // share the backend's engine across rounds.
-    let bits = table_bits().min(40_000);
-    println!("Section VI: transmission rate vs. symbol width ({bits} payload bits each)");
-    println!(
-        "{:>14} {:>12} {:>12} {:>22}",
-        "bits/symbol", "TR (kb/s)", "BER (%)", "paper reference"
+    let bits = table_bits();
+    let result = SweepService::with_default_pool().submit(&experiments::fig11_spec(bits))?;
+    print!("{}", experiments::render_fig11(&result, bits));
+
+    let points = result.series.series()[0].points();
+    assert!(
+        points[1].rate_kbps > points[0].rate_kbps,
+        "2-bit symbols should beat 1-bit symbols"
     );
-    let references = ["13.105 kb/s", "~15.095 kb/s", "no further gain"];
-
-    let widths = [1u8, 2, 3];
-    let mut channels = Vec::with_capacity(widths.len());
-    let mut payloads = Vec::with_capacity(widths.len());
-    let mut sent_symbols = Vec::with_capacity(widths.len());
-    let mut plans = Vec::with_capacity(widths.len());
-    for &k in &widths {
-        let alphabet = SymbolAlphabet::evenly_spaced(k, Micros::new(15), Micros::new(50))?;
-        let channel = SymbolChannel::new(
-            alphabet,
-            Mechanism::Event,
-            profile.clone(),
-            0xF11 + k as u64,
-        )?;
-        let payload = BitSource::new(42 + k as u64).random_bits(bits);
-        let (symbols, plan) = channel.plan(&payload)?;
-        channels.push(channel);
-        payloads.push(payload);
-        sent_symbols.push(symbols);
-        plans.push(plan);
-    }
-    let mut backend = SimBackend::new(profile, 0x5EED);
-    let observations = backend.transmit_batch(&plans)?;
-
-    let mut previous_rate = 0.0;
-    for (i, &k) in widths.iter().enumerate() {
-        let report = channels[i].recover(&payloads[i], &sent_symbols[i], &observations[i])?;
-        let rate = report.throughput().kilobits_per_second();
-        println!(
-            "{:>14} {:>12.3} {:>12.3} {:>22}",
-            k,
-            rate,
-            report.ber().ber_percent(),
-            references[i]
-        );
-        if k == 2 {
-            assert!(
-                rate > previous_rate,
-                "2-bit symbols should beat 1-bit symbols"
-            );
-        }
-        previous_rate = rate;
-    }
     Ok(())
 }

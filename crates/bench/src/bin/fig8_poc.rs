@@ -9,49 +9,18 @@
 //! * Fig. 8(c): mutual-exclusion (flock) channel — the Trojan holds the lock
 //!   3 s for a `1` and sleeps 1 s for a `0`.
 //!
+//! Both channels are one `Custom` [`mes_core::ExperimentSpec`] with latency
+//! capture enabled; the per-bit detection times come from the result's
+//! point provenance.
+//!
 //! Run with `cargo run --release -p mes-bench --bin fig8_poc`.
 
-use mes_coding::BitSource;
-use mes_core::protocol;
-use mes_core::{ChannelBackend, ChannelConfig, SimBackend};
-use mes_scenario::ScenarioProfile;
-use mes_types::{ChannelTiming, Mechanism, Micros, Result};
-
-fn run_poc(mechanism: Mechanism, timing: ChannelTiming, label: &str) -> Result<()> {
-    let profile = ScenarioProfile::local();
-    let config = ChannelConfig::new(mechanism, timing)?;
-    let sequence = BitSource::figure8_sequence();
-    let plan = protocol::encode(&sequence, &config, &profile)?;
-    let mut backend = SimBackend::new(profile, 8);
-    let observation = backend.transmit(&plan)?;
-
-    println!("{label}");
-    println!("  bit index | sent | spy detection time (s)");
-    for (index, (bit, latency)) in sequence
-        .iter()
-        .zip(observation.latencies.iter())
-        .enumerate()
-    {
-        println!("  {index:>9} |   {bit}  | {:.3}", latency.as_secs_f64());
-    }
-    println!();
-    Ok(())
-}
+use mes_bench::experiments;
+use mes_core::SweepService;
+use mes_types::Result;
 
 fn main() -> Result<()> {
-    let sequence = BitSource::figure8_sequence();
-    println!("Fig. 8(a): data sent by the Trojan: {sequence}");
-    println!();
-    run_poc(
-        Mechanism::Event,
-        ChannelTiming::cooperation(Micros::from_secs(1), Micros::from_secs(1)),
-        "Fig. 8(b): the Spy under synchronization (Event, 1s/2s)",
-    )?;
-    run_poc(
-        Mechanism::Flock,
-        ChannelTiming::contention(Micros::from_secs(3), Micros::from_secs(1)),
-        "Fig. 8(c): the Spy under mutual exclusion (flock, 3s hold / 1s sleep)",
-    )?;
-    println!("'1' and '0' are clearly distinguishable in both channels.");
+    let result = SweepService::with_default_pool().submit(&experiments::fig8_spec())?;
+    print!("{}", experiments::render_fig8(&result));
     Ok(())
 }

@@ -8,73 +8,20 @@
 //! 1 %, which the paper picks as `tw0` = 15 µs, `ti` ≈ 65–70 µs at
 //! 13.105 kb/s.
 //!
+//! The grid is built as an [`mes_core::ExperimentSpec`] and submitted to a
+//! [`mes_core::SweepService`]; `sweepd` runs the identical grid from a JSON
+//! spec.
+//!
 //! Run with `cargo run --release -p mes-bench --bin fig9_event_sweep`.
 //! `MES_BENCH_BITS` controls the bits per point (default 20 000).
 
-use mes_bench::table_bits;
-use mes_core::{sweep, RoundExecutor};
-use mes_scenario::ScenarioProfile;
-use mes_types::{Mechanism, Result};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
+use mes_types::Result;
 
 fn main() -> Result<()> {
     let bits = table_bits();
-    let profile = ScenarioProfile::local();
-    let executor = RoundExecutor::available_parallelism();
-    let tw0_values = [15u64, 25, 35, 45, 55, 65, 75];
-    let ti_values = [30u64, 50, 70, 90, 110, 130];
-    let sweep = sweep::cooperation_sweep_parallel(
-        Mechanism::Event,
-        &profile,
-        &executor,
-        &tw0_values,
-        &ti_values,
-        bits,
-        0xF19,
-    )?;
-
-    println!(
-        "Fig. 9(a)/(b): Event channel, local scenario, {bits} bits per point \
-         ({} worker threads)",
-        executor.workers()
-    );
-    println!();
-    println!("{}", sweep.to_csv());
-
-    println!("Fig. 9(a) — BER (%) by tw0 (rows) and interval ti (columns):");
-    print!("{:>8}", "tw0\\ti");
-    for ti in ti_values {
-        print!("{ti:>10}");
-    }
-    println!();
-    for (row, tw0) in tw0_values.iter().enumerate() {
-        print!("{tw0:>8}");
-        for series in sweep.series() {
-            print!("{:>10.3}", series.points()[row].ber_percent);
-        }
-        println!();
-    }
-    println!();
-    println!("Fig. 9(b) — TR (kb/s) by tw0 (rows) and interval ti (columns):");
-    print!("{:>8}", "tw0\\ti");
-    for ti in ti_values {
-        print!("{ti:>10}");
-    }
-    println!();
-    for (row, tw0) in tw0_values.iter().enumerate() {
-        print!("{tw0:>8}");
-        for series in sweep.series() {
-            print!("{:>10.3}", series.points()[row].rate_kbps);
-        }
-        println!();
-    }
-
-    if let Some((label, best)) = sweep.best_under_ber(1.0) {
-        println!();
-        println!(
-            "Recommended operating point (BER < 1%): tw0 = {} us, {label}: {:.3} kb/s at {:.3}% BER",
-            best.x, best.rate_kbps, best.ber_percent
-        );
-        println!("Paper's choice: tw0 = 15 us, ti = 65-70 us, 13.105 kb/s at 0.554% BER");
-    }
+    let result = SweepService::with_default_pool().submit(&experiments::fig9_spec(bits))?;
+    print!("{}", experiments::render_fig9(&result, bits));
     Ok(())
 }

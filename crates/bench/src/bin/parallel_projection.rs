@@ -3,35 +3,20 @@
 //! Trojan/Spy pairs as the system allows (6833 concurrent processes for
 //! kernel-object channels, 1024 file descriptors for `flock`).
 //!
+//! The single-channel rates come from a `ScenarioTable`
+//! [`mes_core::ExperimentSpec`] submitted to a [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin parallel_projection`.
 
-use mes_bench::{measure_scenario, table_bits};
-use mes_core::parallel::ParallelProjection;
-use mes_stats::Table;
+use mes_bench::{experiments, table_bits};
+use mes_core::{ExperimentSpec, SweepService};
 use mes_types::{Result, Scenario};
 
 fn main() -> Result<()> {
     let bits = table_bits().min(10_000);
-    let rows = measure_scenario(Scenario::Local, bits, 0x9a11e1)?;
-    let mut table = Table::new(vec![
-        "Mechanism".into(),
-        "single channel (kb/s)".into(),
-        "parallel channels".into(),
-        "aggregate (Mb/s)".into(),
-    ])
-    .with_title("Section V.C.1: parallel-channel projections (local scenario)".to_string());
-    for row in &rows {
-        let projection = ParallelProjection::paper_assumption(row.mechanism, row.tr_kbps);
-        table.add_row(vec![
-            row.mechanism.to_string(),
-            format!("{:.3}", row.tr_kbps),
-            projection.channels.to_string(),
-            format!("{:.2}", projection.aggregate_mbps()),
-        ]);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("Paper: \"tens of Mbps\" for kernel-object channels (6833 processes),");
-    println!("       \"several Mbps\" for flock (1024 file descriptors).");
+    let spec =
+        ExperimentSpec::scenario_table("parallel-projection", Scenario::Local, bits, 0x9a11e1);
+    let result = SweepService::with_default_pool().submit(&spec)?;
+    print!("{}", experiments::render_parallel_projection(&result));
     Ok(())
 }

@@ -1,0 +1,44 @@
+//! `sweepd` — the experiment API across a process boundary.
+//!
+//! Reads an [`ExperimentSpec`](mes_core::ExperimentSpec) JSON document from
+//! a file argument (or stdin when the argument is absent or `-`), runs it
+//! through a [`SweepService`](mes_core::SweepService), and writes the
+//! [`ExperimentResult`](mes_core::ExperimentResult) JSON document to stdout.
+//! This is the wire protocol the future async/sharded sweep service speaks;
+//! a round trip through this binary produces the same result as an
+//! in-process submission of the same spec.
+//!
+//! ```text
+//! cargo run --release -p mes-bench --bin sweepd -- examples/specs/fig9_small.json
+//! cat spec.json | cargo run --release -p mes-bench --bin sweepd
+//! ```
+
+use mes_bench::run_spec_json;
+use mes_types::{MesError, Result};
+use std::io::Read as _;
+
+fn read_input() -> Result<String> {
+    let path = std::env::args().nth(1);
+    match path.as_deref() {
+        None | Some("-") => {
+            let mut input = String::new();
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .map_err(|error| MesError::Host {
+                    operation: format!("read spec from stdin: {error}"),
+                    errno: error.raw_os_error(),
+                })?;
+            Ok(input)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|error| MesError::Host {
+            operation: format!("read spec from {path}: {error}"),
+            errno: error.raw_os_error(),
+        }),
+    }
+}
+
+fn main() -> Result<()> {
+    let input = read_input()?;
+    print!("{}", run_spec_json(&input)?);
+    Ok(())
+}

@@ -6,60 +6,15 @@
 //! with 5 — the number of `0`s in the key — every bit releases the Spy and
 //! the pool drains to exactly zero (Table III).
 //!
+//! This is a pure protocol derivation — no transmission rounds and therefore
+//! no grid; the walkthrough renderer is shared with `all_experiments`.
+//!
 //! Run with `cargo run --release -p mes-bench --bin table2_semaphore_provisioning`.
 
-use mes_core::protocol::semaphore::{provisioning_walkthrough, required_resources};
-use mes_stats::Table;
-use mes_types::{BitString, Result};
-
-fn render(key: &BitString, initial: u32, title: &str) {
-    let steps = provisioning_walkthrough(key, initial);
-    let mut table = Table::new(vec![
-        "Key".into(),
-        "Trojan".into(),
-        "Spy".into(),
-        "Resources".into(),
-    ])
-    .with_title(title.to_string());
-    for step in &steps {
-        table.add_row(vec![
-            format!("K{}={}", step.index, step.bit),
-            if step.trojan_requests {
-                "Request".into()
-            } else {
-                "Sleep".into()
-            },
-            if step.spy_released {
-                "Release".into()
-            } else {
-                "Unable to release".into()
-            },
-            step.remaining_resources.to_string(),
-        ]);
-    }
-    print!("{}", table.render());
-    let stalls = steps.iter().filter(|s| !s.spy_released).count();
-    println!("  stalled bits: {stalls}");
-    println!();
-}
+use mes_bench::experiments;
+use mes_types::Result;
 
 fn main() -> Result<()> {
-    let key = BitString::from_str01("110110100011")?;
-    println!("Example key K = {key} ({} zeros)", key.count_zeros());
-    println!(
-        "Required provisioning: {} resources",
-        required_resources(&key)
-    );
-    println!();
-    render(
-        &key,
-        0,
-        "Table II: unprocessed implementation (initial resources = 0)",
-    );
-    render(
-        &key,
-        5,
-        "Table III: improved implementation (initial resources = 5)",
-    );
+    print!("{}", experiments::table2_walkthrough()?);
     Ok(())
 }

@@ -1,22 +1,26 @@
 //! Regenerates **Table IV** of the paper: BER and TR of all six MESM channels
 //! in the local scenario, at the paper's recommended Timeset.
 //!
+//! The table is one `ScenarioTable` [`mes_core::ExperimentSpec`] submitted to
+//! a [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin table4_local`.
 //! Set `MES_BENCH_BITS` to change the payload size per row.
 
-use mes_bench::{measure_scenario, scenario_table, table_bits};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
 use mes_types::Scenario;
 
 fn main() -> mes_types::Result<()> {
     let bits = table_bits();
-    let rows = measure_scenario(Scenario::Local, bits, 0x7ab1e4)?;
-    let table = scenario_table(
-        &format!("Table IV: channel performance in the local scenario ({bits} bits/row)"),
-        &rows,
+    let result = SweepService::with_default_pool()
+        .submit(&experiments::table_spec(Scenario::Local, bits))?;
+    print!(
+        "{}",
+        experiments::render_table(
+            &format!("Table IV: channel performance in the local scenario ({bits} bits/row)"),
+            &result,
+        )
     );
-    print!("{}", table.render());
-    println!();
-    println!("CSV:");
-    print!("{}", table.to_csv());
     Ok(())
 }

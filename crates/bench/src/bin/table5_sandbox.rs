@@ -1,21 +1,27 @@
 //! Regenerates **Table V** of the paper: BER and TR of all six MESM channels
 //! in the cross-sandbox scenario (Trojan inside Firejail/Sandboxie).
 //!
+//! The table is one `ScenarioTable` [`mes_core::ExperimentSpec`] submitted to
+//! a [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin table5_sandbox`.
 
-use mes_bench::{measure_scenario, scenario_table, table_bits};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
 use mes_types::Scenario;
 
 fn main() -> mes_types::Result<()> {
     let bits = table_bits();
-    let rows = measure_scenario(Scenario::CrossSandbox, bits, 0x7ab1e5)?;
-    let table = scenario_table(
-        &format!("Table V: channel performance in the cross-sandbox scenario ({bits} bits/row)"),
-        &rows,
+    let result = SweepService::with_default_pool()
+        .submit(&experiments::table_spec(Scenario::CrossSandbox, bits))?;
+    print!(
+        "{}",
+        experiments::render_table(
+            &format!(
+                "Table V: channel performance in the cross-sandbox scenario ({bits} bits/row)"
+            ),
+            &result,
+        )
     );
-    print!("{}", table.render());
-    println!();
-    println!("CSV:");
-    print!("{}", table.to_csv());
     Ok(())
 }

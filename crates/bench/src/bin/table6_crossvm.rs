@@ -4,29 +4,27 @@
 //! It also demonstrates the availability result itself: every non-file
 //! mechanism is rejected in the cross-VM scenario.
 //!
+//! The table is one `ScenarioTable` [`mes_core::ExperimentSpec`] submitted to
+//! a [`mes_core::SweepService`].
+//!
 //! Run with `cargo run --release -p mes-bench --bin table6_crossvm`.
 
-use mes_bench::{measure_scenario, scenario_table, table_bits};
-use mes_core::ChannelConfig;
-use mes_types::{Mechanism, Scenario};
+use mes_bench::{experiments, table_bits};
+use mes_core::SweepService;
+use mes_types::Scenario;
 
 fn main() -> mes_types::Result<()> {
     let bits = table_bits();
-    let rows = measure_scenario(Scenario::CrossVm, bits, 0x7ab1e6)?;
-    let table = scenario_table(
-        &format!("Table VI: channel performance in the cross-VM scenario ({bits} bits/row)"),
-        &rows,
+    let result = SweepService::with_default_pool()
+        .submit(&experiments::table_spec(Scenario::CrossVm, bits))?;
+    print!(
+        "{}",
+        experiments::render_table(
+            &format!("Table VI: channel performance in the cross-VM scenario ({bits} bits/row)"),
+            &result,
+        )
     );
-    print!("{}", table.render());
-
     println!();
-    println!("Mechanism availability across VMs (Section V.C.3):");
-    for mechanism in Mechanism::ALL {
-        let status = match ChannelConfig::paper_defaults(Scenario::CrossVm, mechanism) {
-            Ok(_) => "works (file-backed object shared between VMs)",
-            Err(_) => "does not work (kernel object is session-local)",
-        };
-        println!("  {mechanism:<11} {status}");
-    }
+    print!("{}", experiments::render_crossvm_availability());
     Ok(())
 }

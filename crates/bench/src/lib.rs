@@ -1,23 +1,27 @@
 //! `mes-bench` — the experiment harness of the MES-Attacks reproduction.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation (see DESIGN.md for the full index), printing the same rows or
-//! series the paper reports plus the paper's published value next to the
-//! measured one. The Criterion benchmarks in `benches/` measure the
-//! engineering-side costs: simulator event throughput, encode/decode
-//! throughput, per-mechanism simulated channel rates and, on Linux, real
-//! `flock(2)` latency.
+//! evaluation, printing the same rows or series the paper reports plus the
+//! paper's published value next to the measured one. Every binary is a thin
+//! wrapper around the unified experiment API: it builds an
+//! [`ExperimentSpec`] (see [`experiments`] for the per-figure builders),
+//! submits it to a [`SweepService`], and renders the
+//! [`ExperimentResult`](mes_core::ExperimentResult). The `sweepd` binary is
+//! the same flow across a process boundary: spec JSON in, result JSON out.
 //!
-//! Shared helpers used by several binaries live in this library crate.
+//! The Criterion benchmarks in `benches/` measure the engineering-side
+//! costs: simulator event throughput, encode/decode throughput,
+//! per-mechanism simulated channel rates and, on Linux, real `flock(2)`
+//! latency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mes_core::{
-    ChannelBackend, ChannelConfig, CovertChannel, PreparedRound, RoundExecutor, SimBackend,
-};
-use mes_scenario::ScenarioProfile;
-use mes_stats::Table;
+pub mod experiments;
+
+use mes_core::experiment::{CompiledExperiment, ExperimentRow};
+use mes_core::{ChannelBackend, ExperimentSpec, RoundExecutor, SweepService};
+use mes_stats::{Json, Table};
 use mes_types::{Mechanism, Result, Scenario};
 
 /// Number of payload bits used per table row unless overridden by
@@ -36,6 +40,9 @@ pub fn table_bits() -> usize {
 }
 
 /// One measured row of a scenario table (Tables IV–VI).
+///
+/// Kept for the legacy `measure_scenario` entry points; the experiment API
+/// reports the same data as [`ExperimentRow`].
 #[derive(Debug, Clone)]
 pub struct ScenarioRow {
     /// Mechanism of the row.
@@ -52,6 +59,19 @@ pub struct ScenarioRow {
     pub paper_tr: Option<f64>,
 }
 
+impl From<&ExperimentRow> for ScenarioRow {
+    fn from(row: &ExperimentRow) -> Self {
+        ScenarioRow {
+            mechanism: row.mechanism,
+            timeset: row.timeset.clone(),
+            ber_percent: row.ber_percent,
+            tr_kbps: row.tr_kbps,
+            paper_ber: row.paper_ber,
+            paper_tr: row.paper_tr,
+        }
+    }
+}
+
 /// Measures every mechanism the paper evaluates in `scenario` with the
 /// paper's recommended Timeset, batching all rows through a
 /// machine-sized [`RoundExecutor`].
@@ -59,11 +79,16 @@ pub struct ScenarioRow {
 /// # Errors
 ///
 /// Returns an error if a channel cannot be built or a simulation fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::scenario_table to a SweepService"
+)]
 pub fn measure_scenario(
     scenario: Scenario,
     payload_bits: usize,
     seed: u64,
 ) -> Result<Vec<ScenarioRow>> {
+    #[allow(deprecated)]
     measure_scenario_with_executor(
         scenario,
         payload_bits,
@@ -80,49 +105,25 @@ pub fn measure_scenario(
 /// # Errors
 ///
 /// Returns an error if a channel cannot be built or a simulation fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::scenario_table to a SweepService"
+)]
 pub fn measure_scenario_with_executor(
     scenario: Scenario,
     payload_bits: usize,
     seed: u64,
     executor: &RoundExecutor,
 ) -> Result<Vec<ScenarioRow>> {
-    let profile = ScenarioProfile::for_scenario(scenario);
-    let grid = mes_scenario::paper_timeset_grid(scenario);
-
-    let mut rounds = Vec::with_capacity(grid.len());
-    let mut plans = Vec::with_capacity(grid.len());
-    for &(mechanism, timing) in &grid {
-        let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
-        let channel = CovertChannel::new(config, profile.clone())?;
-        let payload = mes_coding::BitSource::new(seed.wrapping_mul(31) ^ mechanism as u64)
-            .random_bits(payload_bits);
-        let (round, plan) = PreparedRound::new(channel, payload)?;
-        rounds.push(round);
-        plans.push(plan);
-    }
-
-    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
-
-    Ok(grid
-        .iter()
-        .enumerate()
-        .map(|(row, &(mechanism, timing))| {
-            let report = rounds[row].recover(&observations[row]);
-            ScenarioRow {
-                mechanism,
-                timeset: timing.to_string(),
-                ber_percent: report.wire_ber().ber_percent(),
-                tr_kbps: report.throughput().kilobits_per_second(),
-                paper_ber: mes_scenario::paper_ber_percent(scenario, mechanism),
-                paper_tr: mes_scenario::paper_tr_kbps(scenario, mechanism),
-            }
-        })
-        .collect())
+    let spec =
+        ExperimentSpec::scenario_table(format!("table-{scenario}"), scenario, payload_bits, seed);
+    let result = CompiledExperiment::compile(&spec)?.run_with_executor(executor)?;
+    Ok(result.rows.iter().map(ScenarioRow::from).collect())
 }
 
-/// Renders scenario rows as the paper-style table with paper-vs-measured
+/// Renders experiment rows as the paper-style table with paper-vs-measured
 /// columns.
-pub fn scenario_table(title: &str, rows: &[ScenarioRow]) -> Table {
+pub fn scenario_table(title: &str, rows: &[ExperimentRow]) -> Table {
     let mut table = Table::new(vec![
         "Attack methods".into(),
         "Timeset".into(),
@@ -145,12 +146,15 @@ pub fn scenario_table(title: &str, rows: &[ScenarioRow]) -> Table {
     table
 }
 
-/// Runs one transmission with a given backend and returns (BER %, TR kb/s) —
-/// shared by the ablation harnesses.
+/// Runs one transmission with a given backend and returns (BER %, TR kb/s).
 ///
 /// # Errors
 ///
 /// Returns an error if the channel cannot be built or the backend fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit an ExperimentSpec::custom point to a SweepService"
+)]
 pub fn measure_with_backend(
     scenario: Scenario,
     mechanism: Mechanism,
@@ -158,20 +162,76 @@ pub fn measure_with_backend(
     payload_bits: usize,
     seed: u64,
 ) -> Result<(f64, f64)> {
-    let profile = ScenarioProfile::for_scenario(scenario);
-    let config = ChannelConfig::paper_defaults(scenario, mechanism)?.with_seed(seed);
-    let channel = CovertChannel::new(config, profile)?;
-    let payload = mes_coding::BitSource::new(seed).random_bits(payload_bits);
-    let report = channel.transmit(&payload, backend)?;
-    Ok((
-        report.wire_ber().ber_percent(),
-        report.throughput().kilobits_per_second(),
-    ))
+    let timing = mes_scenario::paper_timeset(scenario, mechanism)?;
+    let spec = ExperimentSpec::custom(
+        "measure_with_backend",
+        scenario,
+        vec![mes_core::experiment::PointSpec::new(
+            mechanism.to_string(),
+            0.0,
+            mechanism,
+            timing,
+            mes_coding::PayloadSpec::Random { bits: payload_bits },
+            seed,
+        )],
+        seed,
+    );
+    let compiled = CompiledExperiment::compile(&spec)?;
+    // Historical behaviour: a single `transmit` on the caller's backend.
+    let observation = backend.transmit(&compiled.plans()[0])?;
+    let result = compiled.fold(&[&observation], &[], &mut mes_core::experiment::NullSink)?;
+    let point = result.series.series()[0].points()[0];
+    Ok((point.ber_percent, point.rate_kbps))
+}
+
+/// Runs an [`ExperimentSpec`] JSON document through a fresh
+/// [`SweepService`] and returns the [`ExperimentResult`] JSON document —
+/// the whole `sweepd` process boundary as one testable function.
+///
+/// [`ExperimentResult`]: mes_core::ExperimentResult
+///
+/// # Errors
+///
+/// Returns an error for malformed spec JSON or a failing experiment.
+pub fn run_spec_json(input: &str) -> Result<String> {
+    let spec = ExperimentSpec::from_json_str(input)?;
+    let result = SweepService::with_default_pool().submit(&spec)?;
+    Ok(result.to_json_string())
+}
+
+/// Reads a baseline metric out of a committed `BENCH_batch.json` document.
+fn baseline_metric(json: &Json, key: &str) -> Option<f64> {
+    json.get(key).and_then(|value| value.as_f64().ok())
+}
+
+/// Compares freshly measured wall-clock metrics against a committed
+/// baseline, returning one `(metric, baseline_ms, measured_ms)` entry per
+/// metric that regressed by more than `tolerance` (e.g. `0.25` = 25 %).
+///
+/// Metrics absent from the baseline document are skipped, so adding new
+/// fields to the benchmark summary never trips the gate retroactively.
+pub fn wallclock_regressions(
+    baseline: &Json,
+    measured: &[(&str, f64)],
+    tolerance: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut regressions = Vec::new();
+    for (metric, measured_ms) in measured {
+        if let Some(baseline_ms) = baseline_metric(baseline, metric) {
+            if baseline_ms > 0.0 && *measured_ms > baseline_ms * (1.0 + tolerance) {
+                regressions.push((metric.to_string(), baseline_ms, *measured_ms));
+            }
+        }
+    }
+    regressions
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use mes_core::SimBackend;
+    use mes_scenario::ScenarioProfile;
 
     #[test]
     fn measure_scenario_produces_all_rows() {
@@ -202,9 +262,23 @@ mod tests {
     }
 
     #[test]
+    fn legacy_rows_match_the_service_rows() {
+        let legacy = measure_scenario(Scenario::CrossSandbox, 96, 11).unwrap();
+        let spec = ExperimentSpec::scenario_table("t5", Scenario::CrossSandbox, 96, 11);
+        let result = SweepService::with_default_pool().submit(&spec).unwrap();
+        assert_eq!(legacy.len(), result.rows.len());
+        for (a, b) in legacy.iter().zip(&result.rows) {
+            assert_eq!(a.mechanism, b.mechanism);
+            assert_eq!(a.ber_percent, b.ber_percent);
+            assert_eq!(a.tr_kbps, b.tr_kbps);
+        }
+    }
+
+    #[test]
     fn scenario_table_renders_measured_and_paper_columns() {
-        let rows = measure_scenario(Scenario::CrossVm, 64, 1).unwrap();
-        let table = scenario_table("Table VI", &rows);
+        let spec = ExperimentSpec::scenario_table("t6", Scenario::CrossVm, 64, 1);
+        let result = SweepService::with_default_pool().submit(&spec).unwrap();
+        let table = scenario_table("Table VI", &result.rows);
         let text = table.render();
         assert!(text.contains("Table VI"));
         assert!(text.contains("flock"));
@@ -220,5 +294,34 @@ mod tests {
             measure_with_backend(Scenario::Local, Mechanism::Event, &mut backend, 128, 2).unwrap();
         assert!(ber < 5.0);
         assert!(tr > 5.0);
+    }
+
+    #[test]
+    fn run_spec_json_round_trips_a_result() {
+        let spec = ExperimentSpec::scenario_table("json-table", Scenario::CrossVm, 48, 2);
+        let output = run_spec_json(&spec.to_json_string()).unwrap();
+        let parsed = mes_core::ExperimentResult::from_json_str(&output).unwrap();
+        let direct = SweepService::with_default_pool().submit(&spec).unwrap();
+        assert_eq!(parsed, direct);
+        assert!(run_spec_json("not json").is_err());
+    }
+
+    #[test]
+    fn wallclock_regression_gate_trips_only_beyond_tolerance() {
+        let baseline = Json::parse(r#"{"batched_ms": 10.0, "parallel_ms": 4.0}"#).unwrap();
+        let fine = wallclock_regressions(
+            &baseline,
+            &[("batched_ms", 12.0), ("parallel_ms", 4.9), ("new_ms", 99.0)],
+            0.25,
+        );
+        assert!(fine.is_empty(), "{fine:?}");
+        let slow = wallclock_regressions(
+            &baseline,
+            &[("batched_ms", 13.0), ("parallel_ms", 3.0)],
+            0.25,
+        );
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].0, "batched_ms");
+        assert_eq!(slow[0].1, 10.0);
     }
 }

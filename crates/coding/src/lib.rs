@@ -45,6 +45,6 @@ pub mod threshold;
 pub use crc::{Crc16, Crc8};
 pub use ecc::{Hamming74, RepetitionCode};
 pub use framing::{Frame, FrameCodec};
-pub use source::BitSource;
+pub use source::{BitSource, PayloadSpec};
 pub use symbols::{SymbolAlphabet, SymbolDecoder};
 pub use threshold::{AdaptiveThreshold, ThresholdDecoder, TwoMeansClassifier};

@@ -4,9 +4,10 @@
 //! [`BitSource`] reproduces that workload deterministically so a BER measured
 //! at seed *s* is exactly reproducible.
 
-use mes_types::{Bit, BitString};
+use mes_types::{Bit, BitString, MesError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A seeded generator of experiment payloads.
 ///
@@ -63,6 +64,66 @@ impl BitSource {
     }
 }
 
+/// How an experiment point sources its payload bits — the serializable
+/// counterpart of calling [`BitSource`] by hand, used by
+/// `mes_core::experiment`'s `ExperimentSpec` so a grid point's payload is
+/// reproducible from the spec alone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadSpec {
+    /// `bits` uniform random bits drawn from the point's seed
+    /// (`BitSource::new(seed).random_bits(bits)`), the paper's standard
+    /// workload.
+    Random {
+        /// Number of payload bits.
+        bits: usize,
+    },
+    /// A literal `0`/`1` string transmitted verbatim (seed-independent).
+    Fixed {
+        /// The payload as a `0`/`1` string.
+        bits: String,
+    },
+    /// The paper's Fig. 8 proof-of-concept sequence
+    /// (`11010010001100101001`).
+    Figure8,
+}
+
+impl PayloadSpec {
+    /// Materializes the payload for a point seeded with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::ParseBits`] for a `Fixed` literal containing a
+    /// character other than `0`/`1`, and [`MesError::InvalidConfig`] for an
+    /// empty payload.
+    pub fn materialize(&self, seed: u64) -> Result<BitString> {
+        let payload = match self {
+            PayloadSpec::Random { bits } => BitSource::new(seed).random_bits(*bits),
+            PayloadSpec::Fixed { bits } => BitString::from_str01(bits)?,
+            PayloadSpec::Figure8 => BitSource::figure8_sequence(),
+        };
+        if payload.is_empty() {
+            return Err(MesError::InvalidConfig {
+                reason: "a payload spec must produce at least one bit".into(),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// The number of bits the payload will have.
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadSpec::Random { bits } => *bits,
+            PayloadSpec::Fixed { bits } => bits.len(),
+            PayloadSpec::Figure8 => 20,
+        }
+    }
+
+    /// Whether the payload would be empty (and therefore rejected).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +159,38 @@ mod tests {
         assert_eq!(BitSource::alternating(8).to_string(), "10101010");
         assert_eq!(BitSource::alternating(3).to_string(), "101");
         assert_eq!(BitSource::alternating(0).len(), 0);
+    }
+
+    #[test]
+    fn payload_specs_materialize_reproducibly() {
+        let random = PayloadSpec::Random { bits: 64 };
+        assert_eq!(
+            random.materialize(9).unwrap(),
+            BitSource::new(9).random_bits(64)
+        );
+        assert_eq!(random.len(), 64);
+        assert!(!random.is_empty());
+
+        let fixed = PayloadSpec::Fixed {
+            bits: "1010".into(),
+        };
+        assert_eq!(fixed.materialize(1).unwrap(), fixed.materialize(2).unwrap());
+        assert_eq!(fixed.len(), 4);
+
+        assert_eq!(
+            PayloadSpec::Figure8.materialize(0).unwrap(),
+            BitSource::figure8_sequence()
+        );
+        assert_eq!(PayloadSpec::Figure8.len(), 20);
+
+        assert!(PayloadSpec::Random { bits: 0 }.materialize(1).is_err());
+        assert!(PayloadSpec::Fixed { bits: "10x".into() }
+            .materialize(1)
+            .is_err());
+        assert!(PayloadSpec::Fixed {
+            bits: String::new()
+        }
+        .is_empty());
     }
 
     #[test]

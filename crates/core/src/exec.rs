@@ -13,10 +13,12 @@
 //! # Examples
 //!
 //! Run 8 rounds of the local Event channel across worker threads and check
-//! they match the sequential batch:
+//! they match the sequential batch. The same plan carries every round, so the
+//! batch is expressed as eight [`RoundRequest`]s borrowing one allocation
+//! instead of eight clones:
 //!
 //! ```
-//! use mes_core::exec::RoundExecutor;
+//! use mes_core::exec::{RoundExecutor, RoundRequest};
 //! use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend};
 //! use mes_scenario::ScenarioProfile;
 //! use mes_types::{BitString, Mechanism, Scenario};
@@ -26,11 +28,11 @@
 //! let channel = CovertChannel::new(config, profile.clone())?;
 //! let payload = BitString::from_bytes(b"K");
 //! let (_, plan) = channel.plan_for(&payload)?;
-//! let plans = vec![plan; 8];
+//! let rounds: Vec<RoundRequest> = (0..8).map(|i| RoundRequest::new(&plan, i)).collect();
 //!
 //! let parallel = RoundExecutor::new(4)
-//!     .execute(&plans, || SimBackend::new(profile.clone(), 7))?;
-//! let sequential = SimBackend::new(profile.clone(), 7).transmit_batch(&plans)?;
+//!     .execute_rounds(&rounds, || SimBackend::new(profile.clone(), 7))?;
+//! let sequential = SimBackend::new(profile.clone(), 7).transmit_batch(&vec![plan; 8])?;
 //! assert_eq!(parallel, sequential);
 //! # Ok::<(), mes_types::MesError>(())
 //! ```
@@ -43,6 +45,28 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub use crate::backend::round_seed;
+
+/// One round of a batch, addressed by its round index and borrowing its plan.
+///
+/// Batches are views over plans owned elsewhere: rounds that share a plan
+/// reference the same allocation instead of cloning it, and rounds keep their
+/// original indices even when a batch is filtered (e.g. when the experiment
+/// cache removes already-measured rounds), so the round-indexed seeding — and
+/// therefore the result — is unaffected by what else runs in the batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRequest<'a> {
+    /// The plan the round executes.
+    pub plan: &'a TransmissionPlan,
+    /// The round's index, fed to [`ChannelBackend::transmit_round`].
+    pub round_index: u64,
+}
+
+impl<'a> RoundRequest<'a> {
+    /// Creates a request for `plan` at `round_index`.
+    pub fn new(plan: &'a TransmissionPlan, round_index: u64) -> Self {
+        RoundRequest { plan, round_index }
+    }
+}
 
 /// Fans batches of transmission rounds out over worker threads.
 ///
@@ -83,20 +107,12 @@ impl RoundExecutor {
     }
 
     /// Executes one round per plan and returns the observations in plan
-    /// order.
-    ///
-    /// `make_backend` is called once per worker (once total for a sequential
-    /// executor); every worker must observe the same factory output, i.e.
-    /// backends that differ only in unobservable state. Rounds are executed
-    /// via [`ChannelBackend::transmit_round`] with their plan index, which is
-    /// what makes the result independent of the worker count.
+    /// order. Round `i` is executed with round index `i`; this is the common
+    /// whole-batch entry point over [`RoundExecutor::execute_rounds`].
     ///
     /// # Errors
     ///
-    /// Returns the first error in plan order. Workers stop claiming new
-    /// rounds as soon as any round fails, so a failing batch aborts promptly
-    /// instead of simulating the rest of the grid; rounds already claimed
-    /// may still complete.
+    /// Same conditions as [`RoundExecutor::execute_rounds`].
     pub fn execute<B, F>(
         &self,
         plans: &[TransmissionPlan],
@@ -106,28 +122,64 @@ impl RoundExecutor {
         B: ChannelBackend,
         F: Fn() -> B + Sync,
     {
-        let workers = self.workers.min(plans.len().max(1));
+        let rounds: Vec<RoundRequest<'_>> = plans
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| RoundRequest::new(plan, index as u64))
+            .collect();
+        self.execute_rounds(&rounds, make_backend)
+    }
+
+    /// Executes an explicitly indexed batch of rounds and returns the
+    /// observations in request order.
+    ///
+    /// `make_backend` is called once per worker (once total for a sequential
+    /// executor); every worker must observe the same factory output, i.e.
+    /// backends that differ only in unobservable state. Rounds are executed
+    /// via [`ChannelBackend::transmit_round`] with their request's index,
+    /// which is what makes the result independent of the worker count — and
+    /// of which other rounds share the batch, so callers may filter a batch
+    /// (cache hits, resumed grids) or repeat one plan under many indices
+    /// without cloning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in request order. Workers stop claiming new
+    /// rounds as soon as any round fails, so a failing batch aborts promptly
+    /// instead of simulating the rest of the grid; rounds already claimed
+    /// may still complete.
+    pub fn execute_rounds<B, F>(
+        &self,
+        rounds: &[RoundRequest<'_>],
+        make_backend: F,
+    ) -> Result<Vec<Observation>>
+    where
+        B: ChannelBackend,
+        F: Fn() -> B + Sync,
+    {
+        let workers = self.workers.min(rounds.len().max(1));
         if workers <= 1 {
             let mut backend = make_backend();
-            return plans
+            return rounds
                 .iter()
-                .enumerate()
-                .map(|(index, plan)| backend.transmit_round(plan, index as u64))
+                .map(|round| backend.transmit_round(round.plan, round.round_index))
                 .collect();
         }
 
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let slots: Mutex<Vec<Option<Result<Observation>>>> =
-            Mutex::new((0..plans.len()).map(|_| None).collect());
+            Mutex::new((0..rounds.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut backend = make_backend();
                     while !failed.load(Ordering::Relaxed) {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(plan) = plans.get(index) else { break };
-                        let outcome = backend.transmit_round(plan, index as u64);
+                        let Some(round) = rounds.get(index) else {
+                            break;
+                        };
+                        let outcome = backend.transmit_round(round.plan, round.round_index);
                         if outcome.is_err() {
                             failed.store(true, Ordering::Relaxed);
                         }
@@ -315,6 +367,48 @@ mod tests {
             .transmit_payloads(&channel, &payloads, 11)
             .unwrap();
         assert_eq!(reports, again);
+    }
+
+    #[test]
+    fn filtered_round_requests_keep_their_indices() {
+        let (_, plans) = plans_for(Mechanism::Event, 6, 16);
+        let profile = ScenarioProfile::local();
+        let full = RoundExecutor::new(3)
+            .execute(&plans, || SimBackend::new(profile.clone(), 42))
+            .unwrap();
+        // Executing a filtered view of the batch (as the experiment cache
+        // does for misses) reproduces exactly the full batch's observations
+        // at the surviving indices.
+        let keep = [1usize, 3, 4];
+        let subset: Vec<RoundRequest<'_>> = keep
+            .iter()
+            .map(|&i| RoundRequest::new(&plans[i], i as u64))
+            .collect();
+        let partial = RoundExecutor::new(2)
+            .execute_rounds(&subset, || SimBackend::new(profile.clone(), 42))
+            .unwrap();
+        for (slot, &index) in keep.iter().enumerate() {
+            assert_eq!(partial[slot], full[index], "round {index}");
+        }
+    }
+
+    #[test]
+    fn shared_plan_requests_match_cloned_plans() {
+        let (_, plans) = plans_for(Mechanism::Flock, 1, 16);
+        let plan = &plans[0];
+        let profile = ScenarioProfile::local();
+        let shared: Vec<RoundRequest<'_>> = (0..5).map(|i| RoundRequest::new(plan, i)).collect();
+        let borrowed = RoundExecutor::new(2)
+            .execute_rounds(&shared, || SimBackend::new(profile.clone(), 17))
+            .unwrap();
+        let cloned = RoundExecutor::new(2)
+            .execute(&vec![plan.clone(); 5], || {
+                SimBackend::new(profile.clone(), 17)
+            })
+            .unwrap();
+        assert_eq!(borrowed, cloned);
+        // Rounds of one plan still sample independent noise.
+        assert_ne!(borrowed[0], borrowed[1]);
     }
 
     #[test]

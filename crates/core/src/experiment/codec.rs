@@ -1,0 +1,587 @@
+//! JSON codec for [`ExperimentSpec`] and [`ExperimentResult`].
+//!
+//! This is the wire format of the experiment API: the `sweepd` harness
+//! binary reads a spec document and emits a result document, and both
+//! round-trip bit-identically (numbers use
+//! [`mes_stats::Json`]'s exact token encoding). The layout is plain,
+//! versionless JSON with a `kind` discriminant on the grid, e.g.:
+//!
+//! ```json
+//! {
+//!   "name": "fig9-small",
+//!   "scenario": "local",
+//!   "base_seed": 3865,
+//!   "x_label": "tw0 (us)",
+//!   "capture_latencies": false,
+//!   "open_interference": null,
+//!   "grid": {
+//!     "kind": "cooperation",
+//!     "mechanism": "event",
+//!     "tw0_values": [15, 35],
+//!     "ti_values": [50, 70],
+//!     "payload_bits": 128
+//!   }
+//! }
+//! ```
+
+use super::result::{ExperimentResult, ExperimentRow, PointOutcome};
+use super::spec::{ExperimentSpec, GridSpec, OpenInterferenceSpec, PointSpec};
+use mes_coding::PayloadSpec;
+use mes_stats::{Json, SweepSeries};
+use mes_types::{ChannelTiming, Mechanism, MesError, Micros, Result, Scenario};
+
+fn invalid(reason: impl Into<String>) -> MesError {
+    MesError::Serialization {
+        reason: reason.into(),
+    }
+}
+
+fn timing_to_json(timing: &ChannelTiming) -> Json {
+    match *timing {
+        ChannelTiming::Cooperation { tw0, ti } => Json::object([
+            ("family", Json::string("cooperation")),
+            ("tw0", Json::u64(tw0.as_u64())),
+            ("ti", Json::u64(ti.as_u64())),
+        ]),
+        ChannelTiming::Contention { tt1, tt0 } => Json::object([
+            ("family", Json::string("contention")),
+            ("tt1", Json::u64(tt1.as_u64())),
+            ("tt0", Json::u64(tt0.as_u64())),
+        ]),
+    }
+}
+
+fn timing_from_json(json: &Json) -> Result<ChannelTiming> {
+    match json.require("family")?.as_str()? {
+        "cooperation" => Ok(ChannelTiming::cooperation(
+            Micros::new(json.require("tw0")?.as_u64()?),
+            Micros::new(json.require("ti")?.as_u64()?),
+        )),
+        "contention" => Ok(ChannelTiming::contention(
+            Micros::new(json.require("tt1")?.as_u64()?),
+            Micros::new(json.require("tt0")?.as_u64()?),
+        )),
+        other => Err(invalid(format!("unknown timing family {other:?}"))),
+    }
+}
+
+fn mechanism_to_json(mechanism: Mechanism) -> Json {
+    Json::string(mechanism.as_str())
+}
+
+fn mechanism_from_json(json: &Json) -> Result<Mechanism> {
+    json.as_str()?.parse()
+}
+
+fn scenario_from_json(json: &Json) -> Result<Scenario> {
+    json.as_str()?.parse()
+}
+
+fn payload_to_json(payload: &PayloadSpec) -> Json {
+    match payload {
+        PayloadSpec::Random { bits } => Json::object([
+            ("kind", Json::string("random")),
+            ("bits", Json::usize(*bits)),
+        ]),
+        PayloadSpec::Fixed { bits } => Json::object([
+            ("kind", Json::string("fixed")),
+            ("bits", Json::string(bits)),
+        ]),
+        PayloadSpec::Figure8 => Json::object([("kind", Json::string("figure8"))]),
+    }
+}
+
+fn payload_from_json(json: &Json) -> Result<PayloadSpec> {
+    match json.require("kind")?.as_str()? {
+        "random" => Ok(PayloadSpec::Random {
+            bits: json.require("bits")?.as_usize()?,
+        }),
+        "fixed" => Ok(PayloadSpec::Fixed {
+            bits: json.require("bits")?.as_str()?.to_string(),
+        }),
+        "figure8" => Ok(PayloadSpec::Figure8),
+        other => Err(invalid(format!("unknown payload kind {other:?}"))),
+    }
+}
+
+fn u64_array(values: &[u64]) -> Json {
+    Json::array(values.iter().map(|&v| Json::u64(v)).collect())
+}
+
+fn u64_vec(json: &Json) -> Result<Vec<u64>> {
+    json.as_array()?.iter().map(Json::as_u64).collect()
+}
+
+fn grid_to_json(grid: &GridSpec) -> Json {
+    match grid {
+        GridSpec::Cooperation {
+            mechanism,
+            tw0_values,
+            ti_values,
+            payload_bits,
+        } => Json::object([
+            ("kind", Json::string("cooperation")),
+            ("mechanism", mechanism_to_json(*mechanism)),
+            ("tw0_values", u64_array(tw0_values)),
+            ("ti_values", u64_array(ti_values)),
+            ("payload_bits", Json::usize(*payload_bits)),
+        ]),
+        GridSpec::Contention {
+            mechanism,
+            tt1_values,
+            tt0,
+            payload_bits,
+        } => Json::object([
+            ("kind", Json::string("contention")),
+            ("mechanism", mechanism_to_json(*mechanism)),
+            ("tt1_values", u64_array(tt1_values)),
+            ("tt0", Json::u64(*tt0)),
+            ("payload_bits", Json::usize(*payload_bits)),
+        ]),
+        GridSpec::ScenarioTable { payload_bits } => Json::object([
+            ("kind", Json::string("scenario_table")),
+            ("payload_bits", Json::usize(*payload_bits)),
+        ]),
+        GridSpec::SymbolWidths {
+            widths,
+            first_us,
+            step_us,
+            payload_bits,
+            channel_seed,
+            payload_seed,
+        } => Json::object([
+            ("kind", Json::string("symbol_widths")),
+            (
+                "widths",
+                Json::array(widths.iter().map(|&w| Json::u64(u64::from(w))).collect()),
+            ),
+            ("first_us", Json::u64(*first_us)),
+            ("step_us", Json::u64(*step_us)),
+            ("payload_bits", Json::usize(*payload_bits)),
+            ("channel_seed", Json::u64(*channel_seed)),
+            ("payload_seed", Json::u64(*payload_seed)),
+        ]),
+        GridSpec::Custom { points } => Json::object([
+            ("kind", Json::string("custom")),
+            (
+                "points",
+                Json::array(points.iter().map(point_spec_to_json).collect()),
+            ),
+        ]),
+    }
+}
+
+fn grid_from_json(json: &Json) -> Result<GridSpec> {
+    match json.require("kind")?.as_str()? {
+        "cooperation" => Ok(GridSpec::Cooperation {
+            mechanism: mechanism_from_json(json.require("mechanism")?)?,
+            tw0_values: u64_vec(json.require("tw0_values")?)?,
+            ti_values: u64_vec(json.require("ti_values")?)?,
+            payload_bits: json.require("payload_bits")?.as_usize()?,
+        }),
+        "contention" => Ok(GridSpec::Contention {
+            mechanism: mechanism_from_json(json.require("mechanism")?)?,
+            tt1_values: u64_vec(json.require("tt1_values")?)?,
+            tt0: json.require("tt0")?.as_u64()?,
+            payload_bits: json.require("payload_bits")?.as_usize()?,
+        }),
+        "scenario_table" => Ok(GridSpec::ScenarioTable {
+            payload_bits: json.require("payload_bits")?.as_usize()?,
+        }),
+        "symbol_widths" => Ok(GridSpec::SymbolWidths {
+            widths: json
+                .require("widths")?
+                .as_array()?
+                .iter()
+                .map(|w| {
+                    let value = w.as_u64()?;
+                    u8::try_from(value)
+                        .map_err(|_| invalid(format!("symbol width {value} exceeds 255")))
+                })
+                .collect::<Result<_>>()?,
+            first_us: json.require("first_us")?.as_u64()?,
+            step_us: json.require("step_us")?.as_u64()?,
+            payload_bits: json.require("payload_bits")?.as_usize()?,
+            channel_seed: json.require("channel_seed")?.as_u64()?,
+            payload_seed: json.require("payload_seed")?.as_u64()?,
+        }),
+        "custom" => Ok(GridSpec::Custom {
+            points: json
+                .require("points")?
+                .as_array()?
+                .iter()
+                .map(point_spec_from_json)
+                .collect::<Result<_>>()?,
+        }),
+        other => Err(invalid(format!("unknown grid kind {other:?}"))),
+    }
+}
+
+fn point_spec_to_json(point: &PointSpec) -> Json {
+    Json::object([
+        ("series", Json::string(&point.series)),
+        ("x", Json::f64(point.x)),
+        ("mechanism", mechanism_to_json(point.mechanism)),
+        ("timing", timing_to_json(&point.timing)),
+        ("payload", payload_to_json(&point.payload)),
+        ("seed", Json::u64(point.seed)),
+        ("inter_bit_sync", Json::Bool(point.inter_bit_sync)),
+    ])
+}
+
+fn point_spec_from_json(json: &Json) -> Result<PointSpec> {
+    Ok(PointSpec {
+        series: json.require("series")?.as_str()?.to_string(),
+        x: json.require("x")?.as_f64()?,
+        mechanism: mechanism_from_json(json.require("mechanism")?)?,
+        timing: timing_from_json(json.require("timing")?)?,
+        payload: payload_from_json(json.require("payload")?)?,
+        seed: json.require("seed")?.as_u64()?,
+        inter_bit_sync: json.require("inter_bit_sync")?.as_bool()?,
+    })
+}
+
+impl ExperimentSpec {
+    /// Serializes the spec as a [`Json`] document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::string(&self.name)),
+            ("scenario", Json::string(self.scenario.as_str())),
+            ("base_seed", Json::u64(self.base_seed)),
+            ("x_label", Json::string(&self.x_label)),
+            ("capture_latencies", Json::Bool(self.capture_latencies)),
+            (
+                "open_interference",
+                match self.open_interference {
+                    None => Json::Null,
+                    Some(interference) => Json::object([
+                        (
+                            "contention_probability",
+                            Json::f64(interference.contention_probability),
+                        ),
+                        (
+                            "occupancy_mean_us",
+                            Json::f64(interference.occupancy_mean_us),
+                        ),
+                    ]),
+                },
+            ),
+            ("grid", grid_to_json(&self.grid)),
+        ])
+    }
+
+    /// Serializes the spec as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Rebuilds a spec from [`ExperimentSpec::to_json`] output. Optional
+    /// fields (`x_label`, `capture_latencies`, `open_interference`) may be
+    /// omitted, so hand-written spec files stay short.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] for missing required fields or
+    /// type mismatches.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut spec = ExperimentSpec::with_grid(
+            json.require("name")?.as_str()?,
+            scenario_from_json(json.require("scenario")?)?,
+            json.require("base_seed")?.as_u64()?,
+            grid_from_json(json.require("grid")?)?,
+        );
+        if let Some(label) = json.get("x_label") {
+            spec.x_label = label.as_str()?.to_string();
+        }
+        if let Some(capture) = json.get("capture_latencies") {
+            spec.capture_latencies = capture.as_bool()?;
+        }
+        match json.get("open_interference") {
+            None => {}
+            Some(Json::Null) => {}
+            Some(interference) => {
+                spec.open_interference = Some(OpenInterferenceSpec {
+                    contention_probability: interference
+                        .require("contention_probability")?
+                        .as_f64()?,
+                    occupancy_mean_us: interference.require("occupancy_mean_us")?.as_f64()?,
+                });
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] for malformed JSON or an invalid
+    /// spec layout.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        ExperimentSpec::from_json(&Json::parse(text)?)
+    }
+}
+
+fn row_to_json(row: &ExperimentRow) -> Json {
+    Json::object([
+        ("mechanism", mechanism_to_json(row.mechanism)),
+        ("timeset", Json::string(&row.timeset)),
+        ("ber_percent", Json::f64(row.ber_percent)),
+        ("tr_kbps", Json::f64(row.tr_kbps)),
+        ("paper_ber", row.paper_ber.map_or(Json::Null, Json::f64)),
+        ("paper_tr", row.paper_tr.map_or(Json::Null, Json::f64)),
+    ])
+}
+
+fn row_from_json(json: &Json) -> Result<ExperimentRow> {
+    let optional = |key: &str| -> Result<Option<f64>> {
+        match json.require(key)? {
+            Json::Null => Ok(None),
+            value => Ok(Some(value.as_f64()?)),
+        }
+    };
+    Ok(ExperimentRow {
+        mechanism: mechanism_from_json(json.require("mechanism")?)?,
+        timeset: json.require("timeset")?.as_str()?.to_string(),
+        ber_percent: json.require("ber_percent")?.as_f64()?,
+        tr_kbps: json.require("tr_kbps")?.as_f64()?,
+        paper_ber: optional("paper_ber")?,
+        paper_tr: optional("paper_tr")?,
+    })
+}
+
+fn outcome_to_json(point: &PointOutcome) -> Json {
+    Json::object([
+        ("index", Json::usize(point.index)),
+        ("series", Json::string(&point.series)),
+        ("x", Json::f64(point.x)),
+        ("mechanism", mechanism_to_json(point.mechanism)),
+        ("timing", timing_to_json(&point.timing)),
+        ("ber_percent", Json::f64(point.ber_percent)),
+        ("rate_kbps", Json::f64(point.rate_kbps)),
+        ("frame_valid", Json::Bool(point.frame_valid)),
+        ("plan_hash", Json::u64(point.plan_hash)),
+        ("round_seed", Json::u64(point.round_seed)),
+        ("cache_hit", Json::Bool(point.cache_hit)),
+        (
+            "latencies_us",
+            match &point.latencies_us {
+                None => Json::Null,
+                Some(latencies) => Json::array(latencies.iter().map(|&l| Json::f64(l)).collect()),
+            },
+        ),
+    ])
+}
+
+fn outcome_from_json(json: &Json) -> Result<PointOutcome> {
+    Ok(PointOutcome {
+        index: json.require("index")?.as_usize()?,
+        series: json.require("series")?.as_str()?.to_string(),
+        x: json.require("x")?.as_f64()?,
+        mechanism: mechanism_from_json(json.require("mechanism")?)?,
+        timing: timing_from_json(json.require("timing")?)?,
+        ber_percent: json.require("ber_percent")?.as_f64()?,
+        rate_kbps: json.require("rate_kbps")?.as_f64()?,
+        frame_valid: json.require("frame_valid")?.as_bool()?,
+        plan_hash: json.require("plan_hash")?.as_u64()?,
+        round_seed: json.require("round_seed")?.as_u64()?,
+        cache_hit: json.require("cache_hit")?.as_bool()?,
+        latencies_us: match json.require("latencies_us")? {
+            Json::Null => None,
+            latencies => Some(
+                latencies
+                    .as_array()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Result<_>>()?,
+            ),
+        },
+    })
+}
+
+impl ExperimentResult {
+    /// Serializes the result as a [`Json`] document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::string(&self.name)),
+            ("scenario", Json::string(self.scenario.as_str())),
+            ("rounds_executed", Json::usize(self.rounds_executed)),
+            ("cache_hits", Json::usize(self.cache_hits)),
+            ("series", self.series.to_json()),
+            (
+                "rows",
+                Json::array(self.rows.iter().map(row_to_json).collect()),
+            ),
+            (
+                "points",
+                Json::array(self.points.iter().map(outcome_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes the result as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Rebuilds a result from [`ExperimentResult::to_json`] output,
+    /// bit-identically (numbers round-trip exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] for missing fields or type
+    /// mismatches.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(ExperimentResult {
+            name: json.require("name")?.as_str()?.to_string(),
+            scenario: scenario_from_json(json.require("scenario")?)?,
+            rounds_executed: json.require("rounds_executed")?.as_usize()?,
+            cache_hits: json.require("cache_hits")?.as_usize()?,
+            series: SweepSeries::from_json(json.require("series")?)?,
+            rows: json
+                .require("rows")?
+                .as_array()?
+                .iter()
+                .map(row_from_json)
+                .collect::<Result<_>>()?,
+            points: json
+                .require("points")?
+                .as_array()?
+                .iter()
+                .map(outcome_from_json)
+                .collect::<Result<_>>()?,
+        })
+    }
+
+    /// Parses a result from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] for malformed JSON or an invalid
+    /// result layout.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        ExperimentResult::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SweepService;
+    use super::*;
+    use crate::exec::RoundExecutor;
+
+    fn specs() -> Vec<ExperimentSpec> {
+        vec![
+            ExperimentSpec::cooperation_grid(
+                "fig9",
+                Scenario::Local,
+                Mechanism::Event,
+                &[15, 35],
+                &[50, 70],
+                64,
+                0xF19,
+            ),
+            ExperimentSpec::contention_grid(
+                "fig10",
+                Scenario::Local,
+                Mechanism::Flock,
+                &[140, 200],
+                60,
+                64,
+                0xF10,
+            ),
+            ExperimentSpec::scenario_table("table5", Scenario::CrossSandbox, 48, 7),
+            ExperimentSpec::symbol_widths("fig11", &[1, 2, 3], 15, 50, 64, 0xF11, 42, 0x5EED),
+            ExperimentSpec::custom(
+                "ablation",
+                Scenario::Local,
+                vec![
+                    PointSpec::new(
+                        "closed",
+                        0.0,
+                        Mechanism::Flock,
+                        ChannelTiming::contention(Micros::new(160), Micros::new(60)),
+                        PayloadSpec::Random { bits: 32 },
+                        0xAB1,
+                    ),
+                    PointSpec::new(
+                        "poc",
+                        1.0,
+                        Mechanism::Event,
+                        ChannelTiming::cooperation(Micros::new(15), Micros::new(65)),
+                        PayloadSpec::Figure8,
+                        8,
+                    )
+                    .without_inter_bit_sync(),
+                ],
+                0xAB0,
+            )
+            .with_x_label("variant")
+            .with_latency_capture()
+            .with_open_interference(0.05, 120.0),
+        ]
+    }
+
+    #[test]
+    fn every_spec_kind_round_trips_through_json() {
+        for spec in specs() {
+            let text = spec.to_json_string();
+            let back = ExperimentSpec::from_json_str(&text).unwrap_or_else(|error| {
+                panic!("{}: {error}\n{text}", spec.name);
+            });
+            assert_eq!(back, spec, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn results_round_trip_bit_identically() {
+        let mut service = SweepService::new(RoundExecutor::sequential());
+        for spec in [
+            ExperimentSpec::contention_grid(
+                "fig10",
+                Scenario::Local,
+                Mechanism::Flock,
+                &[140, 200],
+                60,
+                48,
+                0xF10,
+            ),
+            ExperimentSpec::scenario_table("table6", Scenario::CrossVm, 32, 5)
+                .with_latency_capture(),
+        ] {
+            let result = service.submit(&spec).unwrap();
+            let text = result.to_json_string();
+            let back = ExperimentResult::from_json_str(&text).unwrap();
+            assert_eq!(back, result, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn minimal_hand_written_specs_parse_with_defaults() {
+        let text = r#"{
+            "name": "mini",
+            "scenario": "local",
+            "base_seed": 7,
+            "grid": {"kind": "scenario_table", "payload_bits": 64}
+        }"#;
+        let spec = ExperimentSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.x_label, "row");
+        assert!(!spec.capture_latencies);
+        assert!(spec.open_interference.is_none());
+        assert_eq!(spec.point_count(), 6);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"name":"x","scenario":"moon","base_seed":1,"grid":{"kind":"scenario_table","payload_bits":8}}"#,
+            r#"{"name":"x","scenario":"local","base_seed":1,"grid":{"kind":"warp","payload_bits":8}}"#,
+            r#"{"name":"x","scenario":"local","base_seed":1,"grid":{"kind":"custom","points":[{"series":"s"}]}}"#,
+            "not json",
+        ] {
+            assert!(ExperimentSpec::from_json_str(bad).is_err(), "{bad}");
+        }
+        assert!(ExperimentResult::from_json_str("{}").is_err());
+    }
+}

@@ -1,0 +1,510 @@
+//! Spec → grid compilation and measurement folding.
+//!
+//! A [`CompiledExperiment`] is the executable form of an
+//! [`ExperimentSpec`]: every grid point's channel is built, its payload
+//! materialized and its [`TransmissionPlan`] compiled, with all plans owned
+//! by one vector so executors and cache keys borrow instead of cloning. The
+//! same compiled grid can then run three ways — on a caller-supplied backend
+//! (`transmit_batch`, how the legacy sequential sweeps behave), on a bare
+//! [`RoundExecutor`], or through the caching
+//! [`SweepService`](super::SweepService) — and all three fold observations
+//! back into an identical [`ExperimentResult`].
+
+use super::result::{ExperimentResult, ExperimentRow, NullSink, PointOutcome, ResultSink};
+use super::spec::{ExperimentSpec, GridSpec};
+use crate::backend::{round_seed, ChannelBackend, Observation};
+use crate::channel::CovertChannel;
+use crate::config::ChannelConfig;
+use crate::exec::{PreparedRound, RoundExecutor};
+use crate::multibit::SymbolChannel;
+use crate::plan::TransmissionPlan;
+use mes_coding::{BitSource, PayloadSpec, SymbolAlphabet};
+use mes_scenario::ScenarioProfile;
+use mes_stats::{LabeledSeries, SweepSeries};
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros, Result};
+use std::fmt::Write as _;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streams a value's `Debug` rendering through an FNV-1a fold without
+/// materializing the string (plans for 20 000-bit payloads debug-print to
+/// hundreds of kilobytes).
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for byte in s.as_bytes() {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+fn debug_fingerprint(value: &dyn std::fmt::Debug) -> u64 {
+    let mut writer = FnvWriter(FNV_OFFSET);
+    write!(writer, "{value:?}").expect("FnvWriter never fails");
+    writer.0
+}
+
+/// A stable fingerprint of a transmission plan, covering every field that
+/// influences its execution (actions, timing, seed, mechanism, sync flags).
+pub fn plan_fingerprint(plan: &TransmissionPlan) -> u64 {
+    debug_fingerprint(plan)
+}
+
+/// A stable fingerprint of a deployment profile, covering the scenario, the
+/// noise model and the session layout.
+pub fn profile_fingerprint(profile: &ScenarioProfile) -> u64 {
+    debug_fingerprint(profile)
+}
+
+/// How one compiled point decodes its observation.
+enum PointDecoder {
+    /// A framed single-bit round (everything except symbol grids).
+    Frame(PreparedRound),
+    /// A multi-bit symbol round (the Section VI grid).
+    Symbols {
+        channel: SymbolChannel,
+        payload: BitString,
+        sent: Vec<usize>,
+    },
+}
+
+/// One compiled grid point; its plan lives in the grid's plan vector.
+struct CompiledPoint {
+    series: usize,
+    x: f64,
+    mechanism: Mechanism,
+    timing: ChannelTiming,
+    decoder: PointDecoder,
+    paper_ber: Option<f64>,
+    paper_tr: Option<f64>,
+}
+
+/// An [`ExperimentSpec`] compiled down to plans and decoders, ready to run.
+pub struct CompiledExperiment {
+    name: String,
+    profile: ScenarioProfile,
+    base_seed: u64,
+    x_label: String,
+    capture_latencies: bool,
+    table_rows: bool,
+    series_labels: Vec<String>,
+    points: Vec<CompiledPoint>,
+    plans: Vec<TransmissionPlan>,
+}
+
+impl CompiledExperiment {
+    /// Compiles a spec against the profile its scenario implies (plus the
+    /// spec's noise tweaks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any point's configuration is invalid or its
+    /// mechanism is unavailable in the scenario.
+    pub fn compile(spec: &ExperimentSpec) -> Result<Self> {
+        let mut profile = ScenarioProfile::for_scenario(spec.scenario);
+        if let Some(interference) = spec.open_interference {
+            profile = profile.clone().with_noise(
+                profile
+                    .noise()
+                    .clone()
+                    .with_open_interference(interference.to_noise()),
+            );
+        }
+        CompiledExperiment::compile_with_profile(spec, &profile)
+    }
+
+    /// Compiles a spec against an explicit profile — the entry point the
+    /// legacy shims use so caller-customized profiles (ablation noise
+    /// models) keep working. The spec's scenario should match the profile's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledExperiment::compile`].
+    pub fn compile_with_profile(spec: &ExperimentSpec, profile: &ScenarioProfile) -> Result<Self> {
+        let mut grid = GridBuilder {
+            profile,
+            series_labels: Vec::new(),
+            points: Vec::new(),
+            plans: Vec::new(),
+            table_rows: matches!(spec.grid, GridSpec::ScenarioTable { .. }),
+        };
+        match &spec.grid {
+            GridSpec::Cooperation {
+                mechanism,
+                tw0_values,
+                ti_values,
+                payload_bits,
+            } => {
+                for (series, &ti) in ti_values.iter().enumerate() {
+                    grid.series_labels.push(format!("Interval={ti}"));
+                    for &tw0 in tw0_values {
+                        let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
+                        grid.push_frame_point(
+                            series,
+                            tw0 as f64,
+                            *mechanism,
+                            timing,
+                            &PayloadSpec::Random {
+                                bits: *payload_bits,
+                            },
+                            spec.base_seed ^ (tw0 << 16) ^ ti,
+                            true,
+                        )?;
+                    }
+                }
+            }
+            GridSpec::Contention {
+                mechanism,
+                tt1_values,
+                tt0,
+                payload_bits,
+            } => {
+                grid.series_labels.push(mechanism.to_string());
+                for &tt1 in tt1_values {
+                    let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(*tt0));
+                    grid.push_frame_point(
+                        0,
+                        tt1 as f64,
+                        *mechanism,
+                        timing,
+                        &PayloadSpec::Random {
+                            bits: *payload_bits,
+                        },
+                        spec.base_seed ^ (tt1 << 8),
+                        true,
+                    )?;
+                }
+            }
+            GridSpec::ScenarioTable { payload_bits } => {
+                for (row, (mechanism, timing)) in mes_scenario::paper_timeset_grid(spec.scenario)
+                    .into_iter()
+                    .enumerate()
+                {
+                    grid.series_labels.push(mechanism.to_string());
+                    // `measure_scenario` has always drawn the payload from a
+                    // mechanism-mixed seed while seeding the channel with the
+                    // base seed itself; reproduce both exactly.
+                    let config = ChannelConfig::new(mechanism, timing)?.with_seed(spec.base_seed);
+                    let channel = CovertChannel::new(config, profile.clone())?;
+                    let payload =
+                        BitSource::new(spec.base_seed.wrapping_mul(31) ^ mechanism as u64)
+                            .random_bits(*payload_bits);
+                    let (round, plan) = PreparedRound::new(channel, payload)?;
+                    grid.points.push(CompiledPoint {
+                        series: row,
+                        x: row as f64,
+                        mechanism,
+                        timing,
+                        decoder: PointDecoder::Frame(round),
+                        paper_ber: mes_scenario::paper_ber_percent(spec.scenario, mechanism),
+                        paper_tr: mes_scenario::paper_tr_kbps(spec.scenario, mechanism),
+                    });
+                    grid.plans.push(plan);
+                }
+            }
+            GridSpec::SymbolWidths {
+                widths,
+                first_us,
+                step_us,
+                payload_bits,
+                channel_seed,
+                payload_seed,
+            } => {
+                grid.series_labels.push(Mechanism::Event.to_string());
+                for &k in widths {
+                    let alphabet = SymbolAlphabet::evenly_spaced(
+                        k,
+                        Micros::new(*first_us),
+                        Micros::new(*step_us),
+                    )?;
+                    let channel = SymbolChannel::new(
+                        alphabet,
+                        Mechanism::Event,
+                        profile.clone(),
+                        channel_seed + u64::from(k),
+                    )?;
+                    let payload =
+                        BitSource::new(payload_seed + u64::from(k)).random_bits(*payload_bits);
+                    let (sent, plan) = channel.plan(&payload)?;
+                    let timing =
+                        ChannelTiming::cooperation(Micros::new(*first_us), Micros::new(*step_us));
+                    grid.points.push(CompiledPoint {
+                        series: 0,
+                        x: f64::from(k),
+                        mechanism: Mechanism::Event,
+                        timing,
+                        decoder: PointDecoder::Symbols {
+                            channel,
+                            payload,
+                            sent,
+                        },
+                        paper_ber: None,
+                        paper_tr: None,
+                    });
+                    grid.plans.push(plan);
+                }
+            }
+            GridSpec::Custom { points } => {
+                for point in points {
+                    let series = grid.series_index(&point.series);
+                    grid.push_frame_point(
+                        series,
+                        point.x,
+                        point.mechanism,
+                        point.timing,
+                        &point.payload,
+                        point.seed,
+                        point.inter_bit_sync,
+                    )?;
+                }
+            }
+        }
+        Ok(CompiledExperiment {
+            name: spec.name.clone(),
+            profile: profile.clone(),
+            base_seed: spec.base_seed,
+            x_label: spec.x_label.clone(),
+            capture_latencies: spec.capture_latencies,
+            table_rows: grid.table_rows,
+            series_labels: grid.series_labels,
+            points: grid.points,
+            plans: grid.plans,
+        })
+    }
+
+    /// The compiled plans, in grid order — one shared allocation that
+    /// executor requests and cache keys both borrow.
+    pub fn plans(&self) -> &[TransmissionPlan] {
+        &self.plans
+    }
+
+    /// The profile every point runs under.
+    pub fn profile(&self) -> &ScenarioProfile {
+        &self.profile
+    }
+
+    /// The base seed of the execution backends.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Number of compiled grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The effective backend seed of round `index`
+    /// (what [`ChannelBackend::transmit_round`] derives for a backend whose
+    /// base seed is this experiment's).
+    pub fn effective_seed(&self, index: usize) -> u64 {
+        round_seed(self.base_seed, index as u64).wrapping_add(self.plans[index].seed)
+    }
+
+    /// Runs the whole grid as one batch on a caller-supplied backend —
+    /// exactly what the legacy sequential sweeps did. On a fresh
+    /// [`SimBackend`](crate::backend::SimBackend) seeded with
+    /// [`CompiledExperiment::base_seed`], the result is bit-identical to the
+    /// executor paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backend fails or a symbol round cannot be
+    /// decoded.
+    pub fn run_on_backend(&self, backend: &mut dyn ChannelBackend) -> Result<ExperimentResult> {
+        let observations = backend.transmit_batch(&self.plans)?;
+        let refs: Vec<&Observation> = observations.iter().collect();
+        self.fold(&refs, &[], &mut NullSink)
+    }
+
+    /// Runs the whole grid across an executor's workers (simulated backends
+    /// seeded with [`CompiledExperiment::base_seed`]), without caching.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any round fails or a symbol round cannot be
+    /// decoded.
+    pub fn run_with_executor(&self, executor: &RoundExecutor) -> Result<ExperimentResult> {
+        let observations = executor.execute(&self.plans, || {
+            crate::backend::SimBackend::new(self.profile.clone(), self.base_seed)
+        })?;
+        let refs: Vec<&Observation> = observations.iter().collect();
+        self.fold(&refs, &[], &mut NullSink)
+    }
+
+    /// Folds one observation per point (in grid order, borrowed — cached
+    /// observations are folded in place rather than cloned) into the typed
+    /// result. `cached` marks the indices served from a cache (pass `&[]`
+    /// when every observation was freshly executed); `sink` receives each
+    /// point as it is measured. This is the decode half of every execution
+    /// path, exposed so harnesses that obtain observations their own way
+    /// (single-`transmit` legacy shims, externally timed strategy
+    /// comparisons) produce the same typed result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a symbol round cannot be decoded.
+    pub fn fold(
+        &self,
+        observations: &[&Observation],
+        cached: &[bool],
+        sink: &mut dyn ResultSink,
+    ) -> Result<ExperimentResult> {
+        let mut series: Vec<LabeledSeries> =
+            self.series_labels.iter().map(LabeledSeries::new).collect();
+        let mut rows = Vec::new();
+        let mut outcomes = Vec::with_capacity(self.points.len());
+        let mut cache_hits = 0;
+
+        for (index, (point, observation)) in self.points.iter().zip(observations).enumerate() {
+            let cache_hit = cached.get(index).copied().unwrap_or(false);
+            if cache_hit {
+                cache_hits += 1;
+            }
+            let (ber_percent, rate_kbps, frame_valid, latencies) = match &point.decoder {
+                PointDecoder::Frame(round) => {
+                    let report = round.recover(observation);
+                    (
+                        report.wire_ber().ber_percent(),
+                        report.throughput().kilobits_per_second(),
+                        report.frame_valid(),
+                        self.capture_latencies.then(|| {
+                            report
+                                .latencies()
+                                .iter()
+                                .map(|l| l.as_micros_f64())
+                                .collect()
+                        }),
+                    )
+                }
+                PointDecoder::Symbols {
+                    channel,
+                    payload,
+                    sent,
+                } => {
+                    let report = channel.recover(payload, sent, observation)?;
+                    (
+                        report.ber().ber_percent(),
+                        report.throughput().kilobits_per_second(),
+                        true,
+                        self.capture_latencies.then(|| {
+                            report
+                                .latencies()
+                                .iter()
+                                .map(|l| l.as_micros_f64())
+                                .collect()
+                        }),
+                    )
+                }
+            };
+
+            series[point.series].push(mes_stats::SweepPoint {
+                x: point.x,
+                ber_percent,
+                rate_kbps,
+            });
+            if self.table_rows {
+                rows.push(ExperimentRow {
+                    mechanism: point.mechanism,
+                    timeset: point.timing.to_string(),
+                    ber_percent,
+                    tr_kbps: rate_kbps,
+                    paper_ber: point.paper_ber,
+                    paper_tr: point.paper_tr,
+                });
+            }
+            let outcome = PointOutcome {
+                index,
+                series: self.series_labels[point.series].clone(),
+                x: point.x,
+                mechanism: point.mechanism,
+                timing: point.timing,
+                ber_percent,
+                rate_kbps,
+                frame_valid,
+                plan_hash: plan_fingerprint(&self.plans[index]),
+                round_seed: self.effective_seed(index),
+                cache_hit,
+                latencies_us: latencies,
+            };
+            sink.on_point(&outcome);
+            outcomes.push(outcome);
+        }
+
+        let mut sweep = SweepSeries::new(&self.x_label);
+        for labeled in series {
+            sweep.push(labeled);
+        }
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            scenario: self.profile.scenario(),
+            series: sweep,
+            rows,
+            points: outcomes,
+            rounds_executed: observations.len() - cached.iter().filter(|&&c| c).count(),
+            cache_hits,
+        })
+    }
+}
+
+/// Accumulator shared by the grid kinds during compilation.
+struct GridBuilder<'a> {
+    profile: &'a ScenarioProfile,
+    series_labels: Vec<String>,
+    points: Vec<CompiledPoint>,
+    plans: Vec<TransmissionPlan>,
+    table_rows: bool,
+}
+
+impl GridBuilder<'_> {
+    /// Index of `label` in the series list, appending it on first use.
+    fn series_index(&mut self, label: &str) -> usize {
+        if let Some(index) = self.series_labels.iter().position(|l| l == label) {
+            index
+        } else {
+            self.series_labels.push(label.to_string());
+            self.series_labels.len() - 1
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_frame_point(
+        &mut self,
+        series: usize,
+        x: f64,
+        mechanism: Mechanism,
+        timing: ChannelTiming,
+        payload: &PayloadSpec,
+        seed: u64,
+        inter_bit_sync: bool,
+    ) -> Result<()> {
+        let mut config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
+        if !inter_bit_sync {
+            config = config.without_inter_bit_sync();
+        }
+        let channel = CovertChannel::new(config, self.profile.clone())?;
+        let payload = payload.materialize(seed)?;
+        let (round, plan) = PreparedRound::new(channel, payload)?;
+        self.points.push(CompiledPoint {
+            series,
+            x,
+            mechanism,
+            timing,
+            decoder: PointDecoder::Frame(round),
+            paper_ber: None,
+            paper_tr: None,
+        });
+        self.plans.push(plan);
+        Ok(())
+    }
+}

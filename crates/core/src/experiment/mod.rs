@@ -1,0 +1,399 @@
+//! The unified experiment API: `ExperimentSpec` → [`SweepService`] →
+//! `ExperimentResult`.
+//!
+//! Every evaluation artefact of the paper — the Fig. 9/10 sweeps, the
+//! Tables IV–VI scenario tables, the Section VI symbol-width comparison, the
+//! ablations — is one shape: a grid of (mechanism, timing, scenario,
+//! payload, seed) points measured into BER/throughput series. This module
+//! makes that shape a first-class, serializable request/response surface:
+//!
+//! * [`ExperimentSpec`] (in [`spec`]) describes a grid without referencing
+//!   any runtime object; constructors reproduce the repository's historical
+//!   grids exactly, and the JSON codec (in [`codec`]) round-trips a spec
+//!   through text so it can cross a process boundary (the `sweepd` harness
+//!   binary, and the future async/sharded sweep service).
+//! * [`SweepService`] owns a [`RoundExecutor`] pool plus a
+//!   `(profile, plan, seed)` → [`Observation`] cache; submitting a spec
+//!   compiles it (see [`compile`]), executes only the rounds the cache has
+//!   not seen, and folds everything into an [`ExperimentResult`] — all at
+//!   once, or streamed point-by-point through a [`ResultSink`].
+//! * [`ExperimentResult`] (in [`result`]) carries the measured series, the
+//!   scenario-table rows and per-point provenance (plan hash, effective
+//!   seed, cache hit), and round-trips through JSON bit-identically.
+//!
+//! # Examples
+//!
+//! Run the Fig. 10 contention sweep through the service, then resubmit it
+//! and observe that the cache answers without executing a single round:
+//!
+//! ```
+//! use mes_core::experiment::{ExperimentSpec, SweepService};
+//! use mes_types::{Mechanism, Scenario};
+//!
+//! let spec = ExperimentSpec::contention_grid(
+//!     "fig10-demo", Scenario::Local, Mechanism::Flock, &[140, 200, 260], 60, 64, 0xF10,
+//! );
+//! let mut service = SweepService::with_default_pool();
+//! let first = service.submit(&spec)?;
+//! assert_eq!(first.rounds_executed, 3);
+//!
+//! let second = service.submit(&spec)?;
+//! assert_eq!(second.rounds_executed, 0);
+//! assert_eq!(second.cache_hits, 3);
+//! assert_eq!(first.series, second.series);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+mod codec;
+mod compile;
+mod result;
+mod spec;
+
+pub use compile::{plan_fingerprint, profile_fingerprint, CompiledExperiment};
+pub use result::{ExperimentResult, ExperimentRow, NullSink, PointOutcome, ResultSink};
+pub use spec::{ExperimentSpec, GridSpec, OpenInterferenceSpec, PointSpec};
+
+use crate::backend::{Observation, SimBackend};
+use crate::exec::{RoundExecutor, RoundRequest};
+use mes_types::Result;
+use std::collections::HashMap;
+
+/// Cache key of one executed round: profile fingerprint, plan fingerprint,
+/// effective backend seed. Two rounds with equal keys produce identical
+/// observations, so the cached observation can stand in for a re-execution.
+type CacheKey = (u64, u64, u64);
+
+/// Executes [`ExperimentSpec`]s on a pooled [`RoundExecutor`] with an
+/// observation cache across submissions.
+///
+/// The service is the single entry point every harness binary and the
+/// `sweepd` process boundary go through; the legacy sweep functions are thin
+/// shims over it. Identical grid points — across resubmissions or between
+/// overlapping specs — are measured once and served from the cache
+/// afterwards, which [`ExperimentResult::rounds_executed`] and
+/// [`ExperimentResult::cache_hits`] make observable.
+#[derive(Debug)]
+pub struct SweepService {
+    executor: RoundExecutor,
+    cache: HashMap<CacheKey, Observation>,
+    rounds_executed: u64,
+    cache_hits: u64,
+}
+
+impl SweepService {
+    /// Creates a service over an executor pool.
+    pub fn new(executor: RoundExecutor) -> Self {
+        SweepService {
+            executor,
+            cache: HashMap::new(),
+            rounds_executed: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// A service over a machine-sized executor pool.
+    pub fn with_default_pool() -> Self {
+        SweepService::new(RoundExecutor::available_parallelism())
+    }
+
+    /// The executor pool backing the service.
+    pub fn executor(&self) -> &RoundExecutor {
+        &self.executor
+    }
+
+    /// Total rounds executed over the service's lifetime (cache misses).
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Total points served from the cache over the service's lifetime.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of observations currently cached.
+    pub fn cached_observations(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached observation.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Submits a spec and returns the complete result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec does not compile (invalid timing,
+    /// mechanism unavailable in the scenario, bad payload literal) or a
+    /// round fails to execute.
+    pub fn submit(&mut self, spec: &ExperimentSpec) -> Result<ExperimentResult> {
+        self.submit_streaming(spec, &mut NullSink)
+    }
+
+    /// Submits a spec, delivering each point's outcome to `sink` (in grid
+    /// order) before the complete result is returned — the streaming entry
+    /// point for long sweeps whose consumers render incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepService::submit`].
+    pub fn submit_streaming<S: ResultSink>(
+        &mut self,
+        spec: &ExperimentSpec,
+        sink: &mut S,
+    ) -> Result<ExperimentResult> {
+        let compiled = CompiledExperiment::compile(spec)?;
+        self.run_compiled(&compiled, sink)
+    }
+
+    /// Runs an already compiled experiment through the pool and cache. This
+    /// is the shared engine behind [`SweepService::submit`] and the legacy
+    /// shims that compile against caller-customized profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a round fails to execute or decode.
+    pub fn run_compiled<S: ResultSink>(
+        &mut self,
+        compiled: &CompiledExperiment,
+        sink: &mut S,
+    ) -> Result<ExperimentResult> {
+        let profile_fp = profile_fingerprint(compiled.profile());
+        let keys: Vec<CacheKey> = compiled
+            .plans()
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| {
+                (
+                    profile_fp,
+                    plan_fingerprint(plan),
+                    compiled.effective_seed(index),
+                )
+            })
+            .collect();
+
+        let cached: Vec<bool> = keys
+            .iter()
+            .map(|key| self.cache.contains_key(key))
+            .collect();
+        let misses: Vec<RoundRequest<'_>> = compiled
+            .plans()
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| !cached[*index])
+            .map(|(index, plan)| RoundRequest::new(plan, index as u64))
+            .collect();
+
+        // Only the rounds the cache has not seen run; they keep their
+        // original grid indices, so their observations are bit-identical to
+        // a full uncached execution of the same grid.
+        let profile = compiled.profile().clone();
+        let base_seed = compiled.base_seed();
+        let fresh = self
+            .executor
+            .execute_rounds(&misses, || SimBackend::new(profile.clone(), base_seed))?;
+        for (request, observation) in misses.iter().zip(fresh) {
+            self.cache
+                .insert(keys[request.round_index as usize], observation);
+        }
+
+        // Fold straight out of the cache — warm submissions never copy the
+        // per-bit latency vectors.
+        let observations: Vec<&Observation> = keys.iter().map(|key| &self.cache[key]).collect();
+        let result = compiled.fold(&observations, &cached, sink)?;
+        self.rounds_executed += result.rounds_executed as u64;
+        self.cache_hits += result.cache_hits as u64;
+        Ok(result)
+    }
+}
+
+impl Default for SweepService {
+    fn default() -> Self {
+        SweepService::with_default_pool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_coding::PayloadSpec;
+    use mes_types::{ChannelTiming, Mechanism, Micros, Scenario};
+
+    #[test]
+    fn service_reproduces_executor_and_backend_runs() {
+        let spec = ExperimentSpec::cooperation_grid(
+            "fig9-small",
+            Scenario::Local,
+            Mechanism::Event,
+            &[15, 35],
+            &[50, 70],
+            64,
+            13,
+        );
+        let compiled = CompiledExperiment::compile(&spec).unwrap();
+        let mut backend = SimBackend::new(compiled.profile().clone(), 13);
+        let on_backend = compiled.run_on_backend(&mut backend).unwrap();
+        let with_executor = compiled.run_with_executor(&RoundExecutor::new(4)).unwrap();
+        let mut service = SweepService::new(RoundExecutor::new(3));
+        let through_service = service.submit(&spec).unwrap();
+
+        assert_eq!(on_backend.series, with_executor.series);
+        assert_eq!(on_backend.series, through_service.series);
+        assert_eq!(on_backend.points.len(), 4);
+        assert_eq!(through_service.rounds_executed, 4);
+        assert_eq!(through_service.cache_hits, 0);
+    }
+
+    #[test]
+    fn resubmission_is_served_entirely_from_cache() {
+        let spec = ExperimentSpec::contention_grid(
+            "fig10-small",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200],
+            60,
+            48,
+            8,
+        );
+        let mut service = SweepService::new(RoundExecutor::sequential());
+        let first = service.submit(&spec).unwrap();
+        assert_eq!(service.rounds_executed(), 2);
+        assert_eq!(service.cached_observations(), 2);
+
+        let second = service.submit(&spec).unwrap();
+        assert_eq!(service.rounds_executed(), 2, "no new rounds may run");
+        assert_eq!(service.cache_hits(), 2);
+        assert_eq!(second.rounds_executed, 0);
+        assert!(second.points.iter().all(|p| p.cache_hit));
+        assert!(first.points.iter().all(|p| !p.cache_hit));
+        assert_eq!(first.series, second.series);
+
+        service.clear_cache();
+        assert_eq!(service.cached_observations(), 0);
+        let third = service.submit(&spec).unwrap();
+        assert_eq!(third.rounds_executed, 2);
+        assert_eq!(third.series, first.series);
+    }
+
+    #[test]
+    fn overlapping_specs_share_cached_points() {
+        let small = ExperimentSpec::contention_grid(
+            "small",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200],
+            60,
+            32,
+            9,
+        );
+        let large = ExperimentSpec::contention_grid(
+            "large",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200, 260],
+            60,
+            32,
+            9,
+        );
+        let mut service = SweepService::new(RoundExecutor::sequential());
+        service.submit(&small).unwrap();
+        let result = service.submit(&large).unwrap();
+        // The first two points coincide (same plan, same index, same seed),
+        // so only the third executes.
+        assert_eq!(result.rounds_executed, 1);
+        assert_eq!(result.cache_hits, 2);
+
+        // The widened grid is still bit-identical to an uncached run.
+        let uncached = SweepService::new(RoundExecutor::sequential())
+            .submit(&large)
+            .unwrap();
+        assert_eq!(result.series, uncached.series);
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_point_in_grid_order() {
+        let spec = ExperimentSpec::scenario_table("table4", Scenario::Local, 48, 3);
+        let mut service = SweepService::with_default_pool();
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let mut sink = sender;
+        let result = service.submit_streaming(&spec, &mut sink).unwrap();
+        drop(sink);
+        let streamed: Vec<PointOutcome> = receiver.iter().collect();
+        assert_eq!(streamed, result.points);
+        assert_eq!(streamed.len(), 6);
+        assert_eq!(result.rows.len(), 6);
+        assert!(result.rows.iter().all(|row| row.paper_tr.is_some()));
+    }
+
+    #[test]
+    fn symbol_grid_measures_rates_by_width() {
+        let spec = ExperimentSpec::symbol_widths("fig11", &[1, 2], 15, 50, 400, 0xF11, 42, 0x5EED);
+        let mut service = SweepService::with_default_pool();
+        let result = service.submit(&spec).unwrap();
+        let points = result.series.series()[0].points();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].rate_kbps > points[0].rate_kbps,
+            "2-bit symbols should beat 1-bit symbols"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_submission() {
+        let bad_scenario = ExperimentSpec::cooperation_grid(
+            "bad",
+            Scenario::CrossVm,
+            Mechanism::Event,
+            &[15],
+            &[70],
+            16,
+            1,
+        );
+        let mut service = SweepService::with_default_pool();
+        assert!(service.submit(&bad_scenario).is_err());
+
+        let bad_timing = ExperimentSpec::custom(
+            "bad-timing",
+            Scenario::Local,
+            vec![PointSpec::new(
+                "x",
+                0.0,
+                Mechanism::Flock,
+                ChannelTiming::contention(Micros::new(50), Micros::new(60)),
+                PayloadSpec::Random { bits: 8 },
+                1,
+            )],
+            1,
+        );
+        assert!(service.submit(&bad_timing).is_err());
+        assert_eq!(service.rounds_executed(), 0);
+    }
+
+    #[test]
+    fn open_interference_changes_the_measurement() {
+        let base = ExperimentSpec::contention_grid(
+            "closed",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[160],
+            60,
+            512,
+            0xAB,
+        );
+        let mut noisy = base.clone().with_open_interference(0.2, 120.0);
+        noisy.name = "open".into();
+        let mut service = SweepService::with_default_pool();
+        let closed = service.submit(&base).unwrap();
+        let open = service.submit(&noisy).unwrap();
+        // Different profiles must not collide in the cache.
+        assert_eq!(open.rounds_executed, 1);
+        let closed_ber = closed.series.series()[0].points()[0].ber_percent;
+        let open_ber = open.series.series()[0].points()[0].ber_percent;
+        assert!(
+            open_ber > closed_ber,
+            "third-party contention should raise BER: {open_ber} vs {closed_ber}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The typed response of a sweep: series, table rows and per-point
+//! provenance.
+
+use mes_stats::SweepSeries;
+use mes_types::{ChannelTiming, Mechanism, Scenario};
+
+/// What one grid point measured, plus where it came from.
+///
+/// The provenance fields (`plan_hash`, `round_seed`, `cache_hit`) identify
+/// the exact execution that produced the numbers: two outcomes with equal
+/// `(profile, plan_hash, round_seed)` are guaranteed to carry identical
+/// measurements, which is the invariant the
+/// [`SweepService`](crate::experiment::SweepService) cache exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Index of the point in grid order.
+    pub index: usize,
+    /// Label of the series the point belongs to.
+    pub series: String,
+    /// The point's x-coordinate.
+    pub x: f64,
+    /// The MESM that carried the point.
+    pub mechanism: Mechanism,
+    /// Timing parameters of the point.
+    pub timing: ChannelTiming,
+    /// Measured bit error rate, in percent.
+    pub ber_percent: f64,
+    /// Measured transmission rate, in kb/s.
+    pub rate_kbps: f64,
+    /// Whether the synchronization sequence validated (always `true` for
+    /// symbol points, which carry no frame).
+    pub frame_valid: bool,
+    /// Fingerprint of the executed [`TransmissionPlan`]
+    /// (see [`crate::experiment::plan_fingerprint`]).
+    ///
+    /// [`TransmissionPlan`]: crate::plan::TransmissionPlan
+    pub plan_hash: u64,
+    /// The effective backend seed of the round
+    /// (`round_seed(base_seed, index) + plan.seed`).
+    pub round_seed: u64,
+    /// Whether the observation came from the service cache instead of a
+    /// fresh execution.
+    pub cache_hit: bool,
+    /// Raw constraint latencies in microseconds, when the spec asked for
+    /// them ([`ExperimentSpec::capture_latencies`]).
+    ///
+    /// [`ExperimentSpec::capture_latencies`]: crate::experiment::ExperimentSpec::capture_latencies
+    pub latencies_us: Option<Vec<f64>>,
+}
+
+/// One measured row of a scenario table (Tables IV–VI), with the paper's
+/// published numbers next to the measured ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Mechanism of the row.
+    pub mechanism: Mechanism,
+    /// Timeset string as the paper prints it.
+    pub timeset: String,
+    /// Measured BER in percent.
+    pub ber_percent: f64,
+    /// Measured TR in kb/s.
+    pub tr_kbps: f64,
+    /// BER the paper reports, if any.
+    pub paper_ber: Option<f64>,
+    /// TR the paper reports, if any.
+    pub paper_tr: Option<f64>,
+}
+
+/// The complete response to one [`ExperimentSpec`] submission.
+///
+/// [`ExperimentSpec`]: crate::experiment::ExperimentSpec
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Name of the spec that produced the result.
+    pub name: String,
+    /// Scenario the experiment ran in.
+    pub scenario: Scenario,
+    /// The measured curves, one labelled series per grid series — exactly
+    /// the [`SweepSeries`] the legacy sweep functions returned.
+    pub series: SweepSeries,
+    /// Scenario-table rows (populated by the `ScenarioTable` grid kind,
+    /// empty otherwise).
+    pub rows: Vec<ExperimentRow>,
+    /// Per-point measurements and provenance, in grid order.
+    pub points: Vec<PointOutcome>,
+    /// Rounds actually executed for this submission (cache misses).
+    pub rounds_executed: usize,
+    /// Points served from the service cache.
+    pub cache_hits: usize,
+}
+
+impl ExperimentResult {
+    /// Consumes the result, returning just the sweep series — what the
+    /// legacy sweep functions used to return.
+    pub fn into_series(self) -> SweepSeries {
+        self.series
+    }
+}
+
+/// Receives per-point outcomes as a sweep progresses — the streaming side of
+/// [`SweepService::submit_streaming`].
+///
+/// Implemented for closures and for [`std::sync::mpsc::Sender`], so both
+/// callback-style and channel-style consumers plug in directly:
+///
+/// ```
+/// use mes_core::experiment::{ExperimentSpec, PointOutcome, SweepService};
+/// use mes_types::{Mechanism, Scenario};
+///
+/// let spec = ExperimentSpec::contention_grid(
+///     "stream", Scenario::Local, Mechanism::Flock, &[140, 200], 60, 32, 5,
+/// );
+/// let mut service = SweepService::with_default_pool();
+/// let mut seen = Vec::new();
+/// let result = service
+///     .submit_streaming(&spec, &mut |point: &PointOutcome| seen.push(point.x))?;
+/// assert_eq!(seen, vec![140.0, 200.0]);
+/// assert_eq!(result.points.len(), 2);
+/// # Ok::<(), mes_types::MesError>(())
+/// ```
+///
+/// [`SweepService::submit_streaming`]: crate::experiment::SweepService::submit_streaming
+pub trait ResultSink {
+    /// Called once per grid point, in grid order, as soon as the point's
+    /// measurement is available.
+    fn on_point(&mut self, outcome: &PointOutcome);
+}
+
+impl<F: FnMut(&PointOutcome)> ResultSink for F {
+    fn on_point(&mut self, outcome: &PointOutcome) {
+        self(outcome);
+    }
+}
+
+impl ResultSink for std::sync::mpsc::Sender<PointOutcome> {
+    fn on_point(&mut self, outcome: &PointOutcome) {
+        // A disconnected receiver just stops listening; the sweep itself
+        // still completes and returns the full result.
+        let _ = self.send(outcome.clone());
+    }
+}
+
+/// A sink that discards every outcome (used by the non-streaming submit).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {
+    fn on_point(&mut self, _outcome: &PointOutcome) {}
+}

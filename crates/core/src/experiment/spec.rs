@@ -1,0 +1,408 @@
+//! The typed, serializable description of one experiment.
+//!
+//! An [`ExperimentSpec`] names everything the paper's evaluation varies — a
+//! grid over mechanism × timing × scenario × payload × seed — without
+//! referencing any runtime object, so a spec can be built in code, written to
+//! JSON, shipped across a process boundary and replayed bit-identically. The
+//! constructors reproduce the exact grids the repository's figures and tables
+//! have always used (same per-point seed derivations, same labels, same
+//! execution seeding), which is what lets the legacy sweep functions become
+//! thin shims over this API.
+
+use mes_coding::PayloadSpec;
+use mes_sim::noise::OpenResourceInterference;
+use mes_types::{ChannelTiming, Mechanism, Scenario};
+
+/// Extra third-party contention injected on the shared resource — the
+/// serializable form of
+/// [`OpenResourceInterference`], used by the open-resource ablation
+/// (Section IV.G ① of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenInterferenceSpec {
+    /// Probability that a third party contends during any given slot.
+    pub contention_probability: f64,
+    /// Mean occupancy of the third-party holder, in microseconds.
+    pub occupancy_mean_us: f64,
+}
+
+impl OpenInterferenceSpec {
+    /// The simulator-side noise component this spec configures.
+    pub fn to_noise(self) -> OpenResourceInterference {
+        OpenResourceInterference {
+            contention_probability: self.contention_probability,
+            occupancy_mean_us: self.occupancy_mean_us,
+        }
+    }
+}
+
+/// One explicitly described grid point (the `Custom` grid kind).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Label of the series the point belongs to; points sharing a label are
+    /// folded into one curve, in first-appearance order.
+    pub series: String,
+    /// The point's x-coordinate in the result series.
+    pub x: f64,
+    /// The MESM carrying the point.
+    pub mechanism: Mechanism,
+    /// Timing parameters of the point.
+    pub timing: ChannelTiming,
+    /// How the point sources its payload bits.
+    pub payload: PayloadSpec,
+    /// Channel seed of the point; `Random` payloads also draw from it.
+    pub seed: u64,
+    /// Whether contention channels run the fine-grained inter-bit barrier
+    /// (disabling it is the drift ablation).
+    pub inter_bit_sync: bool,
+}
+
+impl PointSpec {
+    /// Creates a point with inter-bit synchronization enabled (the paper's
+    /// default).
+    pub fn new(
+        series: impl Into<String>,
+        x: f64,
+        mechanism: Mechanism,
+        timing: ChannelTiming,
+        payload: PayloadSpec,
+        seed: u64,
+    ) -> Self {
+        PointSpec {
+            series: series.into(),
+            x,
+            mechanism,
+            timing,
+            payload,
+            seed,
+            inter_bit_sync: true,
+        }
+    }
+
+    /// Disables the fine-grained inter-bit barrier (builder style).
+    pub fn without_inter_bit_sync(mut self) -> Self {
+        self.inter_bit_sync = false;
+        self
+    }
+}
+
+/// The grid axes of an experiment — which (mechanism, timing, payload, seed)
+/// points get measured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridSpec {
+    /// The Fig. 9 shape: a cooperation mechanism swept over `tw0` (points)
+    /// for several `ti` values (series). Point seeds are
+    /// `base_seed ^ (tw0 << 16) ^ ti`, exactly as `cooperation_sweep` always
+    /// derived them.
+    Cooperation {
+        /// The cooperation mechanism under test.
+        mechanism: Mechanism,
+        /// Swept `tw0` values (µs), one point per value.
+        tw0_values: Vec<u64>,
+        /// `ti` values (µs), one series per value.
+        ti_values: Vec<u64>,
+        /// Random payload bits per point.
+        payload_bits: usize,
+    },
+    /// The Fig. 10 shape: a contention mechanism swept over `tt1` at fixed
+    /// `tt0`. Point seeds are `base_seed ^ (tt1 << 8)`.
+    Contention {
+        /// The contention mechanism under test.
+        mechanism: Mechanism,
+        /// Swept `tt1` values (µs), one point per value.
+        tt1_values: Vec<u64>,
+        /// Fixed `tt0` (µs).
+        tt0: u64,
+        /// Random payload bits per point.
+        payload_bits: usize,
+    },
+    /// The Tables IV–VI shape: every mechanism the paper evaluates in the
+    /// spec's scenario, at the paper's recommended Timeset, one row each.
+    /// Payload seeds are `base_seed.wrapping_mul(31) ^ mechanism`, exactly as
+    /// `measure_scenario` always derived them.
+    ScenarioTable {
+        /// Random payload bits per row.
+        payload_bits: usize,
+    },
+    /// The Section VI shape: multi-bit symbol alphabets of several widths on
+    /// the local Event channel, one point per width.
+    SymbolWidths {
+        /// Bits per symbol for each point.
+        widths: Vec<u8>,
+        /// Shortest symbol latency (µs).
+        first_us: u64,
+        /// Spacing between adjacent symbol latencies (µs).
+        step_us: u64,
+        /// Random payload bits per point.
+        payload_bits: usize,
+        /// Base channel seed; width `k` uses `channel_seed + k`.
+        channel_seed: u64,
+        /// Base payload seed; width `k` draws from `payload_seed + k`.
+        payload_seed: u64,
+    },
+    /// An explicit list of points for everything the canned shapes don't
+    /// cover (ablations, proof-of-concept runs, mixed-mechanism grids).
+    Custom {
+        /// The points, in measurement order.
+        points: Vec<PointSpec>,
+    },
+}
+
+/// A complete, self-contained experiment request: the unit of work a
+/// [`SweepService`](crate::experiment::SweepService) accepts, and the JSON
+/// document the `sweepd` harness binary reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name, carried into the result for provenance.
+    pub name: String,
+    /// Deployment scenario; determines the profile every point runs under.
+    pub scenario: Scenario,
+    /// Base seed of the execution backends; round `i` of the grid is seeded
+    /// with `round_seed(base_seed, i)` (plus the plan's own seed).
+    pub base_seed: u64,
+    /// The grid axes.
+    pub grid: GridSpec,
+    /// x-axis label of the result series.
+    pub x_label: String,
+    /// Whether per-point raw latencies are captured into the result
+    /// (provenance for latency plots; off by default because sweeps with
+    /// thousands of bits per point would dominate the result size).
+    pub capture_latencies: bool,
+    /// Optional third-party contention on the shared resource (the
+    /// open-resource ablation).
+    pub open_interference: Option<OpenInterferenceSpec>,
+}
+
+impl ExperimentSpec {
+    /// Creates a spec from explicit grid axes, with the grid kind's default
+    /// x-axis label. The shape-specific constructors below are usually more
+    /// convenient.
+    pub fn with_grid(
+        name: impl Into<String>,
+        scenario: Scenario,
+        base_seed: u64,
+        grid: GridSpec,
+    ) -> Self {
+        let x_label = match &grid {
+            GridSpec::Cooperation { .. } => "tw0 (us)",
+            GridSpec::Contention { .. } => "tt1 (us)",
+            GridSpec::ScenarioTable { .. } => "row",
+            GridSpec::SymbolWidths { .. } => "bits per symbol",
+            GridSpec::Custom { .. } => "x",
+        };
+        ExperimentSpec {
+            name: name.into(),
+            scenario,
+            base_seed,
+            grid,
+            x_label: x_label.into(),
+            capture_latencies: false,
+            open_interference: None,
+        }
+    }
+
+    /// The Fig. 9 grid: `mechanism` swept over `tw0` for several `ti`
+    /// values, one series per `ti` labelled `Interval={ti}`.
+    pub fn cooperation_grid(
+        name: impl Into<String>,
+        scenario: Scenario,
+        mechanism: Mechanism,
+        tw0_values: &[u64],
+        ti_values: &[u64],
+        payload_bits: usize,
+        base_seed: u64,
+    ) -> Self {
+        ExperimentSpec::with_grid(
+            name,
+            scenario,
+            base_seed,
+            GridSpec::Cooperation {
+                mechanism,
+                tw0_values: tw0_values.to_vec(),
+                ti_values: ti_values.to_vec(),
+                payload_bits,
+            },
+        )
+    }
+
+    /// The Fig. 10 grid: `mechanism` swept over `tt1` at fixed `tt0`, as a
+    /// single series labelled with the mechanism.
+    pub fn contention_grid(
+        name: impl Into<String>,
+        scenario: Scenario,
+        mechanism: Mechanism,
+        tt1_values: &[u64],
+        tt0: u64,
+        payload_bits: usize,
+        base_seed: u64,
+    ) -> Self {
+        ExperimentSpec::with_grid(
+            name,
+            scenario,
+            base_seed,
+            GridSpec::Contention {
+                mechanism,
+                tt1_values: tt1_values.to_vec(),
+                tt0,
+                payload_bits,
+            },
+        )
+    }
+
+    /// The Tables IV–VI grid: every mechanism the paper evaluates in
+    /// `scenario` at the paper Timeset, one table row per mechanism.
+    pub fn scenario_table(
+        name: impl Into<String>,
+        scenario: Scenario,
+        payload_bits: usize,
+        base_seed: u64,
+    ) -> Self {
+        ExperimentSpec::with_grid(
+            name,
+            scenario,
+            base_seed,
+            GridSpec::ScenarioTable { payload_bits },
+        )
+    }
+
+    /// The Section VI grid: symbol alphabets of the given widths on the
+    /// local Event channel (`first_us` + k·`step_us` latency levels).
+    #[allow(clippy::too_many_arguments)]
+    pub fn symbol_widths(
+        name: impl Into<String>,
+        widths: &[u8],
+        first_us: u64,
+        step_us: u64,
+        payload_bits: usize,
+        channel_seed: u64,
+        payload_seed: u64,
+        base_seed: u64,
+    ) -> Self {
+        ExperimentSpec::with_grid(
+            name,
+            Scenario::Local,
+            base_seed,
+            GridSpec::SymbolWidths {
+                widths: widths.to_vec(),
+                first_us,
+                step_us,
+                payload_bits,
+                channel_seed,
+                payload_seed,
+            },
+        )
+    }
+
+    /// An explicit list of points.
+    pub fn custom(
+        name: impl Into<String>,
+        scenario: Scenario,
+        points: Vec<PointSpec>,
+        base_seed: u64,
+    ) -> Self {
+        ExperimentSpec::with_grid(name, scenario, base_seed, GridSpec::Custom { points })
+    }
+
+    /// Overrides the x-axis label (builder style).
+    pub fn with_x_label(mut self, x_label: impl Into<String>) -> Self {
+        self.x_label = x_label.into();
+        self
+    }
+
+    /// Captures per-point raw latencies into the result (builder style).
+    pub fn with_latency_capture(mut self) -> Self {
+        self.capture_latencies = true;
+        self
+    }
+
+    /// Adds third-party contention on the shared resource (builder style).
+    pub fn with_open_interference(mut self, probability: f64, occupancy_mean_us: f64) -> Self {
+        self.open_interference = Some(OpenInterferenceSpec {
+            contention_probability: probability,
+            occupancy_mean_us,
+        });
+        self
+    }
+
+    /// Number of grid points the spec will measure.
+    pub fn point_count(&self) -> usize {
+        match &self.grid {
+            GridSpec::Cooperation {
+                tw0_values,
+                ti_values,
+                ..
+            } => tw0_values.len() * ti_values.len(),
+            GridSpec::Contention { tt1_values, .. } => tt1_values.len(),
+            GridSpec::ScenarioTable { .. } => self.scenario.mechanisms().len(),
+            GridSpec::SymbolWidths { widths, .. } => widths.len(),
+            GridSpec::Custom { points } => points.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    #[test]
+    fn constructors_pick_axis_labels_and_count_points() {
+        let fig9 = ExperimentSpec::cooperation_grid(
+            "fig9",
+            Scenario::Local,
+            Mechanism::Event,
+            &[15, 25],
+            &[50, 70, 90],
+            128,
+            1,
+        );
+        assert_eq!(fig9.x_label, "tw0 (us)");
+        assert_eq!(fig9.point_count(), 6);
+
+        let fig10 = ExperimentSpec::contention_grid(
+            "fig10",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200],
+            60,
+            128,
+            1,
+        );
+        assert_eq!(fig10.x_label, "tt1 (us)");
+        assert_eq!(fig10.point_count(), 2);
+
+        let table = ExperimentSpec::scenario_table("table6", Scenario::CrossVm, 64, 1);
+        assert_eq!(table.point_count(), 2);
+
+        let symbols = ExperimentSpec::symbol_widths("fig11", &[1, 2, 3], 15, 50, 64, 2, 3, 4);
+        assert_eq!(symbols.point_count(), 3);
+        assert_eq!(symbols.scenario, Scenario::Local);
+
+        let custom = ExperimentSpec::custom(
+            "poc",
+            Scenario::Local,
+            vec![PointSpec::new(
+                "event",
+                0.0,
+                Mechanism::Event,
+                ChannelTiming::cooperation(Micros::new(15), Micros::new(65)),
+                mes_coding::PayloadSpec::Figure8,
+                8,
+            )
+            .without_inter_bit_sync()],
+            8,
+        )
+        .with_x_label("variant")
+        .with_latency_capture()
+        .with_open_interference(0.05, 120.0);
+        assert_eq!(custom.point_count(), 1);
+        assert_eq!(custom.x_label, "variant");
+        assert!(custom.capture_latencies);
+        let interference = custom.open_interference.unwrap();
+        assert_eq!(interference.to_noise().contention_probability, 0.05);
+        if let GridSpec::Custom { points } = &custom.grid {
+            assert!(!points[0].inter_bit_sync);
+        } else {
+            panic!("custom grid expected");
+        }
+    }
+}

@@ -19,8 +19,13 @@
 //!   adaptive threshold recovery, BER/TR accounting;
 //! * [`exec`] — the [`RoundExecutor`]: batched, deterministic, multi-threaded
 //!   execution of independent transmission rounds;
+//! * [`experiment`] — the unified experiment API: a serializable
+//!   [`ExperimentSpec`] submitted to a caching [`SweepService`] yields a
+//!   typed [`ExperimentResult`] — the surface every figure/table harness and
+//!   the `sweepd` process boundary speak;
 //! * [`multibit`] — multi-bit symbol transmission (Section VI);
-//! * [`sweep`] — the timing-parameter sweeps behind Fig. 9 and Fig. 10;
+//! * [`sweep`] — deprecated shims over [`experiment`] for the historical
+//!   sweep entry points;
 //! * [`parallel`] — the multi-channel rate projections of Section V.C.1.
 //!
 //! # Examples
@@ -51,6 +56,7 @@ pub mod backend;
 pub mod channel;
 pub mod config;
 pub mod exec;
+pub mod experiment;
 pub mod multibit;
 pub mod parallel;
 pub mod plan;
@@ -60,6 +66,7 @@ pub mod sweep;
 pub use backend::{round_seed, ChannelBackend, Observation, SimBackend};
 pub use channel::{CovertChannel, TransmissionReport};
 pub use config::ChannelConfig;
-pub use exec::{PreparedRound, RoundExecutor};
+pub use exec::{PreparedRound, RoundExecutor, RoundRequest};
+pub use experiment::{ExperimentResult, ExperimentSpec, SweepService};
 pub use multibit::{SymbolChannel, SymbolTransmissionReport};
 pub use plan::{SlotAction, TransmissionPlan};

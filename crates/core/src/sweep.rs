@@ -1,78 +1,23 @@
-//! Timing-parameter sweeps — the machinery behind Fig. 9 and Fig. 10 of the
-//! paper.
+//! Deprecated sweep entry points, kept as thin shims over the unified
+//! experiment API.
 //!
-//! A sweep is a grid of (timing, payload) points, each measured with one
-//! transmission round. All grid points are compiled to
-//! [`TransmissionPlan`](crate::plan::TransmissionPlan)s up front and executed
-//! as one batch — through [`ChannelBackend::transmit_batch`] when the caller
-//! supplies a backend, or fanned out over worker threads when the caller
-//! supplies a [`RoundExecutor`]. Both paths produce bit-identical series
-//! because every round is seeded from its grid index (see
-//! [`crate::backend::round_seed`]).
+//! The timing-parameter sweeps behind Fig. 9 and Fig. 10 used to be
+//! implemented here twice (a sequential loop and a `_parallel` loop per grid
+//! shape). Grid construction now lives in
+//! [`crate::experiment::ExperimentSpec`]'s constructors and execution in
+//! [`crate::experiment::CompiledExperiment`] /
+//! [`crate::experiment::SweepService`]; every function below compiles the
+//! equivalent spec and runs it, so results are bit-identical to what the old
+//! bodies produced. New code should build an `ExperimentSpec` and submit it
+//! to a `SweepService` instead.
 
-use crate::backend::{ChannelBackend, Observation, SimBackend};
-use crate::channel::CovertChannel;
-use crate::config::ChannelConfig;
-use crate::exec::{PreparedRound, RoundExecutor};
-use crate::plan::TransmissionPlan;
-use mes_coding::BitSource;
+use crate::backend::ChannelBackend;
+use crate::exec::RoundExecutor;
+use crate::experiment::{CompiledExperiment, ExperimentSpec, PointSpec};
+use mes_coding::PayloadSpec;
 use mes_scenario::ScenarioProfile;
-use mes_stats::{LabeledSeries, SweepPoint, SweepSeries};
-use mes_types::{ChannelTiming, Mechanism, Micros, Result};
-
-/// One compiled grid point, ready for batched execution; its plan lives in
-/// the grid's parallel plan vector so batches borrow instead of cloning.
-struct GridPoint {
-    series: usize,
-    x: f64,
-    round: PreparedRound,
-}
-
-impl GridPoint {
-    fn prepare(
-        mechanism: Mechanism,
-        timing: ChannelTiming,
-        x: f64,
-        series: usize,
-        profile: &ScenarioProfile,
-        payload_bits: usize,
-        seed: u64,
-    ) -> Result<(GridPoint, TransmissionPlan)> {
-        let config = ChannelConfig::new(mechanism, timing)?.with_seed(seed);
-        let channel = CovertChannel::new(config, profile.clone())?;
-        let payload = BitSource::new(seed).random_bits(payload_bits);
-        let (round, plan) = PreparedRound::new(channel, payload)?;
-        Ok((GridPoint { series, x, round }, plan))
-    }
-
-    fn measure(&self, observation: &Observation) -> SweepPoint {
-        let report = self.round.recover(observation);
-        SweepPoint {
-            x: self.x,
-            ber_percent: report.wire_ber().ber_percent(),
-            rate_kbps: report.throughput().kilobits_per_second(),
-        }
-    }
-}
-
-/// Executes a compiled grid and folds the measurements back into series.
-fn measure_grid(
-    points: &[GridPoint],
-    series_labels: Vec<String>,
-    x_label: &str,
-    observations: &[Observation],
-) -> SweepSeries {
-    let mut sweep = SweepSeries::new(x_label);
-    let mut series: Vec<LabeledSeries> =
-        series_labels.into_iter().map(LabeledSeries::new).collect();
-    for (point, observation) in points.iter().zip(observations) {
-        series[point.series].push(point.measure(observation));
-    }
-    for labeled in series {
-        sweep.push(labeled);
-    }
-    sweep
-}
+use mes_stats::{SweepPoint, SweepSeries};
+use mes_types::{ChannelTiming, Mechanism, Result};
 
 /// Measures one (timing, payload size) point at x-coordinate `x`: BER in
 /// percent and TR in kb/s.
@@ -80,6 +25,10 @@ fn measure_grid(
 /// # Errors
 ///
 /// Returns an error if the configuration is invalid or the backend fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExperimentSpec::custom point and submit it to a SweepService"
+)]
 pub fn measure_point(
     mechanism: Mechanism,
     timing: ChannelTiming,
@@ -89,69 +38,25 @@ pub fn measure_point(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepPoint> {
-    let (point, plan) = GridPoint::prepare(mechanism, timing, x, 0, profile, payload_bits, seed)?;
-    let observation = backend.transmit(&plan)?;
-    Ok(point.measure(&observation))
-}
-
-/// The Fig. 9 grid: one series per `ti`, one point per `tw0`.
-fn cooperation_grid(
-    mechanism: Mechanism,
-    profile: &ScenarioProfile,
-    tw0_values: &[u64],
-    ti_values: &[u64],
-    payload_bits: usize,
-    seed: u64,
-) -> Result<(Vec<GridPoint>, Vec<TransmissionPlan>, Vec<String>)> {
-    let mut points = Vec::with_capacity(tw0_values.len() * ti_values.len());
-    let mut plans = Vec::with_capacity(tw0_values.len() * ti_values.len());
-    let mut labels = Vec::with_capacity(ti_values.len());
-    for (series, &ti) in ti_values.iter().enumerate() {
-        labels.push(format!("Interval={ti}"));
-        for &tw0 in tw0_values {
-            let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
-            let (point, plan) = GridPoint::prepare(
-                mechanism,
-                timing,
-                tw0 as f64,
-                series,
-                profile,
-                payload_bits,
-                seed ^ (tw0 << 16) ^ ti,
-            )?;
-            points.push(point);
-            plans.push(plan);
-        }
-    }
-    Ok((points, plans, labels))
-}
-
-/// The Fig. 10 grid: a single series over `tt1` at fixed `tt0`.
-fn contention_grid(
-    mechanism: Mechanism,
-    profile: &ScenarioProfile,
-    tt1_values: &[u64],
-    tt0: u64,
-    payload_bits: usize,
-    seed: u64,
-) -> Result<(Vec<GridPoint>, Vec<TransmissionPlan>, Vec<String>)> {
-    let mut points = Vec::with_capacity(tt1_values.len());
-    let mut plans = Vec::with_capacity(tt1_values.len());
-    for &tt1 in tt1_values {
-        let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(tt0));
-        let (point, plan) = GridPoint::prepare(
+    let spec = ExperimentSpec::custom(
+        "measure_point",
+        profile.scenario(),
+        vec![PointSpec::new(
+            mechanism.to_string(),
+            x,
             mechanism,
             timing,
-            tt1 as f64,
-            0,
-            profile,
-            payload_bits,
-            seed ^ (tt1 << 8),
-        )?;
-        points.push(point);
-        plans.push(plan);
-    }
-    Ok((points, plans, vec![mechanism.to_string()]))
+            PayloadSpec::Random { bits: payload_bits },
+            seed,
+        )],
+        seed,
+    );
+    let compiled = CompiledExperiment::compile_with_profile(&spec, profile)?;
+    // The historical behaviour was a single `transmit` (not a batch), whose
+    // seeding depends on the backend's round counter; preserve it exactly.
+    let observation = backend.transmit(&compiled.plans()[0])?;
+    let result = compiled.fold(&[&observation], &[], &mut crate::experiment::NullSink)?;
+    Ok(result.series.series()[0].points()[0])
 }
 
 /// Sweeps the Event/Timer channel over `tw0` for several `ti` values —
@@ -161,6 +66,10 @@ fn contention_grid(
 /// # Errors
 ///
 /// Returns an error if any individual point fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::cooperation_grid to a SweepService"
+)]
 pub fn cooperation_sweep(
     mechanism: Mechanism,
     profile: &ScenarioProfile,
@@ -170,16 +79,17 @@ pub fn cooperation_sweep(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let (points, plans, labels) = cooperation_grid(
+    let spec = ExperimentSpec::cooperation_grid(
+        "cooperation_sweep",
+        profile.scenario(),
         mechanism,
-        profile,
         tw0_values,
         ti_values,
         payload_bits,
         seed,
-    )?;
-    let observations = backend.transmit_batch(&plans)?;
-    Ok(measure_grid(&points, labels, "tw0 (us)", &observations))
+    );
+    let compiled = CompiledExperiment::compile_with_profile(&spec, profile)?;
+    Ok(compiled.run_on_backend(backend)?.into_series())
 }
 
 /// [`cooperation_sweep`] with the grid fanned out over a [`RoundExecutor`]'s
@@ -190,6 +100,10 @@ pub fn cooperation_sweep(
 /// # Errors
 ///
 /// Returns an error if any individual point fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::cooperation_grid to a SweepService"
+)]
 pub fn cooperation_sweep_parallel(
     mechanism: Mechanism,
     profile: &ScenarioProfile,
@@ -199,16 +113,17 @@ pub fn cooperation_sweep_parallel(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let (points, plans, labels) = cooperation_grid(
+    let spec = ExperimentSpec::cooperation_grid(
+        "cooperation_sweep_parallel",
+        profile.scenario(),
         mechanism,
-        profile,
         tw0_values,
         ti_values,
         payload_bits,
         seed,
-    )?;
-    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
-    Ok(measure_grid(&points, labels, "tw0 (us)", &observations))
+    );
+    let compiled = CompiledExperiment::compile_with_profile(&spec, profile)?;
+    Ok(compiled.run_with_executor(executor)?.into_series())
 }
 
 /// Sweeps a contention channel over `tt1` at fixed `tt0` — Fig. 10 of the
@@ -218,6 +133,10 @@ pub fn cooperation_sweep_parallel(
 /// # Errors
 ///
 /// Returns an error if any individual point fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::contention_grid to a SweepService"
+)]
 pub fn contention_sweep(
     mechanism: Mechanism,
     profile: &ScenarioProfile,
@@ -227,10 +146,17 @@ pub fn contention_sweep(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let (points, plans, labels) =
-        contention_grid(mechanism, profile, tt1_values, tt0, payload_bits, seed)?;
-    let observations = backend.transmit_batch(&plans)?;
-    Ok(measure_grid(&points, labels, "tt1 (us)", &observations))
+    let spec = ExperimentSpec::contention_grid(
+        "contention_sweep",
+        profile.scenario(),
+        mechanism,
+        tt1_values,
+        tt0,
+        payload_bits,
+        seed,
+    );
+    let compiled = CompiledExperiment::compile_with_profile(&spec, profile)?;
+    Ok(compiled.run_on_backend(backend)?.into_series())
 }
 
 /// [`contention_sweep`] fanned out over a [`RoundExecutor`] (simulated
@@ -241,6 +167,10 @@ pub fn contention_sweep(
 /// # Errors
 ///
 /// Returns an error if any individual point fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "submit ExperimentSpec::contention_grid to a SweepService"
+)]
 pub fn contention_sweep_parallel(
     mechanism: Mechanism,
     profile: &ScenarioProfile,
@@ -250,17 +180,25 @@ pub fn contention_sweep_parallel(
     payload_bits: usize,
     seed: u64,
 ) -> Result<SweepSeries> {
-    let (points, plans, labels) =
-        contention_grid(mechanism, profile, tt1_values, tt0, payload_bits, seed)?;
-    let observations = executor.execute(&plans, || SimBackend::new(profile.clone(), seed))?;
-    Ok(measure_grid(&points, labels, "tt1 (us)", &observations))
+    let spec = ExperimentSpec::contention_grid(
+        "contention_sweep_parallel",
+        profile.scenario(),
+        mechanism,
+        tt1_values,
+        tt0,
+        payload_bits,
+        seed,
+    );
+    let compiled = CompiledExperiment::compile_with_profile(&spec, profile)?;
+    Ok(compiled.run_with_executor(executor)?.into_series())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::backend::SimBackend;
-    use mes_types::Scenario;
+    use mes_types::{Micros, Scenario};
 
     #[test]
     fn cooperation_sweep_produces_a_series_per_interval() {
@@ -356,6 +294,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn shims_match_the_experiment_service() {
+        let profile = ScenarioProfile::local();
+        let mut backend = SimBackend::new(profile.clone(), 21);
+        let legacy = cooperation_sweep(
+            Mechanism::Timer,
+            &profile,
+            &mut backend,
+            &[15, 45],
+            &[70, 110],
+            96,
+            21,
+        )
+        .unwrap();
+        let spec = ExperimentSpec::cooperation_grid(
+            "svc",
+            Scenario::Local,
+            Mechanism::Timer,
+            &[15, 45],
+            &[70, 110],
+            96,
+            21,
+        );
+        let via_service = crate::experiment::SweepService::with_default_pool()
+            .submit(&spec)
+            .unwrap();
+        assert_eq!(legacy, via_service.series);
     }
 
     #[test]

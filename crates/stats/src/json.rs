@@ -1,0 +1,635 @@
+//! A minimal JSON document model with an exact-round-trip number
+//! representation.
+//!
+//! The experiment API (`mes_core::experiment`) serializes
+//! `ExperimentSpec`/`ExperimentResult` to JSON so sweeps can cross a process
+//! boundary (the `sweepd` harness binary, and the future async/sharded sweep
+//! service). The build environment has no registry access, so instead of
+//! `serde_json` this module provides a deliberately small document model:
+//!
+//! * [`Json`] — null / bool / number / string / array / object, with object
+//!   key order preserved;
+//! * [`Json::parse`] — a recursive-descent parser over the full JSON grammar;
+//! * [`Json::render`] — a pretty printer whose output `parse` reproduces.
+//!
+//! Numbers are stored as their **textual token** rather than as `f64`, so a
+//! `u64` seed or plan hash survives the round trip bit-exactly (an `f64`
+//! mantissa only holds 53 bits) and an `f64` formatted with Rust's
+//! shortest-round-trip `{:?}` parses back to the identical bits.
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_stats::json::Json;
+//!
+//! let doc = Json::object([
+//!     ("seed", Json::u64(0x9E37_79B9_7F4A_7C15)),
+//!     ("ber", Json::f64(0.554)),
+//!     ("labels", Json::array(vec![Json::string("Interval=70")])),
+//! ]);
+//! let text = doc.render();
+//! let back = Json::parse(&text)?;
+//! assert_eq!(doc, back);
+//! assert_eq!(back.get("seed").unwrap().as_u64()?, 0x9E37_79B9_7F4A_7C15);
+//! # Ok::<(), mes_types::MesError>(())
+//! ```
+
+use mes_types::{MesError, Result};
+use std::fmt::Write as _;
+
+/// One JSON value; see the module docs for the design notes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its textual token for exact round trips.
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved by [`Json::render`].
+    Object(Vec<(String, Json)>),
+}
+
+fn invalid(reason: impl Into<String>) -> MesError {
+    MesError::Serialization {
+        reason: reason.into(),
+    }
+}
+
+impl Json {
+    /// A number from an unsigned integer.
+    pub fn u64(value: u64) -> Json {
+        Json::Number(value.to_string())
+    }
+
+    /// A number from a `usize`.
+    pub fn usize(value: usize) -> Json {
+        Json::Number(value.to_string())
+    }
+
+    /// A number from an `f64`, using Rust's shortest representation that
+    /// parses back to the identical bits. Non-finite values have no JSON
+    /// representation and render as `null`.
+    pub fn f64(value: f64) -> Json {
+        if value.is_finite() {
+            Json::Number(format!("{value:?}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A string value.
+    pub fn string(value: impl Into<String>) -> Json {
+        Json::String(value.into())
+    }
+
+    /// An array value.
+    pub fn array(values: Vec<Json>) -> Json {
+        Json::Array(values)
+    }
+
+    /// An object from `(key, value)` pairs, preserving their order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(key, value)| (key.into(), value))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs
+                .iter()
+                .find_map(|(k, value)| (k == key).then_some(value)),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key that must be present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] naming the missing key.
+    pub fn require(&self, key: &str) -> Result<&Json> {
+        self.get(key)
+            .ok_or_else(|| invalid(format!("missing field {key:?}")))
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] if the value is not an unsigned
+    /// integer token.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Json::Number(token) => token
+                .parse()
+                .map_err(|_| invalid(format!("expected an unsigned integer, got {token}"))),
+            other => Err(invalid(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Json::as_u64`].
+    pub fn as_usize(&self) -> Result<usize> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The value as an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] if the value is not a number.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Number(token) => token
+                .parse()
+                .map_err(|_| invalid(format!("malformed number token {token}"))),
+            other => Err(invalid(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] if the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(value) => Ok(*value),
+            other => Err(invalid(format!("expected a boolean, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] if the value is not a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::String(value) => Ok(value),
+            other => Err(invalid(format!("expected a string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] if the value is not an array.
+    pub fn as_array(&self) -> Result<&[Json]> {
+        match self {
+            Json::Array(values) => Ok(values),
+            other => Err(invalid(format!("expected an array, got {other:?}"))),
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Renders the document as pretty-printed JSON (two-space indentation,
+    /// trailing newline) that [`Json::parse`] reproduces exactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(token) => out.push_str(token),
+            Json::String(value) => write_escaped(out, value),
+            Json::Array(values) => {
+                if values.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (index, value) in values.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (index, (key, value)) in pairs.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] describing the first syntax error,
+    /// including trailing garbage after the document.
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(invalid(format!(
+                "trailing characters after the document at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(invalid(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(invalid(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => {
+                    return Err(invalid(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut values = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(values));
+        }
+        loop {
+            values.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(values));
+                }
+                _ => return Err(invalid(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(invalid("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xDC00..=0xDFFF).contains(&code) {
+                                return Err(invalid("unpaired low surrogate in \\u escape"));
+                            }
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // A high surrogate must be followed by a
+                                // \uXXXX low surrogate; combine the pair.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(invalid("unpaired high surrogate in \\u escape"));
+                                }
+                                let low = self.hex_escape(self.pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(invalid(format!(
+                                        "high surrogate followed by \\u{low:04x}, expected a \
+                                         low surrogate"
+                                    )));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(combined)
+                                        .expect("surrogate pairs decode to valid scalars"),
+                                );
+                                self.pos += 6;
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .expect("non-surrogate BMP codes are valid scalars"),
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(invalid(format!("unknown escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| invalid("invalid UTF-8 inside string"))?;
+                    let c = text.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the four hex digits of a `\u` escape starting at `start`.
+    fn hex_escape(&self, start: usize) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| invalid("truncated \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| invalid(format!("malformed \\u escape {hex:?}")))
+    }
+
+    fn parse_number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        if token.is_empty() || token == "-" || token.parse::<f64>().is_err() {
+            return Err(invalid(format!("malformed number at byte {start}")));
+        }
+        Ok(Json::Number(token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_nested_documents() {
+        let doc = Json::object([
+            ("name", Json::string("fig9")),
+            ("seed", Json::u64(u64::MAX)),
+            ("rate", Json::f64(13.105)),
+            ("valid", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "series",
+                Json::array(vec![
+                    Json::object([("x", Json::f64(15.0))]),
+                    Json::array(vec![]),
+                    Json::object::<&str>([]),
+                ]),
+            ),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(doc.get("seed").unwrap().as_u64().unwrap(), u64::MAX);
+        assert_eq!(doc.require("rate").unwrap().as_f64().unwrap(), 13.105);
+        assert!(doc.get("missing").is_none());
+        assert!(doc.require("missing").is_err());
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for value in [0.1, 1.0 / 3.0, 13.105, f64::MIN_POSITIVE, -1e-300, 0.0] {
+            let doc = Json::f64(value);
+            let back = Json::parse(&doc.render()).unwrap().as_f64().unwrap();
+            assert_eq!(value.to_bits(), back.to_bits(), "{value}");
+        }
+        assert!(Json::f64(f64::NAN).is_null());
+        assert!(Json::f64(f64::INFINITY).is_null());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "quote \" backslash \\ newline \n tab \t control \u{1} unicode \u{1F980}";
+        let doc = Json::string(tricky);
+        assert_eq!(
+            Json::parse(&doc.render()).unwrap().as_str().unwrap(),
+            tricky
+        );
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_one_scalar() {
+        // What Python's json.dump(ensure_ascii=True) emits for a crab emoji.
+        let parsed = Json::parse("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "\u{1F980}");
+        // Raw (unescaped) non-BMP characters still parse too.
+        assert_eq!(Json::parse(r#""🦀""#).unwrap().as_str().unwrap(), "🦀");
+        for bad in [
+            r#""\ud83e""#,       // unpaired high surrogate
+            r#""\ud83eA""#,      // high surrogate followed by a non-surrogate
+            r#""\udd80""#,       // lone low surrogate
+            r#""\ud83e\ud83e""#, // two high surrogates
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_standard_json_forms() {
+        let doc = Json::parse(r#"{"a": [1, 2.5, -3, 1e3], "b": {"c": null}}"#).unwrap();
+        let a = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64().unwrap(), 1);
+        assert_eq!(a[1].as_f64().unwrap(), 2.5);
+        assert_eq!(a[2].as_f64().unwrap(), -3.0);
+        assert_eq!(a[3].as_f64().unwrap(), 1000.0);
+        assert!(doc.get("b").unwrap().get("c").unwrap().is_null());
+        assert!(a[1].as_u64().is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "{} trailing",
+            "-",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessor_type_errors_are_reported() {
+        let doc = Json::parse(r#"{"s": "x", "n": 1}"#).unwrap();
+        assert!(doc.get("s").unwrap().as_f64().is_err());
+        assert!(doc.get("s").unwrap().as_bool().is_err());
+        assert!(doc.get("n").unwrap().as_str().is_err());
+        assert!(doc.get("n").unwrap().as_array().is_err());
+        assert_eq!(doc.get("n").unwrap().as_usize().unwrap(), 1);
+    }
+}

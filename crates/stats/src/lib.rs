@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod json;
 pub mod series;
 pub mod summary;
 pub mod table;
 pub mod throughput;
 
 pub use ber::BerReport;
+pub use json::Json;
 pub use series::{LabeledSeries, SweepPoint, SweepSeries};
 pub use summary::Summary;
 pub use table::Table;

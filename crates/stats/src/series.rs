@@ -1,6 +1,8 @@
 //! Containers for parameter sweeps (the data behind Fig. 9, Fig. 10 and
 //! Fig. 11 of the paper).
 
+use crate::json::Json;
+use mes_types::Result;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -112,6 +114,67 @@ impl SweepSeries {
         out
     }
 
+    /// Serializes the sweep as a [`Json`] document (`x_label` plus one
+    /// `{label, points}` object per series). Metric values use the exact
+    /// round-trip number encoding, so [`SweepSeries::from_json`] reproduces
+    /// the sweep bit-identically.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("x_label", Json::string(&self.x_label)),
+            (
+                "series",
+                Json::array(
+                    self.series
+                        .iter()
+                        .map(|series| {
+                            Json::object([
+                                ("label", Json::string(series.label())),
+                                (
+                                    "points",
+                                    Json::array(
+                                        series
+                                            .points()
+                                            .iter()
+                                            .map(|point| {
+                                                Json::object([
+                                                    ("x", Json::f64(point.x)),
+                                                    ("ber_percent", Json::f64(point.ber_percent)),
+                                                    ("rate_kbps", Json::f64(point.rate_kbps)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a sweep from [`SweepSeries::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mes_types::MesError::Serialization`] when a field is missing
+    /// or has the wrong type.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut sweep = SweepSeries::new(json.require("x_label")?.as_str()?);
+        for series in json.require("series")?.as_array()? {
+            let mut labeled = LabeledSeries::new(series.require("label")?.as_str()?);
+            for point in series.require("points")?.as_array()? {
+                labeled.push(SweepPoint {
+                    x: point.require("x")?.as_f64()?,
+                    ber_percent: point.require("ber_percent")?.as_f64()?,
+                    rate_kbps: point.require("rate_kbps")?.as_f64()?,
+                });
+            }
+            sweep.push(labeled);
+        }
+        Ok(sweep)
+    }
+
     /// The overall best point under a BER bound across every series, with the
     /// label of the series it came from.
     pub fn best_under_ber(&self, max_ber_percent: f64) -> Option<(String, SweepPoint)> {
@@ -174,6 +237,20 @@ mod tests {
     fn empty_sweep_has_no_best() {
         let sweep = SweepSeries::new("x");
         assert!(sweep.best_under_ber(1.0).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let mut sweep = SweepSeries::new("tw0 (us)");
+        let mut series = LabeledSeries::new("Interval=70");
+        series.push(point(15.0, 0.554, 13.105));
+        series.push(point(25.0, 1.0 / 3.0, 11.02));
+        sweep.push(series);
+        sweep.push(LabeledSeries::new("Interval=90"));
+        let json = sweep.to_json();
+        let reparsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(SweepSeries::from_json(&reparsed).unwrap(), sweep);
+        assert!(SweepSeries::from_json(&Json::Null).is_err());
     }
 
     #[test]

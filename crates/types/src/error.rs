@@ -86,6 +86,12 @@ pub enum MesError {
         /// Resources required (number of `0` bits in the payload).
         required: u64,
     },
+    /// A value could not be serialized to, or deserialized from, its wire
+    /// representation (malformed experiment-spec JSON, missing field, ...).
+    Serialization {
+        /// Explanation of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MesError {
@@ -116,6 +122,7 @@ impl fmt::Display for MesError {
                 f,
                 "semaphore channel provisioned {provisioned} resources but the payload requires {required}"
             ),
+            MesError::Serialization { reason } => write!(f, "serialization error: {reason}"),
         }
     }
 }
@@ -172,6 +179,9 @@ mod tests {
             MesError::InsufficientSemaphoreResources {
                 provisioned: 0,
                 required: 5,
+            },
+            MesError::Serialization {
+                reason: "unexpected end of input".into(),
             },
         ];
         for case in cases {

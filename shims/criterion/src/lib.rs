@@ -5,10 +5,11 @@
 //! `criterion_main!`, benchmark groups, `Bencher::iter`, throughput
 //! annotations) but implements a deliberately small measurement loop: a
 //! warm-up pass, then timed batches until either the sample target or a
-//! wall-clock budget is reached. It reports mean time per iteration and,
-//! when a throughput is set, elements per second. No statistics, plots or
-//! saved baselines — swap the workspace `criterion` entry for the real crate
-//! when registry access is available.
+//! wall-clock budget is reached. Per-iteration samples are kept, so every
+//! benchmark reports the mean **and the p50/p95/p99 percentiles** of the
+//! iteration time, plus elements per second when a throughput is set. No
+//! plots or saved baselines — swap the workspace `criterion` entry for the
+//! real crate when registry access is available.
 
 pub use std::hint::black_box;
 
@@ -77,10 +78,13 @@ pub struct Bencher {
     /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
     mean: Duration,
     iterations: u64,
+    /// Per-iteration samples, ascending after [`Bencher::iter`] returns.
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Runs `routine` repeatedly and records the mean time per iteration.
+    /// Runs `routine` repeatedly, recording every iteration's wall-clock
+    /// time; the report derives the mean and p50/p95/p99 from the samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: one untimed call (also forces lazy init inside the
         // routine out of the measurement).
@@ -91,10 +95,13 @@ impl Bencher {
         let started = Instant::now();
         let mut iterations = 0u64;
         let mut elapsed = Duration::ZERO;
+        self.samples.clear();
         while iterations < target || (elapsed < budget && iterations < target * 100) {
             let begin = Instant::now();
             black_box(routine());
-            elapsed += begin.elapsed();
+            let sample = begin.elapsed();
+            elapsed += sample;
+            self.samples.push(sample);
             iterations += 1;
             if started.elapsed() > budget && iterations >= target {
                 break;
@@ -105,6 +112,17 @@ impl Bencher {
         }
         self.iterations = iterations.max(1);
         self.mean = elapsed / self.iterations as u32;
+        self.samples.sort_unstable();
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) of the recorded samples, by
+    /// nearest-rank on the sorted sample vector.
+    fn percentile(&self, q: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.samples.len() as f64) * q).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
     }
 }
 
@@ -123,9 +141,12 @@ fn format_duration(d: Duration) -> String {
 
 fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let mut line = format!(
-        "{group}/{id}: {} per iter ({} iters)",
+        "{group}/{id}: {} per iter ({} iters, p50 {}, p95 {}, p99 {})",
         format_duration(bencher.mean),
-        bencher.iterations
+        bencher.iterations,
+        format_duration(bencher.percentile(0.50)),
+        format_duration(bencher.percentile(0.95)),
+        format_duration(bencher.percentile(0.99)),
     );
     if let Some(tp) = throughput {
         let (count, unit) = match tp {
@@ -172,6 +193,7 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
             mean: Duration::ZERO,
             iterations: 0,
+            samples: Vec::new(),
         };
         f(&mut bencher);
         report(&self.name, &id, &bencher, self.throughput);
@@ -193,6 +215,7 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
             mean: Duration::ZERO,
             iterations: 0,
+            samples: Vec::new(),
         };
         f(&mut bencher, input);
         report(&self.name, &id, &bencher, self.throughput);
@@ -227,6 +250,7 @@ impl Criterion {
             sample_size: 50,
             mean: Duration::ZERO,
             iterations: 0,
+            samples: Vec::new(),
         };
         f(&mut bencher);
         report("criterion", id, &bencher, None);
@@ -255,4 +279,37 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_monotonic_over_the_samples() {
+        let mut bencher = Bencher {
+            sample_size: 10,
+            mean: Duration::ZERO,
+            iterations: 0,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| black_box(2 + 2));
+        assert!(bencher.iterations >= 10);
+        let p50 = bencher.percentile(0.50);
+        let p95 = bencher.percentile(0.95);
+        let p99 = bencher.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(bencher.percentile(1.0), *bencher.samples.last().unwrap());
+    }
+
+    #[test]
+    fn empty_samples_report_zero() {
+        let bencher = Bencher {
+            sample_size: 1,
+            mean: Duration::ZERO,
+            iterations: 0,
+            samples: Vec::new(),
+        };
+        assert_eq!(bencher.percentile(0.99), Duration::ZERO);
+    }
 }

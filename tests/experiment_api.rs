@@ -1,0 +1,454 @@
+//! Integration tests for the unified experiment API
+//! (`ExperimentSpec` → `SweepService` → `ExperimentResult`).
+//!
+//! The golden tests replicate the **pre-refactor** sweep implementations
+//! inline (grid construction, batched execution, series folding exactly as
+//! `mes_core::sweep` and `mes_bench::measure_scenario` used to hand-roll
+//! them) and assert the service produces bit-identical output, so the
+//! legacy-shim layer cannot silently drift from what the figures have
+//! always reported.
+
+use mes_coding::BitSource;
+use mes_core::experiment::{ExperimentSpec, PointSpec, SweepService};
+use mes_core::{
+    ChannelBackend, ChannelConfig, CovertChannel, ExperimentResult, PreparedRound, RoundExecutor,
+    SimBackend,
+};
+use mes_scenario::ScenarioProfile;
+use mes_stats::{LabeledSeries, SweepPoint, SweepSeries};
+use mes_types::{ChannelTiming, Mechanism, Micros, Scenario};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Inline replica of the pre-refactor sweep implementation.
+// ---------------------------------------------------------------------------
+
+struct LegacyPoint {
+    series: usize,
+    x: f64,
+    round: PreparedRound,
+}
+
+fn legacy_prepare(
+    mechanism: Mechanism,
+    timing: ChannelTiming,
+    x: f64,
+    series: usize,
+    profile: &ScenarioProfile,
+    payload_bits: usize,
+    seed: u64,
+) -> (LegacyPoint, mes_core::TransmissionPlan) {
+    let config = ChannelConfig::new(mechanism, timing)
+        .unwrap()
+        .with_seed(seed);
+    let channel = CovertChannel::new(config, profile.clone()).unwrap();
+    let payload = BitSource::new(seed).random_bits(payload_bits);
+    let (round, plan) = PreparedRound::new(channel, payload).unwrap();
+    (LegacyPoint { series, x, round }, plan)
+}
+
+fn legacy_fold(
+    points: &[LegacyPoint],
+    labels: Vec<String>,
+    x_label: &str,
+    observations: &[mes_core::Observation],
+) -> SweepSeries {
+    let mut sweep = SweepSeries::new(x_label);
+    let mut series: Vec<LabeledSeries> = labels.into_iter().map(LabeledSeries::new).collect();
+    for (point, observation) in points.iter().zip(observations) {
+        let report = point.round.recover(observation);
+        series[point.series].push(SweepPoint {
+            x: point.x,
+            ber_percent: report.wire_ber().ber_percent(),
+            rate_kbps: report.throughput().kilobits_per_second(),
+        });
+    }
+    for labeled in series {
+        sweep.push(labeled);
+    }
+    sweep
+}
+
+fn legacy_cooperation_sweep(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    backend: &mut dyn ChannelBackend,
+    tw0_values: &[u64],
+    ti_values: &[u64],
+    payload_bits: usize,
+    seed: u64,
+) -> SweepSeries {
+    let mut points = Vec::new();
+    let mut plans = Vec::new();
+    let mut labels = Vec::new();
+    for (series, &ti) in ti_values.iter().enumerate() {
+        labels.push(format!("Interval={ti}"));
+        for &tw0 in tw0_values {
+            let timing = ChannelTiming::cooperation(Micros::new(tw0), Micros::new(ti));
+            let (point, plan) = legacy_prepare(
+                mechanism,
+                timing,
+                tw0 as f64,
+                series,
+                profile,
+                payload_bits,
+                seed ^ (tw0 << 16) ^ ti,
+            );
+            points.push(point);
+            plans.push(plan);
+        }
+    }
+    let observations = backend.transmit_batch(&plans).unwrap();
+    legacy_fold(&points, labels, "tw0 (us)", &observations)
+}
+
+fn legacy_contention_sweep(
+    mechanism: Mechanism,
+    profile: &ScenarioProfile,
+    backend: &mut dyn ChannelBackend,
+    tt1_values: &[u64],
+    tt0: u64,
+    payload_bits: usize,
+    seed: u64,
+) -> SweepSeries {
+    let mut points = Vec::new();
+    let mut plans = Vec::new();
+    for &tt1 in tt1_values {
+        let timing = ChannelTiming::contention(Micros::new(tt1), Micros::new(tt0));
+        let (point, plan) = legacy_prepare(
+            mechanism,
+            timing,
+            tt1 as f64,
+            0,
+            profile,
+            payload_bits,
+            seed ^ (tt1 << 8),
+        );
+        points.push(point);
+        plans.push(plan);
+    }
+    let observations = backend.transmit_batch(&plans).unwrap();
+    legacy_fold(
+        &points,
+        vec![mechanism.to_string()],
+        "tt1 (us)",
+        &observations,
+    )
+}
+
+/// (mechanism, timeset, BER %, TR kb/s) rows exactly as the pre-refactor
+/// `measure_scenario_with_executor` computed them.
+fn legacy_measure_scenario(
+    scenario: Scenario,
+    payload_bits: usize,
+    seed: u64,
+    executor: &RoundExecutor,
+) -> Vec<(Mechanism, String, f64, f64)> {
+    let profile = ScenarioProfile::for_scenario(scenario);
+    let grid = mes_scenario::paper_timeset_grid(scenario);
+    let mut rounds = Vec::new();
+    let mut plans = Vec::new();
+    for &(mechanism, timing) in &grid {
+        let config = ChannelConfig::new(mechanism, timing)
+            .unwrap()
+            .with_seed(seed);
+        let channel = CovertChannel::new(config, profile.clone()).unwrap();
+        let payload =
+            BitSource::new(seed.wrapping_mul(31) ^ mechanism as u64).random_bits(payload_bits);
+        let (round, plan) = PreparedRound::new(channel, payload).unwrap();
+        rounds.push(round);
+        plans.push(plan);
+    }
+    let observations = executor
+        .execute(&plans, || SimBackend::new(profile.clone(), seed))
+        .unwrap();
+    grid.iter()
+        .enumerate()
+        .map(|(row, &(mechanism, timing))| {
+            let report = rounds[row].recover(&observations[row]);
+            (
+                mechanism,
+                timing.to_string(),
+                report.wire_ber().ber_percent(),
+                report.throughput().kilobits_per_second(),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: service output == pre-refactor output, bit for bit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn service_matches_the_pre_refactor_cooperation_sweep_on_the_fig9_grid() {
+    let tw0_values = [15u64, 25, 35, 45, 55, 65, 75];
+    let ti_values = [30u64, 50, 70, 90, 110, 130];
+    let bits = 96;
+    let profile = ScenarioProfile::local();
+    let mut backend = SimBackend::new(profile.clone(), 0xF19);
+    let legacy = legacy_cooperation_sweep(
+        Mechanism::Event,
+        &profile,
+        &mut backend,
+        &tw0_values,
+        &ti_values,
+        bits,
+        0xF19,
+    );
+
+    let spec = ExperimentSpec::cooperation_grid(
+        "fig9",
+        Scenario::Local,
+        Mechanism::Event,
+        &tw0_values,
+        &ti_values,
+        bits,
+        0xF19,
+    );
+    let result = SweepService::with_default_pool().submit(&spec).unwrap();
+    assert_eq!(result.series, legacy);
+
+    #[allow(deprecated)]
+    let shim = mes_core::sweep::cooperation_sweep_parallel(
+        Mechanism::Event,
+        &profile,
+        &RoundExecutor::new(4),
+        &tw0_values,
+        &ti_values,
+        bits,
+        0xF19,
+    )
+    .unwrap();
+    assert_eq!(shim, legacy);
+}
+
+#[test]
+fn service_matches_the_pre_refactor_contention_sweep_on_the_fig10_grid() {
+    let tt1_values = [110u64, 140, 170, 200, 230, 260, 290, 320];
+    let bits = 96;
+    let profile = ScenarioProfile::local();
+    let mut backend = SimBackend::new(profile.clone(), 0xF10);
+    let legacy = legacy_contention_sweep(
+        Mechanism::Flock,
+        &profile,
+        &mut backend,
+        &tt1_values,
+        60,
+        bits,
+        0xF10,
+    );
+
+    let spec = ExperimentSpec::contention_grid(
+        "fig10",
+        Scenario::Local,
+        Mechanism::Flock,
+        &tt1_values,
+        60,
+        bits,
+        0xF10,
+    );
+    let result = SweepService::with_default_pool().submit(&spec).unwrap();
+    assert_eq!(result.series, legacy);
+
+    #[allow(deprecated)]
+    let shim = mes_core::sweep::contention_sweep(
+        Mechanism::Flock,
+        &profile,
+        &mut SimBackend::new(profile.clone(), 0xF10),
+        &tt1_values,
+        60,
+        bits,
+        0xF10,
+    )
+    .unwrap();
+    assert_eq!(shim, legacy);
+}
+
+#[test]
+fn service_matches_the_pre_refactor_scenario_tables() {
+    for (scenario, seed) in [
+        (Scenario::Local, 0x7ab1e4u64),
+        (Scenario::CrossSandbox, 0x7ab1e5),
+        (Scenario::CrossVm, 0x7ab1e6),
+    ] {
+        let legacy = legacy_measure_scenario(scenario, 128, seed, &RoundExecutor::new(3));
+        let spec = ExperimentSpec::scenario_table("table", scenario, 128, seed);
+        let result = SweepService::with_default_pool().submit(&spec).unwrap();
+        assert_eq!(result.rows.len(), legacy.len(), "{scenario}");
+        for (row, (mechanism, timeset, ber, tr)) in result.rows.iter().zip(&legacy) {
+            assert_eq!(row.mechanism, *mechanism, "{scenario}");
+            assert_eq!(&row.timeset, timeset, "{scenario}");
+            assert_eq!(row.ber_percent, *ber, "{scenario} {mechanism}");
+            assert_eq!(row.tr_kbps, *tr, "{scenario} {mechanism}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn second_identical_submission_executes_zero_rounds() {
+    let spec = ExperimentSpec::cooperation_grid(
+        "cache",
+        Scenario::Local,
+        Mechanism::Timer,
+        &[15, 35, 55],
+        &[70, 110],
+        64,
+        0xCAFE,
+    );
+    let mut service = SweepService::new(RoundExecutor::new(2));
+    let first = service.submit(&spec).unwrap();
+    assert_eq!(first.rounds_executed, 6);
+    assert_eq!(service.rounds_executed(), 6);
+
+    let second = service.submit(&spec).unwrap();
+    assert_eq!(second.rounds_executed, 0, "cache must answer everything");
+    assert_eq!(second.cache_hits, 6);
+    assert_eq!(service.rounds_executed(), 6, "no further rounds ran");
+    assert_eq!(first.series, second.series);
+    assert_eq!(
+        first
+            .points
+            .iter()
+            .map(|p| p.round_seed)
+            .collect::<Vec<_>>(),
+        second
+            .points
+            .iter()
+            .map(|p| p.round_seed)
+            .collect::<Vec<_>>(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Serde round trips (property-based).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cooperation_specs_round_trip_through_json(
+        seed in 0u64..1_000_000,
+        bits in 1usize..4_096,
+        tw0 in prop::collection::vec(5u64..400, 1..5),
+        ti in prop::collection::vec(20u64..300, 1..4),
+        scenario_pick in 0usize..2,
+    ) {
+        let scenario = [Scenario::Local, Scenario::CrossSandbox][scenario_pick];
+        let spec = ExperimentSpec::cooperation_grid(
+            format!("prop-{seed}"),
+            scenario,
+            Mechanism::Event,
+            &tw0,
+            &ti,
+            bits,
+            seed,
+        );
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn custom_specs_round_trip_through_json(
+        seed in 0u64..u64::MAX,
+        x_milli in 0u64..1_000_000,
+        tt1 in 100u64..400,
+        payload in "[01]{1,64}",
+        sync in any::<bool>(),
+    ) {
+        let point = PointSpec {
+            series: format!("series \"{seed}\"\n"),
+            x: x_milli as f64 / 1000.0,
+            mechanism: Mechanism::Flock,
+            timing: ChannelTiming::contention(Micros::new(tt1), Micros::new(60)),
+            payload: mes_coding::PayloadSpec::Fixed { bits: payload },
+            seed,
+            inter_bit_sync: sync,
+        };
+        let spec = ExperimentSpec::custom("custom", Scenario::Local, vec![point], seed)
+            .with_latency_capture();
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn results_round_trip_bit_identically(
+        seed in 0u64..10_000,
+        bits in 8usize..128,
+        tt1 in 120u64..300,
+    ) {
+        let spec = ExperimentSpec::contention_grid(
+            "prop-result",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[tt1],
+            60,
+            bits,
+            seed,
+        )
+        .with_latency_capture();
+        let result = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        let back = ExperimentResult::from_json_str(&result.to_json_string()).unwrap();
+        prop_assert_eq!(back, result);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process boundary: spec JSON through the sweepd code path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spec_json_through_the_sweepd_path_equals_the_in_process_result() {
+    let spec = ExperimentSpec::cooperation_grid(
+        "sweepd-roundtrip",
+        Scenario::Local,
+        Mechanism::Event,
+        &[15, 35],
+        &[50, 70],
+        96,
+        0xF19,
+    );
+    let output = mes_bench::run_spec_json(&spec.to_json_string()).unwrap();
+    let via_process_boundary = ExperimentResult::from_json_str(&output).unwrap();
+    let in_process = SweepService::with_default_pool().submit(&spec).unwrap();
+    assert_eq!(via_process_boundary, in_process);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streaming_delivers_points_in_grid_order_with_provenance() {
+    let spec = ExperimentSpec::contention_grid(
+        "stream",
+        Scenario::Local,
+        Mechanism::Mutex,
+        &[240, 280, 320],
+        100,
+        64,
+        0x57,
+    );
+    let mut service = SweepService::with_default_pool();
+    let mut streamed = Vec::new();
+    let result = service
+        .submit_streaming(&spec, &mut |point: &mes_core::experiment::PointOutcome| {
+            streamed.push(point.clone());
+        })
+        .unwrap();
+    assert_eq!(streamed, result.points);
+    assert_eq!(
+        streamed.iter().map(|p| p.index).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    for point in &streamed {
+        assert_eq!(point.mechanism, Mechanism::Mutex);
+        assert!(point.plan_hash != 0);
+        assert!(!point.cache_hit);
+    }
+}
