@@ -14,6 +14,14 @@
 //!   with an empty cache, then the identical resubmission (which must
 //!   execute zero rounds).
 //!
+//! The persistent execution substrate adds two more timing families:
+//!
+//! * `engine_warm_round_ms` — a fixed-shape plan re-run on one warm
+//!   `SimBackend`: the arena-backed zero-allocation round path;
+//! * `host_spawn_ms` / `host_session_ms` — the same small batch on the real
+//!   host condvar channel, per-round thread spawning vs. one persistent
+//!   Trojan/Spy worker pair per batch.
+//!
 //! All strategies are verified to produce bit-identical observations before
 //! any number is reported. If a committed `BENCH_batch.json` exists, the
 //! measured wall clocks are compared against it and the binary **exits
@@ -27,9 +35,13 @@ use mes_bench::wallclock_regressions;
 use mes_coding::PayloadSpec;
 use mes_core::exec::RoundExecutor;
 use mes_core::experiment::{CompiledExperiment, PointSpec};
-use mes_core::{round_seed, ChannelBackend, ExperimentSpec, Observation, SimBackend, SweepService};
+use mes_core::{
+    round_seed, ChannelBackend, ChannelConfig, ExperimentSpec, Observation, SimBackend,
+    SweepService,
+};
+use mes_host::HostCondvarBackend;
 use mes_stats::Json;
-use mes_types::{Mechanism, Result, Scenario};
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros, Result, Scenario};
 use std::time::Instant;
 
 const ROUNDS: usize = 64;
@@ -37,6 +49,12 @@ const BITS: usize = 128;
 const SEED: u64 = 0xBEEF;
 const REPEATS: usize = 5;
 const REGRESSION_TOLERANCE: f64 = 0.25;
+/// Warm rounds of the fixed plan shape timed for `engine_warm_round_ms`.
+const WARM_ROUNDS: usize = 256;
+/// Rounds per host batch for the session-vs-spawn comparison. Rounds are
+/// single-bit with tens-of-µs slots so per-round thread spawn/teardown —
+/// the cost the persistent pair removes — dominates the measurement.
+const HOST_ROUNDS: usize = 32;
 
 fn best_of<T>(mut run: impl FnMut() -> T) -> (f64, T) {
     let mut best_ms = f64::INFINITY;
@@ -108,6 +126,51 @@ fn main() -> Result<()> {
     assert_eq!(warm.rounds_executed, 0, "warm submission must be all cache");
     assert_eq!(cold.series, warm.series);
 
+    // Persistent substrate: warm rounds of one fixed plan shape on one
+    // backend — program compilation cached, engine reset a cursor rewind,
+    // zero mes-sim heap allocation per round.
+    let warm_plan = &plans[0];
+    let mut warm_backend = SimBackend::new(profile.clone(), SEED);
+    for index in 0..4u64 {
+        warm_backend
+            .transmit_round(warm_plan, index)
+            .expect("warm-up round runs");
+    }
+    let (engine_warm_round_ms, _) = best_of(|| {
+        for index in 0..WARM_ROUNDS as u64 {
+            warm_backend
+                .transmit_round(warm_plan, index)
+                .expect("warm round runs");
+        }
+    });
+
+    // Persistent substrate: the same host batch with per-round thread pairs
+    // vs. one long-lived pair fed over channels. Timings are µs-scale so the
+    // comparison isolates the spawn/teardown overhead the session removes.
+    let host_timing = ChannelTiming::cooperation(Micros::new(30), Micros::new(60));
+    let host_config =
+        ChannelConfig::new(Mechanism::Event, host_timing).expect("host timing is valid");
+    let host_plan = mes_core::protocol::event::encode(
+        &BitString::from_str01("1").expect("valid bits"),
+        &host_config,
+    );
+    let host_plans = vec![host_plan; HOST_ROUNDS];
+    let (host_spawn_ms, _) = best_of(|| {
+        let mut backend = HostCondvarBackend::new();
+        for plan in &host_plans {
+            backend.transmit(plan).expect("host round runs");
+        }
+        assert_eq!(backend.pairs_spawned(), HOST_ROUNDS as u64);
+    });
+    let (host_session_ms, _) = best_of(|| {
+        let mut backend = HostCondvarBackend::new();
+        backend
+            .transmit_batch(&host_plans)
+            .expect("host batch runs");
+        assert_eq!(backend.pairs_spawned(), 1, "session must reuse one pair");
+    });
+    let host_session_speedup = host_spawn_ms / host_session_ms;
+
     // Determinism gate: every strategy (and the service fold) agrees.
     let deterministic = fresh == batched && batched == parallel;
     assert!(
@@ -129,6 +192,11 @@ fn main() -> Result<()> {
     println!("  parallel   ({workers} workers):            {parallel_ms:>8.2} ms  ({speedup_parallel:.2}x)");
     println!("  service    (cold cache):              {service_cold_ms:>8.2} ms");
     println!("  service    (warm cache):              {service_warm_ms:>8.2} ms");
+    println!("  engine     ({WARM_ROUNDS} warm rounds, 1 plan):  {engine_warm_round_ms:>8.2} ms");
+    println!(
+        "  host       ({HOST_ROUNDS} rounds, spawn/round):   {host_spawn_ms:>8.2} ms  \
+         vs one pair {host_session_ms:>8.2} ms  ({host_session_speedup:.2}x)"
+    );
     if workers < 2 {
         println!("  note: single core available; parallel speedup requires >= 2 cores");
     }
@@ -149,6 +217,9 @@ fn main() -> Result<()> {
                 ("batched_ms", batched_ms),
                 ("parallel_ms", parallel_ms),
                 ("service_cold_ms", service_cold_ms),
+                ("engine_warm_round_ms", engine_warm_round_ms),
+                ("host_spawn_ms", host_spawn_ms),
+                ("host_session_ms", host_session_ms),
             ],
             REGRESSION_TOLERANCE,
         );
@@ -176,7 +247,12 @@ fn main() -> Result<()> {
         "{{\n  \"rounds\": {ROUNDS},\n  \"payload_bits\": {BITS},\n  \"workers\": {workers},\n  \
          \"sequential_fresh_ms\": {sequential_fresh_ms:.3},\n  \"batched_ms\": {batched_ms:.3},\n  \
          \"parallel_ms\": {parallel_ms:.3},\n  \"service_cold_ms\": {service_cold_ms:.3},\n  \
-         \"service_warm_ms\": {service_warm_ms:.3},\n  \"speedup_batched\": {speedup_batched:.3},\n  \
+         \"service_warm_ms\": {service_warm_ms:.3},\n  \"engine_warm_rounds\": {WARM_ROUNDS},\n  \
+         \"engine_warm_round_ms\": {engine_warm_round_ms:.3},\n  \
+         \"host_rounds\": {HOST_ROUNDS},\n  \"host_spawn_ms\": {host_spawn_ms:.3},\n  \
+         \"host_session_ms\": {host_session_ms:.3},\n  \
+         \"host_session_speedup\": {host_session_speedup:.3},\n  \
+         \"speedup_batched\": {speedup_batched:.3},\n  \
          \"speedup_parallel\": {speedup_parallel:.3},\n  \"deterministic\": {deterministic}\n}}\n"
     );
     std::fs::write("BENCH_batch.json", &json).map_err(|error| mes_types::MesError::Host {

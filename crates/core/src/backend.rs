@@ -8,8 +8,9 @@
 
 use crate::plan::{SlotAction, TransmissionPlan};
 use mes_scenario::ScenarioProfile;
-use mes_sim::{Engine, ObjectKind, Op, Program};
+use mes_sim::{Engine, Measurement, ObjectKind, Op, Program};
 use mes_types::{FdId, HandleId, Mechanism, Micros, Nanos, Result};
+use std::sync::Arc;
 
 /// What the Spy observed during one transmission round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +50,21 @@ pub fn round_seed(base_seed: u64, round_index: u64) -> u64 {
 }
 
 /// Executes transmission plans against some incarnation of the OS MESMs.
+///
+/// # Batch sessions
+///
+/// Backends with expensive per-round setup implement the batch-session
+/// lifecycle: [`ChannelBackend::begin_batch`] opens a session whose warm
+/// state (threads, files, engines) every round of the batch shares, and
+/// [`ChannelBackend::end_batch`] tears it down. The drivers — the default
+/// [`ChannelBackend::transmit_batch`],
+/// [`crate::exec::RoundExecutor::execute_rounds`] and
+/// `CompiledExperiment::run_on_backend` — bracket every batch with the pair,
+/// so a backend only has to override the hooks to be executed session-wise
+/// everywhere. Sessions must be behaviour-transparent: a round inside a
+/// session returns exactly what the same round returns outside one. The
+/// hooks nest (the drivers may layer); implementations tear down when the
+/// outermost `end_batch` arrives.
 pub trait ChannelBackend {
     /// Runs one transmission round and returns the Spy's observations.
     ///
@@ -57,6 +73,22 @@ pub trait ChannelBackend {
     /// Implementations return an error when the plan cannot be executed
     /// (mechanism not available, simulated deadlock, host syscall failure).
     fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation>;
+
+    /// Opens a batch session: subsequent rounds may share warm state until
+    /// the matching [`ChannelBackend::end_batch`]. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error when the session's resources cannot
+    /// be acquired (e.g. worker threads or shared files).
+    fn begin_batch(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Closes the innermost open batch session, releasing its warm state
+    /// once the outermost session ends. Default: no-op. Must be infallible
+    /// so drivers can always unwind a batch, even after a round error.
+    fn end_batch(&mut self) {}
 
     /// Runs one round addressed by its index in a batch.
     ///
@@ -79,21 +111,36 @@ pub trait ChannelBackend {
     /// Runs a batch of rounds and returns one observation per plan, in plan
     /// order.
     ///
-    /// The default implementation loops over [`ChannelBackend::transmit`].
-    /// Backends are encouraged to override it with round-indexed seeding
-    /// (see [`ChannelBackend::transmit_round`]) and to reuse expensive
-    /// per-round state across the batch, as [`SimBackend`] does with its
-    /// simulation engine.
+    /// The default implementation brackets the batch in a
+    /// [`ChannelBackend::begin_batch`]/[`ChannelBackend::end_batch`] session
+    /// and loops over [`ChannelBackend::transmit`]. Backends are encouraged
+    /// to override it with round-indexed seeding (see
+    /// [`ChannelBackend::transmit_round`]) and to reuse expensive per-round
+    /// state across the batch, as [`SimBackend`] does with its simulation
+    /// engine and the host backends do with their persistent Trojan/Spy
+    /// worker pairs.
     ///
     /// # Errors
     ///
     /// Returns the first error encountered, in plan order.
     fn transmit_batch(&mut self, plans: &[TransmissionPlan]) -> Result<Vec<Observation>> {
-        plans.iter().map(|plan| self.transmit(plan)).collect()
+        self.begin_batch()?;
+        let observations = plans.iter().map(|plan| self.transmit(plan)).collect();
+        self.end_batch();
+        observations
     }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
+}
+
+/// The compiled Trojan/Spy program pair of the most recent plan, shared with
+/// the engine via [`Arc`] so warm rounds respawn without cloning an op list.
+#[derive(Debug)]
+struct CachedPrograms {
+    plan: TransmissionPlan,
+    trojan: Arc<Program>,
+    spy: Arc<Program>,
 }
 
 /// The simulated-kernel backend.
@@ -101,9 +148,12 @@ pub trait ChannelBackend {
 /// Every round runs on a simulated system (namespace, filesystem, processes)
 /// built from the plan alone, so rounds are independent and fully
 /// reproducible from `(profile, seed, plan)`. The engine behind the rounds
-/// is allocated once and [`Engine::reset`] between rounds, so hot sweeps do
-/// not pay full reconstruction cost per round; a reset engine is observably
-/// identical to a fresh one, keeping reproducibility intact.
+/// is allocated once and [`Engine::reset`] between rounds — an arena-backed
+/// cursor rewind — and the compiled Trojan/Spy programs are cached per plan,
+/// so consecutive rounds of the same plan skip program compilation entirely
+/// and execute without any `mes-sim` heap allocation (the
+/// `alloc_regression` integration test enforces this). A reset engine is
+/// observably identical to a fresh one, keeping reproducibility intact.
 #[derive(Debug)]
 pub struct SimBackend {
     profile: ScenarioProfile,
@@ -113,6 +163,10 @@ pub struct SimBackend {
     /// Reused across rounds; `None` until the first round (and in clones, so
     /// cloning a backend is cheap and never shares simulation state).
     engine: Option<Engine>,
+    /// Program cache for the most recent plan; `None` until the first round.
+    programs: Option<CachedPrograms>,
+    /// Scratch for sorting the Spy's measurement windows by slot.
+    measure_scratch: Vec<Measurement>,
 }
 
 impl Clone for SimBackend {
@@ -123,6 +177,8 @@ impl Clone for SimBackend {
             runs: self.runs,
             trace_capacity: self.trace_capacity,
             engine: None,
+            programs: None,
+            measure_scratch: Vec::new(),
         }
     }
 }
@@ -136,6 +192,8 @@ impl SimBackend {
             runs: 0,
             trace_capacity: None,
             engine: None,
+            programs: None,
+            measure_scratch: Vec::new(),
         }
     }
 
@@ -357,28 +415,56 @@ impl SimBackend {
 }
 
 impl SimBackend {
+    /// The Trojan/Spy programs for `plan`, compiled on first sight of the
+    /// plan and served from the cache afterwards — warm rounds of a fixed
+    /// plan cost two reference-count bumps.
+    fn programs_for(&mut self, plan: &TransmissionPlan) -> (Arc<Program>, Arc<Program>) {
+        let stale = self
+            .programs
+            .as_ref()
+            .is_none_or(|cached| &cached.plan != plan);
+        if stale {
+            let (trojan, spy) = self.build_programs(plan);
+            self.programs = Some(CachedPrograms {
+                plan: plan.clone(),
+                trojan: Arc::new(trojan),
+                spy: Arc::new(spy),
+            });
+        }
+        let cached = self.programs.as_ref().expect("programs cached above");
+        (Arc::clone(&cached.trojan), Arc::clone(&cached.spy))
+    }
+
     /// Runs one round on the reused engine with a fully determined seed.
     fn run_with_seed(&mut self, plan: &TransmissionPlan, seed: u64) -> Result<Observation> {
-        let (trojan, spy) = self.build_programs(plan);
+        let (trojan, spy) = self.programs_for(plan);
         let noise = self.profile.noise_for(plan.mechanism);
-        let mut engine = match self.engine.take() {
-            Some(mut engine) => {
+        let engine = match &mut self.engine {
+            Some(engine) => {
                 engine.reset(noise, seed);
                 engine
             }
-            None => Engine::new(noise, seed),
+            slot => slot.insert(Engine::new(noise, seed)),
         };
         if let Some(capacity) = self.trace_capacity {
             engine.enable_trace(capacity);
         }
-        let spy_pid = engine.spawn(spy);
-        let _trojan_pid = engine.spawn(trojan);
-        let outcome = engine.run();
-        self.engine = Some(engine);
-        let outcome = outcome?;
+        let spy_pid = engine.spawn_shared(spy);
+        let _trojan_pid = engine.spawn_shared(trojan);
+        engine.run_in_place()?;
+        // Order the Spy's windows by slot through the reused scratch buffer;
+        // only the returned Observation allocates.
+        self.measure_scratch.clear();
+        self.measure_scratch
+            .extend_from_slice(engine.measurements_of(spy_pid));
+        self.measure_scratch.sort_unstable_by_key(|m| m.slot);
         Ok(Observation {
-            latencies: outcome.durations(spy_pid),
-            elapsed: outcome.end_time(),
+            latencies: self
+                .measure_scratch
+                .iter()
+                .map(Measurement::elapsed)
+                .collect(),
+            elapsed: engine.end_time(),
         })
     }
 }

@@ -135,16 +135,21 @@ impl RoundExecutor {
     ///
     /// `make_backend` is called once per worker (once total for a sequential
     /// executor); every worker must observe the same factory output, i.e.
-    /// backends that differ only in unobservable state. Rounds are executed
-    /// via [`ChannelBackend::transmit_round`] with their request's index,
-    /// which is what makes the result independent of the worker count — and
-    /// of which other rounds share the batch, so callers may filter a batch
-    /// (cache hits, resumed grids) or repeat one plan under many indices
-    /// without cloning it.
+    /// backends that differ only in unobservable state. Each worker's
+    /// backend runs the whole batch inside one
+    /// [`ChannelBackend::begin_batch`]/[`ChannelBackend::end_batch`]
+    /// session, so session-capable backends (persistent host worker pairs,
+    /// warm engines) amortize their setup over every round the worker
+    /// claims. Rounds are executed via [`ChannelBackend::transmit_round`]
+    /// with their request's index, which is what makes the result
+    /// independent of the worker count — and of which other rounds share the
+    /// batch, so callers may filter a batch (cache hits, resumed grids) or
+    /// repeat one plan under many indices without cloning it.
     ///
     /// # Errors
     ///
-    /// Returns the first error in request order. Workers stop claiming new
+    /// Returns the first error in request order (or a session-setup error if
+    /// [`ChannelBackend::begin_batch`] fails). Workers stop claiming new
     /// rounds as soon as any round fails, so a failing batch aborts promptly
     /// instead of simulating the rest of the grid; rounds already claimed
     /// may still complete.
@@ -160,20 +165,32 @@ impl RoundExecutor {
         let workers = self.workers.min(rounds.len().max(1));
         if workers <= 1 {
             let mut backend = make_backend();
-            return rounds
+            backend.begin_batch()?;
+            let observations = rounds
                 .iter()
                 .map(|round| backend.transmit_round(round.plan, round.round_index))
                 .collect();
+            backend.end_batch();
+            return observations;
         }
 
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
+        let session_error: Mutex<Option<MesError>> = Mutex::new(None);
         let slots: Mutex<Vec<Option<Result<Observation>>>> =
             Mutex::new((0..rounds.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut backend = make_backend();
+                    if let Err(error) = backend.begin_batch() {
+                        failed.store(true, Ordering::Relaxed);
+                        session_error
+                            .lock()
+                            .expect("session error mutex poisoned")
+                            .get_or_insert(error);
+                        return;
+                    }
                     while !failed.load(Ordering::Relaxed) {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(round) = rounds.get(index) else {
@@ -185,10 +202,17 @@ impl RoundExecutor {
                         }
                         slots.lock().expect("result mutex poisoned")[index] = Some(outcome);
                     }
+                    backend.end_batch();
                 });
             }
         });
 
+        if let Some(error) = session_error
+            .into_inner()
+            .expect("session error mutex poisoned")
+        {
+            return Err(error);
+        }
         // Indices are claimed in order and every claimed round completes, so
         // unfilled slots only appear after an earlier round's failure; the
         // first error in plan order is therefore always a real one.

@@ -312,7 +312,9 @@ impl CompiledExperiment {
     }
 
     /// Runs the whole grid as one batch on a caller-supplied backend —
-    /// exactly what the legacy sequential sweeps did. On a fresh
+    /// exactly what the legacy sequential sweeps did. The grid is bracketed
+    /// in a `begin_batch`/`end_batch` session, so session-capable backends
+    /// keep their warm state across every plan of the experiment. On a fresh
     /// [`SimBackend`](crate::backend::SimBackend) seeded with
     /// [`CompiledExperiment::base_seed`], the result is bit-identical to the
     /// executor paths.
@@ -322,7 +324,10 @@ impl CompiledExperiment {
     /// Returns an error if the backend fails or a symbol round cannot be
     /// decoded.
     pub fn run_on_backend(&self, backend: &mut dyn ChannelBackend) -> Result<ExperimentResult> {
-        let observations = backend.transmit_batch(&self.plans)?;
+        backend.begin_batch()?;
+        let observations = backend.transmit_batch(&self.plans);
+        backend.end_batch();
+        let observations = observations?;
         let refs: Vec<&Observation> = observations.iter().collect();
         self.fold(&refs, &[], &mut NullSink)
     }

@@ -56,15 +56,39 @@ pub use spec::{ExperimentSpec, GridSpec, OpenInterferenceSpec, PointSpec};
 use crate::backend::{Observation, SimBackend};
 use crate::exec::{RoundExecutor, RoundRequest};
 use mes_types::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Cache key of one executed round: profile fingerprint, plan fingerprint,
 /// effective backend seed. Two rounds with equal keys produce identical
 /// observations, so the cached observation can stand in for a re-execution.
 type CacheKey = (u64, u64, u64);
 
-/// Executes [`ExperimentSpec`]s on a pooled [`RoundExecutor`] with an
-/// observation cache across submissions.
+/// Default byte budget of the observation cache (64 MiB — roughly a million
+/// cached 64-bit rounds). Long-lived services override it with
+/// [`SweepService::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY_BYTES: usize = 64 << 20;
+
+/// One cached observation plus its LRU bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    observation: Observation,
+    /// Monotonic use counter; the lowest live tick is the eviction victim.
+    tick: u64,
+    /// Estimated resident bytes of the entry (see [`observation_bytes`]).
+    bytes: usize,
+}
+
+/// Estimated resident size of a cached observation: the latency vector plus
+/// the fixed per-entry overhead (entry struct, key, and the two index slots).
+fn observation_bytes(observation: &Observation) -> usize {
+    std::mem::size_of::<CacheEntry>()
+        + 2 * std::mem::size_of::<CacheKey>()
+        + std::mem::size_of::<u64>()
+        + observation.latencies.len() * std::mem::size_of::<mes_types::Nanos>()
+}
+
+/// Executes [`ExperimentSpec`]s on a pooled [`RoundExecutor`] with a
+/// bounded observation cache across submissions.
 ///
 /// The service is the single entry point every harness binary and the
 /// `sweepd` process boundary go through; the legacy sweep functions are thin
@@ -72,10 +96,24 @@ type CacheKey = (u64, u64, u64);
 /// overlapping specs — are measured once and served from the cache
 /// afterwards, which [`ExperimentResult::rounds_executed`] and
 /// [`ExperimentResult::cache_hits`] make observable.
+///
+/// The cache is capped by estimated observation bytes
+/// ([`DEFAULT_CACHE_CAPACITY_BYTES`] unless overridden with
+/// [`SweepService::with_cache_capacity`]) and evicts least-recently-used
+/// entries at insertion time, so a long-lived service stays bounded no
+/// matter how many grids flow through it. Eviction never affects
+/// correctness: the submission in flight always folds from complete data,
+/// and an evicted point simply re-executes on its next appearance.
 #[derive(Debug)]
 pub struct SweepService {
     executor: RoundExecutor,
-    cache: HashMap<CacheKey, Observation>,
+    cache: HashMap<CacheKey, CacheEntry>,
+    /// Use-order index: tick → key, mirroring `cache` (ticks are unique).
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    cache_capacity_bytes: usize,
+    cached_bytes: usize,
+    evictions: u64,
     rounds_executed: u64,
     cache_hits: u64,
 }
@@ -86,6 +124,11 @@ impl SweepService {
         SweepService {
             executor,
             cache: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            cache_capacity_bytes: DEFAULT_CACHE_CAPACITY_BYTES,
+            cached_bytes: 0,
+            evictions: 0,
             rounds_executed: 0,
             cache_hits: 0,
         }
@@ -94,6 +137,14 @@ impl SweepService {
     /// A service over a machine-sized executor pool.
     pub fn with_default_pool() -> Self {
         SweepService::new(RoundExecutor::available_parallelism())
+    }
+
+    /// Caps the observation cache at `bytes` (builder style). A cap of 0
+    /// disables caching entirely — every submission re-executes.
+    pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self.enforce_capacity();
+        self
     }
 
     /// The executor pool backing the service.
@@ -116,9 +167,82 @@ impl SweepService {
         self.cache.len()
     }
 
+    /// The cache's byte budget.
+    pub fn cache_capacity_bytes(&self) -> usize {
+        self.cache_capacity_bytes
+    }
+
+    /// Estimated bytes currently held by the cache (always ≤ the capacity).
+    pub fn cached_bytes(&self) -> usize {
+        self.cached_bytes
+    }
+
+    /// Observations evicted over the service's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Drops every cached observation.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.lru.clear();
+        self.cached_bytes = 0;
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Marks `key` as most recently used.
+    fn touch(&mut self, key: &CacheKey) {
+        let tick = self.next_tick();
+        if let Some(entry) = self.cache.get_mut(key) {
+            self.lru.remove(&entry.tick);
+            entry.tick = tick;
+            self.lru.insert(tick, *key);
+        }
+    }
+
+    /// Inserts an observation, then evicts least-recently-used entries until
+    /// the cache fits its byte budget again.
+    fn insert(&mut self, key: CacheKey, observation: Observation) {
+        let bytes = observation_bytes(&observation);
+        if bytes > self.cache_capacity_bytes {
+            // The entry could never fit: inserting it would only flush the
+            // whole cache and count phantom evictions. In particular a
+            // zero-byte capacity disables caching without insert/evict churn.
+            return;
+        }
+        if let Some(previous) = self.cache.remove(&key) {
+            self.lru.remove(&previous.tick);
+            self.cached_bytes -= previous.bytes;
+        }
+        let tick = self.next_tick();
+        self.cache.insert(
+            key,
+            CacheEntry {
+                observation,
+                tick,
+                bytes,
+            },
+        );
+        self.lru.insert(tick, key);
+        self.cached_bytes += bytes;
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.cached_bytes > self.cache_capacity_bytes {
+            let Some((&oldest_tick, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&oldest_tick);
+            if let Some(entry) = self.cache.remove(&victim) {
+                self.cached_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Submits a spec and returns the complete result.
@@ -178,6 +302,11 @@ impl SweepService {
             .iter()
             .map(|key| self.cache.contains_key(key))
             .collect();
+        // Mark the hits as freshly used before anything else so a grid
+        // bigger than the cache evicts strangers before its own points.
+        for (key, _) in keys.iter().zip(&cached).filter(|(_, hit)| **hit) {
+            self.touch(key);
+        }
         let misses: Vec<RoundRequest<'_>> = compiled
             .plans()
             .iter()
@@ -194,15 +323,30 @@ impl SweepService {
         let fresh = self
             .executor
             .execute_rounds(&misses, || SimBackend::new(profile.clone(), base_seed))?;
+        let mut fresh_by_index: Vec<Option<Observation>> = (0..keys.len()).map(|_| None).collect();
         for (request, observation) in misses.iter().zip(fresh) {
-            self.cache
-                .insert(keys[request.round_index as usize], observation);
+            fresh_by_index[request.round_index as usize] = Some(observation);
         }
 
-        // Fold straight out of the cache — warm submissions never copy the
-        // per-bit latency vectors.
-        let observations: Vec<&Observation> = keys.iter().map(|key| &self.cache[key]).collect();
+        // Fold from the freshly executed rounds plus borrowed cache entries
+        // — warm submissions never copy the per-bit latency vectors, and the
+        // fold always sees complete data even when the grid itself is larger
+        // than the cache's byte budget (insertion, and therefore eviction,
+        // happens only after the fold).
+        let observations: Vec<&Observation> = fresh_by_index
+            .iter()
+            .zip(&keys)
+            .map(|(fresh, key)| match fresh {
+                Some(observation) => observation,
+                None => &self.cache[key].observation,
+            })
+            .collect();
         let result = compiled.fold(&observations, &cached, sink)?;
+        for (index, observation) in fresh_by_index.into_iter().enumerate() {
+            if let Some(observation) = observation {
+                self.insert(keys[index], observation);
+            }
+        }
         self.rounds_executed += result.rounds_executed as u64;
         self.cache_hits += result.cache_hits as u64;
         Ok(result)
@@ -310,6 +454,98 @@ mod tests {
             .submit(&large)
             .unwrap();
         assert_eq!(result.series, uncached.series);
+    }
+
+    #[test]
+    fn mega_grid_stays_under_the_byte_cap_and_evicted_points_re_execute() {
+        // A grid far larger than the byte budget: the submission must stay
+        // correct, the cache must stay bounded, and resubmitting must
+        // re-execute the evicted points while reproducing identical results.
+        let tt1_values: Vec<u64> = (0..24).map(|i| 120 + 10 * i).collect();
+        let spec = ExperimentSpec::contention_grid(
+            "mega",
+            Scenario::Local,
+            Mechanism::Flock,
+            &tt1_values,
+            60,
+            64,
+            0xCA9,
+        );
+        let capacity = 2_048;
+        let mut service =
+            SweepService::new(RoundExecutor::sequential()).with_cache_capacity(capacity);
+        assert_eq!(service.cache_capacity_bytes(), capacity);
+
+        let capped = service.submit(&spec).unwrap();
+        assert_eq!(capped.rounds_executed, tt1_values.len());
+        assert!(
+            service.cached_bytes() <= capacity,
+            "cache holds {} bytes over the {capacity}-byte cap",
+            service.cached_bytes()
+        );
+        assert!(service.evictions() > 0, "the grid must overflow the cap");
+        assert!(service.cached_observations() < tt1_values.len());
+
+        // Bounded cache, identical measurements.
+        let unbounded = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        assert_eq!(capped.series, unbounded.series);
+
+        // Resubmission: evicted points re-execute (correct, just uncached).
+        let again = service.submit(&spec).unwrap();
+        assert!(again.rounds_executed > 0, "evicted points must re-execute");
+        assert_eq!(again.series, capped.series);
+        assert!(service.cached_bytes() <= capacity);
+
+        // A zero cap disables caching entirely.
+        let mut uncached_service =
+            SweepService::new(RoundExecutor::sequential()).with_cache_capacity(0);
+        uncached_service.submit(&spec).unwrap();
+        assert_eq!(uncached_service.cached_observations(), 0);
+        let rerun = uncached_service.submit(&spec).unwrap();
+        assert_eq!(rerun.rounds_executed, tt1_values.len());
+        assert_eq!(rerun.series, capped.series);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries_over_recently_touched_ones() {
+        let small = ExperimentSpec::contention_grid(
+            "small",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200],
+            60,
+            32,
+            7,
+        );
+        let mut service = SweepService::new(RoundExecutor::sequential());
+        service.submit(&small).unwrap();
+        let bytes_for_two = service.cached_bytes();
+
+        // Shrink the budget to exactly the current contents: nothing evicts.
+        let mut service = service.with_cache_capacity(bytes_for_two);
+        assert_eq!(service.evictions(), 0);
+
+        // Re-touch the existing points, then submit one new point: the new
+        // insertion must evict the least-recently-used entry, not crash the
+        // resident ones, and the running totals must stay consistent.
+        let hit = service.submit(&small).unwrap();
+        assert_eq!(hit.cache_hits, 2);
+        let wider = ExperimentSpec::contention_grid(
+            "wider",
+            Scenario::Local,
+            Mechanism::Flock,
+            &[140, 200, 260],
+            60,
+            32,
+            7,
+        );
+        let widened = service.submit(&wider).unwrap();
+        assert_eq!(widened.rounds_executed, 1);
+        assert_eq!(widened.cache_hits, 2);
+        assert!(service.evictions() > 0);
+        assert!(service.cached_bytes() <= service.cache_capacity_bytes());
     }
 
     #[test]

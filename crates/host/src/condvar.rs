@@ -7,7 +7,13 @@
 //! paper's infinite timeout, and the Trojan signals it after the bit-encoding
 //! delay. The "who controls when the waiter is released" structure — the only
 //! property the channel relies on — is identical.
+//!
+//! Like the flock backend, a bare round spawns a fresh Trojan/Spy thread
+//! pair while a batch session keeps one long-lived pair resident, feeding it
+//! round plans over mpsc channels; each round still gets a fresh
+//! [`HostEvent`], so round state never leaks across the session.
 
+use crate::worker::{PairSessions, WorkerPair};
 use mes_core::{ChannelBackend, Observation, SlotAction, TransmissionPlan};
 use mes_types::{Mechanism, MesError, Nanos, Result};
 use parking_lot::{Condvar, Mutex};
@@ -81,6 +87,41 @@ impl HostEvent {
     }
 }
 
+/// One round's work order: the slot actions plus the round's fresh event.
+#[derive(Debug, Clone)]
+struct CondvarRound {
+    actions: Arc<Vec<SlotAction>>,
+    event: Arc<HostEvent>,
+}
+
+impl CondvarRound {
+    fn new(plan: &TransmissionPlan) -> Self {
+        CondvarRound {
+            actions: Arc::new(plan.actions.clone()),
+            event: Arc::new(HostEvent::default()),
+        }
+    }
+}
+
+/// The Trojan side of one round: signal the event after each bit delay.
+fn trojan_round(round: &CondvarRound) {
+    for action in round.actions.iter() {
+        std::thread::sleep(Duration::from_micros(action.duration().as_u64()));
+        round.event.set();
+    }
+}
+
+/// The Spy side of one round: time every wait on the event.
+fn spy_round(round: &CondvarRound) -> Vec<Nanos> {
+    let mut latencies = Vec::with_capacity(round.actions.len());
+    for _ in 0..round.actions.len() {
+        let begin = Instant::now();
+        round.event.wait();
+        latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
+    }
+    latencies
+}
+
 /// A [`ChannelBackend`] that runs cooperation plans on a condition variable.
 ///
 /// # Examples
@@ -99,60 +140,86 @@ impl HostEvent {
 /// # Ok::<(), mes_types::MesError>(())
 /// ```
 #[derive(Debug, Default)]
-pub struct HostCondvarBackend;
+pub struct HostCondvarBackend {
+    sessions: PairSessions<CondvarRound>,
+}
 
 impl HostCondvarBackend {
     /// Creates the backend.
     pub fn new() -> Self {
-        HostCondvarBackend
+        HostCondvarBackend::default()
+    }
+
+    /// How many Trojan/Spy thread pairs the backend has spawned so far: one
+    /// per batch session plus one per bare (sessionless) round. A batch of N
+    /// rounds therefore contributes exactly 1.
+    pub fn pairs_spawned(&self) -> u64 {
+        self.sessions.pairs_spawned()
+    }
+
+    /// Whether a persistent worker pair is currently resident.
+    pub fn session_active(&self) -> bool {
+        self.sessions.is_active()
+    }
+
+    fn check_mechanism(plan: &TransmissionPlan) -> Result<()> {
+        if plan.mechanism.is_cooperation_based() || plan.mechanism == Mechanism::Semaphore {
+            Ok(())
+        } else {
+            Err(MesError::MechanismUnsupportedOnOs {
+                mechanism: plan.mechanism,
+                os: mes_types::OsKind::Linux,
+            })
+        }
+    }
+
+    /// The original per-round path: a throwaway worker pair serving exactly
+    /// one round — the same lifecycle as a session, amortized over nothing.
+    fn transmit_spawned(&mut self, round: CondvarRound) -> Result<Observation> {
+        self.sessions.count_spawned_round();
+        let pair = WorkerPair::spawn(
+            |round: &CondvarRound| {
+                trojan_round(round);
+                Ok(())
+            },
+            |round: &CondvarRound| Ok(spy_round(round)),
+        );
+        let observation = pair.run_round(round);
+        pair.shutdown();
+        observation
+    }
+}
+
+impl Drop for HostCondvarBackend {
+    fn drop(&mut self) {
+        self.sessions.shutdown();
     }
 }
 
 impl ChannelBackend for HostCondvarBackend {
     fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
-        if !plan.mechanism.is_cooperation_based() && plan.mechanism != Mechanism::Semaphore {
-            return Err(MesError::MechanismUnsupportedOnOs {
-                mechanism: plan.mechanism,
-                os: mes_types::OsKind::Linux,
-            });
+        HostCondvarBackend::check_mechanism(plan)?;
+        let round = CondvarRound::new(plan);
+        match self.sessions.resident() {
+            Some(pair) => pair.run_round(round),
+            None => self.transmit_spawned(round),
         }
-        let event = Arc::new(HostEvent::default());
-        let actions: Arc<Vec<SlotAction>> = Arc::new(plan.actions.clone());
-        let slots = actions.len();
+    }
 
-        let start = Instant::now();
-        let trojan_event = Arc::clone(&event);
-        let trojan_actions = Arc::clone(&actions);
-        let trojan = std::thread::spawn(move || {
-            for action in trojan_actions.iter() {
-                std::thread::sleep(Duration::from_micros(action.duration().as_u64()));
-                trojan_event.set();
-            }
-        });
-
-        let spy_event = Arc::clone(&event);
-        let spy = std::thread::spawn(move || {
-            let mut latencies = Vec::with_capacity(slots);
-            for _ in 0..slots {
-                let begin = Instant::now();
-                spy_event.wait();
-                latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
-            }
-            latencies
-        });
-
-        trojan.join().map_err(|_| MesError::Host {
-            operation: "trojan thread panicked".into(),
-            errno: None,
-        })?;
-        let latencies = spy.join().map_err(|_| MesError::Host {
-            operation: "spy thread panicked".into(),
-            errno: None,
-        })?;
-        Ok(Observation {
-            latencies,
-            elapsed: Nanos::new(start.elapsed().as_nanos() as u64),
+    fn begin_batch(&mut self) -> Result<()> {
+        self.sessions.begin_with(|| {
+            Ok(WorkerPair::spawn(
+                |round| {
+                    trojan_round(round);
+                    Ok(())
+                },
+                |round| Ok(spy_round(round)),
+            ))
         })
+    }
+
+    fn end_batch(&mut self) {
+        self.sessions.end();
     }
 
     fn name(&self) -> &str {
@@ -197,6 +264,25 @@ mod tests {
             report.latencies()
         );
         assert_eq!(backend.name(), "host-condvar");
+        assert_eq!(backend.pairs_spawned(), 1);
+    }
+
+    #[test]
+    fn batch_session_spawns_one_pair_for_many_rounds() {
+        let timing = ChannelTiming::cooperation(Micros::new(200), Micros::new(500));
+        let config = ChannelConfig::new(Mechanism::Event, timing).unwrap();
+        let plan =
+            mes_core::protocol::event::encode(&BitString::from_str01("1010").unwrap(), &config);
+        let mut backend = HostCondvarBackend::new();
+        let observations = backend.transmit_batch(&vec![plan; 4]).unwrap();
+        assert_eq!(observations.len(), 4);
+        assert!(observations.iter().all(|o| o.len() == 4));
+        assert_eq!(
+            backend.pairs_spawned(),
+            1,
+            "a batch must spawn exactly one worker pair"
+        );
+        assert!(!backend.session_active(), "end_batch must tear down");
     }
 
     #[test]

@@ -5,8 +5,22 @@
 //! `LOCK_UN` for an occupy slot; plain sleep for an idle slot — while the Spy
 //! thread measures how long its own `LOCK_EX` attempt takes each slot. This
 //! is Protocol 1 of the paper running on the kernel of the build machine.
+//!
+//! # Persistent worker pairs
+//!
+//! A bare [`ChannelBackend::transmit`] spawns a fresh Trojan/Spy thread pair
+//! for the round, as the original harness did. Inside a batch session
+//! ([`ChannelBackend::begin_batch`] … [`ChannelBackend::end_batch`]) the
+//! backend instead keeps **one long-lived pair** alive (the shared
+//! [`WorkerPair`](crate::worker) machinery), with each round's plan fed to
+//! the workers over mpsc channels and the Spy's latencies sent back the same
+//! way: two thread spawns (and two `open(2)` calls) per batch instead of two
+//! per round. Both paths execute the identical per-slot loops
+//! ([`SlotBarrier`]-aligned lock/hold/unlock against measured `LOCK_EX`), so
+//! a round observes the same thing whichever path runs it.
 
 use crate::condvar::SlotBarrier;
+use crate::worker::{PairSessions, WorkerPair};
 use mes_core::{ChannelBackend, Observation, SlotAction, TransmissionPlan};
 use mes_types::{Mechanism, MesError, Nanos, Result};
 use std::fs::{File, OpenOptions};
@@ -41,6 +55,72 @@ fn micros(duration: mes_types::Micros) -> Duration {
     Duration::from_micros(duration.as_u64())
 }
 
+/// Opens one more descriptor for the shared lock file (each side of a pair
+/// gets its own, pointing at the same i-node — the Fig. 5 situation).
+fn open_shared(path: &std::path::Path) -> Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .open(path)
+        .map_err(|error| MesError::Host {
+            operation: format!("open {}", path.display()),
+            errno: error.raw_os_error(),
+        })
+}
+
+/// One round's work order, shared between the Trojan and Spy sides.
+#[derive(Debug, Clone)]
+struct FlockRound {
+    actions: Arc<Vec<SlotAction>>,
+    barrier: Arc<SlotBarrier>,
+    spy_offset: Duration,
+}
+
+impl FlockRound {
+    fn new(plan: &TransmissionPlan) -> Self {
+        FlockRound {
+            actions: Arc::new(plan.actions.clone()),
+            barrier: Arc::new(SlotBarrier::new(2)),
+            // The paper's microsecond-scale spy offset is too tight for a
+            // time-shared host: give the Trojan thread a comfortable head
+            // start after each slot barrier so it reliably acquires the lock
+            // first when sending a `1`.
+            spy_offset: micros(plan.spy_offset).max(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// The Trojan side of one round: modulate the lock per the plan's actions.
+fn trojan_round(file: &File, round: &FlockRound) -> Result<()> {
+    for action in round.actions.iter() {
+        round.barrier.wait();
+        match action {
+            SlotAction::Occupy(hold) => {
+                lock_exclusive(file)?;
+                std::thread::sleep(micros(*hold));
+                unlock(file)?;
+            }
+            SlotAction::Idle(pause) | SlotAction::SignalAfter(pause) => {
+                std::thread::sleep(micros(*pause));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The Spy side of one round: time a `LOCK_EX`/`LOCK_UN` probe per slot.
+fn spy_round(file: &File, round: &FlockRound) -> Result<Vec<Nanos>> {
+    let mut latencies = Vec::with_capacity(round.actions.len());
+    for _ in 0..round.actions.len() {
+        round.barrier.wait();
+        std::thread::sleep(round.spy_offset);
+        let begin = Instant::now();
+        lock_exclusive(file)?;
+        unlock(file)?;
+        latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
+    }
+    Ok(latencies)
+}
+
 /// A [`ChannelBackend`] that runs contention plans on real `flock(2)` locks.
 ///
 /// # Examples
@@ -61,6 +141,7 @@ fn micros(duration: mes_types::Micros) -> Duration {
 #[derive(Debug)]
 pub struct HostFlockBackend {
     path: PathBuf,
+    sessions: PairSessions<FlockRound>,
 }
 
 impl HostFlockBackend {
@@ -83,7 +164,10 @@ impl HostFlockBackend {
             operation: format!("create {}: {error}", path.display()),
             errno: error.raw_os_error(),
         })?;
-        Ok(HostFlockBackend { path })
+        Ok(HostFlockBackend {
+            path,
+            sessions: PairSessions::default(),
+        })
     }
 
     /// The path of the shared lock file.
@@ -91,90 +175,76 @@ impl HostFlockBackend {
         &self.path
     }
 
-    fn open(&self) -> Result<File> {
-        OpenOptions::new()
-            .read(true)
-            .open(&self.path)
-            .map_err(|error| MesError::Host {
-                operation: format!("open {}", self.path.display()),
-                errno: error.raw_os_error(),
+    /// How many Trojan/Spy thread pairs the backend has spawned so far: one
+    /// per batch session plus one per bare (sessionless) round. A batch of N
+    /// rounds therefore contributes exactly 1.
+    pub fn pairs_spawned(&self) -> u64 {
+        self.sessions.pairs_spawned()
+    }
+
+    /// Whether a persistent worker pair is currently resident.
+    pub fn session_active(&self) -> bool {
+        self.sessions.is_active()
+    }
+
+    fn check_mechanism(plan: &TransmissionPlan) -> Result<()> {
+        if matches!(plan.mechanism, Mechanism::Flock | Mechanism::FileLockEx) {
+            Ok(())
+        } else {
+            Err(MesError::MechanismUnsupportedOnOs {
+                mechanism: plan.mechanism,
+                os: mes_types::OsKind::Linux,
             })
+        }
+    }
+
+    /// The original per-round path: a throwaway worker pair serving exactly
+    /// one round — the same lifecycle as a session, amortized over nothing.
+    fn transmit_spawned(&mut self, round: FlockRound) -> Result<Observation> {
+        let trojan_file = open_shared(&self.path)?;
+        let spy_file = open_shared(&self.path)?;
+        self.sessions.count_spawned_round();
+        let pair = WorkerPair::spawn(
+            move |round| trojan_round(&trojan_file, round),
+            move |round| spy_round(&spy_file, round),
+        );
+        let observation = pair.run_round(round);
+        pair.shutdown();
+        observation
     }
 }
 
 impl Drop for HostFlockBackend {
     fn drop(&mut self) {
+        self.sessions.shutdown();
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
 impl ChannelBackend for HostFlockBackend {
     fn transmit(&mut self, plan: &TransmissionPlan) -> Result<Observation> {
-        if !matches!(plan.mechanism, Mechanism::Flock | Mechanism::FileLockEx) {
-            return Err(MesError::MechanismUnsupportedOnOs {
-                mechanism: plan.mechanism,
-                os: mes_types::OsKind::Linux,
-            });
+        HostFlockBackend::check_mechanism(plan)?;
+        let round = FlockRound::new(plan);
+        match self.sessions.resident() {
+            Some(pair) => pair.run_round(round),
+            None => self.transmit_spawned(round),
         }
-        let trojan_file = self.open()?;
-        let spy_file = self.open()?;
-        let actions: Arc<Vec<SlotAction>> = Arc::new(plan.actions.clone());
-        let barrier = Arc::new(SlotBarrier::new(2));
-        // The paper's microsecond-scale spy offset is too tight for a
-        // time-shared host: give the Trojan thread a comfortable head start
-        // after each slot barrier so it reliably acquires the lock first when
-        // sending a `1`.
-        let spy_offset = micros(plan.spy_offset).max(Duration::from_millis(1));
-        let slots = actions.len();
+    }
 
-        let start = Instant::now();
-        let trojan_actions = Arc::clone(&actions);
-        let trojan_barrier = Arc::clone(&barrier);
-        let trojan = std::thread::spawn(move || -> Result<()> {
-            for action in trojan_actions.iter() {
-                trojan_barrier.wait();
-                match action {
-                    SlotAction::Occupy(hold) => {
-                        lock_exclusive(&trojan_file)?;
-                        std::thread::sleep(micros(*hold));
-                        unlock(&trojan_file)?;
-                    }
-                    SlotAction::Idle(pause) | SlotAction::SignalAfter(pause) => {
-                        std::thread::sleep(micros(*pause));
-                    }
-                }
-            }
-            Ok(())
-        });
-
-        let spy_barrier = Arc::clone(&barrier);
-        let spy = std::thread::spawn(move || -> Result<Vec<Nanos>> {
-            let mut latencies = Vec::with_capacity(slots);
-            for _ in 0..slots {
-                spy_barrier.wait();
-                std::thread::sleep(spy_offset);
-                let begin = Instant::now();
-                lock_exclusive(&spy_file)?;
-                unlock(&spy_file)?;
-                latencies.push(Nanos::new(begin.elapsed().as_nanos() as u64));
-            }
-            Ok(latencies)
-        });
-
-        let trojan_result = trojan.join().map_err(|_| MesError::Host {
-            operation: "trojan thread panicked".into(),
-            errno: None,
-        })?;
-        let spy_result = spy.join().map_err(|_| MesError::Host {
-            operation: "spy thread panicked".into(),
-            errno: None,
-        })?;
-        trojan_result?;
-        let latencies = spy_result?;
-        Ok(Observation {
-            latencies,
-            elapsed: Nanos::new(start.elapsed().as_nanos() as u64),
+    fn begin_batch(&mut self) -> Result<()> {
+        let path = &self.path;
+        self.sessions.begin_with(|| {
+            let trojan_file = open_shared(path)?;
+            let spy_file = open_shared(path)?;
+            Ok(WorkerPair::spawn(
+                move |round| trojan_round(&trojan_file, round),
+                move |round| spy_round(&spy_file, round),
+            ))
         })
+    }
+
+    fn end_batch(&mut self) {
+        self.sessions.end();
     }
 
     fn name(&self) -> &str {
@@ -210,6 +280,39 @@ mod tests {
         );
         assert!(report.frame_valid());
         assert_eq!(backend.name(), "host-flock");
+        assert_eq!(backend.pairs_spawned(), 1);
+        assert!(!backend.session_active());
+    }
+
+    #[test]
+    fn batch_session_spawns_one_pair_for_many_rounds() {
+        let config = ChannelConfig::new(Mechanism::Flock, fast_timing()).unwrap();
+        let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+        let (_, plan) = channel
+            .plan_for(&BitString::from_str01("1").unwrap())
+            .unwrap();
+        let mut backend = HostFlockBackend::new().unwrap();
+        let observations = backend.transmit_batch(&vec![plan; 3]).unwrap();
+        assert_eq!(observations.len(), 3);
+        assert_eq!(
+            backend.pairs_spawned(),
+            1,
+            "a batch must spawn exactly one worker pair"
+        );
+        assert!(!backend.session_active(), "end_batch must tear down");
+    }
+
+    #[test]
+    fn nested_batches_keep_one_session_until_outermost_end() {
+        let mut backend = HostFlockBackend::new().unwrap();
+        backend.begin_batch().unwrap();
+        backend.begin_batch().unwrap();
+        assert!(backend.session_active());
+        assert_eq!(backend.pairs_spawned(), 1);
+        backend.end_batch();
+        assert!(backend.session_active(), "inner end must not tear down");
+        backend.end_batch();
+        assert!(!backend.session_active());
     }
 
     #[test]

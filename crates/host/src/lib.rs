@@ -16,7 +16,11 @@
 //!
 //! Both implement [`mes_core::ChannelBackend`], so the full `CovertChannel`
 //! pipeline (framing, adaptive threshold, BER/TR accounting) runs unchanged
-//! on top of them.
+//! on top of them — including the batch-session lifecycle: inside
+//! `begin_batch`/`end_batch` (entered automatically by `transmit_batch` and
+//! the `RoundExecutor`) each backend keeps **one long-lived Trojan/Spy
+//! thread pair** resident and feeds it round plans over channels, so a batch
+//! costs two thread spawns total instead of two per round.
 //!
 //! # Substitutions
 //!
@@ -34,6 +38,7 @@
 pub mod condvar;
 pub mod flock;
 pub mod timing;
+mod worker;
 
 pub use condvar::HostCondvarBackend;
 pub use flock::HostFlockBackend;

@@ -1,0 +1,193 @@
+//! The persistent Trojan/Spy worker-pair machinery shared by the host
+//! backends.
+//!
+//! Both host backends run a round the same way — a Trojan side that
+//! modulates the shared resource and a Spy side that returns one latency per
+//! slot — and both amortize thread spawns the same way inside a batch
+//! session. This module owns that shape once: [`WorkerPair`] is the
+//! long-lived pair fed round work-orders over mpsc channels, and
+//! [`PairSessions`] is the backend-side bookkeeping (nesting depth, the
+//! resident pair, the observable spawn counter). The backends contribute
+//! only their round type and the two per-round closures.
+
+use mes_core::Observation;
+use mes_types::{MesError, Nanos, Result};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+fn dead_worker(which: &str) -> MesError {
+    MesError::Host {
+        operation: format!("{which} worker thread died"),
+        errno: None,
+    }
+}
+
+/// A long-lived Trojan/Spy thread pair executing rounds of type `R`.
+///
+/// Each worker loops over its job channel until the backend hangs up
+/// ([`WorkerPair::shutdown`] or drop of the owning session), so one pair —
+/// two thread spawns — serves every round of a batch.
+#[derive(Debug)]
+pub(crate) struct WorkerPair<R: Send + 'static> {
+    trojan_tx: mpsc::Sender<R>,
+    spy_tx: mpsc::Sender<R>,
+    trojan_rx: mpsc::Receiver<Result<()>>,
+    spy_rx: mpsc::Receiver<Result<Vec<Nanos>>>,
+    trojan: JoinHandle<()>,
+    spy: JoinHandle<()>,
+}
+
+impl<R: Clone + Send + 'static> WorkerPair<R> {
+    /// Spawns the pair. `trojan_side` executes a round's Trojan half,
+    /// `spy_side` its Spy half (returning one latency per slot); both run on
+    /// their own resident thread for the life of the pair.
+    pub(crate) fn spawn<T, S>(mut trojan_side: T, mut spy_side: S) -> WorkerPair<R>
+    where
+        T: FnMut(&R) -> Result<()> + Send + 'static,
+        S: FnMut(&R) -> Result<Vec<Nanos>> + Send + 'static,
+    {
+        let (trojan_tx, trojan_jobs) = mpsc::channel::<R>();
+        let (trojan_results, trojan_rx) = mpsc::channel();
+        let trojan = std::thread::spawn(move || {
+            while let Ok(round) = trojan_jobs.recv() {
+                if trojan_results.send(trojan_side(&round)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let (spy_tx, spy_jobs) = mpsc::channel::<R>();
+        let (spy_results, spy_rx) = mpsc::channel();
+        let spy = std::thread::spawn(move || {
+            while let Ok(round) = spy_jobs.recv() {
+                if spy_results.send(spy_side(&round)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        WorkerPair {
+            trojan_tx,
+            spy_tx,
+            trojan_rx,
+            spy_rx,
+            trojan,
+            spy,
+        }
+    }
+
+    /// Feeds one round to the resident pair and collects its observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Host`] if a worker died, or the round's own error
+    /// if either side failed.
+    pub(crate) fn run_round(&self, round: R) -> Result<Observation> {
+        let start = Instant::now();
+        self.trojan_tx
+            .send(round.clone())
+            .map_err(|_| dead_worker("trojan"))?;
+        self.spy_tx.send(round).map_err(|_| dead_worker("spy"))?;
+        let trojan_result = self.trojan_rx.recv().map_err(|_| dead_worker("trojan"))?;
+        let latencies = self.spy_rx.recv().map_err(|_| dead_worker("spy"))??;
+        trojan_result?;
+        Ok(Observation {
+            latencies,
+            elapsed: Nanos::new(start.elapsed().as_nanos() as u64),
+        })
+    }
+
+    /// Hangs up the job channels (ending the worker loops) and joins both
+    /// threads.
+    pub(crate) fn shutdown(self) {
+        let WorkerPair {
+            trojan_tx,
+            spy_tx,
+            trojan_rx,
+            spy_rx,
+            trojan,
+            spy,
+        } = self;
+        drop(trojan_tx);
+        drop(spy_tx);
+        drop(trojan_rx);
+        drop(spy_rx);
+        let _ = trojan.join();
+        let _ = spy.join();
+    }
+}
+
+/// Batch-session bookkeeping shared by the host backends: the resident
+/// worker pair, the session nesting depth, and the observable spawn counter.
+#[derive(Debug)]
+pub(crate) struct PairSessions<R: Send + 'static> {
+    pair: Option<WorkerPair<R>>,
+    depth: usize,
+    pairs_spawned: u64,
+}
+
+impl<R: Send + 'static> Default for PairSessions<R> {
+    fn default() -> Self {
+        PairSessions {
+            pair: None,
+            depth: 0,
+            pairs_spawned: 0,
+        }
+    }
+}
+
+impl<R: Clone + Send + 'static> PairSessions<R> {
+    /// Enters a (possibly nested) batch session, spawning the resident pair
+    /// via `spawn` on the outermost entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `spawn`'s error (e.g. the shared file cannot be opened).
+    pub(crate) fn begin_with(
+        &mut self,
+        spawn: impl FnOnce() -> Result<WorkerPair<R>>,
+    ) -> Result<()> {
+        if self.depth == 0 && self.pair.is_none() {
+            self.pair = Some(spawn()?);
+            self.pairs_spawned += 1;
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Leaves the innermost session; the outermost exit retires the pair.
+    pub(crate) fn end(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+        if self.depth == 0 {
+            self.shutdown();
+        }
+    }
+
+    /// The resident pair, if a session is active.
+    pub(crate) fn resident(&self) -> Option<&WorkerPair<R>> {
+        self.pair.as_ref()
+    }
+
+    /// Whether a persistent pair is currently resident.
+    pub(crate) fn is_active(&self) -> bool {
+        self.pair.is_some()
+    }
+
+    /// Counts a sessionless per-round pair spawn.
+    pub(crate) fn count_spawned_round(&mut self) {
+        self.pairs_spawned += 1;
+    }
+
+    /// Total pairs spawned: one per session plus one per sessionless round.
+    pub(crate) fn pairs_spawned(&self) -> u64 {
+        self.pairs_spawned
+    }
+
+    /// Retires the resident pair immediately (backend drop).
+    pub(crate) fn shutdown(&mut self) {
+        if let Some(pair) = self.pair.take() {
+            pair.shutdown();
+        }
+    }
+}

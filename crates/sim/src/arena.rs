@@ -1,0 +1,225 @@
+//! Slot arenas: allocation-recycling storage for per-round engine state.
+//!
+//! A simulated round needs process tables, kernel objects, namespace
+//! entries, i-nodes and measurement buffers — all short-lived, all rebuilt
+//! for the next round. Allocating them per round is what made
+//! `Engine::reset` only *mostly* cheap: clearing a `Vec<ProcessState>` keeps
+//! the vector's allocation but drops every hash table, string and buffer the
+//! states own. A [`Slab`] keeps the dead values instead: freeing is a cursor
+//! rewind ([`Slab::rewind`]), and the next round's allocations reinitialise
+//! the retired values in place, reusing their heap blocks. After one warm-up
+//! round of a given shape, a slab-backed engine round performs **zero** heap
+//! allocations (asserted by the `alloc_regression` integration test).
+
+/// A bump/slab allocator over owned values.
+///
+/// Values are handed out in index order by [`Slab::alloc`]. [`Slab::rewind`]
+/// retires every live value without dropping it; subsequent `alloc` calls
+/// recycle the retired values (oldest first) through the caller's `recycle`
+/// closure, which must reinitialise the value while reusing its internal
+/// allocations (clear a map, rewrite a string in place, …). Only when no
+/// retired value is available does `alloc` fall back to the `fresh` closure
+/// and actually allocate.
+///
+/// # Examples
+///
+/// ```
+/// use mes_sim::arena::Slab;
+///
+/// let mut names: Slab<String> = Slab::new();
+/// let (index, name) = names.alloc(|| String::from("trojan"), |_| unreachable!());
+/// assert_eq!((index, name.as_str()), (0, "trojan"));
+///
+/// names.rewind();
+/// assert!(names.is_empty());
+/// // The retired String is recycled: its buffer is rewritten, not reallocated.
+/// let (index, name) = names.alloc(
+///     || unreachable!("a retired slot exists"),
+///     |slot| {
+///         slot.clear();
+///         slot.push_str("spy");
+///     },
+/// );
+/// assert_eq!((index, name.as_str()), (0, "spy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<T>,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub const fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots held (live values plus retired values awaiting reuse).
+    pub fn retained(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Retires every live value without dropping it; the values (and their
+    /// heap allocations) are recycled by subsequent [`Slab::alloc`] calls.
+    pub fn rewind(&mut self) {
+        self.live = 0;
+    }
+
+    /// Drops every value, retired ones included.
+    pub fn purge(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    /// Allocates the next value and returns its index alongside it.
+    ///
+    /// Recycles the oldest retired value via `recycle` when one exists;
+    /// otherwise constructs a new slot with `fresh`.
+    pub fn alloc(
+        &mut self,
+        fresh: impl FnOnce() -> T,
+        recycle: impl FnOnce(&mut T),
+    ) -> (usize, &mut T) {
+        let index = self.live;
+        if index < self.slots.len() {
+            recycle(&mut self.slots[index]);
+        } else {
+            self.slots.push(fresh());
+        }
+        self.live += 1;
+        (index, &mut self.slots[index])
+    }
+
+    /// The live value at `index`, if it exists.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        (index < self.live).then(|| &self.slots[index])
+    }
+
+    /// Mutable access to the live value at `index`, if it exists.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        (index < self.live).then(|| &mut self.slots[index])
+    }
+
+    /// Iterates over the live values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.slots[..self.live].iter()
+    }
+
+    /// Iterates mutably over the live values.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.slots[..self.live].iter_mut()
+    }
+
+    /// The live values as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.slots[..self.live]
+    }
+}
+
+impl<T> std::ops::Index<usize> for Slab<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        assert!(index < self.live, "slab index {index} out of live range");
+        &self.slots[index]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Slab<T> {
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        assert!(index < self.live, "slab index {index} out of live range");
+        &mut self.slots[index]
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Slab<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_grows_then_recycles() {
+        let mut slab: Slab<Vec<u32>> = Slab::new();
+        let (a, v) = slab.alloc(Vec::new, |_| unreachable!());
+        v.extend([1, 2, 3]);
+        let (b, _) = slab.alloc(Vec::new, |_| unreachable!());
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.retained(), 2);
+
+        slab.rewind();
+        assert_eq!(slab.len(), 0);
+        assert_eq!(slab.retained(), 2, "retired slots are kept");
+
+        // The recycled slot still owns the old buffer until reinitialised.
+        let (index, v) = slab.alloc(|| unreachable!(), Vec::clear);
+        assert_eq!(index, 0);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 3, "recycling must keep the allocation");
+    }
+
+    #[test]
+    fn accessors_only_expose_live_values() {
+        let mut slab: Slab<u8> = Slab::new();
+        slab.alloc(|| 7, |_| ());
+        slab.alloc(|| 9, |_| ());
+        slab.rewind();
+        slab.alloc(|| unreachable!(), |slot| *slot = 1);
+        assert_eq!(slab.get(0), Some(&1));
+        assert_eq!(slab.get(1), None);
+        assert_eq!(slab.iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(slab.as_slice(), &[1]);
+        *slab.get_mut(0).unwrap() = 4;
+        assert_eq!(slab[0], 4);
+        slab[0] = 5;
+        for value in &slab {
+            assert_eq!(*value, 5);
+        }
+    }
+
+    #[test]
+    fn purge_drops_retired_slots() {
+        let mut slab: Slab<String> = Slab::new();
+        slab.alloc(|| "x".into(), |_| ());
+        slab.purge();
+        assert_eq!(slab.retained(), 0);
+        let (index, value) = slab.alloc(|| "fresh".into(), |_| unreachable!());
+        assert_eq!((index, value.as_str()), (0, "fresh"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of live range")]
+    fn indexing_a_retired_slot_panics() {
+        let mut slab: Slab<u8> = Slab::new();
+        slab.alloc(|| 1, |_| ());
+        slab.rewind();
+        let _ = slab[0];
+    }
+}

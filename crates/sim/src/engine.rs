@@ -10,7 +10,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
+use crate::arena::Slab;
 use crate::fs::{Fairness, FileSystem, LockRequestOutcome};
 use crate::kernel::namespace::{Namespace, Visibility};
 use crate::kernel::object::KernelObject;
@@ -137,10 +139,16 @@ impl SimOutcome {
 pub struct Engine {
     noise: NoiseModel,
     rng: SimRng,
-    processes: Vec<ProcessState>,
-    objects: Vec<KernelObject>,
+    /// Process arena: resets retire the states, spawns recycle them with
+    /// their hash tables and measurement buffers intact.
+    processes: Slab<ProcessState>,
+    /// Kernel-object arena: `CreateObject` recycles retired objects, reusing
+    /// their name buffers and wait queues.
+    objects: Slab<KernelObject>,
     namespace: Namespace,
     fs: FileSystem,
+    /// Barrier map: entries persist across resets (only their arrival lists
+    /// are cleared), so warm rounds never reallocate a barrier.
     barriers: HashMap<u32, BarrierState>,
     barrier_parties: Option<usize>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
@@ -148,6 +156,10 @@ pub struct Engine {
     trace: Trace,
     wake_granted: HashSet<ProcessId>,
     executed_ops: u64,
+    /// Scratch for processes woken by one `FlockUnlock`, reused every slot.
+    woken_scratch: Vec<ProcessId>,
+    /// Scratch for processes released by one opening barrier.
+    barrier_scratch: Vec<ProcessId>,
 }
 
 impl Engine {
@@ -156,8 +168,8 @@ impl Engine {
         Engine {
             noise,
             rng: SimRng::seed_from(seed),
-            processes: Vec::new(),
-            objects: Vec::new(),
+            processes: Slab::new(),
+            objects: Slab::new(),
             namespace: Namespace::new(),
             fs: FileSystem::new(),
             barriers: HashMap::new(),
@@ -167,6 +179,8 @@ impl Engine {
             trace: Trace::disabled(),
             wake_granted: HashSet::new(),
             executed_ops: 0,
+            woken_scratch: Vec::new(),
+            barrier_scratch: Vec::new(),
         }
     }
 
@@ -176,18 +190,25 @@ impl Engine {
     /// A reset engine is observably identical to `Engine::new(noise, seed)`:
     /// process and object ids restart from the same values, the filesystem
     /// and namespace are empty, and the RNG stream is reproduced from the
-    /// seed alone. Hot sweep loops rely on this to run thousands of rounds
-    /// without paying full reconstruction cost per round. The file-lock
-    /// hand-off discipline set via [`Engine::set_fairness`] is preserved;
-    /// tracing is disabled (re-enable it per round if needed).
+    /// seed alone. The reset itself is a *cursor rewind*: process and object
+    /// slots, namespace entries, i-nodes and barrier arrival lists are
+    /// retired rather than dropped, and the next round's spawns and ops
+    /// recycle them in place — after one warm-up round of a given plan
+    /// shape, an entire reset→spawn→run cycle performs zero heap
+    /// allocations. Hot sweep loops rely on this to run millions of rounds
+    /// without touching the allocator. The file-lock hand-off discipline set
+    /// via [`Engine::set_fairness`] is preserved; tracing is disabled
+    /// (re-enable it per round if needed).
     pub fn reset(&mut self, noise: NoiseModel, seed: u64) {
         self.noise = noise;
         self.rng = SimRng::seed_from(seed);
-        self.processes.clear();
-        self.objects.clear();
+        self.processes.rewind();
+        self.objects.rewind();
         self.namespace.clear();
         self.fs.reset();
-        self.barriers.clear();
+        for barrier in self.barriers.values_mut() {
+            barrier.arrived.clear();
+        }
         self.barrier_parties = None;
         self.queue.clear();
         self.seq = 0;
@@ -220,8 +241,22 @@ impl Engine {
 
     /// Spawns a process executing `program`; it becomes runnable at time 0.
     pub fn spawn(&mut self, program: Program) -> ProcessId {
+        self.spawn_shared(Arc::new(program))
+    }
+
+    /// Spawns a process executing a shared program; it becomes runnable at
+    /// time 0.
+    ///
+    /// Backends that run the same compiled program over many rounds hold the
+    /// program in an [`Arc`] and respawn it after every [`Engine::reset`]:
+    /// the spawn then costs a reference-count bump and a recycled process
+    /// slot — no clone of the op list, no fresh tables.
+    pub fn spawn_shared(&mut self, program: Arc<Program>) -> ProcessId {
         let pid = ProcessId::new(self.processes.len() as u64 + 1);
-        self.processes.push(ProcessState::new(pid, program));
+        self.processes.alloc(
+            || ProcessState::new(pid, Arc::clone(&program)),
+            |state| state.recycle(pid, Arc::clone(&program)),
+        );
         self.push_event(Nanos::ZERO, EventKind::ProcessReady(pid));
         pid
     }
@@ -272,7 +307,39 @@ impl Engine {
             .max(1)
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion and materializes a [`SimOutcome`]
+    /// snapshot (cloning measurements and names out of the engine).
+    ///
+    /// Hot round loops that cannot afford the snapshot allocations use
+    /// [`Engine::run_in_place`] and read results through
+    /// [`Engine::measurements_of`] / [`Engine::end_time`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run_in_place`].
+    pub fn run(&mut self) -> Result<SimOutcome> {
+        self.run_in_place()?;
+        Ok(SimOutcome {
+            measurements: self
+                .processes
+                .iter()
+                .map(|p| (p.id, p.measurements.clone()))
+                .collect(),
+            names: self
+                .processes
+                .iter()
+                .map(|p| (p.id, p.program.name().as_str().to_string()))
+                .collect(),
+            end_time: self.end_time(),
+            trace: std::mem::take(&mut self.trace),
+            executed_ops: self.executed_ops,
+        })
+    }
+
+    /// Runs the simulation to completion, leaving the results inside the
+    /// engine — the allocation-free half of [`Engine::run`]. Read the
+    /// results with [`Engine::measurements_of`], [`Engine::end_time`] and
+    /// [`Engine::executed_ops`]; they stay valid until the next reset.
     ///
     /// # Errors
     ///
@@ -280,7 +347,7 @@ impl Engine {
     /// operation (unknown handle, unlock without holding, opening an object
     /// that is not visible from its session, …) or if the system deadlocks
     /// with blocked processes and no pending events.
-    pub fn run(&mut self) -> Result<SimOutcome> {
+    pub fn run_in_place(&mut self) -> Result<()> {
         if self.barrier_parties.is_none() {
             self.barrier_parties = Some(self.default_barrier_parties());
         }
@@ -310,27 +377,31 @@ impl Engine {
                 ),
             });
         }
-        let end_time = self
-            .processes
+        Ok(())
+    }
+
+    /// The virtual time at which the last process terminated (the current
+    /// maximum of the per-process clocks while a run is in progress).
+    pub fn end_time(&self) -> Nanos {
+        self.processes
             .iter()
             .map(|p| p.local_time)
             .max()
-            .unwrap_or(Nanos::ZERO);
-        Ok(SimOutcome {
-            measurements: self
-                .processes
-                .iter()
-                .map(|p| (p.id, p.measurements.clone()))
-                .collect(),
-            names: self
-                .processes
-                .iter()
-                .map(|p| (p.id, p.program.name().as_str().to_string()))
-                .collect(),
-            end_time,
-            trace: std::mem::take(&mut self.trace),
-            executed_ops: self.executed_ops,
-        })
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// The measurement windows recorded so far by `process`, in program
+    /// order — borrow-only access for the zero-allocation round path.
+    pub fn measurements_of(&self, process: ProcessId) -> &[Measurement] {
+        self.processes
+            .get(process.as_usize().wrapping_sub(1))
+            .map(|p| p.measurements.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of ops executed since the last reset.
+    pub fn executed_ops(&self) -> u64 {
+        self.executed_ops
     }
 
     fn handle_timer_fire(&mut self, object: ObjectId, now: Nanos) -> Result<()> {
@@ -355,9 +426,13 @@ impl Engine {
     /// Executes ops of `pid` until it blocks, must yield for global ordering,
     /// or terminates.
     fn run_process(&mut self, pid: ProcessId) -> Result<()> {
+        // Hold the program through a cheap Arc clone so ops can be executed
+        // by reference — the hot loop never clones an op (ops with owned
+        // strings used to be cloned once per execution).
+        let program = Arc::clone(&self.processes[self.proc_index(pid)].program);
         loop {
             let index = self.proc_index(pid);
-            let Some(op) = self.processes[index].current_op().cloned() else {
+            let Some(op) = program.ops().get(self.processes[index].pc) else {
                 self.processes[index].run_state = RunState::Terminated;
                 let t = self.processes[index].local_time;
                 self.record_trace(t, pid, TraceKind::Terminated);
@@ -382,7 +457,7 @@ impl Engine {
                 self.processes[index].local_time += cost;
             }
             self.executed_ops += 1;
-            {
+            if self.trace.is_enabled() {
                 let t = self.processes[index].local_time;
                 let pc = self.processes[index].pc;
                 self.record_trace(
@@ -395,7 +470,7 @@ impl Engine {
                 );
             }
 
-            let proceed = self.execute_op(pid, &op)?;
+            let proceed = self.execute_op(pid, op)?;
             if !proceed {
                 return Ok(());
             }
@@ -438,11 +513,14 @@ impl Engine {
                 self.processes[index].pc += 1;
             }
             Op::CreateObject { name, kind, handle } => {
-                let object_id = ObjectId::new(self.objects.len() as u64);
-                self.objects.push(KernelObject::new(name.clone(), *kind));
+                let (slot, _) = self.objects.alloc(
+                    || KernelObject::new(name.as_str(), *kind),
+                    |object| object.reinit(name, *kind),
+                );
+                let object_id = ObjectId::new(slot as u64);
                 let session = self.processes[index].program.session();
                 self.namespace
-                    .register(name.clone(), object_id, session, Visibility::Session)?;
+                    .register(name, object_id, session, Visibility::Session)?;
                 self.processes[index]
                     .handle_table
                     .bind(*handle, object_id)?;
@@ -506,14 +584,16 @@ impl Engine {
                         self.objects[object_id.as_usize()].enqueue_waiter(pid);
                         self.processes[index].run_state =
                             RunState::Blocked(BlockReason::Object(object_id));
-                        let t = self.processes[index].local_time;
-                        self.record_trace(
-                            t,
-                            pid,
-                            TraceKind::Blocked {
-                                reason: format!("wait on {object_id}"),
-                            },
-                        );
+                        if self.trace.is_enabled() {
+                            let t = self.processes[index].local_time;
+                            self.record_trace(
+                                t,
+                                pid,
+                                TraceKind::Blocked {
+                                    reason: format!("wait on {object_id}"),
+                                },
+                            );
+                        }
                         return Ok(false);
                     }
                 }
@@ -542,14 +622,16 @@ impl Engine {
                             let inode = self.fs.inode_of(file)?;
                             self.processes[index].run_state =
                                 RunState::Blocked(BlockReason::FileLock(inode));
-                            let t = self.processes[index].local_time;
-                            self.record_trace(
-                                t,
-                                pid,
-                                TraceKind::Blocked {
-                                    reason: format!("flock on {inode}"),
-                                },
-                            );
+                            if self.trace.is_enabled() {
+                                let t = self.processes[index].local_time;
+                                self.record_trace(
+                                    t,
+                                    pid,
+                                    TraceKind::Blocked {
+                                        reason: format!("flock on {inode}"),
+                                    },
+                                );
+                            }
                             return Ok(false);
                         }
                     }
@@ -561,13 +643,19 @@ impl Engine {
                         reason: format!("descriptor {fd} is not open"),
                     }
                 })?;
-                let woken = self.fs.unlock(file, pid)?;
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                if let Err(error) = self.fs.unlock_into(file, pid, &mut woken) {
+                    self.woken_scratch = woken;
+                    return Err(error);
+                }
                 let granted = self.fs.fairness() == Fairness::Fair;
                 let now = self.processes[index].local_time;
-                for waiter in woken {
+                for &waiter in &woken {
                     let latency = self.noise.sample_wait_wakeup(&mut self.rng);
                     self.wake(waiter, now + latency, granted);
                 }
+                woken.clear();
+                self.woken_scratch = woken;
                 let idx = self.proc_index(pid);
                 self.processes[idx].pc += 1;
             }
@@ -576,29 +664,41 @@ impl Engine {
                     self.processes[index].pc += 1;
                 } else {
                     let parties = self.barrier_parties.unwrap_or(1);
+                    let mut released = std::mem::take(&mut self.barrier_scratch);
+                    released.clear();
                     let entry = self.barriers.entry(*id).or_default();
                     entry.arrived.push(pid);
-                    if entry.arrived.len() >= parties {
-                        let arrived = std::mem::take(&mut entry.arrived);
+                    let opened = entry.arrived.len() >= parties;
+                    if opened {
+                        // Drain into the scratch buffer so the barrier keeps
+                        // its arrival list's allocation for the next round.
+                        released.append(&mut entry.arrived);
+                    }
+                    if opened {
                         let now = self.processes[index].local_time;
-                        for other in arrived {
+                        for &other in &released {
                             if other != pid {
                                 let latency = self.noise.sample_wait_wakeup(&mut self.rng);
                                 self.wake(other, now + latency, true);
                             }
                         }
+                        released.clear();
+                        self.barrier_scratch = released;
                         self.processes[index].pc += 1;
                     } else {
+                        self.barrier_scratch = released;
                         self.processes[index].run_state =
                             RunState::Blocked(BlockReason::Barrier(*id));
-                        let t = self.processes[index].local_time;
-                        self.record_trace(
-                            t,
-                            pid,
-                            TraceKind::Blocked {
-                                reason: format!("barrier {id}"),
-                            },
-                        );
+                        if self.trace.is_enabled() {
+                            let t = self.processes[index].local_time;
+                            self.record_trace(
+                                t,
+                                pid,
+                                TraceKind::Blocked {
+                                    reason: format!("barrier {id}"),
+                                },
+                            );
+                        }
                         return Ok(false);
                     }
                 }
@@ -625,16 +725,8 @@ impl Engine {
                 self.wake(waiter, now + latency, true);
             } else {
                 // Not signalled for this waiter (e.g. semaphore exhausted):
-                // put it back at the head and stop.
-                // Re-enqueueing at the back would break FIFO order, so use a
-                // temporary queue rebuild.
-                let mut rest = vec![waiter];
-                while let Some(other) = obj.dequeue_waiter() {
-                    rest.push(other);
-                }
-                for p in rest {
-                    obj.enqueue_waiter(p);
-                }
+                // put it back at the head, preserving FIFO order, and stop.
+                obj.requeue_waiter_front(waiter);
                 break;
             }
         }

@@ -8,9 +8,10 @@
 //! "unfair" mode reproducing the failure the paper describes when the
 //! current holder can immediately re-acquire the lock.
 
+use crate::arena::Slab;
 use mes_types::{FileId, InodeId, MesError, ProcessId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of an exclusive-lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,7 +36,7 @@ pub enum Fairness {
     Unfair,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Inode {
     path: String,
     /// Exclusive-lock holder, if any.
@@ -44,13 +45,18 @@ struct Inode {
     waiters: VecDeque<ProcessId>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct OpenFile {
     inode: InodeId,
     opened_by: ProcessId,
 }
 
 /// The system-level file table and i-node table (Fig. 5 of the paper).
+///
+/// A round opens one or two paths, so i-nodes live in a slot arena scanned
+/// linearly by path: [`FileSystem::reset`] is a cursor rewind, and the next
+/// round's `open` calls rewrite the retired i-nodes' path buffers in place —
+/// no per-round allocation once the arena is warm.
 ///
 /// # Examples
 ///
@@ -71,10 +77,9 @@ struct OpenFile {
 /// assert_eq!(fs.lock_exclusive(spy_file, ProcessId::new(2))?, LockRequestOutcome::Blocked);
 /// # Ok::<(), mes_types::MesError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FileSystem {
-    inodes: Vec<Inode>,
-    paths: HashMap<String, InodeId>,
+    inodes: Slab<Inode>,
     files: Vec<OpenFile>,
     fairness: Fairness,
 }
@@ -89,8 +94,7 @@ impl FileSystem {
     /// Creates an empty filesystem with fair lock hand-off.
     pub fn new() -> Self {
         FileSystem {
-            inodes: Vec::new(),
-            paths: HashMap::new(),
+            inodes: Slab::new(),
             files: Vec::new(),
             fairness: Fairness::Fair,
         }
@@ -109,29 +113,34 @@ impl FileSystem {
         self.fairness
     }
 
-    /// Empties every table (i-nodes, paths, open files) while keeping the
+    /// Empties every table (i-nodes, open files) while keeping the
     /// allocations and the hand-off discipline — id numbering restarts from
     /// zero, exactly as in a freshly constructed filesystem (engine reuse).
     pub fn reset(&mut self) {
-        self.inodes.clear();
-        self.paths.clear();
+        self.inodes.rewind();
         self.files.clear();
     }
 
     /// Opens `path` for `process`, creating the i-node on first open, and
     /// returns a fresh file-table entry.
     pub fn open(&mut self, path: &str, process: ProcessId) -> FileId {
-        let inode = match self.paths.get(path) {
-            Some(&inode) => inode,
+        let inode = match self.inodes.iter().position(|inode| inode.path == path) {
+            Some(index) => InodeId::new(index as u64),
             None => {
-                let inode = InodeId::new(self.inodes.len() as u64);
-                self.inodes.push(Inode {
-                    path: path.to_string(),
-                    holder: None,
-                    waiters: VecDeque::new(),
-                });
-                self.paths.insert(path.to_string(), inode);
-                inode
+                let (index, _) = self.inodes.alloc(
+                    || Inode {
+                        path: path.to_string(),
+                        holder: None,
+                        waiters: VecDeque::new(),
+                    },
+                    |inode| {
+                        inode.path.clear();
+                        inode.path.push_str(path);
+                        inode.holder = None;
+                        inode.waiters.clear();
+                    },
+                );
+                InodeId::new(index as u64)
             }
         };
         let file = FileId::new(self.files.len() as u64);
@@ -192,6 +201,26 @@ impl FileSystem {
     ///
     /// Returns [`MesError::Simulation`] if `process` does not hold the lock.
     pub fn unlock(&mut self, file: FileId, process: ProcessId) -> Result<Vec<ProcessId>> {
+        let mut woken = Vec::new();
+        self.unlock_into(file, process, &mut woken)?;
+        Ok(woken)
+    }
+
+    /// [`FileSystem::unlock`] writing the woken processes into a
+    /// caller-provided buffer (cleared first) instead of allocating a fresh
+    /// vector — the engine's hot unlock path reuses one scratch buffer across
+    /// every slot of every round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] if `process` does not hold the lock.
+    pub fn unlock_into(
+        &mut self,
+        file: FileId,
+        process: ProcessId,
+        woken: &mut Vec<ProcessId>,
+    ) -> Result<()> {
+        woken.clear();
         let inode_id = self.inode_of(file)?;
         let inode = &mut self.inodes[inode_id.as_usize()];
         if inode.holder != Some(process) {
@@ -203,13 +232,14 @@ impl FileSystem {
             Fairness::Fair => {
                 let next = inode.waiters.pop_front();
                 inode.holder = next;
-                Ok(next.into_iter().collect())
+                woken.extend(next);
             }
             Fairness::Unfair => {
                 inode.holder = None;
-                Ok(inode.waiters.drain(..).collect())
+                woken.extend(inode.waiters.drain(..));
             }
         }
+        Ok(())
     }
 
     /// Retries a lock acquisition for a process that was woken in unfair
@@ -232,19 +262,20 @@ impl FileSystem {
         }
     }
 
+    fn inode_by_path(&self, path: &str) -> Option<&Inode> {
+        self.inodes.iter().find(|inode| inode.path == path)
+    }
+
     /// The current holder of the lock on `path`, if the path exists and is
     /// locked.
     pub fn holder_of(&self, path: &str) -> Option<ProcessId> {
-        self.paths
-            .get(path)
-            .and_then(|inode| self.inodes[inode.as_usize()].holder)
+        self.inode_by_path(path).and_then(|inode| inode.holder)
     }
 
     /// Number of processes waiting on the lock of `path`.
     pub fn waiter_count(&self, path: &str) -> usize {
-        self.paths
-            .get(path)
-            .map(|inode| self.inodes[inode.as_usize()].waiters.len())
+        self.inode_by_path(path)
+            .map(|inode| inode.waiters.len())
             .unwrap_or(0)
     }
 
@@ -365,6 +396,40 @@ mod tests {
         fs.lock_exclusive(a, TROJAN).unwrap();
         let b = fs.open("/f", SPY);
         assert!(fs.unlock(b, SPY).is_err());
+    }
+
+    #[test]
+    fn reset_rewinds_ids_and_recycles_inodes() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/first-shared-path", TROJAN);
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        fs.reset();
+        assert_eq!(fs.inode_count(), 0);
+        assert_eq!(fs.open_file_count(), 0);
+        assert_eq!(fs.holder_of("/first-shared-path"), None);
+        // Ids restart from zero and the retired i-node slot is recycled.
+        let b = fs.open("/other", SPY);
+        assert_eq!(b, FileId::new(0));
+        assert_eq!(fs.inode_of(b).unwrap(), InodeId::new(0));
+        assert_eq!(fs.holder_of("/other"), None);
+        assert_eq!(
+            fs.lock_exclusive(b, SPY).unwrap(),
+            LockRequestOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn unlock_into_reuses_the_caller_buffer() {
+        let mut fs = FileSystem::new();
+        let a = fs.open("/f", TROJAN);
+        let b = fs.open("/f", SPY);
+        fs.lock_exclusive(a, TROJAN).unwrap();
+        fs.lock_exclusive(b, SPY).unwrap();
+        let mut woken = vec![OTHER]; // stale content must be cleared
+        fs.unlock_into(a, TROJAN, &mut woken).unwrap();
+        assert_eq!(woken, vec![SPY]);
+        fs.unlock_into(b, SPY, &mut woken).unwrap();
+        assert!(woken.is_empty());
     }
 
     #[test]

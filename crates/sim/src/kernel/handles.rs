@@ -69,6 +69,12 @@ impl HandleTable {
         self.entries.remove(&handle)
     }
 
+    /// Removes every binding, retaining the table's allocation (process-slot
+    /// recycling between rounds).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of live handles.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -8,9 +8,9 @@
 //! lookups from another session only succeed for objects registered as
 //! globally visible.
 
+use crate::arena::Slab;
 use mes_types::{MesError, ObjectId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies an isolation domain (a VM or the host). Processes in different
@@ -52,14 +52,20 @@ pub enum Visibility {
     Global,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Entry {
+    name: String,
     object: ObjectId,
     session: SessionId,
     visibility: Visibility,
 }
 
 /// The kernel's name → object directory with session-aware lookup.
+///
+/// A round registers a handful of names at most, so entries live in a slot
+/// arena scanned linearly: [`Namespace::clear`] is a cursor rewind, and
+/// re-registering after a rewind rewrites the retired entries' name buffers
+/// in place — no per-round allocation once the arena is warm.
 ///
 /// # Examples
 ///
@@ -76,9 +82,9 @@ struct Entry {
 /// assert!(ns.lookup("evt", SessionId::new(2)).is_err());
 /// # Ok::<(), mes_types::MesError>(())
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Namespace {
-    entries: HashMap<String, Entry>,
+    entries: Slab<Entry>,
 }
 
 impl Namespace {
@@ -87,9 +93,14 @@ impl Namespace {
         Namespace::default()
     }
 
-    /// Removes every entry, retaining the allocation (engine reuse).
+    /// Retires every entry, retaining the entries' allocations for the next
+    /// round (engine arena reuse).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.entries.rewind();
+    }
+
+    fn find(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|entry| entry.name == name)
     }
 
     /// Registers a named object created by a process in `session`.
@@ -99,23 +110,29 @@ impl Namespace {
     /// Returns [`MesError::Simulation`] if the name is already taken.
     pub fn register(
         &mut self,
-        name: impl Into<String>,
+        name: &str,
         object: ObjectId,
         session: SessionId,
         visibility: Visibility,
     ) -> Result<()> {
-        let name = name.into();
-        if self.entries.contains_key(&name) {
+        if self.find(name).is_some() {
             return Err(MesError::Simulation {
                 reason: format!("object name {name:?} already exists"),
             });
         }
-        self.entries.insert(
-            name,
-            Entry {
+        self.entries.alloc(
+            || Entry {
+                name: name.to_string(),
                 object,
                 session,
                 visibility,
+            },
+            |entry| {
+                entry.name.clear();
+                entry.name.push_str(name);
+                entry.object = object;
+                entry.session = session;
+                entry.visibility = visibility;
             },
         );
         Ok(())
@@ -128,7 +145,7 @@ impl Namespace {
     /// Returns [`MesError::Simulation`] if the name does not exist or is not
     /// visible from `session`.
     pub fn lookup(&self, name: &str, session: SessionId) -> Result<ObjectId> {
-        match self.entries.get(name) {
+        match self.find(name) {
             None => Err(MesError::Simulation {
                 reason: format!("object name {name:?} does not exist"),
             }),
@@ -147,7 +164,7 @@ impl Namespace {
 
     /// Whether a name is registered at all (regardless of visibility).
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.contains_key(name)
+        self.find(name).is_some()
     }
 
     /// Number of registered names.
@@ -214,6 +231,35 @@ mod tests {
         let ns = Namespace::new();
         assert!(ns.lookup("nope", SessionId::HOST).is_err());
         assert!(!ns.contains("nope"));
+    }
+
+    #[test]
+    fn clear_rewinds_and_recycles_entries() {
+        let mut ns = Namespace::new();
+        ns.register(
+            "a-long-object-name",
+            ObjectId::new(1),
+            SessionId::HOST,
+            Visibility::Session,
+        )
+        .unwrap();
+        ns.clear();
+        assert!(ns.is_empty());
+        assert!(!ns.contains("a-long-object-name"));
+        // Re-registering after a rewind recycles the retired entry slot.
+        ns.register(
+            "evt",
+            ObjectId::new(2),
+            SessionId::new(1),
+            Visibility::Global,
+        )
+        .unwrap();
+        assert_eq!(ns.len(), 1);
+        assert_eq!(
+            ns.lookup("evt", SessionId::new(9)).unwrap(),
+            ObjectId::new(2)
+        );
+        assert!(ns.lookup("a-long-object-name", SessionId::HOST).is_err());
     }
 
     #[test]

@@ -95,9 +95,8 @@ pub struct KernelObject {
 }
 
 impl KernelObject {
-    /// Creates an object of the given kind.
-    pub fn new(name: impl Into<String>, kind: ObjectKind) -> Self {
-        let state = match kind {
+    fn initial_state(kind: ObjectKind) -> ObjectState {
+        match kind {
             ObjectKind::Event {
                 manual_reset,
                 initially_signaled,
@@ -117,13 +116,34 @@ impl KernelObject {
                 signaled: false,
                 due: None,
             },
-        };
+        }
+    }
+
+    /// Creates an object of the given kind.
+    pub fn new(name: impl Into<String>, kind: ObjectKind) -> Self {
         KernelObject {
             name: name.into(),
-            state,
+            state: KernelObject::initial_state(kind),
             waiters: VecDeque::new(),
             usage_count: 1,
         }
+    }
+
+    /// Reinitialises a recycled object slot in place: the name buffer and
+    /// wait queue keep their allocations (engine arena reuse between rounds).
+    pub fn reinit(&mut self, name: &str, kind: ObjectKind) {
+        self.name.clear();
+        self.name.push_str(name);
+        self.state = KernelObject::initial_state(kind);
+        self.waiters.clear();
+        self.usage_count = 1;
+    }
+
+    /// Puts a dequeued process back at the *head* of the wait queue — used
+    /// when a popped waiter turns out not to be satisfiable (semaphore
+    /// exhausted mid-handoff) and FIFO order must be preserved.
+    pub fn requeue_waiter_front(&mut self, process: ProcessId) {
+        self.waiters.push_front(process);
     }
 
     /// The object's system-wide name.
@@ -444,6 +464,33 @@ mod tests {
         assert_eq!(event.dequeue_waiter(), Some(P1));
         assert_eq!(event.dequeue_waiter(), Some(P2));
         assert_eq!(event.dequeue_waiter(), None);
+    }
+
+    #[test]
+    fn reinit_recycles_the_slot_in_place() {
+        let mut object = KernelObject::new("first-name", ObjectKind::Mutex);
+        object.acquire(P1);
+        object.enqueue_waiter(P2);
+        object.add_reference();
+
+        object.reinit("evt", ObjectKind::event_auto_reset());
+        assert_eq!(object.name(), "evt");
+        assert_eq!(object.usage_count(), 1);
+        assert_eq!(object.waiter_count(), 0);
+        assert!(!object.is_signaled_for(P1));
+        object.set_event().unwrap();
+        assert!(object.is_signaled_for(P1));
+    }
+
+    #[test]
+    fn requeue_front_preserves_fifo_order() {
+        let mut event = KernelObject::new("e", ObjectKind::event_auto_reset());
+        event.enqueue_waiter(P1);
+        event.enqueue_waiter(P2);
+        let head = event.dequeue_waiter().unwrap();
+        event.requeue_waiter_front(head);
+        assert_eq!(event.dequeue_waiter(), Some(P1));
+        assert_eq!(event.dequeue_waiter(), Some(P2));
     }
 
     #[test]

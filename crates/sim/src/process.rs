@@ -6,6 +6,7 @@ use mes_types::{Nanos, ProcessId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Human-readable name of a simulated process (e.g. `"trojan"`, `"spy"`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -158,10 +159,17 @@ pub(crate) enum BlockReason {
 }
 
 /// Internal per-process bookkeeping used by the engine.
+///
+/// States live in the engine's process [`Slab`](crate::arena::Slab): resets
+/// retire them with their hash tables and buffers intact, and
+/// [`ProcessState::recycle`] reinitialises a retired state for the next
+/// round's process without allocating. Programs are shared via [`Arc`], so
+/// re-running a cached program costs a reference-count bump, not a clone of
+/// its op list.
 #[derive(Debug, Clone)]
 pub(crate) struct ProcessState {
     pub(crate) id: ProcessId,
-    pub(crate) program: Program,
+    pub(crate) program: Arc<Program>,
     pub(crate) pc: usize,
     pub(crate) local_time: Nanos,
     pub(crate) run_state: RunState,
@@ -172,7 +180,7 @@ pub(crate) struct ProcessState {
 }
 
 impl ProcessState {
-    pub(crate) fn new(id: ProcessId, program: Program) -> Self {
+    pub(crate) fn new(id: ProcessId, program: Arc<Program>) -> Self {
         ProcessState {
             id,
             program,
@@ -186,8 +194,18 @@ impl ProcessState {
         }
     }
 
-    pub(crate) fn current_op(&self) -> Option<&Op> {
-        self.program.ops().get(self.pc)
+    /// Reinitialises a retired state for a new process, keeping the capacity
+    /// of every table and buffer it owns.
+    pub(crate) fn recycle(&mut self, id: ProcessId, program: Arc<Program>) {
+        self.id = id;
+        self.program = program;
+        self.pc = 0;
+        self.local_time = Nanos::ZERO;
+        self.run_state = RunState::Runnable;
+        self.handle_table.clear();
+        self.fd_table.clear();
+        self.open_windows.clear();
+        self.measurements.clear();
     }
 
     pub(crate) fn is_terminated(&self) -> bool {
@@ -233,11 +251,37 @@ mod tests {
 
     #[test]
     fn process_state_starts_runnable_at_time_zero() {
-        let state = ProcessState::new(ProcessId::new(1), Program::new("p"));
+        let state = ProcessState::new(ProcessId::new(1), Arc::new(Program::new("p")));
         assert_eq!(state.local_time, Nanos::ZERO);
         assert!(matches!(state.run_state, RunState::Runnable));
-        assert!(state.current_op().is_none());
+        assert!(state.program.ops().is_empty());
         assert!(!state.is_terminated());
+    }
+
+    #[test]
+    fn recycle_resets_state_and_swaps_program() {
+        let mut state = ProcessState::new(
+            ProcessId::new(1),
+            Arc::new(Program::new("old").op(Op::TimestampStart { slot: 0 })),
+        );
+        state.pc = 1;
+        state.local_time = Nanos::new(50);
+        state.run_state = RunState::Terminated;
+        state.open_windows.insert(0, Nanos::new(10));
+        state.measurements.push(Measurement {
+            slot: 0,
+            start: Nanos::ZERO,
+            end: Nanos::new(10),
+        });
+
+        state.recycle(ProcessId::new(2), Arc::new(Program::new("new")));
+        assert_eq!(state.id, ProcessId::new(2));
+        assert_eq!(state.pc, 0);
+        assert_eq!(state.local_time, Nanos::ZERO);
+        assert!(matches!(state.run_state, RunState::Runnable));
+        assert!(state.open_windows.is_empty());
+        assert!(state.measurements.is_empty());
+        assert_eq!(state.program.name().as_str(), "new");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Determinism coverage for the persistent host worker pairs.
+//!
+//! The contract under test: a round executed by a backend's long-lived
+//! batch-session Trojan/Spy pair observes the same channel as a round
+//! executed by the original per-round-spawn path. Wall-clock latencies on a
+//! time-shared host are never numerically reproducible, so "bit-identical"
+//! is asserted where it is meaningful for a real-kernel backend: the same
+//! payload × seed decodes to the identical bit string through both paths,
+//! with one latency observed per slot — while the spawn counters prove the
+//! session path really used one pair for the whole batch.
+
+use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, Observation};
+use mes_host::{HostCondvarBackend, HostFlockBackend};
+use mes_scenario::ScenarioProfile;
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros};
+
+fn generous_contention_timing() -> ChannelTiming {
+    // Wide margins so the tests survive a loaded machine.
+    ChannelTiming::contention(Micros::from_millis(18), Micros::from_millis(6))
+}
+
+fn generous_cooperation_timing() -> ChannelTiming {
+    ChannelTiming::cooperation(Micros::from_millis(3), Micros::from_millis(12))
+}
+
+/// Runs `payload` through `backend` once per spawned round and once inside a
+/// batch session, returning the decoded payloads plus both observations.
+fn both_paths(
+    channel: &CovertChannel,
+    payload: &BitString,
+    backend: &mut dyn ChannelBackend,
+) -> (BitString, BitString, Observation, Observation) {
+    let (wire, plan) = channel.plan_for(payload).unwrap();
+
+    let spawned_observation = backend.transmit(&plan).unwrap();
+    let spawned = channel
+        .recover(payload, &wire, &spawned_observation)
+        .received_payload()
+        .clone();
+
+    backend.begin_batch().unwrap();
+    let session_observation = backend.transmit(&plan).unwrap();
+    backend.end_batch();
+    let session = channel
+        .recover(payload, &wire, &session_observation)
+        .received_payload()
+        .clone();
+
+    (spawned, session, spawned_observation, session_observation)
+}
+
+#[test]
+fn flock_session_pair_decodes_identically_to_per_round_spawn() {
+    let config = ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let payload = BitString::from_bytes(b"ok");
+    let mut backend = HostFlockBackend::new().unwrap();
+
+    let (spawned, session, spawned_obs, session_obs) = both_paths(&channel, &payload, &mut backend);
+    assert_eq!(
+        spawned, payload,
+        "per-round-spawn path must decode the payload"
+    );
+    assert_eq!(
+        session, payload,
+        "persistent-pair path must decode the payload"
+    );
+    assert_eq!(spawned, session, "both paths must recover identical bits");
+    assert_eq!(
+        spawned_obs.len(),
+        session_obs.len(),
+        "both paths must observe one latency per slot"
+    );
+    // One pair for the bare round, one pair for the whole session.
+    assert_eq!(backend.pairs_spawned(), 2);
+}
+
+#[test]
+fn condvar_session_pair_decodes_identically_to_per_round_spawn() {
+    let config = ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let payload = BitString::from_bytes(b"go");
+    let mut backend = HostCondvarBackend::new();
+
+    let (spawned, session, spawned_obs, session_obs) = both_paths(&channel, &payload, &mut backend);
+    assert_eq!(spawned, payload);
+    assert_eq!(session, payload);
+    assert_eq!(spawned, session, "both paths must recover identical bits");
+    assert_eq!(spawned_obs.len(), session_obs.len());
+    assert_eq!(backend.pairs_spawned(), 2);
+}
+
+#[test]
+fn flock_batch_reuses_one_pair_across_rounds_and_stays_decodable() {
+    let config = ChannelConfig::new(Mechanism::Flock, generous_contention_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let payload = BitString::from_bytes(b"Z");
+    let (wire, plan) = channel.plan_for(&payload).unwrap();
+    let mut backend = HostFlockBackend::new().unwrap();
+
+    let observations = backend.transmit_batch(&vec![plan; 3]).unwrap();
+    assert_eq!(
+        backend.pairs_spawned(),
+        1,
+        "a 3-round batch must spawn exactly one Trojan/Spy pair"
+    );
+    assert!(
+        !backend.session_active(),
+        "the pair must be torn down with the batch"
+    );
+    for observation in &observations {
+        let report = channel.recover(&payload, &wire, observation);
+        assert_eq!(
+            report.received_payload(),
+            &payload,
+            "every session round must decode (latencies: {:?})",
+            report.latencies()
+        );
+    }
+}
+
+#[test]
+fn condvar_batch_reuses_one_pair_across_rounds_and_stays_decodable() {
+    let config = ChannelConfig::new(Mechanism::Event, generous_cooperation_timing()).unwrap();
+    let channel = CovertChannel::new(config, ScenarioProfile::local()).unwrap();
+    let payload = BitString::from_bytes(b"Q");
+    let (wire, plan) = channel.plan_for(&payload).unwrap();
+    let mut backend = HostCondvarBackend::new();
+
+    let observations = backend.transmit_batch(&vec![plan; 3]).unwrap();
+    assert_eq!(backend.pairs_spawned(), 1);
+    assert!(!backend.session_active());
+    for observation in &observations {
+        let report = channel.recover(&payload, &wire, observation);
+        assert_eq!(report.received_payload(), &payload);
+    }
+}
