@@ -22,6 +22,15 @@
 //!   host condvar channel, per-round thread spawning vs. one persistent
 //!   Trojan/Spy worker pair per batch.
 //!
+//! The shape-keyed program cache adds the duration-sweep family:
+//!
+//! * `shape_warm_sweep_ms` / `points_per_sec` — repeated passes over a
+//!   16-point fixed-shape duration sweep on one warm backend: each point
+//!   patches the cached Trojan/Spy pair's durations in place instead of
+//!   recompiling, so the whole sweep runs without `mes-sim` allocations.
+//!   `points_per_sec` is the throughput reading of the same measurement
+//!   (and is gated through `shape_warm_sweep_ms`, its reciprocal).
+//!
 //! All strategies are verified to produce bit-identical observations before
 //! any number is reported. If a committed `BENCH_batch.json` exists, the
 //! measured wall clocks are compared against it and the binary **exits
@@ -51,6 +60,11 @@ const REPEATS: usize = 5;
 const REGRESSION_TOLERANCE: f64 = 0.25;
 /// Warm rounds of the fixed plan shape timed for `engine_warm_round_ms`.
 const WARM_ROUNDS: usize = 256;
+/// Duration points in the fixed-shape sweep timed for `shape_warm_sweep_ms`.
+const SWEEP_POINTS: usize = 16;
+/// Passes over the duration sweep per timed run (each pass visits every
+/// point once, so every round after the very first patches durations).
+const SWEEP_PASSES: usize = 16;
 /// Rounds per host batch for the session-vs-spawn comparison. Rounds are
 /// single-bit with tens-of-µs slots so per-round thread spawn/teardown —
 /// the cost the persistent pair removes — dominates the measurement.
@@ -93,6 +107,9 @@ fn main() -> Result<()> {
 
     let executor = RoundExecutor::available_parallelism();
     let workers = executor.workers();
+    // The executor clamps its fan-out to the batch size, so this is the
+    // worker count the parallel strategies actually ran with.
+    let workers_used = workers.min(ROUNDS);
 
     let (sequential_fresh_ms, fresh) = best_of(|| -> Vec<Observation> {
         plans
@@ -144,6 +161,58 @@ fn main() -> Result<()> {
         }
     });
 
+    // Shape-keyed program reuse: a fixed-shape duration sweep (the paper's
+    // Fig. 9/10 case) on one warm backend. Every point after the first
+    // patches the cached program pair's durations in place — no
+    // recompilation, no mes-sim allocation — so this is the sustained rate
+    // at which one backend walks a cooperation-grid row.
+    let sweep_payload = BitString::from_bytes(b"sweep");
+    let sweep_plans: Vec<_> = (0..SWEEP_POINTS)
+        .map(|i| {
+            let timing = ChannelTiming::cooperation(
+                Micros::new(15 + 2 * i as u64),
+                Micros::new(65 + i as u64),
+            );
+            let config = ChannelConfig::new(Mechanism::Event, timing).expect("sweep timing");
+            let channel =
+                mes_core::CovertChannel::new(config, profile.clone()).expect("sweep channel");
+            channel.plan_for(&sweep_payload).expect("sweep plan").1
+        })
+        .collect();
+    let sweep_shape = sweep_plans[0].shape_fingerprint();
+    assert!(
+        sweep_plans
+            .iter()
+            .all(|plan| plan.shape_fingerprint() == sweep_shape),
+        "the duration sweep must be fixed-shape"
+    );
+    let mut sweep_backend = SimBackend::new(profile.clone(), SEED);
+    sweep_backend
+        .transmit_round(&sweep_plans[0], 0)
+        .expect("sweep warm-up round");
+    let (shape_warm_sweep_ms, _) = best_of(|| {
+        for pass in 0..SWEEP_PASSES as u64 {
+            for (point, plan) in sweep_plans.iter().enumerate() {
+                sweep_backend
+                    .transmit_round(plan, pass * SWEEP_POINTS as u64 + point as u64)
+                    .expect("sweep round runs");
+            }
+        }
+    });
+    let points_per_sec = (SWEEP_POINTS * SWEEP_PASSES) as f64 / (shape_warm_sweep_ms / 1_000.0);
+    // Patched rounds must be bit-identical to freshly compiled ones.
+    let probe = SWEEP_POINTS / 2;
+    let patched_probe = sweep_backend
+        .transmit_round(&sweep_plans[probe], probe as u64)
+        .expect("patched probe runs");
+    let fresh_probe = SimBackend::new(profile.clone(), SEED)
+        .transmit_round(&sweep_plans[probe], probe as u64)
+        .expect("fresh probe runs");
+    assert_eq!(
+        patched_probe, fresh_probe,
+        "shape-patched sweep point disagreed with fresh compilation"
+    );
+
     // Persistent substrate: the same host batch with per-round thread pairs
     // vs. one long-lived pair fed over channels. Timings are µs-scale so the
     // comparison isolates the spawn/teardown overhead the session removes.
@@ -189,10 +258,14 @@ fn main() -> Result<()> {
     println!(
         "  batched    (one engine, reused):      {batched_ms:>8.2} ms  ({speedup_batched:.2}x)"
     );
-    println!("  parallel   ({workers} workers):            {parallel_ms:>8.2} ms  ({speedup_parallel:.2}x)");
+    println!("  parallel   ({workers_used} of {workers} pool workers):   {parallel_ms:>8.2} ms  ({speedup_parallel:.2}x)");
     println!("  service    (cold cache):              {service_cold_ms:>8.2} ms");
     println!("  service    (warm cache):              {service_warm_ms:>8.2} ms");
     println!("  engine     ({WARM_ROUNDS} warm rounds, 1 plan):  {engine_warm_round_ms:>8.2} ms");
+    println!(
+        "  sweep      ({SWEEP_PASSES}x{SWEEP_POINTS}-point fixed shape): {shape_warm_sweep_ms:>8.2} ms  \
+         ({points_per_sec:.0} points/s)"
+    );
     println!(
         "  host       ({HOST_ROUNDS} rounds, spawn/round):   {host_spawn_ms:>8.2} ms  \
          vs one pair {host_session_ms:>8.2} ms  ({host_session_speedup:.2}x)"
@@ -218,6 +291,8 @@ fn main() -> Result<()> {
                 ("parallel_ms", parallel_ms),
                 ("service_cold_ms", service_cold_ms),
                 ("engine_warm_round_ms", engine_warm_round_ms),
+                // Gates points_per_sec too: it is this metric's reciprocal.
+                ("shape_warm_sweep_ms", shape_warm_sweep_ms),
                 ("host_spawn_ms", host_spawn_ms),
                 ("host_session_ms", host_session_ms),
             ],
@@ -245,10 +320,14 @@ fn main() -> Result<()> {
 
     let json = format!(
         "{{\n  \"rounds\": {ROUNDS},\n  \"payload_bits\": {BITS},\n  \"workers\": {workers},\n  \
+         \"workers_used\": {workers_used},\n  \
          \"sequential_fresh_ms\": {sequential_fresh_ms:.3},\n  \"batched_ms\": {batched_ms:.3},\n  \
          \"parallel_ms\": {parallel_ms:.3},\n  \"service_cold_ms\": {service_cold_ms:.3},\n  \
          \"service_warm_ms\": {service_warm_ms:.3},\n  \"engine_warm_rounds\": {WARM_ROUNDS},\n  \
          \"engine_warm_round_ms\": {engine_warm_round_ms:.3},\n  \
+         \"sweep_points\": {SWEEP_POINTS},\n  \"sweep_passes\": {SWEEP_PASSES},\n  \
+         \"shape_warm_sweep_ms\": {shape_warm_sweep_ms:.3},\n  \
+         \"points_per_sec\": {points_per_sec:.3},\n  \
          \"host_rounds\": {HOST_ROUNDS},\n  \"host_spawn_ms\": {host_spawn_ms:.3},\n  \
          \"host_session_ms\": {host_session_ms:.3},\n  \
          \"host_session_speedup\": {host_session_speedup:.3},\n  \

@@ -9,6 +9,7 @@ use mes_scenario::ScenarioProfile;
 use mes_stats::{BerReport, ThroughputReport};
 use mes_types::{BitString, Nanos, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything measured during one transmission round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,7 +92,7 @@ impl TransmissionReport {
 #[derive(Debug, Clone)]
 pub struct CovertChannel {
     config: ChannelConfig,
-    profile: ScenarioProfile,
+    profile: Arc<ScenarioProfile>,
     codec: FrameCodec,
 }
 
@@ -99,11 +100,17 @@ impl CovertChannel {
     /// Creates a channel after validating the configuration against the
     /// profile.
     ///
+    /// Accepts an owned profile or an `Arc<ScenarioProfile>`; grid compilers
+    /// hand every channel of an experiment the same `Arc`, so building a
+    /// thousand-point grid shares one profile allocation instead of deep
+    /// cloning it per point.
+    ///
     /// # Errors
     ///
     /// Returns an error if the mechanism is unavailable in the scenario or
     /// the configuration is invalid.
-    pub fn new(config: ChannelConfig, profile: ScenarioProfile) -> Result<Self> {
+    pub fn new(config: ChannelConfig, profile: impl Into<Arc<ScenarioProfile>>) -> Result<Self> {
+        let profile = profile.into();
         profile.require(config.mechanism)?;
         config.validate()?;
         let codec =
@@ -122,6 +129,12 @@ impl CovertChannel {
 
     /// The deployment profile.
     pub fn profile(&self) -> &ScenarioProfile {
+        &self.profile
+    }
+
+    /// The shared handle to the deployment profile (cheap to clone into
+    /// backends and worker factories).
+    pub fn shared_profile(&self) -> &Arc<ScenarioProfile> {
         &self.profile
     }
 

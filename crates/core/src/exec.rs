@@ -251,8 +251,10 @@ impl RoundExecutor {
         base_seed: u64,
     ) -> Result<Vec<TransmissionReport>> {
         let (wires, plans) = channel.compile_batch(payloads)?;
-        let profile = channel.profile().clone();
-        let observations = self.execute(&plans, || SimBackend::new(profile.clone(), base_seed))?;
+        let profile = std::sync::Arc::clone(channel.shared_profile());
+        let observations = self.execute(&plans, || {
+            SimBackend::new(std::sync::Arc::clone(&profile), base_seed)
+        })?;
         Ok(channel.recover_batch(payloads, &wires, &observations))
     }
 }

@@ -22,44 +22,24 @@ use mes_coding::{BitSource, PayloadSpec, SymbolAlphabet};
 use mes_scenario::ScenarioProfile;
 use mes_stats::{LabeledSeries, SweepSeries};
 use mes_types::{BitString, ChannelTiming, Mechanism, Micros, Result};
-use std::fmt::Write as _;
-
-/// FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Streams a value's `Debug` rendering through an FNV-1a fold without
-/// materializing the string (plans for 20 000-bit payloads debug-print to
-/// hundreds of kilobytes).
-struct FnvWriter(u64);
-
-impl std::fmt::Write for FnvWriter {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        for byte in s.as_bytes() {
-            self.0 ^= u64::from(*byte);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-        Ok(())
-    }
-}
-
-fn debug_fingerprint(value: &dyn std::fmt::Debug) -> u64 {
-    let mut writer = FnvWriter(FNV_OFFSET);
-    write!(writer, "{value:?}").expect("FnvWriter never fails");
-    writer.0
-}
+use std::sync::Arc;
 
 /// A stable fingerprint of a transmission plan, covering every field that
 /// influences its execution (actions, timing, seed, mechanism, sync flags).
+///
+/// Structural (the plan's `Hash` stream through `mes_types::Fnv64`) and
+/// allocation-free — the previous implementation formatted the plan's
+/// `Debug` rendering, which for 20 000-bit payloads streamed hundreds of
+/// kilobytes of text per cache lookup.
 pub fn plan_fingerprint(plan: &TransmissionPlan) -> u64 {
-    debug_fingerprint(plan)
+    plan.fingerprint()
 }
 
 /// A stable fingerprint of a deployment profile, covering the scenario, the
-/// noise model and the session layout.
+/// noise model (floats hashed by bit pattern) and the session layout.
+/// Structural and allocation-free, like [`plan_fingerprint`].
 pub fn profile_fingerprint(profile: &ScenarioProfile) -> u64 {
-    debug_fingerprint(profile)
+    mes_types::fingerprint_of(profile)
 }
 
 /// How one compiled point decodes its observation.
@@ -88,7 +68,9 @@ struct CompiledPoint {
 /// An [`ExperimentSpec`] compiled down to plans and decoders, ready to run.
 pub struct CompiledExperiment {
     name: String,
-    profile: ScenarioProfile,
+    /// Shared with every compiled channel and handed to executor workers —
+    /// one profile allocation per experiment, not per point or per worker.
+    profile: Arc<ScenarioProfile>,
     base_seed: u64,
     x_label: String,
     capture_latencies: bool,
@@ -127,8 +109,11 @@ impl CompiledExperiment {
     ///
     /// Same conditions as [`CompiledExperiment::compile`].
     pub fn compile_with_profile(spec: &ExperimentSpec, profile: &ScenarioProfile) -> Result<Self> {
+        // One deep clone into an `Arc` per compilation; every channel and
+        // worker of the experiment shares it from here on.
+        let profile = Arc::new(profile.clone());
         let mut grid = GridBuilder {
-            profile,
+            profile: &profile,
             series_labels: Vec::new(),
             points: Vec::new(),
             plans: Vec::new(),
@@ -191,7 +176,7 @@ impl CompiledExperiment {
                     // mechanism-mixed seed while seeding the channel with the
                     // base seed itself; reproduce both exactly.
                     let config = ChannelConfig::new(mechanism, timing)?.with_seed(spec.base_seed);
-                    let channel = CovertChannel::new(config, profile.clone())?;
+                    let channel = CovertChannel::new(config, Arc::clone(&profile))?;
                     let payload =
                         BitSource::new(spec.base_seed.wrapping_mul(31) ^ mechanism as u64)
                             .random_bits(*payload_bits);
@@ -226,7 +211,7 @@ impl CompiledExperiment {
                     let channel = SymbolChannel::new(
                         alphabet,
                         Mechanism::Event,
-                        profile.clone(),
+                        Arc::clone(&profile),
                         channel_seed + u64::from(k),
                     )?;
                     let payload =
@@ -265,16 +250,23 @@ impl CompiledExperiment {
                 }
             }
         }
+        let GridBuilder {
+            table_rows,
+            series_labels,
+            points,
+            plans,
+            ..
+        } = grid;
         Ok(CompiledExperiment {
             name: spec.name.clone(),
-            profile: profile.clone(),
+            profile,
             base_seed: spec.base_seed,
             x_label: spec.x_label.clone(),
             capture_latencies: spec.capture_latencies,
-            table_rows: grid.table_rows,
-            series_labels: grid.series_labels,
-            points: grid.points,
-            plans: grid.plans,
+            table_rows,
+            series_labels,
+            points,
+            plans,
         })
     }
 
@@ -286,6 +278,12 @@ impl CompiledExperiment {
 
     /// The profile every point runs under.
     pub fn profile(&self) -> &ScenarioProfile {
+        &self.profile
+    }
+
+    /// The shared handle to the profile (cheap to clone into executor
+    /// worker factories).
+    pub fn shared_profile(&self) -> &Arc<ScenarioProfile> {
         &self.profile
     }
 
@@ -341,7 +339,7 @@ impl CompiledExperiment {
     /// decoded.
     pub fn run_with_executor(&self, executor: &RoundExecutor) -> Result<ExperimentResult> {
         let observations = executor.execute(&self.plans, || {
-            crate::backend::SimBackend::new(self.profile.clone(), self.base_seed)
+            crate::backend::SimBackend::new(Arc::clone(&self.profile), self.base_seed)
         })?;
         let refs: Vec<&Observation> = observations.iter().collect();
         self.fold(&refs, &[], &mut NullSink)
@@ -464,7 +462,7 @@ impl CompiledExperiment {
 
 /// Accumulator shared by the grid kinds during compilation.
 struct GridBuilder<'a> {
-    profile: &'a ScenarioProfile,
+    profile: &'a Arc<ScenarioProfile>,
     series_labels: Vec<String>,
     points: Vec<CompiledPoint>,
     plans: Vec<TransmissionPlan>,
@@ -497,7 +495,7 @@ impl GridBuilder<'_> {
         if !inter_bit_sync {
             config = config.without_inter_bit_sync();
         }
-        let channel = CovertChannel::new(config, self.profile.clone())?;
+        let channel = CovertChannel::new(config, Arc::clone(self.profile))?;
         let payload = payload.materialize(seed)?;
         let (round, plan) = PreparedRound::new(channel, payload)?;
         self.points.push(CompiledPoint {

@@ -317,12 +317,13 @@ impl SweepService {
 
         // Only the rounds the cache has not seen run; they keep their
         // original grid indices, so their observations are bit-identical to
-        // a full uncached execution of the same grid.
-        let profile = compiled.profile().clone();
+        // a full uncached execution of the same grid. Workers share the
+        // compiled experiment's profile allocation.
+        let profile = std::sync::Arc::clone(compiled.shared_profile());
         let base_seed = compiled.base_seed();
-        let fresh = self
-            .executor
-            .execute_rounds(&misses, || SimBackend::new(profile.clone(), base_seed))?;
+        let fresh = self.executor.execute_rounds(&misses, || {
+            SimBackend::new(std::sync::Arc::clone(&profile), base_seed)
+        })?;
         let mut fresh_by_index: Vec<Option<Observation>> = (0..keys.len()).map(|_| None).collect();
         for (request, observation) in misses.iter().zip(fresh) {
             fresh_by_index[request.round_index as usize] = Some(observation);

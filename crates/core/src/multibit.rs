@@ -14,6 +14,7 @@ use mes_scenario::ScenarioProfile;
 use mes_stats::{BerReport, ThroughputReport};
 use mes_types::{BitString, Mechanism, Nanos, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of one multi-bit symbol transmission round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,7 +98,7 @@ impl SymbolTransmissionReport {
 pub struct SymbolChannel {
     alphabet: SymbolAlphabet,
     mechanism: Mechanism,
-    profile: ScenarioProfile,
+    profile: Arc<ScenarioProfile>,
     seed: u64,
     /// Number of known calibration symbols (one full sweep of the alphabet)
     /// prepended so the Spy can estimate the protocol-overhead offset.
@@ -115,9 +116,10 @@ impl SymbolChannel {
     pub fn new(
         alphabet: SymbolAlphabet,
         mechanism: Mechanism,
-        profile: ScenarioProfile,
+        profile: impl Into<Arc<ScenarioProfile>>,
         seed: u64,
     ) -> Result<Self> {
+        let profile = profile.into();
         profile.require(mechanism)?;
         if !mechanism.is_cooperation_based() {
             return Err(mes_types::MesError::InvalidConfig {
@@ -140,7 +142,7 @@ impl SymbolChannel {
     /// # Errors
     ///
     /// Propagates [`SymbolChannel::new`] errors (none for this combination).
-    pub fn paper_section_six(profile: ScenarioProfile, seed: u64) -> Result<Self> {
+    pub fn paper_section_six(profile: impl Into<Arc<ScenarioProfile>>, seed: u64) -> Result<Self> {
         SymbolChannel::new(
             SymbolAlphabet::paper_two_bit(),
             Mechanism::Event,

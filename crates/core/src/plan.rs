@@ -9,11 +9,12 @@
 //! and signal operations while the Spy measures its constraint times.
 
 use crate::config::ChannelConfig;
-use mes_types::{Mechanism, Micros};
+use mes_types::{Fnv64, Mechanism, Micros};
 use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
 
 /// What the Trojan does during one transmitted slot (bit or symbol).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SlotAction {
     /// Contention channels, logical `1`: enter the critical section and hold
     /// the resource for the given time; the Spy's acquisition blocks.
@@ -39,10 +40,20 @@ impl SlotAction {
     pub fn is_signal(&self) -> bool {
         matches!(self, SlotAction::SignalAfter(_))
     }
+
+    /// The action's kind, ignoring its duration — the per-slot unit of a
+    /// plan's *shape* (see [`TransmissionPlan::shape_fingerprint`]).
+    fn kind_tag(&self) -> u8 {
+        match self {
+            SlotAction::Occupy(_) => 0,
+            SlotAction::Idle(_) => 1,
+            SlotAction::SignalAfter(_) => 2,
+        }
+    }
 }
 
 /// A complete, mechanism-annotated plan for one transmission round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct TransmissionPlan {
     /// The MESM carrying the transmission.
     pub mechanism: Mechanism,
@@ -107,6 +118,40 @@ impl TransmissionPlan {
         self.actions.is_empty()
     }
 
+    /// The plan's structural fingerprint, covering every field that
+    /// influences execution (actions with their durations, timing, sync
+    /// flags, seed). Equal plans always fingerprint equally; this is the
+    /// exact-plan cache key of the experiment layer, computed without
+    /// allocating.
+    pub fn fingerprint(&self) -> u64 {
+        mes_types::fingerprint_of(self)
+    }
+
+    /// The plan's *shape* fingerprint: everything that determines the
+    /// compiled Trojan/Spy program **structure**, deliberately excluding
+    /// every duration (slot times, spy offset, per-slot work) and the seed.
+    ///
+    /// Two plans with equal shapes compile to op-for-op identical programs
+    /// up to the durations carried inside the ops, which is what lets
+    /// `SimBackend` patch a cached program pair in place instead of
+    /// recompiling when a duration sweep moves to its next point. Covered:
+    /// the mechanism, the per-slot action kinds (in order), the inter-bit
+    /// sync flag, the provisioned semaphore resources (they size the created
+    /// kernel object) and whether any per-slot protocol work exists at all
+    /// (zero work emits no `Compute` op).
+    pub fn shape_fingerprint(&self) -> u64 {
+        let mut hasher = Fnv64::new();
+        self.mechanism.hash(&mut hasher);
+        self.inter_bit_sync.hash(&mut hasher);
+        self.provisioned_resources.hash(&mut hasher);
+        (self.trojan_slot_work > Micros::ZERO).hash(&mut hasher);
+        (self.actions.len() as u64).hash(&mut hasher);
+        for action in &self.actions {
+            hasher.write_u8(action.kind_tag());
+        }
+        hasher.finish()
+    }
+
     /// Sum of the nominal slot durations — a lower bound on the transmission
     /// time.
     pub fn nominal_duration(&self) -> Micros {
@@ -166,6 +211,62 @@ mod tests {
         )
         .with_slot_work(Micros::new(20));
         assert_eq!(plan.nominal_duration(), Micros::new(160 + 60 + 40));
+    }
+
+    #[test]
+    fn shape_fingerprint_ignores_durations_but_not_structure() {
+        let cfg = config();
+        let base = TransmissionPlan::new(
+            vec![
+                SlotAction::Occupy(Micros::new(160)),
+                SlotAction::Idle(Micros::new(60)),
+            ],
+            &cfg,
+        );
+        // Same kinds, different durations, different seed: same shape,
+        // different exact fingerprint.
+        let stretched = TransmissionPlan::new(
+            vec![
+                SlotAction::Occupy(Micros::new(320)),
+                SlotAction::Idle(Micros::new(90)),
+            ],
+            &cfg,
+        )
+        .with_seed(base.seed ^ 1);
+        assert_eq!(base.shape_fingerprint(), stretched.shape_fingerprint());
+        assert_ne!(base.fingerprint(), stretched.fingerprint());
+
+        // Flipping an action kind, the sync flag, the provisioned resources
+        // or the existence of slot work all change the shape.
+        let flipped = TransmissionPlan::new(
+            vec![
+                SlotAction::Idle(Micros::new(160)),
+                SlotAction::Idle(Micros::new(60)),
+            ],
+            &cfg,
+        );
+        assert_ne!(base.shape_fingerprint(), flipped.shape_fingerprint());
+        let mut unsynced = base.clone();
+        unsynced.inter_bit_sync = false;
+        assert_ne!(base.shape_fingerprint(), unsynced.shape_fingerprint());
+        let provisioned = base.clone().with_provisioned_resources(3);
+        assert_ne!(base.shape_fingerprint(), provisioned.shape_fingerprint());
+        let worked = base.clone().with_slot_work(Micros::new(5));
+        assert_ne!(base.shape_fingerprint(), worked.shape_fingerprint());
+        // ... but the *value* of nonzero slot work is a duration, not shape.
+        let worked_more = base.clone().with_slot_work(Micros::new(9));
+        assert_eq!(worked.shape_fingerprint(), worked_more.shape_fingerprint());
+    }
+
+    #[test]
+    fn equal_plans_fingerprint_equally() {
+        let cfg = config();
+        let plan = TransmissionPlan::new(vec![SlotAction::Occupy(Micros::new(160))], &cfg);
+        assert_eq!(plan.fingerprint(), plan.clone().fingerprint());
+        assert_ne!(
+            plan.fingerprint(),
+            plan.clone().with_seed(plan.seed ^ 1).fingerprint()
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub use calibration::{
 
 /// Everything the channel layer needs to know about where the Trojan and the
 /// Spy run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` is structural (noise-model floats are hashed by bit pattern) and
+/// feeds the experiment cache's profile fingerprint; equal profiles always
+/// fingerprint equally, and any parameter tweak changes the fingerprint.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct ScenarioProfile {
     scenario: Scenario,
     noise: NoiseModel,

@@ -160,6 +160,10 @@ pub struct Engine {
     woken_scratch: Vec<ProcessId>,
     /// Scratch for processes released by one opening barrier.
     barrier_scratch: Vec<ProcessId>,
+    /// Empty placeholder program installed into retired process slots on
+    /// reset, so the engine never pins a caller's `Arc<Program>` across
+    /// rounds (required for in-place program patching via `Arc::get_mut`).
+    idle_program: Arc<Program>,
 }
 
 impl Engine {
@@ -181,6 +185,7 @@ impl Engine {
             executed_ops: 0,
             woken_scratch: Vec::new(),
             barrier_scratch: Vec::new(),
+            idle_program: Arc::new(Program::new("idle")),
         }
     }
 
@@ -202,6 +207,15 @@ impl Engine {
     pub fn reset(&mut self, noise: NoiseModel, seed: u64) {
         self.noise = noise;
         self.rng = SimRng::seed_from(seed);
+        // Release the round's program references before retiring the slots:
+        // a reset engine holds no caller `Arc<Program>`, so backends may
+        // re-acquire unique ownership (`Arc::get_mut`) and patch cached
+        // programs in place between rounds. Retired slots always hold the
+        // placeholder, so releasing the live ones is sufficient.
+        let idle = Arc::clone(&self.idle_program);
+        for state in self.processes.iter_mut() {
+            state.park_program(&idle);
+        }
         self.processes.rewind();
         self.objects.rewind();
         self.namespace.clear();
@@ -1136,6 +1150,31 @@ mod tests {
         // 4 trojan ops + 7 spy ops, with the spy's blocked FlockExclusive
         // charged again when it re-executes after wake-up.
         assert_eq!(reused.executed_ops, 12);
+    }
+
+    #[test]
+    fn reset_releases_shared_program_references() {
+        let mut program = Arc::new(Program::new("p").op(Op::Compute {
+            duration: Nanos::new(5),
+        }));
+        let mut engine = noiseless_engine();
+        engine.spawn_shared(Arc::clone(&program));
+        engine.run_in_place().unwrap();
+        assert_eq!(
+            Arc::strong_count(&program),
+            2,
+            "the engine holds the program while the round's state is live"
+        );
+        engine.reset(NoiseModel::noiseless(), 1);
+        assert!(
+            Arc::get_mut(&mut program).is_some(),
+            "a reset engine must not pin the program: in-place patching \
+             relies on re-acquiring unique ownership between rounds"
+        );
+        // And the engine still runs correctly after the release.
+        engine.spawn_shared(Arc::clone(&program));
+        engine.run_in_place().unwrap();
+        assert_eq!(engine.executed_ops(), 1);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod fs;
 pub mod kernel;
 pub mod noise;
 pub mod ops;
+pub mod patch;
 pub mod process;
 pub mod rng;
 pub mod trace;
@@ -70,6 +71,7 @@ pub use kernel::namespace::SessionId;
 pub use kernel::object::{KernelObject, ObjectKind};
 pub use noise::{CostClass, NoiseModel, Preemption};
 pub use ops::Op;
+pub use patch::ProgramPatcher;
 pub use process::{Measurement, ProcessName, Program};
 pub use rng::SimRng;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -13,6 +13,7 @@
 use crate::rng::SimRng;
 use mes_types::Nanos;
 use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
 
 /// Categories of simulated operations that consume CPU time.
 ///
@@ -57,6 +58,13 @@ pub struct CostSpec {
     pub std_dev_ns: f64,
 }
 
+impl Hash for CostSpec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.mean_ns.to_bits().hash(state);
+        self.std_dev_ns.to_bits().hash(state);
+    }
+}
+
 impl CostSpec {
     /// A fixed, jitter-free cost.
     pub const fn fixed(mean_ns: f64) -> Self {
@@ -95,6 +103,16 @@ pub struct Preemption {
     pub long_min_us: f64,
     /// Maximum duration of a long disturbance in microseconds (uniform).
     pub long_max_us: f64,
+}
+
+impl Hash for Preemption {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.short_rate_per_us.to_bits().hash(state);
+        self.short_mean_us.to_bits().hash(state);
+        self.long_rate_per_us.to_bits().hash(state);
+        self.long_min_us.to_bits().hash(state);
+        self.long_max_us.to_bits().hash(state);
+    }
 }
 
 impl Preemption {
@@ -139,6 +157,13 @@ pub struct OpenResourceInterference {
     pub occupancy_mean_us: f64,
 }
 
+impl Hash for OpenResourceInterference {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.contention_probability.to_bits().hash(state);
+        self.occupancy_mean_us.to_bits().hash(state);
+    }
+}
+
 /// All timing-noise parameters of a simulated deployment.
 ///
 /// # Examples
@@ -178,7 +203,7 @@ pub struct NoiseModel {
 }
 
 /// Operation costs per [`CostClass`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct CostTable {
     /// Cost of fast kernel-object calls.
     pub kernel_object_call: CostSpec,
@@ -230,6 +255,21 @@ impl CostTable {
             CostClass::LoopIteration => self.loop_iteration = spec,
         }
         self
+    }
+}
+
+/// Structural hash for cache fingerprinting (floats hashed by bit pattern,
+/// so any parameter change — however small — changes the fingerprint).
+impl Hash for NoiseModel {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.min_sleep_ns.to_bits().hash(state);
+        self.sleep_wakeup_latency_ns.to_bits().hash(state);
+        self.sleep_wakeup_jitter_ns.to_bits().hash(state);
+        self.wait_wakeup_latency_ns.to_bits().hash(state);
+        self.wait_wakeup_jitter_ns.to_bits().hash(state);
+        self.costs.hash(state);
+        self.preemption.hash(state);
+        self.open_interference.hash(state);
     }
 }
 

@@ -1,0 +1,307 @@
+//! In-place duration patching of compiled programs.
+//!
+//! A duration sweep runs the *same program shape* at every point: the op
+//! sequence of the Trojan/Spy pair is fixed, only the durations carried
+//! inside `SleepFor`/`Compute`/`SetTimer` ops move. Recompiling the pair per
+//! point costs two op-list allocations plus every owned string inside the
+//! ops; a [`ProgramPatcher`] instead walks the existing op list once,
+//! rewrites the duration fields in place and **verifies** every structural
+//! field it passes (op kind, handles, descriptors, slots, object kinds), so
+//! a shape mismatch can never silently produce a half-patched program — the
+//! caller observes the failure via [`ProgramPatcher::finish`] and recompiles.
+//!
+//! The walk allocates nothing, which is what extends the simulator's
+//! zero-allocation guarantee from *fixed-plan* to *fixed-shape* warm
+//! batches (see `tests/alloc_regression.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mes_sim::{Op, Program};
+//! use mes_types::{Micros, Nanos};
+//!
+//! let mut program = Program::new("trojan")
+//!     .op(Op::SleepFor { duration: Micros::new(80).to_nanos() })
+//!     .op(Op::Compute { duration: Micros::new(10).to_nanos() });
+//!
+//! let mut patcher = program.patcher();
+//! patcher.sleep_for(Micros::new(120).to_nanos());
+//! patcher.compute(Micros::new(5).to_nanos());
+//! assert!(patcher.finish(), "structure matched, all ops visited");
+//! assert_eq!(
+//!     program.ops()[0],
+//!     Op::SleepFor { duration: Micros::new(120).to_nanos() },
+//! );
+//! ```
+
+use crate::kernel::object::ObjectKind;
+use crate::ops::Op;
+use crate::process::Program;
+use mes_types::{FdId, HandleId, Nanos};
+
+/// A cursor over a program's ops that overwrites duration fields and
+/// verifies structural fields, op by op.
+///
+/// Obtained from [`Program::patcher`]. The caller replays the program's
+/// construction sequence against the patcher; each call advances the cursor
+/// by one op. Any mismatch — wrong op kind, wrong handle/descriptor/slot, a
+/// shorter or longer op list — latches a failure that
+/// [`ProgramPatcher::finish`] reports, leaving the caller to rebuild from
+/// scratch (the program may be partially patched at that point, so a failed
+/// patch must always be followed by a rebuild).
+#[derive(Debug)]
+pub struct ProgramPatcher<'a> {
+    ops: std::slice::IterMut<'a, Op>,
+    matched: bool,
+}
+
+impl Program {
+    /// Starts an in-place duration patch over this program's ops.
+    pub fn patcher(&mut self) -> ProgramPatcher<'_> {
+        ProgramPatcher {
+            ops: self.ops_mut().iter_mut(),
+            matched: true,
+        }
+    }
+}
+
+impl ProgramPatcher<'_> {
+    /// Advances to the next op and applies `visit`; latches failure when the
+    /// op list is exhausted or `visit` rejects the op.
+    fn advance(&mut self, visit: impl FnOnce(&mut Op) -> bool) {
+        if !self.matched {
+            return;
+        }
+        self.matched = match self.ops.next() {
+            Some(op) => visit(op),
+            None => false,
+        };
+    }
+
+    /// Patches a `SleepFor` op's duration.
+    pub fn sleep_for(&mut self, duration: Nanos) {
+        self.advance(|op| match op {
+            Op::SleepFor { duration: slot } => {
+                *slot = duration;
+                true
+            }
+            _ => false,
+        });
+    }
+
+    /// Patches a `Compute` op's duration.
+    pub fn compute(&mut self, duration: Nanos) {
+        self.advance(|op| match op {
+            Op::Compute { duration: slot } => {
+                *slot = duration;
+                true
+            }
+            _ => false,
+        });
+    }
+
+    /// Patches a `SetTimer` op's due time, verifying its handle.
+    pub fn set_timer(&mut self, handle: HandleId, due: Nanos) {
+        self.advance(|op| match op {
+            Op::SetTimer {
+                handle: h,
+                due: slot,
+            } if *h == handle => {
+                *slot = due;
+                true
+            }
+            _ => false,
+        });
+    }
+
+    /// Verifies a `CreateObject` op's kind and handle (the name is kept: it
+    /// depends only on structural inputs, never on durations).
+    pub fn create_object(&mut self, kind: ObjectKind, handle: HandleId) {
+        self.advance(
+            |op| matches!(op, Op::CreateObject { kind: k, handle: h, .. } if *k == kind && *h == handle),
+        );
+    }
+
+    /// Verifies an `OpenObject` op's handle.
+    pub fn open_object(&mut self, handle: HandleId) {
+        self.advance(|op| matches!(op, Op::OpenObject { handle: h, .. } if *h == handle));
+    }
+
+    /// Verifies an `OpenFile` op's descriptor.
+    pub fn open_file(&mut self, fd: FdId) {
+        self.advance(|op| matches!(op, Op::OpenFile { fd: f, .. } if *f == fd));
+    }
+
+    /// Verifies a `SetEvent` op's handle.
+    pub fn set_event(&mut self, handle: HandleId) {
+        self.advance(|op| matches!(op, Op::SetEvent { handle: h } if *h == handle));
+    }
+
+    /// Verifies a `ReleaseMutex` op's handle.
+    pub fn release_mutex(&mut self, handle: HandleId) {
+        self.advance(|op| matches!(op, Op::ReleaseMutex { handle: h } if *h == handle));
+    }
+
+    /// Verifies a `ReleaseSemaphore` op's handle and count.
+    pub fn release_semaphore(&mut self, handle: HandleId, count: u32) {
+        self.advance(
+            |op| matches!(op, Op::ReleaseSemaphore { handle: h, count: c } if *h == handle && *c == count),
+        );
+    }
+
+    /// Verifies a `WaitForSingleObject` op's handle.
+    pub fn wait_for_single_object(&mut self, handle: HandleId) {
+        self.advance(|op| matches!(op, Op::WaitForSingleObject { handle: h } if *h == handle));
+    }
+
+    /// Verifies a `FlockExclusive` op's descriptor.
+    pub fn flock_exclusive(&mut self, fd: FdId) {
+        self.advance(|op| matches!(op, Op::FlockExclusive { fd: f } if *f == fd));
+    }
+
+    /// Verifies a `FlockUnlock` op's descriptor.
+    pub fn flock_unlock(&mut self, fd: FdId) {
+        self.advance(|op| matches!(op, Op::FlockUnlock { fd: f } if *f == fd));
+    }
+
+    /// Verifies a `TimestampStart` op's slot.
+    pub fn timestamp_start(&mut self, slot: u32) {
+        self.advance(|op| matches!(op, Op::TimestampStart { slot: s } if *s == slot));
+    }
+
+    /// Verifies a `TimestampEnd` op's slot.
+    pub fn timestamp_end(&mut self, slot: u32) {
+        self.advance(|op| matches!(op, Op::TimestampEnd { slot: s } if *s == slot));
+    }
+
+    /// Verifies a `Barrier` op's id.
+    pub fn barrier(&mut self, id: u32) {
+        self.advance(|op| matches!(op, Op::Barrier { id: i } if *i == id));
+    }
+
+    /// Finishes the patch: `true` iff every op matched its replayed
+    /// counterpart **and** the whole op list was visited. On `false` the
+    /// program must be considered corrupt (partially patched) and rebuilt.
+    pub fn finish(mut self) -> bool {
+        self.matched && self.ops.next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mes_types::Micros;
+
+    fn timed_program() -> Program {
+        Program::new("p")
+            .op(Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(1),
+            })
+            .op(Op::FlockExclusive { fd: FdId::new(1) })
+            .op(Op::SleepFor {
+                duration: Micros::new(100).to_nanos(),
+            })
+            .op(Op::FlockUnlock { fd: FdId::new(1) })
+    }
+
+    #[test]
+    fn matching_replay_patches_durations_in_place() {
+        let mut program = timed_program();
+        let mut patcher = program.patcher();
+        patcher.open_file(FdId::new(1));
+        patcher.flock_exclusive(FdId::new(1));
+        patcher.sleep_for(Micros::new(250).to_nanos());
+        patcher.flock_unlock(FdId::new(1));
+        assert!(patcher.finish());
+        assert_eq!(
+            program.ops()[2],
+            Op::SleepFor {
+                duration: Micros::new(250).to_nanos()
+            }
+        );
+        // Structural ops untouched.
+        assert_eq!(
+            program.ops()[0],
+            Op::OpenFile {
+                path: "/f".into(),
+                fd: FdId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_op_kind_fails_the_patch() {
+        let mut program = timed_program();
+        let mut patcher = program.patcher();
+        patcher.open_file(FdId::new(1));
+        patcher.compute(Nanos::new(5)); // actual op is FlockExclusive
+        patcher.flock_unlock(FdId::new(1));
+        patcher.sleep_for(Nanos::new(1));
+        assert!(!patcher.finish());
+    }
+
+    #[test]
+    fn wrong_structural_field_fails_the_patch() {
+        let mut program = timed_program();
+        let mut patcher = program.patcher();
+        patcher.open_file(FdId::new(9)); // wrong descriptor
+        assert!(!patcher.finish());
+    }
+
+    #[test]
+    fn unvisited_tail_fails_the_patch() {
+        let mut program = timed_program();
+        let mut patcher = program.patcher();
+        patcher.open_file(FdId::new(1));
+        assert!(!patcher.finish(), "three ops were never visited");
+    }
+
+    #[test]
+    fn replaying_past_the_end_fails_the_patch() {
+        let mut program = Program::new("p").op(Op::Barrier { id: 0 });
+        let mut patcher = program.patcher();
+        patcher.barrier(0);
+        patcher.barrier(1);
+        assert!(!patcher.finish());
+    }
+
+    #[test]
+    fn kernel_object_ops_verify_their_fields() {
+        let h = HandleId::new(2);
+        let mut program = Program::new("p")
+            .op(Op::CreateObject {
+                name: "sem".into(),
+                kind: ObjectKind::semaphore(0, 8),
+                handle: h,
+            })
+            .op(Op::WaitForSingleObject { handle: h })
+            .op(Op::ReleaseSemaphore {
+                handle: h,
+                count: 1,
+            })
+            .op(Op::SetTimer {
+                handle: h,
+                due: Nanos::new(10),
+            });
+        let mut patcher = program.patcher();
+        patcher.create_object(ObjectKind::semaphore(0, 8), h);
+        patcher.wait_for_single_object(h);
+        patcher.release_semaphore(h, 1);
+        patcher.set_timer(h, Nanos::new(99));
+        assert!(patcher.finish());
+        assert_eq!(
+            program.ops()[3],
+            Op::SetTimer {
+                handle: h,
+                due: Nanos::new(99)
+            }
+        );
+
+        // A different object kind (e.g. a resized semaphore) is structural
+        // and must fail instead of silently keeping the old size.
+        let mut patcher = program.patcher();
+        patcher.create_object(ObjectKind::semaphore(0, 9), h);
+        assert!(!patcher.finish());
+    }
+}

@@ -107,6 +107,12 @@ impl Program {
         &self.ops
     }
 
+    /// Mutable access to the ops for the in-place duration patcher
+    /// (see [`crate::patch::ProgramPatcher`]).
+    pub(crate) fn ops_mut(&mut self) -> &mut [Op] {
+        &mut self.ops
+    }
+
     /// Number of ops.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -192,6 +198,17 @@ impl ProcessState {
             open_windows: HashMap::new(),
             measurements: Vec::new(),
         }
+    }
+
+    /// Replaces the program reference with a shared placeholder so the real
+    /// program's `Arc` strong count drops back to its external holders.
+    ///
+    /// Called on every retired state by `Engine::reset`: without it, retired
+    /// slots would pin the previous round's programs alive and
+    /// `Arc::get_mut`-based in-place duration patching (the shape-keyed
+    /// program cache) could never re-acquire unique ownership.
+    pub(crate) fn park_program(&mut self, placeholder: &Arc<Program>) {
+        self.program = Arc::clone(placeholder);
     }
 
     /// Reinitialises a retired state for a new process, keeping the capacity

@@ -1,0 +1,109 @@
+//! Structural fingerprinting: a deterministic 64-bit digest of any
+//! [`Hash`]-able value.
+//!
+//! The experiment cache keys every executed round by
+//! `(profile, plan, seed)` fingerprints. Those used to be computed by
+//! formatting the values' `Debug` representation into an FNV fold — correct,
+//! but a 20 000-bit plan renders to hundreds of kilobytes of text per
+//! lookup. [`fingerprint_of`] instead drives the value's structural
+//! [`Hash`] implementation through [`Fnv64`], visiting every field without
+//! materializing a single byte of text (and without allocating at all),
+//! which is what lets warm sweep loops compute cache keys per round.
+//!
+//! The digest is deterministic for a given build (no per-process random
+//! state, unlike [`std::collections::HashMap`]'s default hasher), so equal
+//! values always collide into the same key across threads and submissions
+//! of one process — the property the observation cache relies on.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`] with no per-process keying.
+///
+/// # Examples
+///
+/// ```
+/// use mes_types::{fingerprint_of, Fnv64};
+/// use std::hash::{Hash, Hasher};
+///
+/// let mut hasher = Fnv64::new();
+/// 42u64.hash(&mut hasher);
+/// assert_eq!(hasher.finish(), fingerprint_of(&42u64));
+/// assert_ne!(fingerprint_of(&42u64), fingerprint_of(&43u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.state ^= u64::from(*byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The structural fingerprint of a value: its [`Hash`] stream folded through
+/// [`Fnv64`]. Allocation-free; equal values always produce equal
+/// fingerprints within one build.
+pub fn fingerprint_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = Fnv64::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_share_a_fingerprint() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![1u64, 2, 3];
+        assert_eq!(fingerprint_of(&a), fingerprint_of(&b));
+    }
+
+    #[test]
+    fn distinct_values_differ() {
+        assert_ne!(fingerprint_of(&[1u8, 2]), fingerprint_of(&[2u8, 1]));
+        assert_ne!(fingerprint_of("a"), fingerprint_of("b"));
+        assert_ne!(fingerprint_of(&Some(0u8)), fingerprint_of(&None::<u8>));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_hashers() {
+        // Two independent hasher instances over the same stream agree — the
+        // determinism HashMap's RandomState deliberately lacks.
+        let value = (7u32, String::from("mes"), vec![true, false]);
+        assert_eq!(fingerprint_of(&value), fingerprint_of(&value));
+    }
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+        assert_eq!(Fnv64::default().finish(), FNV_OFFSET);
+    }
+}

@@ -23,6 +23,7 @@
 
 mod bits;
 mod error;
+mod fingerprint;
 mod ids;
 mod mechanism;
 mod params;
@@ -31,6 +32,7 @@ mod time;
 
 pub use bits::{Bit, BitString};
 pub use error::{MesError, Result};
+pub use fingerprint::{fingerprint_of, Fnv64};
 pub use ids::{FdId, FileId, HandleId, InodeId, ObjectId, ProcessId};
 pub use mechanism::{ChannelFamily, Mechanism, OsKind};
 pub use params::ChannelTiming;

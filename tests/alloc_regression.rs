@@ -1,19 +1,25 @@
 //! Allocation-regression gate for the persistent execution substrate.
 //!
-//! The contract under test: after one warm-up round of a fixed plan shape,
-//! a complete `mes-sim` round — `Engine::reset` (cursor rewind), two
-//! `spawn_shared` calls recycling process slots, `run_in_place`, and reading
-//! the measurements back through borrow-only accessors — performs **zero**
-//! heap allocations. The arena layer (`mes_sim::arena`) is what makes this
-//! hold; this test is what keeps it from silently rotting.
+//! The contract under test: after one warm-up round of a fixed plan
+//! **shape**, a complete `mes-sim` round — `Engine::reset` (cursor rewind),
+//! two `spawn_shared` calls recycling process slots, `run_in_place`, and
+//! reading the measurements back through borrow-only accessors — performs
+//! **zero** heap allocations. The arena layer (`mes_sim::arena`) is what
+//! makes this hold for repeated rounds of one plan; the shape-keyed program
+//! cache with in-place duration patching (`TransmissionPlan::
+//! shape_fingerprint` + `mes_sim::ProgramPatcher`) extends it to entire
+//! duration sweeps: after the sweep's first round, moving to the next
+//! sweep point patches the cached Trojan/Spy pair instead of recompiling,
+//! so the whole warm sweep allocates nothing in `mes-sim`. This test is
+//! what keeps both guarantees from silently rotting.
 //!
 //! The whole file is a single `#[test]` so no sibling test allocates
 //! concurrently while the counters are being read.
 
-use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend};
+use mes_core::{ChannelBackend, ChannelConfig, CovertChannel, SimBackend, TransmissionPlan};
 use mes_scenario::ScenarioProfile;
 use mes_sim::{Engine, Measurement, Program};
-use mes_types::{BitString, Mechanism, Nanos, Scenario};
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros, Nanos, Scenario};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -208,4 +214,83 @@ fn warm_rounds_of_a_fixed_plan_shape_allocate_zero_heap_in_mes_sim() {
         "warm SimBackend rounds should allocate at most the Observation \
          (got {backend_allocations} allocations over {rounds} rounds)"
     );
+
+    // ---- fixed-shape duration sweeps: the shape-keyed program cache -----
+    // A duration sweep re-uses one compiled program pair across all its
+    // points: same payload, same action kinds, only slot durations move.
+    // After the sweep's first round, advancing to the next point patches
+    // the cached pair in place (`Arc::get_mut` after `Engine::reset`), so
+    // the *entire warm sweep* — point transitions included — allocates
+    // nothing in `mes-sim` and only the per-round Observation on top.
+    //
+    // The Event shape covers the cooperation protocol (signal ops, timer
+    // noise); the flock shape additionally exercises barriers, the
+    // simulated filesystem and the unlock scratch path.
+    let payload = BitString::from_bytes(b"sweep");
+    let sweep_points = 18usize;
+    let event_plans: Vec<TransmissionPlan> = (0..sweep_points)
+        .map(|i| {
+            let timing = ChannelTiming::cooperation(
+                Micros::new(15 + 2 * i as u64),
+                Micros::new(65 + i as u64),
+            );
+            let config = ChannelConfig::new(Mechanism::Event, timing).unwrap();
+            let channel = CovertChannel::new(config, profile.clone()).unwrap();
+            channel.plan_for(&payload).unwrap().1
+        })
+        .collect();
+    let flock_plans: Vec<TransmissionPlan> = (0..sweep_points)
+        .map(|i| {
+            let timing = ChannelTiming::contention(
+                Micros::new(140 + 10 * i as u64),
+                Micros::new(60 + i as u64),
+            );
+            let config = ChannelConfig::new(Mechanism::Flock, timing).unwrap();
+            let channel = CovertChannel::new(config, profile.clone()).unwrap();
+            channel.plan_for(&payload).unwrap().1
+        })
+        .collect();
+
+    for (label, plans) in [("Event", &event_plans), ("flock", &flock_plans)] {
+        let shape = plans[0].shape_fingerprint();
+        assert!(
+            plans.iter().all(|p| p.shape_fingerprint() == shape),
+            "{label}: a duration sweep must be fixed-shape"
+        );
+        let mut backend = SimBackend::new(profile.clone(), 0x5EEB);
+        // The sweep's first round compiles the pair and grows the arenas.
+        backend.transmit_round(&plans[0], 0).expect("warm-up round");
+        let before = allocations();
+        let mut observed = 0u64;
+        for (point, plan) in plans.iter().enumerate() {
+            let observation = backend
+                .transmit_round(plan, point as u64)
+                .expect("warm sweep round");
+            assert_eq!(observation.len(), payload.len() + 8, "{label}");
+            observed += 1;
+        }
+        let sweep_allocations = allocations() - before;
+        assert!(
+            sweep_allocations <= 2 * observed,
+            "{label}: a warm fixed-shape duration sweep must allocate at most \
+             the per-round Observation — zero mes-sim allocations — but \
+             performed {sweep_allocations} allocations over {observed} rounds \
+             across {sweep_points} duration points"
+        );
+
+        // Patching must not trade allocations for correctness: each patched
+        // point is bit-identical to the same round on a fresh backend that
+        // compiled the plan from scratch.
+        let probe = sweep_points / 2;
+        let patched = backend
+            .transmit_round(&plans[probe], probe as u64)
+            .expect("patched probe round");
+        let rebuilt = SimBackend::new(profile.clone(), 0x5EEB)
+            .transmit_round(&plans[probe], probe as u64)
+            .expect("rebuilt probe round");
+        assert_eq!(
+            patched, rebuilt,
+            "{label}: patched sweep point must equal a fresh compilation"
+        );
+    }
 }

@@ -14,7 +14,7 @@ use mes_core::{
     TransmissionPlan,
 };
 use mes_scenario::ScenarioProfile;
-use mes_types::Scenario;
+use mes_types::{BitString, ChannelTiming, Mechanism, Micros, Scenario};
 
 const BASE_SEED: u64 = 0xBA7C;
 const ROUNDS: usize = 6;
@@ -81,6 +81,59 @@ fn multi_threaded_executor_equals_fresh_backend_rounds_for_every_mechanism() {
                     "{scenario}/{mechanism}: executor({workers}) != fresh rounds"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn fixed_shape_duration_sweeps_are_deterministic_across_worker_counts() {
+    // A duration sweep is the case the shape-keyed program cache optimizes:
+    // every plan shares one shape, so warm backends serve each point by
+    // patching the cached Trojan/Spy pair in place instead of recompiling.
+    // Worker backends claim points in arbitrary interleavings, so this test
+    // proves the patched-program path is bit-identical to fresh, round-seeded
+    // compilation regardless of execution order and worker count — for a
+    // cooperation shape (Event) and a barrier+filesystem shape (flock).
+    let profile = ScenarioProfile::local();
+    let payload = BitString::from_bytes(b"shape");
+    let sweeps: [(Mechanism, Vec<ChannelTiming>); 2] = [
+        (
+            Mechanism::Event,
+            (0..16)
+                .map(|i| ChannelTiming::cooperation(Micros::new(15 + 3 * i), Micros::new(65)))
+                .collect(),
+        ),
+        (
+            Mechanism::Flock,
+            (0..16)
+                .map(|i| ChannelTiming::contention(Micros::new(140 + 10 * i), Micros::new(60)))
+                .collect(),
+        ),
+    ];
+    for (mechanism, timings) in sweeps {
+        let plans: Vec<TransmissionPlan> = timings
+            .iter()
+            .map(|&timing| {
+                let config = ChannelConfig::new(mechanism, timing).unwrap();
+                let channel = CovertChannel::new(config, profile.clone()).unwrap();
+                channel.plan_for(&payload).unwrap().1
+            })
+            .collect();
+        let shape = plans[0].shape_fingerprint();
+        assert!(
+            plans.iter().all(|p| p.shape_fingerprint() == shape),
+            "{mechanism}: the sweep must be fixed-shape"
+        );
+
+        let expected = fresh_sequential(&profile, &plans);
+        for workers in [2, 4] {
+            let executed = RoundExecutor::new(workers)
+                .execute(&plans, || SimBackend::new(profile.clone(), BASE_SEED))
+                .unwrap();
+            assert_eq!(
+                executed, expected,
+                "{mechanism}: shape-patched sweep with {workers} workers != fresh rounds"
+            );
         }
     }
 }

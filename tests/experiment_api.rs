@@ -324,6 +324,81 @@ fn second_identical_submission_executes_zero_rounds() {
     );
 }
 
+#[test]
+fn structural_fingerprints_hit_the_cache_exactly_as_before() {
+    // The cache key used to be computed by hashing `Debug` renderings; it is
+    // now a structural hash of the plan/profile. This golden test pins the
+    // observable contract the rewrite must preserve: resubmitted grids hit
+    // entirely, overlapping grids share exactly their common points, and
+    // disjoint seeds never collide.
+    let narrow = ExperimentSpec::contention_grid(
+        "narrow",
+        Scenario::Local,
+        Mechanism::FileLockEx,
+        &[140, 180, 220],
+        60,
+        48,
+        0x90,
+    );
+    let wide = ExperimentSpec::contention_grid(
+        "wide",
+        Scenario::Local,
+        Mechanism::FileLockEx,
+        &[140, 180, 220, 260, 300],
+        60,
+        48,
+        0x90,
+    );
+    let reseeded = ExperimentSpec::contention_grid(
+        "reseeded",
+        Scenario::Local,
+        Mechanism::FileLockEx,
+        &[140, 180, 220],
+        60,
+        48,
+        0x91,
+    );
+
+    let mut service = SweepService::new(RoundExecutor::new(2));
+    let first = service.submit(&narrow).unwrap();
+    assert_eq!((first.rounds_executed, first.cache_hits), (3, 0));
+
+    let resubmitted = service.submit(&narrow).unwrap();
+    assert_eq!(
+        (resubmitted.rounds_executed, resubmitted.cache_hits),
+        (0, 3),
+        "resubmission must be answered entirely from cache"
+    );
+    assert_eq!(resubmitted.series, first.series);
+
+    let widened = service.submit(&wide).unwrap();
+    assert_eq!(
+        (widened.rounds_executed, widened.cache_hits),
+        (2, 3),
+        "the overlapping prefix must be served from cache"
+    );
+    let uncached_wide = SweepService::new(RoundExecutor::sequential())
+        .submit(&wide)
+        .unwrap();
+    assert_eq!(widened.series, uncached_wide.series);
+
+    let other_seed = service.submit(&reseeded).unwrap();
+    assert_eq!(
+        (other_seed.rounds_executed, other_seed.cache_hits),
+        (3, 0),
+        "a different base seed must never collide with cached points"
+    );
+
+    // The per-point provenance hash is the plan fingerprint; identical grid
+    // points must agree on it across submissions, and every point of the
+    // duration sweep shares one plan *shape* (what the backend patches).
+    for (a, b) in first.points.iter().zip(&resubmitted.points) {
+        assert_eq!(a.plan_hash, b.plan_hash);
+        assert_eq!(a.round_seed, b.round_seed);
+    }
+    assert!(first.points.iter().all(|p| p.plan_hash != 0));
+}
+
 // ---------------------------------------------------------------------------
 // Serde round trips (property-based).
 // ---------------------------------------------------------------------------
