@@ -31,6 +31,16 @@
 //!   `points_per_sec` is the throughput reading of the same measurement
 //!   (and is gated through `shape_warm_sweep_ms`, its reciprocal).
 //!
+//! The shape-aware executor scheduler adds the claim-order comparison:
+//!
+//! * `interleaved_sweep_ms` / `shape_grouped_sweep_ms` — one deliberately
+//!   shape-interleaved multi-mechanism batch (three mechanisms round-robin,
+//!   per-mechanism duration sweeps) executed under the legacy
+//!   one-round-at-a-time claim order vs the default shape-run-grouped,
+//!   chunk-claimed order; `shape_grouped_speedup` is their ratio, and the
+//!   two observations are asserted bit-identical before anything is
+//!   reported.
+//!
 //! All strategies are verified to produce bit-identical observations before
 //! any number is reported. If a committed `BENCH_batch.json` exists, the
 //! measured wall clocks are compared against it and the binary **exits
@@ -41,12 +51,12 @@
 //! Run with `cargo run --release -p mes-bench --bin batch_bench`.
 
 use mes_bench::wallclock_regressions;
-use mes_coding::PayloadSpec;
-use mes_core::exec::RoundExecutor;
+use mes_coding::{BitSource, PayloadSpec};
+use mes_core::exec::{RoundExecutor, SchedulePolicy};
 use mes_core::experiment::{CompiledExperiment, PointSpec};
 use mes_core::{
     round_seed, ChannelBackend, ChannelConfig, ExperimentSpec, Observation, SimBackend,
-    SweepService,
+    SweepService, TransmissionPlan,
 };
 use mes_host::HostCondvarBackend;
 use mes_stats::Json;
@@ -69,6 +79,11 @@ const SWEEP_PASSES: usize = 16;
 /// single-bit with tens-of-µs slots so per-round thread spawn/teardown —
 /// the cost the persistent pair removes — dominates the measurement.
 const HOST_ROUNDS: usize = 32;
+/// Rounds in the shape-interleaved scheduling batch (three mechanisms
+/// round-robin, so consecutive rounds never share a plan shape).
+const SCHED_ROUNDS: usize = 48;
+/// Payload bits per scheduling-batch round.
+const SCHED_BITS: usize = 96;
 
 fn best_of<T>(mut run: impl FnMut() -> T) -> (f64, T) {
     let mut best_ms = f64::INFINITY;
@@ -213,6 +228,64 @@ fn main() -> Result<()> {
         "shape-patched sweep point disagreed with fresh compilation"
     );
 
+    // Shape-aware scheduling: a deliberately shape-interleaved
+    // multi-mechanism batch — three mechanisms round-robin, each running its
+    // own duration sweep over a fixed payload, so the batch holds exactly
+    // three shapes and consecutive rounds never share one. Under the legacy
+    // `Interleaved` claim order every worker backend recompiles the
+    // Trojan/Spy pair it just evicted on almost every round; the default
+    // `ShapeGrouped` order stable-partitions the batch into shape runs and
+    // each backend patches one resident pair per run instead.
+    let sched_mechanisms = [Mechanism::Event, Mechanism::Flock, Mechanism::Mutex];
+    let sched_payloads: Vec<_> = (0..sched_mechanisms.len() as u64)
+        .map(|m| BitSource::new(0x5C4ED ^ m).random_bits(SCHED_BITS))
+        .collect();
+    let sched_plans: Vec<TransmissionPlan> = (0..SCHED_ROUNDS)
+        .map(|round| {
+            let mechanism = sched_mechanisms[round % sched_mechanisms.len()];
+            let step = (round / sched_mechanisms.len()) as u64;
+            let timing = match mechanism {
+                Mechanism::Event => {
+                    ChannelTiming::cooperation(Micros::new(15 + 2 * step), Micros::new(65))
+                }
+                Mechanism::Flock => {
+                    ChannelTiming::contention(Micros::new(140 + 10 * step), Micros::new(60))
+                }
+                _ => ChannelTiming::contention(Micros::new(230 + 10 * step), Micros::new(100)),
+            };
+            let config = ChannelConfig::new(mechanism, timing).expect("sched timing");
+            let channel =
+                mes_core::CovertChannel::new(config, profile.clone()).expect("sched channel");
+            channel
+                .plan_for(&sched_payloads[round % sched_mechanisms.len()])
+                .expect("sched plan")
+                .1
+        })
+        .collect();
+    assert!(
+        sched_plans
+            .windows(2)
+            .all(|pair| pair[0].shape_fingerprint() != pair[1].shape_fingerprint()),
+        "consecutive scheduling-batch rounds must not share a shape"
+    );
+    let (interleaved_sweep_ms, interleaved_obs) = best_of(|| {
+        executor
+            .with_policy(SchedulePolicy::Interleaved)
+            .execute(&sched_plans, || SimBackend::new(profile.clone(), SEED))
+            .expect("interleaved schedule runs")
+    });
+    let (shape_grouped_sweep_ms, grouped_obs) = best_of(|| {
+        executor
+            .with_policy(SchedulePolicy::ShapeGrouped)
+            .execute(&sched_plans, || SimBackend::new(profile.clone(), SEED))
+            .expect("shape-grouped schedule runs")
+    });
+    assert_eq!(
+        interleaved_obs, grouped_obs,
+        "claim order must not change observations"
+    );
+    let shape_grouped_speedup = interleaved_sweep_ms / shape_grouped_sweep_ms;
+
     // Persistent substrate: the same host batch with per-round thread pairs
     // vs. one long-lived pair fed over channels. Timings are µs-scale so the
     // comparison isolates the spawn/teardown overhead the session removes.
@@ -267,6 +340,10 @@ fn main() -> Result<()> {
          ({points_per_sec:.0} points/s)"
     );
     println!(
+        "  schedule   ({SCHED_ROUNDS} rounds, 3 shapes):     {interleaved_sweep_ms:>8.2} ms interleaved \
+         vs grouped {shape_grouped_sweep_ms:>8.2} ms  ({shape_grouped_speedup:.2}x)"
+    );
+    println!(
         "  host       ({HOST_ROUNDS} rounds, spawn/round):   {host_spawn_ms:>8.2} ms  \
          vs one pair {host_session_ms:>8.2} ms  ({host_session_speedup:.2}x)"
     );
@@ -293,6 +370,11 @@ fn main() -> Result<()> {
                 ("engine_warm_round_ms", engine_warm_round_ms),
                 // Gates points_per_sec too: it is this metric's reciprocal.
                 ("shape_warm_sweep_ms", shape_warm_sweep_ms),
+                // Gates shape_grouped_speedup from both sides: the grouped
+                // order must stay fast and the interleaved baseline is
+                // checked so the ratio cannot be gamed by slowing it down.
+                ("interleaved_sweep_ms", interleaved_sweep_ms),
+                ("shape_grouped_sweep_ms", shape_grouped_sweep_ms),
                 ("host_spawn_ms", host_spawn_ms),
                 ("host_session_ms", host_session_ms),
             ],
@@ -328,6 +410,10 @@ fn main() -> Result<()> {
          \"sweep_points\": {SWEEP_POINTS},\n  \"sweep_passes\": {SWEEP_PASSES},\n  \
          \"shape_warm_sweep_ms\": {shape_warm_sweep_ms:.3},\n  \
          \"points_per_sec\": {points_per_sec:.3},\n  \
+         \"sched_rounds\": {SCHED_ROUNDS},\n  \"sched_bits\": {SCHED_BITS},\n  \
+         \"interleaved_sweep_ms\": {interleaved_sweep_ms:.3},\n  \
+         \"shape_grouped_sweep_ms\": {shape_grouped_sweep_ms:.3},\n  \
+         \"shape_grouped_speedup\": {shape_grouped_speedup:.3},\n  \
          \"host_rounds\": {HOST_ROUNDS},\n  \"host_spawn_ms\": {host_spawn_ms:.3},\n  \
          \"host_session_ms\": {host_session_ms:.3},\n  \
          \"host_session_speedup\": {host_session_speedup:.3},\n  \

@@ -41,8 +41,9 @@ use crate::backend::{ChannelBackend, Observation, SimBackend};
 use crate::channel::{CovertChannel, TransmissionReport};
 use crate::plan::TransmissionPlan;
 use mes_types::{BitString, MesError, Result};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 pub use crate::backend::round_seed;
 
@@ -59,31 +60,129 @@ pub struct RoundRequest<'a> {
     pub plan: &'a TransmissionPlan,
     /// The round's index, fed to [`ChannelBackend::transmit_round`].
     pub round_index: u64,
+    /// Precomputed shape fingerprint, when the caller already holds one
+    /// (grids precompute them at compilation). Scheduling hint only: it
+    /// decides which run the round joins, never what the round computes.
+    shape: Option<u64>,
 }
 
 impl<'a> RoundRequest<'a> {
     /// Creates a request for `plan` at `round_index`.
     pub fn new(plan: &'a TransmissionPlan, round_index: u64) -> Self {
-        RoundRequest { plan, round_index }
+        RoundRequest {
+            plan,
+            round_index,
+            shape: None,
+        }
+    }
+
+    /// Attaches the plan's precomputed [`TransmissionPlan::shape_fingerprint`]
+    /// so the shape-grouped schedule never re-walks the plan (builder style).
+    pub fn with_shape_fingerprint(mut self, shape: u64) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
+    /// The round's shape fingerprint: the attached one, or computed from the
+    /// plan on demand.
+    fn shape_fingerprint(&self) -> u64 {
+        self.shape.unwrap_or_else(|| self.plan.shape_fingerprint())
     }
 }
 
+/// The order in which an executor's workers claim a batch's rounds.
+///
+/// Either policy produces bit-identical observations: a round's result
+/// depends only on its plan and its request index (see [`round_seed`]),
+/// never on when or where it runs. What the policy changes is how warm each
+/// worker backend stays: `SimBackend` caches the compiled Trojan/Spy program
+/// pair of the **most recent plan shape** (see
+/// [`TransmissionPlan::shape_fingerprint`]), so a worker that bounces
+/// between shapes recompiles the pair it just patched on every claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Claim rounds one at a time in request order — the legacy shared
+    /// cursor. A batch that interleaves plan shapes thrashes every worker's
+    /// program cache; kept as the comparison baseline for tests and benches.
+    Interleaved,
+    /// Stable-partition the batch into *shape runs* (rounds sharing a
+    /// [`TransmissionPlan::shape_fingerprint`], in first-appearance order,
+    /// request order preserved within a run) and claim contiguous chunks
+    /// within a run, so each worker's backend stays on one shape until the
+    /// run is exhausted and the claim atomic is touched once per chunk
+    /// instead of once per round.
+    #[default]
+    ShapeGrouped,
+}
+
+/// The execution order of one batch: `order` holds positions into the
+/// request slice, and `run_end[i]` is the exclusive end (in `order`) of the
+/// shape run containing schedule position `i` — the boundary a chunked claim
+/// never crosses.
+struct Schedule {
+    order: Vec<usize>,
+    run_end: Vec<usize>,
+}
+
+impl Schedule {
+    fn new(policy: SchedulePolicy, rounds: &[RoundRequest<'_>]) -> Self {
+        match policy {
+            // Legacy order: every round is its own run, so claims are the
+            // one-index-at-a-time shared cursor of the original executor.
+            SchedulePolicy::Interleaved => Schedule {
+                order: (0..rounds.len()).collect(),
+                run_end: (1..=rounds.len()).collect(),
+            },
+            SchedulePolicy::ShapeGrouped => {
+                // Stable partition: group request positions by shape in
+                // first-appearance order, preserving request order within
+                // each group.
+                let mut groups: Vec<Vec<usize>> = Vec::new();
+                let mut group_of_shape: HashMap<u64, usize> = HashMap::new();
+                for (position, round) in rounds.iter().enumerate() {
+                    let shape = round.shape_fingerprint();
+                    let group = *group_of_shape.entry(shape).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                    groups[group].push(position);
+                }
+                let mut order = Vec::with_capacity(rounds.len());
+                let mut run_end = Vec::with_capacity(rounds.len());
+                for group in groups {
+                    order.extend_from_slice(&group);
+                    let end = order.len();
+                    run_end.resize(end, end);
+                }
+                Schedule { order, run_end }
+            }
+        }
+    }
+}
+
+/// Largest contiguous span a worker claims in one atomic operation.
+const MAX_CLAIM_CHUNK: usize = 32;
+
 /// Fans batches of transmission rounds out over worker threads.
 ///
-/// Workers pull round indices from a shared cursor, so load balances even
-/// when plans have very different durations; each worker owns one backend
-/// created by the caller's factory and reuses it (and its simulation engine)
-/// for every round it executes. Results are returned in plan order.
+/// Workers claim spans of the batch's schedule (see [`SchedulePolicy`]) from
+/// a shared cursor, so load balances even when plans have very different
+/// durations; each worker owns one backend created by the caller's factory
+/// and reuses it (and its simulation engine) for every round it executes.
+/// Results are returned in plan order regardless of the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundExecutor {
     workers: usize,
+    policy: SchedulePolicy,
 }
 
 impl RoundExecutor {
-    /// Creates an executor with a fixed worker count (at least 1).
+    /// Creates an executor with a fixed worker count (at least 1) and the
+    /// default [`SchedulePolicy::ShapeGrouped`] claim order.
     pub fn new(workers: usize) -> Self {
         RoundExecutor {
             workers: workers.max(1),
+            policy: SchedulePolicy::default(),
         }
     }
 
@@ -99,6 +198,18 @@ impl RoundExecutor {
                 .map(|n| n.get())
                 .unwrap_or(1),
         )
+    }
+
+    /// Sets the claim-order policy (builder style). Observations are
+    /// bit-identical under either policy; only wall-clock changes.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The claim-order policy of the executor.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
     }
 
     /// The number of worker threads the executor uses.
@@ -142,17 +253,26 @@ impl RoundExecutor {
     /// warm engines) amortize their setup over every round the worker
     /// claims. Rounds are executed via [`ChannelBackend::transmit_round`]
     /// with their request's index, which is what makes the result
-    /// independent of the worker count — and of which other rounds share the
-    /// batch, so callers may filter a batch (cache hits, resumed grids) or
-    /// repeat one plan under many indices without cloning it.
+    /// independent of the worker count, the [`SchedulePolicy`] — and of
+    /// which other rounds share the batch, so callers may filter a batch
+    /// (cache hits, resumed grids) or repeat one plan under many indices
+    /// without cloning it.
+    ///
+    /// Under [`SchedulePolicy::ShapeGrouped`] (the default) the batch is
+    /// stable-partitioned into shape runs and workers claim contiguous
+    /// chunks within a run, so each worker backend patches one resident
+    /// program pair per run instead of recompiling on every claim of a
+    /// shape-interleaved batch; results are written to per-request
+    /// write-once cells and returned in request order either way.
     ///
     /// # Errors
     ///
-    /// Returns the first error in request order (or a session-setup error if
-    /// [`ChannelBackend::begin_batch`] fails). Workers stop claiming new
-    /// rounds as soon as any round fails, so a failing batch aborts promptly
-    /// instead of simulating the rest of the grid; rounds already claimed
-    /// may still complete.
+    /// Returns a session-setup error if [`ChannelBackend::begin_batch`]
+    /// fails, otherwise the failed round's error that comes first in request
+    /// order. Workers re-check the failure flag after every claim and
+    /// between the rounds of a claimed chunk, so a failing batch aborts
+    /// promptly instead of simulating the rest of the grid; only rounds
+    /// whose execution already started run to completion.
     pub fn execute_rounds<B, F>(
         &self,
         rounds: &[RoundRequest<'_>],
@@ -163,22 +283,37 @@ impl RoundExecutor {
         F: Fn() -> B + Sync,
     {
         let workers = self.workers.min(rounds.len().max(1));
+        let schedule = Schedule::new(self.policy, rounds);
         if workers <= 1 {
+            // One backend walks the whole schedule: grouping still pays off
+            // (a single-worker shape-interleaved batch recompiles programs
+            // on every round under the legacy order) and the first failure
+            // aborts the remaining schedule immediately.
             let mut backend = make_backend();
             backend.begin_batch()?;
-            let observations = rounds
-                .iter()
-                .map(|round| backend.transmit_round(round.plan, round.round_index))
-                .collect();
+            let mut slots: Vec<Option<Result<Observation>>> =
+                (0..rounds.len()).map(|_| None).collect();
+            for &position in &schedule.order {
+                let round = &rounds[position];
+                let outcome = backend.transmit_round(round.plan, round.round_index);
+                let failed = outcome.is_err();
+                slots[position] = Some(outcome);
+                if failed {
+                    break;
+                }
+            }
             backend.end_batch();
-            return observations;
+            return collect_in_request_order(slots);
         }
 
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let session_error: Mutex<Option<MesError>> = Mutex::new(None);
-        let slots: Mutex<Vec<Option<Result<Observation>>>> =
-            Mutex::new((0..rounds.len()).map(|_| None).collect());
+        // One write-once cell per request, written exactly once by the
+        // worker that claimed it — no lock is taken anywhere on the
+        // per-round hot path.
+        let slots: Vec<OnceLock<Result<Observation>>> =
+            (0..rounds.len()).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -191,16 +326,44 @@ impl RoundExecutor {
                             .get_or_insert(error);
                         return;
                     }
-                    while !failed.load(Ordering::Relaxed) {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(round) = rounds.get(index) else {
-                            break;
-                        };
-                        let outcome = backend.transmit_round(round.plan, round.round_index);
-                        if outcome.is_err() {
-                            failed.store(true, Ordering::Relaxed);
+                    let total = schedule.order.len();
+                    let mut start = cursor.load(Ordering::Relaxed);
+                    'claims: while start < total && !failed.load(Ordering::Relaxed) {
+                        // Claim a contiguous chunk of the current shape run:
+                        // large enough to amortize the atomic and keep the
+                        // backend on one shape, small enough near a run's
+                        // tail that the run still splits across idle workers.
+                        let run_end = schedule.run_end[start];
+                        let share = (run_end - start).div_ceil(workers);
+                        let end = start + share.clamp(1, MAX_CLAIM_CHUNK);
+                        match cursor.compare_exchange_weak(
+                            start,
+                            end,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Err(current) => start = current,
+                            Ok(_) => {
+                                for &position in &schedule.order[start..end] {
+                                    // Re-checked between chunk rounds (and
+                                    // after the claim itself) so a failure
+                                    // elsewhere aborts this chunk promptly.
+                                    if failed.load(Ordering::Relaxed) {
+                                        break 'claims;
+                                    }
+                                    let round = &rounds[position];
+                                    let outcome =
+                                        backend.transmit_round(round.plan, round.round_index);
+                                    if outcome.is_err() {
+                                        failed.store(true, Ordering::Relaxed);
+                                    }
+                                    slots[position]
+                                        .set(outcome)
+                                        .expect("request claimed by two workers");
+                                }
+                                start = cursor.load(Ordering::Relaxed);
+                            }
                         }
-                        slots.lock().expect("result mutex poisoned")[index] = Some(outcome);
                     }
                     backend.end_batch();
                 });
@@ -213,22 +376,7 @@ impl RoundExecutor {
         {
             return Err(error);
         }
-        // Indices are claimed in order and every claimed round completes, so
-        // unfilled slots only appear after an earlier round's failure; the
-        // first error in plan order is therefore always a real one.
-        slots
-            .into_inner()
-            .expect("result mutex poisoned")
-            .into_iter()
-            .enumerate()
-            .map(|(index, slot)| {
-                slot.unwrap_or_else(|| {
-                    Err(MesError::Simulation {
-                        reason: format!("round {index} skipped after an earlier round failed"),
-                    })
-                })
-            })
-            .collect()
+        collect_in_request_order(slots.into_iter().map(OnceLock::into_inner).collect())
     }
 
     /// Transmits one payload per round through `channel` on simulated
@@ -262,6 +410,33 @@ impl RoundExecutor {
 impl Default for RoundExecutor {
     fn default() -> Self {
         RoundExecutor::available_parallelism()
+    }
+}
+
+/// Folds per-request result slots into the batch result. Unfilled slots are
+/// rounds the scheduler abandoned after a failure elsewhere (claims are not
+/// in request order under [`SchedulePolicy::ShapeGrouped`], so an abandoned
+/// slot may precede the failed round); the error returned is always a *real*
+/// round failure — the one earliest in request order.
+fn collect_in_request_order(slots: Vec<Option<Result<Observation>>>) -> Result<Vec<Observation>> {
+    let mut observations = Vec::with_capacity(slots.len());
+    let mut abandoned = None;
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(observation)) => observations.push(observation),
+            Some(Err(error)) => return Err(error),
+            None => {
+                abandoned.get_or_insert(index);
+            }
+        }
+    }
+    match abandoned {
+        None => Ok(observations),
+        // Defensive: a slot is only ever abandoned after some round failed,
+        // and that error was returned above.
+        Some(index) => Err(MesError::Simulation {
+            reason: format!("round {index} abandoned after another round failed"),
+        }),
     }
 }
 
@@ -444,8 +619,18 @@ mod tests {
         // other's kernel-object namespace.
         let (_, plans) = plans_for(Mechanism::Event, 3, 8);
         let vm = ScenarioProfile::cross_vm();
-        let result = RoundExecutor::new(2).execute(&plans, || SimBackend::new(vm.clone(), 1));
-        assert!(result.is_err());
+        for policy in [SchedulePolicy::Interleaved, SchedulePolicy::ShapeGrouped] {
+            let result = RoundExecutor::new(2)
+                .with_policy(policy)
+                .execute(&plans, || SimBackend::new(vm.clone(), 1));
+            let error = result.expect_err("deadlocked batch must fail");
+            // The reported error is always a real round failure, never the
+            // defensive abandoned-slot placeholder.
+            assert!(
+                !format!("{error:?}").contains("abandoned"),
+                "{policy:?}: {error:?}"
+            );
+        }
     }
 
     #[test]
@@ -454,5 +639,113 @@ mod tests {
         assert_eq!(RoundExecutor::sequential().workers(), 1);
         assert!(RoundExecutor::available_parallelism().workers() >= 1);
         assert!(RoundExecutor::default().workers() >= 1);
+        assert_eq!(RoundExecutor::new(4).policy(), SchedulePolicy::ShapeGrouped);
+        assert_eq!(
+            RoundExecutor::new(4)
+                .with_policy(SchedulePolicy::Interleaved)
+                .policy(),
+            SchedulePolicy::Interleaved
+        );
+    }
+
+    /// A batch that deliberately interleaves plan shapes: distinct wire bits
+    /// produce distinct per-slot action-kind sequences, so consecutive
+    /// requests almost never share a shape fingerprint.
+    fn interleaved_shape_batch() -> (ScenarioProfile, Vec<TransmissionPlan>) {
+        let profile = ScenarioProfile::local();
+        let mut plans = Vec::new();
+        for round in 0..9 {
+            let mechanism = [Mechanism::Event, Mechanism::Flock, Mechanism::Mutex][round % 3];
+            let config = ChannelConfig::paper_defaults(Scenario::Local, mechanism).unwrap();
+            let channel = CovertChannel::new(config, profile.clone()).unwrap();
+            let payload = BitSource::new(round as u64).random_bits(16);
+            plans.push(channel.plan_for(&payload).unwrap().1);
+        }
+        (profile, plans)
+    }
+
+    #[test]
+    fn schedule_partitions_shape_runs_stably() {
+        let (_, plans) = interleaved_shape_batch();
+        let rounds: Vec<RoundRequest<'_>> = plans
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| RoundRequest::new(plan, index as u64))
+            .collect();
+
+        // Interleaved: identity order, unit runs (the legacy shared cursor).
+        let legacy = Schedule::new(SchedulePolicy::Interleaved, &rounds);
+        assert_eq!(legacy.order, (0..rounds.len()).collect::<Vec<_>>());
+        assert_eq!(legacy.run_end, (1..=rounds.len()).collect::<Vec<_>>());
+
+        // ShapeGrouped: a permutation where every run is shape-homogeneous,
+        // runs appear in first-appearance order, and request order survives
+        // within each run.
+        let grouped = Schedule::new(SchedulePolicy::ShapeGrouped, &rounds);
+        let mut sorted = grouped.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..rounds.len()).collect::<Vec<_>>());
+        let mut seen_shapes: Vec<u64> = Vec::new();
+        let mut position = 0;
+        while position < grouped.order.len() {
+            let end = grouped.run_end[position];
+            assert!(end > position && end <= grouped.order.len());
+            let shape = plans[grouped.order[position]].shape_fingerprint();
+            assert!(
+                !seen_shapes.contains(&shape),
+                "a shape must form exactly one run"
+            );
+            seen_shapes.push(shape);
+            let members = &grouped.order[position..end];
+            assert!(
+                members.windows(2).all(|pair| pair[0] < pair[1]),
+                "request order must be preserved within a run"
+            );
+            for &member in members {
+                assert_eq!(grouped.run_end[position], end);
+                assert_eq!(plans[member].shape_fingerprint(), shape);
+                position += 1;
+            }
+        }
+        assert!(seen_shapes.len() > 1, "the batch must actually mix shapes");
+    }
+
+    #[test]
+    fn schedule_policies_are_bit_identical_on_shape_interleaved_batches() {
+        let (profile, plans) = interleaved_shape_batch();
+        let reference = RoundExecutor::sequential()
+            .with_policy(SchedulePolicy::Interleaved)
+            .execute(&plans, || SimBackend::new(profile.clone(), 77))
+            .unwrap();
+        for policy in [SchedulePolicy::Interleaved, SchedulePolicy::ShapeGrouped] {
+            for workers in [1, 2, 4] {
+                let executed = RoundExecutor::new(workers)
+                    .with_policy(policy)
+                    .execute(&plans, || SimBackend::new(profile.clone(), 77))
+                    .unwrap();
+                assert_eq!(executed, reference, "{policy:?} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_claims_cover_every_round_of_long_runs() {
+        // A single-shape batch longer than MAX_CLAIM_CHUNK forces multiple
+        // chunked claims per worker; every request index must be executed
+        // exactly once and land in its own slot.
+        let (_, plans) = plans_for(Mechanism::Event, 1, 16);
+        let plan = &plans[0];
+        let rounds: Vec<RoundRequest<'_>> = (0..(MAX_CLAIM_CHUNK as u64 * 3 + 5))
+            .map(|index| RoundRequest::new(plan, index))
+            .collect();
+        let profile = ScenarioProfile::local();
+        let parallel = RoundExecutor::new(4)
+            .execute_rounds(&rounds, || SimBackend::new(profile.clone(), 21))
+            .unwrap();
+        let sequential = RoundExecutor::sequential()
+            .execute_rounds(&rounds, || SimBackend::new(profile.clone(), 21))
+            .unwrap();
+        assert_eq!(parallel.len(), rounds.len());
+        assert_eq!(parallel, sequential);
     }
 }

@@ -78,6 +78,10 @@ pub struct CompiledExperiment {
     series_labels: Vec<String>,
     points: Vec<CompiledPoint>,
     plans: Vec<TransmissionPlan>,
+    /// [`TransmissionPlan::shape_fingerprint`] of each plan, in grid order —
+    /// computed once at compilation so the service can group cache-miss
+    /// submissions into shape runs without re-walking the plans.
+    shapes: Vec<u64>,
 }
 
 impl CompiledExperiment {
@@ -257,6 +261,10 @@ impl CompiledExperiment {
             plans,
             ..
         } = grid;
+        let shapes = plans
+            .iter()
+            .map(TransmissionPlan::shape_fingerprint)
+            .collect();
         Ok(CompiledExperiment {
             name: spec.name.clone(),
             profile,
@@ -267,6 +275,7 @@ impl CompiledExperiment {
             series_labels,
             points,
             plans,
+            shapes,
         })
     }
 
@@ -274,6 +283,14 @@ impl CompiledExperiment {
     /// executor requests and cache keys both borrow.
     pub fn plans(&self) -> &[TransmissionPlan] {
         &self.plans
+    }
+
+    /// The [`TransmissionPlan::shape_fingerprint`] of each plan, in grid
+    /// order. Precomputed at compilation; the service uses it to submit
+    /// cache-miss rounds pre-grouped into shape runs (see
+    /// [`crate::exec::SchedulePolicy`]).
+    pub fn shape_fingerprints(&self) -> &[u64] {
+        &self.shapes
     }
 
     /// The profile every point runs under.

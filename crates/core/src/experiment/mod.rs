@@ -307,13 +307,30 @@ impl SweepService {
         for (key, _) in keys.iter().zip(&cached).filter(|(_, hit)| **hit) {
             self.touch(key);
         }
-        let misses: Vec<RoundRequest<'_>> = compiled
+        // Submit the misses pre-grouped into shape runs (stable partition,
+        // first-appearance order): the executor's shape-grouped schedule
+        // becomes the identity, and even a legacy `Interleaved` pool then
+        // claims shape-coherent spans instead of thrashing its program
+        // caches. Each request carries the experiment's precomputed
+        // fingerprint, so no plan is re-walked here or in the executor.
+        let shapes = compiled.shape_fingerprints();
+        let mut misses: Vec<RoundRequest<'_>> = compiled
             .plans()
             .iter()
             .enumerate()
             .filter(|(index, _)| !cached[*index])
-            .map(|(index, plan)| RoundRequest::new(plan, index as u64))
+            .map(|(index, plan)| {
+                RoundRequest::new(plan, index as u64).with_shape_fingerprint(shapes[index])
+            })
             .collect();
+        let mut shape_rank: HashMap<u64, usize> = HashMap::new();
+        for request in &misses {
+            let rank = shape_rank.len();
+            shape_rank
+                .entry(shapes[request.round_index as usize])
+                .or_insert(rank);
+        }
+        misses.sort_by_cached_key(|request| shape_rank[&shapes[request.round_index as usize]]);
 
         // Only the rounds the cache has not seen run; they keep their
         // original grid indices, so their observations are bit-identical to

@@ -66,7 +66,7 @@ pub mod sweep;
 pub use backend::{round_seed, ChannelBackend, Observation, SimBackend};
 pub use channel::{CovertChannel, TransmissionReport};
 pub use config::ChannelConfig;
-pub use exec::{PreparedRound, RoundExecutor, RoundRequest};
+pub use exec::{PreparedRound, RoundExecutor, RoundRequest, SchedulePolicy};
 pub use experiment::{ExperimentResult, ExperimentSpec, SweepService};
 pub use multibit::{SymbolChannel, SymbolTransmissionReport};
 pub use plan::{SlotAction, TransmissionPlan};

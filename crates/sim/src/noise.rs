@@ -49,6 +49,15 @@ impl CostClass {
     ];
 }
 
+/// Bit pattern of a float with the two IEEE zeros collapsed into one
+/// (`x + 0.0` turns `-0.0` into `+0.0` and leaves every other value
+/// untouched), so the structural hashes below stay consistent with the
+/// derived `PartialEq`: `-0.0 == 0.0`, so two equal noise models must
+/// fingerprint equally — the observation cache keys on that.
+fn float_bits(value: f64) -> u64 {
+    (value + 0.0).to_bits()
+}
+
 /// Mean/σ pair (in nanoseconds) describing the cost of one [`CostClass`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostSpec {
@@ -60,8 +69,8 @@ pub struct CostSpec {
 
 impl Hash for CostSpec {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.mean_ns.to_bits().hash(state);
-        self.std_dev_ns.to_bits().hash(state);
+        float_bits(self.mean_ns).hash(state);
+        float_bits(self.std_dev_ns).hash(state);
     }
 }
 
@@ -107,11 +116,11 @@ pub struct Preemption {
 
 impl Hash for Preemption {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.short_rate_per_us.to_bits().hash(state);
-        self.short_mean_us.to_bits().hash(state);
-        self.long_rate_per_us.to_bits().hash(state);
-        self.long_min_us.to_bits().hash(state);
-        self.long_max_us.to_bits().hash(state);
+        float_bits(self.short_rate_per_us).hash(state);
+        float_bits(self.short_mean_us).hash(state);
+        float_bits(self.long_rate_per_us).hash(state);
+        float_bits(self.long_min_us).hash(state);
+        float_bits(self.long_max_us).hash(state);
     }
 }
 
@@ -159,8 +168,8 @@ pub struct OpenResourceInterference {
 
 impl Hash for OpenResourceInterference {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.contention_probability.to_bits().hash(state);
-        self.occupancy_mean_us.to_bits().hash(state);
+        float_bits(self.contention_probability).hash(state);
+        float_bits(self.occupancy_mean_us).hash(state);
     }
 }
 
@@ -258,15 +267,16 @@ impl CostTable {
     }
 }
 
-/// Structural hash for cache fingerprinting (floats hashed by bit pattern,
-/// so any parameter change — however small — changes the fingerprint).
+/// Structural hash for cache fingerprinting (floats hashed by bit pattern
+/// with the two zeros collapsed, so any parameter change — however small —
+/// changes the fingerprint while equal models always fingerprint equally).
 impl Hash for NoiseModel {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.min_sleep_ns.to_bits().hash(state);
-        self.sleep_wakeup_latency_ns.to_bits().hash(state);
-        self.sleep_wakeup_jitter_ns.to_bits().hash(state);
-        self.wait_wakeup_latency_ns.to_bits().hash(state);
-        self.wait_wakeup_jitter_ns.to_bits().hash(state);
+        float_bits(self.min_sleep_ns).hash(state);
+        float_bits(self.sleep_wakeup_latency_ns).hash(state);
+        float_bits(self.sleep_wakeup_jitter_ns).hash(state);
+        float_bits(self.wait_wakeup_latency_ns).hash(state);
+        float_bits(self.wait_wakeup_jitter_ns).hash(state);
         self.costs.hash(state);
         self.preemption.hash(state);
         self.open_interference.hash(state);
@@ -500,6 +510,33 @@ mod tests {
         let long = model.sample_sleep(Micros::new(160).to_nanos(), &mut rng);
         assert_eq!(short, Micros::new(58).to_nanos());
         assert_eq!(long, Micros::new(160).to_nanos());
+    }
+
+    #[test]
+    fn equal_noise_models_hash_equally_across_signed_zeros() {
+        // `-0.0 == 0.0` under the derived PartialEq, so two equal models
+        // must produce one fingerprint — otherwise the experiment layer's
+        // observation cache would silently miss on profiles whose parameters
+        // were computed as a negative zero.
+        let mut positive = NoiseModel::noiseless();
+        let mut negative = NoiseModel::noiseless();
+        positive.sleep_wakeup_jitter_ns = 0.0;
+        negative.sleep_wakeup_jitter_ns = -0.0;
+        negative.costs.wait_call = CostSpec::new(-0.0, 0.0);
+        positive.preemption.long_min_us = 0.0;
+        negative.preemption.long_min_us = -0.0;
+        assert_eq!(positive, negative);
+        assert_eq!(
+            mes_types::fingerprint_of(&positive),
+            mes_types::fingerprint_of(&negative)
+        );
+        // Collapsing the zeros must not collapse real differences.
+        let mut different = positive.clone();
+        different.sleep_wakeup_jitter_ns = 1.0;
+        assert_ne!(
+            mes_types::fingerprint_of(&positive),
+            mes_types::fingerprint_of(&different)
+        );
     }
 
     #[test]

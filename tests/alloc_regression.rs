@@ -293,4 +293,88 @@ fn warm_rounds_of_a_fixed_plan_shape_allocate_zero_heap_in_mes_sim() {
             "{label}: patched sweep point must equal a fresh compilation"
         );
     }
+
+    // ---- shape-grouped scheduling: interleaved two-shape sweeps ---------
+    // A batch that alternates the Event and flock sweeps point by point is
+    // exactly what defeats the single-shape program cache: the interleaved
+    // order recompiles the pair it just evicted on every round, while the
+    // shape-grouped order — what a `SchedulePolicy::ShapeGrouped` executor
+    // worker walks — patches one resident pair per shape run. Executing the
+    // grouped order on one warm backend must therefore allocate nothing in
+    // `mes-sim` after each shape's first round, and both orders must observe
+    // identical latencies (results are addressed by round index, not by
+    // execution order).
+    let interleaved: Vec<(u64, &TransmissionPlan)> = event_plans
+        .iter()
+        .zip(&flock_plans)
+        .enumerate()
+        .flat_map(|(point, (event, flock))| {
+            [(2 * point as u64, event), (2 * point as u64 + 1, flock)]
+        })
+        .collect();
+    let grouped: Vec<(u64, &TransmissionPlan)> = interleaved
+        .iter()
+        .filter(|(index, _)| index % 2 == 0)
+        .chain(interleaved.iter().filter(|(index, _)| index % 2 == 1))
+        .copied()
+        .collect();
+
+    let rounds = interleaved.len();
+    let mut grouped_observations: Vec<Option<mes_core::Observation>> =
+        (0..rounds).map(|_| None).collect();
+    let mut grouped_backend = SimBackend::new(profile.clone(), 0x9C4ED);
+    for run in grouped.chunks(sweep_points) {
+        // The run's first round compiles its shape's pair (and, for the
+        // first run, grows the arenas); every later round must only
+        // allocate its returned Observation.
+        let (first_index, first_plan) = run[0];
+        grouped_observations[first_index as usize] = Some(
+            grouped_backend
+                .transmit_round(first_plan, first_index)
+                .expect("run-opening round"),
+        );
+        let before = allocations();
+        for &(index, plan) in &run[1..] {
+            grouped_observations[index as usize] = Some(
+                grouped_backend
+                    .transmit_round(plan, index)
+                    .expect("warm grouped round"),
+            );
+        }
+        let run_allocations = allocations() - before;
+        assert!(
+            run_allocations <= 2 * (run.len() as u64 - 1),
+            "a shape run of the grouped two-shape sweep must allocate at \
+             most the per-round Observation after its first round, but \
+             performed {run_allocations} allocations over {} rounds",
+            run.len() - 1
+        );
+    }
+
+    // Differential check: the same rounds in interleaved order leave the
+    // warm path — every round swaps shapes, recompiles, and allocates.
+    let mut interleaved_backend = SimBackend::new(profile.clone(), 0x9C4ED);
+    let mut interleaved_observations: Vec<Option<mes_core::Observation>> =
+        (0..rounds).map(|_| None).collect();
+    let before = allocations();
+    for &(index, plan) in &interleaved {
+        interleaved_observations[index as usize] = Some(
+            interleaved_backend
+                .transmit_round(plan, index)
+                .expect("interleaved round"),
+        );
+    }
+    let interleaved_allocations = allocations() - before;
+    assert!(
+        interleaved_allocations > 2 * rounds as u64,
+        "the interleaved order must recompile (and allocate) beyond the \
+         Observation budget — got {interleaved_allocations} over {rounds} \
+         rounds; if this starts failing, the program cache learned to hold \
+         multiple shapes and this gate (plus the scheduler's motivation) \
+         should be revisited"
+    );
+    assert_eq!(
+        grouped_observations, interleaved_observations,
+        "claim order must not change any observation"
+    );
 }

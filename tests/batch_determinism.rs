@@ -8,7 +8,7 @@
 //! reproduction would silently depend on thread scheduling.
 
 use mes_coding::BitSource;
-use mes_core::exec::RoundExecutor;
+use mes_core::exec::{RoundExecutor, SchedulePolicy};
 use mes_core::{
     round_seed, ChannelBackend, ChannelConfig, CovertChannel, Observation, SimBackend,
     TransmissionPlan,
@@ -133,6 +133,71 @@ fn fixed_shape_duration_sweeps_are_deterministic_across_worker_counts() {
             assert_eq!(
                 executed, expected,
                 "{mechanism}: shape-patched sweep with {workers} workers != fresh rounds"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_shape_batches_are_identical_across_policies_and_worker_counts() {
+    // The shape-aware scheduler's contract: stable-partitioning a batch into
+    // shape runs and claiming chunks within a run changes only *when* a
+    // round executes, never its observation — round `i` is still seeded
+    // `round_seed(base, i)`. This batch deliberately mixes the three program
+    // families (Event: cooperation signalling; flock: simulated filesystem +
+    // inter-bit barriers; Mutex: kernel object + barriers) plus a
+    // barrier-free flock variant, interleaved so consecutive rounds never
+    // share a shape and every worker backend would thrash its program cache
+    // under the legacy order.
+    let profile = ScenarioProfile::local();
+    let mut plans: Vec<TransmissionPlan> = Vec::new();
+    for step in 0..4u64 {
+        let event_timing =
+            ChannelTiming::cooperation(Micros::new(15 + 3 * step), Micros::new(65 + step));
+        let event_config = ChannelConfig::new(Mechanism::Event, event_timing).unwrap();
+        let flock_timing = ChannelTiming::contention(Micros::new(140 + 10 * step), Micros::new(60));
+        let flock_config = ChannelConfig::new(Mechanism::Flock, flock_timing).unwrap();
+        let mutex_timing =
+            ChannelTiming::contention(Micros::new(230 + 10 * step), Micros::new(100));
+        let mutex_config = ChannelConfig::new(Mechanism::Mutex, mutex_timing).unwrap();
+        for config in [
+            event_config.clone(),
+            flock_config.clone(),
+            mutex_config,
+            flock_config.without_inter_bit_sync(),
+        ] {
+            let channel = CovertChannel::new(config, profile.clone()).unwrap();
+            let payload = BitSource::new(0x3A9E ^ step).random_bits(20);
+            plans.push(channel.plan_for(&payload).unwrap().1);
+        }
+    }
+    assert!(
+        plans
+            .windows(2)
+            .all(|pair| pair[0].shape_fingerprint() != pair[1].shape_fingerprint()),
+        "consecutive rounds must not share a shape"
+    );
+    let distinct_shapes = {
+        let mut shapes: Vec<u64> = plans
+            .iter()
+            .map(TransmissionPlan::shape_fingerprint)
+            .collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        shapes.len()
+    };
+    assert!(distinct_shapes >= 3, "got {distinct_shapes} shapes");
+
+    let expected = fresh_sequential(&profile, &plans);
+    for policy in [SchedulePolicy::Interleaved, SchedulePolicy::ShapeGrouped] {
+        for workers in [2, 4, 8] {
+            let executed = RoundExecutor::new(workers)
+                .with_policy(policy)
+                .execute(&plans, || SimBackend::new(profile.clone(), BASE_SEED))
+                .unwrap();
+            assert_eq!(
+                executed, expected,
+                "{policy:?} with {workers} workers != fresh sequential rounds"
             );
         }
     }
