@@ -231,11 +231,12 @@ fn main() -> Result<()> {
     // Shape-aware scheduling: a deliberately shape-interleaved
     // multi-mechanism batch — three mechanisms round-robin, each running its
     // own duration sweep over a fixed payload, so the batch holds exactly
-    // three shapes and consecutive rounds never share one. Under the legacy
-    // `Interleaved` claim order every worker backend recompiles the
-    // Trojan/Spy pair it just evicted on almost every round; the default
-    // `ShapeGrouped` order stable-partitions the batch into shape runs and
-    // each backend patches one resident pair per run instead.
+    // three shapes and consecutive rounds never share one. The backend's
+    // LRU program cache keeps all three pairs resident under either claim
+    // order, so the comparison now isolates the scheduling overhead itself
+    // (claim traffic, per-claim patch switches) rather than recompilation;
+    // the `ShapeGrouped` order stable-partitions the batch into shape runs
+    // and each backend patches one resident pair per run.
     let sched_mechanisms = [Mechanism::Event, Mechanism::Flock, Mechanism::Mutex];
     let sched_payloads: Vec<_> = (0..sched_mechanisms.len() as u64)
         .map(|m| BitSource::new(0x5C4ED ^ m).random_bits(SCHED_BITS))

@@ -1,0 +1,256 @@
+//! Measures the **Section V.C.1** multi-channel scaling claim instead of
+//! extrapolating it: the paper projects thousands of concurrent Trojan/Spy
+//! channels by multiplying one channel's rate (`parallel_projection`); this
+//! harness actually *runs* a thousand-plus channel instances, fanned out
+//! across `sweepd` worker processes by the sharded sweep driver
+//! (`mes_bench::shard`), and reports the measured aggregate capacity.
+//!
+//! Two grids run per invocation:
+//!
+//! * a small **verification grid** interleaving several plan shapes, run
+//!   both sharded and unsharded — the two result documents must be
+//!   byte-identical (the merge invariant the `shard_merge` test proves
+//!   per-permutation, re-proven here across real process boundaries);
+//! * the **mega grid**: `INSTANCES` channel instances (one grid point per
+//!   instance, mechanisms round-robin, per-instance payloads/seeds) ×
+//!   `INSTANCE_BITS` payload bits, split into `TARGET_SHARDS` shards across
+//!   `WORKERS` single-threaded worker processes.
+//!
+//! Reported into `BENCH_shards.json` (regression-gated like
+//! `BENCH_batch.json`; `MES_BENCH_SKIP_REGRESSION` bypasses):
+//!
+//! * `aggregate_kbps` — Σ of per-instance transmission rates: the measured
+//!   counterpart of the paper's `single rate × channels` projection;
+//! * `makespan_ms` / `sum_shard_wall_ms` — fan-out wall clock and the sum
+//!   of driver-side per-shard wall clocks;
+//! * `scaling_efficiency_x` — `sum_shard_wall_ms / makespan_ms`, the
+//!   average number of shards in flight. On a machine with at least
+//!   `WORKERS` free cores this equals the parallel speedup; on fewer cores
+//!   it still measures pool saturation (a driver that serializes scores ~1,
+//!   a saturated pool scores ~`WORKERS`), so it is meaningful — and gated —
+//!   on single-core CI boxes too.
+//!
+//! `--verify <spec.json> [--workers N]` runs only the byte-identity check
+//! on an arbitrary spec document (CI runs it on `examples/specs/
+//! fig9_small.json` with 2 workers) and exits non-zero on any mismatch.
+//!
+//! Run with `cargo run --release -p mes-bench --bin measured_parallel`.
+
+use mes_bench::shard::{run_sharded, ShardRun};
+use mes_bench::{rate_regressions, wallclock_regressions};
+use mes_core::experiment::PointSpec;
+use mes_core::{ExperimentSpec, SweepService};
+use mes_stats::Json;
+use mes_types::{Mechanism, Result, Scenario};
+
+/// Concurrent channel instances in the mega grid (one grid point each).
+const INSTANCES: usize = 1024;
+/// Payload bits transmitted by each instance.
+const INSTANCE_BITS: usize = 64;
+/// Worker processes the mega grid fans out over.
+const WORKERS: usize = 4;
+/// Shard target for the mega grid: many shards per worker, so the
+/// duration-balanced queue keeps every worker busy until the end — coarse
+/// shards leave workers idle in the tail while the last big shard drains.
+const TARGET_SHARDS: usize = 64;
+/// Allowed slowdown/drop against the committed baseline before the gate
+/// trips.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// The mechanisms the instances cycle through.
+const MECHANISMS: [Mechanism; 4] = [
+    Mechanism::Event,
+    Mechanism::Timer,
+    Mechanism::Semaphore,
+    Mechanism::Flock,
+];
+
+/// Distinct payload bit patterns per mechanism. The wire bits determine the
+/// plan's slot-action *kinds*, so every distinct payload is its own shape
+/// family — a bounded variant set keeps the family count (and with it the
+/// shard count) at `MECHANISMS × PAYLOAD_VARIANTS` instead of one family
+/// per instance, while per-instance seeds keep the noise independent.
+const PAYLOAD_VARIANTS: u64 = 4;
+
+/// A deterministic `bits`-long 0/1 pattern for one payload variant
+/// (xorshift64*, so variants differ in roughly half their bits).
+fn variant_payload(variant: u64, bits: usize) -> String {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(variant + 1);
+    let mut payload = String::with_capacity(bits);
+    for _ in 0..bits {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        payload.push(if state & 1 == 0 { '0' } else { '1' });
+    }
+    payload
+}
+
+/// One grid point per channel instance: mechanisms round-robin under their
+/// paper timesets, payloads cycling through the bounded variant set, every
+/// instance with its own channel seed (independent noise).
+fn mega_grid(instances: usize, bits: usize) -> Result<ExperimentSpec> {
+    let mut points = Vec::with_capacity(instances);
+    for instance in 0..instances as u64 {
+        let mechanism = MECHANISMS[instance as usize % MECHANISMS.len()];
+        let timing = mes_scenario::paper_timeset(Scenario::Local, mechanism)?;
+        points.push(PointSpec::new(
+            format!("{mechanism}"),
+            instance as f64,
+            mechanism,
+            timing,
+            mes_coding::PayloadSpec::Fixed {
+                bits: variant_payload(instance % PAYLOAD_VARIANTS, bits),
+            },
+            0xC4A2_2E00 + instance,
+        ));
+    }
+    Ok(
+        ExperimentSpec::custom("mega-parallel", Scenario::Local, points, 0x5CA1E)
+            .with_x_label("instance"),
+    )
+}
+
+/// A small grid interleaving four shape families for the merge check.
+fn verification_grid() -> Result<ExperimentSpec> {
+    mega_grid(12, 16).map(|mut spec| {
+        spec.name = "shard-verify".into();
+        spec.base_seed = 0xF17;
+        spec
+    })
+}
+
+/// Runs `spec` sharded and unsharded; returns the sharded run after
+/// asserting the two result documents are byte-identical.
+fn verified_run(spec: &ExperimentSpec, workers: usize, target_shards: usize) -> Result<ShardRun> {
+    let run = run_sharded(spec, workers, target_shards)?;
+    let reference = SweepService::with_default_pool().submit(spec)?;
+    if run.result.to_json_string() != reference.to_json_string() {
+        eprintln!("MERGE MISMATCH: sharded result differs from the unsharded run");
+        std::process::exit(1);
+    }
+    Ok(run)
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(flag) = args.iter().position(|arg| arg == "--verify") {
+        let path = args.get(flag + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--verify requires a spec path");
+            std::process::exit(1);
+        });
+        let workers = match args.iter().position(|arg| arg == "--workers") {
+            Some(w) => args
+                .get(w + 1)
+                .and_then(|value| value.parse().ok())
+                .unwrap_or(2),
+            None => 2,
+        };
+        let text = std::fs::read_to_string(path).map_err(|error| mes_types::MesError::Host {
+            operation: format!("read spec from {path}: {error}"),
+            errno: error.raw_os_error(),
+        })?;
+        let spec = ExperimentSpec::from_json_str(&text)?;
+        let run = verified_run(&spec, workers, workers.max(2))?;
+        println!(
+            "verified: {} points over {} shards on {} workers merged bit-identically",
+            spec.point_count(),
+            run.shards,
+            run.workers
+        );
+        return Ok(());
+    }
+
+    println!("measured_parallel: sharded mega-sweep across sweepd workers");
+
+    // ---- merge verification on a mixed-shape grid -----------------------
+    let verify_spec = verification_grid()?;
+    let verify_run = verified_run(&verify_spec, 2, 4)?;
+    println!(
+        "  verify     {} mixed-shape points over {} shards: sharded == unsharded",
+        verify_spec.point_count(),
+        verify_run.shards
+    );
+    let merge_verified = true;
+
+    // ---- the mega grid --------------------------------------------------
+    let spec = mega_grid(INSTANCES, INSTANCE_BITS)?;
+    let run = run_sharded(&spec, WORKERS, TARGET_SHARDS)?;
+    let aggregate_kbps: f64 = run.result.points.iter().map(|point| point.rate_kbps).sum();
+    let sum_shard_wall_ms = run.sum_shard_wall_ms();
+    let scaling_efficiency_x = run.scaling_efficiency_x();
+    let makespan_ms = run.makespan_ms;
+    assert_eq!(
+        run.result.points.len(),
+        INSTANCES,
+        "every instance must be measured"
+    );
+
+    println!(
+        "  mega       {INSTANCES} instances x {INSTANCE_BITS} bits over {} shards on {} workers",
+        run.shards, run.workers
+    );
+    println!("  aggregate  {aggregate_kbps:>10.1} kb/s measured (vs. paper-style single-rate x N projection)");
+    println!(
+        "  makespan   {makespan_ms:>10.2} ms  (shard walls sum {sum_shard_wall_ms:.2} ms, \
+         {scaling_efficiency_x:.2}x average in-flight)"
+    );
+
+    // Gate BEFORE overwriting, exactly like batch_bench: a regressed run
+    // leaves the committed baseline intact.
+    let baseline = std::fs::read_to_string("BENCH_shards.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    if std::env::var("MES_BENCH_SKIP_REGRESSION").is_ok() {
+        println!("  regression check skipped (MES_BENCH_SKIP_REGRESSION set)");
+    } else if let Some(baseline) = &baseline {
+        let mut regressions = wallclock_regressions(
+            baseline,
+            &[("makespan_ms", makespan_ms)],
+            REGRESSION_TOLERANCE,
+        );
+        regressions.extend(rate_regressions(
+            baseline,
+            &[
+                ("aggregate_kbps", aggregate_kbps),
+                ("scaling_efficiency_x", scaling_efficiency_x),
+            ],
+            REGRESSION_TOLERANCE,
+        ));
+        if regressions.is_empty() {
+            println!(
+                "  regression check passed (tolerance {:.0}%)",
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for (metric, baseline_value, measured_value) in &regressions {
+                eprintln!(
+                    "  REGRESSION: {metric} {measured_value:.2} vs committed {baseline_value:.2} \
+                     (beyond {:.0}%)",
+                    REGRESSION_TOLERANCE * 100.0
+                );
+            }
+            eprintln!("  BENCH_shards.json left untouched");
+            std::process::exit(2);
+        }
+    } else {
+        println!("  no committed BENCH_shards.json baseline; regression check skipped");
+    }
+
+    let json = format!(
+        "{{\n  \"instances\": {INSTANCES},\n  \"payload_bits\": {INSTANCE_BITS},\n  \
+         \"workers\": {},\n  \"shards\": {},\n  \
+         \"aggregate_kbps\": {aggregate_kbps:.3},\n  \
+         \"makespan_ms\": {makespan_ms:.3},\n  \
+         \"sum_shard_wall_ms\": {sum_shard_wall_ms:.3},\n  \
+         \"scaling_efficiency_x\": {scaling_efficiency_x:.3},\n  \
+         \"merge_verified\": {merge_verified}\n}}\n",
+        run.workers, run.shards
+    );
+    std::fs::write("BENCH_shards.json", &json).map_err(|error| mes_types::MesError::Host {
+        operation: format!("write BENCH_shards.json: {error}"),
+        errno: error.raw_os_error(),
+    })?;
+    println!("  wrote BENCH_shards.json");
+    Ok(())
+}

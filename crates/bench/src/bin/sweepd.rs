@@ -1,25 +1,32 @@
 //! `sweepd` — the experiment API across a process boundary.
 //!
-//! Reads an [`ExperimentSpec`](mes_core::ExperimentSpec) JSON document from
-//! a file argument (or stdin when the argument is absent or `-`), runs it
-//! through a [`SweepService`](mes_core::SweepService), and writes the
-//! [`ExperimentResult`](mes_core::ExperimentResult) JSON document to stdout.
-//! This is the wire protocol the future async/sharded sweep service speaks;
-//! a round trip through this binary produces the same result as an
-//! in-process submission of the same spec.
+//! One-shot mode reads an [`ExperimentSpec`](mes_core::ExperimentSpec) JSON
+//! document from a file argument (or stdin when the argument is absent or
+//! `-`), runs it through a [`SweepService`](mes_core::SweepService), and
+//! writes the [`ExperimentResult`](mes_core::ExperimentResult) JSON document
+//! to stdout. A round trip through this binary produces the same result as
+//! an in-process submission of the same spec.
+//!
+//! Worker mode (`--worker [--pool N]`) serves the same wire format in a
+//! loop: length-prefixed spec frames in on stdin, result frames out on
+//! stdout, one persistent service keeping engines and program caches warm
+//! across shards (see [`mes_bench::shard`]). The sharded sweep driver
+//! spawns a pool of these with `--pool 1`, making worker processes the unit
+//! of parallelism.
 //!
 //! ```text
 //! cargo run --release -p mes-bench --bin sweepd -- examples/specs/fig9_small.json
 //! cat spec.json | cargo run --release -p mes-bench --bin sweepd
+//! sweepd --worker --pool 1   # framed spec/result loop until EOF
 //! ```
 
 use mes_bench::run_spec_json;
+use mes_bench::shard::worker_loop;
 use mes_types::{MesError, Result};
 use std::io::Read as _;
 
-fn read_input() -> Result<String> {
-    let path = std::env::args().nth(1);
-    match path.as_deref() {
+fn read_input(path: Option<&str>) -> Result<String> {
+    match path {
         None | Some("-") => {
             let mut input = String::new();
             std::io::stdin()
@@ -38,7 +45,22 @@ fn read_input() -> Result<String> {
 }
 
 fn main() -> Result<()> {
-    let input = read_input()?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|arg| arg == "--worker") {
+        let pool = match args.iter().position(|arg| arg == "--pool") {
+            Some(flag) => args
+                .get(flag + 1)
+                .and_then(|value| value.parse().ok())
+                .ok_or_else(|| MesError::InvalidConfig {
+                    reason: "--pool requires a worker count".into(),
+                })?,
+            None => 0, // machine-sized default pool
+        };
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return worker_loop(&mut stdin.lock(), &mut stdout.lock(), pool);
+    }
+    let input = read_input(args.first().map(String::as_str))?;
     print!("{}", run_spec_json(&input)?);
     Ok(())
 }

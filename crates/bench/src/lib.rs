@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod shard;
 
 use mes_core::experiment::{CompiledExperiment, ExperimentRow};
 use mes_core::{ChannelBackend, ExperimentSpec, RoundExecutor, SweepService};
@@ -226,6 +227,27 @@ pub fn wallclock_regressions(
     regressions
 }
 
+/// The inverse gate of [`wallclock_regressions`] for throughput-style
+/// metrics where *lower* is the regression: returns one
+/// `(metric, baseline, measured)` entry per metric that dropped more than
+/// `tolerance` below its baseline. Metrics absent from the baseline are
+/// skipped, like the wall-clock gate.
+pub fn rate_regressions(
+    baseline: &Json,
+    measured: &[(&str, f64)],
+    tolerance: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut regressions = Vec::new();
+    for (metric, measured_rate) in measured {
+        if let Some(baseline_rate) = baseline_metric(baseline, metric) {
+            if baseline_rate > 0.0 && *measured_rate < baseline_rate * (1.0 - tolerance) {
+                regressions.push((metric.to_string(), baseline_rate, *measured_rate));
+            }
+        }
+    }
+    regressions
+}
+
 #[cfg(test)]
 #[allow(deprecated)]
 mod tests {
@@ -304,6 +326,30 @@ mod tests {
         let direct = SweepService::with_default_pool().submit(&spec).unwrap();
         assert_eq!(parsed, direct);
         assert!(run_spec_json("not json").is_err());
+    }
+
+    #[test]
+    fn rate_regression_gate_trips_only_on_drops_beyond_tolerance() {
+        let baseline =
+            Json::parse(r#"{"aggregate_kbps": 100.0, "scaling_efficiency_x": 3.2}"#).unwrap();
+        let fine = rate_regressions(
+            &baseline,
+            &[
+                ("aggregate_kbps", 80.0),
+                ("scaling_efficiency_x", 4.0),
+                ("new_rate", 0.1),
+            ],
+            0.25,
+        );
+        assert!(fine.is_empty(), "{fine:?}");
+        let slow = rate_regressions(
+            &baseline,
+            &[("aggregate_kbps", 60.0), ("scaling_efficiency_x", 3.0)],
+            0.25,
+        );
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].0, "aggregate_kbps");
+        assert_eq!(slow[0].1, 100.0);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Sharded sweeps across `sweepd` worker processes.
+//!
+//! This is the process-level half of the §V.C.1 mega-sweep measurement: a
+//! grid too large (or too concurrent) for one process is split by
+//! [`ShardedExperiment::split`] into per-shape shard specs, streamed to a
+//! pool of `sweepd --worker` child processes over a length-prefixed frame
+//! protocol, and the shard results are merged back — bit-identically to the
+//! unsharded run, in whatever order the workers finish.
+//!
+//! # Wire protocol
+//!
+//! A *frame* is `<decimal byte length>\n<payload bytes>\n`; payloads are the
+//! existing spec/result JSON documents, so a worker is exactly the `sweepd`
+//! one-shot mode in a loop: spec frame in, result frame out, one persistent
+//! [`SweepService`] per worker process keeping engines and program caches
+//! warm between shards. A failing shard answers with an `{"error": …}`
+//! frame instead of killing the worker. EOF on stdin ends the worker.
+
+use mes_core::experiment::ShardedExperiment;
+use mes_core::{ExperimentResult, ExperimentSpec, RoundExecutor, SweepService};
+use mes_stats::Json;
+use mes_types::{MesError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn io_error(operation: &str, error: &std::io::Error) -> MesError {
+    MesError::Host {
+        operation: format!("{operation}: {error}"),
+        errno: error.raw_os_error(),
+    }
+}
+
+/// Writes one frame: the payload's byte length in decimal, a newline, the
+/// payload, a newline.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> Result<()> {
+    write!(writer, "{}\n{}\n", payload.len(), payload)
+        .and_then(|()| writer.flush())
+        .map_err(|error| io_error("write frame", &error))
+}
+
+/// Reads one frame, returning `None` on a clean EOF before the length line.
+///
+/// # Errors
+///
+/// Returns an error on malformed length lines, truncated payloads, or a
+/// failing reader.
+pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
+    let mut length_line = String::new();
+    let read = reader
+        .read_line(&mut length_line)
+        .map_err(|error| io_error("read frame length", &error))?;
+    if read == 0 {
+        return Ok(None);
+    }
+    let length: usize = length_line
+        .trim()
+        .parse()
+        .map_err(|_| MesError::Serialization {
+            reason: format!("malformed frame length line {length_line:?}"),
+        })?;
+    // Payload plus the trailing newline.
+    let mut payload = vec![0u8; length + 1];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|error| io_error("read frame payload", &error))?;
+    if payload.pop() != Some(b'\n') {
+        return Err(MesError::Serialization {
+            reason: "frame payload not terminated by newline".into(),
+        });
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| MesError::Serialization {
+            reason: "frame payload is not UTF-8".into(),
+        })
+}
+
+/// The `sweepd --worker` loop: one persistent [`SweepService`] answering
+/// spec frames with result frames until EOF.
+///
+/// `pool` is the worker's *intra-process* executor width; the sharding
+/// driver passes 1 so that all parallelism under measurement is
+/// process-level, while `0` means the machine-sized default pool.
+///
+/// # Errors
+///
+/// Returns an error only for transport failures (broken pipe, malformed
+/// frame). Shard-level failures are reported in-band as `{"error": …}`
+/// frames and leave the worker serving.
+pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usize) -> Result<()> {
+    let mut service = match pool {
+        0 => SweepService::with_default_pool(),
+        width => SweepService::new(RoundExecutor::new(width)),
+    };
+    while let Some(spec_json) = read_frame(input)? {
+        let outcome = ExperimentSpec::from_json_str(&spec_json)
+            .and_then(|spec| service.submit(&spec))
+            .map(|result| result.to_json_string());
+        let payload = match outcome {
+            Ok(result_json) => result_json,
+            Err(error) => Json::object([("error", Json::string(error.to_string()))]).render(),
+        };
+        write_frame(output, &payload)?;
+    }
+    Ok(())
+}
+
+/// What one sharded fan-out run measured, besides the merged result.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The merged full-grid result (bit-identical to the unsharded run).
+    pub result: ExperimentResult,
+    /// Number of shards the grid split into.
+    pub shards: usize,
+    /// Number of `sweepd` worker processes actually spawned.
+    pub workers: usize,
+    /// Driver-side wall clock of each shard (dispatch → result), milliseconds,
+    /// indexed by shard id.
+    pub shard_walls_ms: Vec<f64>,
+    /// Wall clock of the whole fan-out (spawn → last result), milliseconds.
+    pub makespan_ms: f64,
+}
+
+impl ShardRun {
+    /// Sum of the per-shard driver-side wall clocks, milliseconds.
+    pub fn sum_shard_wall_ms(&self) -> f64 {
+        self.shard_walls_ms.iter().sum()
+    }
+
+    /// Average number of shards in flight over the makespan:
+    /// Σ per-shard wall / makespan. On a machine with at least as many free
+    /// cores as workers this equals the true parallel speedup; on fewer
+    /// cores it still measures how saturated the worker pool was (a pipeline
+    /// that serializes on the driver scores ~1, a saturated 4-worker pool
+    /// scores ~4).
+    pub fn scaling_efficiency_x(&self) -> f64 {
+        if self.makespan_ms > 0.0 {
+            self.sum_shard_wall_ms() / self.makespan_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Locates the `sweepd` binary: `MES_SWEEPD_BIN` when set, otherwise a
+/// sibling of the current executable (also checking the parent directory,
+/// where cargo places bins relative to `deps/` test executables).
+///
+/// # Errors
+///
+/// Returns an error if no candidate exists.
+pub fn locate_sweepd() -> Result<PathBuf> {
+    if let Ok(path) = std::env::var("MES_SWEEPD_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    let exe = std::env::current_exe().map_err(|error| io_error("locate current exe", &error))?;
+    let name = format!("sweepd{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    while let Some(candidate_dir) = dir {
+        let candidate = candidate_dir.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        dir = candidate_dir.parent();
+    }
+    Err(MesError::InvalidConfig {
+        reason: format!(
+            "sweepd binary not found next to {} (set MES_SWEEPD_BIN)",
+            exe.display()
+        ),
+    })
+}
+
+/// Splits `spec` into ~`target_shards` shard specs, fans them out across
+/// `workers` `sweepd --worker` processes (single-threaded each, so all
+/// measured parallelism is process-level), and merges the results.
+///
+/// Shards are pulled from a shared queue by one driver thread per worker,
+/// so a long shard never blocks the rest of the pool behind it; per-shard
+/// wall clocks are measured on the driver side around the dispatch→result
+/// round trip.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails to compile or split, a worker cannot
+/// be spawned or fails a shard, a frame is malformed, or the merge's
+/// provenance checks reject a result.
+pub fn run_sharded(
+    spec: &ExperimentSpec,
+    workers: usize,
+    target_shards: usize,
+) -> Result<ShardRun> {
+    let sharded = ShardedExperiment::split(spec, target_shards)?;
+    let shard_count = sharded.shards().len();
+    if shard_count == 0 {
+        return Ok(ShardRun {
+            result: sharded.merge(&[])?,
+            shards: 0,
+            workers: 0,
+            shard_walls_ms: Vec::new(),
+            makespan_ms: 0.0,
+        });
+    }
+    let sweepd = locate_sweepd()?;
+    let worker_count = workers.clamp(1, shard_count);
+
+    let shard_specs: Vec<String> = sharded
+        .shards()
+        .iter()
+        .map(|shard| shard.spec().to_json_string())
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, ExperimentResult, f64)>> =
+        Mutex::new(Vec::with_capacity(shard_count));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let mut child = Command::new(&sweepd)
+                .args(["--worker", "--pool", "1"])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|error| io_error("spawn sweepd worker", &error))?;
+            let handle = scope.spawn({
+                let cursor = &cursor;
+                let collected = &collected;
+                let shard_specs = &shard_specs;
+                move || -> Result<()> {
+                    let mut stdin = child.stdin.take().expect("piped stdin");
+                    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+                    loop {
+                        let shard_id = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard_id >= shard_specs.len() {
+                            break;
+                        }
+                        let dispatched = Instant::now();
+                        write_frame(&mut stdin, &shard_specs[shard_id])?;
+                        let payload = read_frame(&mut stdout)?.ok_or_else(|| MesError::Host {
+                            operation: format!(
+                                "sweepd worker exited before answering shard {shard_id}"
+                            ),
+                            errno: None,
+                        })?;
+                        let wall_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                        let result = parse_result_frame(&payload, shard_id)?;
+                        collected
+                            .lock()
+                            .expect("collector lock")
+                            .push((shard_id, result, wall_ms));
+                    }
+                    drop(stdin); // EOF: the worker loop ends cleanly.
+                    child
+                        .wait()
+                        .map_err(|error| io_error("wait for sweepd worker", &error))?;
+                    Ok(())
+                }
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            handle.join().expect("driver thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let makespan_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let collected = collected.into_inner().expect("collector lock");
+    let mut shard_walls_ms = vec![0.0; shard_count];
+    let mut results = Vec::with_capacity(shard_count);
+    for (shard_id, result, wall_ms) in collected {
+        shard_walls_ms[shard_id] = wall_ms;
+        results.push((shard_id, result));
+    }
+    Ok(ShardRun {
+        result: sharded.merge(&results)?,
+        shards: shard_count,
+        workers: worker_count,
+        shard_walls_ms,
+        makespan_ms,
+    })
+}
+
+/// Parses a worker's answer frame: a result document, or an in-band
+/// `{"error": …}` report surfaced as the shard's failure.
+fn parse_result_frame(payload: &str, shard_id: usize) -> Result<ExperimentResult> {
+    if let Ok(json) = Json::parse(payload) {
+        if let Some(error) = json.get("error") {
+            return Err(MesError::Simulation {
+                reason: format!(
+                    "shard {shard_id} failed in its worker: {}",
+                    error.as_str().unwrap_or("unknown error")
+                ),
+            });
+        }
+    }
+    ExperimentResult::from_json_str(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_including_empty_and_multiline_payloads() {
+        let mut wire = Vec::new();
+        for payload in ["", "{\"a\": 1}", "line one\nline two\n", "π ≠ 3"] {
+            write_frame(&mut wire, payload).unwrap();
+        }
+        let mut reader = Cursor::new(wire);
+        for payload in ["", "{\"a\": 1}", "line one\nline two\n", "π ≠ 3"] {
+            assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(payload));
+        }
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(read_frame(&mut Cursor::new(b"not a number\n".to_vec())).is_err());
+        assert!(read_frame(&mut Cursor::new(b"10\nshort\n".to_vec())).is_err());
+        // Length that cuts the payload's newline off.
+        assert!(read_frame(&mut Cursor::new(b"3\nabcd\n".to_vec())).is_err());
+    }
+
+    #[test]
+    fn worker_loop_answers_specs_and_reports_errors_in_band() {
+        use mes_types::Scenario;
+        let spec = ExperimentSpec::scenario_table("worker-t", Scenario::CrossVm, 24, 9);
+        let mut input = Vec::new();
+        write_frame(&mut input, &spec.to_json_string()).unwrap();
+        write_frame(&mut input, "this is not a spec").unwrap();
+        let mut output = Vec::new();
+        worker_loop(&mut Cursor::new(input), &mut output, 1).unwrap();
+
+        let mut reader = Cursor::new(output);
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        let result = ExperimentResult::from_json_str(&first).unwrap();
+        let direct = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        assert_eq!(result, direct, "worker answer must match a local run");
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert!(
+            Json::parse(&second).unwrap().get("error").is_some(),
+            "a malformed spec must produce an in-band error frame: {second}"
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+}

@@ -134,10 +134,10 @@ pub trait ChannelBackend {
     fn name(&self) -> &str;
 }
 
-/// The compiled Trojan/Spy program pair of the most recent plan *shape*,
-/// shared with the engine via [`Arc`] so warm rounds respawn without cloning
-/// an op list. Same-shape plans — durations aside — are served by patching
-/// the pair in place (see [`SimBackend::programs_for`]).
+/// A compiled Trojan/Spy program pair for one plan *shape*, shared with the
+/// engine via [`Arc`] so warm rounds respawn without cloning an op list.
+/// Same-shape plans — durations aside — are served by patching the pair in
+/// place (see [`SimBackend::programs_for`]).
 #[derive(Debug)]
 struct CachedPrograms {
     /// [`TransmissionPlan::shape_fingerprint`] of the cached pair's plan —
@@ -145,7 +145,20 @@ struct CachedPrograms {
     shape: u64,
     trojan: Arc<Program>,
     spy: Arc<Program>,
+    /// Number of the pair's programs containing a barrier op (min 1) — a
+    /// shape invariant, handed to [`Engine::set_barrier_parties`] every
+    /// round so the engine never rescans op lists to derive it.
+    barrier_parties: usize,
+    /// Last access stamp from [`SimBackend::program_tick`]; the entry with
+    /// the smallest stamp is evicted when the cache is full.
+    tick: u64,
 }
+
+/// Shape capacity of the per-backend program cache. Real grids interleave a
+/// handful of shape families (mechanism × payload-shape combinations), so a
+/// small bound keeps every family warm across interleaved traffic while
+/// still bounding a pathological many-shape sweep.
+const PROGRAM_CACHE_SHAPES: usize = 8;
 
 /// The simulated-kernel backend.
 ///
@@ -154,15 +167,17 @@ struct CachedPrograms {
 /// reproducible from `(profile, seed, plan)`. The engine behind the rounds
 /// is allocated once and [`Engine::reset`] between rounds — an arena-backed
 /// cursor rewind — and the compiled Trojan/Spy programs are cached **per
-/// plan shape**: any round whose plan shares the cached shape — repeated
-/// rounds of one plan, or a duration sweep moving between same-shape points
-/// — patches the plan's durations into the cached pair in place via
-/// [`Arc::get_mut`] after the engine reset released its references, instead
-/// of recompiling. Warm rounds of a fixed *shape* therefore
-/// execute without any `mes-sim` heap allocation (the `alloc_regression`
-/// integration test enforces this). A reset engine is observably identical
-/// to a fresh one and a patched program is op-identical to a freshly built
-/// one, keeping reproducibility intact.
+/// plan shape** in a small LRU map ([`PROGRAM_CACHE_SHAPES`] shapes): any
+/// round whose plan shares a cached shape — repeated rounds of one plan, a
+/// duration sweep moving between same-shape points, or traffic
+/// *interleaving* several shapes — patches the plan's durations into its
+/// shape's pair in place via [`Arc::get_mut`] after the engine reset
+/// released its references, instead of recompiling. Warm rounds over a
+/// bounded shape set therefore execute without any `mes-sim` heap
+/// allocation (the `alloc_regression` integration test enforces this). A
+/// reset engine is observably identical to a fresh one and a patched
+/// program is op-identical to a freshly built one, keeping reproducibility
+/// intact.
 #[derive(Debug)]
 pub struct SimBackend {
     profile: Arc<ScenarioProfile>,
@@ -172,9 +187,12 @@ pub struct SimBackend {
     /// Reused across rounds; `None` until the first round (and in clones, so
     /// cloning a backend is cheap and never shares simulation state).
     engine: Option<Engine>,
-    /// Program cache for the most recent plan shape; `None` until the first
-    /// round.
-    programs: Option<CachedPrograms>,
+    /// Program cache, one entry per recently seen plan shape (bounded at
+    /// [`PROGRAM_CACHE_SHAPES`], least-recently-used eviction); empty until
+    /// the first round.
+    programs: Vec<CachedPrograms>,
+    /// Monotonic access counter stamping `programs` entries for eviction.
+    program_tick: u64,
     /// Scratch for sorting the Spy's measurement windows by slot.
     measure_scratch: Vec<Measurement>,
 }
@@ -187,7 +205,8 @@ impl Clone for SimBackend {
             runs: self.runs,
             trace_capacity: self.trace_capacity,
             engine: None,
-            programs: None,
+            programs: Vec::new(),
+            program_tick: 0,
             measure_scratch: Vec::new(),
         }
     }
@@ -206,7 +225,8 @@ impl SimBackend {
             runs: 0,
             trace_capacity: None,
             engine: None,
-            programs: None,
+            programs: Vec::new(),
+            program_tick: 0,
             measure_scratch: Vec::new(),
         }
     }
@@ -533,9 +553,10 @@ impl SimBackend {
         trojan_ok && spy_ok
     }
 
-    /// The Trojan/Spy programs for `plan`: the cached pair with durations
-    /// (re-)patched in place when the plan's *shape* matches the cache, a
-    /// fresh compilation otherwise.
+    /// The Trojan/Spy programs for `plan`, plus the pair's barrier party
+    /// count: the plan shape's cached pair with durations (re-)patched in
+    /// place when the shape is resident in the LRU map, a fresh compilation
+    /// otherwise (evicting the least-recently-used shape at capacity).
     ///
     /// The warm path patches unconditionally — also when the plan is
     /// unchanged — because the patch replay is idempotent, allocation-free,
@@ -546,28 +567,66 @@ impl SimBackend {
     /// ownership of the pair, which [`Engine::reset`] guarantees by
     /// releasing the engine's program references — callers reset before
     /// calling this.
-    fn programs_for(&mut self, plan: &TransmissionPlan) -> (Arc<Program>, Arc<Program>) {
+    fn programs_for(&mut self, plan: &TransmissionPlan) -> (Arc<Program>, Arc<Program>, usize) {
         let shape = plan.shape_fingerprint();
-        if let Some(cached) = &mut self.programs {
-            if cached.shape == shape {
-                if let (Some(trojan), Some(spy)) = (
-                    Arc::get_mut(&mut cached.trojan),
-                    Arc::get_mut(&mut cached.spy),
-                ) {
-                    if SimBackend::patch_programs(plan, trojan, spy) {
-                        return (Arc::clone(&cached.trojan), Arc::clone(&cached.spy));
-                    }
+        self.program_tick += 1;
+        if let Some(cached) = self.programs.iter_mut().find(|c| c.shape == shape) {
+            if let (Some(trojan), Some(spy)) = (
+                Arc::get_mut(&mut cached.trojan),
+                Arc::get_mut(&mut cached.spy),
+            ) {
+                if SimBackend::patch_programs(plan, trojan, spy) {
+                    cached.tick = self.program_tick;
+                    return (
+                        Arc::clone(&cached.trojan),
+                        Arc::clone(&cached.spy),
+                        cached.barrier_parties,
+                    );
                 }
             }
+            // Shape-hash collision or a pair still pinned elsewhere: drop
+            // the entry and recompile below. Not an expected path.
+            let stale = self
+                .programs
+                .iter()
+                .position(|c| c.shape == shape)
+                .expect("entry found above");
+            self.programs.swap_remove(stale);
         }
         let (trojan, spy) = self.build_programs(plan);
+        let barrier_parties = [&trojan, &spy]
+            .into_iter()
+            .filter(|program| {
+                program
+                    .ops()
+                    .iter()
+                    .any(|op| matches!(op, Op::Barrier { .. }))
+            })
+            .count()
+            .max(1);
+        if self.programs.len() >= PROGRAM_CACHE_SHAPES {
+            let oldest = self
+                .programs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.tick)
+                .map(|(index, _)| index)
+                .expect("cache is non-empty at capacity");
+            self.programs.swap_remove(oldest);
+        }
         let cached = CachedPrograms {
             shape,
             trojan: Arc::new(trojan),
             spy: Arc::new(spy),
+            barrier_parties,
+            tick: self.program_tick,
         };
-        let programs = (Arc::clone(&cached.trojan), Arc::clone(&cached.spy));
-        self.programs = Some(cached);
+        let programs = (
+            Arc::clone(&cached.trojan),
+            Arc::clone(&cached.spy),
+            barrier_parties,
+        );
+        self.programs.push(cached);
         programs
     }
 
@@ -583,11 +642,15 @@ impl SimBackend {
                 slot.get_or_insert_with(|| Engine::new(noise, seed));
             }
         }
-        let (trojan, spy) = self.programs_for(plan);
+        let (trojan, spy, barrier_parties) = self.programs_for(plan);
         let engine = self.engine.as_mut().expect("engine initialised above");
         if let Some(capacity) = self.trace_capacity {
             engine.enable_trace(capacity);
         }
+        // Setting the (shape-invariant, cached) party count before the
+        // spawns also disables the engine's per-spawn op scan that would
+        // otherwise rederive it every round.
+        engine.set_barrier_parties(barrier_parties);
         let spy_pid = engine.spawn_shared(spy);
         let _trojan_pid = engine.spawn_shared(trojan);
         engine.run_in_place()?;
@@ -799,7 +862,11 @@ mod tests {
 
             // And the patched pair is op-identical to a fresh compilation.
             let (expect_trojan, expect_spy) = patched.build_programs(&plan_b);
-            let cached = patched.programs.as_ref().unwrap();
+            let cached = patched
+                .programs
+                .iter()
+                .find(|c| c.shape == plan_b.shape_fingerprint())
+                .unwrap();
             assert_eq!(cached.trojan.ops(), expect_trojan.ops(), "{mechanism}");
             assert_eq!(cached.spy.ops(), expect_spy.ops(), "{mechanism}");
         }
@@ -820,6 +887,57 @@ mod tests {
         let switched = backend.transmit_round(&b, 1).unwrap();
         let fresh = SimBackend::new(profile, 5).transmit_round(&b, 1).unwrap();
         assert_eq!(switched, fresh);
+    }
+
+    #[test]
+    fn interleaved_shapes_stay_resident_and_bit_identical() {
+        // Alternating between two shapes must keep BOTH pairs cached (the
+        // old single-slot cache recompiled on every switch) and stay
+        // bit-identical to fresh per-round backends.
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Flock).unwrap();
+        let a =
+            protocol::encode(&BitString::from_str01("1100").unwrap(), &config, &profile).unwrap();
+        let b =
+            protocol::encode(&BitString::from_str01("0011").unwrap(), &config, &profile).unwrap();
+        assert_ne!(a.shape_fingerprint(), b.shape_fingerprint());
+
+        let mut backend = SimBackend::new(profile.clone(), 5);
+        for round in 0..6u64 {
+            let plan = if round % 2 == 0 { &a } else { &b };
+            let interleaved = backend.transmit_round(plan, round).unwrap();
+            let fresh = SimBackend::new(profile.clone(), 5)
+                .transmit_round(plan, round)
+                .unwrap();
+            assert_eq!(interleaved, fresh, "round {round}");
+        }
+        assert_eq!(
+            backend.programs.len(),
+            2,
+            "both shapes must stay resident across interleaved traffic"
+        );
+    }
+
+    #[test]
+    fn program_cache_evicts_the_least_recently_used_shape() {
+        let profile = ScenarioProfile::local();
+        let config = ChannelConfig::paper_defaults(Scenario::Local, Mechanism::Event).unwrap();
+        let mut backend = SimBackend::new(profile.clone(), 9);
+        // Payload length is part of the shape, so each length is a shape.
+        let mut first_shape = None;
+        for length in 1..=(PROGRAM_CACHE_SHAPES + 2) {
+            let wire = BitString::from_str01(&"10".repeat(length)).unwrap();
+            let plan = protocol::encode(&wire, &config, &profile).unwrap();
+            first_shape.get_or_insert(plan.shape_fingerprint());
+            backend.transmit_round(&plan, length as u64).unwrap();
+            assert!(backend.programs.len() <= PROGRAM_CACHE_SHAPES);
+        }
+        assert_eq!(backend.programs.len(), PROGRAM_CACHE_SHAPES);
+        let first_shape = first_shape.unwrap();
+        assert!(
+            !backend.programs.iter().any(|c| c.shape == first_shape),
+            "the oldest shape must have been evicted"
+        );
     }
 
     #[test]

@@ -95,15 +95,17 @@ impl<'a> RoundRequest<'a> {
 /// Either policy produces bit-identical observations: a round's result
 /// depends only on its plan and its request index (see [`round_seed`]),
 /// never on when or where it runs. What the policy changes is how warm each
-/// worker backend stays: `SimBackend` caches the compiled Trojan/Spy program
-/// pair of the **most recent plan shape** (see
-/// [`TransmissionPlan::shape_fingerprint`]), so a worker that bounces
-/// between shapes recompiles the pair it just patched on every claim.
+/// worker backend stays: `SimBackend` caches compiled Trojan/Spy program
+/// pairs **per plan shape** (see [`TransmissionPlan::shape_fingerprint`]) in
+/// a small LRU map, so a worker that bounces between more shapes than the
+/// map holds recompiles pairs it just evicted, and even within the map's
+/// capacity grouping keeps each claim on a single resident pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulePolicy {
     /// Claim rounds one at a time in request order — the legacy shared
-    /// cursor. A batch that interleaves plan shapes thrashes every worker's
-    /// program cache; kept as the comparison baseline for tests and benches.
+    /// cursor. A batch interleaving more plan shapes than the backend's
+    /// program cache holds thrashes every worker's cache; kept as the
+    /// comparison baseline for tests and benches.
     Interleaved,
     /// Stable-partition the batch into *shape runs* (rounds sharing a
     /// [`TransmissionPlan::shape_fingerprint`], in first-appearance order,
@@ -261,9 +263,10 @@ impl RoundExecutor {
     /// Under [`SchedulePolicy::ShapeGrouped`] (the default) the batch is
     /// stable-partitioned into shape runs and workers claim contiguous
     /// chunks within a run, so each worker backend patches one resident
-    /// program pair per run instead of recompiling on every claim of a
-    /// shape-interleaved batch; results are written to per-request
-    /// write-once cells and returned in request order either way.
+    /// program pair per run — and never thrashes its bounded program cache,
+    /// however many shapes the batch interleaves; results are written to
+    /// per-request write-once cells and returned in request order either
+    /// way.
     ///
     /// # Errors
     ///
@@ -286,9 +289,9 @@ impl RoundExecutor {
         let schedule = Schedule::new(self.policy, rounds);
         if workers <= 1 {
             // One backend walks the whole schedule: grouping still pays off
-            // (a single-worker shape-interleaved batch recompiles programs
-            // on every round under the legacy order) and the first failure
-            // aborts the remaining schedule immediately.
+            // (it keeps the walk on one resident program pair per shape run
+            // regardless of the cache's shape capacity) and the first
+            // failure aborts the remaining schedule immediately.
             let mut backend = make_backend();
             backend.begin_batch()?;
             let mut slots: Vec<Option<Result<Observation>>> =

@@ -218,7 +218,7 @@ fn grid_from_json(json: &Json) -> Result<GridSpec> {
 }
 
 fn point_spec_to_json(point: &PointSpec) -> Json {
-    Json::object([
+    let mut fields = vec![
         ("series", Json::string(&point.series)),
         ("x", Json::f64(point.x)),
         ("mechanism", mechanism_to_json(point.mechanism)),
@@ -226,7 +226,13 @@ fn point_spec_to_json(point: &PointSpec) -> Json {
         ("payload", payload_to_json(&point.payload)),
         ("seed", Json::u64(point.seed)),
         ("inter_bit_sync", Json::Bool(point.inter_bit_sync)),
-    ])
+    ];
+    // Emitted only when overridden, so hand-written and historical spec
+    // documents keep their exact layout.
+    if let Some(index) = point.round_index {
+        fields.push(("round_index", Json::u64(index)));
+    }
+    Json::object(fields)
 }
 
 fn point_spec_from_json(json: &Json) -> Result<PointSpec> {
@@ -238,6 +244,10 @@ fn point_spec_from_json(json: &Json) -> Result<PointSpec> {
         payload: payload_from_json(json.require("payload")?)?,
         seed: json.require("seed")?.as_u64()?,
         inter_bit_sync: json.require("inter_bit_sync")?.as_bool()?,
+        round_index: match json.get("round_index") {
+            None | Some(Json::Null) => None,
+            Some(index) => Some(index.as_u64()?),
+        },
     })
 }
 

@@ -11,7 +11,7 @@
 //! back into an identical [`ExperimentResult`].
 
 use super::result::{ExperimentResult, ExperimentRow, NullSink, PointOutcome, ResultSink};
-use super::spec::{ExperimentSpec, GridSpec};
+use super::spec::{ExperimentSpec, GridSpec, PointSpec};
 use crate::backend::{round_seed, ChannelBackend, Observation};
 use crate::channel::CovertChannel;
 use crate::config::ChannelConfig;
@@ -82,6 +82,14 @@ pub struct CompiledExperiment {
     /// computed once at compilation so the service can group cache-miss
     /// submissions into shape runs without re-walking the plans.
     shapes: Vec<u64>,
+    /// The round index each point is seeded with. Equal to the grid position
+    /// for every grid except `Custom` points carrying a
+    /// [`PointSpec::round_index`] override — the mechanism sharded sweeps use
+    /// to reproduce the full grid's seeds inside a sub-grid.
+    round_indices: Vec<u64>,
+    /// Whether any point overrides its round index (when `false`, the legacy
+    /// position-seeded execution paths are used unchanged).
+    has_round_overrides: bool,
 }
 
 impl CompiledExperiment {
@@ -265,6 +273,18 @@ impl CompiledExperiment {
             .iter()
             .map(TransmissionPlan::shape_fingerprint)
             .collect();
+        let round_indices: Vec<u64> = match &spec.grid {
+            GridSpec::Custom { points } => points
+                .iter()
+                .enumerate()
+                .map(|(index, point)| point.round_index.unwrap_or(index as u64))
+                .collect(),
+            _ => (0..plans.len() as u64).collect(),
+        };
+        let has_round_overrides = round_indices
+            .iter()
+            .enumerate()
+            .any(|(position, &index)| index != position as u64);
         Ok(CompiledExperiment {
             name: spec.name.clone(),
             profile,
@@ -276,6 +296,8 @@ impl CompiledExperiment {
             points,
             plans,
             shapes,
+            round_indices,
+            has_round_overrides,
         })
     }
 
@@ -319,11 +341,24 @@ impl CompiledExperiment {
         self.points.is_empty()
     }
 
-    /// The effective backend seed of round `index`
+    /// The round index each grid point is seeded with, in grid order: the
+    /// grid position unless the point carries a
+    /// [`PointSpec::round_index`] override.
+    pub fn round_indices(&self) -> &[u64] {
+        &self.round_indices
+    }
+
+    /// Whether any point seeds itself as a round other than its grid
+    /// position (true exactly for sharded sub-grids).
+    pub fn has_round_overrides(&self) -> bool {
+        self.has_round_overrides
+    }
+
+    /// The effective backend seed of the point at grid position `index`
     /// (what [`ChannelBackend::transmit_round`] derives for a backend whose
-    /// base seed is this experiment's).
+    /// base seed is this experiment's, at the point's round index).
     pub fn effective_seed(&self, index: usize) -> u64 {
-        round_seed(self.base_seed, index as u64).wrapping_add(self.plans[index].seed)
+        round_seed(self.base_seed, self.round_indices[index]).wrapping_add(self.plans[index].seed)
     }
 
     /// Runs the whole grid as one batch on a caller-supplied backend —
@@ -340,7 +375,17 @@ impl CompiledExperiment {
     /// decoded.
     pub fn run_on_backend(&self, backend: &mut dyn ChannelBackend) -> Result<ExperimentResult> {
         backend.begin_batch()?;
-        let observations = backend.transmit_batch(&self.plans);
+        let observations = if self.has_round_overrides {
+            // Round-index overrides address rounds explicitly, so the batch
+            // cannot go through `transmit_batch`'s position-based seeding.
+            self.plans
+                .iter()
+                .zip(&self.round_indices)
+                .map(|(plan, &index)| backend.transmit_round(plan, index))
+                .collect()
+        } else {
+            backend.transmit_batch(&self.plans)
+        };
         backend.end_batch();
         let observations = observations?;
         let refs: Vec<&Observation> = observations.iter().collect();
@@ -355,7 +400,16 @@ impl CompiledExperiment {
     /// Returns an error if any round fails or a symbol round cannot be
     /// decoded.
     pub fn run_with_executor(&self, executor: &RoundExecutor) -> Result<ExperimentResult> {
-        let observations = executor.execute(&self.plans, || {
+        let rounds: Vec<crate::exec::RoundRequest<'_>> = self
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(position, plan)| {
+                crate::exec::RoundRequest::new(plan, self.round_indices[position])
+                    .with_shape_fingerprint(self.shapes[position])
+            })
+            .collect();
+        let observations = executor.execute_rounds(&rounds, || {
             crate::backend::SimBackend::new(Arc::clone(&self.profile), self.base_seed)
         })?;
         let refs: Vec<&Observation> = observations.iter().collect();
@@ -380,53 +434,93 @@ impl CompiledExperiment {
         cached: &[bool],
         sink: &mut dyn ResultSink,
     ) -> Result<ExperimentResult> {
+        let measurements = self
+            .points
+            .iter()
+            .zip(observations)
+            .map(|(point, observation)| self.measure_point(point, observation))
+            .collect::<Result<Vec<PointMeasurement>>>()?;
+        self.assemble(measurements, cached, sink)
+    }
+
+    /// Decodes one point's observation into its measurement.
+    fn measure_point(
+        &self,
+        point: &CompiledPoint,
+        observation: &Observation,
+    ) -> Result<PointMeasurement> {
+        let (ber_percent, rate_kbps, frame_valid, latencies_us) = match &point.decoder {
+            PointDecoder::Frame(round) => {
+                let report = round.recover(observation);
+                (
+                    report.wire_ber().ber_percent(),
+                    report.throughput().kilobits_per_second(),
+                    report.frame_valid(),
+                    self.capture_latencies.then(|| {
+                        report
+                            .latencies()
+                            .iter()
+                            .map(|l| l.as_micros_f64())
+                            .collect()
+                    }),
+                )
+            }
+            PointDecoder::Symbols {
+                channel,
+                payload,
+                sent,
+            } => {
+                let report = channel.recover(payload, sent, observation)?;
+                (
+                    report.ber().ber_percent(),
+                    report.throughput().kilobits_per_second(),
+                    true,
+                    self.capture_latencies.then(|| {
+                        report
+                            .latencies()
+                            .iter()
+                            .map(|l| l.as_micros_f64())
+                            .collect()
+                    }),
+                )
+            }
+        };
+        Ok(PointMeasurement {
+            ber_percent,
+            rate_kbps,
+            frame_valid,
+            latencies_us,
+        })
+    }
+
+    /// Builds the typed result from one decoded measurement per point (in
+    /// grid order) — the assembly half of [`CompiledExperiment::fold`],
+    /// shared with the shard merger so a merged result is *constructed* the
+    /// same way an unsharded fold constructs it, not merely compared equal.
+    pub(super) fn assemble(
+        &self,
+        measurements: Vec<PointMeasurement>,
+        cached: &[bool],
+        sink: &mut dyn ResultSink,
+    ) -> Result<ExperimentResult> {
         let mut series: Vec<LabeledSeries> =
             self.series_labels.iter().map(LabeledSeries::new).collect();
         let mut rows = Vec::new();
         let mut outcomes = Vec::with_capacity(self.points.len());
         let mut cache_hits = 0;
+        let measured = measurements.len();
 
-        for (index, (point, observation)) in self.points.iter().zip(observations).enumerate() {
+        for (index, (point, measurement)) in self.points.iter().zip(measurements).enumerate() {
             let cache_hit = cached.get(index).copied().unwrap_or(false);
             if cache_hit {
                 cache_hits += 1;
             }
-            let (ber_percent, rate_kbps, frame_valid, latencies) = match &point.decoder {
-                PointDecoder::Frame(round) => {
-                    let report = round.recover(observation);
-                    (
-                        report.wire_ber().ber_percent(),
-                        report.throughput().kilobits_per_second(),
-                        report.frame_valid(),
-                        self.capture_latencies.then(|| {
-                            report
-                                .latencies()
-                                .iter()
-                                .map(|l| l.as_micros_f64())
-                                .collect()
-                        }),
-                    )
-                }
-                PointDecoder::Symbols {
-                    channel,
-                    payload,
-                    sent,
-                } => {
-                    let report = channel.recover(payload, sent, observation)?;
-                    (
-                        report.ber().ber_percent(),
-                        report.throughput().kilobits_per_second(),
-                        true,
-                        self.capture_latencies.then(|| {
-                            report
-                                .latencies()
-                                .iter()
-                                .map(|l| l.as_micros_f64())
-                                .collect()
-                        }),
-                    )
-                }
-            };
+            let PointMeasurement {
+                ber_percent,
+                rate_kbps,
+                frame_valid,
+                latencies_us: latencies,
+            } = measurement;
 
             series[point.series].push(mes_stats::SweepPoint {
                 x: point.x,
@@ -471,10 +565,47 @@ impl CompiledExperiment {
             series: sweep,
             rows,
             points: outcomes,
-            rounds_executed: observations.len() - cached.iter().filter(|&&c| c).count(),
+            rounds_executed: measured - cached.iter().filter(|&&c| c).count(),
             cache_hits,
         })
     }
+
+    /// Rebuilds the point at grid position `index` as a standalone
+    /// [`PointSpec`] carrying its exact payload bits (as a `Fixed` literal),
+    /// its plan's seed and its round index — the form a shard spec ships
+    /// across the `sweepd` process boundary. Returns `None` for symbol
+    /// points, whose multi-bit decoding a frame point cannot express.
+    pub(super) fn shard_point_spec(&self, index: usize) -> Option<PointSpec> {
+        let point = &self.points[index];
+        let PointDecoder::Frame(round) = &point.decoder else {
+            return None;
+        };
+        let plan = &self.plans[index];
+        let mut spec = PointSpec::new(
+            self.series_labels[point.series].clone(),
+            point.x,
+            point.mechanism,
+            point.timing,
+            PayloadSpec::Fixed {
+                bits: round.payload().to_string01(),
+            },
+            plan.seed,
+        )
+        .at_round_index(self.round_indices[index]);
+        spec.inter_bit_sync = plan.inter_bit_sync;
+        Some(spec)
+    }
+}
+
+/// One point's decoded measurement — what execution contributes to a result,
+/// with everything else (labels, provenance, paper values) coming from the
+/// compiled grid at assembly time.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) struct PointMeasurement {
+    pub(super) ber_percent: f64,
+    pub(super) rate_kbps: f64,
+    pub(super) frame_valid: bool,
+    pub(super) latencies_us: Option<Vec<f64>>,
 }
 
 /// Accumulator shared by the grid kinds during compilation.

@@ -47,10 +47,12 @@
 mod codec;
 mod compile;
 mod result;
+mod shard;
 mod spec;
 
 pub use compile::{plan_fingerprint, profile_fingerprint, CompiledExperiment};
 pub use result::{ExperimentResult, ExperimentRow, NullSink, PointOutcome, ResultSink};
+pub use shard::{ExperimentShard, ShardedExperiment};
 pub use spec::{ExperimentSpec, GridSpec, OpenInterferenceSpec, PointSpec};
 
 use crate::backend::{Observation, SimBackend};
@@ -314,36 +316,44 @@ impl SweepService {
         // caches. Each request carries the experiment's precomputed
         // fingerprint, so no plan is re-walked here or in the executor.
         let shapes = compiled.shape_fingerprints();
-        let mut misses: Vec<RoundRequest<'_>> = compiled
+        let round_indices = compiled.round_indices();
+        // Each miss pairs its grid position with its round request: requests
+        // carry *round indices* (which sharded sub-grids override away from
+        // positions), so positions must be tracked alongside, never derived
+        // back from the request.
+        let mut misses: Vec<(usize, RoundRequest<'_>)> = compiled
             .plans()
             .iter()
             .enumerate()
             .filter(|(index, _)| !cached[*index])
             .map(|(index, plan)| {
-                RoundRequest::new(plan, index as u64).with_shape_fingerprint(shapes[index])
+                (
+                    index,
+                    RoundRequest::new(plan, round_indices[index])
+                        .with_shape_fingerprint(shapes[index]),
+                )
             })
             .collect();
         let mut shape_rank: HashMap<u64, usize> = HashMap::new();
-        for request in &misses {
+        for (position, _) in &misses {
             let rank = shape_rank.len();
-            shape_rank
-                .entry(shapes[request.round_index as usize])
-                .or_insert(rank);
+            shape_rank.entry(shapes[*position]).or_insert(rank);
         }
-        misses.sort_by_cached_key(|request| shape_rank[&shapes[request.round_index as usize]]);
+        misses.sort_by_cached_key(|(position, _)| shape_rank[&shapes[*position]]);
+        let requests: Vec<RoundRequest<'_>> = misses.iter().map(|(_, request)| *request).collect();
 
         // Only the rounds the cache has not seen run; they keep their
-        // original grid indices, so their observations are bit-identical to
+        // original round indices, so their observations are bit-identical to
         // a full uncached execution of the same grid. Workers share the
         // compiled experiment's profile allocation.
         let profile = std::sync::Arc::clone(compiled.shared_profile());
         let base_seed = compiled.base_seed();
-        let fresh = self.executor.execute_rounds(&misses, || {
+        let fresh = self.executor.execute_rounds(&requests, || {
             SimBackend::new(std::sync::Arc::clone(&profile), base_seed)
         })?;
         let mut fresh_by_index: Vec<Option<Observation>> = (0..keys.len()).map(|_| None).collect();
-        for (request, observation) in misses.iter().zip(fresh) {
-            fresh_by_index[request.round_index as usize] = Some(observation);
+        for ((position, _), observation) in misses.iter().zip(fresh) {
+            fresh_by_index[*position] = Some(observation);
         }
 
         // Fold from the freshly executed rounds plus borrowed cache entries

@@ -1,0 +1,448 @@
+//! Grid sharding: cut a compiled experiment into standalone per-shard specs
+//! and merge the shard results back, bit-identically and in any order.
+//!
+//! The §V.C.1 projection of the paper assumes thousands of concurrent
+//! Trojan/Spy channels; one process tops out far earlier, so mega-grids are
+//! split across `sweepd` worker processes. The split has to preserve the
+//! determinism contract end to end:
+//!
+//! * Every shard is a `Custom` [`ExperimentSpec`] whose points carry their
+//!   exact payload bits (as `Fixed` literals — payload materialization is
+//!   seed-independent for them), their plan's channel seed, and their
+//!   **original grid index** via [`PointSpec::round_index`]. A shard's
+//!   rounds therefore derive the same effective seeds as the same rounds of
+//!   the unsharded grid, and compile to bit-equal plans.
+//! * Shards are keyed by [`TransmissionPlan::shape_fingerprint`]: each shard
+//!   holds points of exactly one shape family, so a worker process patches
+//!   one resident program pair instead of recompiling across shapes. Large
+//!   families are chopped into contiguous chunks balanced by the plans'
+//!   [`TransmissionPlan::nominal_duration`], so shards finish together.
+//! * The merge is addressed by grid index, never by arrival order: results
+//!   may come back in any permutation and the merged result is rebuilt by
+//!   the *same* assembly code an unsharded fold uses, from the original
+//!   compiled grid. Per-point plan hashes and effective seeds are verified
+//!   during the merge, so a shard that ran the wrong round is rejected
+//!   instead of silently merged.
+//!
+//! Symbol-width grids decode multi-bit symbols and cannot be expressed as
+//! `Custom` frame points; they split into a single passthrough shard.
+//!
+//! [`TransmissionPlan::shape_fingerprint`]: crate::plan::TransmissionPlan::shape_fingerprint
+//! [`TransmissionPlan::nominal_duration`]: crate::plan::TransmissionPlan::nominal_duration
+
+use super::compile::{plan_fingerprint, CompiledExperiment, PointMeasurement};
+use super::result::{ExperimentResult, NullSink, ResultSink};
+use super::spec::{ExperimentSpec, PointSpec};
+use mes_types::{MesError, Result};
+use std::collections::HashMap;
+
+fn merge_error(reason: impl Into<String>) -> MesError {
+    MesError::InvalidConfig {
+        reason: reason.into(),
+    }
+}
+
+/// One shard of a split experiment: a standalone spec plus the original grid
+/// positions its points came from (in shard-point order).
+#[derive(Debug, Clone)]
+pub struct ExperimentShard {
+    spec: ExperimentSpec,
+    indices: Vec<usize>,
+}
+
+impl ExperimentShard {
+    /// The shard's standalone spec — self-contained, so it can cross the
+    /// `sweepd` spec-JSON process boundary like any other spec.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Original grid positions of the shard's points, in shard-point order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of grid points the shard measures.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the shard is empty (never produced by the splitter).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// A compiled experiment partitioned into per-shape-family shards, plus the
+/// machinery to merge shard results back into the unsharded result.
+pub struct ShardedExperiment {
+    compiled: CompiledExperiment,
+    shards: Vec<ExperimentShard>,
+}
+
+impl ShardedExperiment {
+    /// Compiles `spec` and partitions its grid into at most
+    /// `target_shards`-ish shards (at least one per shape family — families
+    /// are never mixed within a shard, so a grid with more families than the
+    /// target yields one shard per family).
+    ///
+    /// Shards hold contiguous chunks of one shape family and are balanced by
+    /// the total [`nominal_duration`](crate::plan::TransmissionPlan::nominal_duration)
+    /// of their plans, the simulated run length that dominates a shard's
+    /// wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec does not compile.
+    pub fn split(spec: &ExperimentSpec, target_shards: usize) -> Result<Self> {
+        let compiled = CompiledExperiment::compile(spec)?;
+        let target = target_shards.max(1);
+        if compiled.is_empty() {
+            return Ok(ShardedExperiment {
+                compiled,
+                shards: Vec::new(),
+            });
+        }
+
+        // Rebuild every point as a standalone spec point; a grid with any
+        // inexpressible (symbol) point ships as one passthrough shard.
+        let points: Option<Vec<PointSpec>> = (0..compiled.len())
+            .map(|index| compiled.shard_point_spec(index))
+            .collect();
+        let Some(points) = points else {
+            let shard = ExperimentShard {
+                spec: spec.clone(),
+                indices: (0..compiled.len()).collect(),
+            };
+            return Ok(ShardedExperiment {
+                compiled,
+                shards: vec![shard],
+            });
+        };
+
+        // Group grid positions into shape families, first-appearance order.
+        let shapes = compiled.shape_fingerprints();
+        let mut families: Vec<Vec<usize>> = Vec::new();
+        let mut family_of: HashMap<u64, usize> = HashMap::new();
+        for (position, &shape) in shapes.iter().enumerate() {
+            let family = *family_of.entry(shape).or_insert_with(|| {
+                families.push(Vec::new());
+                families.len() - 1
+            });
+            families[family].push(position);
+        }
+
+        // Chop each family into contiguous chunks that accumulate roughly a
+        // 1/target share of the grid's total simulated run length.
+        let cost = |position: usize| {
+            compiled.plans()[position]
+                .nominal_duration()
+                .as_u64()
+                .max(1)
+        };
+        let total: u64 = (0..compiled.len()).map(cost).sum();
+        let target_cost = (total / target as u64).max(1);
+        let mut chunks: Vec<Vec<usize>> = Vec::new();
+        for family in families {
+            let mut chunk: Vec<usize> = Vec::new();
+            let mut chunk_cost = 0u64;
+            for position in family {
+                chunk_cost += cost(position);
+                chunk.push(position);
+                if chunk_cost >= target_cost {
+                    chunks.push(std::mem::take(&mut chunk));
+                    chunk_cost = 0;
+                }
+            }
+            if !chunk.is_empty() {
+                chunks.push(chunk);
+            }
+        }
+
+        let shards = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(ordinal, indices)| {
+                let shard_points = indices.iter().map(|&i| points[i].clone()).collect();
+                let mut shard_spec = ExperimentSpec::custom(
+                    format!("{}-shard{}", spec.name, ordinal),
+                    spec.scenario,
+                    shard_points,
+                    spec.base_seed,
+                )
+                .with_x_label(spec.x_label.clone());
+                shard_spec.capture_latencies = spec.capture_latencies;
+                shard_spec.open_interference = spec.open_interference;
+                ExperimentShard {
+                    spec: shard_spec,
+                    indices,
+                }
+            })
+            .collect();
+        Ok(ShardedExperiment { compiled, shards })
+    }
+
+    /// The shards, in split order. Shard `i` answers to id `i` in
+    /// [`ShardedExperiment::merge`].
+    pub fn shards(&self) -> &[ExperimentShard] {
+        &self.shards
+    }
+
+    /// The compiled full grid the shards were cut from.
+    pub fn compiled(&self) -> &CompiledExperiment {
+        &self.compiled
+    }
+
+    /// Merges one result per shard — supplied in **any** order as
+    /// `(shard_id, result)` pairs — into the full grid's result.
+    ///
+    /// Measurements are addressed by original grid index, so the merged
+    /// result is independent of shard completion order; it is rebuilt from
+    /// the original compiled grid by the same assembly code an unsharded
+    /// fold uses, making it bit-identical to an uncached unsharded run (the
+    /// `shard_merge` integration test proves this under every permutation).
+    /// Every shard point's plan hash and effective seed are checked against
+    /// the full grid before merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a shard is missing, duplicated, or unknown; if a
+    /// shard's point count disagrees with the split; or if any point's plan
+    /// hash or effective seed disagrees with the full grid.
+    pub fn merge(&self, results: &[(usize, ExperimentResult)]) -> Result<ExperimentResult> {
+        self.merge_streaming(results, &mut NullSink)
+    }
+
+    /// [`ShardedExperiment::merge`], delivering each merged point to `sink`
+    /// in grid order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedExperiment::merge`].
+    pub fn merge_streaming(
+        &self,
+        results: &[(usize, ExperimentResult)],
+        sink: &mut dyn ResultSink,
+    ) -> Result<ExperimentResult> {
+        let total = self.compiled.len();
+        let mut slots: Vec<Option<PointMeasurement>> = (0..total).map(|_| None).collect();
+        let mut seen = vec![false; self.shards.len()];
+        for (shard_id, result) in results {
+            let shard = self.shards.get(*shard_id).ok_or_else(|| {
+                merge_error(format!(
+                    "unknown shard id {shard_id} (the split produced {})",
+                    self.shards.len()
+                ))
+            })?;
+            if std::mem::replace(&mut seen[*shard_id], true) {
+                return Err(merge_error(format!("shard {shard_id} merged twice")));
+            }
+            if result.points.len() != shard.indices.len() {
+                return Err(merge_error(format!(
+                    "shard {shard_id} returned {} points, expected {}",
+                    result.points.len(),
+                    shard.indices.len()
+                )));
+            }
+            for (outcome, &position) in result.points.iter().zip(&shard.indices) {
+                // The provenance carried by every outcome pins the round it
+                // measured: equal plan hashes and effective seeds are what
+                // make a shard's round *the same round* as the full grid's.
+                if outcome.plan_hash != plan_fingerprint(&self.compiled.plans()[position]) {
+                    return Err(merge_error(format!(
+                        "shard {shard_id}: plan hash mismatch at grid index {position}"
+                    )));
+                }
+                if outcome.round_seed != self.compiled.effective_seed(position) {
+                    return Err(merge_error(format!(
+                        "shard {shard_id}: effective seed mismatch at grid index {position}"
+                    )));
+                }
+                slots[position] = Some(PointMeasurement {
+                    ber_percent: outcome.ber_percent,
+                    rate_kbps: outcome.rate_kbps,
+                    frame_valid: outcome.frame_valid,
+                    latencies_us: outcome.latencies_us.clone(),
+                });
+            }
+        }
+        let measurements: Vec<PointMeasurement> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(position, slot)| {
+                slot.ok_or_else(|| {
+                    merge_error(format!("grid index {position} not covered by any shard"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        self.compiled.assemble(measurements, &[], sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SweepService;
+    use super::*;
+    use crate::exec::RoundExecutor;
+    use mes_coding::PayloadSpec;
+    use mes_types::{ChannelTiming, Mechanism, Micros, Scenario};
+
+    /// A grid that deliberately interleaves three plan shapes.
+    fn mixed_shape_spec() -> ExperimentSpec {
+        let mut points = Vec::new();
+        for round in 0..9u64 {
+            let (series, mechanism, timing) = match round % 3 {
+                0 => (
+                    "event",
+                    Mechanism::Event,
+                    ChannelTiming::cooperation(Micros::new(15 + round), Micros::new(65)),
+                ),
+                1 => (
+                    "flock",
+                    Mechanism::Flock,
+                    ChannelTiming::contention(Micros::new(140 + 10 * round), Micros::new(60)),
+                ),
+                _ => (
+                    "mutex",
+                    Mechanism::Mutex,
+                    ChannelTiming::contention(Micros::new(230 + 10 * round), Micros::new(100)),
+                ),
+            };
+            points.push(PointSpec::new(
+                series,
+                round as f64,
+                mechanism,
+                timing,
+                PayloadSpec::Random { bits: 24 },
+                0xA0 + round,
+            ));
+        }
+        ExperimentSpec::custom("mixed", Scenario::Local, points, 0x511A2D)
+    }
+
+    fn run_shard(shard: &ExperimentShard) -> ExperimentResult {
+        SweepService::new(RoundExecutor::sequential())
+            .submit(shard.spec())
+            .unwrap()
+    }
+
+    #[test]
+    fn shards_are_shape_pure_and_cover_the_grid_once() {
+        let spec = mixed_shape_spec();
+        let sharded = ShardedExperiment::split(&spec, 4).unwrap();
+        let shapes = sharded.compiled().shape_fingerprints();
+        let mut covered = vec![0usize; sharded.compiled().len()];
+        for shard in sharded.shards() {
+            assert!(!shard.is_empty());
+            assert_eq!(shard.len(), shard.spec().point_count());
+            let first = shapes[shard.indices()[0]];
+            for &position in shard.indices() {
+                assert_eq!(shapes[position], first, "shards must be shape-pure");
+                covered[position] += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|&count| count == 1),
+            "every grid point must land in exactly one shard: {covered:?}"
+        );
+        assert!(sharded.shards().len() >= 3, "three families, three+ shards");
+    }
+
+    #[test]
+    fn merged_shards_reproduce_the_unsharded_result_in_any_order() {
+        let spec = mixed_shape_spec();
+        let reference = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        let sharded = ShardedExperiment::split(&spec, 3).unwrap();
+        let mut results: Vec<(usize, ExperimentResult)> = sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| (id, run_shard(shard)))
+            .collect();
+        // Reversed completion order must merge identically.
+        results.reverse();
+        let merged = sharded.merge(&results).unwrap();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn scenario_table_rows_survive_sharding() {
+        // The table grid seeds its channel and payload differently; fixed
+        // payload literals in the shard points must reproduce both, and the
+        // merged result must rebuild the table rows the shards cannot carry.
+        let spec = ExperimentSpec::scenario_table("table4", Scenario::Local, 32, 0xAB1E);
+        let reference = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        assert!(!reference.rows.is_empty());
+        let sharded = ShardedExperiment::split(&spec, 2).unwrap();
+        let results: Vec<(usize, ExperimentResult)> = sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                let result = run_shard(shard);
+                assert!(result.rows.is_empty(), "shard specs are row-less");
+                (id, result)
+            })
+            .collect();
+        assert_eq!(sharded.merge(&results).unwrap(), reference);
+    }
+
+    #[test]
+    fn symbol_grids_split_into_one_passthrough_shard() {
+        let spec = ExperimentSpec::symbol_widths("fig11", &[1, 2], 15, 50, 64, 2, 3, 4);
+        let sharded = ShardedExperiment::split(&spec, 4).unwrap();
+        assert_eq!(sharded.shards().len(), 1);
+        assert_eq!(sharded.shards()[0].spec(), &spec);
+        let reference = SweepService::new(RoundExecutor::sequential())
+            .submit(&spec)
+            .unwrap();
+        let merged = sharded
+            .merge(&[(0, run_shard(&sharded.shards()[0]))])
+            .unwrap();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn merge_rejects_missing_duplicate_and_foreign_results() {
+        let spec = mixed_shape_spec();
+        let sharded = ShardedExperiment::split(&spec, 3).unwrap();
+        let results: Vec<(usize, ExperimentResult)> = sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| (id, run_shard(shard)))
+            .collect();
+
+        assert!(sharded.merge(&results[1..]).is_err(), "missing shard");
+        let mut duplicated = results.clone();
+        duplicated.push(results[0].clone());
+        assert!(sharded.merge(&duplicated).is_err(), "duplicate shard");
+        let mut foreign = results.clone();
+        foreign[0].0 = sharded.shards().len();
+        assert!(sharded.merge(&foreign).is_err(), "unknown shard id");
+
+        // A result whose rounds are not the grid's rounds must be rejected
+        // by the provenance check, not merged.
+        let mut wrong_spec = spec.clone();
+        wrong_spec.base_seed ^= 1;
+        let wrong = ShardedExperiment::split(&wrong_spec, 3).unwrap();
+        let mut swapped = results.clone();
+        swapped[0].1 = SweepService::new(RoundExecutor::sequential())
+            .submit(wrong.shards()[0].spec())
+            .unwrap();
+        assert!(sharded.merge(&swapped).is_err(), "foreign rounds");
+    }
+
+    #[test]
+    fn empty_grids_split_into_zero_shards_and_merge_to_an_empty_result() {
+        let spec = ExperimentSpec::custom("empty", Scenario::Local, Vec::new(), 1);
+        let sharded = ShardedExperiment::split(&spec, 4).unwrap();
+        assert!(sharded.shards().is_empty());
+        let merged = sharded.merge(&[]).unwrap();
+        assert!(merged.points.is_empty());
+    }
+}

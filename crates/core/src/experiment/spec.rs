@@ -54,6 +54,11 @@ pub struct PointSpec {
     /// Whether contention channels run the fine-grained inter-bit barrier
     /// (disabling it is the drift ablation).
     pub inter_bit_sync: bool,
+    /// Overrides the round index the point is seeded with (`None` seeds by
+    /// grid position, which every grid always did). Sharded sweeps carry the
+    /// original grid's indices here so a shard's rounds are bit-identical to
+    /// the same rounds of the unsharded run.
+    pub round_index: Option<u64>,
 }
 
 impl PointSpec {
@@ -75,12 +80,21 @@ impl PointSpec {
             payload,
             seed,
             inter_bit_sync: true,
+            round_index: None,
         }
     }
 
     /// Disables the fine-grained inter-bit barrier (builder style).
     pub fn without_inter_bit_sync(mut self) -> Self {
         self.inter_bit_sync = false;
+        self
+    }
+
+    /// Seeds the point as round `index` instead of its grid position
+    /// (builder style). This is how a sharded sub-grid reproduces the exact
+    /// effective seeds of the full grid it was cut from.
+    pub fn at_round_index(mut self, index: u64) -> Self {
+        self.round_index = Some(index);
         self
     }
 }

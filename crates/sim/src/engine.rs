@@ -164,6 +164,12 @@ pub struct Engine {
     /// reset, so the engine never pins a caller's `Arc<Program>` across
     /// rounds (required for in-place program patching via `Arc::get_mut`).
     idle_program: Arc<Program>,
+    /// Live processes whose program contains a barrier op, counted as they
+    /// spawn and zeroed on reset — the default barrier party count. Callers
+    /// that already know the count (backends cache it per compiled program
+    /// pair) call [`Engine::set_barrier_parties`] *before* spawning and skip
+    /// the per-spawn op scan entirely.
+    barrier_capable: usize,
 }
 
 impl Engine {
@@ -186,6 +192,7 @@ impl Engine {
             woken_scratch: Vec::new(),
             barrier_scratch: Vec::new(),
             idle_program: Arc::new(Program::new("idle")),
+            barrier_capable: 0,
         }
     }
 
@@ -224,6 +231,7 @@ impl Engine {
             barrier.arrived.clear();
         }
         self.barrier_parties = None;
+        self.barrier_capable = 0;
         self.queue.clear();
         self.seq = 0;
         self.trace = Trace::disabled();
@@ -238,7 +246,10 @@ impl Engine {
 
     /// Overrides the number of processes that must reach a barrier before it
     /// opens. By default every process whose program contains a barrier op
-    /// participates.
+    /// participates. Calling this *before* spawning also skips the per-spawn
+    /// op scan that maintains the default count — round loops that know the
+    /// count up front (it is a plan-shape invariant) set it right after
+    /// [`Engine::reset`].
     pub fn set_barrier_parties(&mut self, parties: usize) {
         self.barrier_parties = Some(parties);
     }
@@ -266,6 +277,19 @@ impl Engine {
     /// the spawn then costs a reference-count bump and a recycled process
     /// slot — no clone of the op list, no fresh tables.
     pub fn spawn_shared(&mut self, program: Arc<Program>) -> ProcessId {
+        // Maintain the default barrier party count incrementally. When the
+        // caller already fixed the count (set_barrier_parties before the
+        // spawns, as the sweep backends do from their per-shape caches), the
+        // default is dead and the op scan is skipped — that scan used to run
+        // over every program on every round of a hot sweep.
+        if self.barrier_parties.is_none()
+            && program
+                .ops()
+                .iter()
+                .any(|op| matches!(op, Op::Barrier { .. }))
+        {
+            self.barrier_capable += 1;
+        }
         let pid = ProcessId::new(self.processes.len() as u64 + 1);
         self.processes.alloc(
             || ProcessState::new(pid, Arc::clone(&program)),
@@ -306,19 +330,6 @@ impl Engine {
         }
         self.record_trace(at, pid, TraceKind::Woken);
         self.push_event(at, EventKind::ProcessReady(pid));
-    }
-
-    fn default_barrier_parties(&self) -> usize {
-        self.processes
-            .iter()
-            .filter(|p| {
-                p.program
-                    .ops()
-                    .iter()
-                    .any(|op| matches!(op, Op::Barrier { .. }))
-            })
-            .count()
-            .max(1)
     }
 
     /// Runs the simulation to completion and materializes a [`SimOutcome`]
@@ -363,7 +374,10 @@ impl Engine {
     /// with blocked processes and no pending events.
     pub fn run_in_place(&mut self) -> Result<()> {
         if self.barrier_parties.is_none() {
-            self.barrier_parties = Some(self.default_barrier_parties());
+            // The counter was maintained by the spawns; this replaces what
+            // used to be a rescan of every program's full op list here, on
+            // every round after every reset.
+            self.barrier_parties = Some(self.barrier_capable.max(1));
         }
         while let Some(Reverse(event)) = self.queue.pop() {
             match event.kind {

@@ -442,6 +442,7 @@ proptest! {
             payload: mes_coding::PayloadSpec::Fixed { bits: payload },
             seed,
             inter_bit_sync: sync,
+            round_index: if sync { Some(seed) } else { None },
         };
         let spec = ExperimentSpec::custom("custom", Scenario::Local, vec![point], seed)
             .with_latency_capture();

@@ -1,0 +1,145 @@
+//! Golden test for the sharded sweep path: splitting a mixed-shape grid
+//! into per-family shards, running each shard in its own fresh
+//! [`SweepService`] (the in-process stand-in for a `sweepd` worker
+//! process), and merging the shard results must reproduce the unsharded
+//! result document **byte-identically under every shard completion
+//! order**. The fan-out driver hands shards to whichever worker frees up
+//! first, so the merge may see results in any permutation — none of them
+//! may change a single byte of the merged document.
+
+use mes_core::experiment::{ExperimentSpec, PointSpec, ShardedExperiment, SweepService};
+use mes_core::ExperimentResult;
+use mes_types::{Mechanism, Scenario};
+
+const MECHANISMS: [Mechanism; 4] = [
+    Mechanism::Event,
+    Mechanism::Timer,
+    Mechanism::Semaphore,
+    Mechanism::Flock,
+];
+
+/// A grid interleaving several shape families: four mechanisms round-robin,
+/// two distinct payload patterns (wire bits select slot-action kinds, so
+/// distinct payloads are distinct shape families), per-point seeds.
+fn mixed_shape_spec() -> ExperimentSpec {
+    let payloads = ["1011010010110100", "0100101101001011"];
+    let points = (0..12u64)
+        .map(|index| {
+            let mechanism = MECHANISMS[index as usize % MECHANISMS.len()];
+            let timing = mes_scenario::paper_timeset(Scenario::Local, mechanism).unwrap();
+            PointSpec::new(
+                format!("{mechanism}"),
+                index as f64,
+                mechanism,
+                timing,
+                mes_coding::PayloadSpec::Fixed {
+                    bits: payloads[index as usize % payloads.len()].into(),
+                },
+                0xD00D + index,
+            )
+        })
+        .collect();
+    ExperimentSpec::custom("shard-merge-golden", Scenario::Local, points, 0xBEEF)
+        .with_x_label("instance")
+}
+
+/// Heap's algorithm: all permutations of `items`, visited in place.
+fn for_each_permutation<T: Clone>(items: &mut Vec<T>, visit: &mut impl FnMut(&[T])) {
+    fn heap<T: Clone>(k: usize, items: &mut Vec<T>, visit: &mut impl FnMut(&[T])) {
+        if k <= 1 {
+            visit(items);
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, visit);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let len = items.len();
+    heap(len, items, visit);
+}
+
+#[test]
+fn merge_is_bit_identical_under_every_shard_completion_order() {
+    let spec = mixed_shape_spec();
+    let reference = SweepService::with_default_pool()
+        .submit(&spec)
+        .expect("unsharded run")
+        .to_json_string();
+
+    let sharded = ShardedExperiment::split(&spec, 5).expect("split");
+    let shard_count = sharded.shards().len();
+    assert!(
+        (2..=6).contains(&shard_count),
+        "the golden grid must split into a handful of shards (got {shard_count}); \
+         Heap's algorithm below enumerates every completion order exhaustively"
+    );
+
+    // One fresh service per shard, mimicking the process isolation of the
+    // real fan-out (each sweepd worker starts cold).
+    let mut shard_results: Vec<(usize, ExperimentResult)> = sharded
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(ordinal, shard)| {
+            let result = SweepService::with_default_pool()
+                .submit(shard.spec())
+                .expect("shard run");
+            (ordinal, result)
+        })
+        .collect();
+
+    let mut permutations = 0usize;
+    for_each_permutation(&mut shard_results, &mut |ordered| {
+        let merged = sharded.merge(ordered).expect("merge");
+        assert_eq!(
+            merged.to_json_string(),
+            reference,
+            "merged document must be byte-identical to the unsharded run \
+             regardless of shard completion order"
+        );
+        permutations += 1;
+    });
+
+    let factorial: usize = (1..=shard_count).product();
+    assert_eq!(
+        permutations, factorial,
+        "every completion order was checked"
+    );
+}
+
+#[test]
+fn merge_streaming_delivers_points_in_grid_order_from_any_input_order() {
+    let spec = mixed_shape_spec();
+    let sharded = ShardedExperiment::split(&spec, 5).expect("split");
+
+    let mut shard_results: Vec<(usize, ExperimentResult)> = sharded
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(ordinal, shard)| {
+            let result = SweepService::with_default_pool()
+                .submit(shard.spec())
+                .expect("shard run");
+            (ordinal, result)
+        })
+        .collect();
+    // A fixed non-identity order: reverse is enough to prove the sink
+    // contract holds when shards arrive out of order.
+    shard_results.reverse();
+
+    let mut xs = Vec::new();
+    let mut sink = |outcome: &mes_core::experiment::PointOutcome| xs.push(outcome.x);
+    let streamed = sharded
+        .merge_streaming(&shard_results, &mut sink)
+        .expect("streaming merge");
+
+    let grid_order: Vec<f64> = (0..spec.point_count()).map(|index| index as f64).collect();
+    assert_eq!(xs, grid_order, "sink must see points in grid order");
+    let batch = sharded.merge(&shard_results).expect("batch merge");
+    assert_eq!(batch.to_json_string(), streamed.to_json_string());
+}
