@@ -46,12 +46,20 @@ pub fn write_frame(writer: &mut impl Write, payload: &str) -> Result<()> {
         .map_err(|error| io_error("write frame", &error))
 }
 
+/// Upper bound on one frame's payload (64 MiB). A length prefix above this
+/// is treated as a corrupted stream and rejected *before* any allocation —
+/// a stray byte in the prefix must produce a frame error, not an
+/// arbitrarily large buffer request (or an overflowing `length + 1`).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
 /// Reads one frame, returning `None` on a clean EOF before the length line.
 ///
 /// # Errors
 ///
-/// Returns an error on malformed length lines, truncated payloads, or a
-/// failing reader.
+/// Returns [`MesError::Serialization`] on malformed length lines (not a
+/// decimal, overflowing, or above [`MAX_FRAME_LEN`]), truncated or
+/// unterminated payloads, and non-UTF-8 payloads; [`MesError::Host`] when
+/// the underlying reader fails.
 pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
     let mut length_line = String::new();
     let read = reader
@@ -62,9 +70,15 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
     }
     let length: usize = length_line
         .trim()
-        .parse()
-        .map_err(|_| MesError::Serialization {
-            reason: format!("malformed frame length line {length_line:?}"),
+        .parse::<u64>()
+        .ok()
+        .and_then(|length| usize::try_from(length).ok())
+        .filter(|&length| length <= MAX_FRAME_LEN)
+        .ok_or_else(|| MesError::Serialization {
+            reason: format!(
+                "frame length {:?} is not a decimal byte count of at most {MAX_FRAME_LEN}",
+                length_line.trim()
+            ),
         })?;
     // Payload plus the trailing newline.
     let mut payload = vec![0u8; length + 1];
@@ -92,15 +106,29 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
 ///
 /// # Errors
 ///
-/// Returns an error only for transport failures (broken pipe, malformed
-/// frame). Shard-level failures are reported in-band as `{"error": …}`
-/// frames and leave the worker serving.
+/// Returns an error only for I/O transport failures (broken pipe, failing
+/// reader). Shard-level failures *and* malformed frames are reported
+/// in-band as `{"error": …}` frames; a framing error additionally ends the
+/// loop cleanly, because a stream whose length prefix cannot be trusted
+/// cannot be resynchronized.
 pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usize) -> Result<()> {
     let mut service = match pool {
         0 => SweepService::with_default_pool(),
         width => SweepService::new(RoundExecutor::new(width)),
     };
-    while let Some(spec_json) = read_frame(input)? {
+    loop {
+        let spec_json = match read_frame(input) {
+            Ok(Some(spec_json)) => spec_json,
+            Ok(None) => return Ok(()),
+            Err(MesError::Serialization { reason }) => {
+                let payload =
+                    Json::object([("error", Json::string(format!("malformed frame: {reason}")))])
+                        .render();
+                write_frame(output, &payload)?;
+                return Ok(());
+            }
+            Err(error) => return Err(error),
+        };
         let outcome = ExperimentSpec::from_json_str(&spec_json)
             .and_then(|spec| service.submit(&spec))
             .map(|result| result.to_json_string());
@@ -110,7 +138,6 @@ pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usiz
         };
         write_frame(output, &payload)?;
     }
-    Ok(())
 }
 
 /// What one sharded fan-out run measured, besides the merged result.
@@ -330,6 +357,74 @@ mod tests {
         assert!(read_frame(&mut Cursor::new(b"10\nshort\n".to_vec())).is_err());
         // Length that cuts the payload's newline off.
         assert!(read_frame(&mut Cursor::new(b"3\nabcd\n".to_vec())).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_before_allocating() {
+        // Each of these used to be an allocation request (or an overflowing
+        // `length + 1`); all must fail parsing instead, and quickly.
+        let hostile = [
+            "18446744073709551615",           // u64::MAX: `length + 1` overflow
+            "18446744073709551616",           // > u64::MAX: parse overflow
+            "999999999999999999999999999999", // way past u64
+            "-1",                             // signed
+            "67108865",                       // MAX_FRAME_LEN + 1
+            "1e9",                            // not a decimal byte count
+        ];
+        for prefix in hostile {
+            let mut wire = Cursor::new(format!("{prefix}\n").into_bytes());
+            let error = read_frame(&mut wire).expect_err(prefix);
+            assert!(
+                matches!(error, MesError::Serialization { .. }),
+                "{prefix}: {error}"
+            );
+        }
+        // The cap itself is fine (given enough payload).
+        let mut payload = vec![b'x'; MAX_FRAME_LEN + 1];
+        payload[MAX_FRAME_LEN] = b'\n';
+        let mut wire = format!("{MAX_FRAME_LEN}\n").into_bytes();
+        wire.extend_from_slice(&payload);
+        assert!(read_frame(&mut Cursor::new(wire)).unwrap().is_some());
+    }
+
+    #[test]
+    fn worker_loop_reports_framing_errors_in_band_and_stops() {
+        let mut output = Vec::new();
+        worker_loop(
+            &mut Cursor::new(b"99999999999999999999\ngarbage".to_vec()),
+            &mut output,
+            1,
+        )
+        .expect("a framing error is answered, not returned");
+        let mut reader = Cursor::new(output);
+        let answer = read_frame(&mut reader).unwrap().unwrap();
+        let error = Json::parse(&answer).unwrap();
+        assert!(
+            error
+                .get("error")
+                .and_then(|reason| reason.as_str().ok())
+                .is_some_and(|reason| reason.contains("malformed frame")),
+            "expected an in-band framing error, got {answer}"
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "loop must stop");
+    }
+
+    #[test]
+    fn number_tokens_survive_a_shard_frame_round_trip() {
+        // The shard protocol relies on `mes_stats::json` preserving number
+        // tokens exactly: a worker echoing a document must not rewrite
+        // `1e308` as `1.0e308` or collapse `-0.0`, or merged provenance
+        // fingerprints would differ between sharded and unsharded runs.
+        let document = r#"{"a": 1e308, "b": -0.0, "c": 0.30000000000000004, "d": 5e-324, "e": 123456789012345678901234567890}"#;
+        let rendered = Json::parse(document).unwrap().render();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &rendered).unwrap();
+        let received = read_frame(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(received, rendered);
+        assert_eq!(Json::parse(&received).unwrap().render(), rendered);
+        for token in ["1e308", "-0.0", "0.30000000000000004", "5e-324"] {
+            assert!(rendered.contains(token), "{token} rewritten in {rendered}");
+        }
     }
 
     #[test]

@@ -411,12 +411,15 @@ impl OpSink<'_> {
 /// allocating. Only duration-bearing calls (`sleep_for`, `compute`,
 /// `set_timer`) depend on the plan's durations, so a patch replay leaves
 /// structure untouched by construction.
+// lint: warm-path
 fn emit_programs(plan: &TransmissionPlan, trojan: &mut OpSink<'_>, spy: &mut OpSink<'_>) {
     let slot_work = plan.trojan_slot_work.to_nanos();
     let h = HandleId::new(1);
     let fd_spy = FdId::new(3);
     let fd_trojan = FdId::new(4);
+    // lint: allow(warm-path-alloc) — lazy thunk: only Build sinks invoke it, never a patch replay
     let object_name = || format!("mes-{}", plan.mechanism.as_str());
+    // lint: allow(warm-path-alloc) — lazy thunk: only Build sinks invoke it, never a patch replay
     let file_path = || "/shared/mes-attacks-file".to_string();
 
     // --- setup ----------------------------------------------------------
@@ -537,6 +540,7 @@ fn emit_programs(plan: &TransmissionPlan, trojan: &mut OpSink<'_>, spy: &mut OpS
         }
     }
 }
+// lint: end-warm-path
 
 impl SimBackend {
     /// Patches a cached same-shape program pair to `plan`'s durations by
@@ -544,6 +548,7 @@ impl SimBackend {
     /// `false` (caller must rebuild) if the replay ever disagrees with the
     /// cached structure — which a correct shape fingerprint rules out, so
     /// this is defence in depth, not an expected path.
+    // lint: warm-path
     fn patch_programs(plan: &TransmissionPlan, trojan: &mut Program, spy: &mut Program) -> bool {
         let mut trojan_sink = OpSink::Patch(trojan.patcher());
         let mut spy_sink = OpSink::Patch(spy.patcher());
@@ -552,6 +557,7 @@ impl SimBackend {
         let spy_ok = spy_sink.finish();
         trojan_ok && spy_ok
     }
+    // lint: end-warm-path
 
     /// The Trojan/Spy programs for `plan`, plus the pair's barrier party
     /// count: the plan shape's cached pair with durations (re-)patched in
@@ -568,6 +574,7 @@ impl SimBackend {
     /// releasing the engine's program references — callers reset before
     /// calling this.
     fn programs_for(&mut self, plan: &TransmissionPlan) -> (Arc<Program>, Arc<Program>, usize) {
+        // lint: warm-path
         let shape = plan.shape_fingerprint();
         self.program_tick += 1;
         if let Some(cached) = self.programs.iter_mut().find(|c| c.shape == shape) {
@@ -584,6 +591,7 @@ impl SimBackend {
                     );
                 }
             }
+            // lint: end-warm-path
             // Shape-hash collision or a pair still pinned elsewhere: drop
             // the entry and recompile below. Not an expected path.
             let stale = self
@@ -632,6 +640,7 @@ impl SimBackend {
 
     /// Runs one round on the reused engine with a fully determined seed.
     fn run_with_seed(&mut self, plan: &TransmissionPlan, seed: u64) -> Result<Observation> {
+        // lint: warm-path
         // Reset the engine *before* resolving the programs: the reset
         // releases the engine's `Arc<Program>` references, which is what
         // lets `programs_for` patch the cached pair in place.
@@ -665,10 +674,12 @@ impl SimBackend {
                 .measure_scratch
                 .iter()
                 .map(Measurement::elapsed)
+                // lint: allow(warm-path-alloc) — the Observation is the round's one output value
                 .collect(),
             elapsed: engine.end_time(),
         })
     }
+    // lint: end-warm-path
 }
 
 impl ChannelBackend for SimBackend {

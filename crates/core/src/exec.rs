@@ -47,6 +47,8 @@ use std::sync::{Mutex, OnceLock};
 
 pub use crate::backend::round_seed;
 
+pub mod model;
+
 /// One round of a batch, addressed by its round index and borrowing its plan.
 ///
 /// Batches are views over plans owned elsewhere: rounds that share a plan
@@ -163,7 +165,23 @@ impl Schedule {
 }
 
 /// Largest contiguous span a worker claims in one atomic operation.
-const MAX_CLAIM_CHUNK: usize = 32;
+pub(crate) const MAX_CLAIM_CHUNK: usize = 32;
+
+/// The exclusive end of the chunk a worker claims when the shared cursor
+/// reads `start` inside a shape run ending (exclusively) at `run_end`: an
+/// even share of the run's remainder, clamped to `[1, max_chunk]` — large
+/// enough to amortize the claim atomic, small enough near a run's tail that
+/// the run still splits across idle workers, and never crossing the run
+/// boundary (for `start < run_end`, `share <= run_end - start`).
+///
+/// This is the *only* piece of claim arithmetic: the executor's claim loop
+/// and the exhaustive checker in [`model`] both call it, so the
+/// interleavings the checker enumerates are the interleavings the executor
+/// can produce.
+pub(crate) fn claim_end(start: usize, run_end: usize, workers: usize, max_chunk: usize) -> usize {
+    let share = (run_end - start).div_ceil(workers);
+    start + share.clamp(1, max_chunk)
+}
 
 /// Fans batches of transmission rounds out over worker threads.
 ///
@@ -317,6 +335,12 @@ impl RoundExecutor {
         // per-round hot path.
         let slots: Vec<OnceLock<Result<Observation>>> =
             (0..rounds.len()).map(|_| OnceLock::new()).collect();
+        // The worker scope below is the scheduler hot path: claims go
+        // through the CAS cursor and results through write-once cells —
+        // no lock, no allocation per round. `mes_core::exec::model`
+        // exhaustively model-checks exactly this loop.
+        // lint: hot-path
+        // lint: warm-path
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -324,6 +348,7 @@ impl RoundExecutor {
                     if let Err(error) = backend.begin_batch() {
                         failed.store(true, Ordering::Relaxed);
                         session_error
+                            // lint: allow(scheduler-lock) — batch-setup failure: once per worker, never per round
                             .lock()
                             .expect("session error mutex poisoned")
                             .get_or_insert(error);
@@ -332,13 +357,10 @@ impl RoundExecutor {
                     let total = schedule.order.len();
                     let mut start = cursor.load(Ordering::Relaxed);
                     'claims: while start < total && !failed.load(Ordering::Relaxed) {
-                        // Claim a contiguous chunk of the current shape run:
-                        // large enough to amortize the atomic and keep the
-                        // backend on one shape, small enough near a run's
-                        // tail that the run still splits across idle workers.
-                        let run_end = schedule.run_end[start];
-                        let share = (run_end - start).div_ceil(workers);
-                        let end = start + share.clamp(1, MAX_CLAIM_CHUNK);
+                        // Claim a contiguous chunk of the current shape run
+                        // (see `claim_end` for the chunk-sizing rationale).
+                        let end =
+                            claim_end(start, schedule.run_end[start], workers, MAX_CLAIM_CHUNK);
                         match cursor.compare_exchange_weak(
                             start,
                             end,
@@ -372,6 +394,8 @@ impl RoundExecutor {
                 });
             }
         });
+        // lint: end-warm-path
+        // lint: end-hot-path
 
         if let Some(error) = session_error
             .into_inner()

@@ -1,0 +1,511 @@
+//! An exhaustive model checker for the executor's lock-free claim loop.
+//!
+//! [`RoundExecutor::execute_rounds`](super::RoundExecutor::execute_rounds)
+//! coordinates workers through exactly four pieces of shared state: a CAS
+//! cursor over the schedule, an abort flag, one write-once result cell per
+//! request, and the run boundaries a chunked claim must not cross. The
+//! dynamic tests sample a handful of schedules under whatever interleavings
+//! the OS happens to produce; this module re-expresses the loop as an
+//! abstract state machine and enumerates **every** interleaving of its
+//! atomic steps for small worker counts and schedules, checking:
+//!
+//! * every schedule position is executed at most once (each write-once
+//!   cell is written by exactly one worker);
+//! * no claim crosses a shape-run boundary (`end <= run_end[start]`);
+//! * with no failing round, every cell is filled — nothing is lost or
+//!   double-claimed, for any interleaving;
+//! * with failing rounds, the abort flag surfaces promptly: at most
+//!   `workers - 1` rounds (the ones already past their re-check) execute
+//!   after the flag is set, every abandoned cell is justified by the flag,
+//!   and the surfaced error cell is always a *real* failure;
+//! * the claim arithmetic is the executor's own: both the real loop and
+//!   this model call [`claim_end`](super::claim_end), so the chunk shapes
+//!   enumerated here are the chunk shapes production workers take.
+//!
+//! The checker's teeth are proven by [`Mutation`]s — seeded concurrency
+//! bugs (dropping the per-round abort re-check, tearing the CAS into a
+//! load + blind store, ignoring run boundaries) that the enumeration must
+//! catch. CI runs those fixtures next to the clean configurations, so a
+//! checker that stops failing on known-bad loops fails the gate itself.
+//!
+//! States are explored by depth-first search over a memoized state set.
+//! The state vocabulary is position-indexed and fully ordered, so the
+//! search itself is deterministic — no hash-order dependence, no clocks.
+
+use super::claim_end;
+use std::collections::BTreeSet;
+
+/// A seeded concurrency bug for the checker to catch — the self-check that
+/// keeps the model honest. `None` is the faithful loop; every other variant
+/// must produce a violation on the CI fixtures (see the module tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful claim loop, as shipped.
+    None,
+    /// Drop the per-round abort re-check inside a claimed chunk: a worker
+    /// runs its whole chunk even after another round failed, so more than
+    /// the `workers - 1` in-flight rounds execute after the flag is set.
+    SkipAbortRecheck,
+    /// Tear the claim CAS into a plain load followed by a blind store: two
+    /// workers can observe the same cursor and claim the same chunk, which
+    /// the write-once cells expose as a double write.
+    NonAtomicClaim,
+    /// Size chunks against the schedule's total length instead of the
+    /// current shape run's end, so a claim can cross a run boundary.
+    CrossRunClaim,
+}
+
+/// The model of one `execute_rounds` batch: a worker count, a schedule
+/// described by its shape-run lengths, the claim-chunk cap, the set of
+/// schedule positions whose round fails, and an optional seeded bug.
+#[derive(Debug, Clone)]
+pub struct ClaimModel {
+    /// Number of concurrent workers (the model is exhaustive, so keep this
+    /// at 2–3; state count grows exponentially with it).
+    pub workers: usize,
+    /// Length of each shape run, in schedule order. The schedule has
+    /// `run_lengths.iter().sum()` positions; position `p` belongs to the
+    /// run covering it, whose exclusive end a claim must not cross.
+    pub run_lengths: Vec<usize>,
+    /// The executor's `MAX_CLAIM_CHUNK` analogue.
+    pub max_claim_chunk: usize,
+    /// Schedule positions whose execution fails (sets the abort flag).
+    pub failing: Vec<usize>,
+    /// The seeded bug to model, or [`Mutation::None`] for the real loop.
+    pub mutation: Mutation,
+}
+
+/// What has been written to a request's write-once result cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cell {
+    /// Not yet written (abandoned, or not yet reached).
+    Empty,
+    /// A successful observation.
+    Good,
+    /// A round failure (also set the abort flag when written).
+    Bad,
+}
+
+/// One worker's program counter between atomic steps. Each variant is a
+/// point where the real loop has just performed (or is about to perform)
+/// one access to shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Pc {
+    /// About to read the shared cursor.
+    Load,
+    /// Holds a cursor snapshot; about to test the loop condition
+    /// (`start < total && !failed`).
+    Check {
+        /// The cursor value this worker last observed.
+        start: usize,
+    },
+    /// About to CAS the cursor from `start` to the chunk end.
+    Claim {
+        /// The cursor value the CAS expects.
+        start: usize,
+    },
+    /// Second half of a torn (non-atomic) claim: about to blind-store the
+    /// chunk end. Only reachable under [`Mutation::NonAtomicClaim`].
+    ClaimWrite {
+        /// First position of the (possibly stale) claimed chunk.
+        pos: usize,
+        /// Exclusive end about to be stored.
+        end: usize,
+    },
+    /// Inside a claimed chunk, about to re-check the abort flag before the
+    /// round at `pos` (or to return to [`Pc::Load`] if the chunk is done).
+    Recheck {
+        /// Next schedule position of the claimed chunk.
+        pos: usize,
+        /// Exclusive end of the claimed chunk.
+        end: usize,
+    },
+    /// Past the re-check: about to execute the round at `pos` and write
+    /// its cell.
+    Exec {
+        /// Schedule position being executed.
+        pos: usize,
+        /// Exclusive end of the claimed chunk.
+        end: usize,
+    },
+    /// Finished (ran `end_batch`).
+    Done,
+}
+
+/// One global state of the batch: the shared atomics, the result cells,
+/// every worker's program counter, and the count of rounds that executed
+/// after the abort flag was set (to bound abort latency).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    cursor: usize,
+    failed: bool,
+    late_execs: usize,
+    cells: Vec<Cell>,
+    pcs: Vec<Pc>,
+}
+
+/// Search statistics, mostly to assert the enumeration is genuinely
+/// exhaustive (a handful of states would mean the model collapsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Distinct global states visited.
+    pub states: usize,
+    /// Terminal states (all workers done) reached and checked.
+    pub terminals: usize,
+}
+
+/// Enumerates every interleaving of `model` and checks the claim-loop
+/// invariants in every reachable state.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant, including the
+/// offending state — which, for the seeded [`Mutation`]s, is the expected
+/// outcome.
+pub fn check(model: &ClaimModel) -> Result<ModelStats, String> {
+    let total: usize = model.run_lengths.iter().sum();
+    if model.workers == 0 {
+        return Err("model needs at least one worker".into());
+    }
+    if model.failing.iter().any(|&p| p >= total) {
+        return Err(format!("failing position out of range (total {total})"));
+    }
+    // run_end[p] = exclusive end of the shape run containing position p,
+    // exactly like `Schedule::run_end`.
+    let mut run_end = Vec::with_capacity(total);
+    let mut acc = 0usize;
+    for &len in &model.run_lengths {
+        acc += len;
+        run_end.resize(acc, acc);
+    }
+
+    let initial = State {
+        cursor: 0,
+        failed: false,
+        late_execs: 0,
+        cells: vec![Cell::Empty; total],
+        pcs: vec![Pc::Load; model.workers],
+    };
+    let mut seen: BTreeSet<State> = BTreeSet::new();
+    let mut stack = vec![initial.clone()];
+    seen.insert(initial);
+    let mut terminals = 0usize;
+    while let Some(state) = stack.pop() {
+        let mut progressed = false;
+        for worker in 0..model.workers {
+            if state.pcs[worker] == Pc::Done {
+                continue;
+            }
+            progressed = true;
+            for successor in step(model, &run_end, total, &state, worker)? {
+                if seen.insert(successor.clone()) {
+                    stack.push(successor);
+                }
+            }
+        }
+        if !progressed {
+            terminals += 1;
+            check_terminal(model, total, &state)?;
+        }
+    }
+    Ok(ModelStats {
+        states: seen.len(),
+        terminals,
+    })
+}
+
+/// The chunk end a claim at `start` would take — the executor's own
+/// [`claim_end`] arithmetic, except under [`Mutation::CrossRunClaim`],
+/// which sizes against the whole schedule. Enforces the run-boundary
+/// invariant at the moment of claiming.
+fn chunk_end(
+    model: &ClaimModel,
+    run_end: &[usize],
+    total: usize,
+    start: usize,
+) -> Result<usize, String> {
+    let boundary = run_end[start];
+    let end = match model.mutation {
+        Mutation::CrossRunClaim => claim_end(start, total, model.workers, model.max_claim_chunk),
+        _ => claim_end(start, boundary, model.workers, model.max_claim_chunk),
+    };
+    if end > boundary {
+        return Err(format!(
+            "claim [{start}, {end}) crosses the shape-run boundary at {boundary}: a worker \
+             backend would be patched across plan shapes mid-chunk"
+        ));
+    }
+    Ok(end)
+}
+
+/// All successor states of `state` when `worker` takes its next atomic
+/// step. Violations detectable at a step (double cell write, late
+/// execution beyond the in-flight bound, boundary-crossing claims) are
+/// reported here.
+fn step(
+    model: &ClaimModel,
+    run_end: &[usize],
+    total: usize,
+    state: &State,
+    worker: usize,
+) -> Result<Vec<State>, String> {
+    let at = |pc: Pc| {
+        let mut next = state.clone();
+        next.pcs[worker] = pc;
+        next
+    };
+    let mut out = Vec::new();
+    match state.pcs[worker] {
+        Pc::Done => {}
+        // start = cursor.load()
+        Pc::Load => out.push(at(Pc::Check {
+            start: state.cursor,
+        })),
+        // while start < total && !failed.load()
+        Pc::Check { start } => {
+            if start >= total || state.failed {
+                out.push(at(Pc::Done));
+            } else {
+                out.push(at(Pc::Claim { start }));
+            }
+        }
+        Pc::Claim { start } => {
+            if model.mutation == Mutation::NonAtomicClaim {
+                // Torn claim: the end is computed from the (possibly
+                // stale) snapshot and will be blind-stored next step.
+                let end = chunk_end(model, run_end, total, start)?;
+                out.push(at(Pc::ClaimWrite { pos: start, end }));
+            } else if state.cursor == start {
+                let end = chunk_end(model, run_end, total, start)?;
+                let mut claimed = at(Pc::Recheck { pos: start, end });
+                claimed.cursor = end;
+                out.push(claimed);
+                // compare_exchange_weak is allowed to fail spuriously even
+                // when the cursor matches; the loop must tolerate it.
+                out.push(at(Pc::Check { start }));
+            } else {
+                // CAS failure hands back the current cursor value.
+                out.push(at(Pc::Check {
+                    start: state.cursor,
+                }));
+            }
+        }
+        Pc::ClaimWrite { pos, end } => {
+            let mut stored = at(Pc::Recheck { pos, end });
+            stored.cursor = end;
+            out.push(stored);
+        }
+        Pc::Recheck { pos, end } => {
+            if pos >= end {
+                out.push(at(Pc::Load));
+            } else if model.mutation == Mutation::SkipAbortRecheck {
+                out.push(at(Pc::Exec { pos, end }));
+            } else if state.failed {
+                // break 'claims
+                out.push(at(Pc::Done));
+            } else {
+                out.push(at(Pc::Exec { pos, end }));
+            }
+        }
+        Pc::Exec { pos, end } => {
+            let mut next = at(Pc::Recheck { pos: pos + 1, end });
+            if state.failed {
+                // The abort flag was set between this worker's re-check
+                // and its execution. The design tolerates exactly the
+                // in-flight rounds: one per *other* worker.
+                next.late_execs += 1;
+                let bound = model.workers - 1;
+                if next.late_execs > bound {
+                    return Err(format!(
+                        "schedule position {pos} executed after the abort flag was set, \
+                         beyond the {bound} in-flight round(s) the design permits \
+                         (state: {state:?})"
+                    ));
+                }
+            }
+            if state.cells[pos] != Cell::Empty {
+                return Err(format!(
+                    "result cell {pos} written twice — two workers claimed one request \
+                     (state: {state:?})"
+                ));
+            }
+            if model.failing.contains(&pos) {
+                next.failed = true;
+                next.cells[pos] = Cell::Bad;
+            } else {
+                next.cells[pos] = Cell::Good;
+            }
+            out.push(next);
+        }
+    }
+    Ok(out)
+}
+
+/// Invariants of a terminal state (all workers done): completeness without
+/// failures, and justified abandonment + a surfaced real error with them.
+fn check_terminal(model: &ClaimModel, total: usize, state: &State) -> Result<(), String> {
+    if model.failing.is_empty() {
+        if state.failed {
+            return Err(format!(
+                "abort flag set with no failing round (state: {state:?})"
+            ));
+        }
+        if state.cursor != total {
+            return Err(format!(
+                "workers all done with cursor {} != {total}: schedule not drained \
+                 (state: {state:?})",
+                state.cursor
+            ));
+        }
+        if let Some(pos) = state.cells.iter().position(|&c| c != Cell::Good) {
+            return Err(format!(
+                "no round fails, yet cell {pos} ended {:?} — a request was lost \
+                 (state: {state:?})",
+                state.cells[pos]
+            ));
+        }
+        return Ok(());
+    }
+    // Failing rounds exist: some interleavings abandon work, but only
+    // after a real failure, and that failure must be surfaced.
+    if !state.failed {
+        return Err(format!(
+            "failing rounds configured but the abort flag never surfaced \
+             (state: {state:?})"
+        ));
+    }
+    if !state.cells.contains(&Cell::Bad) {
+        return Err(format!(
+            "abort flag set but no error cell was written: the batch would \
+             report failure without an error (state: {state:?})"
+        ));
+    }
+    for (pos, cell) in state.cells.iter().enumerate() {
+        let should_fail = model.failing.contains(&pos);
+        match cell {
+            Cell::Bad if !should_fail => {
+                return Err(format!(
+                    "cell {pos} reports failure but position {pos} cannot fail \
+                     (state: {state:?})"
+                ));
+            }
+            Cell::Good if should_fail => {
+                return Err(format!(
+                    "cell {pos} reports success but position {pos} always fails \
+                     (state: {state:?})"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(
+        workers: usize,
+        run_lengths: &[usize],
+        max_claim_chunk: usize,
+        failing: &[usize],
+        mutation: Mutation,
+    ) -> ClaimModel {
+        ClaimModel {
+            workers,
+            run_lengths: run_lengths.to_vec(),
+            max_claim_chunk,
+            failing: failing.to_vec(),
+            mutation,
+        }
+    }
+
+    #[test]
+    fn two_workers_single_run_every_interleaving_is_clean() {
+        let stats = check(&model(2, &[4], 2, &[], Mutation::None)).expect("no violations");
+        // The enumeration must be a real search, not a collapsed one.
+        assert!(stats.states > 100, "suspiciously small: {stats:?}");
+        assert!(stats.terminals >= 1);
+    }
+
+    #[test]
+    fn two_workers_multi_run_schedule_is_clean() {
+        // Two shape runs of different lengths, chunk cap above run size:
+        // claims must still stop at the run boundary.
+        check(&model(2, &[2, 3], 4, &[], Mutation::None)).expect("no violations");
+    }
+
+    #[test]
+    fn three_workers_exhaustive_and_clean() {
+        let stats = check(&model(3, &[2, 2, 1], 2, &[], Mutation::None)).expect("no violations");
+        assert!(stats.states > 1_000, "suspiciously small: {stats:?}");
+    }
+
+    #[test]
+    fn interleaved_policy_runs_of_one_are_clean() {
+        // SchedulePolicy::Interleaved makes every round its own run.
+        check(&model(2, &[1, 1, 1, 1], 32, &[], Mutation::None)).expect("no violations");
+    }
+
+    #[test]
+    fn failures_abort_promptly_and_surface_a_real_error() {
+        for failing in [&[0][..], &[1], &[3], &[0, 3]] {
+            check(&model(2, &[4], 2, failing, Mutation::None))
+                .unwrap_or_else(|violation| panic!("failing={failing:?}: {violation}"));
+        }
+    }
+
+    #[test]
+    fn three_workers_with_failure_are_clean() {
+        check(&model(3, &[2, 2], 2, &[2], Mutation::None)).expect("no violations");
+    }
+
+    #[test]
+    fn mutation_skipping_the_abort_recheck_is_caught() {
+        let violation = check(&model(2, &[4], 2, &[0], Mutation::SkipAbortRecheck))
+            .expect_err("a chunk must not keep executing past a failure");
+        assert!(
+            violation.contains("after the abort flag"),
+            "unexpected violation: {violation}"
+        );
+    }
+
+    #[test]
+    fn mutation_tearing_the_claim_cas_is_caught() {
+        let violation = check(&model(2, &[4], 2, &[], Mutation::NonAtomicClaim))
+            .expect_err("a torn claim must double-write a cell");
+        assert!(
+            violation.contains("written twice"),
+            "unexpected violation: {violation}"
+        );
+    }
+
+    #[test]
+    fn mutation_crossing_run_boundaries_is_caught() {
+        let violation = check(&model(2, &[1, 3], 4, &[], Mutation::CrossRunClaim))
+            .expect_err("a claim must not cross a shape-run boundary");
+        assert!(
+            violation.contains("crosses the shape-run boundary"),
+            "unexpected violation: {violation}"
+        );
+    }
+
+    #[test]
+    fn claim_end_always_lands_inside_the_run() {
+        // The shared arithmetic itself: for every (start, run_end, workers)
+        // in a small grid, the claimed chunk is non-empty and in-run.
+        for run in 1..=12usize {
+            for start in 0..run {
+                for workers in 1..=4 {
+                    for chunk in 1..=4 {
+                        let end = claim_end(start, run, workers, chunk);
+                        assert!(end > start, "empty claim at {start}/{run}");
+                        assert!(end <= run, "claim {start}..{end} crosses {run}");
+                        assert!(end - start <= chunk, "chunk cap violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! A minimal hand-rolled Rust lexer — just enough for `mes-lint`'s rules.
+//!
+//! The workspace builds offline, so the linter follows the same philosophy
+//! as `shims/`: no `syn`, no `proc-macro2`, just a byte scanner that splits
+//! Rust source into identifier/number/string/punctuation tokens and a side
+//! list of comments. Rules never need types or full syntax — they match
+//! small token patterns (`Instant :: now`, `impl Hash for T`) — but they
+//! *do* need strings and comments stripped from the token stream, so that
+//! prose like "no `Mutex` on the hot path" in a doc comment can never trip
+//! a rule.
+//!
+//! The lexer understands the full literal grammar that matters for not
+//! mis-tokenizing real code: line and (nested) block comments, string and
+//! byte-string literals with escapes, raw strings (`r#"…"#`), char literals
+//! vs lifetimes, and numeric literals with suffixes/exponents.
+
+/// What a token is; rules mostly care about [`TokenKind::Ident`] and
+/// [`TokenKind::Punct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A string, byte-string, or raw-string literal.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime (`'a`) or loop label (`'claims`).
+    Lifetime,
+    /// A single punctuation byte (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (for [`TokenKind::Punct`], a single byte).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` iff the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` iff the token is the punctuation byte `byte`.
+    pub fn is_punct(&self, byte: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == 1
+            && self.text.as_bytes()[0] == byte as u8
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on. `text`
+/// excludes the comment delimiters (`//`, `/*`, `*/`) but keeps doc-comment
+/// markers' extra `/` or `!` characters, which [`crate::rules`] strips when
+/// looking for `lint:` directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment body.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// A lexed file: the token stream plus the side list of comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unterminated literals and
+/// comments are tolerated (the remainder of the file becomes the literal):
+/// the linter must never panic on the code it audits — `rustc` owns syntax
+/// errors.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                let start = pos + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..end].to_string(),
+                    line,
+                });
+                pos = end;
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = pos + 2;
+                let mut end = start;
+                let mut depth = 1usize;
+                while end < bytes.len() && depth > 0 {
+                    if bytes[end] == b'\n' {
+                        line += 1;
+                        end += 1;
+                    } else if bytes[end] == b'/' && bytes.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if bytes[end] == b'*' && bytes.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let body_end = end.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: source[start..body_end].to_string(),
+                    line: start_line,
+                });
+                pos = end;
+            }
+            b'"' => {
+                let (text, next, lines) = scan_string(source, pos);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                line += lines;
+                pos = next;
+            }
+            b'\'' => {
+                // Lifetime/label when followed by an identifier that is not
+                // immediately closed by another quote ('a vs 'a').
+                let after = bytes.get(pos + 1).copied();
+                let is_lifetime = matches!(after, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                    && bytes.get(pos + 2) != Some(&b'\'');
+                if is_lifetime {
+                    let start = pos + 1;
+                    let mut end = start;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[pos..end].to_string(),
+                        line,
+                    });
+                    pos = end;
+                } else {
+                    let (text, next, lines) = scan_char(source, pos);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    pos = next;
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let (text, next) = scan_number(source, pos);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                });
+                pos = next;
+            }
+            _ if is_ident_start(b) => {
+                let start = pos;
+                let mut end = pos;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                let word = &source[start..end];
+                // Raw/byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let next_byte = bytes.get(end).copied();
+                if matches!(word, "r" | "br" | "rb") && matches!(next_byte, Some(b'"' | b'#')) {
+                    let (text, next, lines) = scan_raw_string(source, end);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    pos = next;
+                } else if word == "b" && next_byte == Some(b'"') {
+                    let (text, next, lines) = scan_string(source, end);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    pos = next;
+                } else if word == "b" && next_byte == Some(b'\'') {
+                    let (text, next, lines) = scan_char(source, end);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    pos = next;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: word.to_string(),
+                        line,
+                    });
+                    pos = end;
+                }
+            }
+            _ => {
+                // One punctuation byte per token; multi-byte operators are
+                // matched by rules as token sequences (`:` `:` for `::`).
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the literal
+/// (quotes included), the position after it, and how many newlines it spans.
+fn scan_string(source: &str, start: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut pos = start + 1;
+    let mut lines = 0u32;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => {
+                pos += 1;
+                return (source[start..pos].to_string(), pos, lines);
+            }
+            b'\n' => {
+                lines += 1;
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+    (source[start..].to_string(), bytes.len(), lines)
+}
+
+/// Scans a `'…'` char literal starting at the opening quote.
+fn scan_char(source: &str, start: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut pos = start + 1;
+    let mut lines = 0u32;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'\'' => {
+                pos += 1;
+                return (source[start..pos].to_string(), pos, lines);
+            }
+            b'\n' => {
+                lines += 1;
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+    (source[start..].to_string(), bytes.len(), lines)
+}
+
+/// Scans a raw string (`#…#"…"#…#`) whose `#`/`"` sequence begins at `start`
+/// (the prefix `r`/`br` has already been consumed).
+fn scan_raw_string(source: &str, start: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut pos = start;
+    let mut hashes = 0usize;
+    while bytes.get(pos) == Some(&b'#') {
+        hashes += 1;
+        pos += 1;
+    }
+    if bytes.get(pos) != Some(&b'"') {
+        // Not actually a raw string (e.g. `r#ident`); emit what we saw.
+        return (source[start..pos].to_string(), pos, 0);
+    }
+    pos += 1;
+    let mut lines = 0u32;
+    while pos < bytes.len() {
+        if bytes[pos] == b'\n' {
+            lines += 1;
+            pos += 1;
+            continue;
+        }
+        if bytes[pos] == b'"' {
+            let tail = &bytes[pos + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                let end = pos + 1 + hashes;
+                return (source[start..end].to_string(), end, lines);
+            }
+        }
+        pos += 1;
+    }
+    (source[start..].to_string(), bytes.len(), lines)
+}
+
+/// Scans a numeric literal (decimal, based, float, suffixed).
+fn scan_number(source: &str, start: usize) -> (String, usize) {
+    let bytes = source.as_bytes();
+    let mut pos = start;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            // Exponent sign: `1e-3` / `1E+3`.
+            if (b == b'e' || b == b'E')
+                && matches!(bytes.get(pos + 1), Some(b'+') | Some(b'-'))
+                && bytes.get(pos + 2).is_some_and(u8::is_ascii_digit)
+            {
+                pos += 2;
+            }
+            pos += 1;
+        } else if b == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) {
+            // Decimal point, but never the `..` of a range or a method call
+            // on a literal.
+            pos += 1;
+        } else {
+            break;
+        }
+    }
+    (source[start..pos].to_string(), pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_never_produce_idents() {
+        let source = r##"
+            // Instant::now in a comment
+            /* Mutex in /* a nested */ block comment */
+            let a = "Instant::now() in a string";
+            let b = r#"RwLock in a raw "quoted" string"#;
+            let c = 'M';
+            let real = Marker;
+        "##;
+        let words = idents(source);
+        assert!(!words.contains(&"Instant".to_string()), "{words:?}");
+        assert!(!words.contains(&"Mutex".to_string()));
+        assert!(!words.contains(&"RwLock".to_string()));
+        assert!(words.contains(&"Marker".to_string()));
+        let lexed = lex(source);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } let c = 'x'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer", "'outer"]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn numbers_and_punctuation_tokenize() {
+        let lexed = lex("let x = 1.5e-3 + 0xFF_u32; let r = 0..10; t.0");
+        let numbers: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(numbers, ["1.5e-3", "0xFF_u32", "0", "10", "0"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_literals() {
+        let source = "let a = \"one\nl两\nthree\";\nlet marker = 1;";
+        let lexed = lex(source);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker ident");
+        assert_eq!(marker.line, 4);
+    }
+}

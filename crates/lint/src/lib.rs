@@ -1,0 +1,278 @@
+//! `mes-lint`: the repo's invariant-enforcing static analysis pass.
+//!
+//! The repo's value proposition is its invariants — every execution path
+//! bit-identical to sequential, zero mes-sim heap on warm rounds, a
+//! lock-free claim scheduler with write-once result cells, structural
+//! fingerprints that collapse float signed zeros. The dynamic suites
+//! (`tests/batch_determinism.rs`, `tests/alloc_regression.rs`, the
+//! scheduler model checker in `mes_core::exec::model`) *sample* those
+//! invariants over a handful of configurations; this crate *proves* at
+//! review time that the hot paths cannot regress into the bug classes the
+//! suites exist to catch. See [`rules`] for the rule catalogue and
+//! `INVARIANTS.md` at the workspace root for the invariant → gate map.
+//!
+//! The linter is a library plus a `mes-lint` binary:
+//!
+//! ```text
+//! cargo run -p mes-lint               # lint the workspace, exit 1 on findings
+//! cargo run -p mes-lint -- --self-check   # prove seeded violations are caught
+//! ```
+//!
+//! Everything is hand-rolled over [`lexer`] (no `syn`, no registry access),
+//! in keeping with the offline `shims/` approach.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, Diagnostic, TypeRegistry};
+
+use std::path::{Path, PathBuf};
+
+/// Collects every workspace `.rs` file the linter audits: `crates/`,
+/// `tests/`, and `examples/` under `root`, skipping `shims/` (stubs of
+/// *external* crates — `parking_lot` legitimately defines `Mutex`) and
+/// `target/`. Paths come back sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "shims" {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`: pass 1 collects float-bearing
+/// types across every file, pass 2 runs the rules. Returns all findings
+/// plus the number of files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    let mut registry = TypeRegistry::default();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        registry.collect(&source);
+        let relative = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        sources.push((relative, source));
+    }
+    let mut diagnostics = Vec::new();
+    for (relative, source) in &sources {
+        diagnostics.extend(check_source(relative, source, &registry));
+    }
+    Ok((diagnostics, sources.len()))
+}
+
+/// A seeded-violation fixture: a source snippet at a virtual workspace
+/// path that the rule engine **must** flag (or, for the `clean` guard,
+/// must not).
+pub struct Fixture {
+    /// What the fixture demonstrates.
+    pub name: &'static str,
+    /// Virtual workspace-relative path deciding the rule scope.
+    pub path: &'static str,
+    /// The snippet to lint.
+    pub source: &'static str,
+    /// Rule id expected to fire; `None` means the snippet must be clean.
+    pub expect: Option<&'static str>,
+}
+
+/// The seeded violations behind `mes-lint --self-check` (and CI's lint
+/// gate): each is a historical or representable-by-accident bug class, and
+/// the self-check fails if the engine ever stops catching one — a lint
+/// that can no longer fail is not a gate.
+pub fn self_check_fixtures() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            name: "Instant::now seeded into mes_sim::engine",
+            path: "crates/sim/src/engine.rs",
+            source: r#"
+                fn run_process(&mut self) {
+                    let started = Instant::now();
+                    self.clock += started.elapsed().as_nanos() as u64;
+                }
+            "#,
+            expect: Some(rules::NONDETERMINISM),
+        },
+        Fixture {
+            name: "float Hash without to_bits (the PR 5 signed-zero class)",
+            path: "crates/sim/src/noise.rs",
+            source: r#"
+                pub struct GaussianJitter { pub sigma_ns: f64 }
+                impl Hash for GaussianJitter {
+                    fn hash<H: Hasher>(&self, state: &mut H) {
+                        (self.sigma_ns as u64).hash(state);
+                    }
+                }
+            "#,
+            expect: Some(rules::FLOAT_HASH),
+        },
+        Fixture {
+            name: "thread::sleep seeded into the round executor",
+            path: "crates/core/src/exec.rs",
+            source: "fn claim(&self) { std::thread::sleep(backoff); }",
+            expect: Some(rules::NONDETERMINISM),
+        },
+        Fixture {
+            name: "HashMap iteration seeded into a fingerprint path",
+            path: "crates/types/src/fingerprint.rs",
+            source: r#"
+                fn fingerprint(index: HashMap<u64, u64>) -> u64 {
+                    let mut h = 0;
+                    for (k, v) in index.iter() { h ^= k ^ v; }
+                    h
+                }
+            "#,
+            expect: Some(rules::MAP_ITERATION),
+        },
+        Fixture {
+            name: "allocation seeded into a warm-path region",
+            path: "crates/core/src/backend.rs",
+            source: r#"
+                fn patch(&mut self) {
+                    // lint: warm-path
+                    let label = format!("shape-{}", self.shape);
+                    // lint: end-warm-path
+                }
+            "#,
+            expect: Some(rules::WARM_PATH_ALLOC),
+        },
+        Fixture {
+            name: "Mutex seeded into the scheduler hot path",
+            path: "crates/core/src/exec.rs",
+            source: r#"
+                fn claims(&self) {
+                    // lint: hot-path
+                    let slot = self.results.lock().unwrap();
+                    // lint: end-hot-path
+                }
+            "#,
+            expect: Some(rules::SCHEDULER_LOCK),
+        },
+        Fixture {
+            name: "clean warm-path region stays clean (engine can pass)",
+            path: "crates/sim/src/engine.rs",
+            source: r#"
+                fn warm(&mut self) {
+                    // lint: warm-path
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(&self.windows);
+                    self.scratch.sort_unstable_by_key(|m| m.slot);
+                    // lint: end-warm-path
+                }
+            "#,
+            expect: None,
+        },
+    ]
+}
+
+/// Runs the self-check: every fixture must produce exactly its expected
+/// outcome. Returns a human-readable failure list (empty = pass).
+pub fn run_self_check() -> Vec<String> {
+    let mut failures = Vec::new();
+    for fixture in self_check_fixtures() {
+        let mut registry = TypeRegistry::default();
+        registry.collect(fixture.source);
+        let diagnostics = check_source(fixture.path, fixture.source, &registry);
+        match fixture.expect {
+            Some(rule) => {
+                if !diagnostics.iter().any(|d| d.rule == rule) {
+                    failures.push(format!(
+                        "NOT CAUGHT: {} (expected rule {rule}, got {:?})",
+                        fixture.name,
+                        diagnostics.iter().map(|d| d.rule).collect::<Vec<_>>()
+                    ));
+                }
+            }
+            None => {
+                if !diagnostics.is_empty() {
+                    failures.push(format!(
+                        "FALSE POSITIVE: {} flagged {:?}",
+                        fixture.name,
+                        diagnostics.iter().map(|d| d.rule).collect::<Vec<_>>()
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_fixtures_all_behave() {
+        assert_eq!(run_self_check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_workspace_tree_is_clean() {
+        // The acceptance gate, as a test: `cargo run -p mes-lint` must exit
+        // 0 on the committed tree. CARGO_MANIFEST_DIR points at crates/lint.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let (diagnostics, scanned) = lint_workspace(root).expect("scan workspace");
+        assert!(scanned > 50, "expected a full scan, saw {scanned} files");
+        assert!(
+            diagnostics.is_empty(),
+            "workspace must lint clean:\n{}",
+            diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn the_workspace_actually_carries_annotations() {
+        // The warm/hot regions the rules audit must exist — otherwise the
+        // warm-path and hot-path rules are vacuously green.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let mut warm = 0usize;
+        let mut hot = 0usize;
+        for path in workspace_files(root).expect("scan") {
+            let source = std::fs::read_to_string(&path).expect("read");
+            for comment in lexer::lex(&source).comments {
+                let text = comment.text.trim_start_matches(['/', '!']).trim();
+                if text == "lint: warm-path" {
+                    warm += 1;
+                }
+                if text == "lint: hot-path" {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(warm >= 3, "expected ≥3 warm-path regions, found {warm}");
+        assert!(hot >= 1, "expected ≥1 hot-path region, found {hot}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The `mes-lint` binary: lints the workspace tree (default) or proves the
+//! seeded-violation fixtures are still caught (`--self-check`). Wired into
+//! CI as a required gate next to the scheduler model checker.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mes-lint [--root <workspace-root>] [--self-check]\n\
+         \n\
+         default      lint every workspace .rs file; exit 1 on violations\n\
+         --self-check run the seeded-violation fixtures; exit 1 if any is\n\
+         \x20             no longer caught (a lint that cannot fail is not a gate)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut self_check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-check" => self_check = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    if self_check {
+        let failures = mes_lint::run_self_check();
+        let total = mes_lint::self_check_fixtures().len();
+        if failures.is_empty() {
+            println!("mes-lint self-check: all {total} seeded fixtures behave as expected");
+            return ExitCode::SUCCESS;
+        }
+        for failure in &failures {
+            eprintln!("mes-lint self-check: {failure}");
+        }
+        eprintln!(
+            "mes-lint self-check: {}/{total} fixtures misbehaved",
+            failures.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // `cargo run -p mes-lint` executes from the workspace root, but derive
+    // the root from the crate's own location so the binary also works when
+    // invoked from a subdirectory or as a bare target/ executable.
+    let root = root.unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/lint sits two levels under the workspace root")
+            .to_path_buf()
+    });
+    match mes_lint::lint_workspace(&root) {
+        Ok((diagnostics, scanned)) if diagnostics.is_empty() => {
+            println!("mes-lint: {scanned} files scanned, 0 violations");
+            ExitCode::SUCCESS
+        }
+        Ok((diagnostics, scanned)) => {
+            for diagnostic in &diagnostics {
+                eprintln!("{diagnostic}");
+            }
+            eprintln!(
+                "mes-lint: {scanned} files scanned, {} violation(s)",
+                diagnostics.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("mes-lint: cannot scan {}: {error}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

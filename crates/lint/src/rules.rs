@@ -1,0 +1,991 @@
+//! The repo-specific rule engine over [`crate::lexer`] token streams.
+//!
+//! Every rule guards an invariant the dynamic gates can only *sample*
+//! (see `INVARIANTS.md` at the workspace root):
+//!
+//! * [`NONDETERMINISM`] — no wall-clock or scheduler-dependent sources
+//!   (`Instant`, `SystemTime`, `thread::sleep`) inside the simulation
+//!   engine, the round executor, or the fingerprint/serialization paths.
+//!   Batch determinism means every round is a pure function of
+//!   `(plan, round index, seed)`; one stray clock read breaks that on a
+//!   path the determinism suite happens not to sample.
+//! * [`MAP_ITERATION`] — no iteration over `HashMap`/`HashSet` in those
+//!   same modules. Insert/lookup are fine (`RandomState` only randomizes
+//!   *order*), but iteration order leaks the per-process hash seed into
+//!   results — the bug class that forced `mes_stats::json` to model
+//!   objects as ordered pairs.
+//! * [`WARM_PATH_ALLOC`] — no allocation-capable calls inside
+//!   `// lint: warm-path` … `// lint: end-warm-path` regions. The alloc
+//!   gates prove two shapes stay allocation-free; the marker makes the
+//!   discipline reviewable on every line of the warm loops.
+//! * [`SCHEDULER_LOCK`] — no `Mutex`/`RwLock`/`.lock()` inside
+//!   `// lint: hot-path` … `// lint: end-hot-path` regions: the executor's
+//!   claim loop is lock-free (CAS + write-once cells) by design.
+//! * [`FLOAT_HASH`] — every `impl Hash` on a float-bearing type must hash
+//!   through `to_bits` (or the repo's signed-zero-collapsing `float_bits`
+//!   helper), and float-bearing types must not `#[derive(Hash)]`. This is
+//!   the PR 5 signed-zero fingerprint bug class, made unrepresentable.
+//! * [`LINT_MARKER`] — the markers themselves are checked: unknown
+//!   directives, unterminated regions and reason-less allows are errors,
+//!   so an annotation can never silently rot.
+//!
+//! Exceptions are spelled `// lint: allow(<rule>) — <reason>` on the
+//! offending line or the line above, so every exemption is a visible diff.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Rule id: nondeterminism sources in deterministic modules.
+pub const NONDETERMINISM: &str = "nondeterminism";
+/// Rule id: `HashMap`/`HashSet` iteration in deterministic modules.
+pub const MAP_ITERATION: &str = "map-iteration";
+/// Rule id: allocation-capable calls inside warm-path regions.
+pub const WARM_PATH_ALLOC: &str = "warm-path-alloc";
+/// Rule id: locks inside hot-path (scheduler) regions.
+pub const SCHEDULER_LOCK: &str = "scheduler-lock";
+/// Rule id: float-bearing `Hash` without `to_bits`.
+pub const FLOAT_HASH: &str = "float-hash";
+/// Rule id: malformed/unterminated lint markers.
+pub const LINT_MARKER: &str = "lint-marker";
+
+/// Every rule id, for allow-target validation.
+pub const ALL_RULES: &[&str] = &[
+    NONDETERMINISM,
+    MAP_ITERATION,
+    WARM_PATH_ALLOC,
+    SCHEDULER_LOCK,
+    FLOAT_HASH,
+    LINT_MARKER,
+];
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule id (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Workspace-wide facts collected in pass 1 (before any rule runs):
+/// which type names carry `f32`/`f64` fields.
+#[derive(Debug, Default)]
+pub struct TypeRegistry {
+    float_bearing: BTreeSet<String>,
+}
+
+impl TypeRegistry {
+    /// Records every float-bearing `struct`/`enum` defined in `source`.
+    /// "Float-bearing" means an `f32`/`f64` token appears anywhere in the
+    /// type's body — fields, tuple elements, or generic arguments like
+    /// `Vec<f64>`. (Types whose floats hide behind another *type* are that
+    /// type's `Hash` impl's problem; this intentionally checks one level.)
+    pub fn collect(&mut self, source: &str) {
+        let lexed = lex(source);
+        let tokens = strip_test_modules(&lexed.tokens);
+        let mut i = 0;
+        while i < tokens.len() {
+            if (tokens[i].is_ident("struct") || tokens[i].is_ident("enum"))
+                && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident)
+            {
+                let name = tokens[i + 1].text.clone();
+                // Body: the brace or paren group that follows (skipping
+                // generics). A `;` first means a unit struct — no body.
+                let mut j = i + 2;
+                let mut depth = 0usize;
+                let mut body_floats = false;
+                while j < tokens.len() {
+                    let t = &tokens[j];
+                    if depth == 0 && t.is_punct(';') {
+                        break;
+                    }
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') || t.is_punct('>') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 && (t.is_punct('}') || t.is_punct(')')) {
+                            j += 1;
+                            break;
+                        }
+                    } else if depth > 0 && (t.is_ident("f64") || t.is_ident("f32")) {
+                        body_floats = true;
+                    }
+                    j += 1;
+                }
+                if body_floats {
+                    self.float_bearing.insert(name);
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether `name` was recorded as float-bearing.
+    pub fn is_float_bearing(&self, name: &str) -> bool {
+        self.float_bearing.contains(name)
+    }
+}
+
+/// A parsed `// lint: …` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Directive {
+    WarmStart,
+    WarmEnd,
+    HotStart,
+    HotEnd,
+    Allow { rule: String, has_reason: bool },
+}
+
+/// Extracts the `lint:` directive from a comment, if any. Doc-comment
+/// markers (`///`, `//!`) and leading whitespace are stripped first.
+fn parse_directive(comment: &Comment) -> Option<Result<Directive, String>> {
+    let text = comment.text.trim_start_matches(['/', '!']).trim();
+    let rest = text.strip_prefix("lint:")?.trim();
+    if rest == "warm-path" {
+        return Some(Ok(Directive::WarmStart));
+    }
+    if rest == "end-warm-path" {
+        return Some(Ok(Directive::WarmEnd));
+    }
+    if rest == "hot-path" {
+        return Some(Ok(Directive::HotStart));
+    }
+    if rest == "end-hot-path" {
+        return Some(Ok(Directive::HotEnd));
+    }
+    if let Some(after) = rest.strip_prefix("allow(") {
+        let Some(close) = after.find(')') else {
+            return Some(Err("allow(…) is missing its closing parenthesis".into()));
+        };
+        let rule = after[..close].trim().to_string();
+        if !ALL_RULES.contains(&rule.as_str()) {
+            return Some(Err(format!(
+                "allow names unknown rule {rule:?} (known: {})",
+                ALL_RULES.join(", ")
+            )));
+        }
+        // A reason is mandatory: strip a separator (— / - / :) and require
+        // prose after it.
+        let reason = after[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim();
+        return Some(Ok(Directive::Allow {
+            rule,
+            has_reason: !reason.is_empty(),
+        }));
+    }
+    Some(Err(format!(
+        "unknown lint directive {rest:?} (expected warm-path, end-warm-path, hot-path, \
+         end-hot-path, or allow(<rule>) — <reason>)"
+    )))
+}
+
+/// The marker state of one file: warm/hot line regions plus allow lines.
+#[derive(Debug, Default)]
+struct Markers {
+    /// Inclusive (start, end) line ranges between paired region markers.
+    warm: Vec<(u32, u32)>,
+    hot: Vec<(u32, u32)>,
+    /// `(line, rule)` of each well-formed allow.
+    allows: Vec<(u32, String)>,
+    /// Diagnostics produced while parsing the markers themselves.
+    errors: Vec<(u32, String)>,
+}
+
+fn parse_markers(comments: &[Comment]) -> Markers {
+    let mut markers = Markers::default();
+    let mut warm_open: Option<u32> = None;
+    let mut hot_open: Option<u32> = None;
+    for comment in comments {
+        match parse_directive(comment) {
+            None => {}
+            Some(Err(message)) => markers.errors.push((comment.line, message)),
+            Some(Ok(Directive::WarmStart)) => {
+                if let Some(open) = warm_open {
+                    markers.errors.push((
+                        comment.line,
+                        format!("warm-path region opened twice (previous open at line {open})"),
+                    ));
+                }
+                warm_open = Some(comment.line);
+            }
+            Some(Ok(Directive::WarmEnd)) => match warm_open.take() {
+                Some(start) => markers.warm.push((start, comment.line)),
+                None => markers
+                    .errors
+                    .push((comment.line, "end-warm-path without warm-path".into())),
+            },
+            Some(Ok(Directive::HotStart)) => {
+                if let Some(open) = hot_open {
+                    markers.errors.push((
+                        comment.line,
+                        format!("hot-path region opened twice (previous open at line {open})"),
+                    ));
+                }
+                hot_open = Some(comment.line);
+            }
+            Some(Ok(Directive::HotEnd)) => match hot_open.take() {
+                Some(start) => markers.hot.push((start, comment.line)),
+                None => markers
+                    .errors
+                    .push((comment.line, "end-hot-path without hot-path".into())),
+            },
+            Some(Ok(Directive::Allow { rule, has_reason })) => {
+                if has_reason {
+                    markers.allows.push((comment.line, rule));
+                } else {
+                    markers.errors.push((
+                        comment.line,
+                        format!("allow({rule}) requires a reason after the rule name"),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(open) = warm_open {
+        markers.errors.push((
+            open,
+            "warm-path region never closed (missing end-warm-path)".into(),
+        ));
+    }
+    if let Some(open) = hot_open {
+        markers.errors.push((
+            open,
+            "hot-path region never closed (missing end-hot-path)".into(),
+        ));
+    }
+    markers
+}
+
+impl Markers {
+    fn in_warm(&self, line: u32) -> bool {
+        self.warm.iter().any(|&(s, e)| line > s && line < e)
+    }
+
+    fn in_hot(&self, line: u32) -> bool {
+        self.hot.iter().any(|&(s, e)| line > s && line < e)
+    }
+
+    /// An allow on the offending line or the line directly above suppresses
+    /// a diagnostic for that rule.
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Removes `#[cfg(test)]`-guarded items from the token stream: rules audit
+/// shipping code; tests may freely use clocks, locks, and allocation.
+fn strip_test_modules(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if is_cfg_test {
+            // Skip the guarded item: everything through its brace-matched
+            // body (or to a `;` for `mod name;` forms).
+            let mut j = i + 7;
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if depth == 0 && t.is_punct(';') {
+                    j += 1;
+                    break;
+                }
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether `path` (workspace-relative, `/`-separated) belongs to the
+/// determinism-gated modules: the simulation engine, the round executor
+/// (and its model checker), and the fingerprint/serialization paths.
+pub fn determinism_scoped(path: &str) -> bool {
+    path.starts_with("crates/sim/src/")
+        || path == "crates/core/src/exec.rs"
+        || path.starts_with("crates/core/src/exec/")
+        || path == "crates/types/src/fingerprint.rs"
+        || path == "crates/stats/src/json.rs"
+        || path == "crates/core/src/experiment/codec.rs"
+}
+
+/// Runs every rule over one file. `path` must be workspace-relative with
+/// `/` separators; `registry` carries the pass-1 type facts.
+pub fn check_source(path: &str, source: &str, registry: &TypeRegistry) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let markers = parse_markers(&lexed.comments);
+    let tokens = strip_test_modules(&lexed.tokens);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    for (line, message) in &markers.errors {
+        raw.push(Diagnostic {
+            rule: LINT_MARKER,
+            path: path.to_string(),
+            line: *line,
+            message: message.clone(),
+        });
+    }
+
+    if determinism_scoped(path) {
+        check_nondeterminism(path, &tokens, &mut raw);
+        check_map_iteration(path, &tokens, &mut raw);
+    }
+    check_warm_path(path, &tokens, &markers, &mut raw);
+    check_hot_path(path, &tokens, &markers, &mut raw);
+    check_float_hash(path, &tokens, registry, &mut raw);
+
+    raw.retain(|d| d.rule == LINT_MARKER || !markers.allowed(d.rule, d.line));
+    raw
+}
+
+fn diag(path: &str, rule: &'static str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    }
+}
+
+fn check_nondeterminism(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            out.push(diag(
+                path,
+                NONDETERMINISM,
+                t.line,
+                format!(
+                    "`{}` reads the wall clock; rounds must be pure functions of \
+                     (plan, round index, seed)",
+                    t.text
+                ),
+            ));
+        }
+        // `thread::sleep` / `std::thread::sleep`.
+        if t.is_ident("thread")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("sleep"))
+        {
+            out.push(diag(
+                path,
+                NONDETERMINISM,
+                t.line,
+                "`thread::sleep` injects scheduler-dependent timing; simulated waits go \
+                 through the engine's virtual clock"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// Methods that observe a hash map/set's (seed-randomized) order.
+const ITERATION_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn check_map_iteration(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    // Pass 1: names declared as HashMap/HashSet, from `name: HashMap<…>`
+    // field/binding types (possibly path-qualified) and from
+    // `let [mut] name = HashMap::new()`-style initializations.
+    let mut maps: BTreeSet<String> = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over a path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+            j -= 2;
+            if j >= 1 && tokens[j - 1].kind == TokenKind::Ident {
+                j -= 1;
+            }
+        }
+        if j >= 2
+            && tokens[j - 1].is_punct(':')
+            && !tokens[j - 2].is_punct(':')
+            && tokens[j - 2].kind == TokenKind::Ident
+        {
+            maps.insert(tokens[j - 2].text.clone());
+        }
+        if j >= 2 && tokens[j - 1].is_punct('=') {
+            let mut k = j - 2;
+            if tokens[k].is_ident("mut") && k >= 1 {
+                k -= 1;
+            }
+            if tokens[k].kind == TokenKind::Ident && !tokens[k].is_ident("mut") {
+                maps.insert(tokens[k].text.clone());
+            }
+        }
+    }
+    if maps.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration over a known name — `name.iter()`-style calls and
+    // `for … in [&[mut]] name`.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && maps.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            if let Some(method) = tokens.get(i + 2) {
+                if ITERATION_METHODS.contains(&method.text.as_str())
+                    && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+                {
+                    out.push(diag(
+                        path,
+                        MAP_ITERATION,
+                        method.line,
+                        format!(
+                            "iterating `{}` (a HashMap/HashSet) observes RandomState \
+                             order; use a BTreeMap/Vec or sort first",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        if t.is_ident("for") {
+            // Find `in`, then the short expression before the loop body.
+            let Some(in_at) = (i + 1..tokens.len().min(i + 12)).find(|&j| tokens[j].is_ident("in"))
+            else {
+                continue;
+            };
+            let Some(body_at) =
+                (in_at + 1..tokens.len().min(in_at + 6)).find(|&j| tokens[j].is_punct('{'))
+            else {
+                continue;
+            };
+            let expr = &tokens[in_at + 1..body_at];
+            let named = expr
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .collect::<Vec<_>>();
+            if let [only] = named.as_slice() {
+                if maps.contains(&only.text) {
+                    out.push(diag(
+                        path,
+                        MAP_ITERATION,
+                        only.line,
+                        format!(
+                            "`for … in {}` iterates a HashMap/HashSet in RandomState order",
+                            only.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-capable constructor paths (`Type :: method`).
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Allocation-capable method calls (`.method(`).
+const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "clone",
+    "push",
+];
+
+fn check_warm_path(path: &str, tokens: &[Token], markers: &Markers, out: &mut Vec<Diagnostic>) {
+    if markers.warm.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !markers.in_warm(t.line) {
+            continue;
+        }
+        if (t.is_ident("format") || t.is_ident("vec"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(diag(
+                path,
+                WARM_PATH_ALLOC,
+                t.line,
+                format!(
+                    "`{}!` allocates on every call inside a warm-path region",
+                    t.text
+                ),
+            ));
+        }
+        for (ty, method) in ALLOC_PATHS {
+            if t.is_ident(ty)
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|n| n.is_ident(method))
+            {
+                out.push(diag(
+                    path,
+                    WARM_PATH_ALLOC,
+                    t.line,
+                    format!("`{ty}::{method}` constructs a heap value inside a warm-path region"),
+                ));
+            }
+        }
+        if t.is_punct('.')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| ALLOC_METHODS.contains(&n.text.as_str()))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let method = &tokens[i + 1];
+            out.push(diag(
+                path,
+                WARM_PATH_ALLOC,
+                method.line,
+                format!(
+                    "`.{}(…)` may allocate inside a warm-path region (reuse a scratch \
+                     buffer, patch in place, or share an Arc)",
+                    method.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_hot_path(path: &str, tokens: &[Token], markers: &Markers, out: &mut Vec<Diagnostic>) {
+    if markers.hot.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !markers.in_hot(t.line) {
+            continue;
+        }
+        if t.is_ident("Mutex") || t.is_ident("RwLock") || t.is_ident("parking_lot") {
+            out.push(diag(
+                path,
+                SCHEDULER_LOCK,
+                t.line,
+                format!(
+                    "`{}` inside a hot-path region: the claim loop is lock-free \
+                     (CAS cursor + write-once cells) by design",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("lock"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(diag(
+                path,
+                SCHEDULER_LOCK,
+                tokens[i + 1].line,
+                "`.lock()` inside a hot-path region blocks the claim loop".into(),
+            ));
+        }
+    }
+}
+
+fn check_float_hash(
+    path: &str,
+    tokens: &[Token],
+    registry: &TypeRegistry,
+    out: &mut Vec<Diagnostic>,
+) {
+    // `#[derive(…, Hash, …)]` on a float-bearing struct/enum. (rustc would
+    // reject a *direct* float field anyway — f64 is not Hash — but a field
+    // like `Wrapping<f64>` via a Hash-implementing wrapper would slip by.)
+    let mut pending_derive_hash: Option<u32> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('#')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("derive"))
+        {
+            let mut j = i + 3;
+            while j < tokens.len() && !tokens[j].is_punct(']') {
+                if tokens[j].is_ident("Hash") {
+                    pending_derive_hash = Some(tokens[j].line);
+                }
+                j += 1;
+            }
+            i = j;
+        } else if t.is_ident("struct") || t.is_ident("enum") {
+            if let (Some(line), Some(name)) = (pending_derive_hash.take(), tokens.get(i + 1)) {
+                if registry.is_float_bearing(&name.text) {
+                    out.push(diag(
+                        path,
+                        FLOAT_HASH,
+                        line,
+                        format!(
+                            "`{}` carries float fields; derive(Hash) would hash raw bit \
+                             patterns per-field impls choose — write `impl Hash` going \
+                             through `to_bits` (collapse signed zeros!)",
+                            name.text
+                        ),
+                    ));
+                }
+            }
+        } else if t.is_ident("fn") || t.is_ident("impl") || t.is_ident("mod") {
+            pending_derive_hash = None;
+        }
+
+        // `impl [<…>] [path::]Hash for [path::]Type [<…>] { … }` — the body
+        // must mention `to_bits` (or the canonicalizing `float_bits` helper)
+        // when Type is float-bearing.
+        if t.is_ident("Hash")
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("for"))
+            && preceded_by_impl(tokens, i)
+        {
+            let mut j = i + 2;
+            let mut type_name: Option<String> = None;
+            let mut angle = 0usize;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                match &tokens[j] {
+                    t if t.is_punct('<') => angle += 1,
+                    t if t.is_punct('>') => angle = angle.saturating_sub(1),
+                    t if angle == 0 && t.kind == TokenKind::Ident && !t.is_ident("where") => {
+                        type_name = Some(t.text.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(name) = type_name {
+                if registry.is_float_bearing(&name) {
+                    let mut depth = 0usize;
+                    let mut saw_bits = false;
+                    let impl_line = t.line;
+                    while j < tokens.len() {
+                        let b = &tokens[j];
+                        if b.is_punct('{') {
+                            depth += 1;
+                        } else if b.is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if b.is_ident("to_bits") || b.is_ident("float_bits") {
+                            saw_bits = true;
+                        }
+                        j += 1;
+                    }
+                    if !saw_bits {
+                        out.push(diag(
+                            path,
+                            FLOAT_HASH,
+                            impl_line,
+                            format!(
+                                "`impl Hash for {name}` hashes float fields without \
+                                 `to_bits`/`float_bits`; -0.0 and 0.0 would fingerprint \
+                                 unequally (the PR 5 signed-zero bug class)"
+                            ),
+                        ));
+                    }
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// Whether the `Hash` at `at` is part of an `impl … Hash for` header:
+/// walk left over path segments and generics to an `impl` keyword.
+fn preceded_by_impl(tokens: &[Token], at: usize) -> bool {
+    let mut j = at;
+    let mut budget = 24usize;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = &tokens[j];
+        if t.is_ident("impl") {
+            return true;
+        }
+        let is_path_or_generic = t.is_punct(':')
+            || t.is_punct('<')
+            || t.is_punct('>')
+            || t.is_punct(',')
+            || t.is_lifetime_or_ident();
+        if !is_path_or_generic {
+            return false;
+        }
+    }
+    false
+}
+
+impl Token {
+    fn is_lifetime_or_ident(&self) -> bool {
+        matches!(self.kind, TokenKind::Ident | TokenKind::Lifetime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, source: &str) -> Vec<Diagnostic> {
+        let mut registry = TypeRegistry::default();
+        registry.collect(source);
+        check_source(path, source, &registry)
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn instant_in_sim_is_flagged_and_comments_are_not() {
+        let source = r#"
+            // Instant::now() in prose is fine.
+            fn round() {
+                let t = Instant::now();
+            }
+        "#;
+        let diags = check("crates/sim/src/engine.rs", source);
+        assert_eq!(rules_of(&diags), [NONDETERMINISM]);
+        assert_eq!(diags[0].line, 4);
+        // Same source outside the determinism scope: clean.
+        assert!(check("crates/bench/src/shard.rs", source).is_empty());
+    }
+
+    #[test]
+    fn thread_sleep_and_system_time_are_flagged() {
+        let source = "fn f() { std::thread::sleep(d); let t = SystemTime::now(); }";
+        let diags = check("crates/core/src/exec.rs", source);
+        assert_eq!(rules_of(&diags), [NONDETERMINISM, NONDETERMINISM]);
+    }
+
+    #[test]
+    fn map_iteration_is_flagged_but_lookup_is_not() {
+        let source = r#"
+            struct S { index: HashMap<u64, usize> }
+            fn ok(s: &S) -> Option<&usize> { s.index.get(&1) }
+            fn bad(s: &S) { for (k, v) in s.index.iter() { drop((k, v)); } }
+            fn also_bad(set: HashSet<u32>) { for x in &set { drop(x); } }
+        "#;
+        let diags = check("crates/sim/src/fs.rs", source);
+        assert_eq!(rules_of(&diags), [MAP_ITERATION, MAP_ITERATION]);
+    }
+
+    #[test]
+    fn let_bound_map_iteration_is_flagged() {
+        let source = r#"
+            fn f() {
+                let mut shapes = HashMap::new();
+                shapes.insert(1, 2);
+                let all: Vec<_> = shapes.values().collect();
+            }
+        "#;
+        let diags = check("crates/sim/src/noise.rs", source);
+        assert_eq!(rules_of(&diags), [MAP_ITERATION]);
+    }
+
+    #[test]
+    fn warm_path_flags_allocation_and_allow_suppresses() {
+        let source = r#"
+            fn warm() {
+                // lint: warm-path
+                let a = format!("boom");
+                let b = x.to_string();
+                // lint: allow(warm-path-alloc) — output value, allocated once per round
+                let c = windows.iter().map(f).collect();
+                buffer.extend_from_slice(&c);
+                // lint: end-warm-path
+                let outside = format!("fine");
+            }
+        "#;
+        let diags = check("crates/core/src/backend.rs", source);
+        assert_eq!(rules_of(&diags), [WARM_PATH_ALLOC, WARM_PATH_ALLOC]);
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[1].line, 5);
+    }
+
+    #[test]
+    fn hot_path_flags_locks() {
+        let source = r#"
+            fn claim() {
+                // lint: hot-path
+                let guard = state.lock().unwrap();
+                let m: Mutex<u32> = Mutex::new(0);
+                // lint: end-hot-path
+            }
+        "#;
+        let diags = check("crates/core/src/exec.rs", source);
+        assert_eq!(
+            rules_of(&diags),
+            [SCHEDULER_LOCK, SCHEDULER_LOCK, SCHEDULER_LOCK]
+        );
+    }
+
+    #[test]
+    fn float_hash_without_to_bits_is_flagged() {
+        let bad = r#"
+            struct Jitter { sigma: f64 }
+            impl Hash for Jitter {
+                fn hash<H: Hasher>(&self, state: &mut H) {
+                    (self.sigma as u64).hash(state);
+                }
+            }
+        "#;
+        let diags = check("crates/sim/src/noise.rs", bad);
+        assert_eq!(rules_of(&diags), [FLOAT_HASH]);
+
+        let good = r#"
+            struct Jitter { sigma: f64 }
+            impl Hash for Jitter {
+                fn hash<H: Hasher>(&self, state: &mut H) {
+                    self.sigma.to_bits().hash(state);
+                }
+            }
+        "#;
+        assert!(check("crates/sim/src/noise.rs", good).is_empty());
+
+        let helper = r#"
+            struct Jitter { sigma: f64 }
+            impl Hash for Jitter {
+                fn hash<H: Hasher>(&self, state: &mut H) {
+                    float_bits(self.sigma).hash(state);
+                }
+            }
+        "#;
+        assert!(check("crates/sim/src/noise.rs", helper).is_empty());
+    }
+
+    #[test]
+    fn derive_hash_on_float_bearing_type_is_flagged() {
+        let source = r#"
+            #[derive(Clone, Hash)]
+            struct Level(Wrapping<f64>);
+        "#;
+        let diags = check("crates/core/src/plan.rs", source);
+        assert_eq!(rules_of(&diags), [FLOAT_HASH]);
+        // Hash derives on float-free types are untouched.
+        assert!(check("crates/core/src/plan.rs", "#[derive(Hash)] struct Id(u64);").is_empty());
+    }
+
+    #[test]
+    fn non_float_hash_impls_and_hasher_impls_are_ignored() {
+        let source = r#"
+            struct Fnv64 { state: u64 }
+            impl Hasher for Fnv64 { fn finish(&self) -> u64 { self.state } }
+            struct Plain { a: u64 }
+            impl Hash for Plain {
+                fn hash<H: Hasher>(&self, state: &mut H) { self.a.hash(state); }
+            }
+        "#;
+        assert!(check("crates/types/src/fingerprint.rs", source).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let source = r#"
+            fn shipping() {}
+            #[cfg(test)]
+            mod tests {
+                fn t() { let x = Instant::now(); }
+            }
+        "#;
+        assert!(check("crates/sim/src/engine.rs", source).is_empty());
+    }
+
+    #[test]
+    fn marker_hygiene_is_enforced() {
+        let unterminated = "fn f() {\n// lint: warm-path\n}";
+        assert_eq!(
+            rules_of(&check("crates/sim/src/engine.rs", unterminated)),
+            [LINT_MARKER]
+        );
+        let unknown = "// lint: warm-loop\nfn f() {}";
+        assert_eq!(
+            rules_of(&check("crates/sim/src/engine.rs", unknown)),
+            [LINT_MARKER]
+        );
+        let reasonless =
+            "// lint: warm-path\n// lint: allow(warm-path-alloc)\n// lint: end-warm-path";
+        assert_eq!(
+            rules_of(&check("crates/sim/src/engine.rs", reasonless)),
+            [LINT_MARKER]
+        );
+        let unknown_rule = "// lint: allow(made-up) — because\nfn f() {}";
+        assert_eq!(
+            rules_of(&check("crates/sim/src/engine.rs", unknown_rule)),
+            [LINT_MARKER]
+        );
+    }
+
+    #[test]
+    fn allow_applies_to_same_line_and_next_line_only() {
+        let same_line = r#"
+            // lint: warm-path
+            let a = format!("x"); // lint: allow(warm-path-alloc) — cold error path
+            // lint: end-warm-path
+        "#;
+        assert!(check("crates/sim/src/engine.rs", same_line).is_empty());
+
+        let too_far = r#"
+            // lint: warm-path
+            // lint: allow(warm-path-alloc) — too far away
+            let spacer = 1;
+            let a = format!("x");
+            // lint: end-warm-path
+        "#;
+        assert_eq!(
+            rules_of(&check("crates/sim/src/engine.rs", too_far)),
+            [WARM_PATH_ALLOC]
+        );
+    }
+}

@@ -227,6 +227,7 @@ impl Engine {
         self.objects.rewind();
         self.namespace.clear();
         self.fs.reset();
+        // lint: allow(map-iteration) — order-independent: every arrival list is cleared
         for barrier in self.barriers.values_mut() {
             barrier.arrived.clear();
         }
@@ -373,6 +374,7 @@ impl Engine {
     /// that is not visible from its session, …) or if the system deadlocks
     /// with blocked processes and no pending events.
     pub fn run_in_place(&mut self) -> Result<()> {
+        // lint: warm-path
         if self.barrier_parties.is_none() {
             // The counter was maintained by the spawns; this replaces what
             // used to be a rescan of every program's full op list here, on
@@ -396,6 +398,7 @@ impl Engine {
         // Every event has drained; any process still blocked means deadlock.
         if let Some(stuck) = self.processes.iter().find(|p| !p.is_terminated()) {
             return Err(MesError::Simulation {
+                // lint: allow(warm-path-alloc) — deadlock error path: the round is already lost
                 reason: format!(
                     "deadlock: process {} ({}) never terminated (pc={}, state={:?})",
                     stuck.id,
@@ -407,6 +410,7 @@ impl Engine {
         }
         Ok(())
     }
+    // lint: end-warm-path
 
     /// The virtual time at which the last process terminated (the current
     /// maximum of the per-process clocks while a run is in progress).
@@ -454,6 +458,7 @@ impl Engine {
     /// Executes ops of `pid` until it blocks, must yield for global ordering,
     /// or terminates.
     fn run_process(&mut self, pid: ProcessId) -> Result<()> {
+        // lint: warm-path
         // Hold the program through a cheap Arc clone so ops can be executed
         // by reference — the hot loop never clones an op (ops with owned
         // strings used to be cloned once per execution).
@@ -493,6 +498,7 @@ impl Engine {
                     pid,
                     TraceKind::OpExecuted {
                         op_index: pc,
+                        // lint: allow(warm-path-alloc) — trace is opt-in and off on measured rounds
                         description: format!("{op:?}"),
                     },
                 );
@@ -504,6 +510,7 @@ impl Engine {
             }
         }
     }
+    // lint: end-warm-path
 
     /// Executes a single op. Returns `false` if the process blocked (the
     /// caller must stop running it).

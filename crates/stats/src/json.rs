@@ -368,6 +368,13 @@ impl Parser<'_> {
             self.skip_whitespace();
             self.expect(b':')?;
             let value = self.parse_value()?;
+            // Objects are ordered pair lists, so a duplicate key would
+            // silently shadow on lookup while both spellings round-trip
+            // through render — reject it instead of deferring the ambiguity
+            // to whoever reads the document.
+            if pairs.iter().any(|(existing, _)| *existing == key) {
+                return Err(invalid(format!("duplicate object key {key:?}")));
+            }
             pairs.push((key, value));
             self.skip_whitespace();
             match self.peek() {
@@ -553,6 +560,40 @@ mod tests {
         assert_eq!(doc.require("rate").unwrap().as_f64().unwrap(), 13.105);
         assert!(doc.get("missing").is_none());
         assert!(doc.require("missing").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected_at_every_prefix() {
+        // Every strict prefix of a well-formed document must fail to parse —
+        // the error paths a torn shard frame would exercise.
+        let document = r#"{"name": "fig9", "xs": [1, -2.5e3, null], "ok": true}"#;
+        for cut in 1..document.len() {
+            let prefix = &document[..cut];
+            if !document.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Json::parse(prefix).is_err(),
+                "prefix {prefix:?} unexpectedly parsed"
+            );
+        }
+        assert!(Json::parse("").is_err());
+        // Trailing garbage after a complete value is also an error.
+        assert!(Json::parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        let error = Json::parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert!(
+            error.to_string().contains("duplicate object key \"a\""),
+            "unexpected error: {error}"
+        );
+        // Nested objects are checked too; sibling objects may repeat keys.
+        assert!(Json::parse(r#"{"outer": {"k": 1, "k": 2}}"#).is_err());
+        assert!(Json::parse(r#"[{"k": 1}, {"k": 2}]"#).is_ok());
+        // Escapes count by decoded value: "a" is another "a".
+        assert!(Json::parse(r#"{"a": 1, "a": 2}"#).is_err());
     }
 
     #[test]
