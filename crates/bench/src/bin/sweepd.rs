@@ -14,16 +14,28 @@
 //! spawns a pool of these with `--pool 1`, making worker processes the unit
 //! of parallelism.
 //!
+//! Serve mode (`serve <socket-path> [--pool N] [--quantum N]
+//! [--max-rounds N]`) runs the multi-tenant daemon (see
+//! [`mes_bench::serve`]): concurrent clients submit framed specs over a
+//! Unix socket, the daemon coalesces their cache-miss rounds into
+//! cross-tenant shape batches on one shared pool, and each client streams
+//! its `{"point": ...}` frames back as they fold, ending with a
+//! `{"result": ...}` frame. A `{"control": "shutdown"}` frame stops the
+//! daemon; per-tenant results stay bit-identical to serial submission.
+//!
 //! ```text
 //! cargo run --release -p mes-bench --bin sweepd -- examples/specs/fig9_small.json
 //! cat spec.json | cargo run --release -p mes-bench --bin sweepd
 //! sweepd --worker --pool 1   # framed spec/result loop until EOF
+//! sweepd serve /tmp/mes.sock --pool 4
 //! ```
 
 use mes_bench::run_spec_json;
+use mes_bench::serve::{serve, ServeOptions};
 use mes_bench::shard::worker_loop;
 use mes_types::{MesError, Result};
 use std::io::Read as _;
+use std::path::Path;
 
 fn read_input(path: Option<&str>) -> Result<String> {
     match path {
@@ -44,8 +56,51 @@ fn read_input(path: Option<&str>) -> Result<String> {
     }
 }
 
+/// Parses one `--flag value` usize option out of the serve argument list.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<usize>> {
+    match args.iter().position(|arg| arg == flag) {
+        None => Ok(None),
+        Some(position) => args
+            .get(position + 1)
+            .and_then(|value| value.parse().ok())
+            .map(Some)
+            .ok_or_else(|| MesError::InvalidConfig {
+                reason: format!("{flag} requires a non-negative count"),
+            }),
+    }
+}
+
+fn serve_main(args: &[String]) -> Result<()> {
+    let socket = args
+        .iter()
+        .find(|arg| !arg.starts_with("--"))
+        .ok_or_else(|| MesError::InvalidConfig {
+            reason: "serve requires a socket path: sweepd serve <socket-path>".into(),
+        })?;
+    let mut options = ServeOptions::default();
+    if let Some(pool) = flag_value(args, "--pool")? {
+        options.pool = pool;
+    }
+    if let Some(quantum) = flag_value(args, "--quantum")? {
+        options.quantum_rounds = quantum;
+    }
+    if let Some(max_rounds) = flag_value(args, "--max-rounds")? {
+        options.max_tenant_rounds = max_rounds;
+    }
+    eprintln!("sweepd: serving on {socket}");
+    let report = serve(Path::new(socket), &options)?;
+    eprintln!(
+        "sweepd: served {} submissions ({} rounds executed, {} cache hits)",
+        report.submissions, report.rounds_executed, report.cache_hits
+    );
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     if args.iter().any(|arg| arg == "--worker") {
         let pool = match args.iter().position(|arg| arg == "--pool") {
             Some(flag) => args

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve;
 pub mod shard;
 
 use mes_core::experiment::{CompiledExperiment, ExperimentRow};

@@ -1,0 +1,788 @@
+//! The `sweepd serve` daemon: a multi-tenant sweep server on a Unix socket.
+//!
+//! The daemon wraps [`mes_core::serve::SweepServer`] — concurrent
+//! submissions coalesced into cross-tenant shape batches on one shared
+//! worker pool — in a hand-rolled readiness loop (the workspace's
+//! dependencies are offline shims, so no async runtime): one event-loop
+//! thread owns a nonblocking `UnixListener` and every accepted connection,
+//! scanning them for readable frames and flushing per-connection outboxes,
+//! with exponential sleep backoff while idle. Submissions execute on
+//! handler threads that block inside the server and stream their frames
+//! back through a channel, so a slow client never stalls the pool and a
+//! large sweep never stalls the loop.
+//!
+//! # Wire protocol
+//!
+//! Frames are the shard protocol's `<decimal byte length>\n<payload>\n`
+//! (see [`crate::shard`]). Client → server payloads are either
+//! `ExperimentSpec` documents or control objects (see
+//! [`mes_stats::control`]): `{"control": "stats"}` answers with a
+//! `{"stats": {...}}` frame (scheduler and cache counters — cached bytes,
+//! evictions, hit/miss counts), and `{"control": "shutdown"}` is
+//! acknowledged with `{"ok": "shutdown"}`, after which the daemon stops
+//! accepting, drains in-flight submissions, and exits cleanly. Server →
+//! client, each submission streams zero or more `{"point": <outcome>}`
+//! frames (in grid order, as the fold emits them) followed by exactly one
+//! `{"result": <document>}` or `{"error": "..."}` frame. A connection may
+//! pipeline several specs; they are answered in order, one at a time.
+
+use crate::shard::{io_error, parse_frame_length, read_frame, write_frame};
+use mes_core::experiment::PointOutcome;
+use mes_core::serve::{ServeConfig, ServeStats, SweepServer};
+use mes_core::{ExperimentResult, ExperimentSpec};
+use mes_stats::Json;
+use mes_types::{MesError, Result};
+use std::collections::VecDeque;
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Incremental decoder of the length-prefixed frame protocol for
+/// nonblocking streams: bytes go in as they arrive, complete frames come
+/// out. Validation matches the blocking [`read_frame`] exactly — the
+/// length line must be a decimal byte count of at most
+/// [`MAX_FRAME_LEN`](crate::shard::MAX_FRAME_LEN) (checked before
+/// buffering the payload), the payload must end in a newline and be UTF-8.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buffer: Vec<u8>,
+    /// Payload length of the frame in progress, once its length line is
+    /// complete.
+    pending: Option<usize>,
+}
+
+/// Longest digit run that could still be a valid length line (the cap's
+/// digit count plus slack for leading zeros and the newline).
+const MAX_LENGTH_LINE: usize = 32;
+
+impl FrameBuffer {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, or `None` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Serialization`] on a malformed length line, a
+    /// missing payload terminator, or non-UTF-8 payload — the stream cannot
+    /// be resynchronized after any of these.
+    pub fn next_frame(&mut self) -> Result<Option<String>> {
+        if self.pending.is_none() {
+            match self.buffer.iter().position(|&byte| byte == b'\n') {
+                None if self.buffer.len() > MAX_LENGTH_LINE => {
+                    return Err(MesError::Serialization {
+                        reason: "frame length line exceeds any valid byte count".into(),
+                    });
+                }
+                None => return Ok(None),
+                Some(newline) => {
+                    let line = std::str::from_utf8(&self.buffer[..newline]).map_err(|_| {
+                        MesError::Serialization {
+                            reason: "frame length line is not UTF-8".into(),
+                        }
+                    })?;
+                    self.pending = Some(parse_frame_length(line)?);
+                    self.buffer.drain(..=newline);
+                }
+            }
+        }
+        let Some(length) = self.pending else {
+            return Ok(None);
+        };
+        // Payload plus the trailing newline.
+        if self.buffer.len() < length + 1 {
+            return Ok(None);
+        }
+        if self.buffer[length] != b'\n' {
+            return Err(MesError::Serialization {
+                reason: "frame payload not terminated by newline".into(),
+            });
+        }
+        let payload = std::str::from_utf8(&self.buffer[..length])
+            .map(str::to_string)
+            .map_err(|_| MesError::Serialization {
+                reason: "frame payload is not UTF-8".into(),
+            })?;
+        self.buffer.drain(..=length);
+        self.pending = None;
+        Ok(Some(payload))
+    }
+}
+
+/// Tuning knobs of the daemon (forwarded to [`ServeConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads in the shared pool (0 = one per available core).
+    pub pool: usize,
+    /// Deficit-round-robin credit per tenant per scheduling quantum.
+    pub quantum_rounds: usize,
+    /// Per-tenant cap on admitted-but-unexecuted rounds.
+    pub max_tenant_rounds: usize,
+    /// Byte budget of the shared observation cache.
+    pub cache_capacity_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let config = ServeConfig::default();
+        ServeOptions {
+            pool: config.workers,
+            quantum_rounds: config.quantum_rounds,
+            max_tenant_rounds: config.max_tenant_rounds,
+            cache_capacity_bytes: config.cache_capacity_bytes,
+        }
+    }
+}
+
+/// What a daemon run served, reported when it exits cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Submissions accepted over the daemon's lifetime.
+    pub submissions: u64,
+    /// Rounds actually executed by the pool.
+    pub rounds_executed: u64,
+    /// Points served from the shared observation cache.
+    pub cache_hits: u64,
+}
+
+/// Wait floor/ceiling of the idle backoff, microseconds. The ceiling
+/// bounds how long a freshly written spec can sit unread in a socket
+/// buffer (handler events wake the loop immediately; socket readability
+/// is discovered by polling).
+const MIN_BACKOFF_US: u64 = 50;
+const MAX_BACKOFF_US: u64 = 500;
+
+/// Events handler threads send back to the event loop.
+enum LoopEvent {
+    /// A payload to frame onto a connection's outbox.
+    Frame { connection: usize, payload: String },
+    /// The connection's in-flight submission finished (its final frame has
+    /// already been sent as a `Frame` event).
+    Done { connection: usize },
+}
+
+/// One accepted client connection.
+struct Connection {
+    stream: UnixStream,
+    decoder: FrameBuffer,
+    /// Encoded frames awaiting the socket; `written` marks the flushed
+    /// prefix.
+    outbox: Vec<u8>,
+    written: usize,
+    /// Specs pipelined behind the in-flight submission.
+    queued: VecDeque<String>,
+    /// A submission handler is running for this connection.
+    busy: bool,
+    /// The client closed its write half (or the stream failed reading).
+    read_closed: bool,
+    /// The stream failed writing or its framing broke: discard when idle.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: UnixStream) -> Self {
+        Connection {
+            stream,
+            decoder: FrameBuffer::new(),
+            outbox: Vec::new(),
+            written: 0,
+            queued: VecDeque::new(),
+            busy: false,
+            read_closed: false,
+            dead: false,
+        }
+    }
+
+    /// Appends one encoded frame to the outbox.
+    fn enqueue_frame(&mut self, payload: &str) {
+        self.outbox
+            .extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+        self.outbox.extend_from_slice(payload.as_bytes());
+        self.outbox.push(b'\n');
+    }
+
+    /// Appends an in-band `{"error": ...}` frame.
+    fn enqueue_error(&mut self, reason: &str) {
+        self.enqueue_frame(&Json::object([("error", Json::string(reason))]).render());
+    }
+
+    fn flushed(&self) -> bool {
+        self.written == self.outbox.len()
+    }
+}
+
+/// Renders the daemon's framed stats reply.
+fn stats_frame(stats: &ServeStats) -> String {
+    Json::object([(
+        "stats",
+        Json::object([
+            ("submissions", Json::u64(stats.submissions)),
+            ("rounds_executed", Json::u64(stats.rounds_executed)),
+            ("cache_hits", Json::u64(stats.cache_hits)),
+            ("cache_misses", Json::u64(stats.cache_misses)),
+            (
+                "cached_observations",
+                Json::usize(stats.cached_observations),
+            ),
+            ("cached_bytes", Json::usize(stats.cached_bytes)),
+            ("evictions", Json::u64(stats.evictions)),
+            ("quanta", Json::u64(stats.quanta)),
+            (
+                "peak_inflight_rounds",
+                Json::usize(stats.peak_inflight_rounds),
+            ),
+            ("tenants_active", Json::usize(stats.tenants_active)),
+            ("workers", Json::usize(stats.workers)),
+        ]),
+    )])
+    .render()
+}
+
+/// Spawns the handler thread for one submission: it blocks inside the
+/// server, streaming point frames (and finally a result or error frame)
+/// back through the event channel.
+fn start_submission(
+    server: &Arc<SweepServer>,
+    events: &Sender<LoopEvent>,
+    connection: usize,
+    payload: String,
+    handlers: &mut Vec<JoinHandle<()>>,
+) {
+    let server = Arc::clone(server);
+    let events = events.clone();
+    handlers.push(std::thread::spawn(move || {
+        let outcome = ExperimentSpec::from_json_str(&payload).and_then(|spec| {
+            let mut sink = |point: &PointOutcome| {
+                // Wrapped by hand so the embedded document keeps the exact
+                // bytes of its bare top-level rendering — clients dispatch
+                // on the literal prefix and recover the document unparsed.
+                let frame = format!("{{\"point\": {}}}", point.to_json().render());
+                let _ = events.send(LoopEvent::Frame {
+                    connection,
+                    payload: frame,
+                });
+            };
+            server.submit_streaming(&spec, &mut sink)
+        });
+        let final_frame = match outcome {
+            Ok(result) => format!("{{\"result\": {}}}", result.to_json_string()),
+            Err(error) => Json::object([("error", Json::string(error.to_string()))]).render(),
+        };
+        let _ = events.send(LoopEvent::Frame {
+            connection,
+            payload: final_frame,
+        });
+        let _ = events.send(LoopEvent::Done { connection });
+    }));
+}
+
+/// Runs the daemon on `socket_path` until a client sends
+/// `{"control": "shutdown"}` (or `stop` is raised, e.g. by a test driving
+/// the daemon in-process). Binds fresh — a stale socket file from a
+/// previous run is removed first — and removes the socket file again on
+/// clean exit.
+///
+/// # Errors
+///
+/// Returns an error if the socket cannot be bound or the listener fails;
+/// per-connection and per-submission failures are reported in-band to the
+/// affected client instead.
+pub fn serve_until(
+    socket_path: &Path,
+    options: &ServeOptions,
+    stop: &AtomicBool,
+) -> Result<ServeReport> {
+    let _ = std::fs::remove_file(socket_path);
+    let listener = UnixListener::bind(socket_path)
+        .map_err(|error| io_error(&format!("bind {}", socket_path.display()), &error))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|error| io_error("set listener nonblocking", &error))?;
+
+    let server = Arc::new(SweepServer::new(ServeConfig {
+        workers: options.pool,
+        quantum_rounds: options.quantum_rounds,
+        max_tenant_rounds: options.max_tenant_rounds,
+        cache_capacity_bytes: options.cache_capacity_bytes,
+    }));
+    let (events_tx, events_rx): (Sender<LoopEvent>, Receiver<LoopEvent>) =
+        std::sync::mpsc::channel();
+    let mut connections: Vec<Option<Connection>> = Vec::new();
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut shutting_down = false;
+    let mut backoff_us = MIN_BACKOFF_US;
+    // A handler event received while waiting, processed next iteration.
+    let mut carried: Option<LoopEvent> = None;
+
+    loop {
+        let mut progress = false;
+        if !shutting_down && stop.load(Ordering::Relaxed) {
+            shutting_down = true;
+        }
+
+        // Accept every waiting client.
+        if !shutting_down {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_ok() {
+                            connections.push(Some(Connection::new(stream)));
+                            progress = true;
+                        }
+                    }
+                    Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                    Err(error) => return Err(io_error("accept", &error)),
+                }
+            }
+        }
+
+        // Read readable connections and route their complete frames.
+        let mut request_shutdown = false;
+        for (connection, slot) in connections.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            if conn.read_closed || conn.dead {
+                continue;
+            }
+            loop {
+                let mut chunk = [0u8; 4096];
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(count) => {
+                        conn.decoder.push(&chunk[..count]);
+                        progress = true;
+                    }
+                    Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                    Err(error) if error.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(None) => break,
+                    Err(error) => {
+                        // An unsynchronizable stream: answer in-band, stop
+                        // reading, flush what we can.
+                        conn.enqueue_error(&format!("malformed frame: {error}"));
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(Some(payload)) => {
+                        let document = Json::parse(&payload).ok();
+                        let verb = document.as_ref().and_then(mes_stats::control_verb);
+                        match verb {
+                            Some(mes_stats::CONTROL_STATS) => {
+                                conn.enqueue_frame(&stats_frame(&server.stats()));
+                            }
+                            Some(mes_stats::CONTROL_SHUTDOWN) => {
+                                conn.enqueue_frame(
+                                    &mes_stats::control_ack(mes_stats::CONTROL_SHUTDOWN).render(),
+                                );
+                                request_shutdown = true;
+                            }
+                            Some(other) => {
+                                conn.enqueue_error(&format!("unsupported control verb {other:?}"));
+                            }
+                            None if shutting_down => {
+                                conn.enqueue_error("server is shutting down");
+                            }
+                            None if conn.busy => {
+                                conn.queued.push_back(payload);
+                            }
+                            None => {
+                                conn.busy = true;
+                                start_submission(
+                                    &server,
+                                    &events_tx,
+                                    connection,
+                                    payload,
+                                    &mut handlers,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if request_shutdown && !shutting_down {
+            shutting_down = true;
+            // Specs queued behind in-flight submissions will never start.
+            for conn in connections.iter_mut().flatten() {
+                while conn.queued.pop_front().is_some() {
+                    conn.enqueue_error("server is shutting down");
+                }
+            }
+        }
+
+        // Drain handler events into the outboxes.
+        while let Some(event) = carried.take().or_else(|| events_rx.try_recv().ok()) {
+            progress = true;
+            match event {
+                LoopEvent::Frame {
+                    connection,
+                    payload,
+                } => {
+                    if let Some(conn) = connections.get_mut(connection).and_then(Option::as_mut) {
+                        conn.enqueue_frame(&payload);
+                    }
+                }
+                LoopEvent::Done { connection } => {
+                    if let Some(conn) = connections.get_mut(connection).and_then(Option::as_mut) {
+                        conn.busy = false;
+                        if let Some(next) = conn.queued.pop_front() {
+                            if shutting_down {
+                                conn.enqueue_error("server is shutting down");
+                            } else {
+                                conn.busy = true;
+                                start_submission(
+                                    &server,
+                                    &events_tx,
+                                    connection,
+                                    next,
+                                    &mut handlers,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flush writable outboxes.
+        for conn in connections.iter_mut().flatten() {
+            while conn.written < conn.outbox.len() {
+                match conn.stream.write(&conn.outbox[conn.written..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(count) => {
+                        conn.written += count;
+                        progress = true;
+                    }
+                    Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                    Err(error) if error.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.flushed() && conn.written > 0 {
+                conn.outbox.clear();
+                conn.written = 0;
+            }
+        }
+
+        // Reap connections that can produce no further frames.
+        for slot in &mut connections {
+            let retire = match slot {
+                Some(conn) => {
+                    !conn.busy
+                        && conn.queued.is_empty()
+                        && ((conn.dead) || (conn.read_closed && conn.flushed()))
+                }
+                None => false,
+            };
+            if retire {
+                *slot = None;
+                progress = true;
+            }
+        }
+
+        if shutting_down {
+            let idle = connections
+                .iter()
+                .flatten()
+                .all(|conn| !conn.busy && conn.queued.is_empty() && (conn.flushed() || conn.dead));
+            if idle {
+                break;
+            }
+        }
+
+        if progress {
+            backoff_us = MIN_BACKOFF_US;
+        } else {
+            // Wait on the handler channel instead of sleeping blind: a
+            // streamed point or a finished submission wakes the loop
+            // immediately, so only genuinely idle iterations pay the
+            // backoff (which also bounds how stale the socket polls get).
+            match events_rx.recv_timeout(Duration::from_micros(backoff_us)) {
+                Ok(event) => carried = Some(event),
+                Err(_) => backoff_us = (backoff_us * 2).min(MAX_BACKOFF_US),
+            }
+        }
+    }
+
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    let stats = server.stats();
+    server.shutdown();
+    let _ = std::fs::remove_file(socket_path);
+    Ok(ServeReport {
+        submissions: stats.submissions,
+        rounds_executed: stats.rounds_executed,
+        cache_hits: stats.cache_hits,
+    })
+}
+
+/// Runs the daemon on `socket_path` until a client sends
+/// `{"control": "shutdown"}`. See [`serve_until`].
+///
+/// # Errors
+///
+/// Same conditions as [`serve_until`].
+pub fn serve(socket_path: &Path, options: &ServeOptions) -> Result<ServeReport> {
+    serve_until(socket_path, options, &AtomicBool::new(false))
+}
+
+/// A blocking client of the serve daemon.
+///
+/// One client holds one connection; [`ServeClient::submit`] writes a spec
+/// frame and reads streamed point frames until the final result (or error)
+/// frame arrives. Clients on separate connections submit concurrently —
+/// that is the daemon's whole point.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl ServeClient {
+    /// Connects to a listening daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket is absent or refuses the connection.
+    pub fn connect(socket_path: &Path) -> Result<Self> {
+        let stream = UnixStream::connect(socket_path)
+            .map_err(|error| io_error(&format!("connect {}", socket_path.display()), &error))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|error| io_error("clone stream", &error))?,
+        );
+        Ok(ServeClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for racing a daemon
+    /// that is still binding its socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `timeout` elapses.
+    pub fn connect_with_retries(socket_path: &Path, timeout: Duration) -> Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(socket_path) {
+                Ok(client) => return Ok(client),
+                Err(error) => {
+                    if Instant::now() >= deadline {
+                        return Err(error);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// Submits a spec and blocks until its result: the streamed point
+    /// outcomes (in grid order) and the final document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the daemon reports one in-band (bad spec, failed
+    /// round, shutdown) or the connection breaks mid-stream.
+    pub fn submit(
+        &mut self,
+        spec: &ExperimentSpec,
+    ) -> Result<(Vec<PointOutcome>, ExperimentResult)> {
+        let (points, result) = self.submit_raw(spec)?;
+        let points = points
+            .iter()
+            .map(|point| PointOutcome::from_json_str(point))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((points, ExperimentResult::from_json_str(&result)?))
+    }
+
+    /// [`ServeClient::submit`] without client-side decoding: the streamed
+    /// point documents and the final result document as the exact JSON
+    /// text the daemon rendered.
+    ///
+    /// Reply frames carry exactly one top-level key, so they are
+    /// dispatched on the daemon's literal `{"point": ` / `{"result": `
+    /// prefixes without parsing; anything else falls back to a full parse
+    /// to extract the in-band error. This is the byte-faithful path the
+    /// benchmarks compare against one-shot `sweepd` stdout.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeClient::submit`].
+    pub fn submit_raw(&mut self, spec: &ExperimentSpec) -> Result<(Vec<String>, String)> {
+        const POINT_PREFIX: &str = "{\"point\": ";
+        const RESULT_PREFIX: &str = "{\"result\": ";
+        let inner = |payload: &str, prefix: &str| payload[prefix.len()..payload.len() - 1].into();
+        write_frame(&mut self.writer, &spec.to_json_string())?;
+        let mut points = Vec::new();
+        loop {
+            let payload = self.read_reply()?;
+            if payload.starts_with(POINT_PREFIX) && payload.ends_with('}') {
+                points.push(inner(&payload, POINT_PREFIX));
+            } else if payload.starts_with(RESULT_PREFIX) && payload.ends_with('}') {
+                return Ok((points, inner(&payload, RESULT_PREFIX)));
+            } else {
+                let document = Json::parse(&payload)?;
+                return Err(reply_error(&document, &payload));
+            }
+        }
+    }
+
+    /// Requests the daemon's scheduler/cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the daemon answers in-band with an error frame
+    /// or the connection breaks.
+    pub fn stats(&mut self) -> Result<Json> {
+        write_frame(
+            &mut self.writer,
+            &mes_stats::control_frame(mes_stats::CONTROL_STATS).render(),
+        )?;
+        let payload = self.read_reply()?;
+        let document = Json::parse(&payload)?;
+        match document.get("stats") {
+            Some(stats) => Ok(stats.clone()),
+            None => Err(reply_error(&document, &payload)),
+        }
+    }
+
+    /// Asks the daemon to shut down, consuming the client; returns once the
+    /// daemon acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the daemon answers anything but the shutdown
+    /// acknowledgment.
+    pub fn shutdown(mut self) -> Result<()> {
+        write_frame(
+            &mut self.writer,
+            &mes_stats::control_frame(mes_stats::CONTROL_SHUTDOWN).render(),
+        )?;
+        let payload = self.read_reply()?;
+        let document = Json::parse(&payload)?;
+        if mes_stats::ack_verb(&document) == Some(mes_stats::CONTROL_SHUTDOWN) {
+            Ok(())
+        } else {
+            Err(reply_error(&document, &payload))
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<String> {
+        read_frame(&mut self.reader)?.ok_or_else(|| MesError::Serialization {
+            reason: "daemon closed the connection mid-reply".into(),
+        })
+    }
+}
+
+/// Maps an unexpected reply document onto an error: in-band error frames
+/// carry their reason; anything else is a protocol violation.
+fn reply_error(document: &Json, payload: &str) -> MesError {
+    match document
+        .get("error")
+        .and_then(|reason| reason.as_str().ok())
+    {
+        Some(reason) => MesError::Simulation {
+            reason: reason.to_string(),
+        },
+        None => MesError::Serialization {
+            reason: format!("unexpected daemon reply: {payload}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_buffer_decodes_split_and_batched_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"a\": 1}").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, "two\nlines").unwrap();
+
+        // Feed byte by byte: frames must come out whole, in order.
+        let mut decoder = FrameBuffer::new();
+        let mut frames = Vec::new();
+        for &byte in &wire {
+            decoder.push(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, vec!["{\"a\": 1}", "", "two\nlines"]);
+
+        // Feed all at once: same result.
+        let mut decoder = FrameBuffer::new();
+        decoder.push(&wire);
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some("{\"a\": 1}"));
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(""));
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some("two\nlines"));
+        assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_what_read_frame_rejects() {
+        for wire in [
+            &b"not a number\npayload\n"[..],
+            b"18446744073709551615\n",
+            b"67108865\n",
+            b"3\nabcd\n",
+        ] {
+            let mut decoder = FrameBuffer::new();
+            decoder.push(wire);
+            let mut outcome = Ok(None);
+            for _ in 0..4 {
+                outcome = decoder.next_frame();
+                if outcome.is_err() {
+                    break;
+                }
+            }
+            assert!(
+                outcome.is_err(),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(wire)
+            );
+        }
+
+        // An endless digit stream must be rejected without a newline ever
+        // arriving (no unbounded buffering of a hostile length line).
+        let mut decoder = FrameBuffer::new();
+        decoder.push(&[b'9'; MAX_LENGTH_LINE + 1]);
+        assert!(decoder.next_frame().is_err());
+    }
+}

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-fn io_error(operation: &str, error: &std::io::Error) -> MesError {
+pub(crate) fn io_error(operation: &str, error: &std::io::Error) -> MesError {
     MesError::Host {
         operation: format!("{operation}: {error}"),
         errno: error.raw_os_error(),
@@ -52,6 +52,25 @@ pub fn write_frame(writer: &mut impl Write, payload: &str) -> Result<()> {
 /// arbitrarily large buffer request (or an overflowing `length + 1`).
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// Parses a frame's length line: a decimal byte count of at most
+/// [`MAX_FRAME_LEN`]. Shared by the blocking [`read_frame`] and the serve
+/// daemon's incremental decoder so both validate prefixes identically —
+/// before any allocation.
+pub(crate) fn parse_frame_length(length_line: &str) -> Result<usize> {
+    length_line
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|length| usize::try_from(length).ok())
+        .filter(|&length| length <= MAX_FRAME_LEN)
+        .ok_or_else(|| MesError::Serialization {
+            reason: format!(
+                "frame length {:?} is not a decimal byte count of at most {MAX_FRAME_LEN}",
+                length_line.trim()
+            ),
+        })
+}
+
 /// Reads one frame, returning `None` on a clean EOF before the length line.
 ///
 /// # Errors
@@ -68,18 +87,7 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
     if read == 0 {
         return Ok(None);
     }
-    let length: usize = length_line
-        .trim()
-        .parse::<u64>()
-        .ok()
-        .and_then(|length| usize::try_from(length).ok())
-        .filter(|&length| length <= MAX_FRAME_LEN)
-        .ok_or_else(|| MesError::Serialization {
-            reason: format!(
-                "frame length {:?} is not a decimal byte count of at most {MAX_FRAME_LEN}",
-                length_line.trim()
-            ),
-        })?;
+    let length = parse_frame_length(&length_line)?;
     // Payload plus the trailing newline.
     let mut payload = vec![0u8; length + 1];
     reader
@@ -98,11 +106,18 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
 }
 
 /// The `sweepd --worker` loop: one persistent [`SweepService`] answering
-/// spec frames with result frames until EOF.
+/// spec frames with result frames until EOF or an in-band shutdown frame.
 ///
 /// `pool` is the worker's *intra-process* executor width; the sharding
 /// driver passes 1 so that all parallelism under measurement is
 /// process-level, while `0` means the machine-sized default pool.
+///
+/// Besides spec documents, the loop understands control frames (see
+/// [`mes_stats::control`]): `{"control": "shutdown"}` is acknowledged with
+/// `{"ok": "shutdown"}` and ends the loop cleanly, so orchestrators can
+/// retire a worker explicitly instead of relying on closing its stdin; any
+/// other verb is answered with an in-band `{"error": …}` frame and the loop
+/// continues.
 ///
 /// # Errors
 ///
@@ -129,6 +144,26 @@ pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usiz
             }
             Err(error) => return Err(error),
         };
+        if let Some(verb) = Json::parse(&spec_json)
+            .ok()
+            .and_then(|document| mes_stats::control_verb(&document).map(str::to_string))
+        {
+            match verb.as_str() {
+                mes_stats::CONTROL_SHUTDOWN => {
+                    write_frame(output, &mes_stats::control_ack(&verb).render())?;
+                    return Ok(());
+                }
+                other => {
+                    let payload = Json::object([(
+                        "error",
+                        Json::string(format!("unsupported control verb {other:?}")),
+                    )])
+                    .render();
+                    write_frame(output, &payload)?;
+                    continue;
+                }
+            }
+        }
         let outcome = ExperimentSpec::from_json_str(&spec_json)
             .and_then(|spec| service.submit(&spec))
             .map(|result| result.to_json_string());
@@ -448,6 +483,62 @@ mod tests {
         assert!(
             Json::parse(&second).unwrap().get("error").is_some(),
             "a malformed spec must produce an in-band error frame: {second}"
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn worker_loop_acknowledges_shutdown_and_stops_before_later_frames() {
+        use mes_types::Scenario;
+        let spec = ExperimentSpec::scenario_table("pre-shutdown", Scenario::Local, 16, 3);
+        let mut input = Vec::new();
+        write_frame(&mut input, &spec.to_json_string()).unwrap();
+        write_frame(
+            &mut input,
+            &mes_stats::control_frame(mes_stats::CONTROL_SHUTDOWN).render(),
+        )
+        .unwrap();
+        // A frame after the shutdown must never be answered (or executed).
+        write_frame(&mut input, &spec.to_json_string()).unwrap();
+        let mut output = Vec::new();
+        worker_loop(&mut Cursor::new(input), &mut output, 1).unwrap();
+
+        let mut reader = Cursor::new(output);
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert!(ExperimentResult::from_json_str(&first).is_ok());
+        let ack = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(
+            mes_stats::ack_verb(&Json::parse(&ack).unwrap()),
+            Some(mes_stats::CONTROL_SHUTDOWN),
+            "shutdown must be acknowledged in-band: {ack}"
+        );
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "loop must stop");
+    }
+
+    #[test]
+    fn worker_loop_rejects_unknown_control_verbs_and_continues() {
+        use mes_types::Scenario;
+        let spec = ExperimentSpec::scenario_table("post-control", Scenario::Local, 16, 4);
+        let mut input = Vec::new();
+        write_frame(&mut input, &mes_stats::control_frame("reticulate").render()).unwrap();
+        write_frame(&mut input, &spec.to_json_string()).unwrap();
+        let mut output = Vec::new();
+        worker_loop(&mut Cursor::new(input), &mut output, 1).unwrap();
+
+        let mut reader = Cursor::new(output);
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert!(
+            Json::parse(&first)
+                .unwrap()
+                .get("error")
+                .and_then(|reason| reason.as_str().ok())
+                .is_some_and(|reason| reason.contains("reticulate")),
+            "unknown verbs must produce an in-band error: {first}"
+        );
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert!(
+            ExperimentResult::from_json_str(&second).is_ok(),
+            "the loop must keep serving specs after an unknown verb"
         );
         assert_eq!(read_frame(&mut reader).unwrap(), None);
     }

@@ -254,6 +254,23 @@ impl SimBackend {
         self.runs
     }
 
+    /// Rebases the backend onto a new base seed for subsequent rounds.
+    ///
+    /// A round fully re-derives its execution state from
+    /// `(profile, plan, round_seed(base, index) + plan.seed)`: the engine is
+    /// reset before every round, and the cached program pairs are keyed by
+    /// plan *shape*, which no seed influences. Rebasing a warm backend
+    /// between rounds therefore preserves the determinism contract exactly —
+    /// the next [`ChannelBackend::transmit_round`] is bit-identical to the
+    /// same call on a fresh `SimBackend::new(profile, seed)` — while keeping
+    /// the engine arena and the resident program pairs warm. The multi-tenant
+    /// [`serve`](crate::serve) scheduler relies on this to run rounds of
+    /// different submissions (different base seeds) back-to-back on one
+    /// backend without recompiling the shapes they share.
+    pub fn set_base_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     /// Builds the Trojan and Spy programs for a plan. Exposed for tests and
     /// for the proof-of-concept harness, which wants the raw programs.
     pub fn build_programs(&self, plan: &TransmissionPlan) -> (Program, Program) {

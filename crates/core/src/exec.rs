@@ -138,30 +138,42 @@ impl Schedule {
                 run_end: (1..=rounds.len()).collect(),
             },
             SchedulePolicy::ShapeGrouped => {
-                // Stable partition: group request positions by shape in
-                // first-appearance order, preserving request order within
-                // each group.
-                let mut groups: Vec<Vec<usize>> = Vec::new();
-                let mut group_of_shape: HashMap<u64, usize> = HashMap::new();
-                for (position, round) in rounds.iter().enumerate() {
-                    let shape = round.shape_fingerprint();
-                    let group = *group_of_shape.entry(shape).or_insert_with(|| {
-                        groups.push(Vec::new());
-                        groups.len() - 1
-                    });
-                    groups[group].push(position);
-                }
-                let mut order = Vec::with_capacity(rounds.len());
-                let mut run_end = Vec::with_capacity(rounds.len());
-                for group in groups {
-                    order.extend_from_slice(&group);
-                    let end = order.len();
-                    run_end.resize(end, end);
-                }
+                let shapes: Vec<u64> = rounds.iter().map(RoundRequest::shape_fingerprint).collect();
+                let (order, run_end) = shape_run_order(&shapes);
                 Schedule { order, run_end }
             }
         }
     }
+}
+
+/// Stable-partitions a slice of shape fingerprints into *shape runs*:
+/// groups positions by shape in first-appearance order, preserving input
+/// order within each group. Returns `(order, run_end)` where `order` holds
+/// positions into the input slice and `run_end[i]` is the exclusive end (in
+/// `order`) of the shape run containing schedule position `i` — the boundary
+/// a chunked claim never crosses.
+///
+/// Shared by [`Schedule::new`]'s grouped policy and the multi-tenant
+/// [`serve`](crate::serve) scheduler's cross-tenant batch assembly, so both
+/// claim paths coalesce shapes with identical arithmetic.
+pub(crate) fn shape_run_order(shapes: &[u64]) -> (Vec<usize>, Vec<usize>) {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of_shape: HashMap<u64, usize> = HashMap::new();
+    for (position, &shape) in shapes.iter().enumerate() {
+        let group = *group_of_shape.entry(shape).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[group].push(position);
+    }
+    let mut order = Vec::with_capacity(shapes.len());
+    let mut run_end = Vec::with_capacity(shapes.len());
+    for group in groups {
+        order.extend_from_slice(&group);
+        let end = order.len();
+        run_end.resize(end, end);
+    }
+    (order, run_end)
 }
 
 /// Largest contiguous span a worker claims in one atomic operation.

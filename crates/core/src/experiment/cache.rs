@@ -1,0 +1,181 @@
+//! Byte-capped LRU observation cache shared by [`SweepService`] and the
+//! multi-tenant [`serve`](crate::serve) scheduler.
+//!
+//! Entries hold `Arc<Observation>` so a hit can be handed out (to a fold, or
+//! to a concurrent submission on another thread) without copying the per-bit
+//! latency vectors, and so the daemon's shared cache can serve many tenants
+//! from one allocation. The cache also owns the hit/miss/eviction counters
+//! the daemon's stats frame reports.
+//!
+//! [`SweepService`]: crate::experiment::SweepService
+
+use crate::backend::Observation;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cache key of one executed round: profile fingerprint, plan fingerprint,
+/// effective backend seed. Two rounds with equal keys produce identical
+/// observations, so the cached observation can stand in for a re-execution.
+pub(crate) type CacheKey = (u64, u64, u64);
+
+/// One cached observation plus its LRU bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    observation: Arc<Observation>,
+    /// Monotonic use counter; the lowest live tick is the eviction victim.
+    tick: u64,
+    /// Estimated resident bytes of the entry (see [`observation_bytes`]).
+    bytes: usize,
+}
+
+/// Estimated resident size of a cached observation: the latency vector plus
+/// the fixed per-entry overhead (entry struct, key, and the two index slots).
+fn observation_bytes(observation: &Observation) -> usize {
+    std::mem::size_of::<CacheEntry>()
+        + 2 * std::mem::size_of::<CacheKey>()
+        + std::mem::size_of::<u64>()
+        + observation.latencies.len() * std::mem::size_of::<mes_types::Nanos>()
+}
+
+/// A byte-capped `(profile, plan, seed)` → [`Observation`] LRU map.
+///
+/// Eviction happens at insertion time, so a long-lived holder stays bounded
+/// no matter how many grids flow through it; eviction never affects
+/// correctness, because callers fold from handles they looked up *before*
+/// inserting, and an evicted point simply re-executes on its next
+/// appearance. An entry larger than the whole budget is not inserted at all
+/// (in particular a zero-byte capacity disables caching without
+/// insert/evict churn).
+#[derive(Debug)]
+pub(crate) struct ObservationCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Use-order index: tick → key, mirroring `entries` (ticks are unique).
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    capacity_bytes: usize,
+    cached_bytes: usize,
+    evictions: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ObservationCache {
+    /// An empty cache with the given byte budget.
+    pub(crate) fn new(capacity_bytes: usize) -> Self {
+        ObservationCache {
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            capacity_bytes,
+            cached_bytes: 0,
+            evictions: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Re-caps the byte budget, evicting immediately if the current
+    /// contents no longer fit.
+    pub(crate) fn set_capacity(&mut self, bytes: usize) {
+        self.capacity_bytes = bytes;
+        self.enforce_capacity();
+    }
+
+    /// The byte budget.
+    pub(crate) fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Estimated bytes currently held (always ≤ the capacity).
+    pub(crate) fn cached_bytes(&self) -> usize {
+        self.cached_bytes
+    }
+
+    /// Number of observations currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Observations evicted over the cache's lifetime.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lookups answered from the cache over its lifetime.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed over the cache's lifetime.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached observation (counters are kept).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.lru.clear();
+        self.cached_bytes = 0;
+    }
+
+    /// Looks `key` up, counting the outcome and marking a hit as most
+    /// recently used.
+    pub(crate) fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Observation>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.hits += 1;
+                self.lru.remove(&entry.tick);
+                entry.tick = tick;
+                self.lru.insert(tick, *key);
+                Some(Arc::clone(&entry.observation))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an observation, then evicts least-recently-used entries until
+    /// the cache fits its byte budget again.
+    pub(crate) fn insert(&mut self, key: CacheKey, observation: Arc<Observation>) {
+        let bytes = observation_bytes(&observation);
+        if bytes > self.capacity_bytes {
+            // The entry could never fit: inserting it would only flush the
+            // whole cache and count phantom evictions.
+            return;
+        }
+        if let Some(previous) = self.entries.remove(&key) {
+            self.lru.remove(&previous.tick);
+            self.cached_bytes -= previous.bytes;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                observation,
+                tick,
+                bytes,
+            },
+        );
+        self.lru.insert(tick, key);
+        self.cached_bytes += bytes;
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.cached_bytes > self.capacity_bytes {
+            let Some((&oldest_tick, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&oldest_tick);
+            if let Some(entry) = self.entries.remove(&victim) {
+                self.cached_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+}

@@ -409,6 +409,32 @@ fn outcome_from_json(json: &Json) -> Result<PointOutcome> {
     })
 }
 
+impl PointOutcome {
+    /// Serializes the outcome as a [`Json`] document — the payload of the
+    /// serve daemon's streamed per-point frames.
+    pub fn to_json(&self) -> Json {
+        outcome_to_json(self)
+    }
+
+    /// Deserializes an outcome from a [`Json`] document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error on a missing field or a type mismatch.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        outcome_from_json(json)
+    }
+
+    /// Deserializes an outcome from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PointOutcome::from_json`], plus parse errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 impl ExperimentResult {
     /// Serializes the result as a [`Json`] document.
     pub fn to_json(&self) -> Json {

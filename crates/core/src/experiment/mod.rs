@@ -44,6 +44,7 @@
 //! # Ok::<(), mes_types::MesError>(())
 //! ```
 
+pub(crate) mod cache;
 mod codec;
 mod compile;
 mod result;
@@ -57,37 +58,15 @@ pub use spec::{ExperimentSpec, GridSpec, OpenInterferenceSpec, PointSpec};
 
 use crate::backend::{Observation, SimBackend};
 use crate::exec::{RoundExecutor, RoundRequest};
+use cache::{CacheKey, ObservationCache};
 use mes_types::Result;
-use std::collections::{BTreeMap, HashMap};
-
-/// Cache key of one executed round: profile fingerprint, plan fingerprint,
-/// effective backend seed. Two rounds with equal keys produce identical
-/// observations, so the cached observation can stand in for a re-execution.
-type CacheKey = (u64, u64, u64);
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default byte budget of the observation cache (64 MiB — roughly a million
 /// cached 64-bit rounds). Long-lived services override it with
 /// [`SweepService::with_cache_capacity`].
 pub const DEFAULT_CACHE_CAPACITY_BYTES: usize = 64 << 20;
-
-/// One cached observation plus its LRU bookkeeping.
-#[derive(Debug)]
-struct CacheEntry {
-    observation: Observation,
-    /// Monotonic use counter; the lowest live tick is the eviction victim.
-    tick: u64,
-    /// Estimated resident bytes of the entry (see [`observation_bytes`]).
-    bytes: usize,
-}
-
-/// Estimated resident size of a cached observation: the latency vector plus
-/// the fixed per-entry overhead (entry struct, key, and the two index slots).
-fn observation_bytes(observation: &Observation) -> usize {
-    std::mem::size_of::<CacheEntry>()
-        + 2 * std::mem::size_of::<CacheKey>()
-        + std::mem::size_of::<u64>()
-        + observation.latencies.len() * std::mem::size_of::<mes_types::Nanos>()
-}
 
 /// Executes [`ExperimentSpec`]s on a pooled [`RoundExecutor`] with a
 /// bounded observation cache across submissions.
@@ -109,13 +88,7 @@ fn observation_bytes(observation: &Observation) -> usize {
 #[derive(Debug)]
 pub struct SweepService {
     executor: RoundExecutor,
-    cache: HashMap<CacheKey, CacheEntry>,
-    /// Use-order index: tick → key, mirroring `cache` (ticks are unique).
-    lru: BTreeMap<u64, CacheKey>,
-    tick: u64,
-    cache_capacity_bytes: usize,
-    cached_bytes: usize,
-    evictions: u64,
+    cache: ObservationCache,
     rounds_executed: u64,
     cache_hits: u64,
 }
@@ -125,12 +98,7 @@ impl SweepService {
     pub fn new(executor: RoundExecutor) -> Self {
         SweepService {
             executor,
-            cache: HashMap::new(),
-            lru: BTreeMap::new(),
-            tick: 0,
-            cache_capacity_bytes: DEFAULT_CACHE_CAPACITY_BYTES,
-            cached_bytes: 0,
-            evictions: 0,
+            cache: ObservationCache::new(DEFAULT_CACHE_CAPACITY_BYTES),
             rounds_executed: 0,
             cache_hits: 0,
         }
@@ -144,8 +112,7 @@ impl SweepService {
     /// Caps the observation cache at `bytes` (builder style). A cap of 0
     /// disables caching entirely — every submission re-executes.
     pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
-        self.cache_capacity_bytes = bytes;
-        self.enforce_capacity();
+        self.cache.set_capacity(bytes);
         self
     }
 
@@ -171,80 +138,22 @@ impl SweepService {
 
     /// The cache's byte budget.
     pub fn cache_capacity_bytes(&self) -> usize {
-        self.cache_capacity_bytes
+        self.cache.capacity_bytes()
     }
 
     /// Estimated bytes currently held by the cache (always ≤ the capacity).
     pub fn cached_bytes(&self) -> usize {
-        self.cached_bytes
+        self.cache.cached_bytes()
     }
 
     /// Observations evicted over the service's lifetime.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.cache.evictions()
     }
 
     /// Drops every cached observation.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
-        self.lru.clear();
-        self.cached_bytes = 0;
-    }
-
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
-
-    /// Marks `key` as most recently used.
-    fn touch(&mut self, key: &CacheKey) {
-        let tick = self.next_tick();
-        if let Some(entry) = self.cache.get_mut(key) {
-            self.lru.remove(&entry.tick);
-            entry.tick = tick;
-            self.lru.insert(tick, *key);
-        }
-    }
-
-    /// Inserts an observation, then evicts least-recently-used entries until
-    /// the cache fits its byte budget again.
-    fn insert(&mut self, key: CacheKey, observation: Observation) {
-        let bytes = observation_bytes(&observation);
-        if bytes > self.cache_capacity_bytes {
-            // The entry could never fit: inserting it would only flush the
-            // whole cache and count phantom evictions. In particular a
-            // zero-byte capacity disables caching without insert/evict churn.
-            return;
-        }
-        if let Some(previous) = self.cache.remove(&key) {
-            self.lru.remove(&previous.tick);
-            self.cached_bytes -= previous.bytes;
-        }
-        let tick = self.next_tick();
-        self.cache.insert(
-            key,
-            CacheEntry {
-                observation,
-                tick,
-                bytes,
-            },
-        );
-        self.lru.insert(tick, key);
-        self.cached_bytes += bytes;
-        self.enforce_capacity();
-    }
-
-    fn enforce_capacity(&mut self) {
-        while self.cached_bytes > self.cache_capacity_bytes {
-            let Some((&oldest_tick, &victim)) = self.lru.iter().next() else {
-                break;
-            };
-            self.lru.remove(&oldest_tick);
-            if let Some(entry) = self.cache.remove(&victim) {
-                self.cached_bytes -= entry.bytes;
-                self.evictions += 1;
-            }
-        }
     }
 
     /// Submits a spec and returns the complete result.
@@ -300,15 +209,13 @@ impl SweepService {
             })
             .collect();
 
-        let cached: Vec<bool> = keys
-            .iter()
-            .map(|key| self.cache.contains_key(key))
-            .collect();
-        // Mark the hits as freshly used before anything else so a grid
-        // bigger than the cache evicts strangers before its own points.
-        for (key, _) in keys.iter().zip(&cached).filter(|(_, hit)| **hit) {
-            self.touch(key);
-        }
+        // Look the hits up (and mark them freshly used) before anything else
+        // so a grid bigger than the cache evicts strangers before its own
+        // points; the returned handles keep the observations alive for the
+        // fold even if eviction races ahead of it.
+        let hits: Vec<Option<Arc<Observation>>> =
+            keys.iter().map(|key| self.cache.lookup(key)).collect();
+        let cached: Vec<bool> = hits.iter().map(Option::is_some).collect();
         // Submit the misses pre-grouped into shape runs (stable partition,
         // first-appearance order): the executor's shape-grouped schedule
         // becomes the identity, and even a legacy `Interleaved` pool then
@@ -346,33 +253,35 @@ impl SweepService {
         // original round indices, so their observations are bit-identical to
         // a full uncached execution of the same grid. Workers share the
         // compiled experiment's profile allocation.
-        let profile = std::sync::Arc::clone(compiled.shared_profile());
+        let profile = Arc::clone(compiled.shared_profile());
         let base_seed = compiled.base_seed();
         let fresh = self.executor.execute_rounds(&requests, || {
-            SimBackend::new(std::sync::Arc::clone(&profile), base_seed)
+            SimBackend::new(Arc::clone(&profile), base_seed)
         })?;
         let mut fresh_by_index: Vec<Option<Observation>> = (0..keys.len()).map(|_| None).collect();
         for ((position, _), observation) in misses.iter().zip(fresh) {
             fresh_by_index[*position] = Some(observation);
         }
 
-        // Fold from the freshly executed rounds plus borrowed cache entries
+        // Fold from the freshly executed rounds plus borrowed cache handles
         // — warm submissions never copy the per-bit latency vectors, and the
         // fold always sees complete data even when the grid itself is larger
         // than the cache's byte budget (insertion, and therefore eviction,
         // happens only after the fold).
         let observations: Vec<&Observation> = fresh_by_index
             .iter()
-            .zip(&keys)
-            .map(|(fresh, key)| match fresh {
+            .zip(&hits)
+            .map(|(fresh, hit)| match fresh {
                 Some(observation) => observation,
-                None => &self.cache[key].observation,
+                None => hit
+                    .as_deref()
+                    .expect("every position is a cache hit or an executed miss"),
             })
             .collect();
         let result = compiled.fold(&observations, &cached, sink)?;
         for (index, observation) in fresh_by_index.into_iter().enumerate() {
             if let Some(observation) = observation {
-                self.insert(keys[index], observation);
+                self.cache.insert(keys[index], Arc::new(observation));
             }
         }
         self.rounds_executed += result.rounds_executed as u64;

@@ -23,6 +23,9 @@
 //!   [`ExperimentSpec`] submitted to a caching [`SweepService`] yields a
 //!   typed [`ExperimentResult`] — the surface every figure/table harness and
 //!   the `sweepd` process boundary speak;
+//! * [`serve`] — the multi-tenant scheduler behind the `sweepd serve`
+//!   daemon: concurrent submissions decomposed into rounds, coalesced into
+//!   cross-tenant shape batches, and executed fair-share on one shared pool;
 //! * [`multibit`] — multi-bit symbol transmission (Section VI);
 //! * [`sweep`] — deprecated shims over [`experiment`] for the historical
 //!   sweep entry points;
@@ -61,6 +64,7 @@ pub mod multibit;
 pub mod parallel;
 pub mod plan;
 pub mod protocol;
+pub mod serve;
 pub mod sweep;
 
 pub use backend::{round_seed, ChannelBackend, Observation, SimBackend};
@@ -70,3 +74,4 @@ pub use exec::{PreparedRound, RoundExecutor, RoundRequest, SchedulePolicy};
 pub use experiment::{ExperimentResult, ExperimentSpec, SweepService};
 pub use multibit::{SymbolChannel, SymbolTransmissionReport};
 pub use plan::{SlotAction, TransmissionPlan};
+pub use serve::{ServeConfig, ServeStats, ServeTelemetry, SweepServer};

@@ -1,0 +1,1010 @@
+//! Multi-tenant sweep serving: concurrent experiment submissions coalesced
+//! into cross-tenant shape batches on one shared worker pool.
+//!
+//! [`SweepServer`] is the scheduling layer behind the `sweepd serve` daemon.
+//! Where [`SweepService`](crate::experiment::SweepService) executes one
+//! submission at a time on a private pool, the server decomposes every
+//! in-flight submission into its cache-miss rounds, queues them per tenant,
+//! and has the pool consume *shape batches* assembled across tenants:
+//!
+//! * **Shape coalescing.** Each scheduling quantum drains a bounded number
+//!   of rounds from every active tenant and stable-partitions them into
+//!   shape runs (the same [`shape_run_order`] arithmetic the
+//!   [`RoundExecutor`](crate::exec::RoundExecutor) uses), so concurrent
+//!   same-shape requests land back-to-back on one worker's resident
+//!   `Arc<Program>` pair instead of recompiling it per request.
+//! * **Fair-share admission.** Tenants are drained deficit-round-robin:
+//!   every quantum tops each tenant's credit up by
+//!   [`ServeConfig::quantum_rounds`] (capped, so idle spells bank no
+//!   credit), so a 1024-point mega-sweep and a 16-point probe both place
+//!   rounds into every batch — the probe completes within a bounded number
+//!   of quanta no matter how large its neighbours are.
+//! * **Bounded in-flight work.** A submission may keep at most
+//!   [`ServeConfig::max_tenant_rounds`] rounds admitted-but-unexecuted;
+//!   larger grids are admitted in waves as the pool drains them, so queue
+//!   memory stays proportional to active tenants, not to grid sizes.
+//!
+//! # Determinism
+//!
+//! Per tenant, results are **bit-identical to serial submission**: a round's
+//! observation depends only on `(profile, plan, effective seed)` — never on
+//! which worker runs it, when it runs, or what ran before it on the same
+//! backend (see [`SimBackend::set_base_seed`]) — and each submission folds
+//! its own rounds in its own grid order. Scheduling order affects only
+//! *warmth*, exactly as with the single-tenant executor.
+
+use crate::backend::{ChannelBackend, Observation, SimBackend};
+use crate::exec::{claim_end, shape_run_order, MAX_CLAIM_CHUNK};
+use crate::experiment::cache::{CacheKey, ObservationCache};
+use crate::experiment::{
+    plan_fingerprint, profile_fingerprint, CompiledExperiment, ExperimentResult, ExperimentSpec,
+    NullSink, ResultSink, DEFAULT_CACHE_CAPACITY_BYTES,
+};
+use mes_types::{MesError, Result};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of a [`SweepServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing rounds (0 = one per available core).
+    pub workers: usize,
+    /// Rounds of deficit credit each active tenant earns per scheduling
+    /// quantum. Smaller values interleave tenants more tightly (lower
+    /// latency for small probes); larger values make longer same-tenant
+    /// shape runs (warmer caches).
+    pub quantum_rounds: usize,
+    /// Per-tenant cap on admitted-but-unexecuted rounds; submissions larger
+    /// than this are admitted in waves.
+    pub max_tenant_rounds: usize,
+    /// Byte budget of the shared observation cache.
+    pub cache_capacity_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            quantum_rounds: 16,
+            max_tenant_rounds: 256,
+            cache_capacity_bytes: DEFAULT_CACHE_CAPACITY_BYTES,
+        }
+    }
+}
+
+/// A snapshot of a [`SweepServer`]'s lifetime counters — the payload of the
+/// daemon's framed stats reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Submissions accepted over the server's lifetime.
+    pub submissions: u64,
+    /// Rounds executed by the pool (cache misses actually simulated).
+    pub rounds_executed: u64,
+    /// Point lookups answered by the shared observation cache.
+    pub cache_hits: u64,
+    /// Point lookups that missed the shared observation cache.
+    pub cache_misses: u64,
+    /// Observations currently resident in the cache.
+    pub cached_observations: usize,
+    /// Estimated bytes currently held by the cache.
+    pub cached_bytes: usize,
+    /// Observations evicted over the server's lifetime.
+    pub evictions: u64,
+    /// Shape batches assembled (scheduling quanta) so far.
+    pub quanta: u64,
+    /// High-water mark of admitted-but-unexecuted rounds across all tenants.
+    pub peak_inflight_rounds: usize,
+    /// Tenants currently registered with the scheduler.
+    pub tenants_active: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// Per-submission scheduling telemetry returned by
+/// [`SweepServer::submit_with_telemetry`] — the observable the fairness
+/// gates assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeTelemetry {
+    /// Value of the quantum counter when the submission entered the
+    /// scheduler (the first quantum that could dispatch its rounds).
+    pub admitted_quantum: u64,
+    /// Value of the quantum counter of the batch that dispatched the
+    /// submission's last round. `dispatched_quantum - admitted_quantum` is
+    /// the number of scheduling quanta the submission waited through — the
+    /// deficit-round-robin guarantee bounds it by
+    /// `ceil(rounds / quantum_rounds) + 1` regardless of neighbour sizes.
+    pub dispatched_quantum: u64,
+    /// Rounds this submission executed (its cache misses).
+    pub rounds_executed: usize,
+    /// Points this submission served from the shared cache.
+    pub cache_hits: usize,
+}
+
+/// One tenant submission in flight: the compiled grid plus the write-once
+/// result cells its rounds land in and the completion latch the submitting
+/// thread blocks on.
+struct Submission {
+    compiled: CompiledExperiment,
+    profile_fp: u64,
+    /// Per-grid-position result cell; only miss positions are ever written.
+    slots: Vec<OnceLock<Result<Arc<Observation>>>>,
+    /// Miss rounds not yet executed or abandoned; 0 = complete.
+    remaining: AtomicUsize,
+    /// Miss rounds not yet placed into a shape batch.
+    undispatched: AtomicUsize,
+    /// Admitted-but-unexecuted rounds (the admission-cap account).
+    inflight: AtomicUsize,
+    /// Set on the first round failure or on server shutdown; pending rounds
+    /// of a failed submission are skipped, not simulated.
+    failed: AtomicBool,
+    /// Completion latch: true once every miss round is executed/abandoned.
+    done: Mutex<bool>,
+    done_signal: Condvar,
+    admitted_quantum: AtomicU64,
+    dispatched_quantum: AtomicU64,
+}
+
+/// One schedulable round: a grid position of one submission.
+#[derive(Clone)]
+struct RoundJob {
+    submission: Arc<Submission>,
+    position: usize,
+}
+
+impl RoundJob {
+    fn shape(&self) -> u64 {
+        self.submission.compiled.shape_fingerprints()[self.position]
+    }
+}
+
+/// A tenant's queue of rounds awaiting dispatch, plus its deficit
+/// round-robin credit.
+struct TenantQueue {
+    submission: Arc<Submission>,
+    rounds: VecDeque<RoundJob>,
+    /// Unspent dispatch credit, in rounds.
+    deficit: usize,
+    /// The submitter has admitted its final wave; the tenant retires once
+    /// its queue drains.
+    draining: bool,
+}
+
+/// One assembled cross-tenant shape batch: jobs stable-partitioned into
+/// shape runs, claimed chunk-wise from the shared cursor exactly like an
+/// executor schedule.
+struct ShapeBatch {
+    jobs: Vec<RoundJob>,
+    /// `run_end[i]` is the exclusive end of the shape run containing batch
+    /// position `i` — the boundary a chunked claim never crosses.
+    run_end: Vec<usize>,
+    cursor: AtomicUsize,
+}
+
+/// Scheduler state guarded by the dispatch lock.
+struct DispatchState {
+    tenants: Vec<TenantQueue>,
+    /// The batch workers are currently claiming from, if any.
+    batch: Option<Arc<ShapeBatch>>,
+    /// Round-robin start index for the next quantum's deficit cycle.
+    next_tenant: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    state: Mutex<DispatchState>,
+    /// Workers wait here for admitted rounds; submitters notify.
+    work_ready: Condvar,
+    /// Submitters wait here for admission headroom; workers notify per chunk.
+    space_ready: Condvar,
+    cache: Mutex<ObservationCache>,
+    quanta: AtomicU64,
+    submissions: AtomicU64,
+    rounds_executed: AtomicU64,
+    inflight_rounds: AtomicUsize,
+    peak_inflight: AtomicUsize,
+}
+
+/// Compile-time proof that a type may cross the server's worker threads.
+fn assert_thread_safe<T: Send + Sync>() {}
+
+/// The multi-tenant scheduler: a shared worker pool consuming cross-tenant
+/// shape batches (see the [module docs](self)).
+///
+/// The server is `Sync`: submissions may come from any number of threads
+/// concurrently through a shared reference (or an `Arc`), each blocking
+/// until its own result is folded. Dropping the server shuts it down,
+/// cancelling whatever is still in flight.
+pub struct SweepServer {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SweepServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepServer")
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepServer {
+    /// Starts a server: spawns the worker pool and returns immediately.
+    pub fn new(config: ServeConfig) -> Self {
+        // Submissions, their compiled grids and the shared scheduler state
+        // all cross worker threads.
+        assert_thread_safe::<Submission>();
+        assert_thread_safe::<Shared>();
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let config = ServeConfig {
+            workers,
+            quantum_rounds: config.quantum_rounds.max(1),
+            max_tenant_rounds: config.max_tenant_rounds.max(1),
+            cache_capacity_bytes: config.cache_capacity_bytes,
+        };
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(DispatchState {
+                tenants: Vec::new(),
+                batch: None,
+                next_tenant: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            cache: Mutex::new(ObservationCache::new(config.cache_capacity_bytes)),
+            quanta: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
+            rounds_executed: AtomicU64::new(0),
+            inflight_rounds: AtomicUsize::new(0),
+            peak_inflight: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        SweepServer {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// A server with the default configuration (machine-sized pool).
+    pub fn with_default_config() -> Self {
+        SweepServer::new(ServeConfig::default())
+    }
+
+    /// The resolved configuration (worker count is never 0 here).
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Submits a spec and blocks until its complete result is folded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec does not compile, a round fails to
+    /// execute, or the server shuts down while the submission is in flight.
+    pub fn submit(&self, spec: &ExperimentSpec) -> Result<ExperimentResult> {
+        self.submit_streaming(spec, &mut NullSink)
+    }
+
+    /// Submits a spec, delivering each point's outcome to `sink` (in grid
+    /// order) before the complete result is returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepServer::submit`].
+    pub fn submit_streaming<S: ResultSink>(
+        &self,
+        spec: &ExperimentSpec,
+        sink: &mut S,
+    ) -> Result<ExperimentResult> {
+        self.submit_with_telemetry(spec, sink)
+            .map(|(result, _)| result)
+    }
+
+    /// Submits a spec and additionally returns its scheduling telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepServer::submit`].
+    pub fn submit_with_telemetry<S: ResultSink>(
+        &self,
+        spec: &ExperimentSpec,
+        sink: &mut S,
+    ) -> Result<(ExperimentResult, ServeTelemetry)> {
+        let compiled = CompiledExperiment::compile(spec)?;
+        self.shared.submissions.fetch_add(1, Ordering::Relaxed);
+        let profile_fp = profile_fingerprint(compiled.profile());
+        let keys: Vec<CacheKey> = compiled
+            .plans()
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| {
+                (
+                    profile_fp,
+                    plan_fingerprint(plan),
+                    compiled.effective_seed(index),
+                )
+            })
+            .collect();
+
+        // Look the hits up front (marking them recently used): the handles
+        // keep the observations alive through the fold regardless of what
+        // concurrent tenants evict, and every other position becomes a
+        // scheduled round.
+        let hits: Vec<Option<Arc<Observation>>> = {
+            let mut cache = self.shared.cache.lock().expect("cache lock");
+            keys.iter().map(|key| cache.lookup(key)).collect()
+        };
+        let cached: Vec<bool> = hits.iter().map(Option::is_some).collect();
+
+        // Miss positions pre-grouped into shape runs (stable partition,
+        // first-appearance order), so even this tenant's own slice of a
+        // cross-tenant batch is shape-coherent.
+        let shapes = compiled.shape_fingerprints();
+        let mut miss_positions: Vec<usize> =
+            (0..keys.len()).filter(|&index| !cached[index]).collect();
+        let mut shape_rank: HashMap<u64, usize> = HashMap::new();
+        for &position in &miss_positions {
+            let rank = shape_rank.len();
+            shape_rank.entry(shapes[position]).or_insert(rank);
+        }
+        miss_positions.sort_by_key(|&position| shape_rank[&shapes[position]]);
+
+        let point_count = compiled.len();
+        let submission = Arc::new(Submission {
+            compiled,
+            profile_fp,
+            slots: (0..point_count).map(|_| OnceLock::new()).collect(),
+            remaining: AtomicUsize::new(miss_positions.len()),
+            undispatched: AtomicUsize::new(miss_positions.len()),
+            inflight: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            done: Mutex::new(miss_positions.is_empty()),
+            done_signal: Condvar::new(),
+            admitted_quantum: AtomicU64::new(0),
+            dispatched_quantum: AtomicU64::new(0),
+        });
+
+        if miss_positions.is_empty() {
+            // Served entirely from cache: the scheduler is never involved.
+            let now = self.shared.quanta.load(Ordering::Relaxed);
+            submission.admitted_quantum.store(now, Ordering::Relaxed);
+            submission.dispatched_quantum.store(now, Ordering::Relaxed);
+        } else {
+            self.admit(&submission, &miss_positions)?;
+            wait_done(&submission);
+        }
+
+        // Collect in request order: the earliest error wins (matching the
+        // executor's `collect_in_request_order` semantics); a slot left
+        // unwritten with no recorded error means the round was abandoned by
+        // a shutdown.
+        let mut abandoned = None;
+        let mut observations: Vec<&Observation> = Vec::with_capacity(point_count);
+        for (position, hit) in hits.iter().enumerate() {
+            match hit {
+                Some(observation) => observations.push(observation.as_ref()),
+                None => match submission.slots[position].get() {
+                    Some(Ok(observation)) => observations.push(observation.as_ref()),
+                    Some(Err(error)) => return Err(error.clone()),
+                    None => {
+                        if abandoned.is_none() {
+                            abandoned = Some(position);
+                        }
+                    }
+                },
+            }
+        }
+        if let Some(position) = abandoned {
+            return Err(MesError::Simulation {
+                reason: format!(
+                    "round at grid position {position} abandoned: server shut down mid-submission"
+                ),
+            });
+        }
+
+        let result = submission.compiled.fold(&observations, &cached, sink)?;
+
+        // Publish the fresh observations to the shared cache (after the
+        // fold, so eviction can never starve it).
+        {
+            let mut cache = self.shared.cache.lock().expect("cache lock");
+            for &position in &miss_positions {
+                if let Some(Ok(observation)) = submission.slots[position].get() {
+                    cache.insert(keys[position], Arc::clone(observation));
+                }
+            }
+        }
+
+        let telemetry = ServeTelemetry {
+            admitted_quantum: submission.admitted_quantum.load(Ordering::Relaxed),
+            dispatched_quantum: submission.dispatched_quantum.load(Ordering::Relaxed),
+            rounds_executed: result.rounds_executed,
+            cache_hits: result.cache_hits,
+        };
+        Ok((result, telemetry))
+    }
+
+    /// Registers the submission as a tenant and feeds its miss rounds into
+    /// the scheduler, in waves of at most `max_tenant_rounds`.
+    fn admit(&self, submission: &Arc<Submission>, miss_positions: &[usize]) -> Result<()> {
+        let shared = &*self.shared;
+        let cap = shared.config.max_tenant_rounds;
+        let mut state = shared.state.lock().expect("dispatch lock");
+        if state.shutdown {
+            return Err(shutdown_error());
+        }
+        submission
+            .admitted_quantum
+            .store(shared.quanta.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        state.tenants.push(TenantQueue {
+            submission: Arc::clone(submission),
+            rounds: VecDeque::new(),
+            deficit: 0,
+            draining: false,
+        });
+        let mut admitted = 0;
+        while admitted < miss_positions.len() {
+            while submission.inflight.load(Ordering::Relaxed) >= cap && !state.shutdown {
+                state = shared.space_ready.wait(state).expect("dispatch lock");
+            }
+            if state.shutdown {
+                // Cancel: whatever was already queued is drained by
+                // `shutdown`; rounds never admitted simply never existed.
+                submission.failed.store(true, Ordering::Relaxed);
+                if let Some(tenant) = tenant_of(&mut state, submission) {
+                    tenant.draining = true;
+                }
+                // The rounds of the unadmitted tail will never be dispatched
+                // or executed; take them out of the completion account so
+                // nothing waits on them.
+                let unadmitted = miss_positions.len() - admitted;
+                submission
+                    .undispatched
+                    .fetch_sub(unadmitted, Ordering::Relaxed);
+                if submission
+                    .remaining
+                    .fetch_sub(unadmitted, Ordering::Relaxed)
+                    == unadmitted
+                {
+                    complete(submission);
+                }
+                return Err(shutdown_error());
+            }
+            let headroom = cap - submission.inflight.load(Ordering::Relaxed);
+            let wave = headroom.min(miss_positions.len() - admitted);
+            let tenant = tenant_of(&mut state, submission).expect("tenant registered above");
+            for &position in &miss_positions[admitted..admitted + wave] {
+                tenant.rounds.push_back(RoundJob {
+                    submission: Arc::clone(submission),
+                    position,
+                });
+            }
+            submission.inflight.fetch_add(wave, Ordering::Relaxed);
+            let inflight_total = shared.inflight_rounds.fetch_add(wave, Ordering::Relaxed) + wave;
+            shared
+                .peak_inflight
+                .fetch_max(inflight_total, Ordering::Relaxed);
+            admitted += wave;
+            shared.work_ready.notify_all();
+        }
+        let tenant = tenant_of(&mut state, submission).expect("tenant registered above");
+        tenant.draining = true;
+        Ok(())
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        let (cached_observations, cached_bytes, evictions, cache_hits, cache_misses) = {
+            let cache = self.shared.cache.lock().expect("cache lock");
+            (
+                cache.len(),
+                cache.cached_bytes(),
+                cache.evictions(),
+                cache.hits(),
+                cache.misses(),
+            )
+        };
+        let tenants_active = self
+            .shared
+            .state
+            .lock()
+            .expect("dispatch lock")
+            .tenants
+            .len();
+        ServeStats {
+            submissions: self.shared.submissions.load(Ordering::Relaxed),
+            rounds_executed: self.shared.rounds_executed.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cached_observations,
+            cached_bytes,
+            evictions,
+            quanta: self.shared.quanta.load(Ordering::Relaxed),
+            peak_inflight_rounds: self.shared.peak_inflight.load(Ordering::Relaxed),
+            tenants_active,
+            workers: self.shared.config.workers,
+        }
+    }
+
+    /// Stops the worker pool and cancels whatever is still in flight:
+    /// unexecuted rounds are abandoned, and blocked submitters return a
+    /// shutdown error. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("dispatch lock");
+            state.shutdown = true;
+            for tenant in &mut state.tenants {
+                // Workers skip (rather than simulate) rounds of failed
+                // submissions, so cancellation drains quickly even mid-batch.
+                tenant.submission.failed.store(true, Ordering::Relaxed);
+            }
+            self.shared.work_ready.notify_all();
+            self.shared.space_ready.notify_all();
+        }
+        for handle in self.workers.lock().expect("worker handles").drain(..) {
+            let _ = handle.join();
+        }
+        // Workers are gone: drain every round still queued — tenant queues
+        // and the unclaimed tail of the current batch — so every blocked
+        // submitter observes completion and returns the cancellation error.
+        let abandoned: Vec<RoundJob> = {
+            let mut state = self.shared.state.lock().expect("dispatch lock");
+            let mut abandoned = Vec::new();
+            for tenant in &mut state.tenants {
+                abandoned.extend(tenant.rounds.drain(..));
+            }
+            state.tenants.clear();
+            if let Some(batch) = state.batch.take() {
+                let start = batch
+                    .cursor
+                    .swap(batch.jobs.len(), Ordering::Relaxed)
+                    .min(batch.jobs.len());
+                abandoned.extend(batch.jobs[start..].iter().cloned());
+            }
+            abandoned
+        };
+        for job in &abandoned {
+            job.submission.failed.store(true, Ordering::Relaxed);
+            job.submission.inflight.fetch_sub(1, Ordering::Relaxed);
+            self.shared.inflight_rounds.fetch_sub(1, Ordering::Relaxed);
+            if job.submission.remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+                complete(&job.submission);
+            }
+        }
+        self.shared.space_ready.notify_all();
+    }
+}
+
+impl Drop for SweepServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn shutdown_error() -> MesError {
+    MesError::Simulation {
+        reason: "sweep server is shutting down".to_string(),
+    }
+}
+
+/// The tenant entry of `submission`, if it is still registered.
+fn tenant_of<'a>(
+    state: &'a mut DispatchState,
+    submission: &Arc<Submission>,
+) -> Option<&'a mut TenantQueue> {
+    state
+        .tenants
+        .iter_mut()
+        .find(|tenant| Arc::ptr_eq(&tenant.submission, submission))
+}
+
+fn wait_done(submission: &Submission) {
+    let mut done = submission.done.lock().expect("completion lock");
+    while !*done {
+        done = submission.done_signal.wait(done).expect("completion lock");
+    }
+}
+
+fn complete(submission: &Submission) {
+    let mut done = submission.done.lock().expect("completion lock");
+    *done = true;
+    submission.done_signal.notify_all();
+}
+
+/// Per-worker pool of warm simulation backends keyed by profile
+/// fingerprint, bounded like `SimBackend`'s own program LRU so a worker
+/// serving many distinct profiles stays memory-bounded.
+struct BackendPool {
+    backends: Vec<(u64, SimBackend, u64)>,
+    tick: u64,
+}
+
+/// Warm backends a worker keeps resident (LRU beyond this).
+const BACKENDS_PER_WORKER: usize = 8;
+
+impl BackendPool {
+    fn new() -> Self {
+        BackendPool {
+            backends: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// The worker's warm backend for `profile_fp`, created on first use.
+    fn backend_for(&mut self, profile_fp: u64, compiled: &CompiledExperiment) -> &mut SimBackend {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(index) = self
+            .backends
+            .iter()
+            .position(|(fp, _, _)| *fp == profile_fp)
+        {
+            self.backends[index].2 = tick;
+            return &mut self.backends[index].1;
+        }
+        if self.backends.len() == BACKENDS_PER_WORKER {
+            let victim = self
+                .backends
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(index, _)| index)
+                .expect("pool is non-empty at capacity");
+            self.backends.swap_remove(victim);
+        }
+        self.backends.push((
+            profile_fp,
+            SimBackend::new(Arc::clone(compiled.shared_profile()), compiled.base_seed()),
+            tick,
+        ));
+        let last = self.backends.len() - 1;
+        &mut self.backends[last].1
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut backends = BackendPool::new();
+    while let Some(batch) = next_batch(shared) {
+        run_batch(shared, &batch, &mut backends);
+    }
+}
+
+/// Blocks until there is a batch with unclaimed jobs (assembling the next
+/// quantum if necessary) or the server shuts down.
+fn next_batch(shared: &Shared) -> Option<Arc<ShapeBatch>> {
+    let mut state = shared.state.lock().expect("dispatch lock");
+    loop {
+        if state.shutdown {
+            return None;
+        }
+        if let Some(batch) = &state.batch {
+            if batch.cursor.load(Ordering::Relaxed) < batch.jobs.len() {
+                return Some(Arc::clone(batch));
+            }
+        }
+        if let Some(batch) = assemble_batch(&mut state, shared) {
+            let batch = Arc::new(batch);
+            state.batch = Some(Arc::clone(&batch));
+            // Siblings may be parked waiting for this quantum.
+            shared.work_ready.notify_all();
+            return Some(batch);
+        }
+        state = shared.work_ready.wait(state).expect("dispatch lock");
+    }
+}
+
+/// Assembles the next scheduling quantum: drains a deficit-round-robin
+/// share from every active tenant and stable-partitions the union into
+/// shape runs. Returns `None` when no tenant has queued rounds.
+fn assemble_batch(state: &mut DispatchState, shared: &Shared) -> Option<ShapeBatch> {
+    state
+        .tenants
+        .retain(|tenant| !(tenant.draining && tenant.rounds.is_empty()));
+    if state.tenants.is_empty() {
+        return None;
+    }
+    let quantum_rounds = shared.config.quantum_rounds;
+    let tenant_count = state.tenants.len();
+    let start = state.next_tenant % tenant_count;
+    let mut selected: Vec<RoundJob> = Vec::new();
+    for offset in 0..tenant_count {
+        let tenant = &mut state.tenants[(start + offset) % tenant_count];
+        if tenant.rounds.is_empty() {
+            // An active tenant between admission waves earns no credit while
+            // idle: fairness bounds come from per-quantum top-ups, not from
+            // banked history.
+            tenant.deficit = 0;
+            continue;
+        }
+        // Deficit round-robin: top the credit up by one quantum (capped so a
+        // short queue cannot bank unbounded credit), then dispatch as many
+        // queued rounds as the credit covers.
+        tenant.deficit = (tenant.deficit + quantum_rounds).min(2 * quantum_rounds);
+        let grant = tenant.deficit.min(tenant.rounds.len());
+        for _ in 0..grant {
+            selected.push(tenant.rounds.pop_front().expect("grant within queue"));
+        }
+        tenant.deficit -= grant;
+        if tenant.rounds.is_empty() {
+            tenant.deficit = 0;
+        }
+    }
+    state.next_tenant = (start + 1) % tenant_count;
+    if selected.is_empty() {
+        return None;
+    }
+    let quantum = shared.quanta.fetch_add(1, Ordering::Relaxed) + 1;
+    for job in &selected {
+        if job.submission.undispatched.fetch_sub(1, Ordering::Relaxed) == 1 {
+            job.submission
+                .dispatched_quantum
+                .store(quantum, Ordering::Relaxed);
+        }
+    }
+    // Cross-tenant shape coalescing: the same stable partition the executor
+    // schedules with, so same-shape rounds from different tenants form one
+    // contiguous run claimed onto one worker's resident program pair.
+    let shapes: Vec<u64> = selected.iter().map(RoundJob::shape).collect();
+    let (order, run_end) = shape_run_order(&shapes);
+    let jobs: Vec<RoundJob> = order
+        .into_iter()
+        .map(|position| selected[position].clone())
+        .collect();
+    Some(ShapeBatch {
+        jobs,
+        run_end,
+        cursor: AtomicUsize::new(0),
+    })
+}
+
+/// Claims and executes chunks of `batch` until its cursor is exhausted.
+fn run_batch(shared: &Shared, batch: &ShapeBatch, backends: &mut BackendPool) {
+    let total = batch.jobs.len();
+    let workers = shared.config.workers;
+    let mut start = batch.cursor.load(Ordering::Relaxed);
+    // The serve scheduler's claim path: chunks are claimed from the batch
+    // cursor by CAS — the same `claim_end` arithmetic the round executor
+    // uses and `exec::model` exhaustively checks — and results land in
+    // per-round write-once cells. Per-round work takes no lock and performs
+    // no allocation beyond the observation itself; per-chunk bookkeeping
+    // (admission headroom, completion latches) happens in `finish_chunk`,
+    // off the per-round path.
+    // lint: hot-path
+    // lint: warm-path
+    while start < total {
+        let end = claim_end(start, batch.run_end[start], workers, MAX_CLAIM_CHUNK);
+        match batch
+            .cursor
+            .compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Err(current) => start = current,
+            Ok(_) => {
+                let mut executed = 0;
+                for job in &batch.jobs[start..end] {
+                    if execute_job(job, backends) {
+                        executed += 1;
+                    }
+                }
+                finish_chunk(shared, &batch.jobs[start..end], executed);
+                start = batch.cursor.load(Ordering::Relaxed);
+            }
+        }
+    }
+    // lint: end-warm-path
+    // lint: end-hot-path
+}
+
+/// Executes one claimed round into its submission's write-once slot.
+/// Returns whether the round was actually simulated (failed submissions
+/// skip their pending rounds).
+fn execute_job(job: &RoundJob, backends: &mut BackendPool) -> bool {
+    let submission = &job.submission;
+    if submission.failed.load(Ordering::Relaxed) {
+        // A sibling round already failed (or the server is shutting down):
+        // the tenant can no longer use this result, so don't simulate it.
+        // The slot stays unwritten; `finish_chunk` still counts it down.
+        return false;
+    }
+    let compiled = &submission.compiled;
+    let backend = backends.backend_for(submission.profile_fp, compiled);
+    // Rebasing a warm backend between tenants is exact — a round's
+    // observation depends only on (profile, plan, effective seed); see
+    // `SimBackend::set_base_seed`.
+    backend.set_base_seed(compiled.base_seed());
+    let outcome = backend
+        .transmit_round(
+            &compiled.plans()[job.position],
+            compiled.round_indices()[job.position],
+        )
+        .map(Arc::new);
+    if outcome.is_err() {
+        submission.failed.store(true, Ordering::Relaxed);
+    }
+    assert!(
+        submission.slots[job.position].set(outcome).is_ok(),
+        "round claimed by two workers"
+    );
+    true
+}
+
+/// Per-chunk bookkeeping: retires the chunk's rounds from the admission
+/// accounts, completes submissions whose last round this was, and wakes
+/// submitters waiting for admission headroom.
+fn finish_chunk(shared: &Shared, jobs: &[RoundJob], executed: u64) {
+    if executed > 0 {
+        shared
+            .rounds_executed
+            .fetch_add(executed, Ordering::Relaxed);
+    }
+    shared
+        .inflight_rounds
+        .fetch_sub(jobs.len(), Ordering::Relaxed);
+    for job in jobs {
+        let submission = &job.submission;
+        submission.inflight.fetch_sub(1, Ordering::Relaxed);
+        if submission.remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+            complete(submission);
+        }
+    }
+    // Briefly taking the dispatch lock orders this notify after any headroom
+    // check a waiting submitter made under it, so the wakeup cannot be lost.
+    drop(shared.state.lock().expect("dispatch lock"));
+    shared.space_ready.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::RoundExecutor;
+    use crate::experiment::SweepService;
+    use mes_types::{Mechanism, Scenario};
+
+    fn spec(name: &str, mechanism: Mechanism, bits: usize, seed: u64) -> ExperimentSpec {
+        ExperimentSpec::contention_grid(
+            name,
+            Scenario::Local,
+            mechanism,
+            &[140, 180, 220, 260],
+            60,
+            bits,
+            seed,
+        )
+    }
+
+    /// The serial ground truth: a fresh single-submission service.
+    fn serial(spec: &ExperimentSpec) -> ExperimentResult {
+        SweepService::new(RoundExecutor::sequential())
+            .submit(spec)
+            .unwrap()
+    }
+
+    #[test]
+    fn concurrent_submissions_are_byte_identical_to_serial() {
+        let specs = [
+            spec("tenant-a", Mechanism::Flock, 48, 0xA),
+            spec("tenant-b", Mechanism::Flock, 48, 0xB),
+            spec("tenant-c", Mechanism::Mutex, 48, 0xC),
+            spec("tenant-d", Mechanism::Mutex, 48, 0xD),
+        ];
+        let server = Arc::new(SweepServer::new(ServeConfig {
+            workers: 3,
+            quantum_rounds: 2,
+            ..ServeConfig::default()
+        }));
+        let results: Vec<ExperimentResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    let server = Arc::clone(&server);
+                    scope.spawn(move || server.submit(spec).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (spec, concurrent) in specs.iter().zip(&results) {
+            let reference = serial(spec);
+            assert_eq!(
+                concurrent.to_json_string(),
+                reference.to_json_string(),
+                "{} diverged from serial submission",
+                spec.name
+            );
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submissions, 4);
+        assert_eq!(stats.rounds_executed, 16);
+        assert_eq!(stats.tenants_active, 0);
+    }
+
+    #[test]
+    fn resubmission_is_served_from_the_shared_cache() {
+        let server = SweepServer::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let spec = spec("cached", Mechanism::Flock, 32, 0x5EED);
+        let first = server.submit(&spec).unwrap();
+        assert_eq!(first.rounds_executed, 4);
+        let (second, telemetry) = server.submit_with_telemetry(&spec, &mut NullSink).unwrap();
+        assert_eq!(second.rounds_executed, 0);
+        assert_eq!(second.cache_hits, 4);
+        assert_eq!(telemetry.admitted_quantum, telemetry.dispatched_quantum);
+        assert_eq!(first.series, second.series);
+        assert_eq!(server.stats().rounds_executed, 4);
+    }
+
+    #[test]
+    fn admission_cap_bounds_inflight_rounds() {
+        let cap = 8;
+        let server = SweepServer::new(ServeConfig {
+            workers: 2,
+            quantum_rounds: 4,
+            max_tenant_rounds: cap,
+            ..ServeConfig::default()
+        });
+        let tt1_values: Vec<u64> = (0..40).map(|i| 120 + 5 * i).collect();
+        let wide = ExperimentSpec::contention_grid(
+            "wide",
+            Scenario::Local,
+            Mechanism::Flock,
+            &tt1_values,
+            60,
+            16,
+            0xCAFE,
+        );
+        let result = server.submit(&wide).unwrap();
+        assert_eq!(result.rounds_executed, tt1_values.len());
+        assert!(
+            server.stats().peak_inflight_rounds <= cap,
+            "peak in-flight {} exceeded the {cap}-round cap",
+            server.stats().peak_inflight_rounds
+        );
+        assert_eq!(result.series, serial(&wide).series);
+    }
+
+    #[test]
+    fn shutdown_cancels_in_flight_submissions_and_rejects_new_ones() {
+        let server = Arc::new(SweepServer::new(ServeConfig {
+            workers: 1,
+            quantum_rounds: 2,
+            ..ServeConfig::default()
+        }));
+        let tt1_values: Vec<u64> = (0..64).map(|i| 120 + 2 * i).collect();
+        let mega = ExperimentSpec::contention_grid(
+            "mega",
+            Scenario::Local,
+            Mechanism::Flock,
+            &tt1_values,
+            60,
+            256,
+            0xDEAD,
+        );
+        let submitter = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.submit(&mega))
+        };
+        server.shutdown();
+        // The submitter must return promptly — either it finished before the
+        // shutdown landed or it observed the cancellation error.
+        let outcome = submitter.join().unwrap();
+        if let Err(error) = outcome {
+            assert!(error.to_string().contains("shut"), "unexpected: {error}");
+        }
+        let after = server.submit(&spec("late", Mechanism::Mutex, 16, 1));
+        assert!(after.is_err(), "submissions after shutdown must fail");
+    }
+}

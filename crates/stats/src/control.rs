@@ -1,0 +1,66 @@
+//! Control frames of the framed spec/result wire protocol.
+//!
+//! Requests on the `sweepd` wire (both the `--worker` stdin/stdout loop and
+//! the `serve` Unix-socket daemon) are either `ExperimentSpec` documents or
+//! small control objects of the form `{"control": "<verb>"}` — a layout no
+//! spec, result or outcome document uses, so the two kinds are
+//! distinguishable without a version field. This module owns the verbs and
+//! the encode/decode helpers so workers, the daemon and its clients agree on
+//! the exact frames.
+
+use crate::json::Json;
+
+/// Verb asking a worker or daemon to finish in-flight work and exit
+/// cleanly (acknowledged with [`control_ack`] before the peer stops).
+pub const CONTROL_SHUTDOWN: &str = "shutdown";
+
+/// Verb asking the serve daemon for its scheduler and cache statistics
+/// (answered with a `{"stats": {...}}` frame).
+pub const CONTROL_STATS: &str = "stats";
+
+/// Builds a control request payload: `{"control": "<verb>"}`.
+pub fn control_frame(verb: &str) -> Json {
+    Json::object([("control", Json::string(verb))])
+}
+
+/// Builds the acknowledgment payload for a control verb: `{"ok": "<verb>"}`.
+pub fn control_ack(verb: &str) -> Json {
+    Json::object([("ok", Json::string(verb))])
+}
+
+/// The control verb of a parsed frame, or `None` when the document is not a
+/// control object (e.g. a spec).
+pub fn control_verb(json: &Json) -> Option<&str> {
+    json.get("control")?.as_str().ok()
+}
+
+/// The acknowledged verb of a parsed reply, or `None` when the document is
+/// not an acknowledgment.
+pub fn ack_verb(json: &Json) -> Option<&str> {
+    json.get("ok")?.as_str().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_frames_round_trip_and_specs_are_not_controls() {
+        let frame = control_frame(CONTROL_SHUTDOWN).render();
+        let parsed = Json::parse(&frame).unwrap();
+        assert_eq!(control_verb(&parsed), Some(CONTROL_SHUTDOWN));
+        assert_eq!(ack_verb(&parsed), None);
+
+        let ack = control_ack(CONTROL_STATS).render();
+        let parsed = Json::parse(&ack).unwrap();
+        assert_eq!(ack_verb(&parsed), Some(CONTROL_STATS));
+        assert_eq!(control_verb(&parsed), None);
+
+        let spec_like = Json::parse(r#"{"name": "fig9", "points": []}"#).unwrap();
+        assert_eq!(control_verb(&spec_like), None);
+
+        // A "control" key holding a non-string is not a control frame.
+        let odd = Json::parse(r#"{"control": 7}"#).unwrap();
+        assert_eq!(control_verb(&odd), None);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod control;
 pub mod json;
 pub mod series;
 pub mod summary;
@@ -35,6 +36,9 @@ pub mod table;
 pub mod throughput;
 
 pub use ber::BerReport;
+pub use control::{
+    ack_verb, control_ack, control_frame, control_verb, CONTROL_SHUTDOWN, CONTROL_STATS,
+};
 pub use json::Json;
 pub use series::{LabeledSeries, SweepPoint, SweepSeries};
 pub use summary::Summary;

@@ -1,0 +1,286 @@
+//! Integration gate for the multi-tenant serve layer: concurrent
+//! submissions must be **byte-identical** to serial submission per tenant,
+//! under adversarial interleavings of worker counts, scheduling quanta and
+//! submission orders — and a small probe must never starve behind a
+//! mega-sweep. The same guarantees are then re-checked across the daemon's
+//! Unix-socket wire path.
+
+use mes_bench::serve::{serve, ServeClient, ServeOptions};
+use mes_coding::PayloadSpec;
+use mes_core::exec::RoundExecutor;
+use mes_core::experiment::PointSpec;
+use mes_core::serve::{ServeConfig, SweepServer};
+use mes_core::{ExperimentSpec, SweepService};
+use mes_types::{Mechanism, Scenario};
+use std::time::Duration;
+
+/// A small sweep unique to one `(tenant, rep)` slot: globally unique seeds
+/// keep every cache key in a test disjoint, so concurrent and serial runs
+/// both execute every round (identical provenance flags → comparable
+/// bytes).
+fn tenant_spec(tenant: usize, rep: usize, points: usize, mechanism: Mechanism) -> ExperimentSpec {
+    let request = tenant * 100 + rep;
+    let timing = mes_scenario::paper_timeset(Scenario::Local, mechanism).expect("paper timeset");
+    let point_specs = (0..points)
+        .map(|point| {
+            PointSpec::new(
+                mechanism.to_string(),
+                point as f64,
+                mechanism,
+                timing,
+                PayloadSpec::Random { bits: 24 },
+                (request * 1000 + point) as u64,
+            )
+        })
+        .collect();
+    ExperimentSpec::custom(
+        format!("serve-det-t{tenant}-r{rep}"),
+        Scenario::Local,
+        point_specs,
+        0xD0_0000 + request as u64,
+    )
+}
+
+/// The serial ground truth: a fresh sequential `SweepService` per spec.
+fn serial_result_json(spec: &ExperimentSpec) -> String {
+    SweepService::new(RoundExecutor::sequential())
+        .submit(spec)
+        .expect("serial submission runs")
+        .to_json_string()
+}
+
+#[test]
+fn concurrent_submissions_are_byte_identical_to_serial_across_configs() {
+    let mechanisms = [
+        Mechanism::Event,
+        Mechanism::Flock,
+        Mechanism::Mutex,
+        Mechanism::Timer,
+    ];
+    // Adversarial scheduler shapes: serial-equivalent pool, more workers
+    // than tenants, a one-round quantum (maximal interleaving), and a
+    // quantum larger than any submission.
+    let configs = [
+        ServeConfig {
+            workers: 1,
+            quantum_rounds: 3,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            workers: 7,
+            quantum_rounds: 1,
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            workers: 3,
+            quantum_rounds: 64,
+            ..ServeConfig::default()
+        },
+    ];
+    for (variant, config) in configs.into_iter().enumerate() {
+        let specs: Vec<ExperimentSpec> = mechanisms
+            .iter()
+            .enumerate()
+            .map(|(tenant, &mechanism)| tenant_spec(tenant, variant, 10, mechanism))
+            .collect();
+        let expected: Vec<String> = specs.iter().map(serial_result_json).collect();
+        let server = SweepServer::new(config);
+        // Reversed spawn order on odd variants: admission order must not
+        // matter either.
+        let order: Vec<usize> = if variant % 2 == 0 {
+            (0..specs.len()).collect()
+        } else {
+            (0..specs.len()).rev().collect()
+        };
+        let mut produced: Vec<Option<String>> = vec![None; specs.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &tenant in &order {
+                let server = &server;
+                let spec = &specs[tenant];
+                handles.push((
+                    tenant,
+                    scope.spawn(move || server.submit(spec).expect("submission runs")),
+                ));
+            }
+            for (tenant, handle) in handles {
+                produced[tenant] = Some(
+                    handle
+                        .join()
+                        .expect("tenant does not panic")
+                        .to_json_string(),
+                );
+            }
+        });
+        for (tenant, expected_json) in expected.iter().enumerate() {
+            assert_eq!(
+                produced[tenant].as_deref(),
+                Some(expected_json.as_str()),
+                "variant {variant}: tenant {tenant} diverged from serial submission"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_concurrent_specs_agree_on_every_measurement() {
+    // Two tenants race the SAME spec: cache-hit provenance flags are
+    // traffic-dependent (one tenant's rounds may be served from the
+    // other's freshly published observations), but every measured value
+    // must be identical to the serial result.
+    let spec = tenant_spec(90, 0, 12, Mechanism::Event);
+    let serial = SweepService::new(RoundExecutor::sequential())
+        .submit(&spec)
+        .expect("serial submission runs");
+    let server = SweepServer::new(ServeConfig {
+        workers: 4,
+        quantum_rounds: 2,
+        ..ServeConfig::default()
+    });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let server = &server;
+                let spec = &spec;
+                scope.spawn(move || server.submit(spec).expect("submission runs"))
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().expect("tenant does not panic");
+            assert_eq!(result.series, serial.series, "measurements diverged");
+            assert_eq!(result.rows, serial.rows, "rows diverged");
+        }
+    });
+}
+
+#[test]
+fn small_probe_is_not_starved_by_a_mega_sweep() {
+    // One tenant holds a 256-round mega-sweep, the other a 4-round probe
+    // submitted while the mega-sweep is in flight. Deficit round-robin
+    // guarantees the probe's rounds dispatch within
+    // ceil(rounds/quantum_rounds) + 1 scheduling quanta of admission no
+    // matter how much backlog its neighbour holds.
+    let config = ServeConfig {
+        workers: 2,
+        quantum_rounds: 4,
+        max_tenant_rounds: 64,
+        ..ServeConfig::default()
+    };
+    let mega = tenant_spec(91, 0, 256, Mechanism::Event);
+    let probe = tenant_spec(92, 0, 4, Mechanism::Event);
+    let expected_probe = serial_result_json(&probe);
+    let expected_mega = serial_result_json(&mega);
+    let server = SweepServer::new(config);
+    let (mega_json, probe_json, probe_telemetry, probe_first) = std::thread::scope(|scope| {
+        let mega_handle = {
+            let server = &server;
+            let mega = &mega;
+            scope.spawn(move || server.submit(mega).expect("mega-sweep runs"))
+        };
+        // Give the mega-sweep a head start so its backlog is really queued.
+        std::thread::sleep(Duration::from_millis(2));
+        let probe_handle = {
+            let server = &server;
+            let probe = &probe;
+            scope.spawn(move || {
+                server
+                    .submit_with_telemetry(probe, &mut mes_core::experiment::NullSink)
+                    .expect("probe runs")
+            })
+        };
+        let (probe_result, telemetry) = probe_handle.join().expect("probe does not panic");
+        let probe_done_first = !mega_handle.is_finished();
+        let mega_result = mega_handle.join().expect("mega-sweep does not panic");
+        (
+            mega_result.to_json_string(),
+            probe_result.to_json_string(),
+            telemetry,
+            probe_done_first,
+        )
+    });
+    assert_eq!(probe_json, expected_probe, "probe diverged from serial");
+    assert_eq!(mega_json, expected_mega, "mega-sweep diverged from serial");
+    // 4 rounds at 4 rounds/quantum: dispatched within ceil(4/4) + 1 = 2
+    // quanta of admission.
+    let waited = probe_telemetry
+        .dispatched_quantum
+        .saturating_sub(probe_telemetry.admitted_quantum);
+    assert!(
+        waited <= 2,
+        "probe waited {waited} scheduling quanta behind the mega-sweep"
+    );
+    assert!(
+        probe_first,
+        "probe must complete while the mega-sweep still runs"
+    );
+}
+
+#[test]
+fn admission_cap_bounds_inflight_rounds_without_changing_results() {
+    let config = ServeConfig {
+        workers: 3,
+        quantum_rounds: 4,
+        max_tenant_rounds: 8,
+        ..ServeConfig::default()
+    };
+    let spec = tenant_spec(93, 0, 40, Mechanism::Flock);
+    let expected = serial_result_json(&spec);
+    let server = SweepServer::new(config);
+    let result = server.submit(&spec).expect("capped submission runs");
+    assert_eq!(result.to_json_string(), expected);
+    assert!(
+        server.stats().peak_inflight_rounds <= 8,
+        "admission cap exceeded: {} rounds in flight",
+        server.stats().peak_inflight_rounds
+    );
+}
+
+#[test]
+fn daemon_socket_roundtrip_is_byte_identical_and_streams_every_point() {
+    let socket = std::env::temp_dir().join(format!("mes-serve-det-{}.sock", std::process::id()));
+    let options = ServeOptions {
+        pool: 2,
+        ..ServeOptions::default()
+    };
+    let daemon = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve(&socket, &options))
+    };
+    let specs: Vec<ExperimentSpec> = (0..2)
+        .map(|tenant| tenant_spec(94 + tenant, 0, 6, Mechanism::Event))
+        .collect();
+    let expected: Vec<String> = specs.iter().map(serial_result_json).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .zip(&expected)
+            .map(|(spec, expected_json)| {
+                let socket = &socket;
+                scope.spawn(move || {
+                    let mut client =
+                        ServeClient::connect_with_retries(socket, Duration::from_secs(10))
+                            .expect("daemon comes up");
+                    let (points, result) = client.submit_raw(spec).expect("socket submission runs");
+                    assert_eq!(points.len(), 6, "daemon must stream one frame per point");
+                    assert_eq!(
+                        &result, expected_json,
+                        "socket result diverged from serial submission"
+                    );
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client does not panic");
+        }
+    });
+    ServeClient::connect_with_retries(&socket, Duration::from_secs(10))
+        .expect("daemon still up")
+        .shutdown()
+        .expect("daemon acknowledges shutdown");
+    let report = daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    assert_eq!(report.submissions, 2);
+    assert!(!socket.exists(), "daemon must remove its socket file");
+}
