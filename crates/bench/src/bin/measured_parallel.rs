@@ -28,7 +28,15 @@
 //!   `WORKERS` free cores this equals the parallel speedup; on fewer cores
 //!   it still measures pool saturation (a driver that serializes scores ~1,
 //!   a saturated pool scores ~`WORKERS`), so it is meaningful — and gated —
-//!   on single-core CI boxes too.
+//!   on single-core CI boxes too;
+//! * `fault_free_overhead_x` — supervised makespan ÷ unsupervised-baseline
+//!   makespan on the same mega grid (best of [`OVERHEAD_REPEATS`] each):
+//!   what the crash/hang/babble supervision layer costs when nothing
+//!   faults. Hard-gated below [`MAX_FAULT_FREE_OVERHEAD_X`] (beyond the
+//!   usual 25 % drift gate), so the recovery machinery can never quietly
+//!   tax the happy path;
+//! * `retries` / `respawns` / `quarantined_shards` — the supervisor's
+//!   recovery counters for the mega run (all zero on a healthy box).
 //!
 //! `--verify <spec.json> [--workers N]` runs only the byte-identity check
 //! on an arbitrary spec document (CI runs it on `examples/specs/
@@ -36,7 +44,7 @@
 //!
 //! Run with `cargo run --release -p mes-bench --bin measured_parallel`.
 
-use mes_bench::shard::{run_sharded, ShardRun};
+use mes_bench::shard::{run_sharded, run_sharded_baseline, ShardRun};
 use mes_bench::{rate_regressions, wallclock_regressions};
 use mes_core::experiment::PointSpec;
 use mes_core::{ExperimentSpec, SweepService};
@@ -56,6 +64,12 @@ const TARGET_SHARDS: usize = 64;
 /// Allowed slowdown/drop against the committed baseline before the gate
 /// trips.
 const REGRESSION_TOLERANCE: f64 = 0.25;
+/// Supervised-vs-baseline mega runs per mode for the overhead measurement
+/// (best-of, to shave scheduler noise on loaded boxes).
+const OVERHEAD_REPEATS: usize = 2;
+/// Hard ceiling on `fault_free_overhead_x`: supervision may cost at most
+/// 5 % of the happy-path makespan.
+const MAX_FAULT_FREE_OVERHEAD_X: f64 = 1.05;
 
 /// The mechanisms the instances cycle through.
 const MECHANISMS: [Mechanism; 4] = [
@@ -125,7 +139,7 @@ fn verification_grid() -> Result<ExperimentSpec> {
 fn verified_run(spec: &ExperimentSpec, workers: usize, target_shards: usize) -> Result<ShardRun> {
     let run = run_sharded(spec, workers, target_shards)?;
     let reference = SweepService::with_default_pool().submit(spec)?;
-    if run.result.to_json_string() != reference.to_json_string() {
+    if run.merged()?.to_json_string() != reference.to_json_string() {
         eprintln!("MERGE MISMATCH: sharded result differs from the unsharded run");
         std::process::exit(1);
     }
@@ -176,15 +190,20 @@ fn main() -> Result<()> {
     // ---- the mega grid --------------------------------------------------
     let spec = mega_grid(INSTANCES, INSTANCE_BITS)?;
     let run = run_sharded(&spec, WORKERS, TARGET_SHARDS)?;
-    let aggregate_kbps: f64 = run.result.points.iter().map(|point| point.rate_kbps).sum();
+    let mega_result = run.merged()?;
+    let aggregate_kbps: f64 = mega_result.points.iter().map(|point| point.rate_kbps).sum();
     let sum_shard_wall_ms = run.sum_shard_wall_ms();
     let scaling_efficiency_x = run.scaling_efficiency_x();
     let makespan_ms = run.makespan_ms;
     assert_eq!(
-        run.result.points.len(),
+        mega_result.points.len(),
         INSTANCES,
         "every instance must be measured"
     );
+    let mega_bytes = mega_result.to_json_string();
+    let retries = run.recovery.retries;
+    let respawns = run.recovery.respawns;
+    let quarantined_shards = run.recovery.quarantined.len();
 
     println!(
         "  mega       {INSTANCES} instances x {INSTANCE_BITS} bits over {} shards on {} workers",
@@ -195,6 +214,38 @@ fn main() -> Result<()> {
         "  makespan   {makespan_ms:>10.2} ms  (shard walls sum {sum_shard_wall_ms:.2} ms, \
          {scaling_efficiency_x:.2}x average in-flight)"
     );
+    println!(
+        "  recovery   {retries} retries, {respawns} respawns, {quarantined_shards} quarantined"
+    );
+
+    // ---- supervision overhead on the happy path -------------------------
+    // Best-of-N supervised vs. unsupervised-baseline makespans on the same
+    // grid; the baseline run doubles as one more byte-identity witness.
+    let mut supervised_best = makespan_ms;
+    let mut baseline_best = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPEATS {
+        let (baseline_result, baseline_ms) = run_sharded_baseline(&spec, WORKERS, TARGET_SHARDS)?;
+        if baseline_result.to_json_string() != mega_bytes {
+            eprintln!("MERGE MISMATCH: baseline fan-out differs from the supervised run");
+            std::process::exit(1);
+        }
+        baseline_best = baseline_best.min(baseline_ms);
+        let repeat = run_sharded(&spec, WORKERS, TARGET_SHARDS)?;
+        if repeat.merged()?.to_json_string() != mega_bytes {
+            eprintln!("MERGE MISMATCH: supervised repeat differs from the first run");
+            std::process::exit(1);
+        }
+        supervised_best = supervised_best.min(repeat.makespan_ms);
+    }
+    let fault_free_overhead_x = if baseline_best > 0.0 {
+        supervised_best / baseline_best
+    } else {
+        1.0
+    };
+    println!(
+        "  overhead   {fault_free_overhead_x:>10.3}x supervised vs. baseline \
+         (supervised {supervised_best:.2} ms, baseline {baseline_best:.2} ms)"
+    );
 
     // Gate BEFORE overwriting, exactly like batch_bench: a regressed run
     // leaves the committed baseline intact.
@@ -203,10 +254,20 @@ fn main() -> Result<()> {
         .and_then(|text| Json::parse(&text).ok());
     if std::env::var("MES_BENCH_SKIP_REGRESSION").is_ok() {
         println!("  regression check skipped (MES_BENCH_SKIP_REGRESSION set)");
+    } else if fault_free_overhead_x > MAX_FAULT_FREE_OVERHEAD_X {
+        eprintln!(
+            "  REGRESSION: fault_free_overhead_x {fault_free_overhead_x:.3} exceeds the hard \
+             {MAX_FAULT_FREE_OVERHEAD_X:.2}x ceiling — supervision is taxing the happy path"
+        );
+        eprintln!("  BENCH_shards.json left untouched");
+        std::process::exit(2);
     } else if let Some(baseline) = &baseline {
         let mut regressions = wallclock_regressions(
             baseline,
-            &[("makespan_ms", makespan_ms)],
+            &[
+                ("makespan_ms", makespan_ms),
+                ("fault_free_overhead_x", fault_free_overhead_x),
+            ],
             REGRESSION_TOLERANCE,
         );
         regressions.extend(rate_regressions(
@@ -244,6 +305,9 @@ fn main() -> Result<()> {
          \"makespan_ms\": {makespan_ms:.3},\n  \
          \"sum_shard_wall_ms\": {sum_shard_wall_ms:.3},\n  \
          \"scaling_efficiency_x\": {scaling_efficiency_x:.3},\n  \
+         \"fault_free_overhead_x\": {fault_free_overhead_x:.3},\n  \
+         \"retries\": {retries},\n  \"respawns\": {respawns},\n  \
+         \"quarantined_shards\": {quarantined_shards},\n  \
          \"merge_verified\": {merge_verified}\n}}\n",
         run.workers, run.shards
     );

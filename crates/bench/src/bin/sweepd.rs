@@ -12,10 +12,12 @@
 //! stdout, one persistent service keeping engines and program caches warm
 //! across shards (see [`mes_bench::shard`]). The sharded sweep driver
 //! spawns a pool of these with `--pool 1`, making worker processes the unit
-//! of parallelism.
+//! of parallelism. When `MES_FAULT_PLAN` is set, the worker misbehaves on
+//! schedule (see [`mes_bench::fault`]) — the deterministic chaos harness
+//! behind the supervisor's crash/hang/babble recovery tests.
 //!
 //! Serve mode (`serve <socket-path> [--pool N] [--quantum N]
-//! [--max-rounds N]`) runs the multi-tenant daemon (see
+//! [--max-rounds N] [--deadline-ms N]`) runs the multi-tenant daemon (see
 //! [`mes_bench::serve`]): concurrent clients submit framed specs over a
 //! Unix socket, the daemon coalesces their cache-miss rounds into
 //! cross-tenant shape batches on one shared pool, and each client streams
@@ -30,9 +32,10 @@
 //! sweepd serve /tmp/mes.sock --pool 4
 //! ```
 
+use mes_bench::fault::FaultPlan;
 use mes_bench::run_spec_json;
 use mes_bench::serve::{serve, ServeOptions};
-use mes_bench::shard::worker_loop;
+use mes_bench::shard::worker_loop_with_faults;
 use mes_types::{MesError, Result};
 use std::io::Read as _;
 use std::path::Path;
@@ -87,11 +90,14 @@ fn serve_main(args: &[String]) -> Result<()> {
     if let Some(max_rounds) = flag_value(args, "--max-rounds")? {
         options.max_tenant_rounds = max_rounds;
     }
+    if let Some(deadline_ms) = flag_value(args, "--deadline-ms")? {
+        options.submission_deadline_ms = Some(deadline_ms as u64);
+    }
     eprintln!("sweepd: serving on {socket}");
     let report = serve(Path::new(socket), &options)?;
     eprintln!(
-        "sweepd: served {} submissions ({} rounds executed, {} cache hits)",
-        report.submissions, report.rounds_executed, report.cache_hits
+        "sweepd: served {} submissions ({} rounds executed, {} cache hits, {} connections dropped)",
+        report.submissions, report.rounds_executed, report.cache_hits, report.dropped_connections
     );
     Ok(())
 }
@@ -111,9 +117,17 @@ fn main() -> Result<()> {
                 })?,
             None => 0, // machine-sized default pool
         };
+        // A scripted fault plan (chaos testing) rides in on the environment;
+        // a malformed plan fails loudly rather than running fault-free.
+        let faults = FaultPlan::from_env()?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        return worker_loop(&mut stdin.lock(), &mut stdout.lock(), pool);
+        return worker_loop_with_faults(
+            &mut stdin.lock(),
+            &mut stdout.lock(),
+            pool,
+            faults.as_ref(),
+        );
     }
     let input = read_input(args.first().map(String::as_str))?;
     print!("{}", run_spec_json(&input)?);

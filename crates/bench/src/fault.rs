@@ -1,0 +1,307 @@
+//! Deterministic fault injection for `sweepd --worker` processes.
+//!
+//! A [`FaultPlan`] scripts worker misbehavior against the *frame ordinal*:
+//! frame `k` is the k-th frame the worker successfully reads off stdin
+//! (spec and control frames alike). Because the supervisor dispatches
+//! shards in a known order and the plan is carried as a compact string
+//! through the `MES_FAULT_PLAN` environment variable, a chaos run is fully
+//! reproducible: the same plan against the same grid exercises the same
+//! recovery path every time, and the merged document can be asserted
+//! byte-identical to a fault-free run.
+//!
+//! The four fault classes map one-to-one onto the supervisor's detection
+//! taxonomy:
+//!
+//! | Fault      | Worker behavior at frame `k`                 | Driver sees      |
+//! | ---------- | -------------------------------------------- | ---------------- |
+//! | `crash`    | exits before answering                       | EOF              |
+//! | `stall`    | stops reading and answering                  | deadline expiry  |
+//! | `truncate` | writes a frame shorter than its length line  | truncated stream |
+//! | `corrupt`  | flips one seeded payload byte to `0xFF`      | babble (UTF-8)   |
+//!
+//! `corrupt` deliberately writes `0xFF` — a byte no valid UTF-8 sequence
+//! contains — so the damage is always *detectable* at the frame layer. A
+//! bit-flip inside a number token would instead be caught later, by the
+//! merge's plan-hash/seed provenance checks or not at all; scripting an
+//! always-detectable corruption keeps the chaos suite's byte-identity
+//! assertion meaningful rather than vacuously racing the damage location.
+
+use mes_types::{MesError, Result};
+
+/// Environment variable `sweepd --worker` reads a rendered [`FaultPlan`]
+/// from. The supervisor sets it explicitly on the workers it spawns (and
+/// clears it when no plan is configured, so an ambient value can never
+/// leak into a production fan-out).
+pub const FAULT_PLAN_ENV: &str = "MES_FAULT_PLAN";
+
+/// One scripted misbehavior class. See the module docs for the mapping to
+/// the supervisor's detection taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Exit without answering the frame (driver sees EOF).
+    Crash,
+    /// Stop reading and answering without exiting (driver's deadline fires).
+    Stall,
+    /// Answer with a frame whose payload is cut short (truncated stream).
+    Truncate,
+    /// Answer with one payload byte forced to `0xFF` (invalid UTF-8).
+    Corrupt,
+}
+
+impl FaultKind {
+    fn token(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Stall => "stall",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn parse(token: &str) -> Option<Self> {
+        match token {
+            "crash" => Some(FaultKind::Crash),
+            "stall" => Some(FaultKind::Stall),
+            "truncate" => Some(FaultKind::Truncate),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// One scripted fault: misbehave with `kind` when serving frame `frame`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Zero-based ordinal of the frame the fault fires on.
+    pub frame: u64,
+    /// How the worker misbehaves on that frame.
+    pub kind: FaultKind,
+}
+
+/// A seeded, fully deterministic fault schedule for one worker process.
+///
+/// The text form is `<kind>@<frame>[;<kind>@<frame>…][#<seed>]`, e.g.
+/// `crash@0`, `corrupt@2#9` — compact enough to ride an environment
+/// variable across the process boundary and diff-readable in test output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit faults. `seed` only influences the
+    /// position of `corrupt` damage; `0` is a perfectly good seed.
+    pub fn new(faults: Vec<Fault>, seed: u64) -> Self {
+        FaultPlan { faults, seed }
+    }
+
+    /// Convenience: a single fault of `kind` at frame `frame`.
+    pub fn single(kind: FaultKind, frame: u64, seed: u64) -> Self {
+        FaultPlan::new(vec![Fault { frame, kind }], seed)
+    }
+
+    /// The scripted faults, in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Parses the text form (`<kind>@<frame>[;…][#<seed>]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::InvalidConfig`] on unknown kinds, unparseable
+    /// frame ordinals or seeds, and empty plans.
+    pub fn parse(text: &str) -> Result<Self> {
+        let invalid = |reason: String| MesError::InvalidConfig { reason };
+        let (fault_text, seed_text) = match text.split_once('#') {
+            Some((faults, seed)) => (faults, Some(seed)),
+            None => (text, None),
+        };
+        let seed = match seed_text {
+            Some(seed) => seed
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| invalid(format!("fault plan seed {:?} is not a u64", seed.trim())))?,
+            None => 0,
+        };
+        let mut faults = Vec::new();
+        for entry in fault_text.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind_token, frame_token) = entry.split_once('@').ok_or_else(|| {
+                invalid(format!("fault {entry:?} is not of the form <kind>@<frame>"))
+            })?;
+            let kind = FaultKind::parse(kind_token.trim()).ok_or_else(|| {
+                invalid(format!(
+                    "unknown fault kind {:?} (expected crash/stall/truncate/corrupt)",
+                    kind_token.trim()
+                ))
+            })?;
+            let frame = frame_token.trim().parse::<u64>().map_err(|_| {
+                invalid(format!(
+                    "fault frame {:?} is not a u64 ordinal",
+                    frame_token.trim()
+                ))
+            })?;
+            faults.push(Fault { frame, kind });
+        }
+        if faults.is_empty() {
+            return Err(invalid(format!("fault plan {text:?} scripts no faults")));
+        }
+        Ok(FaultPlan { faults, seed })
+    }
+
+    /// Renders the plan back into its text form; `parse(render())` is the
+    /// identity for any plan.
+    pub fn render(&self) -> String {
+        let faults = self
+            .faults
+            .iter()
+            .map(|fault| format!("{}@{}", fault.kind.token(), fault.frame))
+            .collect::<Vec<_>>()
+            .join(";");
+        format!("{faults}#{}", self.seed)
+    }
+
+    /// Reads a plan from [`FAULT_PLAN_ENV`]: `Ok(None)` when the variable is
+    /// unset or empty, `Ok(Some(plan))` when it parses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when the variable is set but malformed — a
+    /// mistyped chaos configuration should fail loudly, not silently run
+    /// fault-free.
+    pub fn from_env() -> Result<Option<Self>> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(text) if !text.trim().is_empty() => FaultPlan::parse(&text).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The fault scripted for frame ordinal `frame`, if any (first match in
+    /// plan order wins).
+    pub fn fault_at(&self, frame: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|fault| fault.frame == frame)
+            .map(|fault| fault.kind)
+    }
+
+    /// Damages `payload` for a `corrupt` fault at `frame`: one byte, at a
+    /// position derived deterministically from `(seed, frame)`, is forced to
+    /// `0xFF` — a byte that cannot occur in valid UTF-8, so the receiving
+    /// frame decoder is guaranteed to notice.
+    pub fn corrupt_payload(&self, frame: u64, payload: &str) -> Vec<u8> {
+        let mut bytes = payload.as_bytes().to_vec();
+        if bytes.is_empty() {
+            return bytes;
+        }
+        // splitmix64 over (seed, frame): cheap, seeded, and stable across
+        // platforms — the damage lands on the same byte every run.
+        let mut state = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(frame.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state ^= state >> 31;
+        let position = (state % bytes.len() as u64) as usize;
+        bytes[position] = 0xFF;
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_render_and_parse_round_trip() {
+        let plan = FaultPlan::new(
+            vec![
+                Fault {
+                    frame: 0,
+                    kind: FaultKind::Crash,
+                },
+                Fault {
+                    frame: 3,
+                    kind: FaultKind::Corrupt,
+                },
+                Fault {
+                    frame: 7,
+                    kind: FaultKind::Stall,
+                },
+                Fault {
+                    frame: 9,
+                    kind: FaultKind::Truncate,
+                },
+            ],
+            42,
+        );
+        assert_eq!(plan.render(), "crash@0;corrupt@3;stall@7;truncate@9#42");
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+        // Seed-less and whitespace-tolerant forms parse too.
+        let bare = FaultPlan::parse(" crash@2 ; stall@5 ").unwrap();
+        assert_eq!(
+            bare,
+            FaultPlan::new(
+                vec![
+                    Fault {
+                        frame: 2,
+                        kind: FaultKind::Crash,
+                    },
+                    Fault {
+                        frame: 5,
+                        kind: FaultKind::Stall,
+                    },
+                ],
+                0,
+            )
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for text in [
+            "",
+            "crash",
+            "crash@",
+            "crash@x",
+            "explode@1",
+            "crash@1#notaseed",
+            "#7",
+        ] {
+            assert!(FaultPlan::parse(text).is_err(), "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn fault_lookup_matches_the_scripted_frame_only() {
+        let plan = FaultPlan::parse("stall@2;crash@4#1").unwrap();
+        assert_eq!(plan.fault_at(0), None);
+        assert_eq!(plan.fault_at(2), Some(FaultKind::Stall));
+        assert_eq!(plan.fault_at(4), Some(FaultKind::Crash));
+        assert_eq!(plan.fault_at(5), None);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_always_invalid_utf8() {
+        let plan = FaultPlan::single(FaultKind::Corrupt, 1, 99);
+        let payload = r#"{"result": [1, 2, 3], "rate_kbps": 12.5}"#;
+        let damaged = plan.corrupt_payload(1, payload);
+        assert_eq!(damaged, plan.corrupt_payload(1, payload), "seeded");
+        assert_eq!(damaged.len(), payload.len());
+        assert!(
+            String::from_utf8(damaged.clone()).is_err(),
+            "0xFF is never valid UTF-8"
+        );
+        assert_eq!(damaged.iter().filter(|&&b| b == 0xFF).count(), 1);
+        // Different frames damage different positions (with overwhelming
+        // likelihood for this payload length — asserted for these inputs).
+        assert_ne!(damaged, plan.corrupt_payload(2, payload));
+        assert!(plan.corrupt_payload(1, "").is_empty());
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fault;
 pub mod serve;
 pub mod shard;
 

@@ -25,6 +25,20 @@
 //! frames (in grid order, as the fold emits them) followed by exactly one
 //! `{"result": <document>}` or `{"error": "..."}` frame. A connection may
 //! pipeline several specs; they are answered in order, one at a time.
+//!
+//! # Tenant disconnects
+//!
+//! A connection that fails mid-stream — a read or write error, a zero-byte
+//! write, or an EOF while a submission is still in flight or pipelined —
+//! is *abandoned*: its in-flight submission is cancelled inside the server
+//! (queued rounds withdrawn, admission headroom refunded to sibling
+//! tenants), its pipelined specs and unflushed outbox are dropped, and the
+//! `dropped_connections` counter in the stats frame is incremented. A
+//! dead tenant therefore never holds pool capacity, and the daemon's exit
+//! report says how many clients vanished. `--deadline-ms` additionally
+//! bounds each submission's wall clock inside the server (see
+//! [`ServeConfig::submission_deadline`]); expirations are reported
+//! in-band as `{"error": ...}` frames and counted in the stats frame.
 
 use crate::shard::{io_error, parse_frame_length, read_frame, write_frame};
 use mes_core::experiment::PointOutcome;
@@ -133,6 +147,9 @@ pub struct ServeOptions {
     pub max_tenant_rounds: usize,
     /// Byte budget of the shared observation cache.
     pub cache_capacity_bytes: usize,
+    /// Per-submission wall-clock budget in milliseconds (`None` = no
+    /// deadline); expirations are answered in-band with an error frame.
+    pub submission_deadline_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -143,6 +160,9 @@ impl Default for ServeOptions {
             quantum_rounds: config.quantum_rounds,
             max_tenant_rounds: config.max_tenant_rounds,
             cache_capacity_bytes: config.cache_capacity_bytes,
+            submission_deadline_ms: config
+                .submission_deadline
+                .map(|deadline| deadline.as_millis() as u64),
         }
     }
 }
@@ -156,6 +176,9 @@ pub struct ServeReport {
     pub rounds_executed: u64,
     /// Points served from the shared observation cache.
     pub cache_hits: u64,
+    /// Connections abandoned because their stream failed or their client
+    /// vanished mid-submission.
+    pub dropped_connections: u64,
 }
 
 /// Wait floor/ceiling of the idle backoff, microseconds. The ceiling
@@ -167,11 +190,17 @@ const MAX_BACKOFF_US: u64 = 500;
 
 /// Events handler threads send back to the event loop.
 enum LoopEvent {
-    /// A payload to frame onto a connection's outbox.
-    Frame { connection: usize, payload: String },
-    /// The connection's in-flight submission finished (its final frame has
-    /// already been sent as a `Frame` event).
-    Done { connection: usize },
+    /// A payload to frame onto a connection's outbox. `last` marks the
+    /// submission's final frame (result or error): finality rides the frame
+    /// itself so the loop clears `busy` in the same event that enqueues the
+    /// reply — a separate done event would open a window where the client
+    /// has already read its result and closed, but the connection still
+    /// looks busy and an orderly EOF gets miscounted as a vanished client.
+    Frame {
+        connection: usize,
+        payload: String,
+        last: bool,
+    },
 }
 
 /// One accepted client connection.
@@ -186,6 +215,9 @@ struct Connection {
     queued: VecDeque<String>,
     /// A submission handler is running for this connection.
     busy: bool,
+    /// Cancellation flag of the in-flight submission, raised when the
+    /// connection is abandoned so the server withdraws its rounds.
+    cancel: Option<Arc<AtomicBool>>,
     /// The client closed its write half (or the stream failed reading).
     read_closed: bool,
     /// The stream failed writing or its framing broke: discard when idle.
@@ -201,6 +233,7 @@ impl Connection {
             written: 0,
             queued: VecDeque::new(),
             busy: false,
+            cancel: None,
             read_closed: false,
             dead: false,
         }
@@ -224,8 +257,27 @@ impl Connection {
     }
 }
 
+/// Abandons a connection whose client is gone: cancels the in-flight
+/// submission (the server withdraws its queued rounds and refunds their
+/// admission headroom), drops the pipelined specs and the unflushed
+/// outbox, and counts the drop. Idempotent — a connection is only counted
+/// the first time.
+fn abandon(conn: &mut Connection, dropped_connections: &mut u64) {
+    if conn.dead {
+        return;
+    }
+    conn.dead = true;
+    *dropped_connections += 1;
+    if let Some(cancel) = &conn.cancel {
+        cancel.store(true, Ordering::Relaxed);
+    }
+    conn.queued.clear();
+    conn.outbox.clear();
+    conn.written = 0;
+}
+
 /// Renders the daemon's framed stats reply.
-fn stats_frame(stats: &ServeStats) -> String {
+fn stats_frame(stats: &ServeStats, dropped_connections: u64) -> String {
     Json::object([(
         "stats",
         Json::object([
@@ -246,6 +298,15 @@ fn stats_frame(stats: &ServeStats) -> String {
             ),
             ("tenants_active", Json::usize(stats.tenants_active)),
             ("workers", Json::usize(stats.workers)),
+            (
+                "cancelled_submissions",
+                Json::u64(stats.cancelled_submissions),
+            ),
+            (
+                "deadline_expirations",
+                Json::u64(stats.deadline_expirations),
+            ),
+            ("dropped_connections", Json::u64(dropped_connections)),
         ]),
     )])
     .render()
@@ -253,16 +314,20 @@ fn stats_frame(stats: &ServeStats) -> String {
 
 /// Spawns the handler thread for one submission: it blocks inside the
 /// server, streaming point frames (and finally a result or error frame)
-/// back through the event channel.
+/// back through the event channel. Returns the submission's cancellation
+/// flag — raising it (on tenant disconnect) makes the server withdraw the
+/// submission's rounds and the handler finish promptly.
 fn start_submission(
     server: &Arc<SweepServer>,
     events: &Sender<LoopEvent>,
     connection: usize,
     payload: String,
     handlers: &mut Vec<JoinHandle<()>>,
-) {
+) -> Arc<AtomicBool> {
     let server = Arc::clone(server);
     let events = events.clone();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let cancelled = Arc::clone(&cancel);
     handlers.push(std::thread::spawn(move || {
         let outcome = ExperimentSpec::from_json_str(&payload).and_then(|spec| {
             let mut sink = |point: &PointOutcome| {
@@ -273,9 +338,10 @@ fn start_submission(
                 let _ = events.send(LoopEvent::Frame {
                     connection,
                     payload: frame,
+                    last: false,
                 });
             };
-            server.submit_streaming(&spec, &mut sink)
+            server.submit_streaming_cancellable(&spec, &mut sink, &cancelled)
         });
         let final_frame = match outcome {
             Ok(result) => format!("{{\"result\": {}}}", result.to_json_string()),
@@ -284,9 +350,10 @@ fn start_submission(
         let _ = events.send(LoopEvent::Frame {
             connection,
             payload: final_frame,
+            last: true,
         });
-        let _ = events.send(LoopEvent::Done { connection });
     }));
+    cancel
 }
 
 /// Runs the daemon on `socket_path` until a client sends
@@ -317,11 +384,13 @@ pub fn serve_until(
         quantum_rounds: options.quantum_rounds,
         max_tenant_rounds: options.max_tenant_rounds,
         cache_capacity_bytes: options.cache_capacity_bytes,
+        submission_deadline: options.submission_deadline_ms.map(Duration::from_millis),
     }));
     let (events_tx, events_rx): (Sender<LoopEvent>, Receiver<LoopEvent>) =
         std::sync::mpsc::channel();
     let mut connections: Vec<Option<Connection>> = Vec::new();
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut dropped_connections: u64 = 0;
     let mut shutting_down = false;
     let mut backoff_us = MIN_BACKOFF_US;
     // A handler event received while waiting, processed next iteration.
@@ -355,7 +424,18 @@ pub fn serve_until(
             let Some(conn) = slot.as_mut() else {
                 continue;
             };
-            if conn.read_closed || conn.dead {
+            if conn.dead {
+                continue;
+            }
+            if conn.read_closed {
+                // EOF was observed earlier, possibly in the same iteration
+                // that decoded this connection's spec (before `busy` was
+                // set): if a submission is running or pipelined now, the
+                // client is gone and its work must be withdrawn.
+                if conn.busy || !conn.queued.is_empty() {
+                    abandon(conn, &mut dropped_connections);
+                    progress = true;
+                }
                 continue;
             }
             loop {
@@ -363,6 +443,14 @@ pub fn serve_until(
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
                         conn.read_closed = true;
+                        // The protocol keeps the write half open until the
+                        // final frame, so EOF with a submission in flight
+                        // (or pipelined) means the client is gone — release
+                        // its pool capacity instead of computing for nobody.
+                        if conn.busy || !conn.queued.is_empty() {
+                            abandon(conn, &mut dropped_connections);
+                            progress = true;
+                        }
                         break;
                     }
                     Ok(count) => {
@@ -372,19 +460,38 @@ pub fn serve_until(
                     Err(error) if error.kind() == ErrorKind::WouldBlock => break,
                     Err(error) if error.kind() == ErrorKind::Interrupted => {}
                     Err(_) => {
+                        // A failed stream, unlike a clean EOF, can never
+                        // flush replies either: abandon outright.
                         conn.read_closed = true;
+                        abandon(conn, &mut dropped_connections);
+                        progress = true;
                         break;
                     }
                 }
+            }
+            if conn.dead {
+                // Abandoned while reading: any buffered frames are from a
+                // client that can no longer receive answers.
+                continue;
             }
             loop {
                 match conn.decoder.next_frame() {
                     Ok(None) => break,
                     Err(error) => {
-                        // An unsynchronizable stream: answer in-band, stop
-                        // reading, flush what we can.
+                        // An unsynchronizable stream: answer in-band, cancel
+                        // whatever is in flight, stop reading, flush what we
+                        // can. Counted as a drop (the daemon terminates the
+                        // connection), but unlike `abandon` the outbox is
+                        // kept so the error frame reaches the client.
                         conn.enqueue_error(&format!("malformed frame: {error}"));
+                        if !conn.dead {
+                            dropped_connections += 1;
+                        }
                         conn.dead = true;
+                        if let Some(cancel) = &conn.cancel {
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        conn.queued.clear();
                         break;
                     }
                     Ok(Some(payload)) => {
@@ -392,7 +499,10 @@ pub fn serve_until(
                         let verb = document.as_ref().and_then(mes_stats::control_verb);
                         match verb {
                             Some(mes_stats::CONTROL_STATS) => {
-                                conn.enqueue_frame(&stats_frame(&server.stats()));
+                                conn.enqueue_frame(&stats_frame(
+                                    &server.stats(),
+                                    dropped_connections,
+                                ));
                             }
                             Some(mes_stats::CONTROL_SHUTDOWN) => {
                                 conn.enqueue_frame(
@@ -411,13 +521,13 @@ pub fn serve_until(
                             }
                             None => {
                                 conn.busy = true;
-                                start_submission(
+                                conn.cancel = Some(start_submission(
                                     &server,
                                     &events_tx,
                                     connection,
                                     payload,
                                     &mut handlers,
-                                );
+                                ));
                             }
                         }
                     }
@@ -437,31 +547,31 @@ pub fn serve_until(
         // Drain handler events into the outboxes.
         while let Some(event) = carried.take().or_else(|| events_rx.try_recv().ok()) {
             progress = true;
-            match event {
-                LoopEvent::Frame {
-                    connection,
-                    payload,
-                } => {
-                    if let Some(conn) = connections.get_mut(connection).and_then(Option::as_mut) {
-                        conn.enqueue_frame(&payload);
-                    }
+            let LoopEvent::Frame {
+                connection,
+                payload,
+                last,
+            } = event;
+            if let Some(conn) = connections.get_mut(connection).and_then(Option::as_mut) {
+                // An abandoned connection keeps its outbox empty.
+                if !conn.dead {
+                    conn.enqueue_frame(&payload);
                 }
-                LoopEvent::Done { connection } => {
-                    if let Some(conn) = connections.get_mut(connection).and_then(Option::as_mut) {
-                        conn.busy = false;
-                        if let Some(next) = conn.queued.pop_front() {
-                            if shutting_down {
-                                conn.enqueue_error("server is shutting down");
-                            } else {
-                                conn.busy = true;
-                                start_submission(
-                                    &server,
-                                    &events_tx,
-                                    connection,
-                                    next,
-                                    &mut handlers,
-                                );
-                            }
+                if last {
+                    conn.busy = false;
+                    conn.cancel = None;
+                    if let Some(next) = conn.queued.pop_front() {
+                        if shutting_down {
+                            conn.enqueue_error("server is shutting down");
+                        } else {
+                            conn.busy = true;
+                            conn.cancel = Some(start_submission(
+                                &server,
+                                &events_tx,
+                                connection,
+                                next,
+                                &mut handlers,
+                            ));
                         }
                     }
                 }
@@ -473,7 +583,8 @@ pub fn serve_until(
             while conn.written < conn.outbox.len() {
                 match conn.stream.write(&conn.outbox[conn.written..]) {
                     Ok(0) => {
-                        conn.dead = true;
+                        abandon(conn, &mut dropped_connections);
+                        progress = true;
                         break;
                     }
                     Ok(count) => {
@@ -483,7 +594,8 @@ pub fn serve_until(
                     Err(error) if error.kind() == ErrorKind::WouldBlock => break,
                     Err(error) if error.kind() == ErrorKind::Interrupted => {}
                     Err(_) => {
-                        conn.dead = true;
+                        abandon(conn, &mut dropped_connections);
+                        progress = true;
                         break;
                     }
                 }
@@ -544,6 +656,7 @@ pub fn serve_until(
         submissions: stats.submissions,
         rounds_executed: stats.rounds_executed,
         cache_hits: stats.cache_hits,
+        dropped_connections,
     })
 }
 

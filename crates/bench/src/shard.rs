@@ -15,17 +15,51 @@
 //! [`SweepService`] per worker process keeping engines and program caches
 //! warm between shards. A failing shard answers with an `{"error": …}`
 //! frame instead of killing the worker. EOF on stdin ends the worker.
+//!
+//! # Supervision
+//!
+//! [`run_sharded`] does not trust its workers. Every dispatched shard is a
+//! *lease* with a deadline derived from the shard's summed nominal plan
+//! duration (see [`SupervisorConfig::shard_deadline`]); the driver
+//! classifies everything that can come back — or fail to come back — into
+//! three fault kinds and recovers from each:
+//!
+//! * **crash** — EOF or a broken pipe: the worker process died. Respawn,
+//!   requeue the shard.
+//! * **hang** — the lease deadline expires with no answer: kill the worker
+//!   (it may be wedged forever), respawn, requeue.
+//! * **babble** — a frame that is malformed, not a result document, or a
+//!   well-formed result carrying *foreign provenance* (plan hash or round
+//!   seed disagreeing with the compiled grid — checked at receipt via
+//!   [`ShardedExperiment::verify_shard_result`], the same validation the
+//!   merge re-runs): the worker cannot be trusted. Kill, respawn, requeue.
+//!
+//! An in-band `{"error": …}` answer is a *shard* failure from a healthy
+//! worker: the shard is retried without a respawn. Each shard gets at most
+//! [`SupervisorConfig::max_attempts`] attempts; beyond that it is
+//! **quarantined** and reported on [`ShardRun::recovery`] — never silently
+//! dropped. Because a round's observation is a pure function of
+//! `(plan, round index, base seed)`, a retried shard reproduces its first
+//! attempt bit-for-bit, so the merged document under any recoverable fault
+//! schedule is byte-identical to a fault-free run — and the provenance
+//! checks in [`ShardedExperiment::merge`] enforce that rather than assume
+//! it. The deterministic chaos suite (`tests/shard_fault.rs`, driven by
+//! [`FaultPlan`](crate::fault::FaultPlan)) injects every fault class at
+//! every dispatch index and asserts exactly that byte-identity.
 
+use crate::fault::{FaultKind, FaultPlan, FAULT_PLAN_ENV};
 use mes_core::experiment::ShardedExperiment;
 use mes_core::{ExperimentResult, ExperimentSpec, RoundExecutor, SweepService};
 use mes_stats::Json;
 use mes_types::{MesError, Result};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::path::PathBuf;
-use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 pub(crate) fn io_error(operation: &str, error: &std::io::Error) -> MesError {
     MesError::Host {
@@ -41,7 +75,16 @@ pub(crate) fn io_error(operation: &str, error: &std::io::Error) -> MesError {
 ///
 /// Returns an error if the underlying writer fails.
 pub fn write_frame(writer: &mut impl Write, payload: &str) -> Result<()> {
-    write!(writer, "{}\n{}\n", payload.len(), payload)
+    write_frame_bytes(writer, payload.as_bytes())
+}
+
+/// [`write_frame`] over raw bytes. Only the fault injector needs this — a
+/// `corrupt` fault ships a deliberately non-UTF-8 payload — but the frame
+/// layout is identical.
+fn write_frame_bytes(writer: &mut impl Write, payload: &[u8]) -> Result<()> {
+    writeln!(writer, "{}", payload.len())
+        .and_then(|()| writer.write_all(payload))
+        .and_then(|()| writer.write_all(b"\n"))
         .and_then(|()| writer.flush())
         .map_err(|error| io_error("write frame", &error))
 }
@@ -127,10 +170,30 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>> {
 /// loop cleanly, because a stream whose length prefix cannot be trusted
 /// cannot be resynchronized.
 pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usize) -> Result<()> {
+    worker_loop_with_faults(input, output, pool, None)
+}
+
+/// [`worker_loop`] with a scripted [`FaultPlan`]: frame ordinals count every
+/// successfully read frame, `crash` and `stall` fire before the frame is
+/// served (control frames included), and `truncate`/`corrupt` damage the
+/// answer to a spec frame. `sweepd --worker` reads the plan from
+/// [`FAULT_PLAN_ENV`]; production fan-outs pass `None` and behave exactly
+/// like [`worker_loop`].
+///
+/// # Errors
+///
+/// Same conditions as [`worker_loop`].
+pub fn worker_loop_with_faults(
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+    pool: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<()> {
     let mut service = match pool {
         0 => SweepService::with_default_pool(),
         width => SweepService::new(RoundExecutor::new(width)),
     };
+    let mut frame: u64 = 0;
     loop {
         let spec_json = match read_frame(input) {
             Ok(Some(spec_json)) => spec_json,
@@ -144,6 +207,21 @@ pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usiz
             }
             Err(error) => return Err(error),
         };
+        let scripted = faults.and_then(|plan| plan.fault_at(frame));
+        let this_frame = frame;
+        frame += 1;
+        match scripted {
+            // Crash: die before answering — the driver sees EOF, exactly as
+            // if the process had been killed mid-shard.
+            Some(FaultKind::Crash) => return Ok(()),
+            // Stall: stop serving without exiting — the driver's lease
+            // deadline is the only thing that can end this.
+            Some(FaultKind::Stall) => {
+                stall();
+                return Ok(());
+            }
+            _ => {}
+        }
         if let Some(verb) = Json::parse(&spec_json)
             .ok()
             .and_then(|document| mes_stats::control_verb(&document).map(str::to_string))
@@ -171,27 +249,169 @@ pub fn worker_loop(input: &mut impl BufRead, output: &mut impl Write, pool: usiz
             Ok(result_json) => result_json,
             Err(error) => Json::object([("error", Json::string(error.to_string()))]).render(),
         };
-        write_frame(output, &payload)?;
+        match scripted {
+            // Truncate: promise the full payload, deliver half, and die —
+            // the driver's frame reader hits EOF mid-payload.
+            Some(FaultKind::Truncate) => {
+                let bytes = payload.as_bytes();
+                writeln!(output, "{}", bytes.len())
+                    .and_then(|()| output.write_all(&bytes[..bytes.len() / 2]))
+                    .and_then(|()| output.flush())
+                    .map_err(|error| io_error("write truncated frame", &error))?;
+                return Ok(());
+            }
+            // Corrupt: a well-framed answer with one seeded byte forced to
+            // 0xFF — the worker stays alive, babbling.
+            Some(FaultKind::Corrupt) => {
+                let plan = faults.expect("a scripted fault implies a plan");
+                write_frame_bytes(output, &plan.corrupt_payload(this_frame, &payload))?;
+            }
+            _ => write_frame(output, &payload)?,
+        }
+    }
+}
+
+/// A stalled worker sleeps here until killed. The bound (10 minutes) only
+/// exists so a stall that escapes supervision cannot wedge a machine
+/// forever; the supervisor's lease deadline fires orders of magnitude
+/// earlier and kills the process.
+fn stall() {
+    for _ in 0..24_000 {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A shard that exhausted its retry budget. Quarantine is reported in-band
+/// on [`ShardRun::recovery`]; a quarantined shard is never silently dropped
+/// from the merged document — [`ShardRun::result`] becomes `None` instead,
+/// because a partial merge would not be byte-comparable to anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// The shard's id in split order.
+    pub shard_id: usize,
+    /// How many attempts it consumed (== the configured budget).
+    pub attempts: usize,
+    /// The failure that ended the final attempt.
+    pub last_error: String,
+}
+
+/// What the supervisor had to do to finish — or give up on — a fan-out.
+/// All zeros/empty on a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shard attempts re-queued after a failed attempt.
+    pub retries: u64,
+    /// Worker processes spawned to replace crashed/killed ones (the initial
+    /// pool is not counted).
+    pub respawns: u64,
+    /// Shards that exhausted [`SupervisorConfig::max_attempts`], in shard-id
+    /// order.
+    pub quarantined: Vec<QuarantinedShard>,
+}
+
+/// Supervision policy for [`run_sharded_with`]: retry budget, lease
+/// deadlines, and the (test-only) fault injection knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Attempts each shard may consume before quarantine (≥ 1).
+    pub max_attempts: usize,
+    /// Flat floor of every shard's lease deadline, milliseconds — covers
+    /// process spawn, service warm-up, and scheduling noise.
+    pub deadline_floor_ms: u64,
+    /// Additional lease milliseconds granted per millisecond of the shard's
+    /// summed nominal plan duration (the simulated run length that dominates
+    /// a shard's wall clock).
+    pub deadline_per_nominal_ms: f64,
+    /// Fault plan injected into spawned workers via [`FAULT_PLAN_ENV`].
+    /// `None` *clears* the variable on workers, so an ambient value never
+    /// leaks into a production fan-out.
+    pub fault_plan: Option<FaultPlan>,
+    /// Whether respawned workers inherit the fault plan too. `false` (the
+    /// default) models transient faults: a replacement worker is healthy.
+    /// `true` models a persistent fault, which is how the chaos suite drives
+    /// shards into quarantine.
+    pub fault_respawns: bool,
+    /// Explicit `sweepd` binary path, overriding [`locate_sweepd`].
+    pub sweepd: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_attempts: 3,
+            deadline_floor_ms: 30_000,
+            deadline_per_nominal_ms: 20.0,
+            fault_plan: None,
+            fault_respawns: false,
+            sweepd: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The lease deadline for a shard whose plans sum to `nominal_ms`
+    /// milliseconds of simulated run length:
+    /// `deadline_floor_ms + deadline_per_nominal_ms × nominal_ms`.
+    pub fn shard_deadline(&self, nominal_ms: f64) -> Duration {
+        let extra = (self.deadline_per_nominal_ms * nominal_ms).max(0.0);
+        Duration::from_millis(self.deadline_floor_ms.saturating_add(extra as u64))
     }
 }
 
 /// What one sharded fan-out run measured, besides the merged result.
 #[derive(Debug)]
 pub struct ShardRun {
-    /// The merged full-grid result (bit-identical to the unsharded run).
-    pub result: ExperimentResult,
+    /// The merged full-grid result (bit-identical to the unsharded run), or
+    /// `None` when shards were quarantined — see [`ShardRun::merged`].
+    pub result: Option<ExperimentResult>,
     /// Number of shards the grid split into.
     pub shards: usize,
-    /// Number of `sweepd` worker processes actually spawned.
+    /// Number of `sweepd` worker driver threads (== the initial pool size).
     pub workers: usize,
-    /// Driver-side wall clock of each shard (dispatch → result), milliseconds,
-    /// indexed by shard id.
+    /// Driver-side wall clock of each shard's *successful* attempt
+    /// (dispatch → verified result), milliseconds, indexed by shard id;
+    /// `0.0` for quarantined shards.
     pub shard_walls_ms: Vec<f64>,
     /// Wall clock of the whole fan-out (spawn → last result), milliseconds.
     pub makespan_ms: f64,
+    /// Retries, respawns, and quarantined shards the run accumulated.
+    pub recovery: RecoveryReport,
 }
 
 impl ShardRun {
+    /// The merged result, or the quarantine report as an error when any
+    /// shard exhausted its retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MesError::Simulation`] naming every quarantined shard, its
+    /// attempt count, and its last failure.
+    pub fn merged(&self) -> Result<&ExperimentResult> {
+        match &self.result {
+            Some(result) => Ok(result),
+            None => {
+                let summary = self
+                    .recovery
+                    .quarantined
+                    .iter()
+                    .map(|entry| {
+                        format!(
+                            "shard {} after {} attempts ({})",
+                            entry.shard_id, entry.attempts, entry.last_error
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                Err(MesError::Simulation {
+                    reason: format!(
+                        "{} shard(s) quarantined: {summary}",
+                        self.recovery.quarantined.len()
+                    ),
+                })
+            }
+        }
+    }
+
     /// Sum of the per-shard driver-side wall clocks, milliseconds.
     pub fn sum_shard_wall_ms(&self) -> f64 {
         self.shard_walls_ms.iter().sum()
@@ -212,7 +432,11 @@ impl ShardRun {
     }
 }
 
-/// Locates the `sweepd` binary: `MES_SWEEPD_BIN` when set, otherwise a
+/// Environment variable overriding which `sweepd` binary [`locate_sweepd`]
+/// (and the chaos suite) runs. CI sets it to the explicitly built binary.
+pub const SWEEPD_BIN_ENV: &str = "MES_SWEEPD_BIN";
+
+/// Locates the `sweepd` binary: [`SWEEPD_BIN_ENV`] when set, otherwise a
 /// sibling of the current executable (also checking the parent directory,
 /// where cargo places bins relative to `deps/` test executables).
 ///
@@ -220,7 +444,7 @@ impl ShardRun {
 ///
 /// Returns an error if no candidate exists.
 pub fn locate_sweepd() -> Result<PathBuf> {
-    if let Ok(path) = std::env::var("MES_SWEEPD_BIN") {
+    if let Ok(path) = std::env::var(SWEEPD_BIN_ENV) {
         return Ok(PathBuf::from(path));
     }
     let exe = std::env::current_exe().map_err(|error| io_error("locate current exe", &error))?;
@@ -242,36 +466,76 @@ pub fn locate_sweepd() -> Result<PathBuf> {
 }
 
 /// Splits `spec` into ~`target_shards` shard specs, fans them out across
-/// `workers` `sweepd --worker` processes (single-threaded each, so all
-/// measured parallelism is process-level), and merges the results.
+/// `workers` supervised `sweepd --worker` processes (single-threaded each,
+/// so all measured parallelism is process-level), and merges the results.
 ///
-/// Shards are pulled from a shared queue by one driver thread per worker,
-/// so a long shard never blocks the rest of the pool behind it; per-shard
-/// wall clocks are measured on the driver side around the dispatch→result
-/// round trip.
+/// Equivalent to [`run_sharded_with`] under [`SupervisorConfig::default`],
+/// except that quarantined shards are turned into an error here: callers of
+/// this convenience entry point expect a complete document or a failure,
+/// nothing in between.
 ///
 /// # Errors
 ///
-/// Returns an error if the spec fails to compile or split, a worker cannot
-/// be spawned or fails a shard, a frame is malformed, or the merge's
-/// provenance checks reject a result.
+/// Returns an error if the spec fails to compile or split, no worker can be
+/// spawned, any shard exhausts its retry budget, or the merge's provenance
+/// checks reject a result.
 pub fn run_sharded(
     spec: &ExperimentSpec,
     workers: usize,
     target_shards: usize,
 ) -> Result<ShardRun> {
+    let run = run_sharded_with(spec, workers, target_shards, &SupervisorConfig::default())?;
+    run.merged()?;
+    Ok(run)
+}
+
+/// [`run_sharded`] under an explicit [`SupervisorConfig`].
+///
+/// Shards are *leased* from a shared queue by one driver thread per worker;
+/// each driver owns its child process and a reader thread, classifies
+/// faults (crash / hang / babble — see the module docs), respawns workers,
+/// and requeues failed shards until they merge or exhaust
+/// [`SupervisorConfig::max_attempts`]. Quarantined shards are reported on
+/// [`ShardRun::recovery`] with [`ShardRun::result`] set to `None`; they are
+/// **not** an error from this entry point so chaos harnesses can assert on
+/// the report itself.
+///
+/// Every child is killed and reaped on every exit path — including driver
+/// panics, which are converted to [`MesError`] rather than aborting the
+/// process — so a failed run leaks no `sweepd` zombies.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails to compile or split, a worker cannot
+/// be spawned, a driver thread panics, or the final merge rejects the
+/// collected results.
+pub fn run_sharded_with(
+    spec: &ExperimentSpec,
+    workers: usize,
+    target_shards: usize,
+    config: &SupervisorConfig,
+) -> Result<ShardRun> {
+    if config.max_attempts == 0 {
+        return Err(MesError::InvalidConfig {
+            reason: "SupervisorConfig::max_attempts must be at least 1".into(),
+        });
+    }
     let sharded = ShardedExperiment::split(spec, target_shards)?;
     let shard_count = sharded.shards().len();
     if shard_count == 0 {
         return Ok(ShardRun {
-            result: sharded.merge(&[])?,
+            result: Some(sharded.merge(&[])?),
             shards: 0,
             workers: 0,
             shard_walls_ms: Vec::new(),
             makespan_ms: 0.0,
+            recovery: RecoveryReport::default(),
         });
     }
-    let sweepd = locate_sweepd()?;
+    let sweepd = match &config.sweepd {
+        Some(path) => path.clone(),
+        None => locate_sweepd()?,
+    };
     let worker_count = workers.clamp(1, shard_count);
 
     let shard_specs: Vec<String> = sharded
@@ -279,33 +543,526 @@ pub fn run_sharded(
         .iter()
         .map(|shard| shard.spec().to_json_string())
         .collect();
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, ExperimentResult, f64)>> =
-        Mutex::new(Vec::with_capacity(shard_count));
+    // Lease deadlines: the shard's summed nominal plan duration is the
+    // simulated run length that dominates its wall clock, scaled and
+    // floored per the config.
+    let deadlines: Vec<Duration> = sharded
+        .shards()
+        .iter()
+        .map(|shard| {
+            let nominal_us: u64 = shard
+                .indices()
+                .iter()
+                .map(|&position| {
+                    sharded.compiled().plans()[position]
+                        .nominal_duration()
+                        .as_u64()
+                })
+                .sum();
+            config.shard_deadline(nominal_us as f64 / 1e3)
+        })
+        .collect();
+
+    let supervisor = Supervisor {
+        config,
+        sweepd: &sweepd,
+        sharded: &sharded,
+        shard_specs: &shard_specs,
+        deadlines: &deadlines,
+        state: Mutex::new(SupervisorState {
+            queue: (0..shard_count).collect(),
+            attempts: vec![0; shard_count],
+            unfinished: shard_count,
+            results: (0..shard_count).map(|_| None).collect(),
+            quarantined: Vec::new(),
+            fatal: None,
+        }),
+        ready: Condvar::new(),
+        retries: AtomicU64::new(0),
+        respawns: AtomicU64::new(0),
+    };
 
     let started = Instant::now();
-    std::thread::scope(|scope| -> Result<()> {
-        let mut handles = Vec::with_capacity(worker_count);
-        for _ in 0..worker_count {
-            let mut child = Command::new(&sweepd)
-                .args(["--worker", "--pool", "1"])
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .spawn()
-                .map_err(|error| io_error("spawn sweepd worker", &error))?;
-            let handle = scope.spawn({
-                let cursor = &cursor;
-                let collected = &collected;
-                let shard_specs = &shard_specs;
-                move || -> Result<()> {
-                    let mut stdin = child.stdin.take().expect("piped stdin");
-                    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut first_error: Option<MesError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| scope.spawn(|| supervisor.drive()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(error)) => {
+                    first_error.get_or_insert(error);
+                }
+                Err(panic) => {
+                    // A panicking driver fails the *run*, not the process;
+                    // its Worker guard already killed and reaped the child,
+                    // and its claim guard requeued the shard it held.
+                    supervisor.set_fatal(panic_error(&panic));
+                    first_error.get_or_insert(panic_error(&panic));
+                }
+            }
+        }
+    });
+    let makespan_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let retries = supervisor.retries.load(Ordering::Relaxed);
+    let respawns = supervisor.respawns.load(Ordering::Relaxed);
+    let state = supervisor
+        .state
+        .into_inner()
+        .expect("supervisor state lock");
+    if let Some(error) = first_error.or(state.fatal) {
+        return Err(error);
+    }
+    let mut shard_walls_ms = vec![0.0; shard_count];
+    let mut results = Vec::with_capacity(shard_count);
+    for (shard_id, slot) in state.results.into_iter().enumerate() {
+        if let Some((result, wall_ms)) = slot {
+            shard_walls_ms[shard_id] = wall_ms;
+            results.push((shard_id, result));
+        }
+    }
+    let mut quarantined = state.quarantined;
+    quarantined.sort_by_key(|entry| entry.shard_id);
+    let result = if quarantined.is_empty() {
+        Some(sharded.merge(&results)?)
+    } else {
+        None
+    };
+    Ok(ShardRun {
+        result,
+        shards: shard_count,
+        workers: worker_count,
+        shard_walls_ms,
+        makespan_ms,
+        recovery: RecoveryReport {
+            retries,
+            respawns,
+            quarantined,
+        },
+    })
+}
+
+/// Renders a driver-thread panic payload as a [`MesError`] instead of
+/// letting it abort the process.
+fn panic_error(panic: &(dyn std::any::Any + Send)) -> MesError {
+    let reason = panic
+        .downcast_ref::<&str>()
+        .map(|text| (*text).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".into());
+    MesError::Simulation {
+        reason: format!("shard driver thread panicked: {reason}"),
+    }
+}
+
+/// One supervised worker process: the child, its stdin, and a reader thread
+/// forwarding answer frames over a channel so the driver can wait with a
+/// deadline. Dropping a `Worker` kills and reaps the child and joins the
+/// reader — the guard that makes every exit path (including panics)
+/// zombie-free.
+struct Worker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    frames: Receiver<Result<Option<String>>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(sweepd: &Path, fault_plan: Option<&FaultPlan>) -> Result<Worker> {
+        let mut command = Command::new(sweepd);
+        command
+            .args(["--worker", "--pool", "1"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        match fault_plan {
+            Some(plan) => {
+                command.env(FAULT_PLAN_ENV, plan.render());
+            }
+            None => {
+                // Never let an ambient fault plan leak into a fan-out that
+                // did not script one.
+                command.env_remove(FAULT_PLAN_ENV);
+            }
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|error| io_error("spawn sweepd worker", &error))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (frames_tx, frames) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut stdout = BufReader::new(stdout);
+            loop {
+                let frame = read_frame(&mut stdout);
+                let stop = !matches!(frame, Ok(Some(_)));
+                if frames_tx.send(frame).is_err() || stop {
+                    break;
+                }
+            }
+        });
+        Ok(Worker {
+            child,
+            stdin: Some(stdin),
+            frames,
+            reader: Some(reader),
+        })
+    }
+
+    fn stdin(&mut self) -> &mut ChildStdin {
+        self.stdin.as_mut().expect("live worker keeps its stdin")
+    }
+
+    /// Clean shutdown of an *idle* worker: EOF on stdin ends its loop, the
+    /// exit status is reaped, and `Drop`'s kill becomes a no-op. Only
+    /// called on workers whose last lease completed — a faulted worker is
+    /// dropped (killed) instead.
+    fn retire(mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            // The child is dead, so the reader sees EOF promptly.
+            let _ = reader.join();
+        }
+    }
+}
+
+/// State shared by all driver threads, guarded by one mutex: the lease
+/// queue, per-shard attempt counts, and the run's outcome.
+struct SupervisorState {
+    queue: VecDeque<usize>,
+    attempts: Vec<usize>,
+    /// Shards neither completed nor quarantined yet (queued *or* leased).
+    unfinished: usize,
+    results: Vec<Option<(ExperimentResult, f64)>>,
+    quarantined: Vec<QuarantinedShard>,
+    fatal: Option<MesError>,
+}
+
+struct Supervisor<'run> {
+    config: &'run SupervisorConfig,
+    sweepd: &'run Path,
+    sharded: &'run ShardedExperiment,
+    shard_specs: &'run [String],
+    deadlines: &'run [Duration],
+    state: Mutex<SupervisorState>,
+    ready: Condvar,
+    retries: AtomicU64,
+    respawns: AtomicU64,
+}
+
+/// How one lease attempt ended.
+enum Verdict {
+    Done,
+    Retry { reason: String, respawn: bool },
+}
+
+/// A worker's answer frame, classified.
+enum WorkerAnswer {
+    /// A parseable result document (provenance still unchecked).
+    Result(Box<ExperimentResult>),
+    /// An in-band `{"error": …}` report: the *shard* failed, the worker is
+    /// healthy.
+    ShardError(String),
+    /// Anything else: the worker cannot be trusted.
+    Babble(String),
+}
+
+fn classify_answer(payload: &str) -> WorkerAnswer {
+    match Json::parse(payload) {
+        Ok(document) => {
+            if let Some(error) = document.get("error") {
+                return WorkerAnswer::ShardError(
+                    error.as_str().unwrap_or("unknown error").to_string(),
+                );
+            }
+            match ExperimentResult::from_json_str(payload) {
+                Ok(result) => WorkerAnswer::Result(Box::new(result)),
+                Err(error) => WorkerAnswer::Babble(format!("not a result document: {error}")),
+            }
+        }
+        Err(error) => WorkerAnswer::Babble(format!("unparseable answer frame: {error}")),
+    }
+}
+
+/// Requeues a leased shard if the driver unwinds mid-attempt (a panic
+/// between lease and verdict), so the other drivers can still finish the
+/// run instead of waiting forever on a shard nobody holds.
+struct ClaimGuard<'drive, 'run> {
+    supervisor: &'drive Supervisor<'run>,
+    shard_id: usize,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.supervisor
+                .fail_attempt(self.shard_id, "shard driver panicked mid-attempt".into());
+        }
+    }
+}
+
+impl Supervisor<'_> {
+    /// Driver-thread body: lease shards until the run is decided.
+    fn drive(&self) -> Result<()> {
+        let mut worker: Option<Worker> = None;
+        let mut spawned_before = false;
+        let outcome = self.drive_leases(&mut worker, &mut spawned_before);
+        if let Some(live) = worker.take() {
+            if outcome.is_ok() {
+                // The worker is idle (its last lease completed): let it
+                // exit by itself and reap it.
+                live.retire();
+            }
+            // On the error path `live` is dropped here: killed and reaped.
+        }
+        outcome
+    }
+
+    fn drive_leases(&self, worker: &mut Option<Worker>, spawned_before: &mut bool) -> Result<()> {
+        while let Some(shard_id) = self.next_shard() {
+            let mut claim = ClaimGuard {
+                supervisor: self,
+                shard_id,
+                armed: true,
+            };
+            if worker.is_none() {
+                let plan = if !*spawned_before || self.config.fault_respawns {
+                    self.config.fault_plan.as_ref()
+                } else {
+                    None
+                };
+                match Worker::spawn(self.sweepd, plan) {
+                    Ok(spawned) => {
+                        if *spawned_before {
+                            self.respawns.fetch_add(1, Ordering::Relaxed);
+                        }
+                        *spawned_before = true;
+                        *worker = Some(spawned);
+                    }
+                    Err(error) => {
+                        // No spawnable binary means nobody will ever serve
+                        // this shard: put it back untouched and fail the
+                        // whole run.
+                        claim.armed = false;
+                        self.requeue_claim(shard_id);
+                        self.set_fatal(error.clone());
+                        return Err(error);
+                    }
+                }
+            }
+            let live = worker.as_mut().expect("worker spawned above");
+            let verdict = self.attempt(live, shard_id);
+            claim.armed = false;
+            if let Verdict::Retry { reason, respawn } = verdict {
+                if respawn {
+                    // Kill and reap the faulted worker; the next lease
+                    // spawns a fresh one.
+                    *worker = None;
+                }
+                self.fail_attempt(shard_id, reason);
+            }
+        }
+        Ok(())
+    }
+
+    /// One lease: dispatch the shard, wait out the deadline, classify.
+    fn attempt(&self, worker: &mut Worker, shard_id: usize) -> Verdict {
+        let dispatched = Instant::now();
+        if let Err(error) = write_frame(worker.stdin(), &self.shard_specs[shard_id]) {
+            return Verdict::Retry {
+                reason: format!("worker rejected the shard dispatch: {error}"),
+                respawn: true,
+            };
+        }
+        match worker.frames.recv_timeout(self.deadlines[shard_id]) {
+            Ok(Ok(Some(payload))) => {
+                let wall_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+                match classify_answer(&payload) {
+                    WorkerAnswer::Result(result) => {
+                        // Provenance at receipt: a result carrying foreign
+                        // rounds is babble, not a mergeable shard.
+                        match self.sharded.verify_shard_result(shard_id, &result) {
+                            Ok(()) => {
+                                self.complete(shard_id, *result, wall_ms);
+                                Verdict::Done
+                            }
+                            Err(error) => Verdict::Retry {
+                                reason: format!("babbling worker: {error}"),
+                                respawn: true,
+                            },
+                        }
+                    }
+                    WorkerAnswer::ShardError(reason) => Verdict::Retry {
+                        reason: format!("shard failed in its worker: {reason}"),
+                        respawn: false,
+                    },
+                    WorkerAnswer::Babble(reason) => Verdict::Retry {
+                        reason: format!("babbling worker: {reason}"),
+                        respawn: true,
+                    },
+                }
+            }
+            Ok(Ok(None)) => Verdict::Retry {
+                reason: "worker exited (EOF) before answering".into(),
+                respawn: true,
+            },
+            Ok(Err(error)) => Verdict::Retry {
+                reason: format!("unreadable worker stream: {error}"),
+                respawn: true,
+            },
+            Err(RecvTimeoutError::Timeout) => Verdict::Retry {
+                reason: format!(
+                    "lease deadline of {:?} expired; hung worker killed",
+                    self.deadlines[shard_id]
+                ),
+                respawn: true,
+            },
+            Err(RecvTimeoutError::Disconnected) => Verdict::Retry {
+                reason: "worker reader ended without delivering a frame".into(),
+                respawn: true,
+            },
+        }
+    }
+
+    /// Blocks until a shard can be leased; `None` once the run is decided
+    /// (all shards completed/quarantined, or a fatal error is set).
+    fn next_shard(&self) -> Option<usize> {
+        let mut state = self.state.lock().expect("supervisor state lock");
+        loop {
+            if state.fatal.is_some() {
+                return None;
+            }
+            if let Some(shard_id) = state.queue.pop_front() {
+                return Some(shard_id);
+            }
+            if state.unfinished == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("supervisor state lock");
+        }
+    }
+
+    fn complete(&self, shard_id: usize, result: ExperimentResult, wall_ms: f64) {
+        let mut state = self.state.lock().expect("supervisor state lock");
+        state.results[shard_id] = Some((result, wall_ms));
+        state.unfinished -= 1;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Books a failed attempt: requeue within budget, quarantine beyond it.
+    fn fail_attempt(&self, shard_id: usize, reason: String) {
+        let mut state = self.state.lock().expect("supervisor state lock");
+        state.attempts[shard_id] += 1;
+        if state.attempts[shard_id] >= self.config.max_attempts {
+            let attempts = state.attempts[shard_id];
+            state.quarantined.push(QuarantinedShard {
+                shard_id,
+                attempts,
+                last_error: reason,
+            });
+            state.unfinished -= 1;
+        } else {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            state.queue.push_back(shard_id);
+        }
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Puts a leased shard back without charging an attempt (the attempt
+    /// never started — e.g. the worker could not be spawned).
+    fn requeue_claim(&self, shard_id: usize) {
+        let mut state = self.state.lock().expect("supervisor state lock");
+        state.queue.push_front(shard_id);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    fn set_fatal(&self, error: MesError) {
+        let mut state = self.state.lock().expect("supervisor state lock");
+        state.fatal.get_or_insert(error);
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// The PR 6 unsupervised fan-out, kept as the happy-path control for the
+/// `fault_free_overhead_x` gate in `measured_parallel`: identical wire
+/// protocol and shard split, but the driver blocks directly on each
+/// worker's stdout — no reader threads, no deadlines, no retry. Returns the
+/// merged result and the fan-out makespan in milliseconds.
+///
+/// Errors still kill and reap every child (no zombies), but nothing is
+/// retried: any fault fails the run.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails to compile or split, a worker cannot
+/// be spawned or fails a shard, a frame is malformed, or the merge rejects
+/// a result.
+pub fn run_sharded_baseline(
+    spec: &ExperimentSpec,
+    workers: usize,
+    target_shards: usize,
+) -> Result<(ExperimentResult, f64)> {
+    let sharded = ShardedExperiment::split(spec, target_shards)?;
+    let shard_count = sharded.shards().len();
+    if shard_count == 0 {
+        return Ok((sharded.merge(&[])?, 0.0));
+    }
+    let sweepd = locate_sweepd()?;
+    let worker_count = workers.clamp(1, shard_count);
+    let shard_specs: Vec<String> = sharded
+        .shards()
+        .iter()
+        .map(|shard| shard.spec().to_json_string())
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, ExperimentResult)>> =
+        Mutex::new(Vec::with_capacity(shard_count));
+
+    /// Kills and reaps the child when the driver leaves early (both are
+    /// no-ops after a clean `wait`).
+    struct Reap(Child);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    let started = Instant::now();
+    let mut first_error: Option<MesError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                scope.spawn(|| -> Result<()> {
+                    let child = Command::new(&sweepd)
+                        .args(["--worker", "--pool", "1"])
+                        .stdin(Stdio::piped())
+                        .stdout(Stdio::piped())
+                        .spawn()
+                        .map_err(|error| io_error("spawn sweepd worker", &error))?;
+                    let mut guard = Reap(child);
+                    let mut stdin = guard.0.stdin.take().expect("piped stdin");
+                    let mut stdout = BufReader::new(guard.0.stdout.take().expect("piped stdout"));
                     loop {
                         let shard_id = cursor.fetch_add(1, Ordering::Relaxed);
                         if shard_id >= shard_specs.len() {
                             break;
                         }
-                        let dispatched = Instant::now();
                         write_frame(&mut stdin, &shard_specs[shard_id])?;
                         let payload = read_frame(&mut stdout)?.ok_or_else(|| MesError::Host {
                             operation: format!(
@@ -313,43 +1070,39 @@ pub fn run_sharded(
                             ),
                             errno: None,
                         })?;
-                        let wall_ms = dispatched.elapsed().as_secs_f64() * 1e3;
                         let result = parse_result_frame(&payload, shard_id)?;
                         collected
                             .lock()
                             .expect("collector lock")
-                            .push((shard_id, result, wall_ms));
+                            .push((shard_id, result));
                     }
                     drop(stdin); // EOF: the worker loop ends cleanly.
-                    child
+                    guard
+                        .0
                         .wait()
                         .map_err(|error| io_error("wait for sweepd worker", &error))?;
                     Ok(())
-                }
-            });
-            handles.push(handle);
-        }
+                })
+            })
+            .collect();
         for handle in handles {
-            handle.join().expect("driver thread panicked")?;
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(error)) => {
+                    first_error.get_or_insert(error);
+                }
+                Err(panic) => {
+                    first_error.get_or_insert(panic_error(&panic));
+                }
+            }
         }
-        Ok(())
-    })?;
-    let makespan_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    let collected = collected.into_inner().expect("collector lock");
-    let mut shard_walls_ms = vec![0.0; shard_count];
-    let mut results = Vec::with_capacity(shard_count);
-    for (shard_id, result, wall_ms) in collected {
-        shard_walls_ms[shard_id] = wall_ms;
-        results.push((shard_id, result));
+    });
+    if let Some(error) = first_error {
+        return Err(error);
     }
-    Ok(ShardRun {
-        result: sharded.merge(&results)?,
-        shards: shard_count,
-        workers: worker_count,
-        shard_walls_ms,
-        makespan_ms,
-    })
+    let makespan_ms = started.elapsed().as_secs_f64() * 1e3;
+    let results = collected.into_inner().expect("collector lock");
+    Ok((sharded.merge(&results)?, makespan_ms))
 }
 
 /// Parses a worker's answer frame: a result document, or an in-band

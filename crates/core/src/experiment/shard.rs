@@ -213,6 +213,54 @@ impl ShardedExperiment {
         self.merge_streaming(results, &mut NullSink)
     }
 
+    /// Validates one shard's result against the full grid without merging
+    /// it: the point count must match the split, and every point's plan hash
+    /// and effective seed must equal the full grid's at the point's original
+    /// position.
+    ///
+    /// This is the same provenance check [`ShardedExperiment::merge`] runs,
+    /// exposed separately so a fan-out driver can classify a worker's answer
+    /// *at receipt* — a frame that parses as a result document but carries
+    /// foreign rounds is a babbling worker, not a mergeable shard — and the
+    /// merge stays the final line of defense either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shard_id` is unknown, the point count disagrees
+    /// with the split, or any point's plan hash or effective seed disagrees
+    /// with the full grid.
+    pub fn verify_shard_result(&self, shard_id: usize, result: &ExperimentResult) -> Result<()> {
+        let shard = self.shards.get(shard_id).ok_or_else(|| {
+            merge_error(format!(
+                "unknown shard id {shard_id} (the split produced {})",
+                self.shards.len()
+            ))
+        })?;
+        if result.points.len() != shard.indices.len() {
+            return Err(merge_error(format!(
+                "shard {shard_id} returned {} points, expected {}",
+                result.points.len(),
+                shard.indices.len()
+            )));
+        }
+        for (outcome, &position) in result.points.iter().zip(&shard.indices) {
+            // The provenance carried by every outcome pins the round it
+            // measured: equal plan hashes and effective seeds are what
+            // make a shard's round *the same round* as the full grid's.
+            if outcome.plan_hash != plan_fingerprint(&self.compiled.plans()[position]) {
+                return Err(merge_error(format!(
+                    "shard {shard_id}: plan hash mismatch at grid index {position}"
+                )));
+            }
+            if outcome.round_seed != self.compiled.effective_seed(position) {
+                return Err(merge_error(format!(
+                    "shard {shard_id}: effective seed mismatch at grid index {position}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// [`ShardedExperiment::merge`], delivering each merged point to `sink`
     /// in grid order.
     ///
@@ -228,36 +276,12 @@ impl ShardedExperiment {
         let mut slots: Vec<Option<PointMeasurement>> = (0..total).map(|_| None).collect();
         let mut seen = vec![false; self.shards.len()];
         for (shard_id, result) in results {
-            let shard = self.shards.get(*shard_id).ok_or_else(|| {
-                merge_error(format!(
-                    "unknown shard id {shard_id} (the split produced {})",
-                    self.shards.len()
-                ))
-            })?;
+            self.verify_shard_result(*shard_id, result)?;
             if std::mem::replace(&mut seen[*shard_id], true) {
                 return Err(merge_error(format!("shard {shard_id} merged twice")));
             }
-            if result.points.len() != shard.indices.len() {
-                return Err(merge_error(format!(
-                    "shard {shard_id} returned {} points, expected {}",
-                    result.points.len(),
-                    shard.indices.len()
-                )));
-            }
+            let shard = &self.shards[*shard_id];
             for (outcome, &position) in result.points.iter().zip(&shard.indices) {
-                // The provenance carried by every outcome pins the round it
-                // measured: equal plan hashes and effective seeds are what
-                // make a shard's round *the same round* as the full grid's.
-                if outcome.plan_hash != plan_fingerprint(&self.compiled.plans()[position]) {
-                    return Err(merge_error(format!(
-                        "shard {shard_id}: plan hash mismatch at grid index {position}"
-                    )));
-                }
-                if outcome.round_seed != self.compiled.effective_seed(position) {
-                    return Err(merge_error(format!(
-                        "shard {shard_id}: effective seed mismatch at grid index {position}"
-                    )));
-                }
                 slots[position] = Some(PointMeasurement {
                     ber_percent: outcome.ber_percent,
                     rate_kbps: outcome.rate_kbps,
@@ -435,6 +459,31 @@ mod tests {
             .submit(wrong.shards()[0].spec())
             .unwrap();
         assert!(sharded.merge(&swapped).is_err(), "foreign rounds");
+    }
+
+    #[test]
+    fn verify_shard_result_classifies_answers_at_receipt() {
+        let spec = mixed_shape_spec();
+        let sharded = ShardedExperiment::split(&spec, 3).unwrap();
+        let good = run_shard(&sharded.shards()[0]);
+        sharded.verify_shard_result(0, &good).unwrap();
+        assert!(
+            sharded
+                .verify_shard_result(sharded.shards().len(), &good)
+                .is_err(),
+            "unknown shard id"
+        );
+        assert!(
+            sharded.verify_shard_result(1, &good).is_err(),
+            "a result delivered under the wrong shard id carries the wrong rounds"
+        );
+        // Rounds derived from a different base seed are foreign provenance
+        // even though the document parses as a well-formed shard result.
+        let mut wrong_spec = spec.clone();
+        wrong_spec.base_seed ^= 1;
+        let wrong = ShardedExperiment::split(&wrong_spec, 3).unwrap();
+        let foreign = run_shard(&wrong.shards()[0]);
+        assert!(sharded.verify_shard_result(0, &foreign).is_err());
     }
 
     #[test]

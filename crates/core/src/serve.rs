@@ -32,6 +32,23 @@
 //! backend (see [`SimBackend::set_base_seed`]) — and each submission folds
 //! its own rounds in its own grid order. Scheduling order affects only
 //! *warmth*, exactly as with the single-tenant executor.
+//!
+//! # Supervision
+//!
+//! A submission can be interrupted while in flight, from either side of the
+//! API: the caller raises a cancellation flag
+//! ([`SweepServer::submit_streaming_cancellable`] — the serve daemon does
+//! this when a tenant disconnects), or the server's own per-submission
+//! deadline ([`ServeConfig::submission_deadline`]) expires. Both paths run
+//! the same teardown as a shutdown-time cancellation, scoped to one tenant:
+//! queued rounds are drained from its tenant queue (with the admission and
+//! completion accounts adjusted, so the cap headroom they held is refunded
+//! immediately), rounds already dispatched into the current shape batch are
+//! skipped rather than simulated, and the submitter returns an error once
+//! the batch residue has drained. Sibling tenants never observe more than
+//! the freed capacity. Interruptions are counted on
+//! [`ServeStats::cancelled_submissions`] and
+//! [`ServeStats::deadline_expirations`].
 
 use crate::backend::{ChannelBackend, Observation, SimBackend};
 use crate::exec::{claim_end, shape_run_order, MAX_CLAIM_CHUNK};
@@ -45,6 +62,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`SweepServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +79,12 @@ pub struct ServeConfig {
     pub max_tenant_rounds: usize,
     /// Byte budget of the shared observation cache.
     pub cache_capacity_bytes: usize,
+    /// Wall-clock budget of one scheduled submission, measured from the
+    /// moment it enters the scheduler; `None` disables the deadline. An
+    /// expired submission is cancelled exactly like a tenant disconnect
+    /// (see the [module docs](self)) and its submitter gets an error whose
+    /// message names the deadline.
+    pub submission_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +94,7 @@ impl Default for ServeConfig {
             quantum_rounds: 16,
             max_tenant_rounds: 256,
             cache_capacity_bytes: DEFAULT_CACHE_CAPACITY_BYTES,
+            submission_deadline: None,
         }
     }
 }
@@ -100,6 +125,12 @@ pub struct ServeStats {
     pub tenants_active: usize,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Submissions cancelled by their caller's cancellation flag (e.g.
+    /// tenant disconnects observed by the serve daemon).
+    pub cancelled_submissions: u64,
+    /// Submissions cancelled because [`ServeConfig::submission_deadline`]
+    /// expired.
+    pub deadline_expirations: u64,
 }
 
 /// Per-submission scheduling telemetry returned by
@@ -205,6 +236,55 @@ struct Shared {
     rounds_executed: AtomicU64,
     inflight_rounds: AtomicUsize,
     peak_inflight: AtomicUsize,
+    cancelled_submissions: AtomicU64,
+    deadline_expirations: AtomicU64,
+}
+
+/// How often a supervised submitter re-checks its cancellation flag and
+/// deadline while parked on a condvar.
+const SUPERVISION_POLL: Duration = Duration::from_millis(10);
+
+/// Why a supervised submission stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Interrupt {
+    /// The caller raised the cancellation flag.
+    Cancelled,
+    /// [`ServeConfig::submission_deadline`] elapsed.
+    DeadlineExpired,
+}
+
+/// The interruption sources watching one submission: an optional caller
+/// cancellation flag and an optional absolute deadline. When both are
+/// `None` the submitter parks indefinitely, exactly as before supervision
+/// existed.
+#[derive(Clone, Copy)]
+struct Supervision<'a> {
+    cancel: Option<&'a AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Supervision<'_> {
+    /// Whether any interruption source is configured (and polling is
+    /// therefore needed at all).
+    fn active(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// The interruption that has fired, if any. Cancellation wins over an
+    /// expired deadline when both have.
+    fn interrupted(&self) -> Option<Interrupt> {
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Interrupt::DeadlineExpired);
+            }
+        }
+        None
+    }
 }
 
 /// Compile-time proof that a type may cross the server's worker threads.
@@ -249,6 +329,7 @@ impl SweepServer {
             quantum_rounds: config.quantum_rounds.max(1),
             max_tenant_rounds: config.max_tenant_rounds.max(1),
             cache_capacity_bytes: config.cache_capacity_bytes,
+            submission_deadline: config.submission_deadline,
         };
         let shared = Arc::new(Shared {
             config,
@@ -266,6 +347,8 @@ impl SweepServer {
             rounds_executed: AtomicU64::new(0),
             inflight_rounds: AtomicUsize::new(0),
             peak_inflight: AtomicUsize::new(0),
+            cancelled_submissions: AtomicU64::new(0),
+            deadline_expirations: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -314,6 +397,26 @@ impl SweepServer {
             .map(|(result, _)| result)
     }
 
+    /// [`SweepServer::submit_streaming`] under a caller-owned cancellation
+    /// flag: when `cancel` becomes `true`, the submission's queued rounds
+    /// are withdrawn from the scheduler (freeing their admission headroom
+    /// for sibling tenants) and the call returns an error whose message
+    /// contains `cancelled`. The serve daemon drives this path when a
+    /// tenant disconnects mid-submission.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepServer::submit`], plus cancellation.
+    pub fn submit_streaming_cancellable<S: ResultSink>(
+        &self,
+        spec: &ExperimentSpec,
+        sink: &mut S,
+        cancel: &AtomicBool,
+    ) -> Result<ExperimentResult> {
+        self.submit_supervised(spec, sink, Some(cancel))
+            .map(|(result, _)| result)
+    }
+
     /// Submits a spec and additionally returns its scheduling telemetry.
     ///
     /// # Errors
@@ -324,6 +427,25 @@ impl SweepServer {
         spec: &ExperimentSpec,
         sink: &mut S,
     ) -> Result<(ExperimentResult, ServeTelemetry)> {
+        self.submit_supervised(spec, sink, None)
+    }
+
+    /// The full submission path, watched by an optional cancellation flag
+    /// and the configured per-submission deadline.
+    fn submit_supervised<S: ResultSink>(
+        &self,
+        spec: &ExperimentSpec,
+        sink: &mut S,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<(ExperimentResult, ServeTelemetry)> {
+        let supervision = Supervision {
+            cancel,
+            deadline: self
+                .shared
+                .config
+                .submission_deadline
+                .map(|limit| Instant::now() + limit),
+        };
         let compiled = CompiledExperiment::compile(spec)?;
         self.shared.submissions.fetch_add(1, Ordering::Relaxed);
         let profile_fp = profile_fingerprint(compiled.profile());
@@ -384,8 +506,8 @@ impl SweepServer {
             submission.admitted_quantum.store(now, Ordering::Relaxed);
             submission.dispatched_quantum.store(now, Ordering::Relaxed);
         } else {
-            self.admit(&submission, &miss_positions)?;
-            wait_done(&submission);
+            self.admit(&submission, &miss_positions, supervision)?;
+            self.wait_done_supervised(&submission, supervision)?;
         }
 
         // Collect in request order: the earliest error wins (matching the
@@ -440,7 +562,12 @@ impl SweepServer {
 
     /// Registers the submission as a tenant and feeds its miss rounds into
     /// the scheduler, in waves of at most `max_tenant_rounds`.
-    fn admit(&self, submission: &Arc<Submission>, miss_positions: &[usize]) -> Result<()> {
+    fn admit(
+        &self,
+        submission: &Arc<Submission>,
+        miss_positions: &[usize],
+        supervision: Supervision<'_>,
+    ) -> Result<()> {
         let shared = &*self.shared;
         let cap = shared.config.max_tenant_rounds;
         let mut state = shared.state.lock().expect("dispatch lock");
@@ -458,30 +585,45 @@ impl SweepServer {
         });
         let mut admitted = 0;
         while admitted < miss_positions.len() {
+            if let Some(interrupt) = supervision.interrupted() {
+                abort_admission(
+                    shared,
+                    &mut state,
+                    submission,
+                    miss_positions.len() - admitted,
+                );
+                return Err(self.interrupt_error(interrupt));
+            }
             while submission.inflight.load(Ordering::Relaxed) >= cap && !state.shutdown {
-                state = shared.space_ready.wait(state).expect("dispatch lock");
+                if let Some(interrupt) = supervision.interrupted() {
+                    abort_admission(
+                        shared,
+                        &mut state,
+                        submission,
+                        miss_positions.len() - admitted,
+                    );
+                    return Err(self.interrupt_error(interrupt));
+                }
+                state = if supervision.active() {
+                    shared
+                        .space_ready
+                        .wait_timeout(state, SUPERVISION_POLL)
+                        .expect("dispatch lock")
+                        .0
+                } else {
+                    shared.space_ready.wait(state).expect("dispatch lock")
+                };
             }
             if state.shutdown {
-                // Cancel: whatever was already queued is drained by
-                // `shutdown`; rounds never admitted simply never existed.
-                submission.failed.store(true, Ordering::Relaxed);
-                if let Some(tenant) = tenant_of(&mut state, submission) {
-                    tenant.draining = true;
-                }
-                // The rounds of the unadmitted tail will never be dispatched
-                // or executed; take them out of the completion account so
-                // nothing waits on them.
-                let unadmitted = miss_positions.len() - admitted;
-                submission
-                    .undispatched
-                    .fetch_sub(unadmitted, Ordering::Relaxed);
-                if submission
-                    .remaining
-                    .fetch_sub(unadmitted, Ordering::Relaxed)
-                    == unadmitted
-                {
-                    complete(submission);
-                }
+                // Cancel: queued rounds and the never-admitted tail are both
+                // withdrawn from the completion account so nothing waits on
+                // them; `shutdown`'s own drain then finds an empty queue.
+                abort_admission(
+                    shared,
+                    &mut state,
+                    submission,
+                    miss_positions.len() - admitted,
+                );
                 return Err(shutdown_error());
             }
             let headroom = cap - submission.inflight.load(Ordering::Relaxed);
@@ -504,6 +646,74 @@ impl SweepServer {
         let tenant = tenant_of(&mut state, submission).expect("tenant registered above");
         tenant.draining = true;
         Ok(())
+    }
+
+    /// Blocks until the submission completes — or, when supervised, until
+    /// its cancellation flag or deadline fires, in which case the
+    /// submission is withdrawn from the scheduler and the interruption
+    /// error returned.
+    fn wait_done_supervised(
+        &self,
+        submission: &Arc<Submission>,
+        supervision: Supervision<'_>,
+    ) -> Result<()> {
+        if !supervision.active() {
+            wait_done(submission);
+            return Ok(());
+        }
+        let interrupt = {
+            let mut done = submission.done.lock().expect("completion lock");
+            loop {
+                if *done {
+                    return Ok(());
+                }
+                if let Some(interrupt) = supervision.interrupted() {
+                    break interrupt;
+                }
+                done = submission
+                    .done_signal
+                    .wait_timeout(done, SUPERVISION_POLL)
+                    .expect("completion lock")
+                    .0;
+            }
+        };
+        // Withdraw the queued rounds, then wait for the residue already
+        // dispatched into the current batch to drain as skips (workers
+        // never simulate rounds of a failed submission), so no worker can
+        // touch this submission after we return.
+        {
+            let mut state = self.shared.state.lock().expect("dispatch lock");
+            abort_admission(&self.shared, &mut state, submission, 0);
+        }
+        wait_done(submission);
+        Err(self.interrupt_error(interrupt))
+    }
+
+    /// Counts the interruption and renders its error.
+    fn interrupt_error(&self, interrupt: Interrupt) -> MesError {
+        match interrupt {
+            Interrupt::Cancelled => {
+                self.shared
+                    .cancelled_submissions
+                    .fetch_add(1, Ordering::Relaxed);
+                MesError::Simulation {
+                    reason: "submission cancelled while in flight".to_string(),
+                }
+            }
+            Interrupt::DeadlineExpired => {
+                self.shared
+                    .deadline_expirations
+                    .fetch_add(1, Ordering::Relaxed);
+                let limit = self
+                    .shared
+                    .config
+                    .submission_deadline
+                    .unwrap_or(Duration::ZERO);
+                MesError::Simulation {
+                    reason: format!("submission deadline ({limit:?}) expired"),
+                }
+            }
+        }
     }
 
     /// A snapshot of the server's counters.
@@ -537,6 +747,8 @@ impl SweepServer {
             peak_inflight_rounds: self.shared.peak_inflight.load(Ordering::Relaxed),
             tenants_active,
             workers: self.shared.config.workers,
+            cancelled_submissions: self.shared.cancelled_submissions.load(Ordering::Relaxed),
+            deadline_expirations: self.shared.deadline_expirations.load(Ordering::Relaxed),
         }
     }
 
@@ -599,6 +811,49 @@ fn shutdown_error() -> MesError {
     MesError::Simulation {
         reason: "sweep server is shutting down".to_string(),
     }
+}
+
+/// Withdraws `submission` from the scheduler (shutdown, cancellation or
+/// deadline expiry — one teardown for all three): marks it failed so
+/// workers skip its dispatched residue, drains its queued rounds, retires
+/// its tenant entry, and removes the drained rounds plus `unadmitted`
+/// never-admitted ones from the admission and completion accounts. Callers
+/// hold the dispatch lock.
+fn abort_admission(
+    shared: &Shared,
+    state: &mut DispatchState,
+    submission: &Arc<Submission>,
+    unadmitted: usize,
+) {
+    submission.failed.store(true, Ordering::Relaxed);
+    let mut drained = 0;
+    if let Some(index) = state
+        .tenants
+        .iter()
+        .position(|tenant| Arc::ptr_eq(&tenant.submission, submission))
+    {
+        // Remove the tenant entry outright (not just mark it draining):
+        // its deficit credit dies with it, and `tenants_active` reflects
+        // the withdrawal immediately rather than at the next quantum.
+        drained = state.tenants[index].rounds.len();
+        state.tenants.remove(index);
+    }
+    if drained > 0 {
+        // Queued rounds held admission headroom; refund it so sibling
+        // tenants blocked on the cap make progress immediately.
+        submission.inflight.fetch_sub(drained, Ordering::Relaxed);
+        shared.inflight_rounds.fetch_sub(drained, Ordering::Relaxed);
+    }
+    let abandoned = drained + unadmitted;
+    if abandoned > 0 {
+        submission
+            .undispatched
+            .fetch_sub(abandoned, Ordering::Relaxed);
+        if submission.remaining.fetch_sub(abandoned, Ordering::Relaxed) == abandoned {
+            complete(submission);
+        }
+    }
+    shared.space_ready.notify_all();
 }
 
 /// The tenant entry of `submission`, if it is still registered.
@@ -1006,5 +1261,54 @@ mod tests {
         }
         let after = server.submit(&spec("late", Mechanism::Mutex, 16, 1));
         assert!(after.is_err(), "submissions after shutdown must fail");
+    }
+
+    #[test]
+    fn cancellation_withdraws_the_submission_without_wedging_the_server() {
+        let server = SweepServer::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let cancelled = AtomicBool::new(true);
+        let victim = spec("victim", Mechanism::Flock, 32, 0xF00);
+        let error = server
+            .submit_streaming_cancellable(&victim, &mut NullSink, &cancelled)
+            .expect_err("a pre-cancelled submission must not complete");
+        assert!(
+            error.to_string().contains("cancelled"),
+            "unexpected: {error}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.cancelled_submissions, 1);
+        assert_eq!(stats.deadline_expirations, 0);
+        assert_eq!(stats.tenants_active, 0, "cancelled tenant must retire");
+
+        // The scheduler keeps serving: the same spec completes when the
+        // flag stays down, identical to serial execution.
+        let live = AtomicBool::new(false);
+        let result = server
+            .submit_streaming_cancellable(&victim, &mut NullSink, &live)
+            .unwrap();
+        assert_eq!(result.series, serial(&victim).series);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_submission_in_band() {
+        let server = SweepServer::new(ServeConfig {
+            workers: 1,
+            submission_deadline: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        });
+        let error = server
+            .submit(&spec("expired", Mechanism::Flock, 32, 0xD1E))
+            .expect_err("a zero deadline must expire before any round runs");
+        assert!(
+            error.to_string().contains("deadline"),
+            "unexpected: {error}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.deadline_expirations, 1);
+        assert_eq!(stats.cancelled_submissions, 0);
+        assert_eq!(stats.tenants_active, 0, "expired tenant must retire");
     }
 }

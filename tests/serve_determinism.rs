@@ -282,5 +282,107 @@ fn daemon_socket_roundtrip_is_byte_identical_and_streams_every_point() {
         .expect("daemon thread")
         .expect("daemon exits cleanly");
     assert_eq!(report.submissions, 2);
+    assert_eq!(report.dropped_connections, 0, "no client vanished");
     assert!(!socket.exists(), "daemon must remove its socket file");
+}
+
+/// Reads one numeric counter out of a daemon stats reply.
+fn stat_value(stats: &mes_stats::Json, key: &str) -> f64 {
+    stats
+        .get(key)
+        .unwrap_or_else(|| panic!("stats frame missing {key:?}"))
+        .as_f64()
+        .unwrap_or_else(|_| panic!("stats {key:?} is not numeric"))
+}
+
+#[test]
+fn daemon_cancels_the_submission_of_a_vanished_client() {
+    let socket = std::env::temp_dir().join(format!("mes-serve-drop-{}.sock", std::process::id()));
+    let options = ServeOptions {
+        pool: 1,
+        ..ServeOptions::default()
+    };
+    let daemon = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve(&socket, &options))
+    };
+    // Wait for the daemon, then submit a mega-sweep on a raw stream and
+    // vanish without reading a single reply frame.
+    let mut stats_client = ServeClient::connect_with_retries(&socket, Duration::from_secs(10))
+        .expect("daemon comes up");
+    let mega = tenant_spec(95, 1, 192, Mechanism::Event);
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).expect("raw connect");
+        mes_bench::shard::write_frame(&mut stream, &mega.to_json_string())
+            .expect("write spec frame");
+    }
+    // The daemon must notice the disconnect, abandon the connection, and
+    // cancel the submission inside the server — releasing its rounds
+    // rather than computing 192 points for nobody.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = stats_client.stats().expect("stats reply");
+        if stat_value(&stats, "dropped_connections") >= 1.0
+            && stat_value(&stats, "cancelled_submissions") >= 1.0
+            && stat_value(&stats, "tenants_active") == 0.0
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never cleaned up the vanished client: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The pool keeps serving normal tenants afterwards.
+    let probe = tenant_spec(96, 1, 4, Mechanism::Event);
+    let expected = serial_result_json(&probe);
+    let mut client =
+        ServeClient::connect_with_retries(&socket, Duration::from_secs(10)).expect("reconnect");
+    let (_, result) = client.submit_raw(&probe).expect("post-drop submission");
+    assert_eq!(result, expected, "post-drop result diverged from serial");
+    ServeClient::connect_with_retries(&socket, Duration::from_secs(10))
+        .expect("daemon still up")
+        .shutdown()
+        .expect("daemon acknowledges shutdown");
+    let report = daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    assert_eq!(report.dropped_connections, 1, "exactly one client vanished");
+}
+
+#[test]
+fn daemon_reports_expired_submission_deadlines_in_band() {
+    let socket =
+        std::env::temp_dir().join(format!("mes-serve-deadline-{}.sock", std::process::id()));
+    let options = ServeOptions {
+        pool: 1,
+        // A zero deadline expires before any round runs: every scheduled
+        // submission must come back as an in-band error frame naming it.
+        submission_deadline_ms: Some(0),
+        ..ServeOptions::default()
+    };
+    let daemon = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve(&socket, &options))
+    };
+    let mut client = ServeClient::connect_with_retries(&socket, Duration::from_secs(10))
+        .expect("daemon comes up");
+    let spec = tenant_spec(97, 1, 8, Mechanism::Flock);
+    let error = client
+        .submit_raw(&spec)
+        .expect_err("a zero deadline must expire");
+    assert!(
+        error.to_string().contains("deadline"),
+        "unexpected in-band error: {error}"
+    );
+    let stats = client.stats().expect("stats reply");
+    assert!(stat_value(&stats, "deadline_expirations") >= 1.0);
+    assert_eq!(stat_value(&stats, "tenants_active"), 0.0);
+    client.shutdown().expect("daemon acknowledges shutdown");
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
 }

@@ -1,0 +1,241 @@
+//! Chaos gate for the supervised sharded fan-out: every fault class
+//! injected at every shard index of the sharded `fig9_small` run must be
+//! recovered — crash by respawn, hang by lease expiry + kill, babble
+//! (truncated or corrupted frames) by provenance rejection — and the
+//! merged document must stay **byte-identical** to the fault-free serial
+//! run. Unrecoverable shards (a persistent fault that survives respawns)
+//! must exhaust their bounded retry budget and surface as an in-band
+//! quarantine report, never as a missing slice of the document. After
+//! every run, no `sweepd` child may survive: the supervisor kills and
+//! reaps workers on all exit paths.
+//!
+//! Faults are scripted with [`FaultPlan`] against worker *frame ordinals*
+//! and carried through `MES_FAULT_PLAN`, so every chaos schedule here is
+//! fully deterministic (see `mes_bench::fault`). With a single worker the
+//! queue is leased in shard order, so a fault at frame `k` strikes exactly
+//! shard `k`'s first attempt.
+
+use mes_bench::fault::{FaultKind, FaultPlan};
+use mes_bench::shard::{run_sharded_with, SupervisorConfig};
+use mes_core::exec::RoundExecutor;
+use mes_core::experiment::ShardedExperiment;
+use mes_core::{ExperimentSpec, SweepService};
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+/// Chaos runs spawn real worker processes and (for stalls) wait out lease
+/// deadlines; serializing them keeps the deadlines honest on small
+/// machines and makes the zombie scan unambiguous.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+const WORKERS: usize = 1;
+const TARGET_SHARDS: usize = 6;
+
+/// The paper grid the supervisor benchmarks shard: fig9_small.
+fn fig9_small() -> ExperimentSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/specs/fig9_small.json"
+    );
+    let text = std::fs::read_to_string(path).expect("read fig9_small.json");
+    ExperimentSpec::from_json_str(&text).expect("parse fig9_small.json")
+}
+
+/// The fault-free ground truth: one in-process sequential sweep.
+fn reference_bytes(spec: &ExperimentSpec) -> String {
+    SweepService::new(RoundExecutor::sequential())
+        .submit(spec)
+        .expect("serial reference run")
+        .to_json_string()
+}
+
+/// The `sweepd` binary under test: `MES_SWEEPD_BIN` when set (CI builds it
+/// explicitly), otherwise a fresh release build. Never a found-on-disk
+/// sibling binary: a debug-profile test run would locate a possibly stale
+/// `target/debug/sweepd` that predates the fault plumbing and silently run
+/// the whole chaos matrix fault-free. `cargo build` is a no-op when the
+/// binary is already current.
+fn ensure_sweepd() -> PathBuf {
+    if let Ok(path) = std::env::var(mes_bench::shard::SWEEPD_BIN_ENV) {
+        return PathBuf::from(path);
+    }
+    let workspace = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let status = std::process::Command::new("cargo")
+        .args(["build", "--release", "-p", "mes-bench", "--bin", "sweepd"])
+        .current_dir(workspace)
+        .status()
+        .expect("spawn cargo to build sweepd");
+    assert!(status.success(), "building sweepd failed");
+    let built = PathBuf::from(workspace).join("target/release/sweepd");
+    assert!(built.is_file(), "sweepd missing at {}", built.display());
+    built
+}
+
+/// A supervision policy tight enough for chaos testing: short lease
+/// deadlines (so a scripted stall converts to a kill in seconds, not
+/// minutes) and the default bounded retry budget.
+fn chaos_config(fault_plan: Option<FaultPlan>) -> SupervisorConfig {
+    SupervisorConfig {
+        max_attempts: 3,
+        deadline_floor_ms: 1_500,
+        fault_plan,
+        sweepd: Some(ensure_sweepd()),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Live (or zombie) `sweepd` processes still parented to this test
+/// process. The supervisor kills *and reaps* every worker on every exit
+/// path, so this must be zero the moment a run returns.
+fn surviving_sweepd_children() -> usize {
+    let me = std::process::id();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return 0;
+    };
+    let mut survivors = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|text| text.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // /proc/<pid>/stat: `pid (comm) state ppid ...`; comm may contain
+        // spaces, so split around the parenthesized field.
+        let (Some(open), Some(close)) = (stat.find('('), stat.rfind(')')) else {
+            continue;
+        };
+        let comm = &stat[open + 1..close];
+        let ppid = stat[close + 1..]
+            .split_whitespace()
+            .nth(1)
+            .and_then(|field| field.parse::<u32>().ok())
+            .unwrap_or(0);
+        if ppid == me && comm.contains("sweepd") {
+            survivors += 1;
+        }
+    }
+    survivors
+}
+
+#[test]
+fn fault_free_run_reports_zero_recovery_and_matches_serial() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let spec = fig9_small();
+    let reference = reference_bytes(&spec);
+    let run = run_sharded_with(&spec, WORKERS, TARGET_SHARDS, &chaos_config(None))
+        .expect("fault-free sharded run");
+    assert_eq!(
+        run.merged().expect("no quarantine").to_json_string(),
+        reference,
+        "fault-free sharded run diverged from serial"
+    );
+    assert_eq!(run.recovery.retries, 0, "no fault, no retries");
+    assert_eq!(run.recovery.respawns, 0, "no fault, no respawns");
+    assert!(run.recovery.quarantined.is_empty());
+    assert_eq!(surviving_sweepd_children(), 0, "sweepd children leaked");
+}
+
+#[test]
+fn every_fault_class_at_every_shard_index_recovers_byte_identically() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let spec = fig9_small();
+    let reference = reference_bytes(&spec);
+    let shard_count = ShardedExperiment::split(&spec, TARGET_SHARDS)
+        .expect("split")
+        .shards()
+        .len();
+    assert!(
+        shard_count >= 2,
+        "fig9_small must split into several shards (got {shard_count})"
+    );
+    let kinds = [
+        FaultKind::Crash,
+        FaultKind::Stall,
+        FaultKind::Truncate,
+        FaultKind::Corrupt,
+    ];
+    for kind in kinds {
+        for shard in 0..shard_count {
+            // One worker leases shards in order, so frame `shard` is shard
+            // `shard`'s first attempt; the replacement worker spawned after
+            // the fault is healthy (`fault_respawns: false`).
+            let plan = FaultPlan::single(kind, shard as u64, 0x5EED ^ shard as u64);
+            let config = chaos_config(Some(plan));
+            let run = run_sharded_with(&spec, WORKERS, TARGET_SHARDS, &config)
+                .unwrap_or_else(|error| panic!("{kind:?}@{shard}: run failed: {error}"));
+            assert!(
+                run.recovery.quarantined.is_empty(),
+                "{kind:?}@{shard}: a single transient fault must never quarantine: {:?}",
+                run.recovery.quarantined
+            );
+            assert!(
+                run.recovery.retries >= 1,
+                "{kind:?}@{shard}: the scripted fault must have forced a retry"
+            );
+            assert!(
+                run.recovery.retries <= ((config.max_attempts - 1) * shard_count) as u64,
+                "{kind:?}@{shard}: retries exceeded the budget"
+            );
+            assert!(
+                run.recovery.respawns >= 1,
+                "{kind:?}@{shard}: recovery must have replaced the faulted worker"
+            );
+            let merged = run
+                .merged()
+                .unwrap_or_else(|error| panic!("{kind:?}@{shard}: no merged result: {error}"));
+            assert_eq!(
+                merged.to_json_string(),
+                reference,
+                "{kind:?}@{shard}: recovered run diverged from the fault-free document"
+            );
+        }
+    }
+    assert_eq!(surviving_sweepd_children(), 0, "sweepd children leaked");
+}
+
+#[test]
+fn persistent_crash_exhausts_the_budget_and_quarantines_in_band() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let spec = fig9_small();
+    let shard_count = ShardedExperiment::split(&spec, TARGET_SHARDS)
+        .expect("split")
+        .shards()
+        .len();
+    // Every worker — including each respawned replacement — crashes on its
+    // first frame: no shard can ever complete, so every shard must burn
+    // exactly its budget and land in quarantine.
+    let config = SupervisorConfig {
+        max_attempts: 2,
+        fault_respawns: true,
+        ..chaos_config(Some(FaultPlan::single(FaultKind::Crash, 0, 1)))
+    };
+    let run = run_sharded_with(&spec, WORKERS, TARGET_SHARDS, &config)
+        .expect("a quarantined run is a report, not a driver error");
+    assert!(run.result.is_none(), "no partial document may be merged");
+    assert_eq!(
+        run.recovery.quarantined.len(),
+        shard_count,
+        "every shard must quarantine under a persistent crash"
+    );
+    for entry in &run.recovery.quarantined {
+        assert_eq!(
+            entry.attempts, config.max_attempts,
+            "shard {} quarantined before exhausting its budget",
+            entry.shard_id
+        );
+        assert!(!entry.last_error.is_empty());
+    }
+    assert_eq!(
+        run.recovery.retries,
+        (shard_count * (config.max_attempts - 1)) as u64,
+        "each shard retries exactly budget - 1 times"
+    );
+    let error = run.merged().expect_err("quarantine must surface in-band");
+    assert!(
+        error.to_string().contains("quarantined"),
+        "unexpected quarantine report: {error}"
+    );
+    assert_eq!(surviving_sweepd_children(), 0, "sweepd children leaked");
+}
